@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test test-short bench experiments experiments-quick cover golden clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+# Skips the multi-second stress tests; suitable for fast CI.
+test-short:
+	go test -short ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every experiment artifact (E1–E14) at paper scale.
+experiments:
+	go run ./cmd/experiments -run all
+
+experiments-quick:
+	go run ./cmd/experiments -run all -quick
+
+cover:
+	go test -cover ./...
+
+# Refresh the golden snapshots after an intentional behavior change.
+golden:
+	go test ./internal/experiments -run Golden -update-golden
+
+clean:
+	go clean ./...

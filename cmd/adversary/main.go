@@ -1,0 +1,113 @@
+// Command adversary runs the paper's lower-bound constructions.
+//
+// In deterministic mode (default) it plays the Theorem 4.3 interactive
+// adversary against a chosen algorithm and reports the forced load next to
+// the proven bound ⌈½(min{d, log N}+1)⌉ (the sequence's optimal load is 1
+// by construction). In -sigma-r mode it draws the Theorem 5.2 random
+// sequence σ_r and replays it against the algorithm.
+//
+// Examples:
+//
+//	adversary -n 1024 -algo greedy
+//	adversary -n 1024 -algo periodic -d 3
+//	adversary -n 65536 -algo random -sigma-r -seeds 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partalloc/internal/adversary"
+	"partalloc/internal/cli"
+	"partalloc/internal/sim"
+	"partalloc/internal/stats"
+	"partalloc/internal/task"
+	"partalloc/internal/trace"
+	"partalloc/internal/tree"
+)
+
+func main() {
+	n := flag.Int("n", 1024, "machine size (power of two)")
+	algo := flag.String("algo", "greedy", cli.AlgorithmUsage())
+	d := flag.Int("d", -1, "reallocation parameter assumed by the adversary (-1 = never reallocates)")
+	seed := flag.Int64("seed", 1, "seed for randomized algorithm / σ_r")
+	sigmaR := flag.Bool("sigma-r", false, "use the Theorem 5.2 random sequence instead of the interactive adversary")
+	seeds := flag.Int("seeds", 10, "σ_r: number of independent draws")
+	traceOut := flag.String("trace-out", "", "save the (last) constructed sequence as a JSON trace")
+	flag.Parse()
+
+	m, err := tree.New(*n)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *sigmaR {
+		loads := make([]float64, 0, *seeds)
+		var st adversary.SigmaRStats
+		for s := 0; s < *seeds; s++ {
+			var seq task.Sequence
+			seq, st = adversary.SigmaR(adversary.SigmaRConfig{N: *n, Seed: *seed + int64(s)})
+			a, err := cli.MakeAllocator(m, *algo, *d, *seed+int64(s))
+			if err != nil {
+				fatal(err)
+			}
+			res := sim.Run(a, seq, sim.Options{})
+			loads = append(loads, float64(res.MaxLoad))
+			if *traceOut != "" && s == *seeds-1 {
+				saveTrace(*traceOut, seq, "sigma-r", *n)
+			}
+		}
+		fmt.Printf("σ_r on N=%d (%d draws): base=%d phases=%d keep=%.4f\n",
+			*n, *seeds, st.Base, st.Phases, st.KeepProb)
+		fmt.Printf("forced load:  mean %.2f ± %.2f (max %.0f), L* = %d\n",
+			stats.Mean(loads), stats.CI95(loads), stats.Max(loads), st.OptimalLoad)
+		fmt.Printf("bounds:       stated (1/7)(logN/loglogN)^{1/3} = %.3f, proved = %.3f\n",
+			st.TheoremBound, st.ProvedBound)
+		return
+	}
+
+	a, err := cli.MakeAllocator(m, *algo, *d, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	res := adversary.RunDeterministic(a, *d)
+	if *traceOut != "" {
+		saveTrace(*traceOut, res.Sequence, "adversary", *n)
+	}
+	fmt.Printf("adversary vs %s on N=%d (d=%s, %d phases)\n", a.Name(), *n, dString(*d), res.Phases)
+	fmt.Printf("sequence:     %d events, total arrivals %d, L* = %d\n",
+		len(res.Sequence.Events), res.Sequence.TotalArrivalSize(), res.OptimalLoad)
+	fmt.Printf("forced load:  final %d, max over time %d\n", res.FinalLoad, res.MaxLoad)
+	fmt.Printf("lower bound:  ⌈½(min{d,logN}+1)⌉ = %d  →  %s\n", res.LowerBound, verdict(res))
+}
+
+func verdict(res adversary.DetResult) string {
+	if res.FinalLoad >= res.LowerBound {
+		return "bound met"
+	}
+	return "BOUND VIOLATED (bug!)"
+}
+
+func dString(d int) string {
+	if d < 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", d)
+}
+
+func saveTrace(path string, seq task.Sequence, label string, n int) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteJSON(f, seq, label, n); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adversary:", err)
+	os.Exit(1)
+}

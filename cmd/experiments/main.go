@@ -1,0 +1,84 @@
+// Command experiments regenerates every artifact in the experiment index
+// of DESIGN.md (E1–E14): the Figure 1 replay plus one table/figure per
+// theorem bound, and the cost-of-reallocation / cross-topology / slowdown
+// extensions.
+//
+// Usage:
+//
+//	experiments [-run all|E1,...,E14] [-quick] [-seeds N] [-markdown]
+//
+// With -markdown the tables are emitted as GitHub-flavored Markdown (used
+// to regenerate EXPERIMENTS.md); the default is aligned ASCII with plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"partalloc/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+	quick := flag.Bool("quick", false, "small machines and few seeds (seconds instead of minutes)")
+	seeds := flag.Int("seeds", 0, "override seeds per cell (0 = default)")
+	markdown := flag.Bool("markdown", false, "emit tables as Markdown instead of ASCII")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seeds: *seeds}
+
+	var ids []string
+	if *run == "all" {
+		for _, r := range experiments.All() {
+			ids = append(ids, r.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		r, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known:", id)
+			for _, k := range experiments.All() {
+				fmt.Fprintf(os.Stderr, " %s", k.ID)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(2)
+		}
+		art := r.Run(cfg)
+		if *markdown {
+			fmt.Printf("### %s — %s\n\n", art.ID, art.Title)
+			for _, t := range art.Tables {
+				if err := t.WriteMarkdown(os.Stdout); err != nil {
+					fatal(err)
+				}
+				fmt.Println()
+			}
+			for _, n := range art.Notes {
+				fmt.Printf("> %s\n\n", n)
+			}
+		} else {
+			if err := art.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	// E1 is the canonical regression gate: fail loudly if it drifts.
+	for _, id := range ids {
+		if id == "E1" {
+			if err := experiments.Figure1Raw().Check(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

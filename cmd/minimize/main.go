@@ -1,0 +1,100 @@
+// Command minimize shrinks a recorded task sequence to a minimal
+// counterexample for a load predicate: "algorithm A reaches load ≥ L
+// while the optimal load stays ≤ O". It is the debugging companion to
+// partsim — record a trace on which an algorithm behaves badly, then
+// minimize it to a handful of events that explain why.
+//
+// Examples:
+//
+//	partsim -n 4 -algo greedy -workload saturation -events 400 -trace-out bad.json
+//	minimize -trace bad.json -n 4 -algo greedy -load 2 -optimal 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partalloc/internal/cli"
+	"partalloc/internal/minimize"
+	"partalloc/internal/sim"
+	"partalloc/internal/task"
+	"partalloc/internal/trace"
+	"partalloc/internal/tree"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "JSON trace to minimize (required)")
+	n := flag.Int("n", 0, "machine size (0 = take from trace)")
+	algo := flag.String("algo", "greedy", cli.AlgorithmUsage())
+	d := flag.Int("d", 2, "reallocation parameter for periodic/lazy")
+	seed := flag.Int64("seed", 1, "seed for randomized algorithms")
+	loadAtLeast := flag.Int("load", 2, "failure: max load reaches at least this")
+	optimalAtMost := flag.Int("optimal", 1, "failure: while L* stays at most this")
+	out := flag.String("out", "", "write the minimized trace here (default: stdout summary only)")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fatal(fmt.Errorf("-trace is required"))
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	seq, label, traceN, err := trace.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if *n == 0 {
+		*n = traceN
+	}
+	if *n == 0 {
+		fatal(fmt.Errorf("machine size unknown: pass -n"))
+	}
+	m, err := tree.New(*n)
+	if err != nil {
+		fatal(err)
+	}
+
+	failing := func(s task.Sequence) bool {
+		if s.Validate(*n) != nil {
+			return false
+		}
+		a, err := cli.MakeAllocator(m, *algo, *d, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		res := sim.Run(a, s, sim.Options{})
+		return res.MaxLoad >= *loadAtLeast && res.LStar <= *optimalAtMost
+	}
+
+	if !failing(seq) {
+		fmt.Printf("trace %q (%d events) does not exhibit load ≥ %d with L* ≤ %d under %s; nothing to do\n",
+			label, len(seq.Events), *loadAtLeast, *optimalAtMost, *algo)
+		os.Exit(1)
+	}
+
+	min := minimize.Minimize(seq, failing)
+	fmt.Printf("minimized %d events → %d events (%d tasks)\n",
+		len(seq.Events), len(min.Events), min.NumArrivals())
+	for i, e := range min.Events {
+		fmt.Printf("  %2d: %s task %d size %d\n", i, e.Kind, e.Task, e.Size)
+	}
+	if *out != "" {
+		g, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer g.Close()
+		if err := trace.WriteJSON(g, min, label+"-minimized", *n); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minimize:", err)
+	os.Exit(1)
+}

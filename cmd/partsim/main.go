@@ -1,0 +1,150 @@
+// Command partsim runs one allocation algorithm over one workload on an
+// N-PE tree machine and reports loads, competitive ratio and reallocation
+// cost. Sequences can be saved to and replayed from JSON trace files, so a
+// run is exactly reproducible across algorithms.
+//
+// Examples:
+//
+//	partsim -n 256 -algo greedy -workload poisson -arrivals 2000 -seed 1
+//	partsim -n 256 -algo periodic -d 2 -workload saturation -events 5000
+//	partsim -n 64 -algo lazy -d 1 -trace-out run.json
+//	partsim -n 64 -algo constant -trace-in run.json
+//	partsim -n 4 -algo greedy -figure1     # the paper's worked example
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partalloc/internal/cli"
+	"partalloc/internal/report"
+	"partalloc/internal/sim"
+	"partalloc/internal/stats"
+	"partalloc/internal/task"
+	"partalloc/internal/trace"
+	"partalloc/internal/tree"
+	"partalloc/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 256, "machine size (power of two)")
+	algo := flag.String("algo", "greedy", cli.AlgorithmUsage())
+	d := flag.Int("d", 2, "reallocation parameter for periodic/lazy (-1 = never)")
+	wl := flag.String("workload", "poisson", "workload: poisson|saturation|sessions")
+	arrivals := flag.Int("arrivals", 1000, "poisson: number of arrivals")
+	events := flag.Int("events", 2000, "saturation: number of events")
+	sessions := flag.Int("sessions", 100, "sessions: number of user sessions")
+	seed := flag.Int64("seed", 1, "workload / algorithm seed")
+	figure1 := flag.Bool("figure1", false, "replay the paper's Figure 1 sequence (forces n=4)")
+	traceIn := flag.String("trace-in", "", "replay a JSON trace instead of generating a workload")
+	traceOut := flag.String("trace-out", "", "save the generated sequence as a JSON trace")
+	slowdowns := flag.Bool("slowdowns", false, "report the per-task slowdown distribution")
+	plot := flag.Bool("plot", false, "render the max-load-over-time ASCII plot")
+	heat := flag.Bool("heat", false, "render the final per-PE load heat strip")
+	flag.Parse()
+
+	if *figure1 {
+		*n = 4
+	}
+	m, err := tree.New(*n)
+	if err != nil {
+		fatal(err)
+	}
+
+	var seq task.Sequence
+	label := *wl
+	switch {
+	case *figure1:
+		seq = task.Figure1Sequence()
+		label = "figure1"
+	case *traceIn != "":
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		seq, label, _, err = trace.ReadJSON(f)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		switch *wl {
+		case "poisson":
+			seq = workload.Poisson(workload.Config{N: *n, Arrivals: *arrivals, Seed: *seed})
+		case "saturation":
+			seq = workload.Saturation(workload.SaturationConfig{N: *n, Events: *events, Seed: *seed, Churn: 0.2})
+		case "sessions":
+			seq = workload.Sessions(workload.SessionConfig{N: *n, Sessions: *sessions, Seed: *seed})
+		default:
+			fatal(fmt.Errorf("unknown workload %q", *wl))
+		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteJSON(f, seq, label, *n); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	a, err := cli.MakeAllocator(m, *algo, *d, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	res := sim.Run(a, seq, sim.Options{TrackSlowdowns: *slowdowns, RecordSeries: *plot})
+
+	fmt.Printf("machine:       N=%d (tree)\n", *n)
+	fmt.Printf("workload:      %s (%d events, %d arrivals, s(σ)=%d)\n",
+		label, len(seq.Events), seq.NumArrivals(), seq.Size())
+	fmt.Printf("algorithm:     %s\n", res.Algorithm)
+	fmt.Printf("optimal load:  L* = %d\n", res.LStar)
+	fmt.Printf("max load:      %d  (ratio %.3f, peak instantaneous ratio %.3f)\n",
+		res.MaxLoad, res.Ratio, res.PeakRatio)
+	fmt.Printf("final load:    %d\n", res.FinalLoad)
+	if res.Realloc.Reallocations > 0 || *algo == "constant" || *algo == "periodic" || *algo == "lazy" {
+		fmt.Printf("reallocation:  %d reallocations, %d task migrations, %d PE-units moved\n",
+			res.Realloc.Reallocations, res.Realloc.Migrations, res.Realloc.MovedPEs)
+	}
+	if *heat {
+		loads := a.PELoads()
+		fmt.Printf("final PE loads: [%s]  (ramp: ' .:-=+*#%%@' = 0..9+)\n", report.HeatStrip(loads, 96))
+	}
+	if *plot && res.Series != nil {
+		p := &report.Plot{
+			Caption: "max PE load (*) and running optimal load (o) over events",
+			XLabel:  "event index", YLabel: "load", Width: 72, Height: 16,
+		}
+		var loadPts, optPts []report.SeriesPoint
+		for _, sp := range res.Series.Samples {
+			loadPts = append(loadPts, report.SeriesPoint{X: float64(sp.EventIndex), Y: float64(sp.MaxLoad)})
+			optPts = append(optPts, report.SeriesPoint{X: float64(sp.EventIndex), Y: float64(sp.RunningLStar)})
+		}
+		p.Add("max load", '*', loadPts)
+		p.Add("running L*", 'o', optPts)
+		if err := p.WriteASCII(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *slowdowns && len(res.Slowdowns) > 0 {
+		xs := make([]float64, len(res.Slowdowns))
+		for i, s := range res.Slowdowns {
+			xs[i] = float64(s)
+		}
+		sum := stats.Summarize(xs)
+		fmt.Printf("slowdowns:     mean %.2f  p50 %.0f  p90 %.0f  p99 %.0f  max %.0f (over %d tasks)\n",
+			sum.Mean, sum.Median, sum.P90, sum.P99, sum.Max, sum.N)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "partsim:", err)
+	os.Exit(1)
+}

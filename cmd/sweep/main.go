@@ -1,0 +1,172 @@
+// Command sweep runs a parameter sweep — machine size N, reallocation
+// parameter d, or random seed — for a set of algorithms over a common
+// workload, and prints a table (ASCII, Markdown or CSV). It is the general
+// tool behind the fixed experiment runners in cmd/experiments.
+//
+// Examples:
+//
+//	sweep -axis d -n 1024 -algos constant,periodic,lazy,greedy
+//	sweep -axis n -ns 64,256,1024 -algos greedy,random -workload saturation
+//	sweep -axis seed -seeds 20 -algos periodic -d 2 -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"partalloc/internal/core"
+	"partalloc/internal/mathx"
+	"partalloc/internal/report"
+	"partalloc/internal/sim"
+	"partalloc/internal/stats"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+	"partalloc/internal/workload"
+)
+
+func main() {
+	axis := flag.String("axis", "d", "sweep axis: d|n|seed")
+	n := flag.Int("n", 1024, "machine size (fixed axes)")
+	nsFlag := flag.String("ns", "64,256,1024,4096", "machine sizes for -axis n")
+	d := flag.Int("d", 2, "reallocation parameter (fixed axes)")
+	algosFlag := flag.String("algos", "constant,periodic,lazy,greedy,basic,random", "comma-separated algorithms")
+	wl := flag.String("workload", "saturation", "workload: poisson|saturation|sessions")
+	seeds := flag.Int("seeds", 5, "seeds per cell (or sweep length for -axis seed)")
+	events := flag.Int("events", 3000, "workload length (events or arrivals)")
+	format := flag.String("format", "ascii", "output: ascii|markdown|csv")
+	flag.Parse()
+
+	algos := strings.Split(*algosFlag, ",")
+	tab := &report.Table{
+		Caption: fmt.Sprintf("sweep over %s — workload %s", *axis, *wl),
+		Headers: []string{*axis, "algorithm", "mean ratio", "max ratio", "mean reallocs", "mean migr"},
+	}
+
+	addCell := func(axisVal string, algoName string, mk func(m *tree.Machine, seed int64) core.Allocator, nn int, cellSeeds int) {
+		var ratios []float64
+		var reallocs, migr float64
+		for s := 0; s < cellSeeds; s++ {
+			seq := genWorkload(*wl, nn, int64(s), *events)
+			res := sim.Run(mk(tree.MustNew(nn), int64(s)), seq, sim.Options{})
+			if res.LStar > 0 {
+				ratios = append(ratios, res.Ratio)
+			}
+			reallocs += float64(res.Realloc.Reallocations)
+			migr += float64(res.Realloc.Migrations)
+		}
+		tab.AddRowf(axisVal, algoName,
+			stats.Mean(ratios), stats.Max(ratios),
+			reallocs/float64(cellSeeds), migr/float64(cellSeeds))
+	}
+
+	switch *axis {
+	case "d":
+		g := mathx.GreedyBound(*n)
+		for dd := 0; dd <= g+1; dd++ {
+			for _, al := range algos {
+				if al != "periodic" && al != "lazy" {
+					continue
+				}
+				dd := dd
+				mk, name, err := factory(al, dd)
+				if err != nil {
+					fatal(err)
+				}
+				addCell(strconv.Itoa(dd), name, mk, *n, *seeds)
+			}
+		}
+	case "n":
+		for _, ns := range strings.Split(*nsFlag, ",") {
+			nn, err := strconv.Atoi(strings.TrimSpace(ns))
+			if err != nil {
+				fatal(err)
+			}
+			for _, al := range algos {
+				mk, name, err := factory(al, *d)
+				if err != nil {
+					fatal(err)
+				}
+				addCell(strconv.Itoa(nn), name, mk, nn, *seeds)
+			}
+		}
+	case "seed":
+		for s := 0; s < *seeds; s++ {
+			for _, al := range algos {
+				mk, name, err := factory(al, *d)
+				if err != nil {
+					fatal(err)
+				}
+				s := s
+				var ratios []float64
+				seq := genWorkload(*wl, *n, int64(s), *events)
+				res := sim.Run(mk(tree.MustNew(*n), int64(s)), seq, sim.Options{})
+				if res.LStar > 0 {
+					ratios = append(ratios, res.Ratio)
+				}
+				tab.AddRowf(strconv.Itoa(s), name, stats.Mean(ratios), stats.Max(ratios),
+					float64(res.Realloc.Reallocations), float64(res.Realloc.Migrations))
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown axis %q", *axis))
+	}
+
+	var err error
+	switch *format {
+	case "ascii":
+		err = tab.WriteASCII(os.Stdout)
+	case "markdown":
+		err = tab.WriteMarkdown(os.Stdout)
+	case "csv":
+		err = tab.WriteCSV(os.Stdout)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func factory(algo string, d int) (func(m *tree.Machine, seed int64) core.Allocator, string, error) {
+	switch strings.TrimSpace(algo) {
+	case "greedy":
+		return func(m *tree.Machine, _ int64) core.Allocator { return core.NewGreedy(m) }, "A_G", nil
+	case "basic":
+		return func(m *tree.Machine, _ int64) core.Allocator { return core.NewBasic(m) }, "A_B", nil
+	case "constant":
+		return func(m *tree.Machine, _ int64) core.Allocator { return core.NewConstant(m) }, "A_C", nil
+	case "periodic":
+		return func(m *tree.Machine, _ int64) core.Allocator {
+			return core.NewPeriodic(m, d, core.DecreasingSize)
+		}, fmt.Sprintf("A_M(d=%d)", d), nil
+	case "lazy":
+		return func(m *tree.Machine, _ int64) core.Allocator {
+			return core.NewLazy(m, d, core.DecreasingSize)
+		}, fmt.Sprintf("A_M-lazy(d=%d)", d), nil
+	case "random":
+		return func(m *tree.Machine, seed int64) core.Allocator { return core.NewRandom(m, seed) }, "A_Rand", nil
+	case "twochoice":
+		return func(m *tree.Machine, seed int64) core.Allocator { return core.NewTwoChoice(m, seed) }, "A_2choice", nil
+	}
+	return nil, "", fmt.Errorf("unknown algorithm %q", algo)
+}
+
+func genWorkload(kind string, n int, seed int64, events int) task.Sequence {
+	switch kind {
+	case "poisson":
+		return workload.Poisson(workload.Config{N: n, Arrivals: events, Seed: seed})
+	case "saturation":
+		return workload.Saturation(workload.SaturationConfig{N: n, Events: events, Seed: seed, Churn: 0.2})
+	case "sessions":
+		return workload.Sessions(workload.SessionConfig{N: n, Sessions: events / 10, Seed: seed})
+	}
+	panic("unknown workload " + kind)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

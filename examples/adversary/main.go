@@ -1,0 +1,40 @@
+// Adversary: watch the Theorem 4.3 lower-bound construction defeat a
+// never-reallocating allocator. The adversary fills the machine with small
+// tasks, inspects where the algorithm put them, retires exactly the halves
+// that would relieve pressure, and refills with double-size tasks — phase
+// by phase the surviving fragments pin the load up while the optimal
+// allocation would stay at 1.
+package main
+
+import (
+	"fmt"
+
+	"partalloc"
+)
+
+func main() {
+	for _, n := range []int{64, 1024, 16384} {
+		m := partalloc.MustNewMachine(n)
+		greedy := partalloc.NewGreedy(m)
+		res := partalloc.RunAdversary(greedy, -1) // -1: the algorithm never reallocates
+
+		fmt.Printf("N=%-6d phases=%-3d forced load %d (optimal %d) — bound ⌈½(logN+1)⌉ = %d, greedy cap = %d\n",
+			n, res.Phases, res.FinalLoad, res.OptimalLoad,
+			res.LowerBound, partalloc.GreedyBound(n))
+	}
+
+	fmt.Println("\nAgainst a d-reallocation algorithm the adversary gets only d phases")
+	fmt.Println("(its arrivals must stay under d·N so no reallocation triggers):")
+	for _, d := range []int{1, 2, 3, 4, 5} {
+		m := partalloc.MustNewMachine(4096)
+		a := partalloc.NewPeriodic(m, d, partalloc.DecreasingSize)
+		res := partalloc.RunAdversary(a, d)
+		fmt.Printf("  d=%d: forced load %d, theorem bound ⌈½(d+1)⌉ = %d, upper bound d+1 = %d\n",
+			d, res.FinalLoad, res.LowerBound, partalloc.UpperBound(4096, d))
+	}
+
+	fmt.Println("\nAnd the constantly reallocating A_C is untouchable:")
+	m := partalloc.MustNewMachine(4096)
+	res := partalloc.RunAdversary(partalloc.NewConstant(m), 0)
+	fmt.Printf("  A_C forced to load %d — exactly L* (Theorem 3.1)\n", res.MaxLoad)
+}

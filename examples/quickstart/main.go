@@ -1,0 +1,62 @@
+// Quickstart: allocate a handful of tasks on a small partitionable
+// machine, watch the loads, and compare a never-reallocating allocator
+// with a periodically reallocating one — including the paper's own
+// Figure 1 example.
+package main
+
+import (
+	"fmt"
+
+	"partalloc"
+)
+
+func main() {
+	// --- 1. The paper's Figure 1 example, replayed --------------------
+	fmt.Println("Figure 1 (σ* on a 4-PE machine):")
+	seq := partalloc.Figure1Sequence()
+
+	greedy := partalloc.NewGreedy(partalloc.MustNewMachine(4))
+	res := partalloc.Simulate(greedy, seq, partalloc.SimOptions{})
+	fmt.Printf("  greedy A_G:       max load %d (optimal is %d)\n", res.MaxLoad, res.LStar)
+
+	lazy := partalloc.NewLazy(partalloc.MustNewMachine(4), 1, partalloc.DecreasingSize)
+	res = partalloc.Simulate(lazy, seq, partalloc.SimOptions{})
+	fmt.Printf("  1-reallocation:   max load %d after %d reallocation(s)\n",
+		res.MaxLoad, res.Realloc.Reallocations)
+
+	// --- 2. Build your own sequence -----------------------------------
+	fmt.Println("\nCustom sequence on a 16-PE machine:")
+	b := partalloc.NewSequenceBuilder()
+	web := b.At(0).Arrive(8)   // a web server wants half the machine
+	batch := b.At(1).Arrive(4) // a batch job wants a quarter
+	_ = b.At(2).Arrive(4)      // another quarter: machine is full
+	b.At(3).Depart(web)        // the web server leaves...
+	_ = b.At(4).Arrive(8)      // ...and a new large job arrives
+	b.At(5).Depart(batch)
+	custom := b.Sequence()
+
+	m := partalloc.MustNewMachine(16)
+	a := partalloc.NewPeriodic(m, 1, partalloc.DecreasingSize)
+	res = partalloc.Simulate(a, custom, partalloc.SimOptions{})
+	fmt.Printf("  A_M(d=1): max load %d, optimal %d, ratio %.2f\n",
+		res.MaxLoad, res.LStar, res.Ratio)
+	fmt.Printf("  theorem bound: min{d+1, ⌈½(log N+1)⌉}·L* = %d\n",
+		partalloc.UpperBound(16, 1)*res.LStar)
+
+	// --- 3. A random workload, all algorithms -------------------------
+	fmt.Println("\nPoisson workload on a 256-PE machine (500 arrivals):")
+	wl := partalloc.PoissonWorkload(partalloc.WorkloadConfig{N: 256, Arrivals: 500, Seed: 7})
+	for _, entry := range []struct {
+		name string
+		a    partalloc.Allocator
+	}{
+		{"A_C  (d=0, optimal)", partalloc.NewConstant(partalloc.MustNewMachine(256))},
+		{"A_M  (d=2)", partalloc.NewPeriodic(partalloc.MustNewMachine(256), 2, partalloc.DecreasingSize)},
+		{"A_G  (never realloc)", partalloc.NewGreedy(partalloc.MustNewMachine(256))},
+		{"A_Rand (oblivious)", partalloc.NewRandom(partalloc.MustNewMachine(256), 1)},
+	} {
+		r := partalloc.Simulate(entry.a, wl, partalloc.SimOptions{})
+		fmt.Printf("  %-22s max load %2d  ratio %.2f  migrations %d\n",
+			entry.name, r.MaxLoad, r.Ratio, r.Realloc.Migrations)
+	}
+}

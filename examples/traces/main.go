@@ -1,0 +1,70 @@
+// Traces: record a workload once, replay it against every algorithm.
+// Because the model is fully deterministic given the event sequence,
+// traces make comparisons exact (same arrivals, same departures, no
+// generator noise) and results reproducible across machines and runs —
+// the same mechanism cmd/partsim exposes as -trace-out / -trace-in.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"partalloc"
+)
+
+func main() {
+	const n = 128
+	dir, err := os.MkdirTemp("", "partalloc-traces")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "day.json")
+
+	// 1. Record: generate one multi-user day and save it.
+	day := partalloc.SessionWorkload(partalloc.SessionConfig{N: n, Sessions: 200, Seed: 4})
+	f, err := os.Create(path)
+	if err != nil {
+		panic(err)
+	}
+	if err := partalloc.SaveSequence(f, day, "multiuser-day", n); err != nil {
+		panic(err)
+	}
+	f.Close()
+	info, _ := os.Stat(path)
+	fmt.Printf("recorded %d events (%d tasks) to %s (%d bytes)\n\n",
+		len(day.Events), day.NumArrivals(), filepath.Base(path), info.Size())
+
+	// 2. Replay: load it back and run the whole algorithm suite on the
+	// byte-identical sequence.
+	g, err := os.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	replayed, label, nn, err := partalloc.LoadSequence(g)
+	g.Close()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("replaying %q on N=%d (L* = %d):\n\n", label, nn, replayed.OptimalLoad(nn))
+
+	fmt.Printf("%-14s  %-8s  %-6s  %-12s  %s\n", "algorithm", "max load", "ratio", "reallocs", "migrated PEs")
+	for _, e := range []struct {
+		name string
+		a    partalloc.Allocator
+	}{
+		{"A_C", partalloc.NewConstant(partalloc.MustNewMachine(n))},
+		{"A_M(d=1)", partalloc.NewPeriodic(partalloc.MustNewMachine(n), 1, partalloc.DecreasingSize)},
+		{"A_M-lazy(d=1)", partalloc.NewLazy(partalloc.MustNewMachine(n), 1, partalloc.DecreasingSize)},
+		{"A_G", partalloc.NewGreedy(partalloc.MustNewMachine(n))},
+		{"A_Rand", partalloc.NewRandom(partalloc.MustNewMachine(n), 9)},
+	} {
+		res := partalloc.Simulate(e.a, replayed, partalloc.SimOptions{})
+		fmt.Printf("%-14s  %-8d  %-6.2f  %-12d  %d\n",
+			e.name, res.MaxLoad, res.Ratio, res.Realloc.Reallocations, res.Realloc.MovedPEs)
+	}
+
+	fmt.Println("\nRe-running this binary reproduces this table exactly: the trace is")
+	fmt.Println("the experiment.")
+}

@@ -1,0 +1,62 @@
+package partalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"partalloc"
+)
+
+// Error-path coverage for the public surface.
+
+func TestNewMachineRejectsNonPow2(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 100} {
+		if _, err := partalloc.NewMachine(n); err == nil {
+			t.Errorf("NewMachine(%d) accepted", n)
+		}
+	}
+}
+
+func TestNewTopologyErrors(t *testing.T) {
+	if _, err := partalloc.NewTopology("torus", 16); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, err := partalloc.NewTopology("tree", 12); err == nil {
+		t.Error("non-power-of-two size accepted")
+	}
+}
+
+func TestLoadSequenceErrors(t *testing.T) {
+	if _, _, _, err := partalloc.LoadSequence(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Invalid sequence content must be rejected at load time.
+	bad := `{"format":1,"n":4,"events":[{"kind":"arrive","task":1,"size":8}]}`
+	if _, _, _, err := partalloc.LoadSequence(strings.NewReader(bad)); err == nil {
+		t.Error("oversized task accepted")
+	}
+}
+
+func TestSaveLoadRoundTripThroughFacade(t *testing.T) {
+	seq := partalloc.Figure1Sequence()
+	var b strings.Builder
+	if err := partalloc.SaveSequence(&b, seq, "fig1", 4); err != nil {
+		t.Fatal(err)
+	}
+	got, label, n, err := partalloc.LoadSequence(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "fig1" || n != 4 || len(got.Events) != len(seq.Events) {
+		t.Fatalf("round trip lost data: %q %d %d", label, n, len(got.Events))
+	}
+}
+
+func TestMustNewMachinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewMachine(3) did not panic")
+		}
+	}()
+	partalloc.MustNewMachine(3)
+}

@@ -1,0 +1,3 @@
+module partalloc
+
+go 1.22

@@ -1,0 +1,170 @@
+// Package adversary implements the paper's lower-bound constructions: the
+// interactive deterministic adversary of Theorem 4.3 and the oblivious
+// random sequence σ_r of Theorem 5.2. Both are used by the experiments to
+// show measured loads meeting the proven lower bounds, and by tests to
+// check the bounds against every implemented algorithm.
+package adversary
+
+import (
+	"fmt"
+	"sort"
+
+	"partalloc/internal/core"
+	"partalloc/internal/mathx"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// DetResult reports one run of the deterministic adversary.
+type DetResult struct {
+	// MaxLoad is the maximum PE load the algorithm incurred at any time.
+	MaxLoad int
+	// FinalLoad is the load at the end of the construction (the quantity
+	// Theorem 4.3's potential argument bounds).
+	FinalLoad int
+	// OptimalLoad is L* of the constructed sequence (1 by construction:
+	// the active size never exceeds N).
+	OptimalLoad int
+	// LowerBound is the factor ⌈½(min{d, log N}+1)⌉ the theorem promises.
+	LowerBound int
+	// Phases is p = min{d, log N}.
+	Phases int
+	// Sequence is the constructed adversarial sequence (for replay).
+	Sequence task.Sequence
+}
+
+// PhaseObserver receives the adversary's view at the end of each phase:
+// the phase index, the algorithm's current placements (task → submachine)
+// with task sizes, and the current PE loads. Tests use it to verify the
+// potential argument of Lemma 3 phase by phase.
+type PhaseObserver func(phase int, placements map[task.ID]tree.Node, sizes map[task.ID]int, loads []int)
+
+// RunDeterministic runs the Theorem 4.3 adversary against allocator a with
+// reallocation parameter d (d < 0 encodes ∞, capping p at log N).
+func RunDeterministic(a core.Allocator, d int) DetResult {
+	return RunDeterministicObserved(a, d, nil)
+}
+
+// RunDeterministicObserved is RunDeterministic with a per-phase observer.
+//
+// Construction (§4.2): phase 0 sends N size-1 tasks. In phase i
+// (1 ≤ i < p, p = min{d, log N}): for every 2^i-PE submachine T_i,
+// compute for each half H ∈ {left, right} the fragmentation potential
+// Q(H) = 2^i·l(H) − L(H), where l(H) is the maximum PE load in H and L(H)
+// the cumulative size of active tasks assigned within H; retire all active
+// tasks in the half with the smaller Q (ties retire the left half, since
+// the construction departs the left on Q_L ≤ Q_R); then, with S the
+// cumulative size of remaining active tasks, send ⌊(N−S)/2^i⌋ tasks of
+// size 2^i. The total arrival size is at most p·N ≤ d·N, so a
+// d-reallocation algorithm never gets to reallocate mid-sequence, and the
+// potential argument forces final load ≥ ⌈½(p+1)⌉ while L* = 1.
+func RunDeterministicObserved(a core.Allocator, d int, observe PhaseObserver) DetResult {
+	m := a.Machine()
+	n := m.N()
+	logN := mathx.Log2(n)
+	p := logN
+	if d >= 0 && d < logN {
+		p = d
+	}
+
+	b := task.NewBuilder()
+	// placements mirrors the algorithm's current assignment of active tasks.
+	placements := make(map[task.ID]tree.Node)
+	sizes := make(map[task.ID]int)
+	maxLoad := 0
+
+	arrive := func(size int) {
+		id := b.Arrive(size)
+		v := a.Arrive(task.Task{ID: id, Size: size})
+		if m.Size(v) != size {
+			panic(fmt.Sprintf("adversary: algorithm placed size-%d task on size-%d submachine", size, m.Size(v)))
+		}
+		placements[id] = v
+		sizes[id] = size
+		if l := a.MaxLoad(); l > maxLoad {
+			maxLoad = l
+		}
+	}
+	depart := func(id task.ID) {
+		b.Depart(id)
+		a.Depart(id)
+		delete(placements, id)
+		delete(sizes, id)
+	}
+
+	// Phase 0: N tasks of size 1.
+	for j := 0; j < n; j++ {
+		arrive(1)
+	}
+	if observe != nil {
+		observe(0, placements, sizes, a.PELoads())
+	}
+
+	for i := 1; i < p; i++ {
+		// Step 1: for each 2^i-PE submachine, retire the half with smaller
+		// Q(H) = 2^i·l(H) − L(H). All per-half aggregates are computed in
+		// one pass over PEs (for l) and one over placements (for L and the
+		// retirement buckets), so a phase costs O(N + A) rather than the
+		// naive O(N·A).
+		loads := a.PELoads()
+		halfSize := 1 << (i - 1)
+		halfDepth := logN - (i - 1)
+		numHalves := n / halfSize
+		maxPerHalf := make([]int64, numHalves)
+		for pe, l := range loads {
+			h := pe / halfSize
+			if int64(l) > maxPerHalf[h] {
+				maxPerHalf[h] = int64(l)
+			}
+		}
+		sizePerHalf := make([]int64, numHalves)
+		tasksPerHalf := make([][]task.ID, numHalves)
+		for id, v := range placements {
+			// Every active task has size ≤ 2^{i-1}, so its submachine lies
+			// within exactly one half.
+			h := m.SubmachineIndex(m.AncestorAt(v, halfDepth))
+			sizePerHalf[h] += int64(sizes[id])
+			tasksPerHalf[h] = append(tasksPerHalf[h], id)
+		}
+		for ti := 0; ti < numHalves/2; ti++ {
+			l, r := 2*ti, 2*ti+1
+			ql := int64(1)<<i*maxPerHalf[l] - sizePerHalf[l]
+			qr := int64(1)<<i*maxPerHalf[r] - sizePerHalf[r]
+			victim := l
+			if ql > qr {
+				victim = r
+			}
+			ids := tasksPerHalf[victim]
+			sortIDs(ids)
+			for _, id := range ids {
+				depart(id)
+			}
+		}
+		// Step 2: refill with size-2^i tasks up to total size N.
+		s := b.ActiveSize()
+		count := (int64(n) - s) / int64(int(1)<<i)
+		for j := int64(0); j < count; j++ {
+			arrive(1 << i)
+		}
+		if observe != nil {
+			observe(i, placements, sizes, a.PELoads())
+		}
+	}
+
+	seq := b.Sequence()
+	res := DetResult{
+		MaxLoad:     maxLoad,
+		FinalLoad:   a.MaxLoad(),
+		OptimalLoad: seq.OptimalLoad(n),
+		LowerBound:  mathx.HalfCeil(p + 1),
+		Phases:      p,
+		Sequence:    seq,
+	}
+	return res
+}
+
+// sortIDs orders task IDs ascending so departures are deterministic
+// regardless of map iteration order.
+func sortIDs(ids []task.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,82 @@
+// Package cli holds the flag-parsing helpers shared by the command-line
+// tools: algorithm construction by name and workload generation by name.
+// Keeping them here (tested) prevents the cmd/ binaries from drifting
+// apart in what they accept.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"partalloc/internal/core"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+	"partalloc/internal/workload"
+)
+
+// AlgorithmNames lists the accepted -algo values.
+func AlgorithmNames() []string {
+	return []string{"greedy", "basic", "constant", "periodic", "lazy", "random", "twochoice", "randtie"}
+}
+
+// AlgorithmUsage is the -algo flag help string.
+func AlgorithmUsage() string {
+	return "algorithm: " + strings.Join(AlgorithmNames(), "|")
+}
+
+// MakeAllocator constructs an allocator by CLI name. d is the
+// reallocation parameter for periodic/lazy; seed feeds the randomized
+// algorithms.
+func MakeAllocator(m *tree.Machine, algo string, d int, seed int64) (core.Allocator, error) {
+	switch algo {
+	case "greedy":
+		return core.NewGreedy(m), nil
+	case "basic":
+		return core.NewBasic(m), nil
+	case "constant":
+		return core.NewConstant(m), nil
+	case "periodic":
+		return core.NewPeriodic(m, d, core.DecreasingSize), nil
+	case "lazy":
+		return core.NewLazy(m, d, core.DecreasingSize), nil
+	case "random":
+		return core.NewRandom(m, seed), nil
+	case "twochoice":
+		return core.NewTwoChoice(m, seed), nil
+	case "randtie":
+		return core.NewGreedyRandomTie(m, seed), nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (want %s)", algo, strings.Join(AlgorithmNames(), "|"))
+}
+
+// WorkloadNames lists the accepted -workload values.
+func WorkloadNames() []string { return []string{"poisson", "saturation", "sessions"} }
+
+// WorkloadUsage is the -workload flag help string.
+func WorkloadUsage() string {
+	return "workload: " + strings.Join(WorkloadNames(), "|")
+}
+
+// WorkloadSpec carries the generator knobs the tools expose.
+type WorkloadSpec struct {
+	N        int
+	Arrivals int // poisson
+	Events   int // saturation
+	Sessions int // sessions
+	Seed     int64
+}
+
+// MakeWorkload generates a sequence by CLI name.
+func MakeWorkload(kind string, spec WorkloadSpec) (task.Sequence, error) {
+	switch kind {
+	case "poisson":
+		return workload.Poisson(workload.Config{N: spec.N, Arrivals: spec.Arrivals, Seed: spec.Seed}), nil
+	case "saturation":
+		return workload.Saturation(workload.SaturationConfig{
+			N: spec.N, Events: spec.Events, Seed: spec.Seed, Churn: 0.2,
+		}), nil
+	case "sessions":
+		return workload.Sessions(workload.SessionConfig{N: spec.N, Sessions: spec.Sessions, Seed: spec.Seed}), nil
+	}
+	return task.Sequence{}, fmt.Errorf("unknown workload %q (want %s)", kind, strings.Join(WorkloadNames(), "|"))
+}

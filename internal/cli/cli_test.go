@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+func TestMakeAllocatorAllNames(t *testing.T) {
+	m := tree.MustNew(16)
+	for _, name := range AlgorithmNames() {
+		a, err := MakeAllocator(m, name, 2, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		v := a.Arrive(task.Task{ID: 1, Size: 2})
+		if m.Size(v) != 2 {
+			t.Fatalf("%s placed wrong size", name)
+		}
+		a.Depart(1)
+	}
+	if _, err := MakeAllocator(m, "quantum", 2, 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestMakeWorkloadAllNames(t *testing.T) {
+	spec := WorkloadSpec{N: 32, Arrivals: 50, Events: 100, Sessions: 10, Seed: 3}
+	for _, name := range WorkloadNames() {
+		seq, err := MakeWorkload(name, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := seq.Validate(32); err != nil {
+			t.Fatalf("%s produced invalid sequence: %v", name, err)
+		}
+		if seq.NumArrivals() == 0 {
+			t.Fatalf("%s produced empty sequence", name)
+		}
+	}
+	if _, err := MakeWorkload("bursty", spec); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestUsageStringsMentionEveryName(t *testing.T) {
+	au := AlgorithmUsage()
+	for _, n := range AlgorithmNames() {
+		if !contains(au, n) {
+			t.Errorf("algorithm usage missing %q", n)
+		}
+	}
+	wu := WorkloadUsage()
+	for _, n := range WorkloadNames() {
+		if !contains(wu, n) {
+			t.Errorf("workload usage missing %q", n)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

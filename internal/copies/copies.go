@@ -1,0 +1,320 @@
+// Package copies implements the paper's "copies of T" abstraction used by
+// the basic algorithm A_B, the reallocation procedure A_R, and therefore
+// the 0-reallocation algorithm A_C and the d-reallocation algorithm A_M
+// (§3, §4.1).
+//
+// The allocator conceptually maintains a list of identical copies of the
+// machine T, ordered by creation time. Within a copy each PE may be
+// assigned to at most one task; a submachine of a copy is vacant if none of
+// its PEs is assigned. Each copy is emulated as a distinct thread layer on
+// the real machine, so the real load of a PE is the number of copies in
+// which it is occupied, and the machine's maximum load is at most the
+// number of copies.
+//
+// A Copy is a buddy allocator over the machine tree: it tracks, per node,
+// the number of occupied PEs in the subtree and the size of the largest
+// vacant submachine in the subtree, giving O(log N) leftmost-vacant search
+// and O(log N) occupy/vacate.
+package copies
+
+import (
+	"fmt"
+
+	"partalloc/internal/tree"
+)
+
+// Copy is one copy of the machine: a buddy allocator whose units are
+// complete subtrees. The zero value is unusable; use NewCopy.
+type Copy struct {
+	m         *tree.Machine
+	occupied  []int32 // occupied[v]: count of occupied PEs in v's subtree
+	maxVacant []int32 // maxVacant[v]: PE count of the largest vacant submachine within v's subtree
+	assigned  []bool  // assigned[v]: a task is assigned exactly at v
+	tasks     int     // number of assigned tasks
+}
+
+// NewCopy returns a fresh, fully vacant copy of machine m.
+func NewCopy(m *tree.Machine) *Copy {
+	nn := m.NumNodes() + 1
+	c := &Copy{
+		m:         m,
+		occupied:  make([]int32, nn),
+		maxVacant: make([]int32, nn),
+		assigned:  make([]bool, nn),
+	}
+	for v := 1; v <= m.NumNodes(); v++ {
+		c.maxVacant[v] = int32(m.Size(tree.Node(v)))
+	}
+	return c
+}
+
+// Machine returns the machine this copy mirrors.
+func (c *Copy) Machine() *tree.Machine { return c.m }
+
+// Tasks returns the number of tasks currently assigned in this copy.
+func (c *Copy) Tasks() int { return c.tasks }
+
+// Empty reports whether no task is assigned in this copy.
+func (c *Copy) Empty() bool { return c.tasks == 0 }
+
+// OccupiedPEs returns the number of occupied PEs in the whole copy.
+func (c *Copy) OccupiedPEs() int { return int(c.occupied[1]) }
+
+// Vacant reports whether the submachine rooted at v is vacant (no PE under
+// v is assigned to any task).
+func (c *Copy) Vacant(v tree.Node) bool { return c.occupied[v] == 0 }
+
+// Assigned reports whether a task is assigned exactly at v.
+func (c *Copy) Assigned(v tree.Node) bool { return c.assigned[v] }
+
+// FindVacant returns the leftmost vacant submachine of exactly the given
+// size (a power of two ≤ N), or ok=false if none exists. O(log N): descend
+// left-first, pruning subtrees whose maxVacant is too small.
+func (c *Copy) FindVacant(size int) (v tree.Node, ok bool) {
+	d := c.m.DepthForSize(size) // validates size
+	if c.maxVacant[1] < int32(size) {
+		return 0, false
+	}
+	u := tree.Node(1)
+	for depth := 0; depth < d; depth++ {
+		l, r := c.m.Left(u), c.m.Right(u)
+		if c.maxVacant[l] >= int32(size) {
+			u = l
+		} else {
+			u = r
+		}
+	}
+	return u, true
+}
+
+// Occupy assigns a task to the submachine rooted at v, which must be
+// vacant. All PEs under v become occupied.
+func (c *Copy) Occupy(v tree.Node) {
+	if !c.m.Valid(v) {
+		panic(fmt.Sprintf("copies: invalid node %d", v))
+	}
+	if c.occupied[v] != 0 {
+		panic(fmt.Sprintf("copies: Occupy(%d) of non-vacant submachine", v))
+	}
+	c.m.Ancestors(v, func(u tree.Node) bool {
+		if c.assigned[u] {
+			panic(fmt.Sprintf("copies: Occupy(%d) inside occupied submachine %d", v, u))
+		}
+		return true
+	})
+	size := int32(c.m.Size(v))
+	c.assigned[v] = true
+	c.tasks++
+	c.occupied[v] = size
+	c.maxVacant[v] = 0
+	for u := c.m.Parent(v); u >= 1; u = c.m.Parent(u) {
+		c.occupied[u] += size
+		c.recomputeVacant(u)
+		if u == 1 {
+			break
+		}
+	}
+}
+
+// Vacate releases the task assigned exactly at v.
+func (c *Copy) Vacate(v tree.Node) {
+	if !c.assigned[v] {
+		panic(fmt.Sprintf("copies: Vacate(%d) with no task assigned there", v))
+	}
+	size := int32(c.m.Size(v))
+	c.assigned[v] = false
+	c.tasks--
+	c.occupied[v] = 0
+	c.maxVacant[v] = size
+	for u := c.m.Parent(v); u >= 1; u = c.m.Parent(u) {
+		c.occupied[u] -= size
+		c.recomputeVacant(u)
+		if u == 1 {
+			break
+		}
+	}
+}
+
+func (c *Copy) recomputeVacant(u tree.Node) {
+	if c.occupied[u] == 0 {
+		c.maxVacant[u] = int32(c.m.Size(u))
+		return
+	}
+	l, r := c.maxVacant[c.m.Left(u)], c.maxVacant[c.m.Right(u)]
+	if l < r {
+		l = r
+	}
+	c.maxVacant[u] = l
+}
+
+// MaximalVacant returns the roots of all maximal vacant submachines — the
+// vacant submachines not properly contained in any other vacant submachine
+// — in leftmost order. Used to check the paper's Claim 1 of Lemma 2
+// (A_B never creates two maximal vacant submachines of the same size).
+func (c *Copy) MaximalVacant() []tree.Node {
+	var out []tree.Node
+	var walk func(v tree.Node)
+	walk = func(v tree.Node) {
+		if c.occupied[v] == 0 {
+			out = append(out, v)
+			return
+		}
+		if c.m.IsLeaf(v) {
+			return
+		}
+		walk(c.m.Left(v))
+		walk(c.m.Right(v))
+	}
+	if c.occupied[1] == 0 {
+		// Whole copy vacant: the root is the single maximal vacant submachine.
+		return []tree.Node{1}
+	}
+	walk(1)
+	return out
+}
+
+// AssignedNodes returns the nodes with tasks assigned, leftmost-first by
+// heap index order per depth via simple in-order scan of all nodes.
+func (c *Copy) AssignedNodes() []tree.Node {
+	var out []tree.Node
+	for v := 1; v <= c.m.NumNodes(); v++ {
+		if c.assigned[v] {
+			out = append(out, tree.Node(v))
+		}
+	}
+	return out
+}
+
+// CheckInvariants recomputes aggregates from scratch and panics on
+// mismatch; used in tests.
+func (c *Copy) CheckInvariants() {
+	var rec func(v tree.Node) (occ, vac int32)
+	rec = func(v tree.Node) (int32, int32) {
+		var occ, vac int32
+		if c.assigned[v] {
+			occ = int32(c.m.Size(v))
+			vac = 0
+		} else if c.m.IsLeaf(v) {
+			occ, vac = 0, 1
+		} else {
+			lo, lv := rec(c.m.Left(v))
+			ro, rv := rec(c.m.Right(v))
+			occ = lo + ro
+			if occ == 0 {
+				vac = int32(c.m.Size(v))
+			} else {
+				vac = lv
+				if rv > vac {
+					vac = rv
+				}
+			}
+		}
+		if occ != c.occupied[v] {
+			panic(fmt.Sprintf("copies: occupied[%d]=%d recomputed %d", v, c.occupied[v], occ))
+		}
+		if vac != c.maxVacant[v] {
+			panic(fmt.Sprintf("copies: maxVacant[%d]=%d recomputed %d", v, c.maxVacant[v], vac))
+		}
+		return occ, vac
+	}
+	rec(1)
+	// Nested assignment check: no assigned node may have an assigned
+	// ancestor (a task inside a region occupied by another task).
+	for v := 2; v <= c.m.NumNodes(); v++ {
+		if !c.assigned[v] {
+			continue
+		}
+		c.m.Ancestors(tree.Node(v), func(u tree.Node) bool {
+			if c.assigned[u] {
+				panic(fmt.Sprintf("copies: nested assignment %d under %d", v, u))
+			}
+			return true
+		})
+	}
+}
+
+// List is an ordered collection of copies, searched in creation order as
+// A_B and A_R require. The zero value is ready to use.
+type List struct {
+	m      *tree.Machine
+	copies []*Copy
+}
+
+// NewList returns an empty copy list for machine m.
+func NewList(m *tree.Machine) *List { return &List{m: m} }
+
+// Len returns the number of copies ever created and still held.
+func (l *List) Len() int { return len(l.copies) }
+
+// At returns the i-th copy (creation order).
+func (l *List) At(i int) *Copy { return l.copies[i] }
+
+// NonEmpty returns the number of copies currently holding at least one
+// task. Because copies are only appended, the machine's maximum real load
+// is at most this number... and at most Len().
+func (l *List) NonEmpty() int {
+	k := 0
+	for _, c := range l.copies {
+		if !c.Empty() {
+			k++
+		}
+	}
+	return k
+}
+
+// Place implements the shared placement rule of A_B and A_R: search the
+// copies in creation order for the first with a vacant submachine of the
+// given size, creating a new copy if none has one, and occupy the leftmost
+// such submachine. It returns the copy index and the node.
+func (l *List) Place(size int) (copyIdx int, v tree.Node) {
+	for i, c := range l.copies {
+		if u, ok := c.FindVacant(size); ok {
+			c.Occupy(u)
+			return i, u
+		}
+	}
+	c := NewCopy(l.m)
+	l.copies = append(l.copies, c)
+	u, ok := c.FindVacant(size)
+	if !ok {
+		panic("copies: fresh copy has no vacant submachine")
+	}
+	c.Occupy(u)
+	return len(l.copies) - 1, u
+}
+
+// Vacate releases the task at (copyIdx, v). Empty copies are retained so
+// copy indices stay stable; the load metric counts per-PE occupancy, so
+// retained empty copies do not distort measurements.
+func (l *List) Vacate(copyIdx int, v tree.Node) {
+	l.copies[copyIdx].Vacate(v)
+}
+
+// Reset drops all copies (used when a reallocation rebuilds the layout).
+func (l *List) Reset() { l.copies = l.copies[:0] }
+
+// PELoad returns the real load of PE p: the number of copies in which p is
+// occupied.
+func (l *List) PELoad(p int) int {
+	k := 0
+	leaf := l.m.LeafOf(p)
+	for _, c := range l.copies {
+		// PE p is occupied iff some ancestor-or-self of its leaf is assigned.
+		if c.assigned[leaf] {
+			k++
+			continue
+		}
+		occ := false
+		l.m.Ancestors(leaf, func(u tree.Node) bool {
+			if c.assigned[u] {
+				occ = true
+				return false
+			}
+			return true
+		})
+		if occ {
+			k++
+		}
+	}
+	return k
+}

@@ -1,0 +1,113 @@
+package copies
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partalloc/internal/tree"
+)
+
+// Property: for any op sequence driven from a seed, every copy's occupied
+// PE count equals the sum of its assigned submachine sizes, FindVacant
+// never returns an overlapping region, and vacating everything returns the
+// copy to pristine state.
+func TestCopyOpSequenceProperties(t *testing.T) {
+	f := func(seed int64, levelsRaw uint8, steps uint8) bool {
+		levels := int(levelsRaw)%6 + 1
+		m := tree.MustNew(1 << levels)
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCopy(m)
+		var live []tree.Node
+		for i := 0; i < int(steps); i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				j := rng.Intn(len(live))
+				c.Vacate(live[j])
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				size := 1 << rng.Intn(levels+1)
+				v, ok := c.FindVacant(size)
+				if !ok {
+					continue
+				}
+				// No overlap with anything live.
+				for _, u := range live {
+					if m.Contains(u, v) || m.Contains(v, u) {
+						return false
+					}
+				}
+				c.Occupy(v)
+				live = append(live, v)
+			}
+			// Occupancy accounting.
+			want := 0
+			for _, u := range live {
+				want += m.Size(u)
+			}
+			if c.OccupiedPEs() != want || c.Tasks() != len(live) {
+				return false
+			}
+		}
+		// Drain and verify pristine.
+		for _, u := range live {
+			c.Vacate(u)
+		}
+		if !c.Empty() || c.OccupiedPEs() != 0 {
+			return false
+		}
+		for size := 1; size <= m.N(); size *= 2 {
+			v, ok := c.FindVacant(size)
+			if !ok || m.SubmachineIndex(v) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: List.Place never returns an overlapping placement within a
+// copy and always uses the first copy that fits.
+func TestListPlaceProperties(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		m := tree.MustNew(16)
+		rng := rand.New(rand.NewSource(seed))
+		l := NewList(m)
+		type rec struct {
+			ci int
+			v  tree.Node
+		}
+		var live []rec
+		for i := 0; i < int(steps); i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				j := rng.Intn(len(live))
+				l.Vacate(live[j].ci, live[j].v)
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			size := 1 << rng.Intn(5)
+			ci, v := l.Place(size)
+			// First-fit over copies: no earlier copy may have had room.
+			for k := 0; k < ci; k++ {
+				if _, ok := l.At(k).FindVacant(size); ok {
+					return false
+				}
+			}
+			// No overlap within the copy.
+			for _, r := range live {
+				if r.ci == ci && (m.Contains(r.v, v) || m.Contains(v, r.v)) {
+					return false
+				}
+			}
+			live = append(live, rec{ci, v})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

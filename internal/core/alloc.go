@@ -1,0 +1,100 @@
+// Package core implements the paper's processor-allocation algorithms for
+// partitionable tree machines (Gao/Rosenberg/Sitaraman, SPAA'96):
+//
+//   - A_G  — the greedy on-line algorithm (§4.1): place each arriving task
+//     on the leftmost minimum-load submachine of its size; never
+//     reallocates. Load ≤ ⌈½(log N + 1)⌉·L* (Theorem 4.1).
+//   - A_B  — the basic first-fit-over-copies algorithm (§4.1): load ≤
+//     ⌈S/N⌉ where S is the total size of arrivals (Lemma 2).
+//   - A_R  — the reallocation procedure (§3): first-fit-decreasing over
+//     fresh copies; achieves ⌈S/N⌉ for any active set (Lemma 1).
+//   - A_C  — the constantly-reallocating algorithm (§3): reallocates on
+//     every arrival and achieves the optimal load L* (Theorem 3.1).
+//   - A_M  — the d-reallocation algorithm (§4.1): A_B between
+//     reallocations, A_R whenever the size arrived since the last
+//     reallocation reaches d·N; if d ≥ ⌈½(log N+1)⌉ it degenerates to A_G.
+//     Load ≤ min{d+1, ⌈½(log N+1)⌉}·L* (Theorem 4.2).
+//   - A_Rand — the oblivious randomized algorithm (§5.1): place each task
+//     uniformly at random among the submachines of its size. Expected load
+//     ≤ (3·log N/log log N + 1)·L* (Theorem 5.1).
+//
+// All allocators share the Allocator interface and expose their current
+// placements so adversaries (internal/adversary) and metrics
+// (internal/sim, internal/metrics) can observe them.
+package core
+
+import (
+	"fmt"
+
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// Allocator is an on-line processor-allocation algorithm. An arriving task
+// must be assigned a submachine of exactly its size immediately; a
+// departing task's submachine is released. Implementations are not safe
+// for concurrent use.
+type Allocator interface {
+	// Name identifies the algorithm (for reports), e.g. "A_G".
+	Name() string
+	// Machine returns the machine being managed.
+	Machine() *tree.Machine
+	// Arrive assigns t a submachine and returns its root node. Reallocating
+	// algorithms may also move other tasks during this call.
+	Arrive(t task.Task) tree.Node
+	// Depart releases the submachine of a previously arrived task.
+	Depart(id task.ID)
+	// MaxLoad returns the current machine-wide maximum PE load.
+	MaxLoad() int
+	// PELoads returns a snapshot of all PE loads.
+	PELoads() []int
+	// Placement returns the current node of an active task.
+	Placement(id task.ID) (tree.Node, bool)
+	// Active returns the number of active tasks.
+	Active() int
+}
+
+// ReallocStats quantifies reallocation work: how often global reallocation
+// ran, how many tasks physically changed submachine, and the cumulative PE
+// count of moved tasks (a proxy for checkpoint/migration traffic).
+type ReallocStats struct {
+	Reallocations int
+	Migrations    int64
+	MovedPEs      int64
+}
+
+// Reallocator is implemented by allocators that may migrate tasks.
+type Reallocator interface {
+	Allocator
+	ReallocStats() ReallocStats
+}
+
+// MigrationObserver receives one callback per migrated task during a
+// reallocation: the task moved from the submachine rooted at `from` to the
+// one rooted at `to`. Experiments use it to price migrations on different
+// physical topologies (see internal/topology.MigrationCost).
+type MigrationObserver func(id task.ID, from, to tree.Node)
+
+// Observable is implemented by allocators that can report individual
+// migrations.
+type Observable interface {
+	SetMigrationObserver(MigrationObserver)
+}
+
+// Factory builds a fresh allocator for a machine; experiments use it to
+// run the same algorithm across many machines and seeds.
+type Factory struct {
+	Name string
+	New  func(m *tree.Machine) Allocator
+}
+
+// ErrUnknownTask is wrapped by Depart panics; exported for tests.
+var ErrUnknownTask = fmt.Errorf("core: departure of unknown task")
+
+// checkArrival validates a task against the machine; shared by all
+// allocators.
+func checkArrival(m *tree.Machine, t task.Task) {
+	if t.Size < 1 || t.Size > m.N() {
+		panic(fmt.Sprintf("core: task %d size %d invalid for N=%d", t.ID, t.Size, m.N()))
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"partalloc/internal/copies"
+	"partalloc/internal/loadtree"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// placementRec locates a task inside a copy list.
+type placementRec struct {
+	copyIdx int
+	node    tree.Node
+	size    int
+}
+
+// Basic is algorithm A_B (§4.1): maintain an ordered list of copies of T;
+// on arrival, place the task in the leftmost vacant submachine of the first
+// copy that has one, creating a new copy if none does. It never
+// reallocates. Lemma 2: its load never exceeds ⌈S/N⌉ where S is the total
+// size of all arrivals so far (departures included in the sequence do not
+// help it, which is exactly why A_M pairs it with periodic reallocation).
+type Basic struct {
+	m      *tree.Machine
+	list   *copies.List
+	loads  *loadtree.Tree
+	placed map[task.ID]placementRec
+}
+
+// NewBasic returns A_B on machine m.
+func NewBasic(m *tree.Machine) *Basic {
+	return &Basic{
+		m:      m,
+		list:   copies.NewList(m),
+		loads:  loadtree.New(m),
+		placed: make(map[task.ID]placementRec),
+	}
+}
+
+// BasicFactory builds A_B allocators.
+func BasicFactory() Factory {
+	return Factory{Name: "A_B", New: func(m *tree.Machine) Allocator { return NewBasic(m) }}
+}
+
+// Name implements Allocator.
+func (b *Basic) Name() string { return "A_B" }
+
+// Machine implements Allocator.
+func (b *Basic) Machine() *tree.Machine { return b.m }
+
+// Arrive implements Allocator with first-fit over copies.
+func (b *Basic) Arrive(t task.Task) tree.Node {
+	checkArrival(b.m, t)
+	if _, dup := b.placed[t.ID]; dup {
+		panic(fmt.Sprintf("core: duplicate arrival of task %d", t.ID))
+	}
+	ci, v := b.list.Place(t.Size)
+	b.loads.Place(v)
+	b.placed[t.ID] = placementRec{copyIdx: ci, node: v, size: t.Size}
+	return v
+}
+
+// Depart implements Allocator.
+func (b *Basic) Depart(id task.ID) {
+	rec, ok := b.placed[id]
+	if !ok {
+		panic(fmt.Errorf("%w: %d (A_B)", ErrUnknownTask, id))
+	}
+	b.list.Vacate(rec.copyIdx, rec.node)
+	b.loads.Remove(rec.node)
+	delete(b.placed, id)
+}
+
+// MaxLoad implements Allocator.
+func (b *Basic) MaxLoad() int { return b.loads.MaxLoad() }
+
+// PELoads implements Allocator.
+func (b *Basic) PELoads() []int { return b.loads.Loads() }
+
+// Placement implements Allocator.
+func (b *Basic) Placement(id task.ID) (tree.Node, bool) {
+	rec, ok := b.placed[id]
+	return rec.node, ok
+}
+
+// Active implements Allocator.
+func (b *Basic) Active() int { return len(b.placed) }
+
+// Copies returns the number of copies A_B has created so far; Lemma 2
+// bounds it by ⌈S/N⌉. Exposed for the tests that verify the lemma.
+func (b *Basic) Copies() int { return b.list.Len() }

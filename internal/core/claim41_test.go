@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"partalloc/internal/mathx"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// The proof of Theorem 4.1 rests on this claim: when a task of size
+// 2^x < N arrives, A_G can place it on a submachine of the left subtree
+// with load < ⌈(½x+1)·L*⌉ or on one of the right subtree with load
+// < ⌊(½x+1)·L*⌋. Verify the claim white-box during greedy runs: at every
+// arrival, inspect all candidate submachines before placement and check
+// that one of the two disjuncts holds (using the running prefix L*, which
+// is what the adversary argument quantifies over).
+func TestTheorem41InnerClaim(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 << (2 + rng.Intn(6))
+		m := tree.MustNew(n)
+		g := NewGreedy(m)
+		b := task.NewBuilder()
+		var maxActive int64
+		for step := 0; step < 400; step++ {
+			act := b.Active()
+			if len(act) > 0 && rng.Intn(2) == 0 {
+				id := act[rng.Intn(len(act))]
+				b.Depart(id)
+				g.Depart(id)
+				continue
+			}
+			x := rng.Intn(mathx.Log2(n)) // sizes < N, as the claim assumes
+			size := 1 << x
+			// Evaluate the claim BEFORE the arrival is placed, using the
+			// running optimal load of the sequence including this arrival.
+			if b.ActiveSize()+int64(size) > maxActive {
+				maxActive = b.ActiveSize() + int64(size)
+			}
+			lstar := int(mathx.CeilDiv64(maxActive, int64(n)))
+			loads := g.PELoads()
+			subLoad := func(v tree.Node) int {
+				lo, hi := m.PERange(v)
+				l := 0
+				for p := lo; p < hi; p++ {
+					if loads[p] > l {
+						l = loads[p]
+					}
+				}
+				return l
+			}
+			leftOK, rightOK := false, false
+			leftBound := mathx.CeilDiv((x+2)*lstar, 2) // ⌈(½x+1)L*⌉
+			rightBound := (x + 2) * lstar / 2          // ⌊(½x+1)L*⌋
+			for _, v := range m.Submachines(size) {
+				l := subLoad(v)
+				if m.InLeftHalf(v) || v == m.Root() {
+					if l < leftBound {
+						leftOK = true
+					}
+				} else {
+					if l < rightBound {
+						rightOK = true
+					}
+				}
+			}
+			if !leftOK && !rightOK {
+				t.Fatalf("trial %d step %d N=%d size=%d L*=%d: Theorem 4.1 claim violated (bounds %d/%d)",
+					trial, step, n, size, lstar, leftBound, rightBound)
+			}
+			id := b.Arrive(size)
+			g.Arrive(task.Task{ID: id, Size: size})
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"partalloc/internal/loadtree"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// Greedy is algorithm A_G (§4.1): on arrival of a size-2^x task, compute
+// the loads of all 2^x-PE submachines and assign the task to the leftmost
+// one with the smallest load. It never reallocates. Theorem 4.1: its load
+// is at most ⌈½(log N + 1)⌉ · L*.
+type Greedy struct {
+	m      *tree.Machine
+	loads  *loadtree.Tree
+	placed map[task.ID]tree.Node
+}
+
+// NewGreedy returns A_G on machine m.
+func NewGreedy(m *tree.Machine) *Greedy {
+	return &Greedy{m: m, loads: loadtree.New(m), placed: make(map[task.ID]tree.Node)}
+}
+
+// GreedyFactory builds A_G allocators.
+func GreedyFactory() Factory {
+	return Factory{Name: "A_G", New: func(m *tree.Machine) Allocator { return NewGreedy(m) }}
+}
+
+// Name implements Allocator.
+func (g *Greedy) Name() string { return "A_G" }
+
+// Machine implements Allocator.
+func (g *Greedy) Machine() *tree.Machine { return g.m }
+
+// Arrive implements Allocator using the leftmost-minimum-load rule.
+func (g *Greedy) Arrive(t task.Task) tree.Node {
+	checkArrival(g.m, t)
+	if _, dup := g.placed[t.ID]; dup {
+		panic(fmt.Sprintf("core: duplicate arrival of task %d", t.ID))
+	}
+	v, _ := g.loads.LeftmostMinLoad(t.Size)
+	g.loads.Place(v)
+	g.placed[t.ID] = v
+	return v
+}
+
+// Depart implements Allocator.
+func (g *Greedy) Depart(id task.ID) {
+	v, ok := g.placed[id]
+	if !ok {
+		panic(fmt.Errorf("%w: %d (A_G)", ErrUnknownTask, id))
+	}
+	g.loads.Remove(v)
+	delete(g.placed, id)
+}
+
+// MaxLoad implements Allocator.
+func (g *Greedy) MaxLoad() int { return g.loads.MaxLoad() }
+
+// PELoads implements Allocator.
+func (g *Greedy) PELoads() []int { return g.loads.Loads() }
+
+// Placement implements Allocator.
+func (g *Greedy) Placement(id task.ID) (tree.Node, bool) {
+	v, ok := g.placed[id]
+	return v, ok
+}
+
+// Active implements Allocator.
+func (g *Greedy) Active() int { return len(g.placed) }

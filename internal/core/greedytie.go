@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"partalloc/internal/loadtree"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// GreedyRandomTie is the tie-breaking ablation of A_G: it follows the same
+// minimum-load placement rule but breaks ties uniformly at random instead
+// of leftmost. Theorem 4.1's proof only uses minimum-load selection, so
+// the bound applies to it unchanged; the variant exists to show that the
+// leftmost rule is a determinism device, not a load-shaping one (and to
+// measure whether randomized ties change average-case packing — E3's
+// ablation row).
+type GreedyRandomTie struct {
+	m      *tree.Machine
+	rng    *rand.Rand
+	loads  *loadtree.Tree
+	placed map[task.ID]tree.Node
+}
+
+// NewGreedyRandomTie returns the random-tie greedy variant.
+func NewGreedyRandomTie(m *tree.Machine, seed int64) *GreedyRandomTie {
+	return &GreedyRandomTie{
+		m:      m,
+		rng:    rand.New(rand.NewSource(seed)),
+		loads:  loadtree.New(m),
+		placed: make(map[task.ID]tree.Node),
+	}
+}
+
+// GreedyRandomTieFactory builds random-tie greedy allocators.
+func GreedyRandomTieFactory(seed int64) Factory {
+	return Factory{
+		Name: "A_G-randtie",
+		New:  func(m *tree.Machine) Allocator { return NewGreedyRandomTie(m, seed) },
+	}
+}
+
+// Name implements Allocator.
+func (g *GreedyRandomTie) Name() string { return "A_G-randtie" }
+
+// Machine implements Allocator.
+func (g *GreedyRandomTie) Machine() *tree.Machine { return g.m }
+
+// Arrive implements Allocator: find the minimum load via the leftmost-min
+// query, then reservoir-sample uniformly among all submachines tying it.
+func (g *GreedyRandomTie) Arrive(t task.Task) tree.Node {
+	checkArrival(g.m, t)
+	if _, dup := g.placed[t.ID]; dup {
+		panic(fmt.Sprintf("core: duplicate arrival of task %d", t.ID))
+	}
+	_, min := g.loads.LeftmostMinLoad(t.Size)
+	// Reservoir-sample among ties.
+	var pick tree.Node
+	count := 0
+	for _, v := range g.m.Submachines(t.Size) {
+		if g.loads.SubmachineLoad(v) == min {
+			count++
+			if g.rng.Intn(count) == 0 {
+				pick = v
+			}
+		}
+	}
+	g.loads.Place(pick)
+	g.placed[t.ID] = pick
+	return pick
+}
+
+// Depart implements Allocator.
+func (g *GreedyRandomTie) Depart(id task.ID) {
+	v, ok := g.placed[id]
+	if !ok {
+		panic(fmt.Errorf("%w: %d (A_G-randtie)", ErrUnknownTask, id))
+	}
+	g.loads.Remove(v)
+	delete(g.placed, id)
+}
+
+// MaxLoad implements Allocator.
+func (g *GreedyRandomTie) MaxLoad() int { return g.loads.MaxLoad() }
+
+// PELoads implements Allocator.
+func (g *GreedyRandomTie) PELoads() []int { return g.loads.Loads() }
+
+// Placement implements Allocator.
+func (g *GreedyRandomTie) Placement(id task.ID) (tree.Node, bool) {
+	v, ok := g.placed[id]
+	return v, ok
+}
+
+// Active implements Allocator.
+func (g *GreedyRandomTie) Active() int { return len(g.placed) }

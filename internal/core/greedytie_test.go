@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"partalloc/internal/mathx"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+func TestGreedyRandomTieContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 64
+	m := tree.MustNew(n)
+	a := NewGreedyRandomTie(m, 1)
+	seq := randomSequence(rng, n, 500)
+	active := map[task.ID]tree.Node{}
+	for _, e := range seq.Events {
+		switch e.Kind {
+		case task.Arrive:
+			v := a.Arrive(task.Task{ID: e.Task, Size: e.Size})
+			if m.Size(v) != e.Size {
+				t.Fatalf("wrong size placement")
+			}
+			active[e.Task] = v
+		case task.Depart:
+			a.Depart(e.Task)
+			delete(active, e.Task)
+		}
+		want := make([]int, n)
+		for _, v := range active {
+			lo, hi := m.PERange(v)
+			for p := lo; p < hi; p++ {
+				want[p]++
+			}
+		}
+		got := a.PELoads()
+		for p := range want {
+			if want[p] != got[p] {
+				t.Fatalf("PE %d load %d want %d", p, got[p], want[p])
+			}
+		}
+	}
+}
+
+// The random-tie variant picks a *minimum-load* submachine at every step
+// (its defining property), so Theorem 4.1's bound still applies.
+func TestGreedyRandomTieAlwaysMinLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	n := 32
+	m := tree.MustNew(n)
+	a := NewGreedyRandomTie(m, 2)
+	active := []task.ID{}
+	next := task.ID(1)
+	for step := 0; step < 800; step++ {
+		if len(active) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(active))
+			a.Depart(active[i])
+			active[i] = active[len(active)-1]
+			active = active[:len(active)-1]
+			continue
+		}
+		size := 1 << rng.Intn(6)
+		// Compute the minimum submachine load before the arrival.
+		min := 1 << 30
+		loads := a.PELoads()
+		for _, v := range m.Submachines(size) {
+			lo, hi := m.PERange(v)
+			l := 0
+			for p := lo; p < hi; p++ {
+				if loads[p] > l {
+					l = loads[p]
+				}
+			}
+			if l < min {
+				min = l
+			}
+		}
+		id := next
+		next++
+		v := a.Arrive(task.Task{ID: id, Size: size})
+		// The chosen submachine's load before placement must equal min.
+		lo, hi := m.PERange(v)
+		l := 0
+		for p := lo; p < hi; p++ {
+			if loads[p] > l {
+				l = loads[p]
+			}
+		}
+		if l != min {
+			t.Fatalf("step %d: placed on load %d, min was %d", step, l, min)
+		}
+		active = append(active, id)
+	}
+}
+
+func TestGreedyRandomTieTheorem41(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 << (2 + rng.Intn(6))
+		a := NewGreedyRandomTie(tree.MustNew(n), int64(trial))
+		seq := randomSequence(rng, n, 300)
+		got := runSequence(a, seq)
+		lstar := seq.OptimalLoad(n)
+		if got > mathx.GreedyBound(n)*lstar {
+			t.Fatalf("trial %d N=%d: load %d exceeds Theorem 4.1 bound", trial, n, got)
+		}
+	}
+}
+
+// Different seeds must eventually pick different tie-breaks (sanity that
+// the variant is actually randomized).
+func TestGreedyRandomTieIsRandom(t *testing.T) {
+	n := 64
+	diverged := false
+	for trial := 0; trial < 10 && !diverged; trial++ {
+		a := NewGreedyRandomTie(tree.MustNew(n), 1)
+		b := NewGreedyRandomTie(tree.MustNew(n), 2)
+		for i := 1; i <= 16; i++ {
+			va := a.Arrive(task.Task{ID: task.ID(i), Size: 1})
+			vb := b.Arrive(task.Task{ID: task.ID(i), Size: 1})
+			if va != vb {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 1 and 2 never diverged over 160 size-1 placements")
+	}
+}

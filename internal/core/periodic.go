@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"partalloc/internal/copies"
+	"partalloc/internal/loadtree"
+	"partalloc/internal/mathx"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// Periodic is the d-reallocation algorithm A_M (§4.1). Per the paper:
+//
+//   - if d ≥ ⌈½(log N + 1)⌉ (or d = ∞, encoded as d < 0), reallocation
+//     cannot beat greedy's bound, so it simply runs A_G and never
+//     reallocates;
+//   - otherwise it places arrivals with A_B, and whenever the cumulative
+//     size of arrivals since the last reallocation reaches d·N it
+//     reallocates every active task with procedure A_R
+//     (first-fit-decreasing into fresh copies), the arrival that crossed
+//     the threshold included.
+//
+// Theorem 4.2: its load is at most min{d+1, ⌈½(log N+1)⌉} · L*.
+// With d = 0 it reallocates on every arrival and is exactly the optimal
+// algorithm A_C of §3 (Theorem 3.1: load = L*).
+type Periodic struct {
+	m *tree.Machine
+	d int // -1 encodes infinity
+
+	// greedy mode (d ≥ greedy bound)
+	greedy *Greedy
+
+	// copy mode (d < greedy bound)
+	order      ReallocOrder
+	list       *copies.List
+	loads      *loadtree.Tree
+	placed     map[task.ID]placementRec
+	sinceRealo int64 // cumulative arrival size since last reallocation
+	stats      ReallocStats
+	observer   MigrationObserver
+}
+
+// SetMigrationObserver implements Observable.
+func (p *Periodic) SetMigrationObserver(fn MigrationObserver) { p.observer = fn }
+
+// NewPeriodic returns A_M with reallocation parameter d on machine m.
+// d < 0 encodes d = ∞ (never reallocate). The order parameter selects the
+// paper's first-fit-decreasing (DecreasingSize) or the ablation
+// ArrivalOrder for the reallocation procedure.
+func NewPeriodic(m *tree.Machine, d int, order ReallocOrder) *Periodic {
+	p := &Periodic{m: m, d: d, order: order}
+	if p.greedyMode() {
+		p.greedy = NewGreedy(m)
+	} else {
+		p.list = copies.NewList(m)
+		p.loads = loadtree.New(m)
+		p.placed = make(map[task.ID]placementRec)
+	}
+	return p
+}
+
+// NewConstant returns the 0-reallocation algorithm A_C of §3: A_M with
+// d = 0, which reallocates all active tasks on every arrival and achieves
+// the optimal load L* (Theorem 3.1).
+func NewConstant(m *tree.Machine) *Periodic {
+	return NewPeriodic(m, 0, DecreasingSize)
+}
+
+// PeriodicFactory builds A_M(d) allocators.
+func PeriodicFactory(d int) Factory {
+	return Factory{
+		Name: fmt.Sprintf("A_M(d=%d)", d),
+		New:  func(m *tree.Machine) Allocator { return NewPeriodic(m, d, DecreasingSize) },
+	}
+}
+
+// ConstantFactory builds A_C allocators.
+func ConstantFactory() Factory {
+	return Factory{Name: "A_C", New: func(m *tree.Machine) Allocator { return NewConstant(m) }}
+}
+
+func (p *Periodic) greedyMode() bool {
+	bound := mathx.GreedyBound(p.m.N())
+	return p.d < 0 || p.d >= bound
+}
+
+// D returns the reallocation parameter (-1 for ∞).
+func (p *Periodic) D() int { return p.d }
+
+// Name implements Allocator.
+func (p *Periodic) Name() string {
+	if p.d == 0 {
+		return "A_C"
+	}
+	if p.d < 0 {
+		return "A_M(d=inf)"
+	}
+	return fmt.Sprintf("A_M(d=%d)", p.d)
+}
+
+// Machine implements Allocator.
+func (p *Periodic) Machine() *tree.Machine { return p.m }
+
+// Arrive implements Allocator.
+func (p *Periodic) Arrive(t task.Task) tree.Node {
+	if p.greedy != nil {
+		return p.greedy.Arrive(t)
+	}
+	checkArrival(p.m, t)
+	if _, dup := p.placed[t.ID]; dup {
+		panic(fmt.Sprintf("core: duplicate arrival of task %d", t.ID))
+	}
+	p.sinceRealo += int64(t.Size)
+	if p.sinceRealo >= int64(p.d)*int64(p.m.N()) {
+		// Threshold reached (with d = 0 that is every arrival): reallocate
+		// every active task, the new arrival included.
+		p.placed[t.ID] = placementRec{copyIdx: -1, node: 0, size: t.Size}
+		p.reallocate()
+		p.sinceRealo = 0
+		return p.placed[t.ID].node
+	}
+	ci, v := p.list.Place(t.Size)
+	p.loads.Place(v)
+	p.placed[t.ID] = placementRec{copyIdx: ci, node: v, size: t.Size}
+	return v
+}
+
+// reallocate runs procedure A_R over the active set, updating migration
+// statistics (a task "migrates" when its submachine root changes; moving
+// between copies at the same node keeps the same PEs and is free).
+func (p *Periodic) reallocate() {
+	tasks := make([]task.Task, 0, len(p.placed))
+	for id, rec := range p.placed {
+		tasks = append(tasks, task.Task{ID: id, Size: rec.size})
+	}
+	list, placed := ReallocateAll(p.m, tasks, p.order)
+	p.stats.Reallocations++
+	newLoads := loadtree.New(p.m)
+	for id, rec := range placed {
+		old := p.placed[id]
+		// old.node == 0 marks the arrival that triggered this reallocation;
+		// it had no previous placement, so it cannot "migrate".
+		if old.node != 0 && old.node != rec.node {
+			p.stats.Migrations++
+			p.stats.MovedPEs += int64(rec.size)
+			if p.observer != nil {
+				p.observer(id, old.node, rec.node)
+			}
+		}
+		newLoads.Place(rec.node)
+	}
+	p.list = list
+	p.placed = placed
+	p.loads = newLoads
+}
+
+// Depart implements Allocator.
+func (p *Periodic) Depart(id task.ID) {
+	if p.greedy != nil {
+		p.greedy.Depart(id)
+		return
+	}
+	rec, ok := p.placed[id]
+	if !ok {
+		panic(fmt.Errorf("%w: %d (%s)", ErrUnknownTask, id, p.Name()))
+	}
+	p.list.Vacate(rec.copyIdx, rec.node)
+	p.loads.Remove(rec.node)
+	delete(p.placed, id)
+}
+
+// MaxLoad implements Allocator.
+func (p *Periodic) MaxLoad() int {
+	if p.greedy != nil {
+		return p.greedy.MaxLoad()
+	}
+	return p.loads.MaxLoad()
+}
+
+// PELoads implements Allocator.
+func (p *Periodic) PELoads() []int {
+	if p.greedy != nil {
+		return p.greedy.PELoads()
+	}
+	return p.loads.Loads()
+}
+
+// Placement implements Allocator.
+func (p *Periodic) Placement(id task.ID) (tree.Node, bool) {
+	if p.greedy != nil {
+		return p.greedy.Placement(id)
+	}
+	rec, ok := p.placed[id]
+	return rec.node, ok
+}
+
+// Active implements Allocator.
+func (p *Periodic) Active() int {
+	if p.greedy != nil {
+		return p.greedy.Active()
+	}
+	return len(p.placed)
+}
+
+// ReallocStats implements Reallocator.
+func (p *Periodic) ReallocStats() ReallocStats { return p.stats }
+
+// UsesGreedy reports whether this instance delegates to A_G (d at or above
+// the greedy bound).
+func (p *Periodic) UsesGreedy() bool { return p.greedy != nil }

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"sort"
+
+	"partalloc/internal/copies"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// ReallocOrder selects how the reallocation procedure orders tasks before
+// first-fit placement.
+type ReallocOrder int
+
+const (
+	// DecreasingSize is the paper's A_R order (§3): sort by decreasing
+	// size. First-fit-decreasing over complete subtrees leaves no vacancy
+	// except possibly in the last copy (Lemma 1), so the resulting load is
+	// exactly ⌈S/N⌉.
+	DecreasingSize ReallocOrder = iota
+	// ArrivalOrder is the ablation variant: first-fit in task-ID (arrival)
+	// order. Lemma 1 does not hold for it; the E5 ablation table shows the
+	// fragmentation it admits.
+	ArrivalOrder
+)
+
+func (o ReallocOrder) String() string {
+	if o == ArrivalOrder {
+		return "arrival-order"
+	}
+	return "decreasing-size"
+}
+
+// ReallocateAll is the paper's reallocation procedure A_R (§3): take the
+// active task set, sort it (per order), and first-fit each task into the
+// first copy of T with a vacant submachine of its size, creating copies as
+// needed; within a copy, take the leftmost vacant submachine. It returns
+// the fresh copy list and the new placements.
+//
+// Ties in size are broken by task ID so the procedure is deterministic.
+func ReallocateAll(m *tree.Machine, tasks []task.Task, order ReallocOrder) (*copies.List, map[task.ID]placementRec) {
+	sorted := make([]task.Task, len(tasks))
+	copy(sorted, tasks)
+	switch order {
+	case DecreasingSize:
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].Size != sorted[j].Size {
+				return sorted[i].Size > sorted[j].Size
+			}
+			return sorted[i].ID < sorted[j].ID
+		})
+	case ArrivalOrder:
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	}
+	list := copies.NewList(m)
+	placed := make(map[task.ID]placementRec, len(sorted))
+	for _, t := range sorted {
+		ci, v := list.Place(t.Size)
+		placed[t.ID] = placementRec{copyIdx: ci, node: v, size: t.Size}
+	}
+	return list, placed
+}

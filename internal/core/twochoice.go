@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"partalloc/internal/loadtree"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// TwoChoice is the balanced-allocations baseline (Azar, Broder, Karlin,
+// Upfal, STOC'94 — the paper's related work [2]) adapted to submachine
+// allocation: on arrival, draw two submachines of the task's size
+// uniformly at random and place the task on the less loaded one (leftmost
+// on a tie). It never reallocates.
+//
+// It sits between the oblivious A_Rand and the fully load-aware A_G: two
+// random probes instead of a machine-wide scan, yet the classic
+// power-of-two-choices effect drops the expected excess load from
+// Θ(log N/log log N) to Θ(log log N) on the balls-into-bins workload —
+// experiment E6 shows the separation.
+type TwoChoice struct {
+	m      *tree.Machine
+	rng    *rand.Rand
+	loads  *loadtree.Tree
+	placed map[task.ID]tree.Node
+}
+
+// NewTwoChoice returns the two-choice allocator with the given seed.
+func NewTwoChoice(m *tree.Machine, seed int64) *TwoChoice {
+	return &TwoChoice{
+		m:      m,
+		rng:    rand.New(rand.NewSource(seed)),
+		loads:  loadtree.New(m),
+		placed: make(map[task.ID]tree.Node),
+	}
+}
+
+// TwoChoiceFactory builds two-choice allocators with the given seed.
+func TwoChoiceFactory(seed int64) Factory {
+	return Factory{Name: "A_2choice", New: func(m *tree.Machine) Allocator { return NewTwoChoice(m, seed) }}
+}
+
+// Name implements Allocator.
+func (t *TwoChoice) Name() string { return "A_2choice" }
+
+// Machine implements Allocator.
+func (t *TwoChoice) Machine() *tree.Machine { return t.m }
+
+// Arrive implements Allocator with the two-choice rule.
+func (t *TwoChoice) Arrive(tk task.Task) tree.Node {
+	checkArrival(t.m, tk)
+	if _, dup := t.placed[tk.ID]; dup {
+		panic(fmt.Sprintf("core: duplicate arrival of task %d", tk.ID))
+	}
+	k := t.m.NumSubmachines(tk.Size)
+	a := t.m.SubmachineAt(tk.Size, t.rng.Intn(k))
+	b := t.m.SubmachineAt(tk.Size, t.rng.Intn(k))
+	v := a
+	la, lb := t.loads.SubmachineLoad(a), t.loads.SubmachineLoad(b)
+	if lb < la || (lb == la && b < a) {
+		v = b
+	}
+	t.loads.Place(v)
+	t.placed[tk.ID] = v
+	return v
+}
+
+// Depart implements Allocator.
+func (t *TwoChoice) Depart(id task.ID) {
+	v, ok := t.placed[id]
+	if !ok {
+		panic(fmt.Errorf("%w: %d (A_2choice)", ErrUnknownTask, id))
+	}
+	t.loads.Remove(v)
+	delete(t.placed, id)
+}
+
+// MaxLoad implements Allocator.
+func (t *TwoChoice) MaxLoad() int { return t.loads.MaxLoad() }
+
+// PELoads implements Allocator.
+func (t *TwoChoice) PELoads() []int { return t.loads.Loads() }
+
+// Placement implements Allocator.
+func (t *TwoChoice) Placement(id task.ID) (tree.Node, bool) {
+	v, ok := t.placed[id]
+	return v, ok
+}
+
+// Active implements Allocator.
+func (t *TwoChoice) Active() int { return len(t.placed) }

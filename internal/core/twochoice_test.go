@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partalloc/internal/mathx"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+func TestTwoChoiceContract(t *testing.T) {
+	m := tree.MustNew(16)
+	a := NewTwoChoice(m, 1)
+	v := a.Arrive(task.Task{ID: 1, Size: 4})
+	if m.Size(v) != 4 || a.Active() != 1 {
+		t.Fatal("placement wrong")
+	}
+	if got, ok := a.Placement(1); !ok || got != v {
+		t.Fatal("placement lookup wrong")
+	}
+	a.Depart(1)
+	if a.Active() != 0 || a.MaxLoad() != 0 {
+		t.Fatal("departure wrong")
+	}
+}
+
+func TestTwoChoicePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	m := tree.MustNew(8)
+	mustPanic("unknown depart", func() { NewTwoChoice(m, 1).Depart(9) })
+	mustPanic("dup arrive", func() {
+		a := NewTwoChoice(m, 1)
+		a.Arrive(task.Task{ID: 1, Size: 1})
+		a.Arrive(task.Task{ID: 1, Size: 1})
+	})
+	mustPanic("bad size", func() { NewTwoChoice(m, 1).Arrive(task.Task{ID: 1, Size: 16}) })
+}
+
+// The power-of-two-choices effect: on the balls-into-bins workload
+// (N size-1 tasks, L* = 1) the two-choice max load must be well below the
+// one-choice (A_Rand) max load, on average.
+func TestTwoChoiceBeatsOneChoice(t *testing.T) {
+	const n = 1 << 12
+	b := task.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.Arrive(1)
+	}
+	seq := b.Sequence()
+	const seeds = 20
+	var one, two float64
+	for s := int64(0); s < seeds; s++ {
+		one += float64(runSequence(NewRandom(tree.MustNew(n), s), seq))
+		two += float64(runSequence(NewTwoChoice(tree.MustNew(n), s), seq))
+	}
+	one /= seeds
+	two /= seeds
+	if two >= one {
+		t.Fatalf("two-choice mean %g not below one-choice %g", two, one)
+	}
+	// Expected scales: one-choice ≈ ln n/ln ln n ≈ 3.4; two-choice ≈
+	// log2 ln n ≈ 3. Allow wide but meaningful margins.
+	logN := float64(mathx.Log2(n))
+	if two > math.Log2(logN)+3 {
+		t.Errorf("two-choice mean %g far above Θ(log log N) ≈ %g", two, math.Log2(logN))
+	}
+}
+
+// Under churn the allocator must stay consistent (exercised via the shared
+// contract machinery).
+func TestTwoChoiceChurnConsistency(t *testing.T) {
+	m := tree.MustNew(32)
+	a := NewTwoChoice(m, 3)
+	seqRng := rand.New(rand.NewSource(17))
+	active := map[task.ID]tree.Node{}
+	nextID := task.ID(1)
+	for step := 0; step < 2000; step++ {
+		if len(active) > 0 && seqRng.Intn(3) == 0 {
+			for id := range active {
+				a.Depart(id)
+				delete(active, id)
+				break
+			}
+		} else {
+			id := nextID
+			nextID++
+			active[id] = a.Arrive(task.Task{ID: id, Size: 1 << seqRng.Intn(6)})
+		}
+		// Spot-check loads.
+		loads := a.PELoads()
+		want := make([]int, 32)
+		for _, v := range active {
+			lo, hi := m.PERange(v)
+			for p := lo; p < hi; p++ {
+				want[p]++
+			}
+		}
+		for p := range want {
+			if want[p] != loads[p] {
+				t.Fatalf("step %d: PE %d load %d want %d", step, p, loads[p], want[p])
+			}
+		}
+	}
+}

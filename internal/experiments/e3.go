@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"partalloc/internal/adversary"
+	"partalloc/internal/core"
+	"partalloc/internal/mathx"
+	"partalloc/internal/report"
+	"partalloc/internal/sim"
+	"partalloc/internal/stats"
+	"partalloc/internal/tree"
+)
+
+// E3Row is one machine size of the greedy-upper-bound table.
+type E3Row struct {
+	N            int
+	Bound        int     // ⌈½(log N + 1)⌉
+	AdvRatio     float64 // ratio on the Theorem 4.3 adversary sequence
+	RandMean     float64 // mean ratio over random saturation workloads
+	RandMax      float64
+	RandTieMean  float64 // ablation: min-load greedy with random tie-breaking
+	AdvFinalLoad int
+}
+
+// E3GreedyUpper measures greedy A_G against the Theorem 4.1 bound
+// ⌈½(log N + 1)⌉·L*: the adversary pushes the measured ratio toward the
+// bound (within the factor-2 gap between Theorems 4.1 and 4.3), while
+// random workloads sit far below it.
+func E3GreedyUpper(cfg Config) Artifact {
+	rows := E3Rows(cfg)
+	tab := &report.Table{
+		Caption: "E3 — Theorem 4.1: greedy A_G load vs bound ⌈½(log N+1)⌉·L*",
+		Headers: []string{"N", "bound", "adversarial ratio", "random mean", "random max", "rand-tie mean"},
+	}
+	for _, r := range rows {
+		tie := any(r.RandTieMean)
+		if r.RandTieMean == 0 {
+			tie = "—" // ablation capped at N ≤ 4096 (O(N) tie census)
+		}
+		tab.AddRowf(r.N, r.Bound, r.AdvRatio, r.RandMean, r.RandMax, tie)
+	}
+	plot := &report.Plot{
+		Caption: "E3 — greedy competitive ratio vs machine size (log2 N on x)",
+		XLabel:  "log2 N", YLabel: "load ratio",
+	}
+	var adv, bound, rnd []report.SeriesPoint
+	for _, r := range rows {
+		x := float64(mathx.Log2(r.N))
+		adv = append(adv, report.SeriesPoint{X: x, Y: r.AdvRatio})
+		bound = append(bound, report.SeriesPoint{X: x, Y: float64(r.Bound)})
+		rnd = append(rnd, report.SeriesPoint{X: x, Y: r.RandMean})
+	}
+	plot.Add("upper bound", 'o', bound)
+	plot.Add("adversarial", '*', adv)
+	plot.Add("random mean", '.', rnd)
+	return Artifact{
+		ID:     "E3",
+		Title:  "Greedy upper bound (Theorem 4.1)",
+		Tables: []*report.Table{tab},
+		Plots:  []*report.Plot{plot},
+		Notes: []string{
+			"the adversarial ratio must stay ≤ the bound (Theorem 4.1) and ≥ ⌈½(log N+1)⌉/2 (Theorem 4.3, bounds tight within factor 2).",
+			"rand-tie ablation finding: the leftmost tie-break is NOT just a determinism device — breaking ties uniformly at random fragments the machine (ratios 1.25–1.5 where leftmost holds 1.0 on churning workloads). Leftmost concentrates load like first-fit in bin packing, preserving contiguous low-load regions for future large tasks; Theorem 4.1's worst case is unchanged either way.",
+		},
+	}
+}
+
+// E3Rows computes the raw table.
+func E3Rows(cfg Config) []E3Row {
+	ns := []int{16, 64, 256, 1024, 4096, 65536}
+	if cfg.Quick {
+		ns = []int{16, 64, 256}
+	}
+	seeds := cfg.seeds(10)
+	var rows []E3Row
+	for _, n := range ns {
+		adv := adversary.RunDeterministic(core.NewGreedy(tree.MustNew(n)), -1)
+		ratios := make([]float64, 0, seeds)
+		tieRatios := make([]float64, 0, seeds)
+		for s := 0; s < seeds; s++ {
+			seq := genWorkload("saturation", n, int64(s), cfg.Quick)
+			res := sim.Run(core.NewGreedy(tree.MustNew(n)), seq, sim.Options{})
+			if res.LStar > 0 {
+				ratios = append(ratios, res.Ratio)
+			}
+			// The rand-tie ablation's tie census is O(N) per arrival; cap
+			// it at moderate N (the finding is a small-to-mid-N effect).
+			if n <= 4096 {
+				tie := sim.Run(core.NewGreedyRandomTie(tree.MustNew(n), int64(s)), seq, sim.Options{})
+				if tie.LStar > 0 {
+					tieRatios = append(tieRatios, tie.Ratio)
+				}
+			}
+		}
+		rows = append(rows, E3Row{
+			N:            n,
+			Bound:        mathx.GreedyBound(n),
+			AdvRatio:     float64(adv.MaxLoad) / float64(adv.OptimalLoad),
+			RandMean:     stats.Mean(ratios),
+			RandMax:      stats.Max(ratios),
+			RandTieMean:  stats.Mean(tieRatios),
+			AdvFinalLoad: adv.FinalLoad,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"partalloc/internal/adversary"
+	"partalloc/internal/core"
+	"partalloc/internal/mathx"
+	"partalloc/internal/parallel"
+	"partalloc/internal/report"
+	"partalloc/internal/sim"
+	"partalloc/internal/stats"
+	"partalloc/internal/tree"
+)
+
+// E4Row is one (N, d) point of the headline tradeoff figure.
+type E4Row struct {
+	N          int
+	D          int
+	Upper      int     // min{d+1, ⌈½(log N+1)⌉}      (Theorem 4.2)
+	Lower      int     // ⌈½(min{d, log N}+1)⌉         (Theorem 4.3)
+	AdvRatio   float64 // A_M(d) on the matched adversary sequence
+	RandMean   float64 // A_M(d) mean ratio on random saturation workloads
+	Reallocs   int     // reallocations during the random runs (mean, rounded)
+	Migrations float64 // migrations per event across the random runs
+}
+
+// E4Tradeoff regenerates the paper's central claim as a figure: the
+// maximum load of the d-reallocation algorithm A_M sits between the
+// Theorem 4.3 lower bound and the Theorem 4.2 upper bound for every d, the
+// curve rising with d until it saturates at the greedy bound
+// ⌈½(log N+1)⌉ — a predictable trade of reallocation frequency against
+// thread-management load.
+func E4Tradeoff(cfg Config) Artifact {
+	ns := []int{256, 1024, 4096}
+	if cfg.Quick {
+		ns = []int{64, 256}
+	}
+	var tables []*report.Table
+	var plots []*report.Plot
+	for _, n := range ns {
+		rows := E4Rows(cfg, n)
+		tab := &report.Table{
+			Caption: fmt.Sprintf("E4 — load vs reallocation parameter d (N=%d, greedy bound %d)", n, mathx.GreedyBound(n)),
+			Headers: []string{"d", "lower bound", "measured (adversarial)", "measured (random)", "upper bound", "reallocs", "migr/event"},
+		}
+		plot := &report.Plot{
+			Caption: fmt.Sprintf("E4 — the tradeoff at N=%d: load ratio vs d", n),
+			XLabel:  "d (reallocation parameter)", YLabel: "load / L*",
+		}
+		var lower, upper, meas, msRand []report.SeriesPoint
+		for _, r := range rows {
+			tab.AddRowf(r.D, r.Lower, r.AdvRatio, r.RandMean, r.Upper, r.Reallocs, r.Migrations)
+			x := float64(r.D)
+			lower = append(lower, report.SeriesPoint{X: x, Y: float64(r.Lower)})
+			upper = append(upper, report.SeriesPoint{X: x, Y: float64(r.Upper)})
+			meas = append(meas, report.SeriesPoint{X: x, Y: r.AdvRatio})
+			msRand = append(msRand, report.SeriesPoint{X: x, Y: r.RandMean})
+		}
+		plot.Add("upper bound min{d+1,⌈½(logN+1)⌉}", 'o', upper)
+		plot.Add("measured, adversarial", '*', meas)
+		plot.Add("measured, random", '.', msRand)
+		plot.Add("lower bound ⌈½(min{d,logN}+1)⌉", '_', lower)
+		tables = append(tables, tab)
+		plots = append(plots, plot)
+	}
+	return Artifact{
+		ID:     "E4",
+		Title:  "The load vs reallocation-frequency tradeoff (Theorems 4.2 + 4.3)",
+		Tables: tables,
+		Plots:  plots,
+		Notes: []string{
+			"expected shape: measured curves rise with d, stay between the bounds, and flatten once d+1 ≥ ⌈½(log N+1)⌉ (A_M degenerates to greedy).",
+			"d = 0 is A_C: ratio exactly 1. The d column's last row is d=∞ (never reallocate), shown as the greedy bound value.",
+		},
+	}
+}
+
+// E4Rows computes the tradeoff at machine size n for d = 0..greedyBound+1
+// plus d = ∞ (encoded as -1).
+func E4Rows(cfg Config, n int) []E4Row {
+	g := mathx.GreedyBound(n)
+	seeds := cfg.seeds(5)
+	var rows []E4Row
+	ds := make([]int, 0, g+3)
+	for d := 0; d <= g+1; d++ {
+		ds = append(ds, d)
+	}
+	ds = append(ds, -1)
+	rowFor := func(d int) E4Row {
+		// Adversarial: matched lower-bound instance.
+		adv := adversary.RunDeterministic(core.NewPeriodic(tree.MustNew(n), d, core.DecreasingSize), d)
+		// Random: saturation workloads.
+		ratios := make([]float64, 0, seeds)
+		reallocs, migrPerEvent := 0.0, 0.0
+		for s := 0; s < seeds; s++ {
+			seq := genWorkload("saturation", n, int64(s), cfg.Quick)
+			res := sim.Run(core.NewPeriodic(tree.MustNew(n), d, core.DecreasingSize), seq, sim.Options{})
+			if res.LStar > 0 {
+				ratios = append(ratios, res.Ratio)
+			}
+			reallocs += float64(res.Realloc.Reallocations)
+			if res.Events > 0 {
+				migrPerEvent += float64(res.Realloc.Migrations) / float64(res.Events)
+			}
+		}
+		return E4Row{
+			N:          n,
+			D:          d,
+			Upper:      mathx.DetUpperFactor(n, d),
+			Lower:      mathx.DetLowerFactor(n, d),
+			AdvRatio:   float64(adv.MaxLoad) / float64(adv.OptimalLoad),
+			RandMean:   stats.Mean(ratios),
+			Reallocs:   int(reallocs/float64(seeds) + 0.5),
+			Migrations: migrPerEvent / float64(seeds),
+		}
+	}
+	rows = parallel.Map(len(ds), 0, func(i int) E4Row { return rowFor(ds[i]) })
+	return rows
+}

@@ -1,0 +1,123 @@
+// Package experiments contains one runner per artifact in the experiment
+// index of DESIGN.md (E1–E10). The paper is theoretical — its "evaluation"
+// is a worked example (Figure 1) and seven theorem bounds — so each
+// experiment empirically regenerates the corresponding claim: measured
+// competitive ratios against the proven upper and lower bounds, the
+// headline load-versus-reallocation-frequency tradeoff, and the cost side
+// of the trade (migration traffic).
+//
+// Every runner is deterministic given its Config and returns an Artifact
+// holding rendered tables/plots plus the raw numbers the tests assert on.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"partalloc/internal/report"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// Quick shrinks machine sizes and seed counts so the full suite runs
+	// in seconds (used by tests and `go test -bench`); the default (false)
+	// is the paper-scale configuration used by cmd/experiments.
+	Quick bool
+	// Seeds overrides the number of random seeds per cell (0 = default).
+	Seeds int
+}
+
+func (c Config) seeds(def int) int {
+	if c.Seeds > 0 {
+		return c.Seeds
+	}
+	if c.Quick {
+		return mathxMax(2, def/5)
+	}
+	return def
+}
+
+func mathxMax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Artifact is one regenerated table or figure.
+type Artifact struct {
+	ID     string
+	Title  string
+	Tables []*report.Table
+	Plots  []*report.Plot
+	// Notes records observations that belong next to the artifact (e.g.
+	// substitutions or shape statements).
+	Notes []string
+}
+
+// Render writes every table and plot in ASCII form.
+func (a Artifact) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n\n", a.ID, a.Title); err != nil {
+		return err
+	}
+	for _, t := range a.Tables {
+		if err := t.WriteASCII(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, p := range a.Plots {
+		if err := p.WriteASCII(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, n := range a.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Runner is a named experiment entry point.
+type Runner struct {
+	ID   string
+	Run  func(Config) Artifact
+	Desc string
+}
+
+// All returns every experiment in index order.
+func All() []Runner {
+	return []Runner{
+		{"E1", func(c Config) Artifact { return Figure1() }, "Figure 1 replay: σ* on a 4-PE machine"},
+		{"E2", E2Optimal0Realloc, "Theorem 3.1: A_C achieves the optimal load"},
+		{"E3", E3GreedyUpper, "Theorem 4.1: greedy upper bound"},
+		{"E4", E4Tradeoff, "Theorem 4.2/4.3: the load vs reallocation-frequency tradeoff"},
+		{"E5", E5DetLowerBound, "Theorem 4.3: deterministic lower bound achieved"},
+		{"E6", E6RandUpper, "Theorem 5.1: randomized upper bound"},
+		{"E7", E7RandLowerBound, "Theorem 5.2: randomized lower bound via σ_r"},
+		{"E8", E8ReallocCost, "The trade: reallocation traffic vs load, by d"},
+		{"E9", E9Topologies, "Cross-topology: migration traffic on tree/hypercube/mesh/butterfly"},
+		{"E10", E10Slowdown, "Round-robin slowdown distributions by d"},
+		{"E11", E11ClosedLoop, "Closed-loop execution: response times under gang round-robin"},
+		{"E12", E12SpaceVsTime, "Space sharing (Chen/Shin subcube allocation) vs the paper's time sharing"},
+		{"E13", E13TreeRestriction, "Ablation: cost of restricting placements to the tree hierarchy"},
+		{"E14", E14WorkloadSensitivity, "Sensitivity of the d-tradeoff to workload shape"},
+	}
+}
+
+// ByID returns the runner with the given ID, or false.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+var quick = Config{Quick: true, Seeds: 3}
+
+func TestFigure1Check(t *testing.T) {
+	res := Figure1Raw()
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Artifact.Tables) != 2 {
+		t.Fatalf("expected 2 tables, got %d", len(res.Artifact.Tables))
+	}
+}
+
+func TestE2AllRatiosExactlyOne(t *testing.T) {
+	for _, r := range E2Rows(quick) {
+		if r.MeanRatio != 1 || r.MaxRatio != 1 {
+			t.Errorf("N=%d %s: ratio mean %g max %g, want exactly 1",
+				r.N, r.Workload, r.MeanRatio, r.MaxRatio)
+		}
+	}
+}
+
+func TestE3WithinBounds(t *testing.T) {
+	for _, r := range E3Rows(quick) {
+		if r.AdvRatio > float64(r.Bound) {
+			t.Errorf("N=%d: adversarial ratio %g exceeds Theorem 4.1 bound %d",
+				r.N, r.AdvRatio, r.Bound)
+		}
+		// Theorem 4.3 with d=∞: forced ratio at least ⌈½(logN+1)⌉ ≥ bound/1
+		// — the adversary result itself is checked in internal/adversary;
+		// here just require it beats random by a margin at larger N.
+		if r.RandMean > r.AdvRatio {
+			t.Errorf("N=%d: random mean %g above adversarial %g", r.N, r.RandMean, r.AdvRatio)
+		}
+		if r.RandMean < 1 || r.RandMax < r.RandMean {
+			t.Errorf("N=%d: nonsense random stats %+v", r.N, r)
+		}
+	}
+}
+
+func TestE4TradeoffShape(t *testing.T) {
+	rows := E4Rows(quick, 256)
+	var prevUpper int
+	for i, r := range rows {
+		if r.AdvRatio > float64(r.Upper) {
+			t.Errorf("d=%d: adversarial ratio %g > upper %d", r.D, r.AdvRatio, r.Upper)
+		}
+		if r.AdvRatio < float64(r.Lower) {
+			t.Errorf("d=%d: adversarial ratio %g < lower %d", r.D, r.AdvRatio, r.Lower)
+		}
+		if r.RandMean > float64(r.Upper) {
+			t.Errorf("d=%d: random mean %g > upper %d", r.D, r.RandMean, r.Upper)
+		}
+		// Upper bound is non-decreasing in d (with d=∞ last, equal to cap).
+		if i > 0 && r.Upper < prevUpper {
+			t.Errorf("upper bound decreased at d=%d", r.D)
+		}
+		prevUpper = r.Upper
+	}
+	// d=0 must be optimal.
+	if rows[0].D != 0 || rows[0].AdvRatio != 1 || rows[0].RandMean != 1 {
+		t.Errorf("d=0 row not optimal: %+v", rows[0])
+	}
+}
+
+func TestE5AllBoundsMet(t *testing.T) {
+	for _, r := range E5Rows(quick) {
+		if !r.Met {
+			t.Errorf("%s N=%d d=%d: forced load %d below bound %d",
+				r.Algorithm, r.N, r.D, r.FinalLoad, r.Bound)
+		}
+	}
+}
+
+func TestE6UnderBound(t *testing.T) {
+	for _, r := range E6Rows(quick) {
+		if r.MeanLoad > r.Bound {
+			t.Errorf("N=%d: mean load %g exceeds bound %g", r.N, r.MeanLoad, r.Bound)
+		}
+		if r.MeanLoad < 1 {
+			t.Errorf("N=%d: mean load %g below optimal", r.N, r.MeanLoad)
+		}
+		if r.GreedyLoad != 1 {
+			t.Errorf("N=%d: greedy load %g on saturation-1 workload, want 1", r.N, r.GreedyLoad)
+		}
+	}
+}
+
+func TestE6LoadGrowsWithN(t *testing.T) {
+	rows := E6Rows(Config{Quick: true, Seeds: 10})
+	if len(rows) < 2 {
+		t.Skip("not enough sizes")
+	}
+	if rows[len(rows)-1].MeanLoad <= rows[0].MeanLoad {
+		t.Errorf("balls-into-bins load did not grow: %g (N=%d) vs %g (N=%d)",
+			rows[0].MeanLoad, rows[0].N, rows[len(rows)-1].MeanLoad, rows[len(rows)-1].N)
+	}
+}
+
+func TestE7ForcesLoadAboveOptimal(t *testing.T) {
+	// At simulatable N the cube-root bound is < 1 — the theorem promises
+	// nothing non-trivial there (a finding recorded in EXPERIMENTS.md), so
+	// the load-aware algorithms legitimately hold load 1. The oblivious
+	// A_Rand, however, must show the collision mechanism: load above L*.
+	for _, r := range E7Rows(quick) {
+		if r.MeanLoad < r.ProvedBound {
+			t.Errorf("N=%d %s: mean load %g below proved bound %g",
+				r.N, r.Algorithm, r.MeanLoad, r.ProvedBound)
+		}
+		if r.ProvedBound >= 1 {
+			t.Errorf("N=%d: proved bound %g ≥ 1; vacuity note in EXPERIMENTS.md is stale",
+				r.N, r.ProvedBound)
+		}
+		if r.LStarMean > 1.2 {
+			t.Errorf("N=%d: σ_r L* mean %g, want ≈1", r.N, r.LStarMean)
+		}
+		if r.Algorithm == "A_Rand" && r.MeanLoad <= r.LStarMean {
+			t.Errorf("N=%d A_Rand: σ_r failed to separate load %g from L* %g",
+				r.N, r.MeanLoad, r.LStarMean)
+		}
+	}
+}
+
+func TestE8TradeShape(t *testing.T) {
+	rows := E8Rows(quick, 256)
+	byD := map[int]map[string]E8Row{}
+	for _, r := range rows {
+		if byD[r.D] == nil {
+			byD[r.D] = map[string]E8Row{}
+		}
+		byD[r.D][r.Variant] = r
+	}
+	// d=0 eager: ratio 1, traffic positive. d=inf: zero traffic.
+	if r := byD[0]["eager"]; r.RatioMean != 1 || r.MovedPEPerUnit <= 0 {
+		t.Errorf("d=0 eager: %+v", r)
+	}
+	if r := byD[-1]["eager"]; r.MovedPEPerUnit != 0 || r.Reallocs != 0 {
+		t.Errorf("d=inf eager moved data: %+v", r)
+	}
+	// Traffic falls from d=1 to d=4 (eager).
+	if byD[1]["eager"].MovedPEPerUnit <= byD[4]["eager"].MovedPEPerUnit {
+		t.Errorf("traffic did not fall with d: d1=%g d4=%g",
+			byD[1]["eager"].MovedPEPerUnit, byD[4]["eager"].MovedPEPerUnit)
+	}
+	// Lazy never moves more than eager at the same d ≥ 1.
+	for _, d := range []int{1, 2, 3, 4} {
+		if byD[d]["lazy"].Reallocs > byD[d]["eager"].Reallocs {
+			t.Errorf("d=%d: lazy reallocated more (%g) than eager (%g)",
+				d, byD[d]["lazy"].Reallocs, byD[d]["eager"].Reallocs)
+		}
+	}
+}
+
+func TestE9IdenticalLoadsDifferentTraffic(t *testing.T) {
+	rows, _, _ := E9Rows(quick)
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 topologies, got %d", len(rows))
+	}
+	for _, r := range rows[1:] {
+		if r.LoadRatio != rows[0].LoadRatio {
+			t.Errorf("%s load ratio %g differs from %s %g — placements must be topology-independent",
+				r.Topology, r.LoadRatio, rows[0].Topology, rows[0].LoadRatio)
+		}
+		if r.Migrations != rows[0].Migrations {
+			t.Errorf("%s migration count differs", r.Topology)
+		}
+	}
+	// Hop pricing must differ somewhere (tree vs hypercube at least).
+	prices := map[string]float64{}
+	for _, r := range rows {
+		prices[r.Topology] = r.HopsPerMoved
+	}
+	if prices["tree"] <= prices["hypercube"] {
+		t.Errorf("tree hops/PE %g should exceed hypercube %g",
+			prices["tree"], prices["hypercube"])
+	}
+	// The fat tree halves the levels of the binary tree, so it prices
+	// migrations strictly cheaper than the plain tree.
+	if prices["fattree"] >= prices["tree"] {
+		t.Errorf("fattree hops/PE %g should be below tree %g",
+			prices["fattree"], prices["tree"])
+	}
+}
+
+func TestE10TailGrowsWithD(t *testing.T) {
+	rows := E10Rows(quick, 64)
+	var d0, dInf E10Row
+	for _, r := range rows {
+		if r.D == 0 {
+			d0 = r
+		}
+		if r.D == -1 {
+			dInf = r
+		}
+		if r.NTasks == 0 {
+			t.Fatalf("d=%d: no tasks tracked", r.D)
+		}
+		if r.P50 > r.P90 || r.P90 > r.P99 || r.P99 > r.Max {
+			t.Errorf("d=%d: quantiles disordered %+v", r.D, r)
+		}
+	}
+	if dInf.Max < d0.Max {
+		t.Errorf("greedy max slowdown %g below A_C max %g — tail should grow with d",
+			dInf.Max, d0.Max)
+	}
+	if dInf.Mean <= d0.Mean {
+		t.Errorf("greedy mean slowdown %g not above A_C mean %g — oversubscribed workload should separate them",
+			dInf.Mean, d0.Mean)
+	}
+}
+
+func TestE11ObliviousnessCosts(t *testing.T) {
+	rows := E11Rows(quick, 64)
+	byName := map[string]E11Row{}
+	for _, r := range rows {
+		byName[r.Algorithm] = r
+	}
+	ac := byName["A_C (d=0)"]
+	rnd := byName["A_Rand"]
+	two := byName["A_2choice"]
+	if ac.MeanSlowdown <= 1 || rnd.MeanSlowdown <= 1 {
+		t.Fatalf("degenerate slowdowns: %+v %+v", ac, rnd)
+	}
+	if rnd.MeanSlowdown <= ac.MeanSlowdown {
+		t.Errorf("oblivious A_Rand mean slowdown %g not above A_C %g",
+			rnd.MeanSlowdown, ac.MeanSlowdown)
+	}
+	if two.MeanSlowdown >= rnd.MeanSlowdown {
+		t.Errorf("two-choice %g not better than one-choice %g",
+			two.MeanSlowdown, rnd.MeanSlowdown)
+	}
+	if ac.Migrations == 0 {
+		t.Error("A_C reported no migrations in closed loop")
+	}
+	if rnd.Migrations != 0 || byName["A_G (never)"].Migrations != 0 {
+		t.Error("no-reallocation algorithms reported migrations")
+	}
+}
+
+func TestE12SpaceVsTimeShape(t *testing.T) {
+	rows := E12Rows(quick, 6)
+	byName := map[string]E12Row{}
+	for _, r := range rows {
+		byName[r.Discipline] = r
+	}
+	buddy := byName["space/buddy"]
+	grayR := byName["space/graycode"]
+	exh := byName["space/exhaustive"]
+	if !(exh.MeanWait <= grayR.MeanWait && grayR.MeanWait <= buddy.MeanWait) {
+		t.Errorf("recognition power did not order waits: buddy %g gray %g exh %g",
+			buddy.MeanWait, grayR.MeanWait, exh.MeanWait)
+	}
+	if buddy.MeanWait <= 0 {
+		t.Error("space sharing never queued; stream too light to say anything")
+	}
+	for _, name := range []string{"time/A_C (d=0)", "time/A_M(d=2)", "time/A_G"} {
+		r := byName[name]
+		if r.MeanWait != 0 || r.EverQueued != 0 {
+			t.Errorf("%s: time sharing must never wait (%+v)", name, r)
+		}
+		if r.MaxLoad < 2 {
+			t.Errorf("%s: max load %d — the no-wait price should be visible", name, r.MaxLoad)
+		}
+	}
+	if byName["time/A_C (d=0)"].MaxLoad > byName["time/A_G"].MaxLoad+1 {
+		t.Errorf("A_C max load should not exceed greedy's materially")
+	}
+}
+
+func TestE13RestrictionIsCheap(t *testing.T) {
+	rows := E13Rows(quick)
+	byKey := map[string]E13Row{}
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%d/%s", r.N, r.Strategy)] = r
+		if r.MeanRatio < 1 || r.MaxRatio < r.MeanRatio {
+			t.Errorf("%d/%s: nonsense ratios %+v", r.N, r.Strategy, r)
+		}
+	}
+	for _, n := range []int{32, 64} {
+		b, ok1 := byKey[fmt.Sprintf("%d/buddy", n)]
+		e, ok2 := byKey[fmt.Sprintf("%d/exhaustive", n)]
+		if !ok1 || !ok2 {
+			continue
+		}
+		// The richer candidate set may only buy a modest improvement; a
+		// large gap would mean the paper's restriction is expensive (and
+		// would be a finding worth recording — fail so it gets noticed).
+		if b.MeanRatio-e.MeanRatio > 0.75 {
+			t.Errorf("N=%d: exhaustive %g beats buddy %g by a surprising margin",
+				n, e.MeanRatio, b.MeanRatio)
+		}
+	}
+}
+
+func TestE14ShapeSensitivity(t *testing.T) {
+	rows := E14Rows(quick, 128)
+	if len(rows) != 16 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.D == 0 && (r.RatioMean != 1 || r.RatioMax != 1) {
+			t.Errorf("%s d=0: ratio %g/%g, want exactly 1 (Theorem 3.1 is shape-free)",
+				r.Shape, r.RatioMean, r.RatioMax)
+		}
+		if r.RatioMean < 1 || r.RatioMax < r.RatioMean {
+			t.Errorf("%s d=%d: nonsense ratios %+v", r.Shape, r.D, r)
+		}
+		if r.D == -1 && r.Reallocs != 0 {
+			t.Errorf("%s d=inf reallocated", r.Shape)
+		}
+	}
+}
+
+func TestAllRunnersRenderAndAreIndexed(t *testing.T) {
+	runners := All()
+	if len(runners) != 14 {
+		t.Fatalf("%d runners", len(runners))
+	}
+	seen := map[string]bool{}
+	for _, r := range runners {
+		if seen[r.ID] {
+			t.Fatalf("duplicate runner %s", r.ID)
+		}
+		seen[r.ID] = true
+		if _, ok := ByID(r.ID); !ok {
+			t.Fatalf("ByID(%s) failed", r.ID)
+		}
+		art := r.Run(Config{Quick: true, Seeds: 2})
+		if art.ID != r.ID {
+			t.Errorf("runner %s produced artifact %s", r.ID, art.ID)
+		}
+		var b strings.Builder
+		if err := art.Render(&b); err != nil {
+			t.Fatalf("%s render: %v", r.ID, err)
+		}
+		if !strings.Contains(b.String(), art.Title) {
+			t.Errorf("%s render missing title", r.ID)
+		}
+		if len(art.Tables) == 0 {
+			t.Errorf("%s has no tables", r.ID)
+		}
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID accepted unknown id")
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden experiment artifacts")
+
+// goldenConfig pins the snapshot configuration; any seed or scale change
+// must regenerate the files (go test ./internal/experiments -update-golden).
+var goldenConfig = Config{Quick: true, Seeds: 2}
+
+// Golden snapshots freeze the full rendered artifact (tables, plots,
+// notes) for the deterministic experiments, so any behavioral drift in an
+// algorithm, a workload generator or a renderer shows up as a readable
+// diff. E6/E7/E11 are excluded only where different platforms' math could
+// reorder float ties — everything here is integer- or fixed-seed-stable.
+func TestGoldenArtifacts(t *testing.T) {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E9", "E12", "E13"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, ok := ByID(id)
+			if !ok {
+				t.Fatalf("unknown runner %s", id)
+			}
+			var b strings.Builder
+			if err := r.Run(goldenConfig).Render(&b); err != nil {
+				t.Fatal(err)
+			}
+			got := b.String()
+			path := filepath.Join("testdata", "golden", id+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from golden snapshot.\n--- got ---\n%s\n--- want ---\n%s",
+					id, clip(got), clip(string(want)))
+			}
+		})
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 2000 {
+		return s[:2000] + "\n...[clipped]"
+	}
+	return s
+}

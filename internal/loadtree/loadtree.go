@@ -1,0 +1,288 @@
+// Package loadtree maintains per-PE thread loads on a tree machine under
+// task placement and removal, and answers the queries the paper's on-line
+// algorithms need:
+//
+//   - the load of any submachine (the maximum load of its PEs, which is what
+//     algorithm A_G minimizes over candidate submachines), and
+//   - the leftmost minimum-load submachine of a given size (A_G's placement
+//     rule, including the paper's leftmost tie-break).
+//
+// A task assigned to the submachine rooted at v adds one thread to every PE
+// under v. Rather than updating all those leaves, the tree stores at each
+// node a cover count — the number of active tasks assigned exactly there —
+// and aggregates maxBelow(v) = cover(v) + max over children. The load of a
+// PE is then the sum of cover counts along its root path, and the load of a
+// submachine v is maxBelow(v) plus the cover counts of v's proper ancestors.
+// Place and Remove are O(log N); submachine-load queries are O(log N);
+// the leftmost-min search is O(N/size) via depth-first descent.
+package loadtree
+
+import (
+	"fmt"
+	"math/bits"
+
+	"partalloc/internal/tree"
+)
+
+// Tree tracks loads for one machine. It is not safe for concurrent use;
+// simulations drive one Tree per allocator from a single goroutine.
+type Tree struct {
+	m        *tree.Machine
+	levels   int
+	cover    []int32 // cover[v]: tasks assigned exactly at node v
+	maxBelow []int32 // maxBelow[v]: max PE load within v's subtree, excluding ancestor covers
+	minBelow []int32 // minBelow[v]: min PE load within v's subtree, excluding ancestor covers
+	// bestAt[v][k] is the minimum, over depth-(depth(v)+k) descendants u of
+	// v, of (covers strictly between v and u) + maxBelow(u) — i.e. the best
+	// submachine load at that granularity within v, excluding v's own cover
+	// and everything above. bestAt[v][0] = maxBelow(v). It is the aggregate
+	// that makes LeftmostMinLoad O(log N) at every size even under
+	// adversarial fragmentation (where min-leaf pruning degrades to a full
+	// level scan).
+	bestAt [][]int32
+	active int // number of placed tasks
+}
+
+// New creates an all-idle load tree over machine m.
+func New(m *tree.Machine) *Tree {
+	nn := m.NumNodes() + 1 // 1-indexed
+	t := &Tree{
+		m:        m,
+		levels:   m.Levels(),
+		cover:    make([]int32, nn),
+		maxBelow: make([]int32, nn),
+		minBelow: make([]int32, nn),
+		bestAt:   make([][]int32, nn),
+	}
+	// Carve every bestAt row out of one flat backing array: Tree
+	// construction is on A_C/A_M's reallocation path, so per-node
+	// allocations would dominate their profile.
+	total := 0
+	for v := 1; v <= m.NumNodes(); v++ {
+		total += t.levels - mathxLog2Floor(v) + 1
+	}
+	backing := make([]int32, total)
+	off := 0
+	for v := 1; v <= m.NumNodes(); v++ {
+		l := t.levels - mathxLog2Floor(v) + 1
+		t.bestAt[v] = backing[off : off+l : off+l]
+		off += l
+	}
+	return t
+}
+
+// mathxLog2Floor is floor(log2(v)) for v ≥ 1.
+func mathxLog2Floor(v int) int {
+	return bits.Len(uint(v)) - 1
+}
+
+// Machine returns the underlying machine description.
+func (t *Tree) Machine() *tree.Machine { return t.m }
+
+// Active returns the number of currently placed tasks.
+func (t *Tree) Active() int { return t.active }
+
+// Place records one task assigned to the submachine rooted at v.
+func (t *Tree) Place(v tree.Node) {
+	t.add(v, 1)
+	t.active++
+}
+
+// Remove erases one previously placed task from the submachine rooted at v.
+// It panics if no task is assigned exactly at v.
+func (t *Tree) Remove(v tree.Node) {
+	if t.cover[v] <= 0 {
+		panic(fmt.Sprintf("loadtree: Remove(%d) with no task assigned there", v))
+	}
+	t.add(v, -1)
+	t.active--
+}
+
+func (t *Tree) add(v tree.Node, delta int32) {
+	if !t.m.Valid(v) {
+		panic(fmt.Sprintf("loadtree: invalid node %d", v))
+	}
+	t.cover[v] += delta
+	for u := v; u >= 1; u /= 2 {
+		mb, nb := t.cover[u], t.cover[u]
+		if !t.m.IsLeaf(u) {
+			l, r := t.maxBelow[2*u], t.maxBelow[2*u+1]
+			if l < r {
+				l = r
+			}
+			mb += l
+			l2, r2 := t.minBelow[2*u], t.minBelow[2*u+1]
+			if r2 < l2 {
+				l2 = r2
+			}
+			nb += l2
+		}
+		t.maxBelow[u] = mb
+		t.minBelow[u] = nb
+		t.refreshBestAt(tree.Node(u))
+	}
+}
+
+// refreshBestAt recomputes bestAt[u] from u's (already current) children.
+func (t *Tree) refreshBestAt(u tree.Node) {
+	b := t.bestAt[u]
+	b[0] = t.maxBelow[u]
+	if t.m.IsLeaf(u) {
+		return
+	}
+	l, r := 2*u, 2*u+1
+	bl, br := t.bestAt[l], t.bestAt[r]
+	for k := 1; k < len(b); k++ {
+		lv, rv := bl[k-1], br[k-1]
+		if k-1 >= 1 {
+			lv += t.cover[l]
+			rv += t.cover[r]
+		}
+		if rv < lv {
+			lv = rv
+		}
+		b[k] = lv
+	}
+}
+
+// MaxLoad returns the machine-wide maximum PE load (the paper's
+// L_A(sigma; tau) at the current instant).
+func (t *Tree) MaxLoad() int {
+	return int(t.maxBelow[1])
+}
+
+// PELoad returns the load of PE p: the number of active tasks whose
+// submachine covers p.
+func (t *Tree) PELoad(p int) int {
+	var sum int32
+	for u := t.m.LeafOf(p); u >= 1; u /= 2 {
+		sum += t.cover[u]
+	}
+	return int(sum)
+}
+
+// SubmachineLoad returns the load of the submachine rooted at v: the
+// maximum load among its PEs.
+func (t *Tree) SubmachineLoad(v tree.Node) int {
+	sum := t.maxBelow[v]
+	t.m.Ancestors(v, func(u tree.Node) bool {
+		sum += t.cover[u]
+		return true
+	})
+	return int(sum)
+}
+
+// CumulativeSize returns the total size (PE count) of all active tasks —
+// sum over tasks of their submachine sizes.
+func (t *Tree) CumulativeSize() int64 {
+	var s int64
+	for v := 1; v <= t.m.NumNodes(); v++ {
+		s += int64(t.cover[v]) * int64(t.m.Size(tree.Node(v)))
+	}
+	return s
+}
+
+// LeftmostMinLoad returns the leftmost submachine of the given size with
+// the smallest load, and that load. This is A_G's placement rule.
+//
+// The bestAt aggregate answers it in O(log N): the minimal load at depth d
+// is cover[root] + bestAt[root][d] (the root's cover burdens every
+// candidate), and the leftmost argmin is found by descending toward the
+// child whose contribution attains the minimum, preferring the left child
+// on ties.
+func (t *Tree) LeftmostMinLoad(size int) (tree.Node, int) {
+	d := t.m.DepthForSize(size)
+	load := t.bestAt[1][d]
+	if d >= 1 {
+		load += t.cover[1]
+	}
+	v := tree.Node(1)
+	for k := d; k >= 1; k-- {
+		l, r := 2*v, 2*v+1
+		lv, rv := t.bestAt[l][k-1], t.bestAt[r][k-1]
+		if k-1 >= 1 {
+			lv += t.cover[l]
+			rv += t.cover[r]
+		}
+		if lv <= rv {
+			v = l
+		} else {
+			v = r
+		}
+	}
+	return v, int(load)
+}
+
+// Loads returns a snapshot of all PE loads; for metrics and tests.
+func (t *Tree) Loads() []int {
+	n := t.m.N()
+	out := make([]int, n)
+	t.fill(1, 0, out)
+	return out
+}
+
+func (t *Tree) fill(v tree.Node, pathSum int32, out []int) {
+	pathSum += t.cover[v]
+	if t.m.IsLeaf(v) {
+		out[t.m.PEOf(v)] = int(pathSum)
+		return
+	}
+	t.fill(2*v, pathSum, out)
+	t.fill(2*v+1, pathSum, out)
+}
+
+// CheckInvariants recomputes the aggregate from scratch and panics on any
+// mismatch; used by tests and the simulator's paranoid mode.
+func (t *Tree) CheckInvariants() {
+	var rec func(v tree.Node) (int32, int32)
+	rec = func(v tree.Node) (int32, int32) {
+		mb, nb := t.cover[v], t.cover[v]
+		if t.cover[v] < 0 {
+			panic(fmt.Sprintf("loadtree: negative cover at node %d", v))
+		}
+		if !t.m.IsLeaf(v) {
+			lmax, lmin := rec(t.m.Left(v))
+			rmax, rmin := rec(t.m.Right(v))
+			if lmax < rmax {
+				lmax = rmax
+			}
+			mb += lmax
+			if rmin < lmin {
+				lmin = rmin
+			}
+			nb += lmin
+		}
+		if mb != t.maxBelow[v] {
+			panic(fmt.Sprintf("loadtree: maxBelow[%d] = %d, recomputed %d", v, t.maxBelow[v], mb))
+		}
+		if nb != t.minBelow[v] {
+			panic(fmt.Sprintf("loadtree: minBelow[%d] = %d, recomputed %d", v, t.minBelow[v], nb))
+		}
+		return mb, nb
+	}
+	rec(1)
+	// bestAt: recompute each entry by brute force over the depth level.
+	var bruteBest func(v tree.Node, k int) int32
+	bruteBest = func(v tree.Node, k int) int32 {
+		if k == 0 {
+			return t.maxBelow[v]
+		}
+		l, r := 2*v, 2*v+1
+		lv, rv := bruteBest(l, k-1), bruteBest(r, k-1)
+		if k-1 >= 1 {
+			lv += t.cover[l]
+			rv += t.cover[r]
+		}
+		if rv < lv {
+			lv = rv
+		}
+		return lv
+	}
+	for v := 1; v <= t.m.NumNodes(); v++ {
+		for k := range t.bestAt[v] {
+			if got, want := t.bestAt[v][k], bruteBest(tree.Node(v), k); got != want {
+				panic(fmt.Sprintf("loadtree: bestAt[%d][%d] = %d, recomputed %d", v, k, got, want))
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package metrics derives the paper's measures of interest from allocator
+// state over a run: per-event load time series, the imbalance ratio
+// between the heaviest and the average PE, and the round-robin slowdown
+// interpretation of PE load (§2: "the worst slowdown ever experienced by a
+// user is proportional to the maximum load of any PE in the submachine
+// allocated to it").
+package metrics
+
+import (
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// Sample is one point of a load time series, taken just after an event was
+// processed.
+type Sample struct {
+	EventIndex int
+	Time       float64
+	MaxLoad    int
+	ActiveSize int64
+	// RunningLStar is ⌈(max active size so far)/N⌉ — the optimal load of
+	// the sequence prefix, the instantaneous benchmark for competitive
+	// ratios.
+	RunningLStar int
+}
+
+// Series is an append-only load time series.
+type Series struct {
+	Samples []Sample
+}
+
+// Append adds a sample.
+func (s *Series) Append(x Sample) { s.Samples = append(s.Samples, x) }
+
+// MaxLoad returns the maximum load across the series (0 if empty).
+func (s *Series) MaxLoad() int {
+	m := 0
+	for _, x := range s.Samples {
+		if x.MaxLoad > m {
+			m = x.MaxLoad
+		}
+	}
+	return m
+}
+
+// PeakRatio returns the largest instantaneous ratio MaxLoad/RunningLStar
+// across the series (0 if empty or never loaded). This is a stricter
+// quantity than MaxLoad/L*: it compares each moment against what was
+// optimal *so far*.
+func (s *Series) PeakRatio() float64 {
+	best := 0.0
+	for _, x := range s.Samples {
+		if x.RunningLStar == 0 {
+			continue
+		}
+		r := float64(x.MaxLoad) / float64(x.RunningLStar)
+		if r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// Imbalance returns max(loads)/mean(loads) for a PE load snapshot, the
+// classic load-imbalance factor. It returns 0 when all loads are zero.
+func Imbalance(loads []int) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	max, sum := 0, 0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(loads))
+	return float64(max) / mean
+}
+
+// SlowdownTracker records, per task, the worst round-robin slowdown the
+// task ever experiences: the maximum, over the task's lifetime, of the
+// maximum PE load within its assigned submachine.
+type SlowdownTracker struct {
+	m      *tree.Machine
+	active map[task.ID]tree.Node
+	worst  map[task.ID]int
+	done   []int
+}
+
+// NewSlowdownTracker creates a tracker for machine m.
+func NewSlowdownTracker(m *tree.Machine) *SlowdownTracker {
+	return &SlowdownTracker{
+		m:      m,
+		active: make(map[task.ID]tree.Node),
+		worst:  make(map[task.ID]int),
+	}
+}
+
+// Arrive registers a task's placement.
+func (t *SlowdownTracker) Arrive(id task.ID, v tree.Node) {
+	t.active[id] = v
+	t.worst[id] = 0
+}
+
+// Depart finalizes a task; its worst slowdown moves to the completed set.
+func (t *SlowdownTracker) Depart(id task.ID) {
+	if _, ok := t.active[id]; !ok {
+		return
+	}
+	t.done = append(t.done, t.worst[id])
+	delete(t.active, id)
+	delete(t.worst, id)
+}
+
+// Observe updates every active task's worst slowdown from a PE load
+// snapshot (taken after an event).
+func (t *SlowdownTracker) Observe(loads []int) {
+	for id, v := range t.active {
+		lo, hi := t.m.PERange(v)
+		max := 0
+		for p := lo; p < hi; p++ {
+			if loads[p] > max {
+				max = loads[p]
+			}
+		}
+		if max > t.worst[id] {
+			t.worst[id] = max
+		}
+	}
+}
+
+// Completed returns worst slowdowns of all departed tasks, in departure
+// order.
+func (t *SlowdownTracker) Completed() []int { return t.done }
+
+// Pending returns the number of still-active tracked tasks.
+func (t *SlowdownTracker) Pending() int { return len(t.active) }
+
+// All returns completed slowdowns plus current worsts of active tasks.
+func (t *SlowdownTracker) All() []int {
+	out := make([]int, 0, len(t.done)+len(t.worst))
+	out = append(out, t.done...)
+	for _, w := range t.worst {
+		out = append(out, w)
+	}
+	return out
+}

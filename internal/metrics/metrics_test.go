@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"testing"
+
+	"partalloc/internal/tree"
+)
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.MaxLoad() != 0 || s.PeakRatio() != 0 {
+		t.Fatal("empty series stats nonzero")
+	}
+	s.Append(Sample{MaxLoad: 2, RunningLStar: 1})
+	s.Append(Sample{MaxLoad: 3, RunningLStar: 2})
+	s.Append(Sample{MaxLoad: 1, RunningLStar: 2})
+	if s.MaxLoad() != 3 {
+		t.Errorf("MaxLoad = %d", s.MaxLoad())
+	}
+	// Peak ratio is 2/1 = 2 at the first sample.
+	if got := s.PeakRatio(); got != 2 {
+		t.Errorf("PeakRatio = %g", got)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if Imbalance(nil) != 0 || Imbalance([]int{0, 0}) != 0 {
+		t.Fatal("empty imbalance nonzero")
+	}
+	// loads {4,0,0,0}: mean 1, max 4 → 4.
+	if got := Imbalance([]int{4, 0, 0, 0}); got != 4 {
+		t.Errorf("Imbalance = %g", got)
+	}
+	// Perfectly balanced → 1.
+	if got := Imbalance([]int{2, 2, 2, 2}); got != 1 {
+		t.Errorf("Imbalance = %g", got)
+	}
+}
+
+func TestSlowdownTracker(t *testing.T) {
+	m := tree.MustNew(4)
+	tr := NewSlowdownTracker(m)
+	// Task 1 on node 2 (PEs 0,1), task 2 on node 4 (PE... node 4 is leaf PE0).
+	tr.Arrive(1, 2)
+	tr.Arrive(2, 4)
+	tr.Observe([]int{2, 1, 0, 0})
+	// Task 1's submachine (PEs 0-1) max load = 2; task 2's (PE 0) = 2.
+	tr.Observe([]int{1, 3, 0, 0})
+	// Now task 1 sees 3; task 2 sees 1 (worst stays 2).
+	tr.Depart(2)
+	tr.Depart(1)
+	got := tr.Completed()
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("completed = %v", got)
+	}
+	if tr.Pending() != 0 {
+		t.Fatal("pending nonzero")
+	}
+}
+
+func TestSlowdownTrackerIgnoresUnknownDepart(t *testing.T) {
+	tr := NewSlowdownTracker(tree.MustNew(4))
+	tr.Depart(99) // no-op
+	if len(tr.Completed()) != 0 {
+		t.Fatal("ghost departure recorded")
+	}
+}
+
+func TestSlowdownAllIncludesActive(t *testing.T) {
+	m := tree.MustNew(4)
+	tr := NewSlowdownTracker(m)
+	tr.Arrive(1, 1) // whole machine
+	tr.Observe([]int{1, 1, 1, 1})
+	tr.Arrive(2, 6) // PE 2
+	tr.Observe([]int{1, 1, 2, 1})
+	tr.Depart(1)
+	all := tr.All()
+	if len(all) != 2 {
+		t.Fatalf("All = %v", all)
+	}
+	// Completed task 1 saw worst 2; active task 2 saw worst 2.
+	if all[0] != 2 {
+		t.Errorf("completed worst = %d", all[0])
+	}
+}

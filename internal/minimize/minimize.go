@@ -1,0 +1,210 @@
+// Package minimize shrinks task sequences that violate a property to
+// small, human-readable counterexamples — the companion to the repo's
+// property-based tests. When a randomized search (or a fuzzer) finds a
+// sequence on which an allocator misbehaves, Minimize produces a locally
+// minimal sub-sequence that still triggers the failure, typically turning
+// thousands of events into a handful.
+//
+// Shrinking must preserve sequence validity (departures only of tasks that
+// arrived), so the unit of removal is the *task*: removing a task deletes
+// both its arrival and its departure. The strategy is standard
+// delta-debugging (ddmin) over the task set, followed by a greedy
+// one-at-a-time pass, followed by an attempt to shrink task sizes
+// (halving, which keeps them powers of two).
+package minimize
+
+import (
+	"partalloc/internal/task"
+)
+
+// Property reports whether a sequence still exhibits the failure being
+// minimized (true = still failing). It must be deterministic.
+type Property func(task.Sequence) bool
+
+// Minimize returns a locally minimal sequence that still satisfies the
+// failing property. If the input does not fail, it is returned unchanged.
+// The result is 1-minimal at task granularity: removing any single task,
+// or halving any single task's size, makes the failure disappear.
+func Minimize(seq task.Sequence, failing Property) task.Sequence {
+	if !failing(seq) {
+		return seq
+	}
+	tasks := taskOrder(seq)
+	// ddmin over the task set.
+	keep := ddmin(tasks, func(subset map[task.ID]bool) bool {
+		return failing(project(seq, subset, nil))
+	})
+	cur := project(seq, keep, nil)
+
+	// Greedy one-at-a-time removal until a fixed point.
+	for changed := true; changed; {
+		changed = false
+		for _, id := range taskOrder(cur) {
+			trial := setMinus(keep, id)
+			if failing(project(seq, trial, nil)) {
+				keep = trial
+				cur = project(seq, keep, nil)
+				changed = true
+			}
+		}
+	}
+
+	// Size shrinking: repeatedly halve individual task sizes while the
+	// failure persists.
+	sizes := map[task.ID]int{}
+	for _, e := range cur.Events {
+		if e.Kind == task.Arrive {
+			sizes[e.Task] = e.Size
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for id, sz := range sizes {
+			if sz <= 1 {
+				continue
+			}
+			trialSizes := copySizes(sizes)
+			trialSizes[id] = sz / 2
+			if failing(project(seq, keep, trialSizes)) {
+				sizes = trialSizes
+				changed = true
+			}
+		}
+	}
+	return project(seq, keep, sizes)
+}
+
+// taskOrder lists the sequence's task IDs in arrival order.
+func taskOrder(seq task.Sequence) []task.ID {
+	var out []task.ID
+	for _, e := range seq.Events {
+		if e.Kind == task.Arrive {
+			out = append(out, e.Task)
+		}
+	}
+	return out
+}
+
+// project keeps only events of tasks in keep (nil keep = all), optionally
+// overriding sizes.
+func project(seq task.Sequence, keep map[task.ID]bool, sizes map[task.ID]int) task.Sequence {
+	var out task.Sequence
+	for _, e := range seq.Events {
+		if keep != nil && !keep[e.Task] {
+			continue
+		}
+		if sizes != nil {
+			if sz, ok := sizes[e.Task]; ok {
+				e.Size = sz
+			}
+		}
+		out.Events = append(out.Events, e)
+	}
+	return out
+}
+
+// ddmin is classic delta debugging over the ordered task list; test takes
+// a candidate kept-set and reports whether the failure persists.
+func ddmin(tasks []task.ID, test func(map[task.ID]bool) bool) map[task.ID]bool {
+	cur := tasks
+	n := 2
+	for len(cur) >= 2 {
+		chunks := split(cur, n)
+		reduced := false
+		// Try each chunk alone.
+		for _, c := range chunks {
+			if test(toSet(c)) {
+				cur = c
+				n = 2
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			// Try each complement.
+			for i := range chunks {
+				comp := complement(chunks, i)
+				if len(comp) > 0 && test(toSet(comp)) {
+					cur = comp
+					n = max(n-1, 2)
+					reduced = true
+					break
+				}
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n = min(2*n, len(cur))
+		}
+	}
+	return toSet(cur)
+}
+
+func split(xs []task.ID, n int) [][]task.ID {
+	if n > len(xs) {
+		n = len(xs)
+	}
+	out := make([][]task.ID, 0, n)
+	chunk := (len(xs) + n - 1) / n
+	for i := 0; i < len(xs); i += chunk {
+		j := i + chunk
+		if j > len(xs) {
+			j = len(xs)
+		}
+		out = append(out, xs[i:j])
+	}
+	return out
+}
+
+func complement(chunks [][]task.ID, skip int) []task.ID {
+	var out []task.ID
+	for i, c := range chunks {
+		if i == skip {
+			continue
+		}
+		out = append(out, c...)
+	}
+	return out
+}
+
+func toSet(xs []task.ID) map[task.ID]bool {
+	s := make(map[task.ID]bool, len(xs))
+	for _, x := range xs {
+		s[x] = true
+	}
+	return s
+}
+
+func setMinus(s map[task.ID]bool, id task.ID) map[task.ID]bool {
+	out := make(map[task.ID]bool, len(s))
+	for k := range s {
+		if k != id {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func copySizes(s map[task.ID]int) map[task.ID]int {
+	out := make(map[task.ID]int, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,147 @@
+package minimize
+
+import (
+	"math/rand"
+	"testing"
+
+	"partalloc/internal/core"
+	"partalloc/internal/sim"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+	"partalloc/internal/workload"
+)
+
+func TestMinimizeReturnsInputWhenNotFailing(t *testing.T) {
+	seq := task.Figure1Sequence()
+	got := Minimize(seq, func(task.Sequence) bool { return false })
+	if len(got.Events) != len(seq.Events) {
+		t.Fatal("non-failing input was modified")
+	}
+}
+
+// Minimizing "greedy load ≥ 2 on N=4" from a big noisy workload should
+// recover a tiny core — the essence of the paper's Figure 1.
+func TestMinimizeGreedyOverload(t *testing.T) {
+	// Target 0.9 keeps s(σ) ≤ 4 (arrivals trigger below active size 3 and
+	// add at most 2), so L* = 1 while churn fragments the machine.
+	var seq task.Sequence
+	found := false
+	for seed := int64(0); seed < 20 && !found; seed++ {
+		seq = workload.Saturation(workload.SaturationConfig{
+			N: 4, Events: 400, Seed: seed, Churn: 0.3, Target: 0.9, MaxExp: 1,
+		})
+		res := sim.Run(core.NewGreedy(tree.MustNew(4)), seq, sim.Options{})
+		found = res.MaxLoad >= 2 && res.LStar <= 1
+	}
+	failing := func(s task.Sequence) bool {
+		if s.Validate(4) != nil {
+			return false
+		}
+		res := sim.Run(core.NewGreedy(tree.MustNew(4)), s, sim.Options{})
+		return res.MaxLoad >= 2 && res.LStar <= 1
+	}
+	if !found {
+		t.Fatal("no seed overloaded greedy; generator drifted")
+	}
+	if !failing(seq) {
+		t.Fatal("inconsistent failing predicate")
+	}
+	min := Minimize(seq, failing)
+	if !failing(min) {
+		t.Fatal("minimized sequence no longer fails")
+	}
+	if err := min.Validate(4); err != nil {
+		t.Fatalf("minimized sequence invalid: %v", err)
+	}
+	if len(min.Events) > 12 {
+		t.Errorf("minimized to %d events; expected a handful (input %d)",
+			len(min.Events), len(seq.Events))
+	}
+	// 1-minimality at task granularity: dropping any task un-fails it.
+	for _, id := range taskOrder(min) {
+		keep := map[task.ID]bool{}
+		for _, other := range taskOrder(min) {
+			if other != id {
+				keep[other] = true
+			}
+		}
+		if failing(project(min, keep, nil)) {
+			t.Errorf("dropping task %d still fails — not 1-minimal", id)
+		}
+	}
+}
+
+// Size shrinking: a property that only needs "some task of size ≥ 2"
+// minimizes to one task of size exactly 2.
+func TestMinimizeShrinksSizes(t *testing.T) {
+	b := task.NewBuilder()
+	b.Arrive(8)
+	b.Arrive(4)
+	b.Arrive(2)
+	seq := b.Sequence()
+	failing := func(s task.Sequence) bool {
+		for _, e := range s.Events {
+			if e.Kind == task.Arrive && e.Size >= 2 {
+				return true
+			}
+		}
+		return false
+	}
+	min := Minimize(seq, failing)
+	if got := len(min.Events); got != 1 {
+		t.Fatalf("minimized to %d events, want 1", got)
+	}
+	if min.Events[0].Size != 2 {
+		t.Fatalf("minimized size %d, want 2", min.Events[0].Size)
+	}
+}
+
+// ddmin on synthetic predicates: needing exactly tasks {3, 7} finds them.
+func TestDdminFindsCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+	b := task.NewBuilder()
+	var ids []task.ID
+	for i := 0; i < 40; i++ {
+		ids = append(ids, b.Arrive(1))
+	}
+	seq := b.Sequence()
+	need := map[task.ID]bool{ids[3]: true, ids[7]: true}
+	failing := func(s task.Sequence) bool {
+		have := map[task.ID]bool{}
+		for _, e := range s.Events {
+			have[e.Task] = true
+		}
+		for id := range need {
+			if !have[id] {
+				return false
+			}
+		}
+		return true
+	}
+	min := Minimize(seq, failing)
+	if len(min.Events) != 2 {
+		t.Fatalf("minimized to %d events, want 2", len(min.Events))
+	}
+	for _, e := range min.Events {
+		if !need[e.Task] {
+			t.Fatalf("kept irrelevant task %d", e.Task)
+		}
+	}
+}
+
+func TestProjectPreservesDepartures(t *testing.T) {
+	b := task.NewBuilder()
+	a1 := b.Arrive(2)
+	a2 := b.Arrive(4)
+	b.Depart(a1)
+	b.Depart(a2)
+	seq := b.Sequence()
+	got := project(seq, map[task.ID]bool{a2: true}, nil)
+	if len(got.Events) != 2 {
+		t.Fatalf("projected %d events, want 2", len(got.Events))
+	}
+	if err := got.Validate(8); err != nil {
+		t.Fatalf("projection invalid: %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+// Package parallel provides the small fan-out helpers the experiment
+// harness uses to spread independent seeded runs across cores. Experiment
+// cells are embarrassingly parallel — each builds its own allocator and
+// workload from a seed — so a bounded worker pool with deterministic
+// result ordering is all that is needed: results are collected by index,
+// never by completion order, keeping every table byte-identical to the
+// sequential run.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for i in [0, n) on up to workers goroutines
+// (workers ≤ 0 selects GOMAXPROCS). It returns after all calls complete.
+// fn must be safe to call concurrently for distinct i.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn over [0, n) in parallel and returns the results in index
+// order, so downstream aggregation is deterministic regardless of
+// completion order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

@@ -1,0 +1,49 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 200
+		var hits [n]int32
+		ForEach(n, workers, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestMapOrderDeterministic(t *testing.T) {
+	got := Map(50, 8, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d: got %d", i, v)
+		}
+	}
+}
+
+func TestMapSingleWorkerMatchesParallel(t *testing.T) {
+	seq := Map(100, 1, func(i int) int { return i * 3 })
+	par := Map(100, 16, func(i int) int { return i * 3 })
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package report renders the experiment artifacts: aligned ASCII tables,
+// Markdown tables, CSV, and ASCII line plots for the paper-style figures
+// (load ratio vs. reallocation parameter d, cost-of-reallocation curves).
+// Everything writes to an io.Writer so CLI tools, tests and benchmarks
+// share the same renderers.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a rectangular report with a caption.
+type Table struct {
+	Caption string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; cells beyond the header width are rejected.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("report: row has %d cells, header has %d", len(cells), len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row of formatted values: each value is rendered with
+// %v except float64, rendered with %.3g.
+func (t *Table) AddRowf(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = formatFloat(x)
+		case string:
+			cells[i] = x
+		default:
+			cells[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// FormatFloat renders a float the way AddRowf does: integers as "%.1f",
+// other values with three decimals.
+func FormatFloat(x float64) string { return formatFloat(x) }
+
+func formatFloat(x float64) string {
+	if math.IsNaN(x) {
+		return "NaN"
+	}
+	if x == math.Trunc(x) && math.Abs(x) < 1e6 {
+		return fmt.Sprintf("%.1f", x)
+	}
+	return fmt.Sprintf("%.3f", x)
+}
+
+// WriteASCII renders the table with aligned columns.
+func (t *Table) WriteASCII(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if l := len([]rune(c)); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(c))))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := len(t.Headers)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteMarkdown renders the table as GitHub-flavored Markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Caption)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Headers, " | "))
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (simple quoting: cells containing
+// commas or quotes are double-quoted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRec := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRec(t.Headers)
+	for _, row := range t.Rows {
+		writeRec(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// heatRamp maps intensities 0..9+ to characters of increasing visual
+// weight.
+var heatRamp = []rune(" .:-=+*#%@")
+
+// HeatStrip renders integer intensities (e.g. per-PE loads) as one line of
+// heat characters, downsampling to at most width cells by taking the max
+// within each cell (the max is what the paper's load metric cares about).
+// Pass width ≤ 0 for one character per value.
+func HeatStrip(values []int, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width <= 0 || width > len(values) {
+		width = len(values)
+	}
+	out := make([]rune, width)
+	for c := 0; c < width; c++ {
+		lo := c * len(values) / width
+		hi := (c + 1) * len(values) / width
+		if hi == lo {
+			hi = lo + 1
+		}
+		max := 0
+		for i := lo; i < hi; i++ {
+			if values[i] > max {
+				max = values[i]
+			}
+		}
+		if max >= len(heatRamp) {
+			max = len(heatRamp) - 1
+		}
+		out[c] = heatRamp[max]
+	}
+	return string(out)
+}
+
+// SeriesPoint is one (x, y) of a plot series.
+type SeriesPoint struct{ X, Y float64 }
+
+// PlotSeries is a named line of a Plot.
+type PlotSeries struct {
+	Name   string
+	Marker rune
+	Points []SeriesPoint
+}
+
+// Plot is an ASCII line chart: the terminal rendition of the paper-style
+// figures.
+type Plot struct {
+	Caption string
+	XLabel  string
+	YLabel  string
+	Width   int // plot area columns; 0 → 60
+	Height  int // plot area rows; 0 → 20
+	Series  []PlotSeries
+}
+
+// Add appends a series with the given marker.
+func (p *Plot) Add(name string, marker rune, pts []SeriesPoint) {
+	p.Series = append(p.Series, PlotSeries{Name: name, Marker: marker, Points: pts})
+}
+
+// WriteASCII renders the plot on a character grid with axis labels and a
+// legend.
+func (p *Plot) WriteASCII(w io.Writer) error {
+	width, height := p.Width, p.Height
+	if width == 0 {
+		width = 60
+	}
+	if height == 0 {
+		height = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			minX, maxX = math.Min(minX, pt.X), math.Max(maxX, pt.X)
+			minY, maxY = math.Min(minY, pt.Y), math.Max(maxY, pt.Y)
+		}
+	}
+	var b strings.Builder
+	if p.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", p.Caption)
+	}
+	if math.IsInf(minX, 1) {
+		fmt.Fprintln(&b, "(no data)")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			c := int(math.Round((pt.X - minX) / (maxX - minX) * float64(width-1)))
+			r := height - 1 - int(math.Round((pt.Y-minY)/(maxY-minY)*float64(height-1)))
+			if grid[r][c] == ' ' || grid[r][c] == s.Marker {
+				grid[r][c] = s.Marker
+			} else {
+				grid[r][c] = '#' // overlap
+			}
+		}
+	}
+	yTop := fmt.Sprintf("%.3g", maxY)
+	yBot := fmt.Sprintf("%.3g", minY)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", margin)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", margin, yTop)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", margin, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.3g%*.3g\n", strings.Repeat(" ", margin), width/2, minX, width-width/2, maxX)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s    y: %s\n", p.XLabel, p.YLabel)
+	}
+	for _, s := range p.Series {
+		fmt.Fprintf(&b, "  %c %s\n", s.Marker, s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

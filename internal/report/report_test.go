@@ -1,0 +1,154 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		Caption: "E2: A_C optimality",
+		Headers: []string{"N", "ratio", "algo"},
+	}
+	t.AddRow("4", "1.0", "A_C")
+	t.AddRowf(1024, 1.25, "A_G")
+	return t
+}
+
+func TestTableASCII(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"E2: A_C optimality", "N", "ratio", "algo", "1024", "1.250", "A_G", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: header line and row lines have the same prefix width
+	// for column 2.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "| N | ratio | algo |") {
+		t.Errorf("markdown header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Errorf("markdown separator missing:\n%s", out)
+	}
+	if !strings.Contains(out, "**E2: A_C optimality**") {
+		t.Errorf("caption missing:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b"}}
+	tab.AddRow("x,y", `say "hi"`)
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestAddRowPanicsOnWidthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	tab := &Table{Headers: []string{"a", "b"}}
+	tab.AddRow("only-one")
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:      "1.0",
+		2.5:    "2.500",
+		0.3333: "0.333",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPlotRendersSeries(t *testing.T) {
+	p := &Plot{Caption: "tradeoff", XLabel: "d", YLabel: "ratio", Width: 40, Height: 10}
+	p.Add("measured", '*', []SeriesPoint{{0, 1}, {1, 2}, {2, 3}, {3, 3}})
+	p.Add("bound", 'o', []SeriesPoint{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	var b strings.Builder
+	if err := p.WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"tradeoff", "*", "o", "measured", "bound", "x: d", "y: ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Overlapping points render '#': (0,1) and (1,2),(2,3) overlap between
+	// the series.
+	if !strings.Contains(out, "#") {
+		t.Errorf("expected overlap marker:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := (&Plot{}).WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "(no data)") {
+		t.Errorf("empty plot output: %q", b.String())
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	p := &Plot{Width: 20, Height: 5}
+	p.Add("flat", '*', []SeriesPoint{{1, 2}, {1, 2}})
+	var b strings.Builder
+	if err := p.WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "*") {
+		t.Errorf("degenerate plot lost its point:\n%s", b.String())
+	}
+}
+
+func TestHeatStrip(t *testing.T) {
+	if got := HeatStrip(nil, 10); got != "" {
+		t.Errorf("empty input: %q", got)
+	}
+	// One char per value, ramp order.
+	got := HeatStrip([]int{0, 1, 2, 9, 42}, 0)
+	if len([]rune(got)) != 5 {
+		t.Fatalf("width: %q", got)
+	}
+	r := []rune(got)
+	if r[0] != ' ' || r[1] != '.' || r[4] != '@' || r[3] != '@' {
+		t.Errorf("ramp wrong: %q", got)
+	}
+	// Downsampling takes the max per cell.
+	got = HeatStrip([]int{0, 9, 0, 0}, 2)
+	if []rune(got)[0] != '@' {
+		t.Errorf("downsample should keep the max: %q", got)
+	}
+	if len([]rune(got)) != 2 {
+		t.Errorf("downsampled width: %q", got)
+	}
+}

@@ -1,0 +1,165 @@
+// Package sim drives allocation algorithms through task sequences and
+// collects the measurements the experiments report: maximum load over
+// time, competitive ratio against the optimal load L*, reallocation cost
+// (reallocations, migrated tasks, moved PE-units), and optionally the full
+// load time series and per-task slowdown distribution.
+//
+// The simulator is the "machine" of this reproduction: the paper's load
+// metric is a pure thread count, so driving the allocator event by event
+// and reading its load state exercises exactly the objects the theorems
+// constrain (see DESIGN.md, substitutions).
+package sim
+
+import (
+	"fmt"
+
+	"partalloc/internal/core"
+	"partalloc/internal/mathx"
+	"partalloc/internal/metrics"
+	"partalloc/internal/task"
+)
+
+// Options controls what Run records.
+type Options struct {
+	// RecordSeries keeps a per-event load sample (costs memory).
+	RecordSeries bool
+	// TrackSlowdowns maintains the per-task round-robin slowdown
+	// distribution (costs an O(N + active·size) pass per event).
+	TrackSlowdowns bool
+	// Paranoid revalidates allocator-reported loads against placements at
+	// every event (O(N·active); for tests).
+	Paranoid bool
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Algorithm is the allocator's Name().
+	Algorithm string
+	// N is the machine size.
+	N int
+	// Events is the number of processed events.
+	Events int
+	// MaxLoad is the maximum PE load observed at any event time.
+	MaxLoad int
+	// FinalLoad is the load after the last event.
+	FinalLoad int
+	// LStar is the optimal load of the sequence.
+	LStar int
+	// Ratio is MaxLoad/L* (0 when L* is 0).
+	Ratio float64
+	// PeakRatio is the maximum instantaneous MaxLoad(τ)/L*(prefix ≤ τ).
+	PeakRatio float64
+	// Realloc is populated when the allocator reallocates.
+	Realloc core.ReallocStats
+	// Series is populated when Options.RecordSeries is set.
+	Series *metrics.Series
+	// Slowdowns is populated when Options.TrackSlowdowns is set: the
+	// worst slowdown of every task (completed and still-active).
+	Slowdowns []int
+}
+
+// Run drives allocator a through sequence seq and returns measurements.
+// The sequence must be valid for the allocator's machine (see
+// task.Sequence.Validate); Run panics otherwise, as allocators do.
+func Run(a core.Allocator, seq task.Sequence, opt Options) Result {
+	m := a.Machine()
+	n := m.N()
+	res := Result{Algorithm: a.Name(), N: n, Events: len(seq.Events)}
+	var series *metrics.Series
+	if opt.RecordSeries {
+		series = &metrics.Series{}
+	}
+	var slow *metrics.SlowdownTracker
+	if opt.TrackSlowdowns {
+		slow = metrics.NewSlowdownTracker(m)
+	}
+
+	var activeSize, maxActiveSize int64
+	peakRatio := 0.0
+	for i, e := range seq.Events {
+		switch e.Kind {
+		case task.Arrive:
+			v := a.Arrive(task.Task{ID: e.Task, Size: e.Size})
+			activeSize += int64(e.Size)
+			if activeSize > maxActiveSize {
+				maxActiveSize = activeSize
+			}
+			if slow != nil {
+				slow.Arrive(e.Task, v)
+			}
+		case task.Depart:
+			if slow != nil {
+				// Record the task's placement-state one last time before
+				// releasing it (loads from the previous event already
+				// observed; departure can only lower loads).
+				slow.Depart(e.Task)
+			}
+			a.Depart(e.Task)
+			activeSize -= int64(e.Size)
+		default:
+			panic(fmt.Sprintf("sim: unknown event kind %d at %d", e.Kind, i))
+		}
+
+		load := a.MaxLoad()
+		if load > res.MaxLoad {
+			res.MaxLoad = load
+		}
+		runningLStar := 0
+		if maxActiveSize > 0 {
+			runningLStar = int(mathx.CeilDiv64(maxActiveSize, int64(n)))
+		}
+		if runningLStar > 0 {
+			if r := float64(load) / float64(runningLStar); r > peakRatio {
+				peakRatio = r
+			}
+		}
+		if slow != nil {
+			slow.Observe(a.PELoads())
+		}
+		if series != nil {
+			series.Append(metrics.Sample{
+				EventIndex:   i,
+				Time:         e.Time,
+				MaxLoad:      load,
+				ActiveSize:   activeSize,
+				RunningLStar: runningLStar,
+			})
+		}
+		if opt.Paranoid {
+			paranoidCheck(a, i)
+		}
+	}
+
+	res.FinalLoad = a.MaxLoad()
+	res.LStar = int(0)
+	if maxActiveSize > 0 {
+		res.LStar = int(mathx.CeilDiv64(maxActiveSize, int64(n)))
+	}
+	if res.LStar > 0 {
+		res.Ratio = float64(res.MaxLoad) / float64(res.LStar)
+	}
+	res.PeakRatio = peakRatio
+	if r, ok := a.(core.Reallocator); ok {
+		res.Realloc = r.ReallocStats()
+	}
+	res.Series = series
+	if slow != nil {
+		res.Slowdowns = slow.All()
+	}
+	return res
+}
+
+// paranoidCheck asserts MaxLoad agrees with the PE load snapshot.
+func paranoidCheck(a core.Allocator, event int) {
+	loads := a.PELoads()
+	max := 0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	if max != a.MaxLoad() {
+		panic(fmt.Sprintf("sim: event %d: MaxLoad()=%d but snapshot max is %d",
+			event, a.MaxLoad(), max))
+	}
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+
+	"partalloc/internal/core"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+	"partalloc/internal/workload"
+)
+
+func TestRunFigure1(t *testing.T) {
+	m := tree.MustNew(4)
+	res := Run(core.NewGreedy(m), task.Figure1Sequence(), Options{RecordSeries: true})
+	if res.MaxLoad != 2 || res.LStar != 1 || res.Ratio != 2 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Events != 7 || len(res.Series.Samples) != 7 {
+		t.Fatalf("events %d, samples %d", res.Events, len(res.Series.Samples))
+	}
+	if res.Algorithm != "A_G" || res.N != 4 {
+		t.Fatalf("labels wrong: %+v", res)
+	}
+	// The greedy run's load stays ≤ 1 until t5 arrives at event index 6.
+	for i, s := range res.Series.Samples {
+		want := 1
+		if i == 6 {
+			want = 2
+		}
+		if s.MaxLoad != want {
+			t.Errorf("event %d load %d, want %d", i, s.MaxLoad, want)
+		}
+	}
+	if res.FinalLoad != 2 {
+		t.Errorf("final load %d", res.FinalLoad)
+	}
+}
+
+func TestRunCollectsReallocStats(t *testing.T) {
+	m := tree.MustNew(16)
+	seq := workload.Saturation(workload.SaturationConfig{N: 16, Events: 500, Seed: 2, Churn: 0.3})
+	res := Run(core.NewConstant(m), seq, Options{})
+	if res.Realloc.Reallocations == 0 {
+		t.Fatal("A_C reported no reallocations")
+	}
+	// A_C achieves exactly L*.
+	if res.Ratio != 1 {
+		t.Fatalf("A_C ratio %g", res.Ratio)
+	}
+}
+
+func TestRunParanoidAndSlowdowns(t *testing.T) {
+	m := tree.MustNew(32)
+	seq := workload.Poisson(workload.Config{N: 32, Arrivals: 200, Seed: 3})
+	res := Run(core.NewGreedy(m), seq, Options{Paranoid: true, TrackSlowdowns: true})
+	if len(res.Slowdowns) != 200 {
+		t.Fatalf("slowdowns for %d tasks, want 200", len(res.Slowdowns))
+	}
+	for _, s := range res.Slowdowns {
+		if s < 1 || s > res.MaxLoad {
+			t.Fatalf("slowdown %d outside [1,%d]", s, res.MaxLoad)
+		}
+	}
+}
+
+func TestPeakRatioAtMostRatio(t *testing.T) {
+	// PeakRatio compares against the running (smaller-or-equal) optimum, so
+	// it is at least Ratio... no: running L* ≤ final L*, so instantaneous
+	// ratios can exceed MaxLoad/L*. Verify the documented relationship:
+	// PeakRatio ≥ Ratio.
+	m := tree.MustNew(64)
+	seq := workload.Poisson(workload.Config{N: 64, Arrivals: 500, Seed: 4})
+	res := Run(core.NewGreedy(m), seq, Options{})
+	if res.PeakRatio < res.Ratio {
+		t.Fatalf("PeakRatio %g < Ratio %g", res.PeakRatio, res.Ratio)
+	}
+}
+
+func TestRunEmptySequence(t *testing.T) {
+	m := tree.MustNew(8)
+	res := Run(core.NewGreedy(m), task.Sequence{}, Options{RecordSeries: true})
+	if res.MaxLoad != 0 || res.LStar != 0 || res.Ratio != 0 || res.Events != 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+}
+
+func TestRunAllAlgorithmsOnCommonWorkload(t *testing.T) {
+	seq := workload.Saturation(workload.SaturationConfig{N: 64, Events: 2000, Seed: 5, Churn: 0.2})
+	factories := []core.Factory{
+		core.GreedyFactory(),
+		core.BasicFactory(),
+		core.ConstantFactory(),
+		core.PeriodicFactory(1),
+		core.PeriodicFactory(2),
+		core.LazyFactory(2),
+		core.RandomFactory(1),
+	}
+	for _, f := range factories {
+		m := tree.MustNew(64)
+		res := Run(f.New(m), seq, Options{Paranoid: true})
+		if res.MaxLoad < res.LStar {
+			t.Errorf("%s: max load %d below optimal %d (impossible)",
+				f.Name, res.MaxLoad, res.LStar)
+		}
+		if res.Ratio < 1 {
+			t.Errorf("%s: ratio %g < 1", f.Name, res.Ratio)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness reports: means, standard deviations, quantiles,
+// normal-approximation confidence intervals, and fixed-width histograms.
+// Everything operates on float64 slices and is deterministic.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes a Summary. It returns a zero Summary for an empty
+// sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.9)
+	s.P99 = Quantile(sorted, 0.99)
+	return s
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (0 for fewer than 2 points).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Max returns the maximum (negative infinity for empty input).
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum (positive infinity for empty input).
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// sample using linear interpolation between closest ranks. It panics if
+// the sample is empty or unsorted inputs are the caller's responsibility.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CI95 returns the half-width of a 95% confidence interval for the mean
+// under the normal approximation: 1.96·s/√n. It returns 0 for fewer than
+// two points.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * Std(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Histogram is a fixed-width-bin histogram.
+type Histogram struct {
+	Lo, Hi float64 // range covered; values outside are clamped to edge bins
+	Counts []int
+}
+
+// NewHistogram builds a histogram of xs with the given number of bins over
+// [lo, hi]. bins must be positive and hi > lo.
+func NewHistogram(xs []float64, lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram spec [%g,%g] bins=%d", lo, hi, bins))
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	for _, x := range xs {
+		h.Add(x)
+	}
+	return h
+}
+
+// Add records one observation, clamping out-of-range values to the edge
+// bins.
+func (h *Histogram) Add(x float64) {
+	bins := len(h.Counts)
+	i := int(float64(bins) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= bins {
+		i = bins - 1
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinLabel renders the range of bin i, e.g. "[2.0,4.0)".
+func (h *Histogram) BinLabel(i int) string {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return fmt.Sprintf("[%.1f,%.1f)", h.Lo+float64(i)*w, h.Lo+float64(i+1)*w)
+}

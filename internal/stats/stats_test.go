@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeBasics(t *testing.T) {
+	xs := []float64{4, 2, 8, 6}
+	s := Summarize(xs)
+	if s.N != 4 || s.Mean != 5 || s.Min != 2 || s.Max != 8 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Sample std of {2,4,6,8} = sqrt(20/3) ≈ 2.582.
+	if !almostEq(s.Std, math.Sqrt(20.0/3), 1e-9) {
+		t.Fatalf("std = %g", s.Std)
+	}
+	if s.Median != 5 {
+		t.Fatalf("median = %g", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty summary nonzero N")
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("single summary %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestMeanStdMinMax(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if Mean(xs) != 2 || Min(xs) != 1 || Max(xs) != 3 {
+		t.Fatal("basic stats wrong")
+	}
+	if Std([]float64{5}) != 0 || Mean(nil) != 0 {
+		t.Fatal("degenerate stats wrong")
+	}
+	if !almostEq(Std(xs), 1, 1e-12) {
+		t.Fatalf("Std = %g", Std(xs))
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	small := make([]float64, 20)
+	large := make([]float64, 2000)
+	for i := range small {
+		small[i] = rng.NormFloat64()
+	}
+	for i := range large {
+		large[i] = rng.NormFloat64()
+	}
+	if CI95(large) >= CI95(small) {
+		t.Errorf("CI did not shrink: %g vs %g", CI95(large), CI95(small))
+	}
+	// For standard normal with n=2000, CI ≈ 1.96/sqrt(2000) ≈ 0.044.
+	if ci := CI95(large); ci < 0.02 || ci > 0.08 {
+		t.Errorf("CI95 = %g, expected ≈0.044", ci)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 1.5, 1.6, 9.9, -3, 42}, 0, 10, 10)
+	if h.Total() != 6 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 { // 0.5 and clamped -3
+		t.Errorf("bin 0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 2 { // 1.5, 1.6
+		t.Errorf("bin 1 = %d", h.Counts[1])
+	}
+	if h.Counts[9] != 2 { // 9.9 and clamped 42
+		t.Errorf("bin 9 = %d", h.Counts[9])
+	}
+	if got := h.BinLabel(0); got != "[0.0,1.0)" {
+		t.Errorf("label = %q", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(nil, 5, 5, 3)
+}
+
+// Property: mean is within [min, max]; std is non-negative; quantiles are
+// monotone in q.
+func TestSummaryProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 || s.Std < 0 {
+			return false
+		}
+		return s.Median <= s.P90+1e-9 && s.P90 <= s.P99+1e-9 && s.P99 <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

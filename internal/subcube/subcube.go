@@ -1,0 +1,330 @@
+// Package subcube implements *exclusive* (space-shared) subcube allocation
+// on a hypercube — the regime of the related work the paper contrasts
+// itself against (Chen/Shin Gray-code allocation [9,10], Dutt/Hayes [11],
+// Chen/Lai [12]). Here a task owns its PEs outright; if no free subcube of
+// the requested size is recognized, the task *waits* — precisely the
+// real-time-service failure the paper's time-sharing model avoids by
+// letting loads exceed one.
+//
+// Three recognition strategies of increasing completeness are provided:
+//
+//   - Buddy: the free dimensions must be the lowest log₂(size) dimensions;
+//     recognizes N/size subcubes per size (this is exactly the tree
+//     machine's submachine set).
+//   - GrayCode: the Chen/Shin strategy; allocatable regions are runs of
+//     2^x consecutive codewords of the binary-reflected Gray code starting
+//     at multiples of 2^(x-1), which doubles the recognizable subcubes.
+//   - Exhaustive: full subcube recognition — all (n choose x)·2^(n−x)
+//     subcubes are candidates (statically optimal, exponentially many).
+//
+// Experiment E12 runs the same job stream through all three and through
+// the paper's time-shared allocators, exhibiting the trade: space sharing
+// queues jobs when fragmented; time sharing never queues but loads PEs
+// beyond one.
+package subcube
+
+import (
+	"fmt"
+	"math/bits"
+
+	"partalloc/internal/mathx"
+)
+
+// Subcube identifies a subcube of a dim-dimensional hypercube by its fixed
+// dimensions (Mask bit set = dimension fixed) and their values (Value,
+// meaningful only on Mask bits).
+type Subcube struct {
+	Mask  int
+	Value int
+}
+
+// Size returns the PE count of the subcube within a dim-cube.
+func (s Subcube) Size(dim int) int {
+	return 1 << (dim - bits.OnesCount(uint(s.Mask)))
+}
+
+// Contains reports whether PE p lies in the subcube.
+func (s Subcube) Contains(p int) bool {
+	return p&s.Mask == s.Value&s.Mask
+}
+
+// PEs enumerates the subcube's PEs in increasing address order.
+func (s Subcube) PEs(dim int) []int {
+	freeDims := make([]int, 0, dim)
+	for d := 0; d < dim; d++ {
+		if s.Mask&(1<<d) == 0 {
+			freeDims = append(freeDims, d)
+		}
+	}
+	out := make([]int, 0, 1<<len(freeDims))
+	base := s.Value & s.Mask
+	for i := 0; i < 1<<len(freeDims); i++ {
+		p := base
+		for j, d := range freeDims {
+			if i&(1<<j) != 0 {
+				p |= 1 << d
+			}
+		}
+		out = append(out, p)
+	}
+	// The construction enumerates in increasing order already (free dims
+	// ascend), but sort-by-insertion guards against future edits.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (s Subcube) String() string {
+	return fmt.Sprintf("subcube{mask=%b,value=%b}", s.Mask, s.Value&s.Mask)
+}
+
+// Strategy selects the subcube recognition scheme.
+type Strategy int
+
+const (
+	// Buddy recognizes only subcubes whose free dimensions are the lowest.
+	Buddy Strategy = iota
+	// GrayCode recognizes runs of the binary-reflected Gray code (Chen/Shin).
+	GrayCode
+	// Exhaustive recognizes every subcube.
+	Exhaustive
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Buddy:
+		return "buddy"
+	case GrayCode:
+		return "graycode"
+	case Exhaustive:
+		return "exhaustive"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Strategies lists all recognition strategies.
+func Strategies() []Strategy { return []Strategy{Buddy, GrayCode, Exhaustive} }
+
+// Cube is the exclusive-occupancy state of a dim-dimensional hypercube.
+type Cube struct {
+	dim  int
+	n    int
+	busy []bool
+	used int
+}
+
+// NewCube returns an all-free dim-dimensional hypercube (2^dim PEs).
+func NewCube(dim int) *Cube {
+	if dim < 0 || dim > 30 {
+		panic(fmt.Sprintf("subcube: dimension %d out of range", dim))
+	}
+	n := 1 << dim
+	return &Cube{dim: dim, n: n, busy: make([]bool, n)}
+}
+
+// Dim returns the cube dimension.
+func (c *Cube) Dim() int { return c.dim }
+
+// N returns the PE count.
+func (c *Cube) N() int { return c.n }
+
+// Used returns the number of busy PEs.
+func (c *Cube) Used() int { return c.used }
+
+// Utilization returns the busy fraction.
+func (c *Cube) Utilization() float64 { return float64(c.used) / float64(c.n) }
+
+// freeRun reports whether all PEs of sc are free.
+func (c *Cube) freeSubcube(sc Subcube) bool {
+	for _, p := range sc.PEs(c.dim) {
+		if c.busy[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// gray returns the i-th binary-reflected Gray codeword.
+func gray(i int) int { return i ^ (i >> 1) }
+
+// Find searches for a free subcube of the given size (a power of two ≤ N)
+// under the strategy, returning the first candidate in the strategy's
+// canonical order.
+func (c *Cube) Find(size int, st Strategy) (Subcube, bool) {
+	if !mathx.IsPow2(size) || size > c.n {
+		panic(fmt.Sprintf("subcube: invalid request size %d for N=%d", size, c.n))
+	}
+	x := mathx.Log2(size)
+	switch st {
+	case Buddy:
+		mask := ((1 << c.dim) - 1) &^ ((1 << x) - 1) // fix all but lowest x dims
+		for v := 0; v < c.n; v += size {
+			sc := Subcube{Mask: mask, Value: v}
+			if c.freeSubcube(sc) {
+				return sc, true
+			}
+		}
+	case GrayCode:
+		if x == 0 {
+			return c.Find(size, Buddy)
+		}
+		step := size / 2
+		for start := 0; start+size <= c.n; start += step {
+			if sc, ok := c.grayRegion(start, size); ok && c.freeSubcube(sc) {
+				return sc, true
+			}
+		}
+	case Exhaustive:
+		// Enumerate free-dimension subsets of size x (Gosper's hack), then
+		// all values of the remaining fixed dimensions.
+		full := (1 << c.dim) - 1
+		if x == c.dim {
+			sc := Subcube{Mask: 0, Value: 0}
+			if c.freeSubcube(sc) {
+				return sc, true
+			}
+			return Subcube{}, false
+		}
+		for free := (1 << x) - 1; free <= full; free = nextSubset(free) {
+			mask := full &^ free
+			fixedDims := make([]int, 0, c.dim-x)
+			for d := 0; d < c.dim; d++ {
+				if mask&(1<<d) != 0 {
+					fixedDims = append(fixedDims, d)
+				}
+			}
+			for i := 0; i < 1<<len(fixedDims); i++ {
+				v := 0
+				for j, d := range fixedDims {
+					if i&(1<<j) != 0 {
+						v |= 1 << d
+					}
+				}
+				sc := Subcube{Mask: mask, Value: v}
+				if c.freeSubcube(sc) {
+					return sc, true
+				}
+			}
+			if free == full {
+				break
+			}
+		}
+	default:
+		panic(fmt.Sprintf("subcube: unknown strategy %d", st))
+	}
+	return Subcube{}, false
+}
+
+// grayRegion interprets the Gray codewords gray(start..start+size-1) as a
+// subcube, returning ok=false if the run does not form one (runs aligned
+// to multiples of size/2 always do; this guards the construction).
+func (c *Cube) grayRegion(start, size int) (Subcube, bool) {
+	first := gray(start)
+	orXor := 0
+	for i := 1; i < size; i++ {
+		orXor |= first ^ gray(start+i)
+	}
+	if bits.OnesCount(uint(orXor)) != mathx.Log2(size) {
+		return Subcube{}, false
+	}
+	full := (1 << c.dim) - 1
+	mask := full &^ orXor
+	return Subcube{Mask: mask, Value: first & mask}, true
+}
+
+// nextSubset is Gosper's hack: the next integer with the same popcount.
+func nextSubset(v int) int {
+	if v == 0 {
+		return 1 << 30
+	}
+	c := v & -v
+	r := v + c
+	return (((r ^ v) >> 2) / c) | r
+}
+
+// Allocate marks the subcube busy. It panics if any PE is already busy.
+func (c *Cube) Allocate(sc Subcube) {
+	for _, p := range sc.PEs(c.dim) {
+		if c.busy[p] {
+			panic(fmt.Sprintf("subcube: PE %d already busy", p))
+		}
+		c.busy[p] = true
+		c.used++
+	}
+}
+
+// Release marks the subcube free. It panics if any PE is already free.
+func (c *Cube) Release(sc Subcube) {
+	for _, p := range sc.PEs(c.dim) {
+		if !c.busy[p] {
+			panic(fmt.Sprintf("subcube: PE %d already free", p))
+		}
+		c.busy[p] = false
+		c.used--
+	}
+}
+
+// CountFree returns how many free subcubes of the given size the strategy
+// currently recognizes — the static recognition-power measure of the
+// related work.
+func (c *Cube) CountFree(size int, st Strategy) int {
+	if !mathx.IsPow2(size) || size > c.n {
+		panic(fmt.Sprintf("subcube: invalid size %d", size))
+	}
+	x := mathx.Log2(size)
+	count := 0
+	switch st {
+	case Buddy:
+		mask := ((1 << c.dim) - 1) &^ ((1 << x) - 1)
+		for v := 0; v < c.n; v += size {
+			if c.freeSubcube(Subcube{Mask: mask, Value: v}) {
+				count++
+			}
+		}
+	case GrayCode:
+		if x == 0 {
+			return c.CountFree(size, Buddy)
+		}
+		step := size / 2
+		for start := 0; start+size <= c.n; start += step {
+			if sc, ok := c.grayRegion(start, size); ok && c.freeSubcube(sc) {
+				count++
+			}
+		}
+	case Exhaustive:
+		full := (1 << c.dim) - 1
+		if x == c.dim {
+			if c.freeSubcube(Subcube{}) {
+				return 1
+			}
+			return 0
+		}
+		for free := (1 << x) - 1; free <= full; free = nextSubset(free) {
+			mask := full &^ free
+			fixedDims := make([]int, 0, c.dim-x)
+			for d := 0; d < c.dim; d++ {
+				if mask&(1<<d) != 0 {
+					fixedDims = append(fixedDims, d)
+				}
+			}
+			for i := 0; i < 1<<len(fixedDims); i++ {
+				v := 0
+				for j, d := range fixedDims {
+					if i&(1<<j) != 0 {
+						v |= 1 << d
+					}
+				}
+				if c.freeSubcube(Subcube{Mask: mask, Value: v}) {
+					count++
+				}
+			}
+			if free == full {
+				break
+			}
+		}
+	}
+	return count
+}

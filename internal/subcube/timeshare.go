@@ -1,0 +1,168 @@
+package subcube
+
+import (
+	"fmt"
+
+	"partalloc/internal/mathx"
+	"partalloc/internal/task"
+)
+
+// TimeShared is a greedy *time-shared* allocator that may place a task on
+// ANY subcube of the hypercube (per the configured recognition strategy),
+// not just the buddy-aligned ones that correspond to tree-machine
+// submachines. Loads may exceed one, exactly as in the paper's model; the
+// placement rule is min-max-load with lowest-candidate tie-breaking.
+//
+// It exists for the E13 ablation: the paper restricts placements to the
+// hierarchical decomposition (buddy subcubes). A greedy allocator with the
+// exponentially larger exhaustive candidate set lower-bounds what that
+// restriction costs. (It does not satisfy the tree-machine theorems — its
+// candidate set is not hierarchically nested — so any improvement it shows
+// is the price of the paper's structure, and any non-improvement shows the
+// restriction is cheap.)
+type TimeShared struct {
+	dim      int
+	n        int
+	strategy Strategy
+	loads    []int
+	placed   map[task.ID]Subcube
+}
+
+// NewTimeShared returns a time-shared greedy allocator over the strategy's
+// candidate subcubes.
+func NewTimeShared(dim int, st Strategy) *TimeShared {
+	return &TimeShared{
+		dim:      dim,
+		n:        1 << dim,
+		strategy: st,
+		loads:    make([]int, 1<<dim),
+		placed:   make(map[task.ID]Subcube),
+	}
+}
+
+// Name identifies the allocator.
+func (t *TimeShared) Name() string {
+	return fmt.Sprintf("timeshared-%s", t.strategy)
+}
+
+// N returns the PE count.
+func (t *TimeShared) N() int { return t.n }
+
+// MaxLoad returns the current maximum PE load.
+func (t *TimeShared) MaxLoad() int {
+	max := 0
+	for _, l := range t.loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// PELoads returns a copy of the per-PE loads.
+func (t *TimeShared) PELoads() []int {
+	out := make([]int, t.n)
+	copy(out, t.loads)
+	return out
+}
+
+// Arrive places the task on the minimum-max-load candidate subcube.
+func (t *TimeShared) Arrive(tk task.Task) Subcube {
+	if !mathx.IsPow2(tk.Size) || tk.Size > t.n {
+		panic(fmt.Sprintf("subcube: invalid task size %d", tk.Size))
+	}
+	if _, dup := t.placed[tk.ID]; dup {
+		panic(fmt.Sprintf("subcube: duplicate arrival %d", tk.ID))
+	}
+	best := Subcube{}
+	bestLoad := 1 << 30
+	t.forCandidates(tk.Size, func(sc Subcube) {
+		l := 0
+		for _, p := range sc.PEs(t.dim) {
+			if t.loads[p] > l {
+				l = t.loads[p]
+			}
+		}
+		if l < bestLoad {
+			bestLoad = l
+			best = sc
+		}
+	})
+	for _, p := range best.PEs(t.dim) {
+		t.loads[p]++
+	}
+	t.placed[tk.ID] = best
+	return best
+}
+
+// Depart releases the task's subcube.
+func (t *TimeShared) Depart(id task.ID) {
+	sc, ok := t.placed[id]
+	if !ok {
+		panic(fmt.Sprintf("subcube: departure of unknown task %d", id))
+	}
+	for _, p := range sc.PEs(t.dim) {
+		t.loads[p]--
+	}
+	delete(t.placed, id)
+}
+
+// Active returns the number of active tasks.
+func (t *TimeShared) Active() int { return len(t.placed) }
+
+// forCandidates enumerates the strategy's candidate subcubes of the given
+// size in canonical order.
+func (t *TimeShared) forCandidates(size int, fn func(Subcube)) {
+	x := mathx.Log2(size)
+	switch t.strategy {
+	case Buddy:
+		mask := (t.n - 1) &^ (size - 1)
+		for v := 0; v < t.n; v += size {
+			fn(Subcube{Mask: mask, Value: v})
+		}
+	case GrayCode:
+		if x == 0 {
+			mask := t.n - 1
+			for v := 0; v < t.n; v++ {
+				fn(Subcube{Mask: mask, Value: v})
+			}
+			return
+		}
+		step := size / 2
+		c := Cube{dim: t.dim, n: t.n}
+		for start := 0; start+size <= t.n; start += step {
+			if sc, ok := c.grayRegion(start, size); ok {
+				fn(sc)
+			}
+		}
+	case Exhaustive:
+		full := t.n - 1
+		if x == t.dim {
+			fn(Subcube{Mask: 0, Value: 0})
+			return
+		}
+		for free := (1 << x) - 1; free <= full; free = nextSubset(free) {
+			mask := full &^ free
+			fixedDims := make([]int, 0, t.dim-x)
+			for d := 0; d < t.dim; d++ {
+				if mask&(1<<d) != 0 {
+					fixedDims = append(fixedDims, d)
+				}
+			}
+			for i := 0; i < 1<<len(fixedDims); i++ {
+				v := 0
+				for j, d := range fixedDims {
+					if i&(1<<j) != 0 {
+						v |= 1 << d
+					}
+				}
+				fn(Subcube{Mask: mask, Value: v})
+			}
+			if free == full {
+				break
+			}
+		}
+	default:
+		panic(fmt.Sprintf("subcube: unknown strategy %d", t.strategy))
+	}
+}

@@ -1,0 +1,272 @@
+// Package task defines the paper's workload model (§2): tasks of
+// power-of-two size, task sequences of arrival and departure events ordered
+// by time, and the derived quantities S(σ;τ) (active size at time τ),
+// s(σ) (sequence size: the maximum active size over time) and the optimal
+// load L* = ⌈s(σ)/N⌉ against which allocation algorithms are judged.
+package task
+
+import (
+	"fmt"
+
+	"partalloc/internal/mathx"
+)
+
+// ID identifies a task within a sequence. IDs are assigned by the sequence
+// builder in arrival order starting from 1; ID 0 is invalid.
+type ID int64
+
+// Task is a user request for a submachine. Size is the number of PEs
+// requested and must be a power of two. Execution time is unknown to the
+// allocator — departures are separate events.
+type Task struct {
+	ID   ID
+	Size int
+}
+
+// Kind discriminates sequence events.
+type Kind uint8
+
+const (
+	// Arrive is a task-arrival event: the task must be placed immediately
+	// (real-time service).
+	Arrive Kind = iota
+	// Depart is a task-departure event: the task's submachine is released.
+	Depart
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Arrive:
+		return "arrive"
+	case Depart:
+		return "depart"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one step of a task sequence. Time is an optional wall-clock
+// stamp used by workload generators and trace files; allocation algorithms
+// only observe event order. Size is meaningful for arrivals (it is copied
+// onto departures too, for convenience).
+type Event struct {
+	Kind Kind
+	Task ID
+	Size int
+	Time float64
+}
+
+// Sequence is the paper's task sequence σ: events ordered by time of
+// occurrence.
+type Sequence struct {
+	Events []Event
+}
+
+// Validate checks sequence well-formedness: positive power-of-two sizes no
+// larger than n (pass n <= 0 to skip the machine-size check), departures
+// only of active tasks, no double arrivals, consistent departure sizes,
+// and non-decreasing time stamps.
+func (s *Sequence) Validate(n int) error {
+	active := make(map[ID]int, len(s.Events)/2)
+	arrived := make(map[ID]bool, len(s.Events)/2)
+	lastTime := -1.0
+	for i, e := range s.Events {
+		if e.Time < lastTime {
+			return fmt.Errorf("task: event %d time %g decreases (previous %g)", i, e.Time, lastTime)
+		}
+		lastTime = e.Time
+		switch e.Kind {
+		case Arrive:
+			if e.Task <= 0 {
+				return fmt.Errorf("task: event %d arrival with invalid id %d", i, e.Task)
+			}
+			if arrived[e.Task] {
+				return fmt.Errorf("task: event %d re-arrival of task %d", i, e.Task)
+			}
+			if !mathx.IsPow2(e.Size) {
+				return fmt.Errorf("task: event %d task %d size %d is not a power of two", i, e.Task, e.Size)
+			}
+			if n > 0 && e.Size > n {
+				return fmt.Errorf("task: event %d task %d size %d exceeds machine size %d", i, e.Task, e.Size, n)
+			}
+			arrived[e.Task] = true
+			active[e.Task] = e.Size
+		case Depart:
+			sz, ok := active[e.Task]
+			if !ok {
+				return fmt.Errorf("task: event %d departure of inactive task %d", i, e.Task)
+			}
+			if e.Size != 0 && e.Size != sz {
+				return fmt.Errorf("task: event %d departure size %d != arrival size %d", i, e.Size, sz)
+			}
+			delete(active, e.Task)
+		default:
+			return fmt.Errorf("task: event %d has unknown kind %d", i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// Size returns s(σ): the maximum over all event prefixes of the cumulative
+// size of active tasks. (The paper takes the max over time; active size
+// only changes at events, so the prefix maximum is exact.)
+func (s *Sequence) Size() int64 {
+	var cur, max int64
+	for _, e := range s.Events {
+		switch e.Kind {
+		case Arrive:
+			cur += int64(e.Size)
+			if cur > max {
+				max = cur
+			}
+		case Depart:
+			cur -= int64(e.Size)
+		}
+	}
+	return max
+}
+
+// ActiveSizeAfter returns S(σ; τ) where τ is just after event index i
+// (i = -1 gives 0).
+func (s *Sequence) ActiveSizeAfter(i int) int64 {
+	var cur int64
+	for j := 0; j <= i && j < len(s.Events); j++ {
+		switch s.Events[j].Kind {
+		case Arrive:
+			cur += int64(s.Events[j].Size)
+		case Depart:
+			cur -= int64(s.Events[j].Size)
+		}
+	}
+	return cur
+}
+
+// OptimalLoad returns L* = ⌈s(σ)/N⌉, the inevitable load some PE must
+// carry even under perfect balancing at all times (§2). It is 0 for an
+// empty sequence.
+func (s *Sequence) OptimalLoad(n int) int {
+	sz := s.Size()
+	if sz == 0 {
+		return 0
+	}
+	return int(mathx.CeilDiv64(sz, int64(n)))
+}
+
+// NumArrivals returns the number of arrival events.
+func (s *Sequence) NumArrivals() int {
+	k := 0
+	for _, e := range s.Events {
+		if e.Kind == Arrive {
+			k++
+		}
+	}
+	return k
+}
+
+// TotalArrivalSize returns the sum of sizes over all arrivals (the paper's
+// S in Lemma 2 — not the sequence size s(σ)).
+func (s *Sequence) TotalArrivalSize() int64 {
+	var t int64
+	for _, e := range s.Events {
+		if e.Kind == Arrive {
+			t += int64(e.Size)
+		}
+	}
+	return t
+}
+
+// Builder incrementally constructs valid sequences, assigning IDs in
+// arrival order and tracking active tasks so departures can be emitted by
+// ID with the right size.
+type Builder struct {
+	seq    Sequence
+	nextID ID
+	active map[ID]int
+	clock  float64
+}
+
+// NewBuilder returns an empty sequence builder.
+func NewBuilder() *Builder {
+	return &Builder{nextID: 1, active: make(map[ID]int)}
+}
+
+// At advances the builder's clock to t; subsequent events are stamped with
+// it. Time must not decrease.
+func (b *Builder) At(t float64) *Builder {
+	if t < b.clock {
+		panic(fmt.Sprintf("task: Builder.At(%g) moves clock backwards from %g", t, b.clock))
+	}
+	b.clock = t
+	return b
+}
+
+// Arrive appends an arrival of the given size and returns the new task's ID.
+func (b *Builder) Arrive(size int) ID {
+	if !mathx.IsPow2(size) {
+		panic(fmt.Sprintf("task: Builder.Arrive size %d not a power of two", size))
+	}
+	id := b.nextID
+	b.nextID++
+	b.active[id] = size
+	b.seq.Events = append(b.seq.Events, Event{Kind: Arrive, Task: id, Size: size, Time: b.clock})
+	return id
+}
+
+// Depart appends a departure of an active task.
+func (b *Builder) Depart(id ID) {
+	size, ok := b.active[id]
+	if !ok {
+		panic(fmt.Sprintf("task: Builder.Depart of inactive task %d", id))
+	}
+	delete(b.active, id)
+	b.seq.Events = append(b.seq.Events, Event{Kind: Depart, Task: id, Size: size, Time: b.clock})
+}
+
+// Active returns the IDs of currently active tasks in increasing order of
+// ID (deterministic).
+func (b *Builder) Active() []ID {
+	out := make([]ID, 0, len(b.active))
+	for id := range b.active {
+		out = append(out, id)
+	}
+	// insertion sort; active sets in builders are small or this is off the
+	// hot path
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ActiveSize returns the cumulative size of active tasks.
+func (b *Builder) ActiveSize() int64 {
+	var t int64
+	for _, s := range b.active {
+		t += int64(s)
+	}
+	return t
+}
+
+// SizeOf returns the size of an active task, or 0 if inactive.
+func (b *Builder) SizeOf(id ID) int { return b.active[id] }
+
+// Sequence returns the built sequence. The builder may continue to be used;
+// the returned value shares the builder's backing slice until the next
+// append, so callers should be done building.
+func (b *Builder) Sequence() Sequence { return b.seq }
+
+// Figure1Sequence returns the paper's running example σ* (§2, Figure 1):
+// four size-1 arrivals, departures of t2 and t4, then a size-2 arrival, on
+// a 4-PE machine. The greedy algorithm A_G incurs load 2 on it; a
+// 1-reallocation algorithm achieves load 1.
+func Figure1Sequence() Sequence {
+	b := NewBuilder()
+	t := make([]ID, 0, 5)
+	for i := 0; i < 4; i++ {
+		t = append(t, b.At(float64(i)).Arrive(1))
+	}
+	b.At(4).Depart(t[1]) // t2 departs
+	b.At(5).Depart(t[3]) // t4 departs
+	b.At(6).Arrive(2)    // t5
+	return b.Sequence()
+}

@@ -1,0 +1,203 @@
+package task
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder()
+	id1 := b.Arrive(4)
+	id2 := b.At(1).Arrive(2)
+	if id1 != 1 || id2 != 2 {
+		t.Fatalf("ids = %d,%d", id1, id2)
+	}
+	if b.ActiveSize() != 6 {
+		t.Fatalf("ActiveSize = %d", b.ActiveSize())
+	}
+	b.Depart(id1)
+	if b.ActiveSize() != 2 || b.SizeOf(id1) != 0 || b.SizeOf(id2) != 2 {
+		t.Fatal("departure bookkeeping wrong")
+	}
+	seq := b.Sequence()
+	if err := seq.Validate(8); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(seq.Events) != 3 {
+		t.Fatalf("events = %d", len(seq.Events))
+	}
+	if seq.Events[2].Kind != Depart || seq.Events[2].Size != 4 {
+		t.Fatalf("departure event %+v", seq.Events[2])
+	}
+}
+
+func TestBuilderActiveSorted(t *testing.T) {
+	b := NewBuilder()
+	var ids []ID
+	for i := 0; i < 20; i++ {
+		ids = append(ids, b.Arrive(1))
+	}
+	b.Depart(ids[3])
+	b.Depart(ids[17])
+	act := b.Active()
+	if len(act) != 18 {
+		t.Fatalf("active len %d", len(act))
+	}
+	for i := 1; i < len(act); i++ {
+		if act[i] <= act[i-1] {
+			t.Fatal("Active not sorted")
+		}
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad size", func() { NewBuilder().Arrive(3) })
+	mustPanic("clock backwards", func() { NewBuilder().At(5).At(4) })
+	mustPanic("inactive depart", func() { NewBuilder().Depart(7) })
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		seq  Sequence
+	}{
+		{"bad size", Sequence{Events: []Event{{Kind: Arrive, Task: 1, Size: 3}}}},
+		{"too large", Sequence{Events: []Event{{Kind: Arrive, Task: 1, Size: 16}}}},
+		{"zero id", Sequence{Events: []Event{{Kind: Arrive, Task: 0, Size: 1}}}},
+		{"re-arrival", Sequence{Events: []Event{
+			{Kind: Arrive, Task: 1, Size: 1},
+			{Kind: Arrive, Task: 1, Size: 1}}}},
+		{"ghost departure", Sequence{Events: []Event{{Kind: Depart, Task: 1}}}},
+		{"double departure", Sequence{Events: []Event{
+			{Kind: Arrive, Task: 1, Size: 1},
+			{Kind: Depart, Task: 1},
+			{Kind: Depart, Task: 1}}}},
+		{"size mismatch", Sequence{Events: []Event{
+			{Kind: Arrive, Task: 1, Size: 2},
+			{Kind: Depart, Task: 1, Size: 4}}}},
+		{"time travel", Sequence{Events: []Event{
+			{Kind: Arrive, Task: 1, Size: 1, Time: 5},
+			{Kind: Arrive, Task: 2, Size: 1, Time: 4}}}},
+		{"unknown kind", Sequence{Events: []Event{{Kind: Kind(9), Task: 1, Size: 1}}}},
+	}
+	for _, c := range cases {
+		if err := c.seq.Validate(8); err == nil {
+			t.Errorf("%s: Validate accepted invalid sequence", c.name)
+		}
+	}
+}
+
+func TestSizeAndOptimalLoad(t *testing.T) {
+	b := NewBuilder()
+	a := b.Arrive(4)
+	bb := b.Arrive(4) // active size 8
+	b.Depart(a)
+	b.Depart(bb)
+	c := b.Arrive(2)
+	_ = c
+	seq := b.Sequence()
+	if got := seq.Size(); got != 8 {
+		t.Fatalf("Size = %d, want 8", got)
+	}
+	if got := seq.OptimalLoad(4); got != 2 {
+		t.Fatalf("OptimalLoad(4) = %d, want 2", got)
+	}
+	if got := seq.OptimalLoad(8); got != 1 {
+		t.Fatalf("OptimalLoad(8) = %d, want 1", got)
+	}
+	if got := seq.OptimalLoad(16); got != 1 {
+		t.Fatalf("OptimalLoad(16) = %d, want 1 (ceil)", got)
+	}
+	if got := seq.TotalArrivalSize(); got != 10 {
+		t.Fatalf("TotalArrivalSize = %d, want 10", got)
+	}
+	if got := seq.NumArrivals(); got != 3 {
+		t.Fatalf("NumArrivals = %d", got)
+	}
+	empty := Sequence{}
+	if empty.OptimalLoad(4) != 0 || empty.Size() != 0 {
+		t.Fatal("empty sequence stats wrong")
+	}
+}
+
+func TestActiveSizeAfter(t *testing.T) {
+	b := NewBuilder()
+	x := b.Arrive(2)
+	b.Arrive(4)
+	b.Depart(x)
+	seq := b.Sequence()
+	want := []int64{2, 6, 4}
+	if got := seq.ActiveSizeAfter(-1); got != 0 {
+		t.Fatalf("prefix -1: %d", got)
+	}
+	for i, w := range want {
+		if got := seq.ActiveSizeAfter(i); got != w {
+			t.Fatalf("prefix %d: %d want %d", i, got, w)
+		}
+	}
+	if got := seq.ActiveSizeAfter(99); got != 4 {
+		t.Fatalf("past end: %d", got)
+	}
+}
+
+func TestFigure1Sequence(t *testing.T) {
+	seq := Figure1Sequence()
+	if err := seq.Validate(4); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(seq.Events) != 7 {
+		t.Fatalf("events = %d, want 7", len(seq.Events))
+	}
+	// s(σ*) = 4 (four size-1 tasks all active), so L* = 1 on N=4.
+	if seq.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", seq.Size())
+	}
+	if seq.OptimalLoad(4) != 1 {
+		t.Fatalf("L* = %d, want 1", seq.OptimalLoad(4))
+	}
+	// Final active set: t1, t3, t5 with sizes 1,1,2.
+	if got := seq.ActiveSizeAfter(len(seq.Events) - 1); got != 4 {
+		t.Fatalf("final active size = %d, want 4", got)
+	}
+}
+
+// Property: Size equals max over prefixes of ActiveSizeAfter, and
+// builder-produced sequences always validate.
+func TestSequenceSizeProperty(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		for i := 0; i < int(steps)%60+1; i++ {
+			act := b.Active()
+			if len(act) > 0 && rng.Intn(3) == 0 {
+				b.Depart(act[rng.Intn(len(act))])
+			} else {
+				b.Arrive(1 << rng.Intn(4))
+			}
+		}
+		seq := b.Sequence()
+		if seq.Validate(8) != nil {
+			return false
+		}
+		var max int64
+		for i := range seq.Events {
+			if s := seq.ActiveSizeAfter(i); s > max {
+				max = s
+			}
+		}
+		return seq.Size() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,352 @@
+// Package topology models the hierarchically decomposable interconnection
+// networks the paper says its results extend to (§1): the tree machine
+// itself, the hypercube, the 2-D mesh, and the butterfly.
+//
+// Every such network admits a canonical PE numbering 0..N-1 under which
+// the 2^x-PE submachines are exactly the aligned ranges
+// [i·2^x, (i+1)·2^x): for the tree this is leaf order; for the hypercube,
+// the binary PE code (aligned ranges are subcubes); for the 2^a×2^b mesh,
+// the Z-order (Morton) curve (aligned ranges are submeshes); for the
+// butterfly, input-column order (aligned ranges are sub-butterflies).
+// Allocation logic therefore runs unchanged on the abstract tree from
+// internal/tree, and a Machine here contributes what actually differs
+// between networks: physical identity, adjacency, hop distances, and hence
+// the cost of migrating a task between submachines — the currency the
+// paper trades against thread-management load.
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+
+	"partalloc/internal/mathx"
+	"partalloc/internal/tree"
+)
+
+// Machine is a physical network with a hierarchical decomposition aligned
+// to the canonical PE numbering.
+type Machine interface {
+	// Name identifies the topology, e.g. "hypercube".
+	Name() string
+	// N returns the number of PEs (a power of two).
+	N() int
+	// PELabel renders the physical identity of canonical PE p (e.g. mesh
+	// coordinates "(3,1)").
+	PELabel(p int) string
+	// Degree returns the number of physical neighbors of PE p.
+	Degree(p int) int
+	// Dist returns the hop distance between canonical PEs a and b over the
+	// network (switches included where the network has them).
+	Dist(a, b int) int
+	// Diameter returns the maximum hop distance between any two PEs.
+	Diameter() int
+}
+
+// MigrationCost returns the cost of moving a task occupying the size-s
+// submachine rooted at from (on the abstract tree t) to the one rooted at
+// to: each PE's thread state moves to the corresponding PE of the target
+// submachine, so the cost is the summed hop distance of the |s| moves.
+// Migrating to the same submachine costs 0.
+func MigrationCost(m Machine, t *tree.Machine, from, to tree.Node) int64 {
+	fl, fh := t.PERange(from)
+	tl, th := t.PERange(to)
+	if fh-fl != th-tl {
+		panic(fmt.Sprintf("topology: migrating between different sizes %d and %d", fh-fl, th-tl))
+	}
+	var cost int64
+	for i := 0; i < fh-fl; i++ {
+		cost += int64(m.Dist(fl+i, tl+i))
+	}
+	return cost
+}
+
+// --- Tree machine ---------------------------------------------------------
+
+// Tree is the paper's machine: PEs at the leaves of a complete binary
+// tree, switches at internal nodes. The hop distance between two leaves is
+// the length of the tree path between them (2·levels to their lowest
+// common ancestor).
+type Tree struct {
+	t *tree.Machine
+}
+
+// NewTree returns an N-PE tree machine.
+func NewTree(n int) (*Tree, error) {
+	t, err := tree.New(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{t: t}, nil
+}
+
+// Name implements Machine.
+func (m *Tree) Name() string { return "tree" }
+
+// N implements Machine.
+func (m *Tree) N() int { return m.t.N() }
+
+// PELabel implements Machine.
+func (m *Tree) PELabel(p int) string { return fmt.Sprintf("leaf%d", p) }
+
+// Degree implements Machine: every leaf hangs off one switch.
+func (m *Tree) Degree(p int) int { return 1 }
+
+// Dist implements Machine: 2·(levels above the LCA of the two leaves).
+func (m *Tree) Dist(a, b int) int {
+	if a == b {
+		return 0
+	}
+	// Leaves differ at bit position k (0-based from LSB of the leaf index
+	// within the heap numbering): the LCA is k+1 levels up.
+	x := uint(a ^ b)
+	up := bits.Len(x)
+	return 2 * up
+}
+
+// Diameter implements Machine.
+func (m *Tree) Diameter() int { return 2 * m.t.Levels() }
+
+// --- Hypercube ------------------------------------------------------------
+
+// Hypercube is the log2(N)-dimensional binary hypercube; canonical PE p is
+// the vertex with binary code p, and aligned ranges are subcubes (the
+// buddy-system view of subcube allocation, cf. Chen/Shin).
+type Hypercube struct {
+	n   int
+	dim int
+}
+
+// NewHypercube returns an N-PE hypercube.
+func NewHypercube(n int) (*Hypercube, error) {
+	if !mathx.IsPow2(n) {
+		return nil, fmt.Errorf("topology: hypercube size %d not a power of two", n)
+	}
+	return &Hypercube{n: n, dim: mathx.Log2(n)}, nil
+}
+
+// Name implements Machine.
+func (m *Hypercube) Name() string { return "hypercube" }
+
+// N implements Machine.
+func (m *Hypercube) N() int { return m.n }
+
+// PELabel implements Machine.
+func (m *Hypercube) PELabel(p int) string { return fmt.Sprintf("%0*b", m.dim, p) }
+
+// Degree implements Machine.
+func (m *Hypercube) Degree(p int) int { return m.dim }
+
+// Dist implements Machine: Hamming distance.
+func (m *Hypercube) Dist(a, b int) int { return bits.OnesCount(uint(a ^ b)) }
+
+// Diameter implements Machine.
+func (m *Hypercube) Diameter() int { return m.dim }
+
+// --- 2-D mesh ---------------------------------------------------------------
+
+// Mesh is a 2^a × 2^b mesh with PEs numbered along the Z-order (Morton)
+// curve so that aligned ranges are (near-)square submeshes.
+type Mesh struct {
+	n            int
+	rows, cols   int
+	rBits, cBits int
+}
+
+// NewMesh returns an N-PE mesh as square as possible (rows ≤ cols).
+func NewMesh(n int) (*Mesh, error) {
+	if !mathx.IsPow2(n) {
+		return nil, fmt.Errorf("topology: mesh size %d not a power of two", n)
+	}
+	d := mathx.Log2(n)
+	rBits := d / 2
+	cBits := d - rBits
+	return &Mesh{n: n, rows: 1 << rBits, cols: 1 << cBits, rBits: rBits, cBits: cBits}, nil
+}
+
+// Name implements Machine.
+func (m *Mesh) Name() string { return "mesh" }
+
+// N implements Machine.
+func (m *Mesh) N() int { return m.n }
+
+// Coords maps canonical PE p to (row, col) by de-interleaving the Morton
+// code. With unequal side bits, the extra column bits occupy the top of
+// the code so aligned power-of-two ranges remain contiguous rectangles.
+func (m *Mesh) Coords(p int) (row, col int) {
+	// Interleave pattern: lowest 2·rBits bits alternate col(LSB first),row;
+	// remaining high bits are column bits.
+	for i := 0; i < m.rBits; i++ {
+		col |= ((p >> (2 * i)) & 1) << i
+		row |= ((p >> (2*i + 1)) & 1) << i
+	}
+	high := p >> (2 * m.rBits)
+	col |= high << m.rBits
+	return row, col
+}
+
+// PEAt is the inverse of Coords.
+func (m *Mesh) PEAt(row, col int) int {
+	p := 0
+	for i := 0; i < m.rBits; i++ {
+		p |= ((col >> i) & 1) << (2 * i)
+		p |= ((row >> i) & 1) << (2*i + 1)
+	}
+	p |= (col >> m.rBits) << (2 * m.rBits)
+	return p
+}
+
+// PELabel implements Machine.
+func (m *Mesh) PELabel(p int) string {
+	r, c := m.Coords(p)
+	return fmt.Sprintf("(%d,%d)", r, c)
+}
+
+// Degree implements Machine.
+func (m *Mesh) Degree(p int) int {
+	r, c := m.Coords(p)
+	d := 4
+	if r == 0 || r == m.rows-1 {
+		d--
+	}
+	if c == 0 || c == m.cols-1 {
+		d--
+	}
+	if m.rows == 1 {
+		d-- // a 1-row mesh has no vertical links at all
+	}
+	return d
+}
+
+// Dist implements Machine: Manhattan distance.
+func (m *Mesh) Dist(a, b int) int {
+	ra, ca := m.Coords(a)
+	rb, cb := m.Coords(b)
+	return abs(ra-rb) + abs(ca-cb)
+}
+
+// Diameter implements Machine.
+func (m *Mesh) Diameter() int { return (m.rows - 1) + (m.cols - 1) }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// --- Butterfly --------------------------------------------------------------
+
+// Butterfly models an N-input butterfly with PEs at the level-0 (input)
+// column; messages route up the levels and back. Two inputs whose codes
+// first differ at bit k (counting from the most significant, 0-based) must
+// route up to level dim−k and back, so the hop distance is 2·(bits.Len(a^b)).
+// Aligned ranges are sub-butterflies.
+type Butterfly struct {
+	n   int
+	dim int
+}
+
+// NewButterfly returns an N-input butterfly.
+func NewButterfly(n int) (*Butterfly, error) {
+	if !mathx.IsPow2(n) {
+		return nil, fmt.Errorf("topology: butterfly size %d not a power of two", n)
+	}
+	return &Butterfly{n: n, dim: mathx.Log2(n)}, nil
+}
+
+// Name implements Machine.
+func (m *Butterfly) Name() string { return "butterfly" }
+
+// N implements Machine.
+func (m *Butterfly) N() int { return m.n }
+
+// PELabel implements Machine.
+func (m *Butterfly) PELabel(p int) string { return fmt.Sprintf("in%d", p) }
+
+// Degree implements Machine: each input connects to two level-1 switches
+// (straight and cross edges).
+func (m *Butterfly) Degree(p int) int { return 2 }
+
+// Dist implements Machine.
+func (m *Butterfly) Dist(a, b int) int {
+	if a == b {
+		return 0
+	}
+	return 2 * bits.Len(uint(a^b))
+}
+
+// Diameter implements Machine.
+func (m *Butterfly) Diameter() int { return 2 * m.dim }
+
+// --- CM-5-style fat tree ------------------------------------------------------
+
+// FatTree models the CM-5 data network the paper cites as its motivating
+// machine (Leiserson et al. [17]): a 4-ary fat tree over the PEs, with
+// each PE connected to two first-level switches and link capacity doubling
+// toward the root. Messages route up to the lowest common 4-ary ancestor
+// and back down, so the hop distance between PEs a and b is 2·k where k is
+// the number of 4-ary levels to their LCA (two address bits per level).
+// The fat links mean migration cost in *hops* matches this distance even
+// under contention at moderate loads — the aspect the hop metric captures.
+type FatTree struct {
+	n      int
+	levels int // 4-ary levels, ⌈log4 N⌉
+}
+
+// NewFatTree returns an N-PE CM-5-style fat tree.
+func NewFatTree(n int) (*FatTree, error) {
+	if !mathx.IsPow2(n) {
+		return nil, fmt.Errorf("topology: fat tree size %d not a power of two", n)
+	}
+	d := mathx.Log2(n)
+	return &FatTree{n: n, levels: (d + 1) / 2}, nil
+}
+
+// Name implements Machine.
+func (m *FatTree) Name() string { return "fattree" }
+
+// N implements Machine.
+func (m *FatTree) N() int { return m.n }
+
+// PELabel implements Machine.
+func (m *FatTree) PELabel(p int) string { return fmt.Sprintf("pe%d", p) }
+
+// Degree implements Machine: CM-5 PEs connect to two level-1 switches.
+func (m *FatTree) Degree(p int) int { return 2 }
+
+// Dist implements Machine: 2·(4-ary levels to the LCA).
+func (m *FatTree) Dist(a, b int) int {
+	if a == b {
+		return 0
+	}
+	diff := uint(a ^ b)
+	// Two address bits per 4-ary level.
+	k := (bits.Len(diff) + 1) / 2
+	return 2 * k
+}
+
+// Diameter implements Machine.
+func (m *FatTree) Diameter() int { return 2 * m.levels }
+
+// --- Registry ---------------------------------------------------------------
+
+// New constructs a topology by name: "tree", "hypercube", "mesh",
+// "butterfly" or "fattree".
+func New(name string, n int) (Machine, error) {
+	switch name {
+	case "tree":
+		return NewTree(n)
+	case "hypercube":
+		return NewHypercube(n)
+	case "mesh":
+		return NewMesh(n)
+	case "butterfly":
+		return NewButterfly(n)
+	case "fattree":
+		return NewFatTree(n)
+	}
+	return nil, fmt.Errorf("topology: unknown topology %q", name)
+}
+
+// Names lists the supported topologies.
+func Names() []string { return []string{"tree", "hypercube", "mesh", "butterfly", "fattree"} }

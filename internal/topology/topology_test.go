@@ -1,0 +1,221 @@
+package topology
+
+import (
+	"testing"
+
+	"partalloc/internal/tree"
+)
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		m, err := New(name, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Name() != name || m.N() != 16 {
+			t.Fatalf("%s: identity wrong", name)
+		}
+	}
+	if _, err := New("torus", 16); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	for _, name := range Names() {
+		if _, err := New(name, 12); err == nil {
+			t.Fatalf("%s accepted non-power-of-two size", name)
+		}
+	}
+}
+
+// Metric-space sanity for every topology: symmetry, identity, triangle
+// inequality, diameter attained and never exceeded.
+func TestDistanceMetricProperties(t *testing.T) {
+	for _, name := range Names() {
+		m, err := New(name, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := m.N()
+		maxSeen := 0
+		for a := 0; a < n; a++ {
+			if m.Dist(a, a) != 0 {
+				t.Fatalf("%s: Dist(%d,%d) != 0", name, a, a)
+			}
+			for b := 0; b < n; b++ {
+				d := m.Dist(a, b)
+				if d != m.Dist(b, a) {
+					t.Fatalf("%s: asymmetric distance %d,%d", name, a, b)
+				}
+				if a != b && d <= 0 {
+					t.Fatalf("%s: non-positive distance %d,%d", name, a, b)
+				}
+				if d > maxSeen {
+					maxSeen = d
+				}
+			}
+		}
+		if maxSeen != m.Diameter() {
+			t.Errorf("%s: observed max distance %d, Diameter() %d", name, maxSeen, m.Diameter())
+		}
+		// Triangle inequality on a sample.
+		for a := 0; a < n; a += 3 {
+			for b := 1; b < n; b += 5 {
+				for c := 2; c < n; c += 7 {
+					if m.Dist(a, c) > m.Dist(a, b)+m.Dist(b, c) {
+						t.Fatalf("%s: triangle inequality fails at %d,%d,%d", name, a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTreeDist(t *testing.T) {
+	m, _ := NewTree(8)
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 2}, {0, 2, 4}, {0, 3, 4}, {0, 4, 6}, {0, 7, 6}, {3, 4, 6}, {6, 7, 2},
+	}
+	for _, c := range cases {
+		if got := m.Dist(c.a, c.b); got != c.want {
+			t.Errorf("tree Dist(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHypercubeDist(t *testing.T) {
+	m, _ := NewHypercube(16)
+	if m.Dist(0b0000, 0b1111) != 4 || m.Dist(0b0101, 0b0100) != 1 {
+		t.Error("hypercube Hamming distance wrong")
+	}
+	if m.Degree(3) != 4 || m.Diameter() != 4 {
+		t.Error("hypercube degree/diameter wrong")
+	}
+	if m.PELabel(5) != "0101" {
+		t.Errorf("label %q", m.PELabel(5))
+	}
+}
+
+func TestMeshCoordsRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64, 128} {
+		m, _ := NewMesh(n)
+		seen := make(map[[2]int]bool)
+		for p := 0; p < n; p++ {
+			r, c := m.Coords(p)
+			if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+				t.Fatalf("n=%d: PE %d out of grid (%d,%d)", n, p, r, c)
+			}
+			if seen[[2]int{r, c}] {
+				t.Fatalf("n=%d: duplicate coords (%d,%d)", n, r, c)
+			}
+			seen[[2]int{r, c}] = true
+			if m.PEAt(r, c) != p {
+				t.Fatalf("n=%d: PEAt(Coords(%d)) = %d", n, p, m.PEAt(r, c))
+			}
+		}
+	}
+}
+
+func TestMeshAlignedRangesAreRectangles(t *testing.T) {
+	// Every aligned size-2^x range must be a contiguous rectangle of the
+	// right area (the submesh property that makes Z-order numbering work).
+	m, _ := NewMesh(64) // 8×8
+	for size := 1; size <= 64; size *= 2 {
+		for start := 0; start < 64; start += size {
+			minR, maxR, minC, maxC := 1<<30, -1, 1<<30, -1
+			for p := start; p < start+size; p++ {
+				r, c := m.Coords(p)
+				if r < minR {
+					minR = r
+				}
+				if r > maxR {
+					maxR = r
+				}
+				if c < minC {
+					minC = c
+				}
+				if c > maxC {
+					maxC = c
+				}
+			}
+			area := (maxR - minR + 1) * (maxC - minC + 1)
+			if area != size {
+				t.Fatalf("size %d block at %d spans %dx%d area %d",
+					size, start, maxR-minR+1, maxC-minC+1, area)
+			}
+		}
+	}
+}
+
+func TestMeshDistManhattan(t *testing.T) {
+	m, _ := NewMesh(16) // 4x4
+	a := m.PEAt(0, 0)
+	b := m.PEAt(3, 3)
+	if m.Dist(a, b) != 6 {
+		t.Errorf("Dist corner-corner = %d, want 6", m.Dist(a, b))
+	}
+	if m.Diameter() != 6 {
+		t.Errorf("Diameter = %d", m.Diameter())
+	}
+}
+
+func TestMeshDegree(t *testing.T) {
+	m, _ := NewMesh(16) // 4×4
+	if got := m.Degree(m.PEAt(0, 0)); got != 2 {
+		t.Errorf("corner degree %d", got)
+	}
+	if got := m.Degree(m.PEAt(0, 1)); got != 3 {
+		t.Errorf("edge degree %d", got)
+	}
+	if got := m.Degree(m.PEAt(1, 1)); got != 4 {
+		t.Errorf("interior degree %d", got)
+	}
+	row, _ := NewMesh(2) // 1×2
+	if got := row.Degree(0); got != 1 {
+		t.Errorf("1x2 mesh degree %d", got)
+	}
+}
+
+func TestButterflyDist(t *testing.T) {
+	m, _ := NewButterfly(8)
+	if m.Dist(0, 1) != 2 {
+		t.Errorf("adjacent inputs: %d", m.Dist(0, 1))
+	}
+	if m.Dist(0, 4) != 6 {
+		t.Errorf("opposite halves: %d", m.Dist(0, 4))
+	}
+	if m.Diameter() != 6 {
+		t.Errorf("diameter: %d", m.Diameter())
+	}
+}
+
+func TestMigrationCost(t *testing.T) {
+	tm := tree.MustNew(8)
+	for _, name := range Names() {
+		m, _ := New(name, 8)
+		// Moving a task to its own submachine is free.
+		if c := MigrationCost(m, tm, 4, 4); c != 0 {
+			t.Errorf("%s: self-migration cost %d", name, c)
+		}
+		// Moving between sibling size-2 submachines costs 2 PEs × dist.
+		c := MigrationCost(m, tm, 4, 5)
+		want := int64(m.Dist(0, 2) + m.Dist(1, 3))
+		if c != want {
+			t.Errorf("%s: sibling migration cost %d, want %d", name, c, want)
+		}
+		// Farther moves cost at least as much on every topology.
+		far := MigrationCost(m, tm, 4, 7)
+		if far < c {
+			t.Errorf("%s: far migration %d cheaper than near %d", name, far, c)
+		}
+	}
+}
+
+func TestMigrationCostSizeMismatchPanics(t *testing.T) {
+	tm := tree.MustNew(8)
+	m, _ := NewTree(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MigrationCost(m, tm, 2, 4)
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"partalloc/internal/task"
+)
+
+// FuzzReadCSV: arbitrary input must never panic, and anything accepted
+// must round-trip through WriteCSV and validate.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("kind,task,size,time\narrive,1,2,0.5\ndepart,1,2,1.5\n")
+	f.Add("arrive,1,1,0\n")
+	f.Add("")
+	f.Add("kind,task,size,time\n")
+	f.Add("depart,1,1,0\n")
+	f.Add("arrive,1,3,0\n")
+	f.Add("arrive,-1,1,0\n")
+	f.Add("arrive,1,1,nan\narrive,2,1,0\n")
+	f.Add(strings.Repeat("arrive,1,1,0\n", 3))
+	f.Fuzz(func(t *testing.T, in string) {
+		seq, err := ReadCSV(strings.NewReader(in), 0)
+		if err != nil {
+			return
+		}
+		// Accepted sequences must be valid and re-serializable.
+		if verr := seq.Validate(0); verr != nil {
+			t.Fatalf("ReadCSV accepted invalid sequence: %v", verr)
+		}
+		var b strings.Builder
+		if werr := WriteCSV(&b, seq); werr != nil {
+			t.Fatalf("WriteCSV failed on accepted sequence: %v", werr)
+		}
+		back, rerr := ReadCSV(strings.NewReader(b.String()), 0)
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+		if len(back.Events) != len(seq.Events) {
+			t.Fatalf("round trip changed length: %d vs %d", len(back.Events), len(seq.Events))
+		}
+	})
+}
+
+// FuzzReadJSON: arbitrary input must never panic; accepted sequences must
+// validate.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"format":1,"events":[{"kind":"arrive","task":1,"size":2},{"kind":"depart","task":1,"size":2}]}`)
+	f.Add(`{"format":1,"events":[]}`)
+	f.Add(`{}`)
+	f.Add(`{"format":2,"events":[]}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"format":1,"label":"x","n":8,"events":[{"kind":"arrive","task":1,"size":8}]}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		seq, _, n, err := ReadJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := seq.Validate(n); verr != nil {
+			t.Fatalf("ReadJSON accepted invalid sequence: %v", verr)
+		}
+	})
+}
+
+// FuzzValidate: Validate must never panic on arbitrary event streams built
+// from fuzzer-chosen fields.
+func FuzzValidate(f *testing.F) {
+	f.Add(int64(1), 2, uint8(0), 4)
+	f.Add(int64(-5), 0, uint8(1), 0)
+	f.Add(int64(1), 1<<30, uint8(7), 2)
+	f.Fuzz(func(t *testing.T, id int64, size int, kind uint8, n int) {
+		seq := task.Sequence{Events: []task.Event{
+			{Kind: task.Kind(kind % 3), Task: task.ID(id), Size: size},
+			{Kind: task.Kind((kind + 1) % 3), Task: task.ID(id), Size: size},
+		}}
+		_ = seq.Validate(n % (1 << 20))
+	})
+}

@@ -1,0 +1,217 @@
+// Package tree models the paper's parallel machine T: an N-leaf complete
+// binary tree whose leaves hold processing elements (PEs) and whose internal
+// nodes hold communication switches (Gao/Rosenberg/Sitaraman, SPAA'96, §2;
+// cf. Browning's Tree Machine and the CM-5/SP2 fat trees).
+//
+// Nodes are heap-indexed: the root is node 1, and node v has children 2v and
+// 2v+1. With N = 2^L leaves the machine has 2N-1 nodes; nodes N..2N-1 are
+// the leaves, and leaf N+p hosts PE p (0-indexed, left to right). An M-PE
+// submachine is an M-leaf complete binary subtree of T; submachines of size
+// 2^x correspond exactly to the nodes at depth L-x, in left-to-right order.
+// "Leftmost" throughout this codebase means smallest heap index at a given
+// depth, matching the paper's tie-breaking rule.
+package tree
+
+import (
+	"fmt"
+
+	"partalloc/internal/mathx"
+)
+
+// Node identifies a node of the machine tree by heap index. The zero Node
+// is invalid; the root is Node(1).
+type Node int
+
+// Machine is an immutable description of an N-PE tree machine. It carries
+// no allocation state; state lives in loadtree.Tree and copies.Copy.
+type Machine struct {
+	n      int // number of PEs (leaves); a power of two
+	levels int // log2(n); depth of the leaves
+}
+
+// New constructs an N-PE tree machine. N must be a power of two (the model
+// requires it: task sizes are powers of two and submachines are complete
+// subtrees).
+func New(n int) (*Machine, error) {
+	if !mathx.IsPow2(n) {
+		return nil, fmt.Errorf("tree: machine size %d is not a power of two", n)
+	}
+	return &Machine{n: n, levels: mathx.Log2(n)}, nil
+}
+
+// MustNew is New but panics on error; for tests and internal construction
+// from already-validated sizes.
+func MustNew(n int) *Machine {
+	m, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// N returns the number of PEs.
+func (m *Machine) N() int { return m.n }
+
+// Levels returns log2(N), the depth of the leaves (the root has depth 0).
+func (m *Machine) Levels() int { return m.levels }
+
+// NumNodes returns the total number of tree nodes, 2N-1.
+func (m *Machine) NumNodes() int { return 2*m.n - 1 }
+
+// Root returns the root node.
+func (m *Machine) Root() Node { return 1 }
+
+// Valid reports whether v is a node of this machine.
+func (m *Machine) Valid(v Node) bool { return v >= 1 && int(v) < 2*m.n }
+
+// IsLeaf reports whether v is a leaf (hosts a PE).
+func (m *Machine) IsLeaf(v Node) bool { return int(v) >= m.n }
+
+// Left returns the left child of internal node v.
+func (m *Machine) Left(v Node) Node { return 2 * v }
+
+// Right returns the right child of internal node v.
+func (m *Machine) Right(v Node) Node { return 2*v + 1 }
+
+// Parent returns the parent of non-root node v.
+func (m *Machine) Parent(v Node) Node { return v / 2 }
+
+// Depth returns the depth of v; the root has depth 0 and leaves depth
+// Levels().
+func (m *Machine) Depth(v Node) int {
+	if !m.Valid(v) {
+		panic(fmt.Sprintf("tree: invalid node %d", v))
+	}
+	return mathx.Log2Floor(int(v))
+}
+
+// Size returns the number of PEs in the submachine rooted at v: 2^(L-depth).
+func (m *Machine) Size(v Node) int {
+	return 1 << (m.levels - m.Depth(v))
+}
+
+// DepthForSize returns the depth at which submachines have the given PE
+// count. size must be a power of two not exceeding N.
+func (m *Machine) DepthForSize(size int) int {
+	if !mathx.IsPow2(size) || size > m.n {
+		panic(fmt.Sprintf("tree: invalid submachine size %d for N=%d", size, m.n))
+	}
+	return m.levels - mathx.Log2(size)
+}
+
+// NumSubmachines returns how many size-PE submachines T has: N/size.
+func (m *Machine) NumSubmachines(size int) int {
+	return m.n / size
+}
+
+// SubmachineAt returns the i-th (0-indexed, leftmost-first) submachine of
+// the given size.
+func (m *Machine) SubmachineAt(size, i int) Node {
+	d := m.DepthForSize(size)
+	if i < 0 || i >= m.n/size {
+		panic(fmt.Sprintf("tree: submachine index %d out of range for size %d", i, size))
+	}
+	return Node((1 << d) + i)
+}
+
+// SubmachineIndex returns the left-to-right index of v among submachines of
+// its size (the inverse of SubmachineAt).
+func (m *Machine) SubmachineIndex(v Node) int {
+	return int(v) - (1 << m.Depth(v))
+}
+
+// Submachines returns all submachines of the given size in leftmost order.
+func (m *Machine) Submachines(size int) []Node {
+	d := m.DepthForSize(size)
+	k := m.n / size
+	out := make([]Node, k)
+	for i := 0; i < k; i++ {
+		out[i] = Node((1 << d) + i)
+	}
+	return out
+}
+
+// PERange returns the half-open PE interval [lo, hi) covered by the
+// submachine rooted at v. PEs are numbered 0..N-1 left to right.
+func (m *Machine) PERange(v Node) (lo, hi int) {
+	d := m.Depth(v)
+	span := 1 << (m.levels - d)
+	first := (int(v) << (m.levels - d)) - m.n
+	return first, first + span
+}
+
+// LeafOf returns the leaf node hosting PE p.
+func (m *Machine) LeafOf(pe int) Node {
+	if pe < 0 || pe >= m.n {
+		panic(fmt.Sprintf("tree: PE %d out of range", pe))
+	}
+	return Node(m.n + pe)
+}
+
+// PEOf returns the PE hosted at leaf v.
+func (m *Machine) PEOf(v Node) int {
+	if !m.IsLeaf(v) {
+		panic(fmt.Sprintf("tree: node %d is not a leaf", v))
+	}
+	return int(v) - m.n
+}
+
+// Contains reports whether the submachine rooted at outer contains the
+// submachine rooted at inner (including outer == inner).
+func (m *Machine) Contains(outer, inner Node) bool {
+	do, di := m.Depth(outer), m.Depth(inner)
+	if do > di {
+		return false
+	}
+	return inner>>(di-do) == outer
+}
+
+// AncestorAt returns the ancestor of v at the given depth (which must not
+// exceed v's own depth).
+func (m *Machine) AncestorAt(v Node, depth int) Node {
+	d := m.Depth(v)
+	if depth > d || depth < 0 {
+		panic(fmt.Sprintf("tree: node %d has no ancestor at depth %d", v, depth))
+	}
+	return v >> (d - depth)
+}
+
+// Ancestors calls fn on every proper ancestor of v from parent up to the
+// root, stopping early if fn returns false.
+func (m *Machine) Ancestors(v Node, fn func(Node) bool) {
+	for u := v / 2; u >= 1; u /= 2 {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+// Sibling returns the sibling of non-root node v.
+func (m *Machine) Sibling(v Node) Node {
+	if v == 1 {
+		panic("tree: root has no sibling")
+	}
+	return v ^ 1
+}
+
+// IsLeftChild reports whether non-root v is a left child.
+func (m *Machine) IsLeftChild(v Node) bool {
+	if v == 1 {
+		panic("tree: root is not a child")
+	}
+	return v&1 == 0
+}
+
+// InLeftHalf reports whether v lies (weakly) within the left subtree of the
+// root. The root itself is in neither half and returns false.
+func (m *Machine) InLeftHalf(v Node) bool {
+	if v == 1 {
+		return false
+	}
+	return m.AncestorAt(v, 1) == 2
+}
+
+// String renders the machine for diagnostics.
+func (m *Machine) String() string {
+	return fmt.Sprintf("tree.Machine{N=%d, levels=%d}", m.n, m.levels)
+}

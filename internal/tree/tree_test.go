@@ -1,0 +1,229 @@
+package tree
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 6, 12, 1000} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d) should fail", n)
+		}
+	}
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		m, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%d): %v", n, err)
+		}
+		if m.N() != n || m.NumNodes() != 2*n-1 {
+			t.Errorf("New(%d): N=%d NumNodes=%d", n, m.N(), m.NumNodes())
+		}
+	}
+}
+
+func TestDepthSize(t *testing.T) {
+	m := MustNew(8) // levels = 3, nodes 1..15
+	wantDepth := map[Node]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 15: 3}
+	for v, d := range wantDepth {
+		if got := m.Depth(v); got != d {
+			t.Errorf("Depth(%d) = %d, want %d", v, got, d)
+		}
+	}
+	wantSize := map[Node]int{1: 8, 2: 4, 3: 4, 4: 2, 7: 2, 8: 1, 15: 1}
+	for v, s := range wantSize {
+		if got := m.Size(v); got != s {
+			t.Errorf("Size(%d) = %d, want %d", v, got, s)
+		}
+	}
+}
+
+func TestChildrenParents(t *testing.T) {
+	m := MustNew(16)
+	for v := Node(1); int(v) < m.NumNodes(); v++ {
+		if !m.IsLeaf(v) {
+			l, r := m.Left(v), m.Right(v)
+			if m.Parent(l) != v || m.Parent(r) != v {
+				t.Fatalf("parent/child mismatch at %d", v)
+			}
+			if m.Sibling(l) != r || m.Sibling(r) != l {
+				t.Fatalf("sibling mismatch at %d", v)
+			}
+			if !m.IsLeftChild(l) || m.IsLeftChild(r) {
+				t.Fatalf("IsLeftChild mismatch at %d", v)
+			}
+		}
+	}
+}
+
+func TestSubmachineEnumeration(t *testing.T) {
+	m := MustNew(8)
+	got := m.Submachines(2)
+	want := []Node{4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Submachines(2) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Submachines(2) = %v, want %v", got, want)
+		}
+		if m.SubmachineAt(2, i) != want[i] {
+			t.Fatalf("SubmachineAt(2,%d) != %v", i, want[i])
+		}
+		if m.SubmachineIndex(want[i]) != i {
+			t.Fatalf("SubmachineIndex(%v) != %d", want[i], i)
+		}
+	}
+	if n := m.NumSubmachines(1); n != 8 {
+		t.Errorf("NumSubmachines(1) = %d", n)
+	}
+	if n := m.NumSubmachines(8); n != 1 {
+		t.Errorf("NumSubmachines(8) = %d", n)
+	}
+}
+
+func TestPERange(t *testing.T) {
+	m := MustNew(8)
+	cases := map[Node][2]int{
+		1: {0, 8}, 2: {0, 4}, 3: {4, 8},
+		4: {0, 2}, 5: {2, 4}, 6: {4, 6}, 7: {6, 8},
+		8: {0, 1}, 11: {3, 4}, 15: {7, 8},
+	}
+	for v, want := range cases {
+		lo, hi := m.PERange(v)
+		if lo != want[0] || hi != want[1] {
+			t.Errorf("PERange(%d) = [%d,%d), want %v", v, lo, hi, want)
+		}
+	}
+}
+
+func TestLeafPERoundTrip(t *testing.T) {
+	m := MustNew(32)
+	for pe := 0; pe < 32; pe++ {
+		v := m.LeafOf(pe)
+		if !m.IsLeaf(v) || m.PEOf(v) != pe {
+			t.Fatalf("LeafOf/PEOf round trip failed at PE %d", pe)
+		}
+		lo, hi := m.PERange(v)
+		if lo != pe || hi != pe+1 {
+			t.Fatalf("leaf PERange wrong at PE %d: [%d,%d)", pe, lo, hi)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	m := MustNew(8)
+	if !m.Contains(1, 11) || !m.Contains(2, 4) || !m.Contains(2, 9) || !m.Contains(5, 5) {
+		t.Error("Contains false negatives")
+	}
+	if m.Contains(2, 3) || m.Contains(4, 5) || m.Contains(8, 4) || m.Contains(3, 8) {
+		t.Error("Contains false positives")
+	}
+}
+
+func TestContainsMatchesPERange(t *testing.T) {
+	m := MustNew(16)
+	for a := Node(1); int(a) < m.NumNodes(); a++ {
+		alo, ahi := m.PERange(a)
+		for b := Node(1); int(b) < m.NumNodes(); b++ {
+			blo, bhi := m.PERange(b)
+			want := alo <= blo && bhi <= ahi
+			if got := m.Contains(a, b); got != want {
+				t.Fatalf("Contains(%d,%d) = %v, want %v (ranges [%d,%d) [%d,%d))",
+					a, b, got, want, alo, ahi, blo, bhi)
+			}
+		}
+	}
+}
+
+func TestAncestorAt(t *testing.T) {
+	m := MustNew(16)
+	if m.AncestorAt(16, 0) != 1 || m.AncestorAt(16, 1) != 2 || m.AncestorAt(16, 4) != 16 {
+		t.Error("AncestorAt wrong")
+	}
+	count := 0
+	m.Ancestors(31, func(u Node) bool { count++; return true })
+	if count != 4 {
+		t.Errorf("Ancestors visited %d nodes, want 4", count)
+	}
+	// Early stop.
+	count = 0
+	m.Ancestors(31, func(u Node) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("Ancestors early stop visited %d", count)
+	}
+}
+
+func TestInLeftHalf(t *testing.T) {
+	m := MustNew(8)
+	if m.InLeftHalf(1) {
+		t.Error("root is in neither half")
+	}
+	for _, v := range []Node{2, 4, 5, 8, 9, 10, 11} {
+		if !m.InLeftHalf(v) {
+			t.Errorf("node %d should be in left half", v)
+		}
+	}
+	for _, v := range []Node{3, 6, 7, 12, 13, 14, 15} {
+		if m.InLeftHalf(v) {
+			t.Errorf("node %d should be in right half", v)
+		}
+	}
+}
+
+func TestDepthForSizePanics(t *testing.T) {
+	m := MustNew(8)
+	for _, size := range []int{0, 3, 16} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("DepthForSize(%d) did not panic", size)
+				}
+			}()
+			m.DepthForSize(size)
+		}()
+	}
+}
+
+// Property: submachines of equal size partition the PEs.
+func TestSubmachinePartitionProperty(t *testing.T) {
+	f := func(e uint8, se uint8) bool {
+		levels := int(e)%7 + 1
+		n := 1 << levels
+		m := MustNew(n)
+		size := 1 << (int(se) % (levels + 1))
+		covered := make([]int, n)
+		for _, v := range m.Submachines(size) {
+			if m.Size(v) != size {
+				return false
+			}
+			lo, hi := m.PERange(v)
+			for p := lo; p < hi; p++ {
+				covered[p]++
+			}
+		}
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AncestorAt is consistent with Contains.
+func TestAncestorContainsProperty(t *testing.T) {
+	m := MustNew(64)
+	f := func(raw uint16, dRaw uint8) bool {
+		v := Node(int(raw)%(m.NumNodes()) + 1)
+		d := int(dRaw) % (m.Depth(v) + 1)
+		a := m.AncestorAt(v, d)
+		return m.Contains(a, v) && m.Depth(a) == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

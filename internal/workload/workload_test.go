@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partalloc/internal/task"
+)
+
+func TestPoissonValid(t *testing.T) {
+	for _, sizes := range []SizeDist{UniformSizes, GeometricSizes, FixedSize, MixedSizes} {
+		for _, durs := range []DurationDist{ExpDurations, ParetoDurations, UniformDurations} {
+			seq := Poisson(Config{N: 64, Arrivals: 500, Sizes: sizes, Durations: durs, Seed: 3})
+			if err := seq.Validate(64); err != nil {
+				t.Fatalf("sizes=%v durs=%v: %v", sizes, durs, err)
+			}
+			if got := seq.NumArrivals(); got != 500 {
+				t.Fatalf("sizes=%v durs=%v: %d arrivals", sizes, durs, got)
+			}
+			// Every arrival eventually departs.
+			if got := len(seq.Events); got != 1000 {
+				t.Fatalf("sizes=%v durs=%v: %d events, want 1000", sizes, durs, got)
+			}
+			if final := seq.ActiveSizeAfter(len(seq.Events) - 1); final != 0 {
+				t.Fatalf("sizes=%v durs=%v: final active size %d", sizes, durs, final)
+			}
+		}
+	}
+}
+
+func TestPoissonDeterministicPerSeed(t *testing.T) {
+	a := Poisson(Config{N: 32, Arrivals: 200, Seed: 5})
+	b := Poisson(Config{N: 32, Arrivals: 200, Seed: 5})
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("same seed diverges at event %d", i)
+		}
+	}
+	c := Poisson(Config{N: 32, Arrivals: 200, Seed: 6})
+	same := len(a.Events) == len(c.Events)
+	if same {
+		for i := range a.Events {
+			if a.Events[i] != c.Events[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestPoissonMaxExpRespected(t *testing.T) {
+	seq := Poisson(Config{N: 64, MaxExp: 2, Arrivals: 300, Sizes: UniformSizes, Seed: 1})
+	for _, e := range seq.Events {
+		if e.Kind == task.Arrive && e.Size > 4 {
+			t.Fatalf("size %d exceeds 2^2", e.Size)
+		}
+	}
+}
+
+func TestFixedSizeDist(t *testing.T) {
+	seq := Poisson(Config{N: 64, MaxExp: 3, Arrivals: 50, Sizes: FixedSize, Seed: 1})
+	for _, e := range seq.Events {
+		if e.Kind == task.Arrive && e.Size != 8 {
+			t.Fatalf("FixedSize produced size %d", e.Size)
+		}
+	}
+}
+
+func TestDrawSizeDistributionShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	// Geometric: exponent 0 should be about half.
+	count0 := 0
+	for i := 0; i < n; i++ {
+		if drawSize(rng, GeometricSizes, 5) == 1 {
+			count0++
+		}
+	}
+	frac := float64(count0) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("geometric P(size=1) = %.3f, want ≈0.5", frac)
+	}
+	// Uniform: each exponent about 1/6.
+	counts := make(map[int]int)
+	for i := 0; i < n; i++ {
+		counts[drawSize(rng, UniformSizes, 5)]++
+	}
+	for e := 0; e <= 5; e++ {
+		f := float64(counts[1<<e]) / n
+		if f < 0.12 || f > 0.22 {
+			t.Errorf("uniform P(size=%d) = %.3f, want ≈1/6", 1<<e, f)
+		}
+	}
+}
+
+func TestDrawDurationMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 200000
+	for _, d := range []DurationDist{ExpDurations, UniformDurations, ParetoDurations} {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := drawDuration(rng, d, 10)
+			if v < 0 {
+				t.Fatalf("%v produced negative duration", d)
+			}
+			sum += v
+		}
+		mean := sum / n
+		// Pareto α=1.5 has infinite variance; allow a wide band.
+		lo, hi := 9.0, 11.0
+		if d == ParetoDurations {
+			lo, hi = 7.0, 16.0
+		}
+		if mean < lo || mean > hi {
+			t.Errorf("%v mean = %.2f, want ≈10", d, mean)
+		}
+	}
+}
+
+func TestSaturationHoldsTarget(t *testing.T) {
+	cfg := SaturationConfig{N: 256, Target: 0.75, Events: 5000, Seed: 4, Churn: 0.1}
+	seq := Saturation(cfg)
+	if err := seq.Validate(256); err != nil {
+		t.Fatal(err)
+	}
+	// After warmup, active size should hover near target.
+	var cur int64
+	maxSeen := int64(0)
+	for i, e := range seq.Events {
+		if e.Kind == task.Arrive {
+			cur += int64(e.Size)
+		} else {
+			cur -= int64(e.Size)
+		}
+		if i > 1000 && cur > maxSeen {
+			maxSeen = cur
+		}
+	}
+	target := int64(0.75 * 256)
+	if maxSeen < target/2 {
+		t.Errorf("saturation never approached target: max %d vs target %d", maxSeen, target)
+	}
+	// And s(σ) must not wildly exceed the target (one oversized task may).
+	if seq.Size() > target+128 {
+		t.Errorf("s(σ) = %d far above target %d", seq.Size(), target)
+	}
+}
+
+func TestSessionsValid(t *testing.T) {
+	seq := Sessions(SessionConfig{N: 128, Sessions: 80, Seed: 11})
+	if err := seq.Validate(128); err != nil {
+		t.Fatal(err)
+	}
+	if seq.NumArrivals() < 80 {
+		t.Fatalf("only %d arrivals from 80 sessions", seq.NumArrivals())
+	}
+	// Sequence times must be non-decreasing (Validate checks, but assert
+	// explicitly for the generator contract).
+	last := math.Inf(-1)
+	for _, e := range seq.Events {
+		if e.Time < last {
+			t.Fatal("time went backwards")
+		}
+		last = e.Time
+	}
+	// Everything departs in the end.
+	if final := seq.ActiveSizeAfter(len(seq.Events) - 1); final != 0 {
+		t.Fatalf("final active size %d", final)
+	}
+}
+
+func TestSessionsDeterministic(t *testing.T) {
+	a := Sessions(SessionConfig{N: 64, Sessions: 40, Seed: 7})
+	b := Sessions(SessionConfig{N: 64, Sessions: 40, Seed: 7})
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("diverges at %d", i)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package partalloc is a library for on-line processor allocation in
+// partitionable (hierarchically decomposable) multiprocessors, reproducing
+// "On Trading Task Reallocation for Thread Management in Partitionable
+// Multiprocessors" (Gao, Rosenberg, Sitaraman; SPAA 1996).
+//
+// The model: an N-PE machine shaped as an N-leaf complete binary tree is
+// time-shared by users who arrive at unpredictable times, request
+// power-of-two submachines, and depart at unpredictable times. Several
+// users' tasks may occupy the same PE; a PE's load is the number of
+// threads (active tasks) it manages, and the allocator's quality is its
+// maximum load relative to the optimal load L* = ⌈s(σ)/N⌉. A
+// d-reallocation algorithm may globally migrate tasks once d·N units of
+// work have arrived since the last migration — d trades migration traffic
+// against thread-management load.
+//
+// # Algorithms
+//
+//   - NewGreedy — A_G: leftmost minimum-load placement, never reallocates;
+//     load ≤ ⌈½(log N+1)⌉·L* (Theorem 4.1).
+//   - NewBasic — A_B: first-fit over copies of the machine; load ≤ ⌈S/N⌉
+//     for total arrived size S (Lemma 2).
+//   - NewConstant — A_C: reallocates on every arrival; load = L* exactly
+//     (Theorem 3.1).
+//   - NewPeriodic — A_M(d): A_B plus a reallocation (first-fit-decreasing
+//     repacking) every d·N arrived units; load ≤ min{d+1,⌈½(log N+1)⌉}·L*
+//     (Theorem 4.2). No deterministic algorithm beats
+//     ⌈½(min{d,log N}+1)⌉·L* (Theorem 4.3).
+//   - NewLazy — A_M with on-demand reallocation timing: same guarantee,
+//     far less traffic (and it realizes the paper's §2 example exactly).
+//   - NewRandom — A_Rand: oblivious uniform placement; expected load ≤
+//     (3·log N/log log N + 1)·L* (Theorem 5.1), and no randomized
+//     no-reallocation algorithm beats Ω((log N/log log N)^{1/3}) (Theorem
+//     5.2).
+//
+// # Quick start
+//
+//	m := partalloc.MustNewMachine(64)
+//	a := partalloc.NewPeriodic(m, 2, partalloc.DecreasingSize)
+//	seq := partalloc.PoissonWorkload(partalloc.WorkloadConfig{N: 64, Arrivals: 500, Seed: 1})
+//	res := partalloc.Simulate(a, seq, partalloc.SimOptions{})
+//	fmt.Printf("max load %d vs optimal %d (ratio %.2f)\n", res.MaxLoad, res.LStar, res.Ratio)
+//
+// The subpackages under internal/ hold the implementation; this package is
+// the stable surface. Experiment runners that regenerate every artifact in
+// the paper live in internal/experiments and are exposed through
+// cmd/experiments.
+package partalloc
+
+import (
+	"io"
+
+	"partalloc/internal/adversary"
+	"partalloc/internal/core"
+	"partalloc/internal/mathx"
+	"partalloc/internal/sched"
+	"partalloc/internal/sim"
+	"partalloc/internal/subcube"
+	"partalloc/internal/task"
+	"partalloc/internal/topology"
+	"partalloc/internal/trace"
+	"partalloc/internal/tree"
+	"partalloc/internal/workload"
+)
+
+// Machine is an N-PE tree machine description (immutable).
+type Machine = tree.Machine
+
+// Node identifies a submachine by the heap index of its root.
+type Node = tree.Node
+
+// NewMachine builds an N-PE machine; N must be a power of two.
+func NewMachine(n int) (*Machine, error) { return tree.New(n) }
+
+// MustNewMachine is NewMachine, panicking on error.
+func MustNewMachine(n int) *Machine { return tree.MustNew(n) }
+
+// Task is a user request for a power-of-two submachine.
+type Task = task.Task
+
+// TaskID identifies a task.
+type TaskID = task.ID
+
+// Sequence is a time-ordered series of arrival/departure events.
+type Sequence = task.Sequence
+
+// SequenceBuilder builds valid sequences incrementally.
+type SequenceBuilder = task.Builder
+
+// NewSequenceBuilder returns an empty builder.
+func NewSequenceBuilder() *SequenceBuilder { return task.NewBuilder() }
+
+// Figure1Sequence returns the paper's worked example σ*.
+func Figure1Sequence() Sequence { return task.Figure1Sequence() }
+
+// Allocator is the interface all allocation algorithms implement.
+type Allocator = core.Allocator
+
+// Reallocator is implemented by allocators that migrate tasks.
+type Reallocator = core.Reallocator
+
+// ReallocStats counts reallocations, migrated tasks and moved PE-units.
+type ReallocStats = core.ReallocStats
+
+// ReallocOrder selects the reallocation procedure's packing order.
+type ReallocOrder = core.ReallocOrder
+
+// Packing orders for the reallocation procedure A_R.
+const (
+	// DecreasingSize is the paper's first-fit-decreasing order.
+	DecreasingSize = core.DecreasingSize
+	// ArrivalOrder packs in task-arrival order (observed to be equally
+	// tight on fresh sets; see internal/core tests).
+	ArrivalOrder = core.ArrivalOrder
+)
+
+// NewGreedy returns the greedy algorithm A_G.
+func NewGreedy(m *Machine) Allocator { return core.NewGreedy(m) }
+
+// NewBasic returns the first-fit-over-copies algorithm A_B.
+func NewBasic(m *Machine) Allocator { return core.NewBasic(m) }
+
+// NewConstant returns the constantly-reallocating algorithm A_C.
+func NewConstant(m *Machine) Reallocator { return core.NewConstant(m) }
+
+// NewPeriodic returns the d-reallocation algorithm A_M. d < 0 encodes ∞.
+func NewPeriodic(m *Machine, d int, order ReallocOrder) Reallocator {
+	return core.NewPeriodic(m, d, order)
+}
+
+// NewLazy returns the lazy d-reallocation variant.
+func NewLazy(m *Machine, d int, order ReallocOrder) Reallocator {
+	return core.NewLazy(m, d, order)
+}
+
+// NewRandom returns the oblivious randomized algorithm A_Rand.
+func NewRandom(m *Machine, seed int64) Allocator { return core.NewRandom(m, seed) }
+
+// NewTwoChoice returns the balanced-allocations baseline (Azar et al., the
+// paper's related work [2]): place each task on the less loaded of two
+// uniformly random submachines of its size.
+func NewTwoChoice(m *Machine, seed int64) Allocator { return core.NewTwoChoice(m, seed) }
+
+// NewGreedyRandomTie returns the A_G tie-breaking ablation: minimum-load
+// placement with uniform-random tie-breaking instead of leftmost. Same
+// Theorem 4.1 worst case; measurably worse average-case packing (see
+// DESIGN.md §4 and experiment E3).
+func NewGreedyRandomTie(m *Machine, seed int64) Allocator { return core.NewGreedyRandomTie(m, seed) }
+
+// SimOptions controls what Simulate records.
+type SimOptions = sim.Options
+
+// SimResult is a simulation outcome.
+type SimResult = sim.Result
+
+// Simulate drives an allocator through a sequence and measures loads,
+// competitive ratio and reallocation cost.
+func Simulate(a Allocator, seq Sequence, opt SimOptions) SimResult {
+	return sim.Run(a, seq, opt)
+}
+
+// WorkloadConfig parameterizes PoissonWorkload.
+type WorkloadConfig = workload.Config
+
+// SaturationConfig parameterizes SaturationWorkload.
+type SaturationConfig = workload.SaturationConfig
+
+// SessionConfig parameterizes SessionWorkload.
+type SessionConfig = workload.SessionConfig
+
+// PoissonWorkload generates Poisson arrivals with i.i.d. service times.
+func PoissonWorkload(cfg WorkloadConfig) Sequence { return workload.Poisson(cfg) }
+
+// SaturationWorkload generates a closed-loop near-full workload.
+func SaturationWorkload(cfg SaturationConfig) Sequence { return workload.Saturation(cfg) }
+
+// SessionWorkload generates a CM-5-style multi-user session workload.
+func SessionWorkload(cfg SessionConfig) Sequence { return workload.Sessions(cfg) }
+
+// AdversaryResult reports a deterministic lower-bound construction run.
+type AdversaryResult = adversary.DetResult
+
+// RunAdversary runs the Theorem 4.3 adversary against allocator a assuming
+// reallocation parameter d (d < 0 for ∞) and returns the forced loads and
+// the constructed sequence.
+func RunAdversary(a Allocator, d int) AdversaryResult {
+	return adversary.RunDeterministic(a, d)
+}
+
+// SigmaRConfig parameterizes the Theorem 5.2 random sequence.
+type SigmaRConfig = adversary.SigmaRConfig
+
+// SigmaRStats describes a generated σ_r draw.
+type SigmaRStats = adversary.SigmaRStats
+
+// SigmaR generates one draw of the randomized lower-bound sequence σ_r.
+func SigmaR(cfg SigmaRConfig) (Sequence, SigmaRStats) { return adversary.SigmaR(cfg) }
+
+// Topology is a physical network with hierarchical decomposition.
+type Topology = topology.Machine
+
+// NewTopology builds a named topology: "tree", "hypercube", "mesh" or
+// "butterfly".
+func NewTopology(name string, n int) (Topology, error) { return topology.New(name, n) }
+
+// TopologyNames lists supported topologies.
+func TopologyNames() []string { return topology.Names() }
+
+// MigrationCost prices moving a task between two equal-size submachines on
+// a physical topology, in per-PE routed hops.
+func MigrationCost(top Topology, m *Machine, from, to Node) int64 {
+	return topology.MigrationCost(top, m, from, to)
+}
+
+// SchedJob is one unit of executable work for the closed-loop scheduler.
+type SchedJob = sched.Job
+
+// SchedWorkload is an arrival-ordered job stream for the scheduler.
+type SchedWorkload = sched.Workload
+
+// SchedResult reports a closed-loop execution.
+type SchedResult = sched.Result
+
+// SchedWorkloadConfig parameterizes RandomSchedWorkload.
+type SchedWorkloadConfig = sched.WorkloadConfig
+
+// RandomSchedWorkload draws a Poisson job stream with exponential work
+// requirements for the closed-loop scheduler.
+func RandomSchedWorkload(cfg SchedWorkloadConfig) SchedWorkload {
+	return sched.RandomWorkload(cfg)
+}
+
+// Execute runs jobs to completion under gang-scheduled round-robin
+// time-sharing: each job advances at 1/(max load in its submachine), so
+// departures — and therefore response times — are determined by the
+// allocator's balance. This is the paper's §2 slowdown model, executed.
+func Execute(a Allocator, w SchedWorkload) SchedResult { return sched.Run(a, w) }
+
+// SubcubeStrategy selects an exclusive (space-shared) subcube recognition
+// scheme on a hypercube: SubcubeBuddy, SubcubeGrayCode (Chen/Shin) or
+// SubcubeExhaustive.
+type SubcubeStrategy = subcube.Strategy
+
+// Subcube recognition strategies for space-shared allocation.
+const (
+	SubcubeBuddy      = subcube.Buddy
+	SubcubeGrayCode   = subcube.GrayCode
+	SubcubeExhaustive = subcube.Exhaustive
+)
+
+// SpaceShareJob is one exclusive-use request.
+type SpaceShareJob = subcube.Job
+
+// SpaceShareResult reports a space-shared (FCFS-queued) run.
+type SpaceShareResult = subcube.QueueResult
+
+// SpaceShare simulates exclusive FCFS subcube allocation on a dim-cube —
+// the related-work regime the paper's time-sharing model is contrasted
+// against (jobs wait when fragmentation blocks them).
+func SpaceShare(dim int, st SubcubeStrategy, jobs []SpaceShareJob) SpaceShareResult {
+	return subcube.RunQueue(dim, st, jobs)
+}
+
+// RandomSpaceShareJobs draws a Poisson stream of exclusive-use jobs.
+func RandomSpaceShareJobs(dim, count int, rate, meanDuration float64, seed int64) []SpaceShareJob {
+	return subcube.RandomJobs(dim, count, rate, meanDuration, seed)
+}
+
+// SaveSequence writes a sequence as a JSON trace (see internal/trace for
+// the schema). label is free-form; n records the machine size the
+// sequence was generated for (0 if unknown).
+func SaveSequence(w io.Writer, seq Sequence, label string, n int) error {
+	return trace.WriteJSON(w, seq, label, n)
+}
+
+// LoadSequence reads a JSON trace written by SaveSequence and validates
+// it, returning the sequence with its label and machine size.
+func LoadSequence(r io.Reader) (Sequence, string, int, error) {
+	return trace.ReadJSON(r)
+}
+
+// GreedyBound returns ⌈½(log N+1)⌉, the Theorem 4.1 factor.
+func GreedyBound(n int) int { return mathx.GreedyBound(n) }
+
+// UpperBound returns min{d+1, ⌈½(log N+1)⌉}, the Theorem 4.2 factor.
+func UpperBound(n, d int) int { return mathx.DetUpperFactor(n, d) }
+
+// LowerBound returns ⌈½(min{d, log N}+1)⌉, the Theorem 4.3 factor.
+func LowerBound(n, d int) int { return mathx.DetLowerFactor(n, d) }
