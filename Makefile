@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench experiments experiments-quick cover golden clean
+.PHONY: all build test test-short test-race lint bench experiments experiments-quick cover golden clean
 
-all: build test
+all: build lint test
 
 build:
 	go build ./...
@@ -14,6 +14,19 @@ test:
 # Skips the multi-second stress tests; suitable for fast CI.
 test-short:
 	go test -short ./...
+
+# Race-detector run over the short suite (the stress tests that matter
+# for races are not short-gated, so this still exercises them).
+test-race:
+	go test -short -race ./...
+
+# Run the project's own analyzer suite (docs/LINTS.md): standalone over
+# every package, then again through go vet's vettool protocol so both
+# entry points stay healthy.
+lint:
+	go run ./cmd/partlint ./...
+	go build -o /tmp/partlint ./cmd/partlint
+	go vet -vettool=/tmp/partlint ./...
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"partalloc/internal/analysis/checker"
+	"partalloc/internal/analysis/load"
+	"partalloc/internal/analysis/passes"
+)
+
+// vetConfig is the JSON unit configuration cmd/go writes for vet tools —
+// the same schema x/tools' unitchecker consumes. Only the fields partlint
+// needs are declared; unknown fields are ignored by encoding/json.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes a single compilation unit described by a cfg file,
+// per the go vet -vettool protocol: dependencies arrive as compiled
+// export data in PackageFile, diagnostics go to stderr, and the exit
+// status is 2 when findings exist. Facts are not used by this suite, so
+// the vetx output (the inter-unit fact channel) is written empty.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "partlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "partlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "partlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // facts-only pass for a dependency; nothing to report
+	}
+
+	ctx := load.NewExportContext(cfg.PackageFile, cfg.ImportMap)
+	files := make([]string, len(cfg.GoFiles))
+	for i, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files[i] = f
+	}
+	pkg, err := ctx.LoadFiles(cfg.ImportPath, files)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "partlint:", err)
+		return 1
+	}
+	if len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "partlint: %s: %v\n", cfg.ImportPath, pkg.TypeErrors[0])
+		return 1
+	}
+	diags, err := checker.Run([]*load.Package{pkg}, passes.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "partlint:", err)
+		return 1
+	}
+	printDiags(ctx.Fset, diags)
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

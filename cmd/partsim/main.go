@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"partalloc/internal/cli"
+	"partalloc/internal/invariant"
 	"partalloc/internal/report"
 	"partalloc/internal/sim"
 	"partalloc/internal/stats"
@@ -40,6 +41,7 @@ func main() {
 	traceIn := flag.String("trace-in", "", "replay a JSON trace instead of generating a workload")
 	traceOut := flag.String("trace-out", "", "save the generated sequence as a JSON trace")
 	slowdowns := flag.Bool("slowdowns", false, "report the per-task slowdown distribution")
+	check := flag.Bool("check", false, "audit every event with the runtime invariant checker (see internal/invariant)")
 	plot := flag.Bool("plot", false, "render the max-load-over-time ASCII plot")
 	heat := flag.Bool("heat", false, "render the final per-PE load heat strip")
 	flag.Parse()
@@ -99,7 +101,15 @@ func main() {
 		fatal(err)
 	}
 
-	res := sim.Run(a, seq, sim.Options{TrackSlowdowns: *slowdowns, RecordSeries: *plot})
+	var checker *invariant.Checker
+	if *check {
+		checker = invariant.New(m)
+		if (*algo == "lazy" || *algo == "periodic") && *d >= 1 {
+			checker.SetReallocBudget(*d)
+		}
+	}
+
+	res := sim.Run(a, seq, sim.Options{TrackSlowdowns: *slowdowns, RecordSeries: *plot, Checker: checker})
 
 	fmt.Printf("machine:       N=%d (tree)\n", *n)
 	fmt.Printf("workload:      %s (%d events, %d arrivals, s(σ)=%d)\n",
@@ -112,6 +122,13 @@ func main() {
 	if res.Realloc.Reallocations > 0 || *algo == "constant" || *algo == "periodic" || *algo == "lazy" {
 		fmt.Printf("reallocation:  %d reallocations, %d task migrations, %d PE-units moved\n",
 			res.Realloc.Reallocations, res.Realloc.Migrations, res.Realloc.MovedPEs)
+	}
+	if *check {
+		fmt.Printf("invariants:    %d events audited, %d violation(s)\n",
+			checker.Events(), len(checker.Violations()))
+		if err := checker.Err(); err != nil {
+			fatal(err)
+		}
 	}
 	if *heat {
 		loads := a.PELoads()

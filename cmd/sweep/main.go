@@ -163,7 +163,7 @@ func genWorkload(kind string, n int, seed int64, events int) task.Sequence {
 	case "sessions":
 		return workload.Sessions(workload.SessionConfig{N: n, Sessions: events / 10, Seed: seed})
 	}
-	panic("unknown workload " + kind)
+	panic("sweep: unknown workload " + kind)
 }
 
 func fatal(err error) {

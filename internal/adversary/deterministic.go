@@ -119,6 +119,7 @@ func RunDeterministicObserved(a core.Allocator, d int, observe PhaseObserver) De
 		}
 		sizePerHalf := make([]int64, numHalves)
 		tasksPerHalf := make([][]task.ID, numHalves)
+		//lint:ignore detorder every per-half bucket is sorted by sortIDs before its departures are emitted, so collection order cannot matter
 		for id, v := range placements {
 			// Every active task has size ≤ 2^{i-1}, so its submachine lies
 			// within exactly one half.

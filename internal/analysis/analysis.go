@@ -1,0 +1,117 @@
+// Package analysis is a self-contained, stdlib-only modular static
+// analysis framework modeled on golang.org/x/tools/go/analysis. The repo
+// vendors no third-party modules (experiments must build offline and
+// hermetically), so the few pieces of the x/tools API the lint suite needs
+// — Analyzer, Pass, Diagnostic, a preorder inspector, and suppression
+// directives — are reimplemented here on top of go/ast and go/types.
+//
+// An Analyzer is a named check with a Run function. The driver
+// (internal/analysis/checker, used by cmd/partlint and the analysistest
+// harness) type-checks each package, builds a Pass, invokes every
+// analyzer, filters diagnostics through //lint:ignore directives, and
+// reports what survives. Analyzers in this tree are pure functions of the
+// Pass: no facts, no cross-package state, no mutation of the AST.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer checks and
+	// which invariant of the paper it protects.
+	Doc string
+	// Run applies the check to a single type-checked package, reporting
+	// findings through pass.Report. A non-nil error aborts the whole lint
+	// run (reserved for internal failures, not findings).
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The checker wires this to the
+	// suppression filter and the output sink.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer})
+}
+
+// Preorder walks every file of the pass in depth-first preorder, invoking
+// fn for each node whose concrete type matches one of the example nodes in
+// match (an empty match list visits every node). It is the working subset
+// of x/tools' ast/inspector used by this repo's analyzers.
+func (p *Pass) Preorder(match []ast.Node, fn func(ast.Node)) {
+	want := make(map[string]bool, len(match))
+	for _, m := range match {
+		want[fmt.Sprintf("%T", m)] = true
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if len(want) == 0 || want[fmt.Sprintf("%T", n)] {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+// FuncNameOf resolves the fully qualified name of the function or method
+// called by call, in the form "pkg/path.Func" for package-level functions
+// and "(pkg/path.Recv).Method" / "(*pkg/path.Recv).Method" for methods —
+// the same shape types.Func.FullName produces. It returns "" when the
+// callee is not a statically resolvable named function (builtin calls,
+// calls of function values, type conversions).
+func (p *Pass) FuncNameOf(call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	fn, ok := p.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// ConstIntValue evaluates e as a compile-time integer constant using the
+// type-checker's constant folding. ok is false for non-constant
+// expressions and for constants that do not fit in int64.
+func (p *Pass) ConstIntValue(e ast.Expr) (v int64, ok bool) {
+	tv, found := p.TypesInfo.Types[e]
+	if !found || tv.Value == nil {
+		return 0, false
+	}
+	return constInt64(tv)
+}

@@ -1,0 +1,177 @@
+// Package analysistest runs one analyzer over a fixture package and
+// compares its diagnostics against // want annotations, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory under internal/analysis/testdata/src containing
+// ordinary Go files. A line expecting a diagnostic carries a trailing
+// comment:
+//
+//	tree.MustNew(12) // want `not a power of two`
+//
+// The backquoted string is a regular expression matched against the
+// diagnostic message; several `want` clauses on one line expect several
+// diagnostics. Lines without annotations must produce none (the negative
+// cases). Fixtures may import the real module packages — the loader
+// resolves partalloc/... and stdlib imports from compiled export data, so
+// fixtures exercise analyzers against the genuine API signatures instead
+// of hand-maintained stubs.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"partalloc/internal/analysis"
+	"partalloc/internal/analysis/checker"
+	"partalloc/internal/analysis/load"
+)
+
+// wantRe matches one `...` clause of a want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+// expectation is one expected diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture directory (relative to the test's working
+// directory, conventionally "testdata/src/<name>"), applies the analyzer,
+// and reports mismatches on t.
+func Run(t *testing.T, a *analysis.Analyzer, fixtureDir string) {
+	t.Helper()
+	moduleDir := moduleRoot(t)
+	ctx, _, err := load.NewContext(moduleDir, "./...")
+	if err != nil {
+		t.Fatalf("analysistest: priming loader: %v", err)
+	}
+	abs, err := filepath.Abs(fixtureDir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(abs, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", abs)
+	}
+	importPath := "fixtures/" + filepath.Base(abs)
+	pkg, err := ctx.LoadFiles(importPath, files)
+	if err != nil {
+		t.Fatalf("analysistest: loading fixture: %v", err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("analysistest: fixture type error: %v", terr)
+	}
+	if t.Failed() {
+		return
+	}
+
+	wants := collectWants(t, ctx.Fset, files)
+	diags, err := checker.Run([]*load.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	for _, d := range diags {
+		pos := ctx.Fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s",
+				filepath.Base(pos.Filename), pos.Line, d.Analyzer.Name, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				filepath.Base(w.file), w.line, w.re.String())
+		}
+	}
+}
+
+// claim marks the first unhit expectation matching the diagnostic.
+func claim(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans fixture sources for // want comments.
+func collectWants(t *testing.T, fset *token.FileSet, files []string) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, comment, found := strings.Cut(line, "// want ")
+			if !found {
+				continue
+			}
+			ms := wantRe.FindAllStringSubmatch(comment, -1)
+			if len(ms) == 0 {
+				t.Fatalf("analysistest: %s:%d: malformed want comment (need `re` clauses)", name, i+1)
+			}
+			for _, m := range ms {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("analysistest: %s:%d: bad want regexp: %v", name, i+1, err)
+				}
+				out = append(out, &expectation{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("analysistest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Fixture returns the conventional fixture path for a named suite:
+// <module>/internal/analysis/testdata/src/<name>. Tests in analyzer
+// packages use it so they are independent of their own working directory.
+func Fixture(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join(moduleRoot(t), "internal", "analysis", "testdata", "src", name)
+}

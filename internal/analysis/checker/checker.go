@@ -1,0 +1,95 @@
+// Package checker runs analyzers over loaded packages and applies the
+// //lint:ignore suppression protocol. It is the shared engine behind
+// cmd/partlint (standalone and vet-tool modes) and the analysistest
+// fixture harness.
+package checker
+
+import (
+	"fmt"
+	"sort"
+
+	"partalloc/internal/analysis"
+	"partalloc/internal/analysis/load"
+)
+
+// directiveAnalyzer attributes diagnostics about the directives
+// themselves (malformed or dangling //lint:ignore comments).
+var directiveAnalyzer = &analysis.Analyzer{
+	Name: "directive",
+	Doc:  "validates //lint:ignore suppression directives",
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics in file/position order. Suppressed findings are dropped; a
+// directive that is malformed (no reason) or matches nothing yields its
+// own diagnostic, so stale exceptions cannot accumulate silently.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var out []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := runPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, diags...)
+	}
+	sortDiagnostics(pkgs, out)
+	return out, nil
+}
+
+func runPackage(pkg *load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	if len(pkg.TypeErrors) > 0 {
+		return nil, fmt.Errorf("checker: %s: type error: %v", pkg.ImportPath, pkg.TypeErrors[0])
+	}
+	directives := analysis.ParseDirectives(pkg.Fset, pkg.Files)
+	var raw []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d analysis.Diagnostic) { raw = append(raw, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("checker: %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	kept := analysis.FilterIgnored(pkg.Fset, directives, raw)
+	// Surface directive problems: missing reasons and directives that
+	// suppressed nothing in this run.
+	for _, d := range directives {
+		switch {
+		case d.Reason() == "":
+			kept = append(kept, analysis.Diagnostic{
+				Pos:      d.Pos(),
+				Message:  "//lint:ignore directive is missing a reason",
+				Analyzer: directiveAnalyzer,
+			})
+		case !d.Used():
+			kept = append(kept, analysis.Diagnostic{
+				Pos:      d.Pos(),
+				Message:  fmt.Sprintf("//lint:ignore %s directive matched no diagnostic", d.Analyzers()),
+				Analyzer: directiveAnalyzer,
+			})
+		}
+	}
+	return kept, nil
+}
+
+func sortDiagnostics(pkgs []*load.Package, diags []analysis.Diagnostic) {
+	if len(pkgs) == 0 {
+		return
+	}
+	fset := pkgs[0].Fset
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}

@@ -1,0 +1,54 @@
+package checker_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"partalloc/internal/analysis/checker"
+	"partalloc/internal/analysis/load"
+	"partalloc/internal/analysis/passes"
+)
+
+// TestSelfLint runs the full analyzer suite over the whole module, making
+// lint cleanliness a tier-1 test property: a PR that introduces a
+// violation fails `go test ./...` even if it never runs `make lint`.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module via go list")
+	}
+	root := moduleRoot(t)
+	_, pkgs, err := load.Targets(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	diags, err := checker.Run(pkgs, passes.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		pos := pkgs[0].Fset.Position(d.Pos)
+		t.Errorf("%s: [%s] %s", pos, d.Analyzer.Name, d.Message)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+}

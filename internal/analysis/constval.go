@@ -1,0 +1,16 @@
+package analysis
+
+import (
+	"go/constant"
+	"go/types"
+)
+
+// constInt64 extracts an int64 from a constant type-and-value, if the
+// constant is integral and in range.
+func constInt64(tv types.TypeAndValue) (int64, bool) {
+	val := constant.ToInt(tv.Value)
+	if val.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(val)
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //lint:ignore comment.
+//
+// The accepted forms follow staticcheck's convention:
+//
+//	//lint:ignore powtwo reason for the exception
+//	//lint:ignore powtwo,detorder reason covering both
+//	//lint:ignore all reason silencing every analyzer
+//
+// A directive suppresses matching diagnostics reported on the same line
+// (inline comment), or — when the comment stands alone on its line — on
+// the next line. A reason is mandatory, and a directive that suppresses
+// nothing is itself reported, so exceptions stay documented and current.
+type Directive struct {
+	file      string
+	line      int    // line the directive is written on
+	analyzers string // comma-separated names, or "all"
+	reason    string
+	pos       token.Pos
+	ownLine   bool // comment is the only thing on its line
+	used      bool
+}
+
+// Pos returns the directive's source position.
+func (d *Directive) Pos() token.Pos { return d.pos }
+
+// Reason returns the justification text (may be empty — malformed).
+func (d *Directive) Reason() string { return d.reason }
+
+// Analyzers returns the raw analyzer list ("powtwo", "a,b", or "all").
+func (d *Directive) Analyzers() string { return d.analyzers }
+
+// Used reports whether the directive suppressed at least one diagnostic.
+func (d *Directive) Used() bool { return d.used }
+
+const ignorePrefix = "//lint:ignore "
+
+// ParseDirectives extracts every //lint:ignore directive from the files.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) []*Directive {
+	var out []*Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				out = append(out, &Directive{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: name,
+					reason:    strings.TrimSpace(reason),
+					pos:       c.Pos(),
+					ownLine:   standaloneComment(fset, f, c),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// standaloneComment reports whether comment c is the only token on its
+// line (a standalone directive applies to the next line; an inline one to
+// its own).
+func standaloneComment(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cl := fset.Position(c.Pos()).Line
+	standalone := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !standalone {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup, *ast.File:
+			return true
+		}
+		// Any non-comment node that *starts* on the directive's line makes
+		// the comment inline (trailing a statement or declaration).
+		if fset.Position(n.Pos()).Line == cl {
+			standalone = false
+			return false
+		}
+		return true
+	})
+	return standalone
+}
+
+// matches reports whether the directive silences analyzer name for a
+// diagnostic at the given file and line.
+func (d *Directive) matches(name, file string, line int) bool {
+	if file != d.file {
+		return false
+	}
+	target := d.line
+	if d.ownLine {
+		target = d.line + 1
+	}
+	if line != target {
+		return false
+	}
+	if d.analyzers == "all" {
+		return true
+	}
+	for _, a := range strings.Split(d.analyzers, ",") {
+		if strings.TrimSpace(a) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FilterIgnored drops diagnostics matched by a directive, marking the
+// directives that fired.
+func FilterIgnored(fset *token.FileSet, directives []*Directive, diags []Diagnostic) []Diagnostic {
+	if len(directives) == 0 {
+		return diags
+	}
+	var kept []Diagnostic
+	for _, diag := range diags {
+		pos := fset.Position(diag.Pos)
+		suppressed := false
+		for _, d := range directives {
+			if d.matches(diag.Analyzer.Name, pos.Filename, pos.Line) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, diag)
+		}
+	}
+	return kept
+}

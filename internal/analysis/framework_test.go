@@ -1,0 +1,133 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"partalloc/internal/analysis"
+)
+
+// checkSource type-checks a single import-free source file, so framework
+// behavior is testable without shelling out to the go tool.
+func checkSource(t *testing.T, src string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}, pkg, info
+}
+
+// litAnalyzer reports every integer literal; enough to drive the
+// directive machinery.
+var litAnalyzer = &analysis.Analyzer{
+	Name: "lit",
+	Doc:  "test analyzer reporting every int literal",
+	Run: func(pass *analysis.Pass) error {
+		pass.Preorder([]ast.Node{(*ast.BasicLit)(nil)}, func(n ast.Node) {
+			if n.(*ast.BasicLit).Kind == token.INT {
+				pass.Reportf(n.Pos(), "int literal")
+			}
+		})
+		return nil
+	},
+}
+
+func runLit(t *testing.T, src string) ([]analysis.Diagnostic, []*analysis.Directive, *token.FileSet) {
+	t.Helper()
+	fset, files, pkg, info := checkSource(t, src)
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  litAnalyzer,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := litAnalyzer.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	directives := analysis.ParseDirectives(fset, files)
+	return analysis.FilterIgnored(fset, directives, diags), directives, fset
+}
+
+func TestDirectiveSuppression(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want int // surviving diagnostics
+	}{
+		{"no directive", "package p\nvar x = 1\n", 1},
+		{"inline", "package p\nvar x = 1 //lint:ignore lit test reason\n", 0},
+		{"standalone covers next line", "package p\n//lint:ignore lit test reason\nvar x = 1\n", 0},
+		{"standalone does not cover later lines", "package p\n//lint:ignore lit test reason\nvar y = true\nvar x = 1\n", 1},
+		{"wrong analyzer name", "package p\nvar x = 1 //lint:ignore other test reason\n", 1},
+		{"all silences everything", "package p\nvar x = 1 //lint:ignore all test reason\n", 0},
+		{"comma list", "package p\nvar x = 1 //lint:ignore other,lit test reason\n", 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, _, _ := runLit(t, tc.src)
+			if len(got) != tc.want {
+				t.Errorf("got %d surviving diagnostics, want %d: %+v", len(got), tc.want, got)
+			}
+		})
+	}
+}
+
+func TestDirectiveBookkeeping(t *testing.T) {
+	_, directives, _ := runLit(t, "package p\nvar x = 1 //lint:ignore lit covered\nvar y = true //lint:ignore lit dangling\n")
+	if len(directives) != 2 {
+		t.Fatalf("parsed %d directives, want 2", len(directives))
+	}
+	if !directives[0].Used() {
+		t.Error("directive covering a diagnostic not marked used")
+	}
+	if directives[1].Used() {
+		t.Error("dangling directive incorrectly marked used")
+	}
+}
+
+func TestDirectiveReason(t *testing.T) {
+	_, directives, _ := runLit(t, "package p\nvar x = 1 //lint:ignore lit\n")
+	if len(directives) != 1 {
+		t.Fatalf("parsed %d directives, want 1", len(directives))
+	}
+	if directives[0].Reason() != "" {
+		t.Errorf("reason = %q, want empty (malformed directive)", directives[0].Reason())
+	}
+}
+
+func TestConstIntValue(t *testing.T) {
+	fset, files, pkg, info := checkSource(t, `package p
+const k = 3 * 4
+var a = k
+var b = 1 << 5
+func f(n int) int { return n }
+`)
+	_ = fset
+	pass := &analysis.Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	found := map[int64]bool{}
+	pass.Preorder([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node) {
+		if v, ok := pass.ConstIntValue(n.(ast.Expr)); ok {
+			found[v] = true
+		}
+	})
+	if !found[12] || !found[32] {
+		t.Errorf("constant folding missed values: got %v, want 12 and 32", found)
+	}
+}

@@ -1,0 +1,222 @@
+// Package load type-checks Go packages for the lint suite without any
+// dependency outside the standard library.
+//
+// The strategy mirrors what real analysis drivers do, using only tools the
+// container already has: `go list -deps -export -json` produces, entirely
+// offline, a compiled export-data file for every package in the build
+// graph (stdlib included, via the build cache). Each target package is
+// then parsed from source and type-checked with go/types, resolving every
+// import through those export files via go/importer's gc importer. No
+// network, no GOPATH tricks, no re-implementation of the spec's import
+// resolution.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors holds soft type-checking failures. Analyzers still run on
+	// partially checked packages, but drivers should surface these.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Context owns the export-data map and the shared file set and importer,
+// so type identity is consistent across every package loaded through it.
+type Context struct {
+	ModuleDir string
+	Fset      *token.FileSet
+	exports   map[string]string // import path -> export data file
+	importMap map[string]string // source import path -> resolved path
+	imp       types.ImporterFrom
+}
+
+// NewContext builds a loading context rooted at the module directory,
+// priming export data for the packages matching patterns and all their
+// dependencies.
+func NewContext(moduleDir string, patterns ...string) (*Context, []*listedPackage, error) {
+	c := &Context{
+		ModuleDir: moduleDir,
+		Fset:      token.NewFileSet(),
+		exports:   make(map[string]string),
+		importMap: make(map[string]string),
+	}
+	c.imp = importer.ForCompiler(c.Fset, "gc", c.lookup).(types.ImporterFrom)
+	pkgs, err := c.goList(append([]string{"-deps", "-export"}, patterns...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, pkgs, nil
+}
+
+// NewExportContext returns a context that resolves imports purely through
+// the supplied export-data file map, with no `go list` fallback. This is
+// the loader for `go vet -vettool` mode, where cmd/go hands partlint a
+// ready-made map of compiled dependencies in the unit config.
+func NewExportContext(exports, importMap map[string]string) *Context {
+	c := &Context{
+		Fset:      token.NewFileSet(),
+		exports:   exports,
+		importMap: importMap,
+	}
+	if c.exports == nil {
+		c.exports = make(map[string]string)
+	}
+	if c.importMap == nil {
+		c.importMap = make(map[string]string)
+	}
+	c.imp = importer.ForCompiler(c.Fset, "gc", c.lookupStatic).(types.ImporterFrom)
+	return c
+}
+
+// lookupStatic resolves exclusively from the primed map.
+func (c *Context) lookupStatic(path string) (io.ReadCloser, error) {
+	if mapped, ok := c.importMap[path]; ok {
+		path = mapped
+	}
+	file, ok := c.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// goList runs `go list -json` with the given extra arguments and records
+// export data for every listed package.
+func (c *Context) goList(args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, args...)...)
+	cmd.Dir = c.ModuleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			c.exports[p.ImportPath] = p.Export
+		}
+		for from, to := range p.ImportMap {
+			c.importMap[from] = to
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// lookup feeds export data to the gc importer.
+func (c *Context) lookup(path string) (io.ReadCloser, error) {
+	if mapped, ok := c.importMap[path]; ok {
+		path = mapped
+	}
+	file, ok := c.exports[path]
+	if !ok {
+		// On-demand resolution for imports outside the primed graph (e.g. a
+		// test fixture importing a stdlib package the module never uses).
+		pkgs, err := c.goList("-export", path)
+		if err != nil || len(pkgs) == 0 || pkgs[0].Export == "" {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		file = pkgs[0].Export
+	}
+	return os.Open(file)
+}
+
+// Targets loads every non-standard module package matching patterns.
+func Targets(moduleDir string, patterns ...string) (*Context, []*Package, error) {
+	c, listed, err := NewContext(moduleDir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	// `go list -deps` includes the dependency closure; analyze only the
+	// packages belonging to this module.
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Standard || lp.Module == nil {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := c.LoadFiles(lp.ImportPath, files)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, pkg)
+	}
+	return c, out, nil
+}
+
+// LoadFiles parses and type-checks one package from explicit source files.
+// Imports resolve through the context's export-data map.
+func (c *Context) LoadFiles(importPath string, filenames []string) (*Package, error) {
+	pkg := &Package{ImportPath: importPath, Fset: c.Fset}
+	if len(filenames) > 0 {
+		pkg.Dir = filepath.Dir(filenames[0])
+	}
+	for _, name := range filenames {
+		f, err := parser.ParseFile(c.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: c.imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(importPath, c.Fset, pkg.Files, pkg.Info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

@@ -1,0 +1,207 @@
+// Package detorder flags map iteration that feeds order-sensitive sinks.
+//
+// Go randomizes map iteration order on purpose. Everything this repo
+// publishes — report tables, golden experiment files, trace dumps,
+// parallel.Map result slices — is compared byte-for-byte across runs and
+// platforms (the golden tests exist precisely to catch behavioral drift),
+// so a `for k := range m` whose body appends to an output slice or writes
+// to a stream is a latent nondeterminism bug even when today's consumers
+// happen to sort. The mechanical fix — collect the keys, sort, range over
+// the sorted slice — is recognized and not flagged: an append into a
+// slice that a later statement of the same block visibly sorts is
+// order-safe. Anything subtler (sorting behind a call boundary, loads
+// that commute) needs an explanatory //lint:ignore detorder directive.
+package detorder
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"partalloc/internal/analysis"
+)
+
+// Analyzer is the detorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detorder",
+	Doc: "flags map-range loops that append to outer slices or write to streams; " +
+		"map order is randomized and breaks golden-file determinism",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	seen := make(map[*ast.RangeStmt]bool)
+	// Walk statement lists so each range loop can be checked against the
+	// statements that follow it (the sort-after-collect exemption).
+	pass.Preorder([]ast.Node{(*ast.BlockStmt)(nil), (*ast.CaseClause)(nil), (*ast.CommClause)(nil)}, func(n ast.Node) {
+		var stmts []ast.Stmt
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			stmts = s.List
+		case *ast.CaseClause:
+			stmts = s.Body
+		case *ast.CommClause:
+			stmts = s.Body
+		}
+		for i, stmt := range stmts {
+			rng, ok := stmt.(*ast.RangeStmt)
+			if !ok || seen[rng] {
+				continue
+			}
+			seen[rng] = true
+			checkRange(pass, rng, stmts[i+1:])
+		}
+	})
+	// Range statements not directly in a statement list (e.g. the body of
+	// an if with no block — impossible in Go; but ranges nested as the
+	// direct body of labeled statements) are covered by the walk above via
+	// their enclosing blocks.
+	return nil
+}
+
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	sink, obj := findOrderSink(pass, rng)
+	if sink == "" {
+		return
+	}
+	if obj != nil && sortedLater(pass, obj, rest) {
+		return // collect-then-sort idiom: order launders out
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order is randomized, and this loop %s; sort the keys first (or //lint:ignore detorder with the reason order cannot matter)",
+		sink)
+}
+
+// findOrderSink scans the range body for operations whose result depends
+// on iteration order. For slice appends it also returns the appended
+// slice's object so the caller can apply the sort-after exemption.
+func findOrderSink(pass *analysis.Pass, rng *ast.RangeStmt) (string, types.Object) {
+	var sink string
+	var sinkObj types.Object
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// append(outer, ...) — element order in the result follows map order.
+		if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "append" {
+			if len(call.Args) > 0 {
+				if obj, outside := rootObject(pass, call.Args[0], rng); outside {
+					sink, sinkObj = "appends to a slice declared outside it", obj
+				}
+			}
+			return true
+		}
+		switch pass.FuncNameOf(call) {
+		case "fmt.Print", "fmt.Printf", "fmt.Println",
+			"fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln":
+			sink = "writes formatted output"
+			return true
+		}
+		// Stream-writer methods: Write/WriteString/... on receivers living
+		// outside the loop (strings.Builder, bytes.Buffer, io.Writer, ...).
+		if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+			switch sel.Sel.Name {
+			case "Write", "WriteString", "WriteByte", "WriteRune", "WriteTo":
+				if _, outside := rootObject(pass, sel.X, rng); outside {
+					sink = "writes to a stream"
+				}
+			}
+		}
+		return true
+	})
+	return sink, sinkObj
+}
+
+// rootObject resolves the root identifier of e and reports whether it is
+// declared outside the range statement. Unresolvable expressions count as
+// outside (conservative: better a suppressible report than silent
+// nondeterminism).
+func rootObject(pass *analysis.Pass, e ast.Expr, rng *ast.RangeStmt) (types.Object, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[x]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[x]
+			}
+			if obj == nil {
+				return nil, true
+			}
+			return obj, obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, true
+		}
+	}
+}
+
+// sortish matches callee names that establish a total order.
+var sortish = regexp.MustCompile(`(?i)sort`)
+
+// sortedLater reports whether any statement in rest calls a sort-like
+// function (sort.Slice, sort.Ints, slices.Sort, a local sortX helper...)
+// with obj among its arguments — the visible half of the
+// collect-keys-then-sort idiom.
+func sortedLater(pass *analysis.Pass, obj types.Object, rest []ast.Stmt) bool {
+	found := false
+	for _, stmt := range rest {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := pass.FuncNameOf(call)
+			if name == "" {
+				if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent {
+					name = id.Name
+				}
+			}
+			if !sortish.MatchString(name) && !strings.Contains(name, "slices.") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if refersTo(pass, arg, obj) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// refersTo reports whether any identifier within e resolves to obj.
+func refersTo(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	hit := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			hit = true
+		}
+		return !hit
+	})
+	return hit
+}

@@ -1,0 +1,15 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"partalloc/internal/analysis/analysistest"
+	"partalloc/internal/analysis/passes/detorder"
+)
+
+func TestDetorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture type-checking shells out to go list")
+	}
+	analysistest.Run(t, detorder.Analyzer, analysistest.Fixture(t, "detorder"))
+}

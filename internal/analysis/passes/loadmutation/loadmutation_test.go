@@ -1,0 +1,24 @@
+package loadmutation_test
+
+import (
+	"testing"
+
+	"partalloc/internal/analysis/analysistest"
+	"partalloc/internal/analysis/passes/loadmutation"
+)
+
+func TestLoadmutation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture type-checking shells out to go list")
+	}
+	analysistest.Run(t, loadmutation.Analyzer, analysistest.Fixture(t, "loadmutation_fixture"))
+}
+
+// TestLoadmutationAllowlist checks the negative side: a package on the
+// audited allowlist may mutate load state freely.
+func TestLoadmutationAllowlist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture type-checking shells out to go list")
+	}
+	analysistest.Run(t, loadmutation.Analyzer, analysistest.Fixture(t, "loadmutation_fixture_allowed"))
+}

@@ -1,0 +1,115 @@
+// Package panicmsg enforces the repo's "pkg: message" panic convention.
+//
+// The allocators encode the paper's preconditions as panics (a task size
+// that is not a power of two, a departure of an unknown task, an Occupy
+// of a non-vacant submachine, ...). Those messages are the first — often
+// only — forensic artifact when an invariant trips deep inside a
+// million-event simulation, and the whole tree greps by package prefix:
+// `panic("copies: ...")`, `panic(fmt.Sprintf("loadtree: ..."))`. panicmsg
+// keeps new panics greppable by requiring the leading string literal of
+// every panic argument to start with a lowercase package tag followed by
+// ": ". Panics that rethrow an error value are exempt — there is no
+// literal to check.
+package panicmsg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"partalloc/internal/analysis"
+)
+
+// Analyzer is the panicmsg pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicmsg",
+	Doc:  `enforces the "pkg: message" prefix convention on panic string literals`,
+	Run:  run,
+}
+
+// msgPattern is the required shape of a panic message's leading literal.
+var msgPattern = regexp.MustCompile(`^[a-z][a-zA-Z0-9_./-]*: .`)
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "panic" || len(call.Args) != 1 {
+			return
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			return // a shadowing declaration, not the builtin
+		}
+		lit, found := leadingLiteral(pass, call.Args[0])
+		if !found {
+			return // panic(err) and friends: nothing checkable
+		}
+		if strings.HasPrefix(lit, "%w") {
+			// panic(fmt.Errorf("%w: ...", ErrSentinel, ...)): the prefix is
+			// carried by the wrapped sentinel error, which this analyzer
+			// cannot inspect statically. Sentinel messages are themselves
+			// string literals checked wherever they are panicked directly.
+			return
+		}
+		if !msgPattern.MatchString(lit) {
+			pass.Reportf(call.Args[0].Pos(),
+				"panic message %q does not follow the \"pkg: message\" convention (greppable prefix, lowercase package tag)",
+				truncate(lit, 40))
+		}
+	})
+	return nil
+}
+
+// leadingLiteral extracts the leading string literal of a panic argument:
+// a plain literal, the left edge of a string concatenation, or the format
+// string of fmt.Sprintf / fmt.Errorf.
+func leadingLiteral(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if x.Kind != token.STRING {
+			return "", false
+		}
+		s, err := strconv.Unquote(x.Value)
+		if err != nil {
+			return "", false
+		}
+		return s, true
+	case *ast.BinaryExpr:
+		if x.Op != token.ADD {
+			return "", false
+		}
+		return leadingLiteral(pass, x.X)
+	case *ast.CallExpr:
+		switch pass.FuncNameOf(x) {
+		case "fmt.Sprintf", "fmt.Errorf", "fmt.Sprint", "fmt.Sprintln":
+			if len(x.Args) > 0 {
+				return leadingLiteral(pass, x.Args[0])
+			}
+		}
+	}
+	return "", false
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+// inScope restricts the check to this module's internal/ and cmd/ trees
+// (and fixture packages, by naming convention).
+func inScope(pkgPath string) bool {
+	for _, prefix := range []string{"partalloc/internal/", "partalloc/cmd/"} {
+		if strings.HasPrefix(pkgPath, prefix) {
+			return true
+		}
+	}
+	return strings.Contains(pkgPath, "panicmsg_fixture")
+}

@@ -1,0 +1,15 @@
+package panicmsg_test
+
+import (
+	"testing"
+
+	"partalloc/internal/analysis/analysistest"
+	"partalloc/internal/analysis/passes/panicmsg"
+)
+
+func TestPanicmsg(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture type-checking shells out to go list")
+	}
+	analysistest.Run(t, panicmsg.Analyzer, analysistest.Fixture(t, "panicmsg_fixture"))
+}

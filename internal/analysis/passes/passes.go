@@ -1,0 +1,34 @@
+// Package passes registers the project's analyzers. cmd/partlint, the
+// Makefile lint target, and the self-lint test all consume this single
+// list, so adding an analyzer here enrolls it everywhere at once.
+package passes
+
+import (
+	"partalloc/internal/analysis"
+	"partalloc/internal/analysis/passes/detorder"
+	"partalloc/internal/analysis/passes/loadmutation"
+	"partalloc/internal/analysis/passes/panicmsg"
+	"partalloc/internal/analysis/passes/powtwo"
+	"partalloc/internal/analysis/passes/seedrand"
+)
+
+// All returns every registered analyzer, in stable name order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detorder.Analyzer,
+		loadmutation.Analyzer,
+		panicmsg.Analyzer,
+		powtwo.Analyzer,
+		seedrand.Analyzer,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package powtwo flags compile-time constant arguments to size-typed
+// parameters that are not powers of two.
+//
+// The paper's machine model (§2) is built on powers of two: the machine
+// has N = 2^L PEs, every task requests a power-of-two submachine, and
+// submachines of size 2^x are exactly the depth-(L-x) subtrees. Every
+// size-accepting API in this repo panics at runtime on a non-power —
+// powtwo moves that failure to lint time for the cases the compiler can
+// already see. Non-constant arguments are never flagged: the analyzer only
+// reports values it can prove wrong, so it stays false-positive-free.
+package powtwo
+
+import (
+	"go/ast"
+
+	"partalloc/internal/analysis"
+)
+
+// Analyzer is the powtwo pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "powtwo",
+	Doc: "flags constant non-power-of-two arguments to size-typed parameters " +
+		"(machine sizes, task sizes, submachine sizes)",
+	Run: run,
+}
+
+// sizeParams maps fully qualified function names (types.Func.FullName
+// form) to the indices of their power-of-two-sized parameters.
+var sizeParams = map[string][]int{
+	// Machine construction and submachine geometry.
+	"partalloc/internal/tree.New":                       {0},
+	"partalloc/internal/tree.MustNew":                   {0},
+	"(*partalloc/internal/tree.Machine).DepthForSize":   {0},
+	"(*partalloc/internal/tree.Machine).NumSubmachines": {0},
+	"(*partalloc/internal/tree.Machine).SubmachineAt":   {0},
+	"(*partalloc/internal/tree.Machine).Submachines":    {0},
+	// Task sizes.
+	"(*partalloc/internal/task.Builder).Arrive": {0},
+	// Copy-of-T placement.
+	"(*partalloc/internal/copies.Copy).FindVacant": {0},
+	"(*partalloc/internal/copies.List).Place":      {0},
+	// Load-tree queries.
+	"(*partalloc/internal/loadtree.Tree).LeftmostMinLoad": {0},
+	// Hypercube variant: subcube side lengths are powers of two as well.
+	"(*partalloc/internal/subcube.Cube).Find":      {0},
+	"(*partalloc/internal/subcube.Cube).CountFree": {0},
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		params, ok := sizeParams[pass.FuncNameOf(call)]
+		if !ok {
+			return
+		}
+		for _, idx := range params {
+			if idx >= len(call.Args) {
+				continue
+			}
+			arg := call.Args[idx]
+			v, isConst := pass.ConstIntValue(arg)
+			if !isConst {
+				continue // can't prove anything about run-time values
+			}
+			if v < 1 || v&(v-1) != 0 {
+				pass.Reportf(arg.Pos(),
+					"size argument %d is not a power of two (submachines are complete subtrees; see tree.Machine)", v)
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,15 @@
+package powtwo_test
+
+import (
+	"testing"
+
+	"partalloc/internal/analysis/analysistest"
+	"partalloc/internal/analysis/passes/powtwo"
+)
+
+func TestPowtwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture type-checking shells out to go list")
+	}
+	analysistest.Run(t, powtwo.Analyzer, analysistest.Fixture(t, "powtwo"))
+}

@@ -1,0 +1,15 @@
+package seedrand_test
+
+import (
+	"testing"
+
+	"partalloc/internal/analysis/analysistest"
+	"partalloc/internal/analysis/passes/seedrand"
+)
+
+func TestSeedrand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture type-checking shells out to go list")
+	}
+	analysistest.Run(t, seedrand.Analyzer, analysistest.Fixture(t, "seedrand_fixture"))
+}

@@ -1,0 +1,66 @@
+// Fixture for the detorder analyzer: map iteration feeding
+// order-sensitive sinks is flagged; aggregation, the
+// collect-keys-then-sort idiom, and documented suppressions are not.
+package detorder_fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order`
+		out = append(out, k)
+	}
+	return out
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m { // want `map iteration order`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration order`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func goodSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodAggregate(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func goodSliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func goodSuppressed(m map[string]int) []string {
+	var out []string
+	//lint:ignore detorder fixture exercises the suppression path
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package detorder_fixture
+
+// A directive that suppresses nothing is itself an error, so stale
+// exceptions cannot linger after the code beneath them is fixed.
+func danglingDirective(xs []int) int {
+	n := 0
+	//lint:ignore detorder nothing below actually iterates a map // want `matched no diagnostic`
+	for range xs {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,43 @@
+// Fixture for the panicmsg analyzer: panic string literals must follow
+// the "pkg: message" convention so invariant failures stay greppable.
+package panicmsg_fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("fixture: boom")
+
+func bad() {
+	panic("something went wrong") // want `does not follow`
+}
+
+func badSprintf(n int) {
+	panic(fmt.Sprintf("bad size %d", n)) // want `does not follow`
+}
+
+func badConcat(kind string) {
+	panic("unknown workload " + kind) // want `does not follow`
+}
+
+func badCase() {
+	panic("Fixture: capitalized tag") // want `does not follow`
+}
+
+func good() {
+	panic("fixture: something broke")
+}
+
+func goodSprintf(n int) {
+	panic(fmt.Sprintf("fixture: bad size %d", n))
+}
+
+func goodWrap() {
+	// The prefix rides in on the wrapped sentinel; not statically checkable.
+	panic(fmt.Errorf("%w: extra context", errSentinel))
+}
+
+func goodErr(err error) {
+	panic(err) // no literal to check
+}

@@ -1,0 +1,32 @@
+// Fixture for the powtwo analyzer: constant size arguments must be
+// powers of two; run-time values are never flagged.
+package powtwo_fixture
+
+import (
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+func bad() {
+	tree.MustNew(12) // want `not a power of two`
+	m := tree.MustNew(8)
+	m.DepthForSize(3)    // want `not a power of two`
+	m.SubmachineAt(5, 0) // want `not a power of two`
+	m.NumSubmachines(0)  // want `not a power of two`
+	b := task.NewBuilder()
+	b.Arrive(6)  // want `not a power of two`
+	b.Arrive(-4) // want `not a power of two`
+}
+
+func good(n int) {
+	m := tree.MustNew(16)
+	_ = m.Submachines(4)
+	b := task.NewBuilder()
+	b.Arrive(1)
+	b.Arrive(8)
+	const k = 32
+	tree.MustNew(k)
+	// A run-time value may be wrong, but it is not provably wrong, so the
+	// allocator's own panic keeps the responsibility.
+	tree.MustNew(n)
+}

@@ -1,0 +1,18 @@
+// Fixture for the seedrand analyzer: the global math/rand source is
+// forbidden; injected, explicitly seeded generators are fine.
+package seedrand_fixture
+
+import "math/rand"
+
+func bad() int {
+	return rand.Intn(10) // want `global math/rand`
+}
+
+func alsoBad() (float64, []int) {
+	return rand.Float64(), rand.Perm(4) // want `global math/rand` `global math/rand`
+}
+
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) // method on the injected generator: allowed
+}

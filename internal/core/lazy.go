@@ -116,6 +116,7 @@ func (l *Lazy) Arrive(t task.Task) tree.Node {
 
 func (l *Lazy) reallocate() {
 	tasks := make([]task.Task, 0, len(l.placed))
+	//lint:ignore detorder ReallocateAll re-sorts tasks with a total order (size, then ID), so collection order cannot matter
 	for id, rec := range l.placed {
 		tasks = append(tasks, task.Task{ID: id, Size: rec.size})
 	}

@@ -131,6 +131,7 @@ func (p *Periodic) Arrive(t task.Task) tree.Node {
 // between copies at the same node keeps the same PEs and is free).
 func (p *Periodic) reallocate() {
 	tasks := make([]task.Task, 0, len(p.placed))
+	//lint:ignore detorder ReallocateAll re-sorts tasks with a total order (size, then ID), so collection order cannot matter
 	for id, rec := range p.placed {
 		tasks = append(tasks, task.Task{ID: id, Size: rec.size})
 	}

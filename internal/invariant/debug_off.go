@@ -1,0 +1,8 @@
+//go:build !invariantdebug
+
+package invariant
+
+// Debug reports whether the build carries the `invariantdebug` tag.
+// It is a constant, so `if invariant.Debug { ... }` blocks compile away
+// entirely in ordinary builds — hot paths pay nothing.
+const Debug = false

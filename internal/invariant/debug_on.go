@@ -1,0 +1,8 @@
+//go:build invariantdebug
+
+package invariant
+
+// Debug reports whether the build carries the `invariantdebug` tag.
+// With the tag set, callers that gate on Debug attach a Checker to every
+// run; use `go test -tags invariantdebug ./...` to audit the whole suite.
+const Debug = true

@@ -1,0 +1,238 @@
+// Package invariant is the dynamic counterpart of the partlint static
+// suite (docs/LINTS.md): a pluggable checker that audits allocator state
+// at event boundaries against the paper's correctness conditions.
+//
+// The static analyzers prove what the compiler can see; everything else —
+// that the allocator's incremental load bookkeeping matches reality —
+// must be checked at run time. The Checker validates, after every arrival
+// and departure:
+//
+//   - load conservation: the sum of all PE loads equals the cumulative
+//     size of active tasks (each task contributes exactly one thread to
+//     each of its Size PEs — the load model of §2);
+//   - MaxLoad consistency: the allocator's O(1)/O(log N) MaxLoad answer
+//     agrees with a from-scratch maximum over the full PELoads snapshot
+//     (generalizing the simulator's old paranoid check);
+//   - the pigeonhole lower bound: MaxLoad ≥ ⌈S(σ;τ)/N⌉ — no allocator
+//     can beat the optimal load L* of the current active set;
+//   - placement validity: every active task sits on a valid node whose
+//     submachine size equals the task's size, and the allocator's Active
+//     count matches the checker's independent event ledger;
+//   - reallocation budget: for a d-reallocation algorithm (§4.1), at
+//     least d·N PEs' worth of arrivals separate consecutive
+//     reallocations, and at most one reallocation happens per event.
+//
+// Checks cost O(N + active) per event, so they are opt-in: the simulator
+// and scheduler call through a nil-guarded pointer (nil in production
+// runs), and the scheduler additionally auto-attaches a checker in
+// builds with the `invariantdebug` tag, where the constant Debug lets the
+// compiler delete the branch entirely otherwise.
+package invariant
+
+import (
+	"fmt"
+	"strings"
+
+	"partalloc/internal/core"
+	"partalloc/internal/mathx"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// Violation is one failed invariant at one event.
+type Violation struct {
+	// Event is the 0-indexed event ordinal (checker's own count).
+	Event int
+	// Rule names the violated invariant, e.g. "load-conservation".
+	Rule string
+	// Detail is a human-readable explanation with the numbers involved.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("event %d: %s: %s", v.Event, v.Rule, v.Detail)
+}
+
+// Checker audits one allocator through one event sequence. The zero value
+// is not usable; construct with New. A nil *Checker is a valid no-op
+// receiver for OnArrive/OnDepart, so call sites need no branching.
+type Checker struct {
+	m     *tree.Machine
+	n     int64
+	d     int  // realloc budget parameter; <1 disables the budget rule
+	panic bool // panic on first violation instead of recording
+
+	events           int
+	activeSize       int64
+	arrivedSize      int64
+	arrivedAtRealloc int64
+	lastRealloc      core.ReallocStats
+	sizes            map[task.ID]int
+
+	violations []Violation
+}
+
+// New returns a checker for machine m that records violations.
+func New(m *tree.Machine) *Checker {
+	return &Checker{m: m, n: int64(m.N()), d: -1, sizes: make(map[task.ID]int)}
+}
+
+// SetReallocBudget arms the reallocation-budget rule for a d-reallocation
+// algorithm: consecutive reallocations must be at least d·N arrived size
+// apart. d < 1 (the default) disables the rule — d=0 algorithms (A_C) may
+// reallocate on every arrival, and non-reallocating algorithms never
+// trip it either way.
+func (c *Checker) SetReallocBudget(d int) { c.d = d }
+
+// SetPanic makes the checker panic on the first violation instead of
+// recording it; this is what the simulator's Paranoid option uses.
+func (c *Checker) SetPanic(p bool) { c.panic = p }
+
+// OnArrive audits the allocator just after it placed task t at node v.
+func (c *Checker) OnArrive(a core.Allocator, t task.Task, v tree.Node) {
+	if c == nil {
+		return
+	}
+	if !c.m.Valid(v) {
+		c.report("placement-valid", fmt.Sprintf("task %d placed at invalid node %d", t.ID, v))
+	} else if got := c.m.Size(v); got != t.Size {
+		c.report("placement-size", fmt.Sprintf("task %d (size %d) placed on a size-%d submachine (node %d)", t.ID, t.Size, got, v))
+	}
+	c.sizes[t.ID] = t.Size
+	c.activeSize += int64(t.Size)
+	c.arrivedSize += int64(t.Size)
+	c.check(a)
+	c.events++
+}
+
+// OnDepart audits the allocator just after it released task id.
+func (c *Checker) OnDepart(a core.Allocator, id task.ID) {
+	if c == nil {
+		return
+	}
+	size, ok := c.sizes[id]
+	if !ok {
+		c.report("event-ledger", fmt.Sprintf("departure of task %d the checker never saw arrive", id))
+	} else {
+		c.activeSize -= int64(size)
+		delete(c.sizes, id)
+	}
+	c.check(a)
+	c.events++
+}
+
+// check runs the per-event invariants.
+func (c *Checker) check(a core.Allocator) {
+	loads := a.PELoads()
+
+	// Load conservation: Σ_p load(p) = Σ_{active t} size(t).
+	var sum int64
+	max := 0
+	for _, l := range loads {
+		sum += int64(l)
+		if l > max {
+			max = l
+		}
+	}
+	if sum != c.activeSize {
+		c.report("load-conservation",
+			fmt.Sprintf("PE loads sum to %d but active tasks total %d PEs", sum, c.activeSize))
+	}
+
+	// MaxLoad consistency against the full snapshot.
+	if got := a.MaxLoad(); got != max {
+		c.report("maxload-snapshot",
+			fmt.Sprintf("MaxLoad()=%d but the PE snapshot maximum is %d", got, max))
+	}
+
+	// Pigeonhole: some PE carries at least ⌈S/N⌉ threads.
+	if c.activeSize > 0 {
+		if lb := int(mathx.CeilDiv64(c.activeSize, c.n)); max < lb {
+			c.report("optimal-lower-bound",
+				fmt.Sprintf("snapshot max load %d is below the pigeonhole bound ⌈%d/%d⌉=%d — loads are underreported", max, c.activeSize, c.n, lb))
+		}
+	}
+
+	// Placement validity for every task in the independent ledger.
+	if got := a.Active(); got != len(c.sizes) {
+		c.report("active-count",
+			fmt.Sprintf("allocator reports %d active tasks, event ledger has %d", got, len(c.sizes)))
+	}
+	for id, size := range c.sizes {
+		v, ok := a.Placement(id)
+		if !ok {
+			c.report("placement-valid", fmt.Sprintf("active task %d has no placement", id))
+			continue
+		}
+		if !c.m.Valid(v) {
+			c.report("placement-valid", fmt.Sprintf("active task %d placed at invalid node %d", id, v))
+			continue
+		}
+		if got := c.m.Size(v); got != size {
+			c.report("placement-size",
+				fmt.Sprintf("active task %d (size %d) sits on a size-%d submachine (node %d)", id, size, got, v))
+		}
+	}
+
+	// Reallocation budget accounting.
+	if r, ok := a.(core.Reallocator); ok {
+		stats := r.ReallocStats()
+		if delta := stats.Reallocations - c.lastRealloc.Reallocations; delta > 0 {
+			if delta > 1 {
+				c.report("realloc-budget",
+					fmt.Sprintf("%d reallocations within a single event", delta))
+			}
+			if c.d >= 1 {
+				if spent := c.arrivedSize - c.arrivedAtRealloc; spent < int64(c.d)*c.n {
+					c.report("realloc-budget",
+						fmt.Sprintf("reallocation after only %d arrived PEs; budget requires d·N = %d·%d = %d",
+							spent, c.d, c.n, int64(c.d)*c.n))
+				}
+			}
+			c.arrivedAtRealloc = c.arrivedSize
+		}
+		if stats.Migrations < c.lastRealloc.Migrations || stats.MovedPEs < c.lastRealloc.MovedPEs {
+			c.report("realloc-budget", "reallocation statistics decreased")
+		}
+		c.lastRealloc = stats
+	}
+}
+
+func (c *Checker) report(rule, detail string) {
+	v := Violation{Event: c.events, Rule: rule, Detail: detail}
+	if c.panic {
+		panic(fmt.Sprintf("invariant: %s", v))
+	}
+	c.violations = append(c.violations, v)
+}
+
+// Events returns how many events the checker has audited.
+func (c *Checker) Events() int {
+	if c == nil {
+		return 0
+	}
+	return c.events
+}
+
+// Violations returns every recorded violation in event order.
+func (c *Checker) Violations() []Violation {
+	if c == nil {
+		return nil
+	}
+	return c.violations
+}
+
+// Err returns nil if no invariant was violated, or an error summarizing
+// every violation.
+func (c *Checker) Err() error {
+	if c == nil || len(c.violations) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariant: %d violation(s) in %d events:", len(c.violations), c.events)
+	for _, v := range c.violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return fmt.Errorf("%s", b.String())
+}

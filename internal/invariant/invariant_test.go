@@ -1,0 +1,233 @@
+package invariant
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"partalloc/internal/core"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// drive feeds a random-but-reproducible event sequence through a and the
+// checker, mirroring the simulator's event loop.
+func drive(t *testing.T, a core.Allocator, c *Checker, seed int64, events int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := a.Machine().N()
+	b := task.NewBuilder()
+	for i := 0; i < events; i++ {
+		act := b.Active()
+		if len(act) > 0 && rng.Intn(3) == 0 {
+			id := act[rng.Intn(len(act))]
+			b.Depart(id)
+			a.Depart(id)
+			c.OnDepart(a, id)
+		} else {
+			size := 1 << rng.Intn(a.Machine().Levels()+1)
+			if size > n {
+				size = n
+			}
+			id := b.Arrive(size)
+			tk := task.Task{ID: id, Size: size}
+			v := a.Arrive(tk)
+			c.OnArrive(a, tk, v)
+		}
+	}
+}
+
+func TestCleanAllocators(t *testing.T) {
+	m := tree.MustNew(16)
+	cases := []struct {
+		name string
+		mk   func() core.Allocator
+		d    int // realloc budget to arm; <1 = off
+	}{
+		{"A_B", func() core.Allocator { return core.NewBasic(m) }, -1},
+		{"A_G", func() core.Allocator { return core.NewGreedy(m) }, -1},
+		{"A_C", func() core.Allocator { return core.NewConstant(m) }, -1},
+		{"A_M d=2 lazy", func() core.Allocator { return core.NewLazy(m, 2, core.DecreasingSize) }, 2},
+		{"A_M d=2 periodic", func() core.Allocator { return core.NewPeriodic(m, 2, core.DecreasingSize) }, 2},
+		{"A_Rand", func() core.Allocator { return core.NewRandom(m, 7) }, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.mk()
+			c := New(m)
+			c.SetReallocBudget(tc.d)
+			drive(t, a, c, 42, 400)
+			if err := c.Err(); err != nil {
+				t.Fatalf("%s violates invariants:\n%v", a.Name(), err)
+			}
+			if c.Events() != 400 {
+				t.Fatalf("Events() = %d, want 400", c.Events())
+			}
+		})
+	}
+}
+
+// lying wraps an allocator and corrupts one observable at a time.
+type lying struct {
+	core.Allocator
+	extraLoad   bool // inflate one PE in the snapshot
+	wrongMax    bool // misreport MaxLoad
+	dropActive  bool // under-count Active
+	noPlacement bool // deny all placements
+}
+
+func (l *lying) PELoads() []int {
+	loads := l.Allocator.PELoads()
+	if l.extraLoad {
+		loads[0] += 3
+	}
+	return loads
+}
+
+func (l *lying) MaxLoad() int {
+	v := l.Allocator.MaxLoad()
+	if l.wrongMax {
+		return v + 1
+	}
+	if l.extraLoad {
+		// Keep MaxLoad consistent with the corrupted snapshot so only
+		// load-conservation fires.
+		loads := l.PELoads()
+		max := 0
+		for _, x := range loads {
+			if x > max {
+				max = x
+			}
+		}
+		return max
+	}
+	return v
+}
+
+func (l *lying) Active() int {
+	v := l.Allocator.Active()
+	if l.dropActive {
+		return v - 1
+	}
+	return v
+}
+
+func (l *lying) Placement(id task.ID) (tree.Node, bool) {
+	if l.noPlacement {
+		return 0, false
+	}
+	return l.Allocator.Placement(id)
+}
+
+func arriveOne(a core.Allocator, c *Checker, id task.ID, size int) {
+	tk := task.Task{ID: id, Size: size}
+	v := a.Arrive(tk)
+	c.OnArrive(a, tk, v)
+}
+
+func hasRule(c *Checker, rule string) bool {
+	for _, v := range c.Violations() {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*lying)
+		rule string
+	}{
+		{"load conservation", func(l *lying) { l.extraLoad = true }, "load-conservation"},
+		{"maxload snapshot", func(l *lying) { l.wrongMax = true }, "maxload-snapshot"},
+		{"active count", func(l *lying) { l.dropActive = true }, "active-count"},
+		{"missing placement", func(l *lying) { l.noPlacement = true }, "placement-valid"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tree.MustNew(8)
+			l := &lying{Allocator: core.NewBasic(m)}
+			tc.mut(l)
+			c := New(m)
+			arriveOne(l, c, 1, 2)
+			arriveOne(l, c, 2, 4)
+			if !hasRule(c, tc.rule) {
+				t.Fatalf("rule %q not triggered; got %v", tc.rule, c.Violations())
+			}
+			if err := c.Err(); err == nil || !strings.Contains(err.Error(), tc.rule) {
+				t.Fatalf("Err() = %v, want mention of %q", err, tc.rule)
+			}
+		})
+	}
+}
+
+func TestDetectsWrongPlacementSize(t *testing.T) {
+	m := tree.MustNew(8)
+	a := core.NewBasic(m)
+	c := New(m)
+	// Report the arrival at the root (size 8) for a size-2 task.
+	tk := task.Task{ID: 1, Size: 2}
+	a.Arrive(tk)
+	c.OnArrive(a, tk, m.Root())
+	if !hasRule(c, "placement-size") {
+		t.Fatalf("placement-size not triggered; got %v", c.Violations())
+	}
+}
+
+func TestDetectsUnknownDeparture(t *testing.T) {
+	m := tree.MustNew(8)
+	a := core.NewBasic(m)
+	c := New(m)
+	arriveOne(a, c, 1, 2)
+	a.Depart(1)
+	c.OnDepart(a, 99) // checker never saw 99 arrive
+	if !hasRule(c, "event-ledger") {
+		t.Fatalf("event-ledger not triggered; got %v", c.Violations())
+	}
+}
+
+func TestReallocBudget(t *testing.T) {
+	m := tree.MustNew(4)
+	// A_C reallocates on every arrival; arming a d=2 budget against it
+	// must trip after arrivals totalling < d·N = 8 PEs.
+	a := core.NewConstant(m)
+	c := New(m)
+	c.SetReallocBudget(2)
+	arriveOne(a, c, 1, 1)
+	arriveOne(a, c, 2, 1)
+	if !hasRule(c, "realloc-budget") {
+		t.Fatalf("realloc-budget not triggered; got %v", c.Violations())
+	}
+}
+
+func TestNilCheckerIsNoop(t *testing.T) {
+	var c *Checker
+	m := tree.MustNew(4)
+	a := core.NewBasic(m)
+	tk := task.Task{ID: 1, Size: 2}
+	v := a.Arrive(tk)
+	c.OnArrive(a, tk, v) // must not panic
+	c.OnDepart(a, 1)
+	if c.Err() != nil || c.Violations() != nil || c.Events() != 0 {
+		t.Fatal("nil checker must report nothing")
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	m := tree.MustNew(8)
+	l := &lying{Allocator: core.NewBasic(m), wrongMax: true}
+	c := New(m)
+	c.SetPanic(true)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic mode did not panic on violation")
+		}
+		if msg, ok := r.(string); !ok || !strings.HasPrefix(msg, "invariant: ") {
+			t.Fatalf("panic value %v does not follow the panic-message convention", r)
+		}
+	}()
+	arriveOne(l, c, 1, 2)
+}

@@ -1,0 +1,153 @@
+package metrics_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"partalloc/internal/core"
+	"partalloc/internal/metrics"
+	"partalloc/internal/sim"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+	"partalloc/internal/workload"
+)
+
+// Table-driven edge cases for Series and Imbalance: the degenerate inputs
+// (empty, single sample, zero loads) that the aggregation paths must not
+// mishandle.
+func TestSeriesEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []metrics.Sample
+		maxLoad int
+		peak    float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single zero", []metrics.Sample{{}}, 0, 0},
+		{"single sample", []metrics.Sample{{MaxLoad: 3, RunningLStar: 2}}, 3, 1.5},
+		{"lstar zero skipped", []metrics.Sample{{MaxLoad: 5, RunningLStar: 0}}, 5, 0},
+		{"peak not at max load", []metrics.Sample{
+			{MaxLoad: 2, RunningLStar: 1}, // ratio 2.0
+			{MaxLoad: 6, RunningLStar: 4}, // ratio 1.5 but larger load
+		}, 6, 2.0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &metrics.Series{}
+			for _, x := range tc.samples {
+				s.Append(x)
+			}
+			if got := s.MaxLoad(); got != tc.maxLoad {
+				t.Errorf("MaxLoad = %d, want %d", got, tc.maxLoad)
+			}
+			if got := s.PeakRatio(); got != tc.peak {
+				t.Errorf("PeakRatio = %g, want %g", got, tc.peak)
+			}
+		})
+	}
+}
+
+func TestImbalanceEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		loads []int
+		want  float64
+	}{
+		{"nil", nil, 0},
+		{"empty", []int{}, 0},
+		{"all zero", []int{0, 0, 0, 0}, 0},
+		{"single", []int{4}, 1},
+		{"uniform", []int{2, 2, 2, 2}, 1},
+		{"one hot", []int{4, 0, 0, 0}, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := metrics.Imbalance(tc.loads); got != tc.want {
+				t.Errorf("Imbalance(%v) = %g, want %g", tc.loads, got, tc.want)
+			}
+		})
+	}
+}
+
+// RunningLStar is defined over the prefix *maximum* active size, so it
+// must be non-decreasing over any recorded series, and every sample's
+// MaxLoad must be at least the running optimum (no allocator beats L*).
+func TestRunningLStarMonotone(t *testing.T) {
+	m := tree.MustNew(32)
+	seqs := map[string]task.Sequence{
+		"poisson":    workload.Poisson(workload.Config{N: 32, Arrivals: 300, Seed: 9}),
+		"saturation": workload.Saturation(workload.SaturationConfig{N: 32, Events: 600, Seed: 9, Churn: 0.3}),
+	}
+	for name, seq := range seqs {
+		t.Run(name, func(t *testing.T) {
+			res := sim.Run(core.NewBasic(m), seq, sim.Options{RecordSeries: true})
+			samples := res.Series.Samples
+			if len(samples) != len(seq.Events) {
+				t.Fatalf("series has %d samples for %d events", len(samples), len(seq.Events))
+			}
+			prev := 0
+			for i, x := range samples {
+				if x.RunningLStar < prev {
+					t.Fatalf("sample %d: RunningLStar %d < previous %d", i, x.RunningLStar, prev)
+				}
+				prev = x.RunningLStar
+			}
+			if res.MaxLoad < res.LStar {
+				t.Fatalf("MaxLoad %d below L* %d", res.MaxLoad, res.LStar)
+			}
+		})
+	}
+}
+
+// A departing task never increases any slowdown, and a tracker that saw
+// only one arrival reports exactly one value from All.
+func TestSlowdownTrackerSingleTask(t *testing.T) {
+	m := tree.MustNew(8)
+	tr := metrics.NewSlowdownTracker(m)
+	tr.Arrive(1, m.SubmachineAt(2, 0))
+	loads := []int{1, 1, 0, 0, 0, 0, 0, 0}
+	tr.Observe(loads)
+	if got := tr.All(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("All = %v, want [1]", got)
+	}
+	tr.Depart(1)
+	if got := tr.Completed(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Completed = %v, want [1]", got)
+	}
+	if tr.Pending() != 0 {
+		t.Fatalf("Pending = %d", tr.Pending())
+	}
+	// Double departure is ignored, not double-counted.
+	tr.Depart(1)
+	if got := tr.Completed(); len(got) != 1 {
+		t.Fatalf("Completed after double depart = %v", got)
+	}
+}
+
+// All must be deterministic regardless of map iteration: interleave many
+// arrivals and check repeated calls agree element-wise.
+func TestSlowdownAllDeterministic(t *testing.T) {
+	m := tree.MustNew(16)
+	tr := metrics.NewSlowdownTracker(m)
+	rng := rand.New(rand.NewSource(11))
+	for i := 1; i <= 40; i++ {
+		tr.Arrive(task.ID(i), m.SubmachineAt(1, rng.Intn(16)))
+	}
+	loads := make([]int, 16)
+	for p := range loads {
+		loads[p] = rng.Intn(5)
+	}
+	tr.Observe(loads)
+	first := tr.All()
+	for trial := 0; trial < 10; trial++ {
+		again := tr.All()
+		if len(again) != len(first) {
+			t.Fatalf("length changed: %d vs %d", len(again), len(first))
+		}
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("trial %d: element %d differs: %d vs %d", trial, i, again[i], first[i])
+			}
+		}
+	}
+}

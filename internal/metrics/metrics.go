@@ -7,6 +7,8 @@
 package metrics
 
 import (
+	"sort"
+
 	"partalloc/internal/task"
 	"partalloc/internal/tree"
 )
@@ -141,11 +143,18 @@ func (t *SlowdownTracker) Completed() []int { return t.done }
 func (t *SlowdownTracker) Pending() int { return len(t.active) }
 
 // All returns completed slowdowns plus current worsts of active tasks.
+// Active tasks are appended in increasing ID order so the result is
+// deterministic (it feeds the -slowdowns report and golden summaries).
 func (t *SlowdownTracker) All() []int {
-	out := make([]int, 0, len(t.done)+len(t.worst))
+	ids := make([]task.ID, 0, len(t.worst))
+	for id := range t.worst {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]int, 0, len(t.done)+len(ids))
 	out = append(out, t.done...)
-	for _, w := range t.worst {
-		out = append(out, w)
+	for _, id := range ids {
+		out = append(out, t.worst[id])
 	}
 	return out
 }

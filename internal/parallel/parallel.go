@@ -10,6 +10,7 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ForEach runs fn(i) for i in [0, n) on up to workers goroutines
@@ -31,18 +32,16 @@ func ForEach(n, workers int, fn func(i int)) {
 		}
 		return
 	}
-	var next int
-	var mu sync.Mutex
+	// Work-stealing by atomic ticket: each worker claims the next index
+	// with one uncontended fetch-add instead of a mutex handoff.
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}

@@ -47,3 +47,54 @@ func TestMapSingleWorkerMatchesParallel(t *testing.T) {
 		}
 	}
 }
+
+// TestForEachOverlappingPools hammers many concurrent ForEach pools that
+// write into a shared (index-disjoint) buffer; run under -race this
+// verifies the ticket counter and the wait-group publication of results.
+func TestForEachOverlappingPools(t *testing.T) {
+	rounds := 20
+	if testing.Short() {
+		rounds = 5
+	}
+	const pools = 8
+	const n = 300
+	var buf [pools][n]int
+	for r := 0; r < rounds; r++ {
+		done := make(chan int, pools)
+		for p := 0; p < pools; p++ {
+			go func(p int) {
+				ForEach(n, (p%5)+1, func(i int) {
+					buf[p][i] = p*n + i
+				})
+				done <- p
+			}(p)
+		}
+		for p := 0; p < pools; p++ {
+			<-done
+		}
+		// ForEach returned, so every write must be visible without
+		// further synchronization.
+		for p := 0; p < pools; p++ {
+			for i := 0; i < n; i++ {
+				if buf[p][i] != p*n+i {
+					t.Fatalf("round %d: pool %d index %d = %d", r, p, i, buf[p][i])
+				}
+			}
+		}
+	}
+}
+
+// TestMapNestedPools exercises Map called from inside a ForEach worker —
+// the overlap pattern experiment sweeps use (outer cells, inner repeats).
+func TestMapNestedPools(t *testing.T) {
+	outer := Map(10, 4, func(i int) []int {
+		return Map(20, 3, func(j int) int { return i*100 + j })
+	})
+	for i, row := range outer {
+		for j, v := range row {
+			if v != i*100+j {
+				t.Fatalf("outer %d inner %d = %d", i, j, v)
+			}
+		}
+	}
+}

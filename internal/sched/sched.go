@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"partalloc/internal/core"
+	"partalloc/internal/invariant"
 	"partalloc/internal/mathx"
 	"partalloc/internal/task"
 	"partalloc/internal/workload"
@@ -158,7 +159,21 @@ type activeJob struct {
 // returns timings. Placement happens at arrival exactly as in the paper's
 // model; departures are generated when jobs finish executing under
 // round-robin gang scheduling.
+//
+// In builds with the `invariantdebug` tag, every Run is audited by a
+// panicking invariant.Checker; the branch below compiles away otherwise.
 func Run(a core.Allocator, w Workload) Result {
+	var check *invariant.Checker
+	if invariant.Debug {
+		check = invariant.New(a.Machine())
+		check.SetPanic(true)
+	}
+	return RunChecked(a, w, check)
+}
+
+// RunChecked is Run with an explicit invariant checker auditing the
+// allocator at every arrival and completion. check may be nil.
+func RunChecked(a core.Allocator, w Workload, check *invariant.Checker) Result {
 	m := a.Machine()
 	n := m.N()
 	if err := w.Validate(n); err != nil {
@@ -212,6 +227,7 @@ func Run(a core.Allocator, w Workload) Result {
 
 	finishJob := func(aj *activeJob) {
 		a.Depart(aj.job.ID)
+		check.OnDepart(a, aj.job.ID)
 		delete(active, aj.job.ID)
 		r := JobResult{
 			Job:        aj.job,
@@ -242,7 +258,9 @@ func Run(a core.Allocator, w Workload) Result {
 			advance(arrivalAt)
 			j := w.Jobs[next]
 			next++
-			a.Arrive(task.Task{ID: j.ID, Size: j.Size})
+			t := task.Task{ID: j.ID, Size: j.Size}
+			v := a.Arrive(t)
+			check.OnArrive(a, t, v)
 			active[j.ID] = &activeJob{job: j, remaining: j.Work}
 			if l := a.MaxLoad(); l > res.MaxLoad {
 				res.MaxLoad = l

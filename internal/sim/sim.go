@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"partalloc/internal/core"
+	"partalloc/internal/invariant"
 	"partalloc/internal/mathx"
 	"partalloc/internal/metrics"
 	"partalloc/internal/task"
@@ -26,9 +27,15 @@ type Options struct {
 	// TrackSlowdowns maintains the per-task round-robin slowdown
 	// distribution (costs an O(N + active·size) pass per event).
 	TrackSlowdowns bool
-	// Paranoid revalidates allocator-reported loads against placements at
-	// every event (O(N·active); for tests).
+	// Paranoid attaches a panicking invariant.Checker when Checker is nil:
+	// the first violated invariant aborts the run (O(N + active) per
+	// event; for tests).
 	Paranoid bool
+	// Checker, when non-nil, audits the allocator at every event boundary
+	// (load conservation, MaxLoad consistency, placement validity,
+	// reallocation budget — see internal/invariant). Violations are
+	// recorded on the checker; read them with Checker.Err after Run.
+	Checker *invariant.Checker
 }
 
 // Result summarizes one run.
@@ -73,13 +80,20 @@ func Run(a core.Allocator, seq task.Sequence, opt Options) Result {
 	if opt.TrackSlowdowns {
 		slow = metrics.NewSlowdownTracker(m)
 	}
+	check := opt.Checker
+	if check == nil && (opt.Paranoid || invariant.Debug) {
+		check = invariant.New(m)
+		check.SetPanic(true)
+	}
 
 	var activeSize, maxActiveSize int64
 	peakRatio := 0.0
 	for i, e := range seq.Events {
 		switch e.Kind {
 		case task.Arrive:
-			v := a.Arrive(task.Task{ID: e.Task, Size: e.Size})
+			t := task.Task{ID: e.Task, Size: e.Size}
+			v := a.Arrive(t)
+			check.OnArrive(a, t, v)
 			activeSize += int64(e.Size)
 			if activeSize > maxActiveSize {
 				maxActiveSize = activeSize
@@ -95,6 +109,7 @@ func Run(a core.Allocator, seq task.Sequence, opt Options) Result {
 				slow.Depart(e.Task)
 			}
 			a.Depart(e.Task)
+			check.OnDepart(a, e.Task)
 			activeSize -= int64(e.Size)
 		default:
 			panic(fmt.Sprintf("sim: unknown event kind %d at %d", e.Kind, i))
@@ -125,9 +140,6 @@ func Run(a core.Allocator, seq task.Sequence, opt Options) Result {
 				RunningLStar: runningLStar,
 			})
 		}
-		if opt.Paranoid {
-			paranoidCheck(a, i)
-		}
 	}
 
 	res.FinalLoad = a.MaxLoad()
@@ -147,19 +159,4 @@ func Run(a core.Allocator, seq task.Sequence, opt Options) Result {
 		res.Slowdowns = slow.All()
 	}
 	return res
-}
-
-// paranoidCheck asserts MaxLoad agrees with the PE load snapshot.
-func paranoidCheck(a core.Allocator, event int) {
-	loads := a.PELoads()
-	max := 0
-	for _, l := range loads {
-		if l > max {
-			max = l
-		}
-	}
-	if max != a.MaxLoad() {
-		panic(fmt.Sprintf("sim: event %d: MaxLoad()=%d but snapshot max is %d",
-			event, a.MaxLoad(), max))
-	}
 }

@@ -7,6 +7,7 @@ package task
 
 import (
 	"fmt"
+	"sort"
 
 	"partalloc/internal/mathx"
 )
@@ -228,13 +229,7 @@ func (b *Builder) Active() []ID {
 	for id := range b.active {
 		out = append(out, id)
 	}
-	// insertion sort; active sets in builders are small or this is off the
-	// hot path
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

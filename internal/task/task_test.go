@@ -61,6 +61,7 @@ func TestBuilderPanics(t *testing.T) {
 		}()
 		f()
 	}
+	//lint:ignore powtwo deliberately invalid size: this test asserts the panic fires
 	mustPanic("bad size", func() { NewBuilder().Arrive(3) })
 	mustPanic("clock backwards", func() { NewBuilder().At(5).At(4) })
 	mustPanic("inactive depart", func() { NewBuilder().Depart(7) })
