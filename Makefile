@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short test-race lint bench experiments experiments-quick cover golden clean
+.PHONY: all build test test-short test-race test-fault lint bench experiments experiments-quick cover golden clean
 
 all: build lint test
 
@@ -19,6 +19,11 @@ test-short:
 # for races are not short-gated, so this still exercises them).
 test-race:
 	go test -short -race ./...
+
+# Fault-injection smoke: deterministic replay under faults, kill+resume
+# byte-identity, and panicking-cell isolation (see docs/FAULTS.md).
+test-fault:
+	./scripts/fault-smoke.sh
 
 # Run the project's own analyzer suite (docs/LINTS.md): standalone over
 # every package, then again through go vet's vettool protocol so both

@@ -6,17 +6,27 @@
 // Usage:
 //
 //	experiments [-run all|E1,...,E14] [-quick] [-seeds N] [-markdown]
+//	            [-checkpoint file.json] [-resume]
 //
 // With -markdown the tables are emitted as GitHub-flavored Markdown (used
 // to regenerate EXPERIMENTS.md); the default is aligned ASCII with plots.
+//
+// Each experiment's rendered output is buffered and, with -checkpoint,
+// saved to a JSON checkpoint as it completes; -resume replays completed
+// experiments from the checkpoint byte-identically and runs only the rest.
+// SIGINT finishes the experiment in flight, checkpoints, and exits 130. A
+// panicking experiment is reported and the remaining ones still run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime/debug"
 	"strings"
 
+	"partalloc/internal/cli"
 	"partalloc/internal/experiments"
 )
 
@@ -25,7 +35,15 @@ func main() {
 	quick := flag.Bool("quick", false, "small machines and few seeds (seconds instead of minutes)")
 	seeds := flag.Int("seeds", 0, "override seeds per cell (0 = default)")
 	markdown := flag.Bool("markdown", false, "emit tables as Markdown instead of ASCII")
+	checkpoint := flag.String("checkpoint", "", "JSON checkpoint file, updated after every experiment")
+	resume := flag.Bool("resume", false, "replay experiments already completed in -checkpoint")
 	flag.Parse()
+
+	if *seeds < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -seeds must be ≥ 0 (got %d)\n", *seeds)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	cfg := experiments.Config{Quick: *quick, Seeds: *seeds}
 
@@ -37,45 +55,122 @@ func main() {
 	} else {
 		ids = strings.Split(*run, ",")
 	}
-
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		r, ok := experiments.ByID(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; known:", id)
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+		if _, ok := experiments.ByID(ids[i]); !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q; known:", ids[i])
 			for _, k := range experiments.All() {
 				fmt.Fprintf(os.Stderr, " %s", k.ID)
 			}
 			fmt.Fprintln(os.Stderr)
+			flag.Usage()
 			os.Exit(2)
 		}
-		art := r.Run(cfg)
-		if *markdown {
-			fmt.Printf("### %s — %s\n\n", art.ID, art.Title)
-			for _, t := range art.Tables {
-				if err := t.WriteMarkdown(os.Stdout); err != nil {
-					fatal(err)
-				}
-				fmt.Println()
-			}
-			for _, n := range art.Notes {
-				fmt.Printf("> %s\n\n", n)
-			}
-		} else {
-			if err := art.Render(os.Stdout); err != nil {
-				fatal(err)
-			}
+	}
+
+	fingerprint := fmt.Sprintf("experiments run=%s quick=%t seeds=%d markdown=%t",
+		strings.Join(ids, ","), *quick, *seeds, *markdown)
+
+	done := map[string]string{}
+	if *resume {
+		if *checkpoint == "" {
+			fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint")
+			flag.Usage()
+			os.Exit(2)
+		}
+		var err error
+		done, err = cli.LoadCheckpoint[string](*checkpoint, fingerprint)
+		if err != nil {
+			fatal(err)
 		}
 	}
+
+	// SIGINT: finish the experiment in flight, checkpoint, exit 130.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt)
+
+	save := func() {
+		if *checkpoint == "" {
+			return
+		}
+		if err := cli.SaveCheckpoint(*checkpoint, fingerprint, done); err != nil {
+			fatal(err)
+		}
+	}
+
+	var failures []string
+	for i, id := range ids {
+		if out, ok := done[id]; ok {
+			fmt.Print(out)
+			continue
+		}
+		out, err := renderOne(id, cfg, *markdown)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", id, err))
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
+		} else {
+			done[id] = out
+			fmt.Print(out)
+		}
+		save()
+		select {
+		case <-sigCh:
+			remaining := len(ids) - i - 1
+			fmt.Fprintf(os.Stderr, "experiments: interrupted with %d experiment(s) remaining", remaining)
+			if *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "; re-run with -resume -checkpoint %s to continue", *checkpoint)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(130)
+		default:
+		}
+	}
+	signal.Stop(sigCh)
 
 	// E1 is the canonical regression gate: fail loudly if it drifts.
 	for _, id := range ids {
 		if id == "E1" {
-			if err := experiments.Figure1Raw().Check(); err != nil {
-				fatal(err)
+			if _, ok := done[id]; ok {
+				if err := experiments.Figure1Raw().Check(); err != nil {
+					fatal(err)
+				}
 			}
 		}
 	}
+	if len(failures) > 0 {
+		fatal(fmt.Errorf("%d experiment(s) failed: %s", len(failures), strings.Join(failures, "; ")))
+	}
+}
+
+// renderOne runs one experiment and renders it to a string, converting a
+// panic anywhere inside (allocator, simulator, renderer) into an error so
+// the other experiments still run.
+func renderOne(id string, cfg experiments.Config, markdown bool) (out string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	r, _ := experiments.ByID(id)
+	art := r.Run(cfg)
+	var b strings.Builder
+	if markdown {
+		fmt.Fprintf(&b, "### %s — %s\n\n", art.ID, art.Title)
+		for _, t := range art.Tables {
+			if err := t.WriteMarkdown(&b); err != nil {
+				return "", err
+			}
+			fmt.Fprintln(&b)
+		}
+		for _, n := range art.Notes {
+			fmt.Fprintf(&b, "> %s\n\n", n)
+		}
+	} else {
+		if err := art.Render(&b); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
 }
 
 func fatal(err error) {

@@ -18,6 +18,8 @@ import (
 	"os"
 
 	"partalloc/internal/cli"
+	"partalloc/internal/core"
+	"partalloc/internal/fault"
 	"partalloc/internal/invariant"
 	"partalloc/internal/report"
 	"partalloc/internal/sim"
@@ -44,14 +46,44 @@ func main() {
 	check := flag.Bool("check", false, "audit every event with the runtime invariant checker (see internal/invariant)")
 	plot := flag.Bool("plot", false, "render the max-load-over-time ASCII plot")
 	heat := flag.Bool("heat", false, "render the final per-PE load heat strip")
+	faultsFlag := flag.String("faults", "", "fault schedule file (see docs/FAULTS.md)")
 	flag.Parse()
 
 	if *figure1 {
 		*n = 4
 	}
+	// Flag validation: every bad value is reported with usage text, never
+	// as a panic from deep inside an allocator or workload generator.
 	m, err := tree.New(*n)
 	if err != nil {
-		fatal(err)
+		usageFatal(fmt.Errorf("-n: %w", err))
+	}
+	if *d < -1 {
+		usageFatal(fmt.Errorf("-d must be ≥ -1 (got %d); -1 means never reallocate", *d))
+	}
+	if *arrivals < 1 {
+		usageFatal(fmt.Errorf("-arrivals must be ≥ 1 (got %d)", *arrivals))
+	}
+	if *events < 1 {
+		usageFatal(fmt.Errorf("-events must be ≥ 1 (got %d)", *events))
+	}
+	if *sessions < 1 {
+		usageFatal(fmt.Errorf("-sessions must be ≥ 1 (got %d)", *sessions))
+	}
+
+	var faultSrc fault.Source
+	var faultSched fault.Schedule
+	if *faultsFlag != "" {
+		f, err := os.Open(*faultsFlag)
+		if err != nil {
+			usageFatal(fmt.Errorf("-faults: %w", err))
+		}
+		faultSched, err = fault.ParseText(f, *n)
+		f.Close()
+		if err != nil {
+			usageFatal(fmt.Errorf("-faults %s: %w", *faultsFlag, err))
+		}
+		faultSrc = faultSched.Source()
 	}
 
 	var seq task.Sequence
@@ -79,7 +111,7 @@ func main() {
 		case "sessions":
 			seq = workload.Sessions(workload.SessionConfig{N: *n, Sessions: *sessions, Seed: *seed})
 		default:
-			fatal(fmt.Errorf("unknown workload %q", *wl))
+			usageFatal(fmt.Errorf("unknown workload %q (want %s)", *wl, cli.WorkloadUsage()))
 		}
 	}
 
@@ -98,7 +130,12 @@ func main() {
 
 	a, err := cli.MakeAllocator(m, *algo, *d, *seed)
 	if err != nil {
-		fatal(err)
+		usageFatal(err)
+	}
+	if faultSrc != nil {
+		if _, ok := a.(core.FaultTolerant); !ok {
+			usageFatal(fmt.Errorf("-faults: algorithm %q does not support fault injection", *algo))
+		}
 	}
 
 	var checker *invariant.Checker
@@ -109,7 +146,7 @@ func main() {
 		}
 	}
 
-	res := sim.Run(a, seq, sim.Options{TrackSlowdowns: *slowdowns, RecordSeries: *plot, Checker: checker})
+	res := sim.Run(a, seq, sim.Options{TrackSlowdowns: *slowdowns, RecordSeries: *plot, Checker: checker, Faults: faultSrc})
 
 	fmt.Printf("machine:       N=%d (tree)\n", *n)
 	fmt.Printf("workload:      %s (%d events, %d arrivals, s(σ)=%d)\n",
@@ -122,6 +159,11 @@ func main() {
 	if res.Realloc.Reallocations > 0 || *algo == "constant" || *algo == "periodic" || *algo == "lazy" {
 		fmt.Printf("reallocation:  %d reallocations, %d task migrations, %d PE-units moved\n",
 			res.Realloc.Reallocations, res.Realloc.Migrations, res.Realloc.MovedPEs)
+	}
+	if faultSrc != nil {
+		fmt.Printf("faults:        %d of %d scheduled events fired (%d failures, %d recoveries); %d forced migrations moved %d PE-units\n",
+			res.FaultEvents, len(faultSched.Events), res.Forced.Failures, res.Forced.Recoveries,
+			res.Forced.Migrations, res.Forced.MovedPEs)
 	}
 	if *check {
 		fmt.Printf("invariants:    %d events audited, %d violation(s)\n",
@@ -164,4 +206,12 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "partsim:", err)
 	os.Exit(1)
+}
+
+// usageFatal reports a flag-validation error with the usage text and exits
+// with the conventional bad-usage status 2.
+func usageFatal(err error) {
+	fmt.Fprintln(os.Stderr, "partsim:", err)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -10,6 +10,13 @@
 // every panic argument to start with a lowercase package tag followed by
 // ": ". Panics that rethrow an error value are exempt — there is no
 // literal to check.
+//
+// The tag must be the panicking package's own: the package name, or for
+// package main the command's directory name (cmd/sweep panics "sweep:
+// ..."). A panic tagged with another package's name sends whoever is
+// debugging a fault-injection run to the wrong file. Test files are
+// exempt from the tag-match (they simulate other packages' failures) but
+// still need the "pkg: message" shape.
 package panicmsg
 
 import (
@@ -61,9 +68,38 @@ func run(pass *analysis.Pass) error {
 			pass.Reportf(call.Args[0].Pos(),
 				"panic message %q does not follow the \"pkg: message\" convention (greppable prefix, lowercase package tag)",
 				truncate(lit, 40))
+			return
+		}
+		if isTestFile(pass, call.Pos()) {
+			return // tests may simulate other packages' panics
+		}
+		want := expectedTag(pass)
+		if tag := lit[:strings.Index(lit, ":")]; want != "" && tag != want {
+			pass.Reportf(call.Args[0].Pos(),
+				"panic tag %q does not match this package's tag %q (\"pkg: message\" convention)",
+				tag, want)
 		}
 	})
 	return nil
+}
+
+// expectedTag is the tag a package's panics must carry: the package name,
+// or the command directory's base name for package main.
+func expectedTag(pass *analysis.Pass) string {
+	name := pass.Pkg.Name()
+	if name != "main" {
+		return name
+	}
+	path := pass.Pkg.Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// isTestFile reports whether pos sits in a _test.go file.
+func isTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
 }
 
 // leadingLiteral extracts the leading string literal of a panic argument:

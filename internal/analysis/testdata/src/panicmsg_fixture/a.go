@@ -1,5 +1,6 @@
 // Fixture for the panicmsg analyzer: panic string literals must follow
-// the "pkg: message" convention so invariant failures stay greppable.
+// the "pkg: message" convention — and the tag must be this package's own
+// name — so invariant failures stay greppable and point at the right file.
 package panicmsg_fixture
 
 import (
@@ -7,7 +8,7 @@ import (
 	"fmt"
 )
 
-var errSentinel = errors.New("fixture: boom")
+var errSentinel = errors.New("panicmsg_fixture: boom")
 
 func bad() {
 	panic("something went wrong") // want `does not follow`
@@ -25,12 +26,20 @@ func badCase() {
 	panic("Fixture: capitalized tag") // want `does not follow`
 }
 
+func badTag() {
+	panic("copies: some other package's tag") // want `does not match this package's tag`
+}
+
+func badTagSprintf(n int) {
+	panic(fmt.Sprintf("fault: wrong tag for %d", n)) // want `does not match this package's tag`
+}
+
 func good() {
-	panic("fixture: something broke")
+	panic("panicmsg_fixture: something broke")
 }
 
 func goodSprintf(n int) {
-	panic(fmt.Sprintf("fixture: bad size %d", n))
+	panic(fmt.Sprintf("panicmsg_fixture: bad size %d", n))
 }
 
 func goodWrap() {

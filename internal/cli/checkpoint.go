@@ -1,0 +1,87 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// checkpointFile is the on-disk shape shared by cmd/sweep and
+// cmd/experiments: a config fingerprint plus completed entries keyed by
+// cell identifier. The fingerprint ties a checkpoint to the exact flag
+// configuration (including any fault schedule contents) that produced it;
+// resuming under a different configuration must fail loudly rather than
+// silently mix results. See docs/FAULTS.md for the protocol.
+type checkpointFile struct {
+	Fingerprint string                     `json:"fingerprint"`
+	Entries     map[string]json.RawMessage `json:"entries"`
+}
+
+// SaveCheckpoint atomically writes entries under fingerprint to path:
+// marshal to a temp file in the same directory, then rename over the
+// destination, so a kill mid-write never leaves a torn checkpoint.
+func SaveCheckpoint[T any](path, fingerprint string, entries map[string]T) error {
+	cf := checkpointFile{Fingerprint: fingerprint, Entries: make(map[string]json.RawMessage, len(entries))}
+	// Marshal each entry separately; key order in the output is sorted by
+	// encoding/json, so the file itself is deterministic.
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		raw, err := json.Marshal(entries[k])
+		if err != nil {
+			return fmt.Errorf("cli: checkpoint entry %q: %w", k, err)
+		}
+		cf.Entries[k] = raw
+	}
+	data, err := json.MarshalIndent(&cf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("cli: checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint and returns
+// its entries. It fails if the stored fingerprint differs from
+// fingerprint — the caller's configuration does not match the run that
+// produced the file, so its results cannot be reused.
+func LoadCheckpoint[T any](path, fingerprint string) (map[string]T, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, fmt.Errorf("cli: checkpoint %s: %w", path, err)
+	}
+	if cf.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("cli: checkpoint %s was written by a different configuration:\n  checkpoint: %s\n  current:    %s",
+			path, cf.Fingerprint, fingerprint)
+	}
+	out := make(map[string]T, len(cf.Entries))
+	for k, raw := range cf.Entries {
+		var v T
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, fmt.Errorf("cli: checkpoint %s entry %q: %w", path, k, err)
+		}
+		out[k] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	in := map[string][]string{
+		"0": {"a", "1.5"},
+		"2": {"b", "2.0"},
+	}
+	if err := SaveCheckpoint(path, "fp v1", in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadCheckpoint[[]string](path, "fp v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("loaded %d entries, want 2", len(out))
+	}
+	for k, v := range in {
+		got, ok := out[k]
+		if !ok || strings.Join(got, ",") != strings.Join(v, ",") {
+			t.Fatalf("entry %q = %v, want %v", k, got, v)
+		}
+	}
+}
+
+func TestCheckpointFingerprintMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if err := SaveCheckpoint(path, "config A", map[string]string{"E1": "out"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint[string](path, "config B"); err == nil {
+		t.Fatal("fingerprint mismatch accepted")
+	} else if !strings.Contains(err.Error(), "different configuration") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCheckpointOverwriteIsAtomicUpdate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if err := SaveCheckpoint(path, "fp", map[string]int{"0": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpoint(path, "fp", map[string]int{"0": 1, "1": 2}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadCheckpoint[int](path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["0"] != 1 || out["1"] != 2 {
+		t.Fatalf("entries %v", out)
+	}
+}
+
+func TestLoadCheckpointMissingFile(t *testing.T) {
+	if _, err := LoadCheckpoint[int](filepath.Join(t.TempDir(), "absent.json"), "fp"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

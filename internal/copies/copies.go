@@ -19,6 +19,7 @@ package copies
 
 import (
 	"fmt"
+	"sort"
 
 	"partalloc/internal/tree"
 )
@@ -31,6 +32,11 @@ type Copy struct {
 	maxVacant []int32 // maxVacant[v]: PE count of the largest vacant submachine within v's subtree
 	assigned  []bool  // assigned[v]: a task is assigned exactly at v
 	tasks     int     // number of assigned tasks
+	// blocked[v] counts blocked (failed) PEs in v's subtree; a blocked PE
+	// is not occupied by any task but is excluded from vacancy, so
+	// FindVacant never returns a submachine covering it. Allocated lazily
+	// on the first Block so fault-free runs pay nothing.
+	blocked []int32
 }
 
 // NewCopy returns a fresh, fully vacant copy of machine m.
@@ -87,6 +93,71 @@ func (c *Copy) FindVacant(size int) (v tree.Node, ok bool) {
 	return u, true
 }
 
+// blockedAt returns the blocked-PE count of v's subtree (0 when no PE was
+// ever blocked in this copy).
+func (c *Copy) blockedAt(v tree.Node) int32 {
+	if c.blocked == nil {
+		return 0
+	}
+	return c.blocked[v]
+}
+
+// Blocked reports whether v's subtree contains a blocked (failed) PE.
+func (c *Copy) Blocked(v tree.Node) bool { return c.blockedAt(v) > 0 }
+
+// Block marks the leaf v as failed: it stays unassigned but is excluded
+// from vacancy, so no future placement covers it. The leaf must not lie
+// inside an assigned submachine — the caller migrates affected tasks away
+// first.
+func (c *Copy) Block(v tree.Node) {
+	if !c.m.IsLeaf(v) {
+		panic(fmt.Sprintf("copies: Block(%d) of non-leaf node", v))
+	}
+	if c.blockedAt(v) != 0 {
+		panic(fmt.Sprintf("copies: Block(%d) of already-blocked leaf", v))
+	}
+	if c.occupied[v] != 0 {
+		panic(fmt.Sprintf("copies: Block(%d) of occupied leaf", v))
+	}
+	c.m.Ancestors(v, func(u tree.Node) bool {
+		if c.assigned[u] {
+			panic(fmt.Sprintf("copies: Block(%d) inside occupied submachine %d", v, u))
+		}
+		return true
+	})
+	if c.blocked == nil {
+		c.blocked = make([]int32, len(c.occupied))
+	}
+	c.blocked[v] = 1
+	c.maxVacant[v] = 0
+	for u := c.m.Parent(v); u >= 1; u = c.m.Parent(u) {
+		c.blocked[u]++
+		c.recomputeVacant(u)
+		if u == 1 {
+			break
+		}
+	}
+}
+
+// Unblock reverses Block on a recovered leaf.
+func (c *Copy) Unblock(v tree.Node) {
+	if !c.m.IsLeaf(v) {
+		panic(fmt.Sprintf("copies: Unblock(%d) of non-leaf node", v))
+	}
+	if c.blockedAt(v) == 0 {
+		panic(fmt.Sprintf("copies: Unblock(%d) of non-blocked leaf", v))
+	}
+	c.blocked[v] = 0
+	c.maxVacant[v] = 1
+	for u := c.m.Parent(v); u >= 1; u = c.m.Parent(u) {
+		c.blocked[u]--
+		c.recomputeVacant(u)
+		if u == 1 {
+			break
+		}
+	}
+}
+
 // Occupy assigns a task to the submachine rooted at v, which must be
 // vacant. All PEs under v become occupied.
 func (c *Copy) Occupy(v tree.Node) {
@@ -95,6 +166,9 @@ func (c *Copy) Occupy(v tree.Node) {
 	}
 	if c.occupied[v] != 0 {
 		panic(fmt.Sprintf("copies: Occupy(%d) of non-vacant submachine", v))
+	}
+	if c.blockedAt(v) != 0 {
+		panic(fmt.Sprintf("copies: Occupy(%d) of submachine with a blocked (failed) PE", v))
 	}
 	c.m.Ancestors(v, func(u tree.Node) bool {
 		if c.assigned[u] {
@@ -136,7 +210,7 @@ func (c *Copy) Vacate(v tree.Node) {
 }
 
 func (c *Copy) recomputeVacant(u tree.Node) {
-	if c.occupied[u] == 0 {
+	if c.occupied[u] == 0 && c.blockedAt(u) == 0 {
 		c.maxVacant[u] = int32(c.m.Size(u))
 		return
 	}
@@ -155,7 +229,7 @@ func (c *Copy) MaximalVacant() []tree.Node {
 	var out []tree.Node
 	var walk func(v tree.Node)
 	walk = func(v tree.Node) {
-		if c.occupied[v] == 0 {
+		if c.occupied[v] == 0 && c.blockedAt(v) == 0 {
 			out = append(out, v)
 			return
 		}
@@ -165,7 +239,7 @@ func (c *Copy) MaximalVacant() []tree.Node {
 		walk(c.m.Left(v))
 		walk(c.m.Right(v))
 	}
-	if c.occupied[1] == 0 {
+	if c.occupied[1] == 0 && c.blockedAt(1) == 0 {
 		// Whole copy vacant: the root is the single maximal vacant submachine.
 		return []tree.Node{1}
 	}
@@ -188,19 +262,24 @@ func (c *Copy) AssignedNodes() []tree.Node {
 // CheckInvariants recomputes aggregates from scratch and panics on
 // mismatch; used in tests.
 func (c *Copy) CheckInvariants() {
-	var rec func(v tree.Node) (occ, vac int32)
-	rec = func(v tree.Node) (int32, int32) {
-		var occ, vac int32
+	var rec func(v tree.Node) (occ, blk, vac int32)
+	rec = func(v tree.Node) (int32, int32, int32) {
+		var occ, blk, vac int32
 		if c.assigned[v] {
 			occ = int32(c.m.Size(v))
 			vac = 0
 		} else if c.m.IsLeaf(v) {
-			occ, vac = 0, 1
+			occ = 0
+			blk = c.blockedAt(v)
+			if blk == 0 {
+				vac = 1
+			}
 		} else {
-			lo, lv := rec(c.m.Left(v))
-			ro, rv := rec(c.m.Right(v))
+			lo, lb, lv := rec(c.m.Left(v))
+			ro, rb, rv := rec(c.m.Right(v))
 			occ = lo + ro
-			if occ == 0 {
+			blk = lb + rb
+			if occ == 0 && blk == 0 {
 				vac = int32(c.m.Size(v))
 			} else {
 				vac = lv
@@ -212,10 +291,13 @@ func (c *Copy) CheckInvariants() {
 		if occ != c.occupied[v] {
 			panic(fmt.Sprintf("copies: occupied[%d]=%d recomputed %d", v, c.occupied[v], occ))
 		}
+		if blk != c.blockedAt(v) {
+			panic(fmt.Sprintf("copies: blocked[%d]=%d recomputed %d", v, c.blockedAt(v), blk))
+		}
 		if vac != c.maxVacant[v] {
 			panic(fmt.Sprintf("copies: maxVacant[%d]=%d recomputed %d", v, c.maxVacant[v], vac))
 		}
-		return occ, vac
+		return occ, blk, vac
 	}
 	rec(1)
 	// Nested assignment check: no assigned node may have an assigned
@@ -238,6 +320,12 @@ func (c *Copy) CheckInvariants() {
 type List struct {
 	m      *tree.Machine
 	copies []*Copy
+	// blockedLeaves records the currently failed leaves, sorted by node
+	// index. Every existing copy has them blocked, and copies created by
+	// Place are pre-blocked before placement, so no assignment ever covers
+	// a failed PE. The registry survives Reset: a rebuild after a failure
+	// must still avoid the failed PEs.
+	blockedLeaves []tree.Node
 }
 
 // NewList returns an empty copy list for machine m.
@@ -273,14 +361,65 @@ func (l *List) Place(size int) (copyIdx int, v tree.Node) {
 			return i, u
 		}
 	}
-	c := NewCopy(l.m)
+	c := l.newCopy()
 	l.copies = append(l.copies, c)
 	u, ok := c.FindVacant(size)
 	if !ok {
-		panic("copies: fresh copy has no vacant submachine")
+		// A fresh copy always has vacancies unless every size-`size`
+		// submachine of T contains a failed PE: the machine can no longer
+		// host tasks of this size at all.
+		panic(fmt.Sprintf("copies: no size-%d submachine avoids the %d failed PE(s)", size, len(l.blockedLeaves)))
 	}
 	c.Occupy(u)
 	return len(l.copies) - 1, u
+}
+
+// newCopy builds a copy with every currently failed leaf pre-blocked.
+func (l *List) newCopy() *Copy {
+	c := NewCopy(l.m)
+	for _, leaf := range l.blockedLeaves {
+		c.Block(leaf)
+	}
+	return c
+}
+
+// Block marks the leaf as failed in every copy (current and future). The
+// leaf must not be inside any assigned submachine in any copy — the
+// allocator migrates affected tasks away first.
+func (l *List) Block(leaf tree.Node) {
+	for _, b := range l.blockedLeaves {
+		if b == leaf {
+			panic(fmt.Sprintf("copies: Block(%d) of already-blocked leaf", leaf))
+		}
+	}
+	for _, c := range l.copies {
+		c.Block(leaf)
+	}
+	l.blockedLeaves = append(l.blockedLeaves, leaf)
+	sort.Slice(l.blockedLeaves, func(i, j int) bool { return l.blockedLeaves[i] < l.blockedLeaves[j] })
+}
+
+// Unblock reverses Block on a recovered leaf in every copy.
+func (l *List) Unblock(leaf tree.Node) {
+	idx := -1
+	for i, b := range l.blockedLeaves {
+		if b == leaf {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("copies: Unblock(%d) of non-blocked leaf", leaf))
+	}
+	for _, c := range l.copies {
+		c.Unblock(leaf)
+	}
+	l.blockedLeaves = append(l.blockedLeaves[:idx], l.blockedLeaves[idx+1:]...)
+}
+
+// BlockedLeaves returns the currently failed leaves in node order.
+func (l *List) BlockedLeaves() []tree.Node {
+	return append([]tree.Node(nil), l.blockedLeaves...)
 }
 
 // Vacate releases the task at (copyIdx, v). Empty copies are retained so

@@ -81,6 +81,47 @@ type Observable interface {
 	SetMigrationObserver(MigrationObserver)
 }
 
+// Migration records one forced task move: the task left the submachine
+// rooted at From because a PE under it failed, and now runs at To.
+type Migration struct {
+	ID   task.ID
+	From tree.Node
+	To   tree.Node
+}
+
+// ForcedStats quantifies fault-handling work separately from the voluntary
+// d·N reallocation budget of ReallocStats: failures survived, recoveries
+// absorbed, and the forced-migration traffic they caused. Forced moves are
+// imposed by the environment, not chosen by the algorithm, so the paper's
+// budget accounting (and the invariant checker's realloc-budget rule)
+// never charges them.
+type ForcedStats struct {
+	Failures   int
+	Recoveries int
+	Migrations int64
+	MovedPEs   int64
+}
+
+// FaultTolerant is implemented by allocators that survive PE failures:
+// when a PE fails, every active task whose submachine covers it is
+// forcibly migrated to a healthy submachine of the same size, and no
+// subsequent placement covers a failed PE until it recovers.
+type FaultTolerant interface {
+	Allocator
+	// FailPE marks PE pe failed and migrates away every task covering it,
+	// returning the forced migrations in a deterministic order. It panics
+	// if pe is out of range, already failed, or if some affected task has
+	// no healthy submachine of its size left.
+	FailPE(pe int) []Migration
+	// RecoverPE marks a failed PE healthy again. Recovery only adds
+	// capacity, so no task moves.
+	RecoverPE(pe int)
+	// FailedPEs returns the currently failed PEs in increasing order.
+	FailedPEs() []int
+	// ForcedStats returns cumulative fault-handling counters.
+	ForcedStats() ForcedStats
+}
+
 // Factory builds a fresh allocator for a machine; experiments use it to
 // run the same algorithm across many machines and seeds.
 type Factory struct {

@@ -27,6 +27,7 @@ type Basic struct {
 	list   *copies.List
 	loads  *loadtree.Tree
 	placed map[task.ID]placementRec
+	faults faultSet
 }
 
 // NewBasic returns A_B on machine m.
@@ -91,3 +92,23 @@ func (b *Basic) Active() int { return len(b.placed) }
 // Copies returns the number of copies A_B has created so far; Lemma 2
 // bounds it by ⌈S/N⌉. Exposed for the tests that verify the lemma.
 func (b *Basic) Copies() int { return b.list.Len() }
+
+// FailPE implements FaultTolerant.
+func (b *Basic) FailPE(pe int) []Migration {
+	b.faults.markFailed(b.m, pe)
+	migs := failInCopies(b.m, b.list, b.loads, b.placed, pe, nil)
+	b.faults.recordMigrations(migs, b.m)
+	return migs
+}
+
+// RecoverPE implements FaultTolerant.
+func (b *Basic) RecoverPE(pe int) {
+	b.faults.markRecovered(b.m, pe)
+	b.list.Unblock(b.m.LeafOf(pe))
+}
+
+// FailedPEs implements FaultTolerant.
+func (b *Basic) FailedPEs() []int { return b.faults.FailedPEs() }
+
+// ForcedStats implements FaultTolerant.
+func (b *Basic) ForcedStats() ForcedStats { return b.faults.ForcedStats() }

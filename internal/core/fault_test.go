@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// coversPE reports whether node v's submachine covers PE pe.
+func coversPE(m *tree.Machine, v tree.Node, pe int) bool {
+	lo, hi := m.PERange(v)
+	return pe >= lo && pe < hi
+}
+
+// checkNoFailedCoverage asserts no active task covers any failed PE.
+func checkNoFailedCoverage(t *testing.T, a FaultTolerant, ids []task.ID) {
+	t.Helper()
+	m := a.Machine()
+	for _, pe := range a.FailedPEs() {
+		for _, id := range ids {
+			v, ok := a.Placement(id)
+			if !ok {
+				continue
+			}
+			if coversPE(m, v, pe) {
+				t.Fatalf("task %d at node %d covers failed PE %d", id, v, pe)
+			}
+		}
+	}
+}
+
+// faultTolerantFactories enumerates every allocator implementing
+// FaultTolerant, covering both the copies-based family and greedy
+// (including A_M's greedy-delegation mode via a large d).
+func faultTolerantFactories() []Factory {
+	return []Factory{
+		GreedyFactory(),
+		BasicFactory(),
+		ConstantFactory(),
+		PeriodicFactory(2),
+		PeriodicFactory(1000), // greedy-delegation mode
+		LazyFactory(2),
+	}
+}
+
+func TestFailPEMigratesAffectedTasks(t *testing.T) {
+	for _, f := range faultTolerantFactories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			m := tree.MustNew(16)
+			a := f.New(m).(FaultTolerant)
+			var ids []task.ID
+			next := task.ID(1)
+			for _, size := range []int{4, 4, 2, 2, 1, 1, 8} {
+				a.Arrive(task.Task{ID: next, Size: size})
+				ids = append(ids, next)
+				next++
+			}
+			before := a.MaxLoad()
+			migs := a.FailPE(3)
+			if got := a.FailedPEs(); len(got) != 1 || got[0] != 3 {
+				t.Fatalf("FailedPEs = %v, want [3]", got)
+			}
+			if len(migs) == 0 {
+				t.Fatalf("no forced migrations although PE 3 was covered (max load %d before)", before)
+			}
+			checkNoFailedCoverage(t, a, ids)
+			if st := a.ForcedStats(); st.Failures != 1 || st.Migrations != int64(len(migs)) {
+				t.Fatalf("ForcedStats = %+v, want Failures=1 Migrations=%d", st, len(migs))
+			}
+			// Arrivals after the failure must avoid the failed PE too.
+			for i := 0; i < 6; i++ {
+				v := a.Arrive(task.Task{ID: next, Size: 2})
+				ids = append(ids, next)
+				next++
+				if coversPE(m, v, 3) {
+					t.Fatalf("post-failure arrival placed at node %d covering failed PE 3", v)
+				}
+			}
+			checkNoFailedCoverage(t, a, ids)
+			// Recovery restores capacity; the PE may be used again.
+			a.RecoverPE(3)
+			if got := a.FailedPEs(); len(got) != 0 {
+				t.Fatalf("FailedPEs after recovery = %v, want empty", got)
+			}
+			if st := a.ForcedStats(); st.Recoveries != 1 {
+				t.Fatalf("ForcedStats.Recoveries = %d, want 1", st.Recoveries)
+			}
+		})
+	}
+}
+
+func TestFailPELoadConservation(t *testing.T) {
+	// Load must be conserved across forced migrations: total PE load equals
+	// the cumulative active size before and after each failure.
+	for _, f := range faultTolerantFactories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			m := tree.MustNew(32)
+			a := f.New(m).(FaultTolerant)
+			rng := rand.New(rand.NewSource(7))
+			var active []task.Task
+			next := task.ID(1)
+			var activeSize int64
+			sum := func() int64 {
+				var s int64
+				for _, l := range a.PELoads() {
+					s += int64(l)
+				}
+				return s
+			}
+			for step := 0; step < 200; step++ {
+				switch {
+				case step%17 == 13 && len(a.FailedPEs()) < 4:
+					// Fail a random healthy PE.
+					pe := rng.Intn(m.N())
+					for isIn(a.FailedPEs(), pe) {
+						pe = rng.Intn(m.N())
+					}
+					a.FailPE(pe)
+				case step%23 == 19 && len(a.FailedPEs()) > 0:
+					failed := a.FailedPEs()
+					a.RecoverPE(failed[rng.Intn(len(failed))])
+				case len(active) > 0 && rng.Intn(3) == 0:
+					i := rng.Intn(len(active))
+					a.Depart(active[i].ID)
+					activeSize -= int64(active[i].Size)
+					active = append(active[:i], active[i+1:]...)
+				default:
+					tk := task.Task{ID: next, Size: 1 << rng.Intn(3)}
+					next++
+					a.Arrive(tk)
+					active = append(active, tk)
+					activeSize += int64(tk.Size)
+				}
+				if got := sum(); got != activeSize {
+					t.Fatalf("step %d: PE loads sum to %d, active size is %d", step, got, activeSize)
+				}
+				for _, pe := range a.FailedPEs() {
+					if l := a.PELoads()[pe]; l != 0 {
+						t.Fatalf("step %d: failed PE %d carries load %d", step, pe, l)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFailPEDeterministicMigrations(t *testing.T) {
+	// Same state + same failure ⇒ identical migration list.
+	run := func() []Migration {
+		m := tree.MustNew(16)
+		a := NewPeriodic(m, 2, DecreasingSize)
+		for i := 1; i <= 9; i++ {
+			a.Arrive(task.Task{ID: task.ID(i), Size: 1 << uint(i%3)})
+		}
+		return a.FailPE(5)
+	}
+	m1, m2 := run(), run()
+	if len(m1) != len(m2) {
+		t.Fatalf("migration counts differ: %d vs %d", len(m1), len(m2))
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("migration %d differs: %+v vs %+v", i, m1[i], m2[i])
+		}
+	}
+}
+
+func TestFailPEPanicsOnDoubleFailure(t *testing.T) {
+	m := tree.MustNew(8)
+	a := NewBasic(m)
+	a.FailPE(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("second FailPE(2) did not panic")
+		}
+	}()
+	a.FailPE(2)
+}
+
+func TestRecoverPEPanicsOnHealthyPE(t *testing.T) {
+	m := tree.MustNew(8)
+	a := NewGreedy(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("RecoverPE of healthy PE did not panic")
+		}
+	}()
+	a.RecoverPE(1)
+}
+
+func TestFailPEExhaustionPanics(t *testing.T) {
+	// A size-N task cannot survive any failure: FailPE must panic rather
+	// than strand the task silently.
+	m := tree.MustNew(8)
+	a := NewBasic(m)
+	a.Arrive(task.Task{ID: 1, Size: 8})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("FailPE with no healthy size-8 submachine did not panic")
+		}
+	}()
+	a.FailPE(0)
+}
+
+func TestVoluntaryReallocAvoidsFailedPEs(t *testing.T) {
+	// A_M's periodic (voluntary) reallocation must keep avoiding failed
+	// PEs: fail a PE, then push enough arrivals to trigger d·N realloc.
+	m := tree.MustNew(16)
+	a := NewPeriodic(m, 1, DecreasingSize)
+	var ids []task.ID
+	next := task.ID(1)
+	arrive := func(size int) {
+		a.Arrive(task.Task{ID: next, Size: size})
+		ids = append(ids, next)
+		next++
+	}
+	arrive(4)
+	a.FailPE(1)
+	for i := 0; i < 40; i++ { // several d·N thresholds worth of arrivals
+		arrive(2)
+	}
+	if a.ReallocStats().Reallocations == 0 {
+		t.Fatalf("expected at least one voluntary reallocation")
+	}
+	checkNoFailedCoverage(t, a, ids)
+}
+
+func TestForcedStatsSeparateFromReallocStats(t *testing.T) {
+	// Forced migrations must not consume the voluntary d·N budget or count
+	// as reallocations.
+	m := tree.MustNew(16)
+	a := NewPeriodic(m, 2, DecreasingSize)
+	for i := 1; i <= 8; i++ {
+		a.Arrive(task.Task{ID: task.ID(i), Size: 2})
+	}
+	voluntary := a.ReallocStats()
+	migs := a.FailPE(0)
+	if got := a.ReallocStats(); got != voluntary {
+		t.Fatalf("ReallocStats changed across FailPE: %+v -> %+v", voluntary, got)
+	}
+	if forced := a.ForcedStats(); forced.Migrations != int64(len(migs)) {
+		t.Fatalf("ForcedStats.Migrations = %d, want %d", forced.Migrations, len(migs))
+	}
+}
+
+func isIn(xs []int, x int) bool {
+	i := sort.SearchInts(xs, x)
+	return i < len(xs) && xs[i] == x
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"partalloc/internal/loadtree"
 	"partalloc/internal/task"
@@ -12,10 +13,19 @@ import (
 // the loads of all 2^x-PE submachines and assign the task to the leftmost
 // one with the smallest load. It never reallocates. Theorem 4.1: its load
 // is at most ⌈½(log N + 1)⌉ · L*.
+//
+// Under PE failures the rule is unchanged except that submachines covering
+// a failed PE are excluded from the candidate set, and tasks stranded by a
+// failure are re-placed by the same rule (leftmost minimum-load healthy
+// submachine, largest tasks first).
 type Greedy struct {
 	m      *tree.Machine
 	loads  *loadtree.Tree
 	placed map[task.ID]tree.Node
+	faults faultSet
+	// failedUnder[v] counts failed PEs in v's subtree; allocated lazily on
+	// the first failure so fault-free runs keep the O(log N) placement path.
+	failedUnder []int32
 }
 
 // NewGreedy returns A_G on machine m.
@@ -40,10 +50,32 @@ func (g *Greedy) Arrive(t task.Task) tree.Node {
 	if _, dup := g.placed[t.ID]; dup {
 		panic(fmt.Sprintf("core: duplicate arrival of task %d", t.ID))
 	}
-	v, _ := g.loads.LeftmostMinLoad(t.Size)
+	v := g.choose(t.Size)
 	g.loads.Place(v)
 	g.placed[t.ID] = v
 	return v
+}
+
+// choose picks the leftmost minimum-load submachine of the given size,
+// excluding any that covers a failed PE.
+func (g *Greedy) choose(size int) tree.Node {
+	if len(g.faults.failed) == 0 {
+		v, _ := g.loads.LeftmostMinLoad(size)
+		return v
+	}
+	best, bestLoad := tree.Node(0), 0
+	for _, v := range g.m.Submachines(size) {
+		if g.failedUnder[v] > 0 {
+			continue
+		}
+		if l := g.loads.SubmachineLoad(v); best == 0 || l < bestLoad {
+			best, bestLoad = v, l
+		}
+	}
+	if best == 0 {
+		panic(fmt.Sprintf("core: no size-%d submachine avoids the %d failed PE(s) (A_G)", size, len(g.faults.failed)))
+	}
+	return best
 }
 
 // Depart implements Allocator.
@@ -70,3 +102,62 @@ func (g *Greedy) Placement(id task.ID) (tree.Node, bool) {
 
 // Active implements Allocator.
 func (g *Greedy) Active() int { return len(g.placed) }
+
+// FailPE implements FaultTolerant.
+func (g *Greedy) FailPE(pe int) []Migration {
+	g.faults.markFailed(g.m, pe)
+	if g.failedUnder == nil {
+		g.failedUnder = make([]int32, g.m.NumNodes()+1)
+	}
+	leaf := g.m.LeafOf(pe)
+	for v := leaf; v >= 1; v = g.m.Parent(v) {
+		g.failedUnder[v]++
+		if v == 1 {
+			break
+		}
+	}
+	// Evict and re-place every task covering the failed leaf, largest
+	// first so big tasks still find healthy submachines.
+	var victims []task.Task
+	for id, node := range g.placed {
+		if g.m.Contains(node, leaf) {
+			victims = append(victims, task.Task{ID: id, Size: g.m.Size(node)})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].Size != victims[j].Size {
+			return victims[i].Size > victims[j].Size
+		}
+		return victims[i].ID < victims[j].ID
+	})
+	for _, t := range victims {
+		g.loads.Remove(g.placed[t.ID])
+	}
+	migs := make([]Migration, 0, len(victims))
+	for _, t := range victims {
+		old := g.placed[t.ID]
+		v := g.choose(t.Size)
+		g.loads.Place(v)
+		g.placed[t.ID] = v
+		migs = append(migs, Migration{ID: t.ID, From: old, To: v})
+	}
+	g.faults.recordMigrations(migs, g.m)
+	return migs
+}
+
+// RecoverPE implements FaultTolerant.
+func (g *Greedy) RecoverPE(pe int) {
+	g.faults.markRecovered(g.m, pe)
+	for v := g.m.LeafOf(pe); v >= 1; v = g.m.Parent(v) {
+		g.failedUnder[v]--
+		if v == 1 {
+			break
+		}
+	}
+}
+
+// FailedPEs implements FaultTolerant.
+func (g *Greedy) FailedPEs() []int { return g.faults.FailedPEs() }
+
+// ForcedStats implements FaultTolerant.
+func (g *Greedy) ForcedStats() ForcedStats { return g.faults.ForcedStats() }

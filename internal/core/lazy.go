@@ -38,6 +38,7 @@ type Lazy struct {
 	activeSize int64
 	stats      ReallocStats
 	observer   MigrationObserver
+	faults     faultSet
 }
 
 // SetMigrationObserver implements Observable.
@@ -120,7 +121,7 @@ func (l *Lazy) reallocate() {
 	for id, rec := range l.placed {
 		tasks = append(tasks, task.Task{ID: id, Size: rec.size})
 	}
-	list, placed := ReallocateAll(l.m, tasks, l.order)
+	list, placed := ReallocateAllAvoiding(l.m, tasks, l.order, l.faults.failed)
 	l.stats.Reallocations++
 	newLoads := loadtree.New(l.m)
 	for id, rec := range placed {
@@ -190,3 +191,40 @@ func (l *Lazy) Active() int {
 
 // ReallocStats implements Reallocator.
 func (l *Lazy) ReallocStats() ReallocStats { return l.stats }
+
+// FailPE implements FaultTolerant.
+func (l *Lazy) FailPE(pe int) []Migration {
+	if l.greedy != nil {
+		return l.greedy.FailPE(pe)
+	}
+	l.faults.markFailed(l.m, pe)
+	migs := failInCopies(l.m, l.list, l.loads, l.placed, pe, l.observer)
+	l.faults.recordMigrations(migs, l.m)
+	return migs
+}
+
+// RecoverPE implements FaultTolerant.
+func (l *Lazy) RecoverPE(pe int) {
+	if l.greedy != nil {
+		l.greedy.RecoverPE(pe)
+		return
+	}
+	l.faults.markRecovered(l.m, pe)
+	l.list.Unblock(l.m.LeafOf(pe))
+}
+
+// FailedPEs implements FaultTolerant.
+func (l *Lazy) FailedPEs() []int {
+	if l.greedy != nil {
+		return l.greedy.FailedPEs()
+	}
+	return l.faults.FailedPEs()
+}
+
+// ForcedStats implements FaultTolerant.
+func (l *Lazy) ForcedStats() ForcedStats {
+	if l.greedy != nil {
+		return l.greedy.ForcedStats()
+	}
+	return l.faults.ForcedStats()
+}

@@ -39,6 +39,7 @@ type Periodic struct {
 	sinceRealo int64 // cumulative arrival size since last reallocation
 	stats      ReallocStats
 	observer   MigrationObserver
+	faults     faultSet
 }
 
 // SetMigrationObserver implements Observable.
@@ -135,7 +136,7 @@ func (p *Periodic) reallocate() {
 	for id, rec := range p.placed {
 		tasks = append(tasks, task.Task{ID: id, Size: rec.size})
 	}
-	list, placed := ReallocateAll(p.m, tasks, p.order)
+	list, placed := ReallocateAllAvoiding(p.m, tasks, p.order, p.faults.failed)
 	p.stats.Reallocations++
 	newLoads := loadtree.New(p.m)
 	for id, rec := range placed {
@@ -210,3 +211,40 @@ func (p *Periodic) ReallocStats() ReallocStats { return p.stats }
 // UsesGreedy reports whether this instance delegates to A_G (d at or above
 // the greedy bound).
 func (p *Periodic) UsesGreedy() bool { return p.greedy != nil }
+
+// FailPE implements FaultTolerant.
+func (p *Periodic) FailPE(pe int) []Migration {
+	if p.greedy != nil {
+		return p.greedy.FailPE(pe)
+	}
+	p.faults.markFailed(p.m, pe)
+	migs := failInCopies(p.m, p.list, p.loads, p.placed, pe, p.observer)
+	p.faults.recordMigrations(migs, p.m)
+	return migs
+}
+
+// RecoverPE implements FaultTolerant.
+func (p *Periodic) RecoverPE(pe int) {
+	if p.greedy != nil {
+		p.greedy.RecoverPE(pe)
+		return
+	}
+	p.faults.markRecovered(p.m, pe)
+	p.list.Unblock(p.m.LeafOf(pe))
+}
+
+// FailedPEs implements FaultTolerant.
+func (p *Periodic) FailedPEs() []int {
+	if p.greedy != nil {
+		return p.greedy.FailedPEs()
+	}
+	return p.faults.FailedPEs()
+}
+
+// ForcedStats implements FaultTolerant.
+func (p *Periodic) ForcedStats() ForcedStats {
+	if p.greedy != nil {
+		return p.greedy.ForcedStats()
+	}
+	return p.faults.ForcedStats()
+}

@@ -39,6 +39,14 @@ func (o ReallocOrder) String() string {
 //
 // Ties in size are broken by task ID so the procedure is deterministic.
 func ReallocateAll(m *tree.Machine, tasks []task.Task, order ReallocOrder) (*copies.List, map[task.ID]placementRec) {
+	return ReallocateAllAvoiding(m, tasks, order, nil)
+}
+
+// ReallocateAllAvoiding is ReallocateAll on a machine with failed PEs: the
+// fresh copy list blocks every failed PE before placement, so no task in
+// the rebuilt layout covers one. It panics if some task has no healthy
+// submachine of its size.
+func ReallocateAllAvoiding(m *tree.Machine, tasks []task.Task, order ReallocOrder, failedPEs []int) (*copies.List, map[task.ID]placementRec) {
 	sorted := make([]task.Task, len(tasks))
 	copy(sorted, tasks)
 	switch order {
@@ -53,6 +61,9 @@ func ReallocateAll(m *tree.Machine, tasks []task.Task, order ReallocOrder) (*cop
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
 	}
 	list := copies.NewList(m)
+	for _, pe := range failedPEs {
+		list.Block(m.LeafOf(pe))
+	}
 	placed := make(map[task.ID]placementRec, len(sorted))
 	for _, t := range sorted {
 		ci, v := list.Place(t.Size)

@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"fmt"
+
+	"partalloc/internal/core"
+)
+
+// AdversaryConfig parameterizes NewAdversary.
+type AdversaryConfig struct {
+	// Start is the first event index at which a failure may fire.
+	Start int
+	// Period is the spacing between failure attempts (default 1: try at
+	// every event once the previous failure has recovered).
+	Period int
+	// Down is how many events a failed PE stays down before recovering
+	// (default 1).
+	Down int
+	// MaxFailures bounds the total number of failures injected
+	// (default 1).
+	MaxFailures int
+}
+
+// Adversary is an interactive fault source that targets the most-loaded
+// subtree: at each attempt it descends from the root toward the child with
+// the larger maximum PE load (ties left) and fails the leaf it reaches —
+// the PE whose loss forces the most forced-migration work and whose
+// subtree is the hardest to re-pack. One PE is down at a time, so
+// schedules stay feasible on any machine with more than one submachine of
+// every active size.
+//
+// Given a deterministic allocator and workload, the adversary is fully
+// deterministic: it reads only PELoads snapshots.
+type Adversary struct {
+	cfg       AdversaryConfig
+	failures  int
+	downPE    int // -1 when no PE is down
+	recoverAt int
+}
+
+// NewAdversary returns an adversarial fault source.
+func NewAdversary(cfg AdversaryConfig) *Adversary {
+	if cfg.Period <= 0 {
+		cfg.Period = 1
+	}
+	if cfg.Down <= 0 {
+		cfg.Down = 1
+	}
+	if cfg.MaxFailures <= 0 {
+		cfg.MaxFailures = 1
+	}
+	return &Adversary{cfg: cfg, downPE: -1}
+}
+
+// Next implements Source.
+func (ad *Adversary) Next(i int, a core.Allocator) []Event {
+	var out []Event
+	if ad.downPE >= 0 && i >= ad.recoverAt {
+		out = append(out, Event{At: i, Kind: RecoverPE, PE: ad.downPE})
+		ad.downPE = -1
+	}
+	if ad.downPE < 0 && ad.failures < ad.cfg.MaxFailures &&
+		i >= ad.cfg.Start && (i-ad.cfg.Start)%ad.cfg.Period == 0 {
+		pe := mostLoadedPE(a)
+		out = append(out, Event{At: i, Kind: FailPE, PE: pe})
+		ad.downPE = pe
+		ad.recoverAt = i + ad.cfg.Down
+		ad.failures++
+	}
+	return out
+}
+
+// mostLoadedPE walks the loads from the root down, at each level entering
+// the half with the larger maximum PE load (ties left), and returns the
+// leaf PE it reaches — the leftmost maximum-load PE.
+func mostLoadedPE(a core.Allocator) int {
+	loads := a.PELoads()
+	if len(loads) == 0 {
+		panic("fault: adversary on a machine with no PEs")
+	}
+	best := 0
+	for p, l := range loads {
+		if l > loads[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// String identifies the adversary in run labels.
+func (ad *Adversary) String() string {
+	return fmt.Sprintf("adversary(start=%d, period=%d, down=%d, max=%d)",
+		ad.cfg.Start, ad.cfg.Period, ad.cfg.Down, ad.cfg.MaxFailures)
+}

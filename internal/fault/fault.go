@@ -1,0 +1,241 @@
+// Package fault injects PE failures into simulations. The paper's model
+// assumes every PE stays healthy forever; real partitionable machines lose
+// and regain PEs, and the reallocation machinery the paper builds for load
+// balancing is exactly what lets placements survive such events (cf. the
+// reallocation-scheduling literature, PAPERS.md). This package provides:
+//
+//   - deterministic fault schedules — FailPE/RecoverPE events keyed to
+//     simulation event indexes — with a small text format (ParseText /
+//     WriteText, fuzz-tested) so schedules live next to traces;
+//   - a seeded random schedule generator (Random), and
+//   - an adversarial source (Adversary) that targets the most-loaded
+//     subtree of the allocator, the worst place to lose a PE.
+//
+// A Source feeds fault events to internal/sim and internal/sched, which
+// apply them at event boundaries through core.FaultTolerant allocators.
+// Everything is deterministic given a seed, preserving the repo's
+// byte-identical replay guarantee under faults.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"partalloc/internal/core"
+)
+
+// Kind discriminates fault events.
+type Kind uint8
+
+const (
+	// FailPE takes a PE out of service; tasks covering it are forcibly
+	// migrated to healthy submachines.
+	FailPE Kind = iota
+	// RecoverPE returns a failed PE to service.
+	RecoverPE
+)
+
+func (k Kind) String() string {
+	switch k {
+	case FailPE:
+		return "fail"
+	case RecoverPE:
+		return "recover"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one fault: Kind applied to PE just before simulation event
+// index At (0-based). Events with At beyond the end of the sequence never
+// fire.
+type Event struct {
+	At   int
+	Kind Kind
+	PE   int
+}
+
+// Schedule is a validated list of fault events ordered by At (ties in
+// listing order).
+type Schedule struct {
+	Events []Event
+}
+
+// Validate checks the schedule: non-negative event indexes and PEs, PEs
+// within machine size n (skipped when n <= 0), At non-decreasing, no
+// failure of an already-failed PE, and no recovery of a healthy one.
+func (s *Schedule) Validate(n int) error {
+	lastAt := 0
+	down := make(map[int]bool)
+	for i, e := range s.Events {
+		if e.At < 0 {
+			return fmt.Errorf("fault: event %d has negative index %d", i, e.At)
+		}
+		if e.At < lastAt {
+			return fmt.Errorf("fault: event %d index %d decreases (previous %d)", i, e.At, lastAt)
+		}
+		lastAt = e.At
+		if e.PE < 0 {
+			return fmt.Errorf("fault: event %d has negative PE %d", i, e.PE)
+		}
+		if n > 0 && e.PE >= n {
+			return fmt.Errorf("fault: event %d PE %d out of range for N=%d", i, e.PE, n)
+		}
+		switch e.Kind {
+		case FailPE:
+			if down[e.PE] {
+				return fmt.Errorf("fault: event %d fails PE %d twice", i, e.PE)
+			}
+			down[e.PE] = true
+		case RecoverPE:
+			if !down[e.PE] {
+				return fmt.Errorf("fault: event %d recovers PE %d which is not failed", i, e.PE)
+			}
+			delete(down, e.PE)
+		default:
+			return fmt.Errorf("fault: event %d has unknown kind %d", i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// MaxConcurrent returns the largest number of simultaneously failed PEs
+// the schedule reaches; useful for capacity-feasibility checks.
+func (s *Schedule) MaxConcurrent() int {
+	down, max := 0, 0
+	for _, e := range s.Events {
+		switch e.Kind {
+		case FailPE:
+			down++
+			if down > max {
+				max = down
+			}
+		case RecoverPE:
+			down--
+		}
+	}
+	return max
+}
+
+// Source produces the fault events to apply immediately before simulation
+// event i. The allocator is read-only context: interactive sources (the
+// adversary) inspect loads; schedule replay ignores it. Implementations
+// need not be safe for concurrent use; a Source instance drives one run.
+type Source interface {
+	Next(i int, a core.Allocator) []Event
+}
+
+// Source returns a fresh replay cursor over the schedule. Each simulation
+// run needs its own cursor.
+func (s *Schedule) Source() Source {
+	return &replayer{events: s.Events}
+}
+
+// replayer walks a schedule in order.
+type replayer struct {
+	events []Event
+	pos    int
+}
+
+// Next implements Source.
+func (r *replayer) Next(i int, _ core.Allocator) []Event {
+	start := r.pos
+	for r.pos < len(r.events) && r.events[r.pos].At <= i {
+		r.pos++
+	}
+	return r.events[start:r.pos]
+}
+
+// RandomConfig parameterizes Random.
+type RandomConfig struct {
+	// N is the machine size (PEs are drawn from [0, N)).
+	N int
+	// Events is the simulation length the schedule spans.
+	Events int
+	// Failures is the number of fail events (default 1).
+	Failures int
+	// Down is the number of simulation events a failed PE stays down
+	// before recovering (default Events/4). Failures whose recovery would
+	// land past the end simply never recover.
+	Down int
+	// MaxConcurrent caps simultaneously failed PEs (default 1): drawing
+	// more failures than the cap allows while others are down is skipped,
+	// keeping schedules feasible on small machines.
+	MaxConcurrent int
+	// Seed drives the generator.
+	Seed int64
+}
+
+// Random draws a deterministic, valid fault schedule: failure times
+// uniform over the event range, each failing a random currently-healthy
+// PE and recovering it Down events later.
+func Random(cfg RandomConfig) Schedule {
+	if cfg.Failures == 0 {
+		cfg.Failures = 1
+	}
+	if cfg.Down == 0 {
+		cfg.Down = cfg.Events / 4
+	}
+	if cfg.MaxConcurrent == 0 {
+		cfg.MaxConcurrent = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	times := make([]int, cfg.Failures)
+	for i := range times {
+		times[i] = rng.Intn(maxInt(cfg.Events, 1))
+	}
+	sort.Ints(times)
+	var s Schedule
+	downUntil := make(map[int]int) // PE -> recovery At
+	for _, at := range times {
+		// Emit due recoveries first so validity holds at every prefix.
+		due := duePEs(downUntil, at)
+		for _, pe := range due {
+			s.Events = append(s.Events, Event{At: downUntil[pe], Kind: RecoverPE, PE: pe})
+			delete(downUntil, pe)
+		}
+		if len(downUntil) >= cfg.MaxConcurrent || len(downUntil) >= cfg.N {
+			continue
+		}
+		pe := rng.Intn(cfg.N)
+		for _, isDown := downUntil[pe]; isDown; _, isDown = downUntil[pe] {
+			pe = rng.Intn(cfg.N)
+		}
+		s.Events = append(s.Events, Event{At: at, Kind: FailPE, PE: pe})
+		if rec := at + cfg.Down; rec < cfg.Events {
+			downUntil[pe] = rec
+		} else {
+			downUntil[pe] = cfg.Events + 1 // never recovers in range
+		}
+	}
+	for _, pe := range duePEs(downUntil, cfg.Events) {
+		s.Events = append(s.Events, Event{At: downUntil[pe], Kind: RecoverPE, PE: pe})
+		delete(downUntil, pe)
+	}
+	return s
+}
+
+// duePEs returns the PEs whose recovery index is ≤ at, sorted by
+// (recovery index, PE) so emission order is deterministic.
+func duePEs(downUntil map[int]int, at int) []int {
+	var due []int
+	for pe, rec := range downUntil {
+		if rec <= at {
+			due = append(due, pe)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if downUntil[due[i]] != downUntil[due[j]] {
+			return downUntil[due[i]] < downUntil[due[j]]
+		}
+		return due[i] < due[j]
+	})
+	return due
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"partalloc/internal/core"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+func TestParseText(t *testing.T) {
+	in := `
+# a comment
+fail 3 @120
+recover 3 @400   # trailing comment
+
+fail 0 @500
+`
+	s, err := ParseText(strings.NewReader(in), 8)
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	want := []Event{
+		{At: 120, Kind: FailPE, PE: 3},
+		{At: 400, Kind: RecoverPE, PE: 3},
+		{At: 500, Kind: FailPE, PE: 0},
+	}
+	if len(s.Events) != len(want) {
+		t.Fatalf("got %d events, want %d", len(s.Events), len(want))
+	}
+	for i, e := range s.Events {
+		if e != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, e, want[i])
+		}
+	}
+	if mc := s.MaxConcurrent(); mc != 1 {
+		t.Fatalf("MaxConcurrent = %d, want 1", mc)
+	}
+}
+
+func TestParseTextRejects(t *testing.T) {
+	cases := []struct {
+		name, in string
+		n        int
+	}{
+		{"bad directive", "explode 1 @5\n", 8},
+		{"missing at", "fail 1 5\n", 8},
+		{"pe out of range", "fail 9 @5\n", 8},
+		{"negative index", "fail 1 @-2\n", 8},
+		{"decreasing index", "fail 1 @5\nfail 2 @4\n", 8},
+		{"double failure", "fail 1 @5\nfail 1 @6\n", 8},
+		{"recover healthy", "recover 1 @5\n", 8},
+		{"too few fields", "fail @5\n", 8},
+	}
+	for _, c := range cases {
+		if _, err := ParseText(strings.NewReader(c.in), c.n); err == nil {
+			t.Errorf("%s: ParseText accepted %q", c.name, c.in)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	s := Random(RandomConfig{N: 64, Events: 1000, Failures: 5, Down: 100, MaxConcurrent: 2, Seed: 3})
+	var b strings.Builder
+	if err := WriteText(&b, s); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	back, err := ParseText(strings.NewReader(b.String()), 64)
+	if err != nil {
+		t.Fatalf("ParseText of WriteText output: %v\n%s", err, b.String())
+	}
+	if len(back.Events) != len(s.Events) {
+		t.Fatalf("round trip changed length: %d vs %d", len(back.Events), len(s.Events))
+	}
+	for i := range back.Events {
+		if back.Events[i] != s.Events[i] {
+			t.Fatalf("event %d changed: %+v vs %+v", i, back.Events[i], s.Events[i])
+		}
+	}
+}
+
+func TestRandomIsValidAndDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		cfg := RandomConfig{N: 32, Events: 500, Failures: 4, Down: 50, MaxConcurrent: 2, Seed: seed}
+		s1, s2 := Random(cfg), Random(cfg)
+		if err := s1.Validate(32); err != nil {
+			t.Fatalf("seed %d: invalid schedule: %v", seed, err)
+		}
+		if len(s1.Events) != len(s2.Events) {
+			t.Fatalf("seed %d: nondeterministic length", seed)
+		}
+		for i := range s1.Events {
+			if s1.Events[i] != s2.Events[i] {
+				t.Fatalf("seed %d: event %d differs: %+v vs %+v", seed, i, s1.Events[i], s2.Events[i])
+			}
+		}
+	}
+}
+
+func TestReplayerDeliversInOrder(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{At: 2, Kind: FailPE, PE: 1},
+		{At: 2, Kind: RecoverPE, PE: 1},
+		{At: 5, Kind: FailPE, PE: 3},
+	}}
+	if err := s.Validate(8); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	src := s.Source()
+	var got []Event
+	for i := 0; i < 10; i++ {
+		got = append(got, src.Next(i, nil)...)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d events, want 3", len(got))
+	}
+	for i := range got {
+		if got[i] != s.Events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], s.Events[i])
+		}
+	}
+}
+
+func TestAdversaryTargetsMostLoadedPE(t *testing.T) {
+	m := tree.MustNew(8)
+	a := core.NewGreedy(m)
+	// Stack three unit tasks on distinct PEs, then two more on the same
+	// submachine so one PE is clearly the most loaded.
+	for i := 1; i <= 8; i++ {
+		a.Arrive(task.Task{ID: task.ID(i), Size: 1})
+	}
+	a.Arrive(task.Task{ID: 9, Size: 1}) // second layer on PE 0
+	ad := NewAdversary(AdversaryConfig{Start: 0, Down: 3, MaxFailures: 1})
+	evs := ad.Next(0, a)
+	if len(evs) != 1 || evs[0].Kind != FailPE {
+		t.Fatalf("adversary events = %+v, want one failure", evs)
+	}
+	if evs[0].PE != 0 {
+		t.Fatalf("adversary failed PE %d, want the most-loaded PE 0", evs[0].PE)
+	}
+	// Recovery fires Down events later; nothing in between.
+	if evs := ad.Next(1, a); len(evs) != 0 {
+		t.Fatalf("unexpected events at 1: %+v", evs)
+	}
+	evs = ad.Next(3, a)
+	if len(evs) != 1 || evs[0].Kind != RecoverPE || evs[0].PE != 0 {
+		t.Fatalf("expected recovery of PE 0 at 3, got %+v", evs)
+	}
+	// Budget exhausted: no further failures.
+	for i := 4; i < 10; i++ {
+		if evs := ad.Next(i, a); len(evs) != 0 {
+			t.Fatalf("adversary exceeded MaxFailures at %d: %+v", i, evs)
+		}
+	}
+}

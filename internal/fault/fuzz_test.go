@@ -1,0 +1,47 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseText: arbitrary input must never panic, and anything accepted
+// must validate and round-trip through WriteText byte-identically (the
+// format has a canonical form: one "kind pe @at" line per event).
+func FuzzParseText(f *testing.F) {
+	f.Add("fail 3 @120\nrecover 3 @400\n", 8)
+	f.Add("# only a comment\n", 8)
+	f.Add("", 0)
+	f.Add("fail 0 @0\n", 1)
+	f.Add("fail 1 @5\nfail 1 @6\n", 8)
+	f.Add("recover 2 @9\n", 8)
+	f.Add("fail -1 @0\n", 8)
+	f.Add("fail 1 @-1\n", 8)
+	f.Add("fail 99999999999999999999 @0\n", 8)
+	f.Add(strings.Repeat("fail 1 @1\n", 4), 8)
+	f.Fuzz(func(t *testing.T, in string, n int) {
+		s, err := ParseText(strings.NewReader(in), n)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(n); verr != nil {
+			t.Fatalf("ParseText accepted invalid schedule: %v", verr)
+		}
+		var b strings.Builder
+		if werr := WriteText(&b, s); werr != nil {
+			t.Fatalf("WriteText failed on accepted schedule: %v", werr)
+		}
+		back, rerr := ParseText(strings.NewReader(b.String()), n)
+		if rerr != nil {
+			t.Fatalf("round trip rejected: %v", rerr)
+		}
+		if len(back.Events) != len(s.Events) {
+			t.Fatalf("round trip changed length: %d vs %d", len(back.Events), len(s.Events))
+		}
+		for i := range back.Events {
+			if back.Events[i] != s.Events[i] {
+				t.Fatalf("round trip changed event %d: %+v vs %+v", i, back.Events[i], s.Events[i])
+			}
+		}
+	})
+}

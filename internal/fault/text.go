@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText reads the schedule text format (see docs/FAULTS.md):
+//
+//	# comment
+//	fail 3 @120
+//	recover 3 @400
+//
+// One directive per line: the kind, the PE number, and "@" followed by the
+// 0-based simulation event index the fault fires before. Blank lines and
+// "#" comments are ignored. The parsed schedule is validated against
+// machine size n (pass n <= 0 to skip the range check).
+func ParseText(r io.Reader, n int) (Schedule, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var s Schedule
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return Schedule{}, fmt.Errorf("fault: line %d: %d fields, want `fail|recover <pe> @<event>`", line, len(fields))
+		}
+		var kind Kind
+		switch fields[0] {
+		case "fail":
+			kind = FailPE
+		case "recover":
+			kind = RecoverPE
+		default:
+			return Schedule{}, fmt.Errorf("fault: line %d: unknown directive %q", line, fields[0])
+		}
+		pe, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return Schedule{}, fmt.Errorf("fault: line %d: PE: %w", line, err)
+		}
+		if !strings.HasPrefix(fields[2], "@") {
+			return Schedule{}, fmt.Errorf("fault: line %d: event index %q must start with '@'", line, fields[2])
+		}
+		at, err := strconv.Atoi(fields[2][1:])
+		if err != nil {
+			return Schedule{}, fmt.Errorf("fault: line %d: event index: %w", line, err)
+		}
+		s.Events = append(s.Events, Event{At: at, Kind: kind, PE: pe})
+	}
+	if err := sc.Err(); err != nil {
+		return Schedule{}, err
+	}
+	if err := s.Validate(n); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+// WriteText serializes a schedule in the ParseText format.
+func WriteText(w io.Writer, s Schedule) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range s.Events {
+		if _, err := fmt.Fprintf(bw, "%s %d @%d\n", e.Kind, e.PE, e.At); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

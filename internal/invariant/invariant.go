@@ -20,7 +20,11 @@
 //     count matches the checker's independent event ledger;
 //   - reallocation budget: for a d-reallocation algorithm (§4.1), at
 //     least d·N PEs' worth of arrivals separate consecutive
-//     reallocations, and at most one reallocation happens per event.
+//     reallocations, and at most one reallocation happens per event;
+//   - fault safety (OnFail/OnRecover, internal/fault): no active task
+//     covers a failed PE, failed PEs carry zero load, load conservation
+//     holds across forced migrations, and the pigeonhole bound
+//     strengthens to ⌈S/healthy⌉ over the surviving PEs.
 //
 // Checks cost O(N + active) per event, so they are opt-in: the simulator
 // and scheduler call through a nil-guarded pointer (nil in production
@@ -68,13 +72,14 @@ type Checker struct {
 	arrivedAtRealloc int64
 	lastRealloc      core.ReallocStats
 	sizes            map[task.ID]int
+	failed           map[int]bool // PEs the checker believes are down
 
 	violations []Violation
 }
 
 // New returns a checker for machine m that records violations.
 func New(m *tree.Machine) *Checker {
-	return &Checker{m: m, n: int64(m.N()), d: -1, sizes: make(map[task.ID]int)}
+	return &Checker{m: m, n: int64(m.N()), d: -1, sizes: make(map[task.ID]int), failed: make(map[int]bool)}
 }
 
 // SetReallocBudget arms the reallocation-budget rule for a d-reallocation
@@ -121,6 +126,35 @@ func (c *Checker) OnDepart(a core.Allocator, id task.ID) {
 	c.events++
 }
 
+// OnFail audits the allocator just after it processed the failure of pe
+// (forced migrations included). Load conservation must hold across the
+// migration — failing a PE moves threads, it never creates or destroys
+// them — and afterwards no active task may cover the failed PE.
+func (c *Checker) OnFail(a core.Allocator, pe int) {
+	if c == nil {
+		return
+	}
+	if c.failed[pe] {
+		c.report("fault-ledger", fmt.Sprintf("PE %d failed while already failed", pe))
+	}
+	c.failed[pe] = true
+	c.check(a)
+	c.events++
+}
+
+// OnRecover audits the allocator just after pe returned to service.
+func (c *Checker) OnRecover(a core.Allocator, pe int) {
+	if c == nil {
+		return
+	}
+	if !c.failed[pe] {
+		c.report("fault-ledger", fmt.Sprintf("PE %d recovered while not failed", pe))
+	}
+	delete(c.failed, pe)
+	c.check(a)
+	c.events++
+}
+
 // check runs the per-event invariants.
 func (c *Checker) check(a core.Allocator) {
 	loads := a.PELoads()
@@ -145,11 +179,22 @@ func (c *Checker) check(a core.Allocator) {
 			fmt.Sprintf("MaxLoad()=%d but the PE snapshot maximum is %d", got, max))
 	}
 
-	// Pigeonhole: some PE carries at least ⌈S/N⌉ threads.
-	if c.activeSize > 0 {
-		if lb := int(mathx.CeilDiv64(c.activeSize, c.n)); max < lb {
+	// Pigeonhole: some PE carries at least ⌈S/healthy⌉ threads. With PEs
+	// down the bound strengthens — active threads squeeze into the healthy
+	// PEs only.
+	if healthy := c.n - int64(len(c.failed)); c.activeSize > 0 && healthy > 0 {
+		if lb := int(mathx.CeilDiv64(c.activeSize, healthy)); max < lb {
 			c.report("optimal-lower-bound",
-				fmt.Sprintf("snapshot max load %d is below the pigeonhole bound ⌈%d/%d⌉=%d — loads are underreported", max, c.activeSize, c.n, lb))
+				fmt.Sprintf("snapshot max load %d is below the pigeonhole bound ⌈%d/%d⌉=%d — loads are underreported", max, c.activeSize, healthy, lb))
+		}
+	}
+
+	// Failed PEs carry no threads: every task that covered them was
+	// forcibly migrated away, and nothing may be placed there since.
+	for pe := range c.failed {
+		if pe >= 0 && pe < len(loads) && loads[pe] != 0 {
+			c.report("failed-pe-load",
+				fmt.Sprintf("failed PE %d carries load %d, want 0", pe, loads[pe]))
 		}
 	}
 
@@ -171,6 +216,12 @@ func (c *Checker) check(a core.Allocator) {
 		if got := c.m.Size(v); got != size {
 			c.report("placement-size",
 				fmt.Sprintf("active task %d (size %d) sits on a size-%d submachine (node %d)", id, size, got, v))
+		}
+		for pe := range c.failed {
+			if c.m.Contains(v, c.m.LeafOf(pe)) {
+				c.report("failed-pe-coverage",
+					fmt.Sprintf("active task %d (node %d) covers failed PE %d", id, v, pe))
+			}
 		}
 	}
 

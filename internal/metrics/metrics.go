@@ -24,6 +24,9 @@ type Sample struct {
 	// the sequence prefix, the instantaneous benchmark for competitive
 	// ratios.
 	RunningLStar int
+	// FailedPEs is the number of PEs down when the sample was taken
+	// (0 in fault-free runs; see internal/fault).
+	FailedPEs int
 }
 
 // Series is an append-only load time series.

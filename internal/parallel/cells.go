@@ -1,0 +1,202 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCanceled marks cells that were never started because RunOptions.Cancel
+// was closed first. Cells already in flight when the cancel lands run to
+// completion (their results are real, not canceled).
+var ErrCanceled = errors.New("parallel: run canceled before cell started")
+
+// PanicError is a cell panic converted into a value: the harness must
+// survive a panicking cell (a capacity-exhaustion panic under fault
+// injection, say) and keep the other cells' results.
+type PanicError struct {
+	// Index is the cell that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: cell %d panicked: %v", e.Index, e.Value)
+}
+
+// TimeoutError marks a cell attempt that outran the per-cell watchdog.
+type TimeoutError struct {
+	// Index is the cell that timed out.
+	Index int
+	// Attempt is the 0-based attempt number that timed out.
+	Attempt int
+	// Timeout is the watchdog duration that expired.
+	Timeout time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("parallel: cell %d attempt %d exceeded %v", e.Index, e.Attempt, e.Timeout)
+}
+
+// RunOptions configures RunCells.
+type RunOptions struct {
+	// Workers bounds concurrency (≤ 0 selects GOMAXPROCS).
+	Workers int
+	// Retries is how many times a failed cell is re-attempted after the
+	// first try (0 = single attempt). Deterministic failures fail every
+	// attempt; retries exist for cells with environmental flakiness
+	// (timeouts under load).
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per attempt
+	// (exponential backoff). 0 retries immediately.
+	Backoff time.Duration
+	// Timeout is the per-attempt watchdog (0 = none). A timed-out
+	// attempt's goroutine cannot be killed — it is abandoned and its
+	// eventual result discarded — so fn should not hold unbounded
+	// resources when this is set.
+	Timeout time.Duration
+	// Cancel, when closed, stops workers from claiming new cells; cells
+	// never started report ErrCanceled. In-flight cells drain normally,
+	// which is what lets a SIGINT handler keep a consistent checkpoint.
+	Cancel <-chan struct{}
+}
+
+// RunCells runs fn(i) for i in [0, n) on a bounded worker pool and returns
+// per-index errors (nil for success). Unlike ForEach it never lets one bad
+// cell take down the sweep: panics become *PanicError, hung cells trip the
+// watchdog as *TimeoutError, and transient failures are retried with
+// exponential backoff. Results are index-ordered, so downstream tables
+// stay byte-identical to a sequential run regardless of scheduling.
+func RunCells(n int, opt RunOptions, fn func(i int) error) []error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if canceled(opt.Cancel) {
+					errs[i] = ErrCanceled
+					continue // drain the remaining tickets as canceled
+				}
+				errs[i] = runCell(i, opt, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// runCell drives one cell through its attempts.
+func runCell(i int, opt RunOptions, fn func(i int) error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = runAttempt(i, attempt, opt, fn)
+		if err == nil || attempt >= opt.Retries || canceled(opt.Cancel) {
+			return err
+		}
+		if opt.Backoff > 0 {
+			if !sleepOrCancel(opt.Backoff<<uint(attempt), opt.Cancel) {
+				return err
+			}
+		}
+	}
+}
+
+// runAttempt runs one attempt under the watchdog (if armed).
+func runAttempt(i, attempt int, opt RunOptions, fn func(i int) error) error {
+	if opt.Timeout <= 0 {
+		return capture(i, fn)
+	}
+	done := make(chan error, 1)
+	go func() { done <- capture(i, fn) }()
+	timer := time.NewTimer(opt.Timeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		// The attempt goroutine is abandoned; its buffered send cannot
+		// block and its result is discarded.
+		return &TimeoutError{Index: i, Attempt: attempt, Timeout: opt.Timeout}
+	}
+}
+
+// capture converts a panic in fn into a *PanicError.
+func capture(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+func canceled(c <-chan struct{}) bool {
+	if c == nil {
+		return false
+	}
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleepOrCancel sleeps d, returning false if cancel fired first.
+func sleepOrCancel(d time.Duration, cancel <-chan struct{}) bool {
+	if cancel == nil {
+		time.Sleep(d)
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-cancel:
+		return false
+	}
+}
+
+// ForEachErr runs fn(i) for i in [0, n) on up to workers goroutines and
+// returns the per-index errors (nil entries for successes). It is the
+// error-aware ForEach: callers that used to swallow failures inside fn get
+// them back in index order. Panics in fn are captured as *PanicError
+// rather than crashing the pool.
+func ForEachErr(n, workers int, fn func(i int) error) []error {
+	return RunCells(n, RunOptions{Workers: workers}, fn)
+}
+
+// FirstError returns the lowest-index non-nil error, or nil.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

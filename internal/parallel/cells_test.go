@@ -1,0 +1,157 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachErrCollectsInOrder(t *testing.T) {
+	errs := ForEachErr(10, 4, func(i int) error {
+		if i%3 == 0 {
+			return fmt.Errorf("cell %d", i)
+		}
+		return nil
+	})
+	if len(errs) != 10 {
+		t.Fatalf("%d errors, want 10", len(errs))
+	}
+	for i, err := range errs {
+		if (i%3 == 0) != (err != nil) {
+			t.Errorf("cell %d: err = %v", i, err)
+		}
+		if err != nil && err.Error() != fmt.Sprintf("cell %d", i) {
+			t.Errorf("cell %d: wrong error %v", i, err)
+		}
+	}
+}
+
+func TestRunCellsCapturesPanics(t *testing.T) {
+	errs := RunCells(5, RunOptions{Workers: 2}, func(i int) error {
+		if i == 3 {
+			panic("copies: injected failure")
+		}
+		return nil
+	})
+	for i, err := range errs {
+		if i != 3 {
+			if err != nil {
+				t.Errorf("cell %d: unexpected error %v", i, err)
+			}
+			continue
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("cell 3: error %v is not a PanicError", err)
+		}
+		if pe.Index != 3 || pe.Value != "copies: injected failure" || len(pe.Stack) == 0 {
+			t.Fatalf("cell 3: bad PanicError %+v", pe)
+		}
+	}
+}
+
+func TestRunCellsWatchdog(t *testing.T) {
+	hang := make(chan struct{})
+	defer close(hang)
+	errs := RunCells(4, RunOptions{Workers: 4, Timeout: 20 * time.Millisecond}, func(i int) error {
+		if i == 1 {
+			<-hang
+		}
+		return nil
+	})
+	var te *TimeoutError
+	if !errors.As(errs[1], &te) {
+		t.Fatalf("cell 1: error %v is not a TimeoutError", errs[1])
+	}
+	if te.Index != 1 || te.Timeout != 20*time.Millisecond {
+		t.Fatalf("bad TimeoutError %+v", te)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if errs[i] != nil {
+			t.Errorf("cell %d: unexpected error %v", i, errs[i])
+		}
+	}
+}
+
+func TestRunCellsRetriesTransientFailures(t *testing.T) {
+	var attempts [3]atomic.Int32
+	errs := RunCells(3, RunOptions{Workers: 3, Retries: 2, Backoff: time.Millisecond}, func(i int) error {
+		if attempts[i].Add(1) <= 2 && i == 1 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatalf("unexpected error after retries: %v", err)
+	}
+	if got := attempts[1].Load(); got != 3 {
+		t.Fatalf("cell 1 attempted %d times, want 3", got)
+	}
+	if got := attempts[0].Load(); got != 1 {
+		t.Fatalf("cell 0 attempted %d times, want 1", got)
+	}
+}
+
+func TestRunCellsRetriesExhaust(t *testing.T) {
+	var n atomic.Int32
+	errs := RunCells(1, RunOptions{Retries: 2, Backoff: time.Microsecond}, func(i int) error {
+		n.Add(1)
+		return errors.New("always")
+	})
+	if errs[0] == nil || errs[0].Error() != "always" {
+		t.Fatalf("err = %v", errs[0])
+	}
+	if n.Load() != 3 {
+		t.Fatalf("attempted %d times, want 3 (1 + 2 retries)", n.Load())
+	}
+}
+
+func TestRunCellsCancelDrains(t *testing.T) {
+	cancel := make(chan struct{})
+	started := make(chan int, 64)
+	errs := RunCells(64, RunOptions{Workers: 2, Cancel: cancel}, func(i int) error {
+		started <- i
+		if len(started) == 4 {
+			close(cancel)
+		}
+		return nil
+	})
+	var done, skipped int
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			done++
+		case errors.Is(err, ErrCanceled):
+			skipped++
+		default:
+			t.Fatalf("cell %d: unexpected error %v", i, err)
+		}
+	}
+	if done+skipped != 64 {
+		t.Fatalf("done %d + skipped %d != 64", done, skipped)
+	}
+	if skipped == 0 {
+		t.Fatal("cancel skipped nothing; expected most cells canceled")
+	}
+}
+
+func TestRunCellsZeroAndNegative(t *testing.T) {
+	if errs := RunCells(0, RunOptions{}, func(int) error { return errors.New("no") }); len(errs) != 0 {
+		t.Fatalf("n=0 returned %d errors", len(errs))
+	}
+	if errs := RunCells(-3, RunOptions{}, nil); len(errs) != 0 {
+		t.Fatalf("n<0 returned %d errors", len(errs))
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	if err := FirstError([]error{nil, nil}); err != nil {
+		t.Fatalf("FirstError of nils = %v", err)
+	}
+	e := errors.New("x")
+	if err := FirstError([]error{nil, e, errors.New("y")}); err != e {
+		t.Fatalf("FirstError = %v, want %v", err, e)
+	}
+}

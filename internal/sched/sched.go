@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"partalloc/internal/core"
+	"partalloc/internal/fault"
 	"partalloc/internal/invariant"
 	"partalloc/internal/mathx"
 	"partalloc/internal/task"
@@ -61,6 +62,11 @@ type Result struct {
 	MaxSlowdown  float64
 	MaxLoad      int
 	Realloc      core.ReallocStats
+	// FaultEvents is the number of fault events applied during the run.
+	FaultEvents int
+	// Forced accounts forced migrations caused by PE failures, separate
+	// from the voluntary reallocation budget in Realloc.
+	Forced core.ForcedStats
 }
 
 // Workload is a set of jobs ordered by arrival time.
@@ -174,6 +180,18 @@ func Run(a core.Allocator, w Workload) Result {
 // RunChecked is Run with an explicit invariant checker auditing the
 // allocator at every arrival and completion. check may be nil.
 func RunChecked(a core.Allocator, w Workload, check *invariant.Checker) Result {
+	return RunFaulted(a, w, check, nil)
+}
+
+// RunFaulted is RunChecked with PE-failure injection. Fault events for
+// index i fire immediately before the i-th processed event (arrivals and
+// completions both count), matching internal/sim's event-indexed
+// semantics — in wall-clock terms the failure lands at the instant the
+// previous event finished. Jobs whose submachine loses a PE are forcibly
+// migrated by the allocator (which must implement core.FaultTolerant;
+// RunFaulted panics otherwise) and keep executing at their new
+// placement's rate. faults may be nil.
+func RunFaulted(a core.Allocator, w Workload, check *invariant.Checker, faults fault.Source) Result {
 	m := a.Machine()
 	n := m.N()
 	if err := w.Validate(n); err != nil {
@@ -181,9 +199,18 @@ func RunChecked(a core.Allocator, w Workload, check *invariant.Checker) Result {
 	}
 	res := Result{Algorithm: a.Name(), N: n}
 
+	var ft core.FaultTolerant
+	if faults != nil {
+		var ok bool
+		if ft, ok = a.(core.FaultTolerant); !ok {
+			panic(fmt.Sprintf("sched: allocator %s does not support fault injection", a.Name()))
+		}
+	}
+
 	active := make(map[task.ID]*activeJob)
 	now := 0.0
 	next := 0 // next arrival index
+	events := 0
 
 	// recomputeRates refreshes every active job's progress rate from the
 	// allocator's current PE loads; rate = 1 / (max load in the job's
@@ -239,6 +266,31 @@ func RunChecked(a core.Allocator, w Workload, check *invariant.Checker) Result {
 	}
 
 	for next < len(w.Jobs) || len(active) > 0 {
+		if ft != nil {
+			applied := false
+			for _, fe := range faults.Next(events, a) {
+				switch fe.Kind {
+				case fault.FailPE:
+					ft.FailPE(fe.PE)
+					check.OnFail(a, fe.PE)
+				case fault.RecoverPE:
+					ft.RecoverPE(fe.PE)
+					check.OnRecover(a, fe.PE)
+				default:
+					panic(fmt.Sprintf("sched: unknown fault kind %d before event %d", fe.Kind, events))
+				}
+				res.FaultEvents++
+				applied = true
+				if l := a.MaxLoad(); l > res.MaxLoad {
+					res.MaxLoad = l
+				}
+			}
+			if applied {
+				// Forced migrations moved jobs and changed loads; every
+				// in-flight job's rate must reflect its new placement.
+				recomputeRates()
+			}
+		}
 		// Projected next completion under current rates.
 		var soonest *activeJob
 		soonestAt := math.Inf(1)
@@ -274,6 +326,7 @@ func RunChecked(a core.Allocator, w Workload, check *invariant.Checker) Result {
 		}
 		// Any event changes loads (and reallocation may move everything),
 		// so refresh every rate.
+		events++
 		recomputeRates()
 	}
 
@@ -281,6 +334,9 @@ func RunChecked(a core.Allocator, w Workload, check *invariant.Checker) Result {
 	summarize(&res)
 	if r, ok := a.(core.Reallocator); ok {
 		res.Realloc = r.ReallocStats()
+	}
+	if ft != nil {
+		res.Forced = ft.ForcedStats()
 	}
 	return res
 }

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"partalloc/internal/core"
+	"partalloc/internal/fault"
+	"partalloc/internal/invariant"
+	"partalloc/internal/tree"
+	"partalloc/internal/workload"
+)
+
+func TestRunWithFaultScheduleIsAuditedAndDeterministic(t *testing.T) {
+	// MaxExp 3 (tasks ≤ 8 = N/4) with MaxConcurrent 2 guarantees a healthy
+	// submachine of every size always exists; larger tasks could hit
+	// legitimate capacity exhaustion (a documented panic, tested in core).
+	seq := workload.Saturation(workload.SaturationConfig{N: 32, MaxExp: 3, Events: 800, Seed: 7, Churn: 0.3})
+	sched := fault.Random(fault.RandomConfig{
+		N: 32, Events: len(seq.Events), Failures: 6, Down: 80, MaxConcurrent: 2, Seed: 7,
+	})
+	factories := []core.Factory{
+		core.GreedyFactory(),
+		core.BasicFactory(),
+		core.ConstantFactory(),
+		core.PeriodicFactory(2),
+		core.LazyFactory(2),
+	}
+	for _, f := range factories {
+		run := func() (Result, *invariant.Checker) {
+			m := tree.MustNew(32)
+			check := invariant.New(m)
+			return Run(f.New(m), seq, Options{Checker: check, Faults: sched.Source()}), check
+		}
+		r1, c1 := run()
+		if err := c1.Err(); err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if r1.FaultEvents == 0 {
+			t.Fatalf("%s: no fault events applied (schedule has %d)", f.Name, len(sched.Events))
+		}
+		if r1.Forced.Failures == 0 {
+			t.Fatalf("%s: forced stats empty: %+v", f.Name, r1.Forced)
+		}
+		r2, _ := run()
+		if r1.MaxLoad != r2.MaxLoad || r1.FinalLoad != r2.FinalLoad ||
+			r1.Realloc != r2.Realloc || r1.Forced != r2.Forced ||
+			r1.FaultEvents != r2.FaultEvents || r1.Ratio != r2.Ratio {
+			t.Fatalf("%s: fault replay diverged:\n%+v\n%+v", f.Name, r1, r2)
+		}
+	}
+}
+
+func TestRunSeriesRecordsFailedPEs(t *testing.T) {
+	seq := workload.Saturation(workload.SaturationConfig{N: 8, Events: 100, Seed: 1, Churn: 0.3})
+	s := fault.Schedule{Events: []fault.Event{
+		{At: 10, Kind: fault.FailPE, PE: 3},
+		{At: 60, Kind: fault.RecoverPE, PE: 3},
+	}}
+	if err := s.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	m := tree.MustNew(8)
+	res := Run(core.NewGreedy(m), seq, Options{RecordSeries: true, Paranoid: true, Faults: s.Source()})
+	if res.FaultEvents != 2 {
+		t.Fatalf("FaultEvents = %d, want 2", res.FaultEvents)
+	}
+	for _, x := range res.Series.Samples {
+		want := 0
+		if x.EventIndex >= 10 && x.EventIndex < 60 {
+			want = 1
+		}
+		if x.FailedPEs != want {
+			t.Fatalf("event %d: FailedPEs = %d, want %d", x.EventIndex, x.FailedPEs, want)
+		}
+	}
+}
+
+func TestRunFaultsRejectUnsupportedAllocator(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic for a fault-oblivious allocator")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "does not support fault injection") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	m := tree.MustNew(8)
+	s := fault.Schedule{Events: []fault.Event{{At: 0, Kind: fault.FailPE, PE: 0}}}
+	seq := workload.Saturation(workload.SaturationConfig{N: 8, Events: 2, Seed: 1})
+	Run(core.NewRandom(m, 1), seq, Options{Faults: s.Source()})
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"partalloc/internal/core"
+	"partalloc/internal/fault"
 	"partalloc/internal/invariant"
 	"partalloc/internal/mathx"
 	"partalloc/internal/metrics"
@@ -36,6 +37,11 @@ type Options struct {
 	// reallocation budget — see internal/invariant). Violations are
 	// recorded on the checker; read them with Checker.Err after Run.
 	Checker *invariant.Checker
+	// Faults, when non-nil, injects PE failures: immediately before
+	// processing event i the source's events for i are applied through the
+	// allocator's core.FaultTolerant interface (Run panics if the
+	// allocator lacks it). See internal/fault.
+	Faults fault.Source
 }
 
 // Result summarizes one run.
@@ -58,6 +64,11 @@ type Result struct {
 	PeakRatio float64
 	// Realloc is populated when the allocator reallocates.
 	Realloc core.ReallocStats
+	// FaultEvents is the number of fault events applied during the run.
+	FaultEvents int
+	// Forced accounts the forced migrations failures caused, separately
+	// from the voluntary d-reallocation budget in Realloc.
+	Forced core.ForcedStats
 	// Series is populated when Options.RecordSeries is set.
 	Series *metrics.Series
 	// Slowdowns is populated when Options.TrackSlowdowns is set: the
@@ -86,9 +97,40 @@ func Run(a core.Allocator, seq task.Sequence, opt Options) Result {
 		check.SetPanic(true)
 	}
 
+	var ft core.FaultTolerant
+	if opt.Faults != nil {
+		var ok bool
+		if ft, ok = a.(core.FaultTolerant); !ok {
+			panic(fmt.Sprintf("sim: allocator %s does not support fault injection", a.Name()))
+		}
+	}
+
 	var activeSize, maxActiveSize int64
 	peakRatio := 0.0
+	failedNow := 0
 	for i, e := range seq.Events {
+		if ft != nil {
+			for _, fe := range opt.Faults.Next(i, a) {
+				switch fe.Kind {
+				case fault.FailPE:
+					ft.FailPE(fe.PE)
+					check.OnFail(a, fe.PE)
+					failedNow++
+				case fault.RecoverPE:
+					ft.RecoverPE(fe.PE)
+					check.OnRecover(a, fe.PE)
+					failedNow--
+				default:
+					panic(fmt.Sprintf("sim: unknown fault kind %d before event %d", fe.Kind, i))
+				}
+				res.FaultEvents++
+				// Forced migrations can concentrate load between samples;
+				// observe the post-fault peak so MaxLoad never misses it.
+				if load := a.MaxLoad(); load > res.MaxLoad {
+					res.MaxLoad = load
+				}
+			}
+		}
 		switch e.Kind {
 		case task.Arrive:
 			t := task.Task{ID: e.Task, Size: e.Size}
@@ -138,6 +180,7 @@ func Run(a core.Allocator, seq task.Sequence, opt Options) Result {
 				MaxLoad:      load,
 				ActiveSize:   activeSize,
 				RunningLStar: runningLStar,
+				FailedPEs:    failedNow,
 			})
 		}
 	}
@@ -153,6 +196,9 @@ func Run(a core.Allocator, seq task.Sequence, opt Options) Result {
 	res.PeakRatio = peakRatio
 	if r, ok := a.(core.Reallocator); ok {
 		res.Realloc = r.ReallocStats()
+	}
+	if ft != nil {
+		res.Forced = ft.ForcedStats()
 	}
 	res.Series = series
 	if slow != nil {
