@@ -33,8 +33,17 @@ lint:
 	go build -o /tmp/partlint ./cmd/partlint
 	go vet -vettool=/tmp/partlint ./...
 
+# Micro-benchmarks (batched vs serial apply, engine replay) plus the
+# engined load driver, which refreshes the committed benchmark ledger.
 bench:
-	go test -bench=. -benchmem ./...
+	go test -bench=. -benchmem ./internal/core/ ./internal/engine/
+	go run ./cmd/engined -out BENCH_3.json
+
+# Engine benchmark smoke for CI: a -race engined run on a small fleet,
+# plus the engine-level batched-vs-serial equivalence gate.
+bench-smoke:
+	go run -race ./cmd/engined -quick -out /dev/null
+	go test -run 'TestReplayMatchesSerialSimulate|TestSubmitMatchesReplay' -count=1 ./internal/engine/
 
 # Regenerate every experiment artifact (E1–E14) at paper scale.
 experiments:

@@ -1,0 +1,270 @@
+// Command engined is the allocation engine's load driver: it replays
+// synthetic multi-tenant Poisson workloads through partalloc.Engine's
+// batched, sharded ingestion path and through the serial Simulate
+// baseline, and emits a benchmark ledger (BENCH_3.json) with ops/sec,
+// p50/p99 batch apply latency, and max-load/L* per algorithm.
+//
+// Usage:
+//
+//	engined [-tenants 8] [-arrivals 10000] [-n 1024] [-batch 4096]
+//	        [-shards 0] [-algo A_Rand] [-seed 1] [-quick] [-out file.json]
+//
+// The headline fleet measures ingestion throughput with the oblivious
+// A_Rand allocator (the paper's cheapest placement rule), where engine
+// overhead is most visible; the per-algorithm section re-runs smaller
+// fleets for A_B, A_M(4), A_M-lazy(4) and A_Rand so the ledger also
+// records how reallocation-heavy algorithms behave under batching (their
+// placement cost dominates, so their speedup is honest and small).
+// SIGINT (or a cancelled context) drains the batches in flight and exits
+// 130, like every other runner in this repo.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"partalloc"
+	"partalloc/internal/cli"
+	"partalloc/internal/engine"
+)
+
+// modeResult is one measured ingestion pass.
+type modeResult struct {
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	WallNs     int64   `json:"wall_ns"`
+	P50ApplyNs int64   `json:"p50_apply_ns,omitempty"`
+	P99ApplyNs int64   `json:"p99_apply_ns,omitempty"`
+}
+
+// algoResult is one per-algorithm fleet comparison.
+type algoResult struct {
+	Algo            string     `json:"algo"`
+	N               int        `json:"n"`
+	Tenants         int        `json:"tenants"`
+	EventsPerTenant int        `json:"events_per_tenant"`
+	Batch           int        `json:"batch"`
+	MaxLoad         int        `json:"max_load"`
+	LStar           int        `json:"lstar"`
+	Engine          modeResult `json:"engine"`
+	Serial          modeResult `json:"serial"`
+	Speedup         float64    `json:"speedup"`
+}
+
+// report is the BENCH_3.json schema.
+type report struct {
+	Bench        string       `json:"bench"`
+	GeneratedBy  string       `json:"generated_by"`
+	GOMAXPROCS   int          `json:"gomaxprocs"`
+	Algo         string       `json:"algo"`
+	Tenants      int          `json:"tenants"`
+	EventsTotal  int64        `json:"events_total"`
+	N            int          `json:"n"`
+	Batch        int          `json:"batch"`
+	Shards       int          `json:"shards"`
+	Engine       modeResult   `json:"engine"`
+	Serial       modeResult   `json:"serial"`
+	Speedup      float64      `json:"speedup"`
+	PerAlgorithm []algoResult `json:"per_algorithm,omitempty"`
+}
+
+// fleetSpec describes one homogeneous tenant fleet.
+type fleetSpec struct {
+	algo     partalloc.Algorithm
+	n        int
+	tenants  int
+	arrivals int
+	seed     int64
+	batch    int // 0 = the -batch flag
+}
+
+// opts returns the per-tenant option list for the spec's algorithm.
+func (f fleetSpec) opts(i int) []partalloc.Option {
+	switch f.algo {
+	case partalloc.AlgoPeriodic, partalloc.AlgoLazy:
+		return []partalloc.Option{partalloc.WithD(4)}
+	case partalloc.AlgoRandom, partalloc.AlgoTwoChoice, partalloc.AlgoGreedyRandomTie:
+		return []partalloc.Option{partalloc.WithSeed(f.seed + int64(i))}
+	}
+	return nil
+}
+
+// streams generates one Poisson stream per tenant.
+func (f fleetSpec) streams() (map[string][]partalloc.Event, int64) {
+	out := make(map[string][]partalloc.Event, f.tenants)
+	var total int64
+	for i := 0; i < f.tenants; i++ {
+		seq := partalloc.PoissonWorkload(partalloc.WorkloadConfig{
+			N: f.n, Arrivals: f.arrivals, Seed: f.seed + int64(i),
+		})
+		out[tenantID(i)] = seq.Events
+		total += int64(len(seq.Events))
+	}
+	return out, total
+}
+
+func tenantID(i int) string { return fmt.Sprintf("tenant-%02d", i) }
+
+func main() {
+	tenants := flag.Int("tenants", 8, "number of tenants in the headline fleet")
+	arrivals := flag.Int("arrivals", 10000, "Poisson arrivals per tenant (total events is roughly double)")
+	n := flag.Int("n", 1024, "machine size per tenant (power of two)")
+	batch := flag.Int("batch", 4096, "engine ingestion batch size")
+	shards := flag.Int("shards", 0, "engine shard count (0 = auto)")
+	algoName := flag.String("algo", "A_Rand", "headline fleet algorithm")
+	seed := flag.Int64("seed", 1, "base workload seed")
+	quick := flag.Bool("quick", false, "small fleet, skip the per-algorithm section (CI smoke)")
+	out := flag.String("out", "", "write the JSON ledger here (default stdout)")
+	flag.Parse()
+
+	algo, err := partalloc.ParseAlgorithm(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	if *tenants < 1 || *arrivals < 1 {
+		fatal(fmt.Errorf("need at least 1 tenant and 1 arrival"))
+	}
+	if *quick {
+		*arrivals = 600
+		*n = 64
+		*batch = 256
+	}
+
+	ctx, stop := cli.WithInterrupt(context.Background(), func() {
+		fmt.Fprintln(os.Stderr, "engined: interrupt — draining in-flight batches")
+	})
+	defer stop()
+
+	head := fleetSpec{algo: algo, n: *n, tenants: *tenants, arrivals: *arrivals, seed: *seed}
+	rep := report{
+		Bench:       "engine-replay",
+		GeneratedBy: "cmd/engined",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Algo:        algo.String(),
+		Tenants:     *tenants,
+		N:           *n,
+		Batch:       *batch,
+		Shards:      *shards,
+	}
+
+	res, err := runFleet(ctx, head, *batch, *shards)
+	if err != nil {
+		fail(err)
+	}
+	rep.EventsTotal = int64(res.EventsPerTenant) * int64(*tenants)
+	rep.Engine, rep.Serial, rep.Speedup = res.Engine, res.Serial, res.Speedup
+
+	if !*quick {
+		// The realloc-heavy fleets use smaller batches: their streams are
+		// short (placement cost, not ingestion, dominates them) and the
+		// peak-load sample is taken at batch boundaries.
+		for _, spec := range []fleetSpec{
+			{algo: partalloc.AlgoBasic, n: 256, tenants: 8, arrivals: 6000, seed: *seed, batch: 256},
+			{algo: partalloc.AlgoPeriodic, n: 256, tenants: 8, arrivals: 1500, seed: *seed, batch: 256},
+			{algo: partalloc.AlgoLazy, n: 256, tenants: 8, arrivals: 1500, seed: *seed, batch: 256},
+			{algo: partalloc.AlgoRandom, n: 1024, tenants: 8, arrivals: 6000, seed: *seed},
+		} {
+			res, err := runFleet(ctx, spec, *batch, *shards)
+			if err != nil {
+				fail(err)
+			}
+			rep.PerAlgorithm = append(rep.PerAlgorithm, res)
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "engined: %s ×%d tenants, %d events: engine %.2gM ev/s, serial %.2gM ev/s, speedup %.2f×\n",
+		rep.Algo, rep.Tenants, rep.EventsTotal, rep.Engine.OpsPerSec/1e6, rep.Serial.OpsPerSec/1e6, rep.Speedup)
+}
+
+// runFleet measures one fleet through both ingestion paths.
+func runFleet(ctx context.Context, spec fleetSpec, batch, shards int) (algoResult, error) {
+	if spec.batch > 0 {
+		batch = spec.batch
+	}
+	streams, total := spec.streams()
+
+	eng := partalloc.NewEngine(partalloc.EngineConfig{Shards: shards, BatchSize: batch})
+	m := partalloc.MustNewMachine(spec.n)
+	for i := 0; i < spec.tenants; i++ {
+		if err := eng.AddTenant(tenantID(i), spec.algo, m, spec.opts(i)...); err != nil {
+			return algoResult{}, err
+		}
+	}
+	start := time.Now()
+	if err := eng.Replay(ctx, streams); err != nil {
+		return algoResult{}, err
+	}
+	engWall := time.Since(start)
+
+	res := algoResult{
+		Algo:            spec.algo.String(),
+		N:               spec.n,
+		Tenants:         spec.tenants,
+		EventsPerTenant: int(total) / spec.tenants,
+		Batch:           batch,
+	}
+	var batchNs []int64
+	for _, st := range eng.Stats() {
+		batchNs = append(batchNs, st.BatchNs...)
+		if st.PeakLoad > res.MaxLoad {
+			res.MaxLoad = st.PeakLoad
+		}
+		if st.LStar > res.LStar {
+			res.LStar = st.LStar
+		}
+	}
+	res.Engine = modeResult{
+		OpsPerSec:  float64(total) / engWall.Seconds(),
+		WallNs:     engWall.Nanoseconds(),
+		P50ApplyNs: engine.Quantile(batchNs, 0.50),
+		P99ApplyNs: engine.Quantile(batchNs, 0.99),
+	}
+
+	// Serial baseline: one Simulate per tenant, sequentially, exactly as
+	// a pre-engine caller would drive the same fleet.
+	start = time.Now()
+	for i := 0; i < spec.tenants; i++ {
+		a := partalloc.MustNew(spec.algo, m, spec.opts(i)...)
+		if _, err := partalloc.SimulateContext(ctx, a,
+			partalloc.Sequence{Events: streams[tenantID(i)]}, partalloc.SimOptions{}); err != nil {
+			return algoResult{}, err
+		}
+	}
+	serWall := time.Since(start)
+	res.Serial = modeResult{
+		OpsPerSec: float64(total) / serWall.Seconds(),
+		WallNs:    serWall.Nanoseconds(),
+	}
+	res.Speedup = res.Engine.OpsPerSec / res.Serial.OpsPerSec
+	return res, nil
+}
+
+// fail distinguishes cancellation (exit 130, the runner convention) from
+// real errors.
+func fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "engined: interrupted")
+		os.Exit(130)
+	}
+	fatal(err)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "engined:", err)
+	os.Exit(1)
+}

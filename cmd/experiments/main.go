@@ -19,10 +19,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"runtime/debug"
 	"strings"
 
@@ -85,9 +85,10 @@ func main() {
 		}
 	}
 
-	// SIGINT: finish the experiment in flight, checkpoint, exit 130.
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, os.Interrupt)
+	// Cancellation: finish the experiment in flight, checkpoint, exit 130.
+	// SIGINT and a cancelled context take the same path (cli.WithInterrupt).
+	ctx, stop := cli.WithInterrupt(context.Background(), nil)
+	defer stop()
 
 	save := func() {
 		if *checkpoint == "" {
@@ -114,7 +115,7 @@ func main() {
 		}
 		save()
 		select {
-		case <-sigCh:
+		case <-ctx.Done():
 			remaining := len(ids) - i - 1
 			fmt.Fprintf(os.Stderr, "experiments: interrupted with %d experiment(s) remaining", remaining)
 			if *checkpoint != "" {
@@ -125,7 +126,6 @@ func main() {
 		default:
 		}
 	}
-	signal.Stop(sigCh)
 
 	// E1 is the canonical regression gate: fail loudly if it drifts.
 	for _, id := range ids {

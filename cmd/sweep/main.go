@@ -22,11 +22,11 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
@@ -142,19 +142,14 @@ func run(p params) error {
 		}
 	}
 
-	// SIGINT: stop claiming cells, let in-flight ones drain, checkpoint,
-	// exit 130. A second SIGINT falls through to the default handler.
-	cancel := make(chan struct{})
-	var cancelOnce sync.Once
-	stop := func() { cancelOnce.Do(func() { close(cancel) }) }
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, os.Interrupt)
-	go func() {
-		<-sigCh
+	// Cancellation: stop claiming cells, let in-flight ones drain,
+	// checkpoint, exit 130. SIGINT and a cancelled context take the same
+	// path (cli.WithInterrupt); a second SIGINT falls through to the
+	// default handler.
+	ctx, stop := cli.WithInterrupt(context.Background(), func() {
 		fmt.Fprintln(os.Stderr, "sweep: interrupt — draining in-flight cells")
-		stop()
-		signal.Stop(sigCh)
-	}()
+	})
+	defer stop()
 
 	var mu sync.Mutex
 	completed := 0
@@ -171,7 +166,7 @@ func run(p params) error {
 		return cli.SaveCheckpoint(p.checkpoint, fingerprint, entries)
 	}
 
-	errs := parallel.RunCells(len(pending), parallel.RunOptions{Workers: p.workers, Cancel: cancel}, func(k int) error {
+	errs := parallel.RunCells(len(pending), parallel.RunOptions{Workers: p.workers, Cancel: ctx.Done()}, func(k int) error {
 		i := pending[k]
 		if i == p.panicCell {
 			panic(fmt.Sprintf("sweep: injected panic in cell %d (-panic-cell)", i))
@@ -189,7 +184,6 @@ func run(p params) error {
 		}
 		return saveLocked()
 	})
-	signal.Stop(sigCh)
 
 	interrupted := false
 	var failures []string

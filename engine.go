@@ -1,0 +1,104 @@
+package partalloc
+
+import (
+	"context"
+
+	"partalloc/internal/engine"
+	"partalloc/internal/task"
+)
+
+// Event is one task arrival or departure in a tenant's stream; Sequence
+// bundles an ordered slice of them.
+type Event = task.Event
+
+// Event kinds for building streams by hand; generated workloads
+// (PoissonWorkload) produce them already ordered.
+const (
+	// EventArrive is a task-arrival event.
+	EventArrive = task.Arrive
+	// EventDepart is a task-departure event.
+	EventDepart = task.Depart
+)
+
+// EngineConfig parameterizes NewEngine; the zero value selects the
+// defaults (min(GOMAXPROCS, 8) shards, 256-event batches, no audit).
+type EngineConfig = engine.Config
+
+// EngineTenantStats is a point-in-time ledger snapshot for one tenant:
+// applied events, batch apply latencies, current and peak max-load, the
+// running optimal bound L*, and reallocation counters.
+type EngineTenantStats = engine.TenantStats
+
+// Engine sentinel errors, recognizable with errors.Is. Allocator-side
+// sentinels (ErrMachineFull, ErrDuplicateTask, ...) appear on the same
+// chains when an apply fails.
+var (
+	// ErrUnknownTenant reports an operation on an unregistered tenant.
+	ErrUnknownTenant = engine.ErrUnknownTenant
+	// ErrDuplicateTenant reports AddTenant on an existing tenant ID.
+	ErrDuplicateTenant = engine.ErrDuplicateTenant
+	// ErrTenantPoisoned reports an operation on a tenant whose allocator
+	// already failed; the chain includes the original cause.
+	ErrTenantPoisoned = engine.ErrTenantPoisoned
+)
+
+// Engine multiplexes many independent tenant machines behind one
+// concurrent ingestion API: tenants are hash-partitioned across
+// lock-striped shards, events are applied in batches through the
+// allocators' batch fast path, and Replay fans out one worker per shard.
+// Allocator panics (capacity exhaustion under faults, stream misuse) are
+// converted into returned errors that poison the offending tenant and
+// leave the rest of the fleet running; see docs/ENGINE.md.
+type Engine struct {
+	eng *engine.Engine
+}
+
+// NewEngine builds an engine from cfg (zero value = defaults).
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{eng: engine.New(cfg)}
+}
+
+// AddTenant registers a tenant backed by a fresh allocator built exactly
+// as New(algo, m, opts...) would, including WithFaults schedules, which
+// the engine injects at the event indexes of the tenant's own stream.
+func (e *Engine) AddTenant(id string, algo Algorithm, m *Machine, opts ...Option) error {
+	a, err := New(algo, m, opts...)
+	if err != nil {
+		return err
+	}
+	ua, sched := unwrapFaults(a)
+	return e.eng.AddTenant(id, ua, sched)
+}
+
+// Submit queues events for a tenant, applying a batch whenever the
+// queue reaches the configured batch size.
+func (e *Engine) Submit(id string, evs ...Event) error {
+	return e.eng.Submit(id, evs...)
+}
+
+// Flush applies a tenant's queued events immediately.
+func (e *Engine) Flush(id string) error { return e.eng.Flush(id) }
+
+// FlushAll flushes every tenant and returns the first error.
+func (e *Engine) FlushAll() error { return e.eng.FlushAll() }
+
+// Replay feeds each tenant its stream in batches, one parallel worker
+// per shard. Cancelling ctx drains the batches in flight and returns
+// ctx.Err(), like every other context-aware entry point.
+func (e *Engine) Replay(ctx context.Context, streams map[string][]Event) error {
+	return e.eng.Replay(ctx, streams)
+}
+
+// Tenants returns all tenant IDs in sorted order.
+func (e *Engine) Tenants() []string { return e.eng.Tenants() }
+
+// TenantStats snapshots one tenant's ledger.
+func (e *Engine) TenantStats(id string) (EngineTenantStats, error) {
+	return e.eng.TenantStats(id)
+}
+
+// Stats snapshots every tenant's ledger in sorted ID order.
+func (e *Engine) Stats() []EngineTenantStats { return e.eng.Stats() }
+
+// Err returns the tenant's poisoning error (nil while healthy).
+func (e *Engine) Err(id string) error { return e.eng.Err(id) }

@@ -1,0 +1,21 @@
+package partalloc
+
+import "partalloc/internal/errs"
+
+// Typed sentinel errors surfaced by the facade. The model packages wrap
+// them with fmt.Errorf("...: %w", ...), so errors.Is works through every
+// layer: machine construction (NewMachine), sequence validation
+// (Sequence.Validate), allocator construction (New), and the engine's
+// ingest/fault paths (Engine).
+var (
+	// ErrNotPowerOfTwo reports a machine or task size that is not a power
+	// of two.
+	ErrNotPowerOfTwo = errs.ErrNotPowerOfTwo
+	// ErrTaskTooLarge reports a task larger than the machine.
+	ErrTaskTooLarge = errs.ErrTaskTooLarge
+	// ErrDuplicateTask reports an arrival for an already-active task ID.
+	ErrDuplicateTask = errs.ErrDuplicateTask
+	// ErrMachineFull reports that no healthy submachine of the requested
+	// size exists (every candidate covers a failed PE).
+	ErrMachineFull = errs.ErrMachineFull
+)

@@ -1,6 +1,7 @@
 package partalloc_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -8,6 +9,93 @@ import (
 )
 
 // Error-path coverage for the public surface.
+
+// loadSeqErr loads a JSON trace expected to fail validation and returns
+// the error.
+func loadSeqErr(t *testing.T, body string) error {
+	t.Helper()
+	_, _, _, err := partalloc.LoadSequence(strings.NewReader(body))
+	if err == nil {
+		t.Fatalf("sequence %q accepted", body)
+	}
+	return err
+}
+
+// TestSentinelErrorsViaErrorsIs checks that every typed sentinel survives
+// the wrapping layers between the model packages and the public surface.
+func TestSentinelErrorsViaErrorsIs(t *testing.T) {
+	// ErrNotPowerOfTwo from machine construction.
+	if _, err := partalloc.NewMachine(12); !errors.Is(err, partalloc.ErrNotPowerOfTwo) {
+		t.Errorf("NewMachine(12): %v is not ErrNotPowerOfTwo", err)
+	}
+	// ErrNotPowerOfTwo from sequence validation (task size 3).
+	err := loadSeqErr(t, `{"format":1,"n":8,"events":[{"kind":"arrive","task":1,"size":3}]}`)
+	if !errors.Is(err, partalloc.ErrNotPowerOfTwo) {
+		t.Errorf("size-3 task: %v is not ErrNotPowerOfTwo", err)
+	}
+	// ErrTaskTooLarge from sequence validation.
+	err = loadSeqErr(t, `{"format":1,"n":4,"events":[{"kind":"arrive","task":1,"size":8}]}`)
+	if !errors.Is(err, partalloc.ErrTaskTooLarge) {
+		t.Errorf("oversized task: %v is not ErrTaskTooLarge", err)
+	}
+	// ErrDuplicateTask from sequence validation.
+	err = loadSeqErr(t, `{"format":1,"n":4,"events":[{"kind":"arrive","task":1,"size":2},{"kind":"arrive","task":1,"size":2}]}`)
+	if !errors.Is(err, partalloc.ErrDuplicateTask) {
+		t.Errorf("duplicate arrival: %v is not ErrDuplicateTask", err)
+	}
+}
+
+// TestSentinelErrorsFromAllocatorPanics checks the allocator-side wrapping:
+// misuse panics carry error values that errors.Is recognizes. (The Engine
+// converts these panics into returned errors; see internal/engine.)
+func TestSentinelErrorsFromAllocatorPanics(t *testing.T) {
+	recoverIs := func(t *testing.T, want error, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("no panic")
+			}
+			err, ok := r.(error)
+			if !ok || !errors.Is(err, want) {
+				t.Fatalf("panic %v is not %v", r, want)
+			}
+		}()
+		f()
+	}
+
+	m := partalloc.MustNewMachine(8)
+	t.Run("duplicate", func(t *testing.T) {
+		a := partalloc.MustNew(partalloc.AlgoGreedy, m)
+		a.Arrive(partalloc.Task{ID: 1, Size: 2})
+		recoverIs(t, partalloc.ErrDuplicateTask, func() {
+			a.Arrive(partalloc.Task{ID: 1, Size: 4})
+		})
+	})
+	t.Run("too-large", func(t *testing.T) {
+		a := partalloc.MustNew(partalloc.AlgoBasic, m)
+		recoverIs(t, partalloc.ErrTaskTooLarge, func() {
+			a.Arrive(partalloc.Task{ID: 1, Size: 16})
+		})
+	})
+	t.Run("non-pow2", func(t *testing.T) {
+		a := partalloc.MustNew(partalloc.AlgoRandom, m)
+		recoverIs(t, partalloc.ErrNotPowerOfTwo, func() {
+			a.Arrive(partalloc.Task{ID: 1, Size: 3})
+		})
+	})
+	t.Run("machine-full", func(t *testing.T) {
+		// Fail both PEs of an N=2 machine: no healthy submachine remains.
+		m2 := partalloc.MustNewMachine(2)
+		a := partalloc.MustNew(partalloc.AlgoBasic, m2)
+		ft := a.(partalloc.FaultTolerant)
+		ft.FailPE(0)
+		ft.FailPE(1)
+		recoverIs(t, partalloc.ErrMachineFull, func() {
+			a.Arrive(partalloc.Task{ID: 1, Size: 1})
+		})
+	})
+}
 
 func TestNewMachineRejectsNonPow2(t *testing.T) {
 	for _, n := range []int{0, -4, 3, 100} {

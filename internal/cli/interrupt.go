@@ -1,0 +1,35 @@
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+)
+
+// WithInterrupt returns a child of parent cancelled by the first SIGINT
+// (later SIGINTs fall through to the default handler) or by parent's own
+// cancellation, plus a cancel function for programmatic triggers. onSignal,
+// when non-nil, runs once just before a SIGINT-driven cancellation — the
+// place for a "draining" message.
+//
+// Runners treat the returned context's cancellation uniformly: stop
+// claiming work, drain what is in flight, write the checkpoint. A parent
+// context cancelled by a caller therefore checkpoints exactly like an
+// interactive ^C.
+func WithInterrupt(parent context.Context, onSignal func()) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt)
+	go func() {
+		defer signal.Stop(sigCh)
+		select {
+		case <-sigCh:
+			if onSignal != nil {
+				onSignal()
+			}
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"partalloc/internal/errs"
 	"partalloc/internal/tree"
 )
 
@@ -48,8 +49,16 @@ func NewCopy(m *tree.Machine) *Copy {
 		maxVacant: make([]int32, nn),
 		assigned:  make([]bool, nn),
 	}
-	for v := 1; v <= m.NumNodes(); v++ {
-		c.maxVacant[v] = int32(m.Size(tree.Node(v)))
+	// Depth-d nodes occupy heap indices [2^d, 2^(d+1)) and all have size
+	// N/2^d; filling per level avoids a Size call per node.
+	for d, size := 0, int32(m.N()); size >= 1; d, size = d+1, size/2 {
+		lo, hi := 1<<d, 1<<(d+1)
+		if hi > m.NumNodes()+1 {
+			hi = m.NumNodes() + 1
+		}
+		for v := lo; v < hi; v++ {
+			c.maxVacant[v] = size
+		}
 	}
 	return c
 }
@@ -326,6 +335,13 @@ type List struct {
 	// a failed PE. The registry survives Reset: a rebuild after a failure
 	// must still avoid the failed PEs.
 	blockedLeaves []tree.Node
+	// firstFit[d] is a lower bound on the index of the first copy that can
+	// hold a task of depth-d size (size = N/2^d): every earlier copy is
+	// known to hold no vacant submachine of that size. Occupying only
+	// removes vacancies, so placements keep the bound valid; Vacate,
+	// Unblock, and Reset create vacancies and rewind it. This turns A_B's
+	// first-fit scan from O(copies) per arrival into amortized O(1).
+	firstFit []int
 }
 
 // NewList returns an empty copy list for machine m.
@@ -355,11 +371,15 @@ func (l *List) NonEmpty() int {
 // given size, creating a new copy if none has one, and occupy the leftmost
 // such submachine. It returns the copy index and the node.
 func (l *List) Place(size int) (copyIdx int, v tree.Node) {
-	for i, c := range l.copies {
+	d := l.hintFor(size)
+	for i := l.firstFit[d]; i < len(l.copies); i++ {
+		c := l.copies[i]
 		if u, ok := c.FindVacant(size); ok {
 			c.Occupy(u)
+			l.firstFit[d] = i
 			return i, u
 		}
+		l.firstFit[d] = i + 1
 	}
 	c := l.newCopy()
 	l.copies = append(l.copies, c)
@@ -368,10 +388,46 @@ func (l *List) Place(size int) (copyIdx int, v tree.Node) {
 		// A fresh copy always has vacancies unless every size-`size`
 		// submachine of T contains a failed PE: the machine can no longer
 		// host tasks of this size at all.
-		panic(fmt.Sprintf("copies: no size-%d submachine avoids the %d failed PE(s)", size, len(l.blockedLeaves)))
+		panic(fmt.Errorf("copies: no size-%d submachine avoids the %d failed PE(s): %w", size, len(l.blockedLeaves), errs.ErrMachineFull))
 	}
 	c.Occupy(u)
+	l.firstFit[d] = len(l.copies) - 1
 	return len(l.copies) - 1, u
+}
+
+// HasVacant reports whether some existing copy has a vacant submachine of
+// the given size — i.e. whether Place would reuse a copy rather than
+// create one. It advances the same first-fit hint Place uses.
+func (l *List) HasVacant(size int) bool {
+	d := l.hintFor(size)
+	for i := l.firstFit[d]; i < len(l.copies); i++ {
+		if _, ok := l.copies[i].FindVacant(size); ok {
+			l.firstFit[d] = i
+			return true
+		}
+		l.firstFit[d] = i + 1
+	}
+	return false
+}
+
+// hintFor validates size, lazily allocates the hint table, and returns the
+// depth index for the size.
+func (l *List) hintFor(size int) int {
+	d := l.m.DepthForSize(size)
+	if l.firstFit == nil {
+		l.firstFit = make([]int, l.m.Levels()+1)
+	}
+	return d
+}
+
+// rewind lowers every first-fit hint to at most ci after a vacancy appeared
+// in copy ci.
+func (l *List) rewind(ci int) {
+	for d := range l.firstFit {
+		if l.firstFit[d] > ci {
+			l.firstFit[d] = ci
+		}
+	}
 }
 
 // newCopy builds a copy with every currently failed leaf pre-blocked.
@@ -415,6 +471,7 @@ func (l *List) Unblock(leaf tree.Node) {
 		c.Unblock(leaf)
 	}
 	l.blockedLeaves = append(l.blockedLeaves[:idx], l.blockedLeaves[idx+1:]...)
+	l.rewind(0) // recovery creates vacancies in every copy
 }
 
 // BlockedLeaves returns the currently failed leaves in node order.
@@ -426,11 +483,25 @@ func (l *List) BlockedLeaves() []tree.Node {
 // copy indices stay stable; the load metric counts per-PE occupancy, so
 // retained empty copies do not distort measurements.
 func (l *List) Vacate(copyIdx int, v tree.Node) {
-	l.copies[copyIdx].Vacate(v)
+	c := l.copies[copyIdx]
+	c.Vacate(v)
+	// Only sizes up to the copy's (post-merge) largest vacancy can have
+	// gained a vacancy here; hints for larger sizes stay valid.
+	if l.firstFit != nil {
+		minDepth := l.m.DepthForSize(int(c.maxVacant[1]))
+		for d := minDepth; d < len(l.firstFit); d++ {
+			if l.firstFit[d] > copyIdx {
+				l.firstFit[d] = copyIdx
+			}
+		}
+	}
 }
 
 // Reset drops all copies (used when a reallocation rebuilds the layout).
-func (l *List) Reset() { l.copies = l.copies[:0] }
+func (l *List) Reset() {
+	l.copies = l.copies[:0]
+	l.rewind(0)
+}
 
 // PELoad returns the real load of PE p: the number of copies in which p is
 // occupied.

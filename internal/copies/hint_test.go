@@ -1,0 +1,89 @@
+package copies
+
+import (
+	"math/rand"
+	"testing"
+
+	"partalloc/internal/tree"
+)
+
+// naiveFirstFit is the reference first-fit rule: scan every copy from the
+// front. The hinted Place must pick the same copy and node.
+func naiveFirstFit(l *List, size int) (int, tree.Node, bool) {
+	for i := 0; i < l.Len(); i++ {
+		if v, ok := l.At(i).FindVacant(size); ok {
+			return i, v, true
+		}
+	}
+	return 0, 0, false
+}
+
+// TestFirstFitHintMatchesNaiveScan drives a list through random placements,
+// vacates, failures, and recoveries, checking before each placement that
+// the hinted search agrees with a full scan.
+func TestFirstFitHintMatchesNaiveScan(t *testing.T) {
+	m := tree.MustNew(32)
+	l := NewList(m)
+	rng := rand.New(rand.NewSource(5))
+
+	type rec struct {
+		ci   int
+		node tree.Node
+	}
+	var live []rec
+	var blocked []tree.Node
+
+	for step := 0; step < 4000; step++ {
+		switch {
+		case len(live) > 0 && rng.Intn(3) == 0:
+			i := rng.Intn(len(live))
+			l.Vacate(live[i].ci, live[i].node)
+			live = append(live[:i], live[i+1:]...)
+		case rng.Intn(40) == 0 && len(blocked) < m.N()-1:
+			// Fail a random leaf not inside any assigned submachine.
+			leaf := m.LeafOf(rng.Intn(m.N()))
+			ok := true
+			for _, b := range blocked {
+				if b == leaf {
+					ok = false
+					break
+				}
+			}
+			for _, r := range live {
+				if m.Contains(r.node, leaf) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			l.Block(leaf)
+			blocked = append(blocked, leaf)
+		case rng.Intn(40) == 0 && len(blocked) > 0:
+			i := rng.Intn(len(blocked))
+			l.Unblock(blocked[i])
+			blocked = append(blocked[:i], blocked[i+1:]...)
+		default:
+			size := 1 << rng.Intn(m.Levels()+1)
+			wantCi, wantV, inExisting := naiveFirstFit(l, size)
+			gotHas := l.HasVacant(size)
+			if gotHas != inExisting {
+				t.Fatalf("step %d: HasVacant(%d) = %v, naive scan %v", step, size, gotHas, inExisting)
+			}
+			ci, v := l.Place(size)
+			if inExisting && (ci != wantCi || v != wantV) {
+				t.Fatalf("step %d: Place(%d) = (%d,%d), naive first-fit (%d,%d)", step, size, ci, v, wantCi, wantV)
+			}
+			if !inExisting && ci != l.Len()-1 {
+				t.Fatalf("step %d: Place(%d) used copy %d but naive scan says a new copy was needed", step, size, ci)
+			}
+			live = append(live, rec{ci, v})
+		}
+		if step%500 == 0 {
+			for i := 0; i < l.Len(); i++ {
+				l.At(i).CheckInvariants()
+			}
+		}
+	}
+}

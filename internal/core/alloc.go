@@ -26,6 +26,8 @@ package core
 import (
 	"fmt"
 
+	"partalloc/internal/errs"
+	"partalloc/internal/mathx"
 	"partalloc/internal/task"
 	"partalloc/internal/tree"
 )
@@ -133,9 +135,19 @@ type Factory struct {
 var ErrUnknownTask = fmt.Errorf("core: departure of unknown task")
 
 // checkArrival validates a task against the machine; shared by all
-// allocators.
+// allocators. It panics with errors wrapping the errs sentinels so
+// harnesses that recover (internal/engine) can surface a typed error.
 func checkArrival(m *tree.Machine, t task.Task) {
-	if t.Size < 1 || t.Size > m.N() {
-		panic(fmt.Sprintf("core: task %d size %d invalid for N=%d", t.ID, t.Size, m.N()))
+	if t.Size < 1 || !mathx.IsPow2(t.Size) {
+		panic(fmt.Errorf("core: task %d size %d: %w", t.ID, t.Size, errs.ErrNotPowerOfTwo))
 	}
+	if t.Size > m.N() {
+		panic(fmt.Errorf("core: task %d size %d on an N=%d machine: %w", t.ID, t.Size, m.N(), errs.ErrTaskTooLarge))
+	}
+}
+
+// panicDuplicate reports a second arrival of an already-active task; shared
+// by every allocator so the wrapped sentinel cannot drift apart.
+func panicDuplicate(id task.ID, algo string) {
+	panic(fmt.Errorf("core: duplicate arrival of task %d (%s): %w", id, algo, errs.ErrDuplicateTask))
 }

@@ -55,7 +55,7 @@ func (b *Basic) Machine() *tree.Machine { return b.m }
 func (b *Basic) Arrive(t task.Task) tree.Node {
 	checkArrival(b.m, t)
 	if _, dup := b.placed[t.ID]; dup {
-		panic(fmt.Sprintf("core: duplicate arrival of task %d", t.ID))
+		panicDuplicate(t.ID, b.Name())
 	}
 	ci, v := b.list.Place(t.Size)
 	b.loads.Place(v)

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// batchFactories enumerates the allocators that implement BatchApplier,
+// paired with a twin-constructor so batch and serial runs start identical.
+func batchFactories(m *tree.Machine) map[string]func() Allocator {
+	return map[string]func() Allocator{
+		"A_B":            func() Allocator { return NewBasic(m) },
+		"A_C":            func() Allocator { return NewConstant(m) },
+		"A_M(d=2)":       func() Allocator { return NewPeriodic(m, 2, DecreasingSize) },
+		"A_M(d=inf)":     func() Allocator { return NewPeriodic(m, -1, DecreasingSize) },
+		"A_M-lazy(d=1)":  func() Allocator { return NewLazy(m, 1, DecreasingSize) },
+		"A_Rand":         func() Allocator { return NewRandom(m, 7) },
+		"A_Rand(seed=1)": func() Allocator { return NewRandom(m, 1) },
+	}
+}
+
+// TestApplyBatchMatchesSerial replays the same random event stream through
+// ApplyBatch (varied batch sizes) and through the per-event loop, and
+// requires identical final PE loads, active sets, placements, and — for
+// reallocators — identical ReallocStats. This is the guarantee the engine
+// relies on: batching amortizes bookkeeping without changing behaviour.
+func TestApplyBatchMatchesSerial(t *testing.T) {
+	m := tree.MustNew(64)
+	seq := randomEventStream(m.N(), 2000, 99)
+
+	for name, mk := range batchFactories(m) {
+		for _, batchSize := range []int{1, 7, 64, 500, len(seq)} {
+			serial := mk()
+			batch := mk()
+			ba, ok := batch.(BatchApplier)
+			if !ok {
+				t.Fatalf("%s does not implement BatchApplier", name)
+			}
+			ApplyEvents(serial, seq)
+			for i := 0; i < len(seq); i += batchSize {
+				end := i + batchSize
+				if end > len(seq) {
+					end = len(seq)
+				}
+				ba.ApplyBatch(seq[i:end])
+			}
+			if got, want := batch.PELoads(), serial.PELoads(); !reflect.DeepEqual(got, want) {
+				t.Errorf("%s batchSize=%d: PELoads = %v, serial %v", name, batchSize, got, want)
+			}
+			if got, want := batch.MaxLoad(), serial.MaxLoad(); got != want {
+				t.Errorf("%s batchSize=%d: MaxLoad = %d, serial %d", name, batchSize, got, want)
+			}
+			if got, want := batch.Active(), serial.Active(); got != want {
+				t.Errorf("%s batchSize=%d: Active = %d, serial %d", name, batchSize, got, want)
+			}
+			sr, srOK := serial.(Reallocator)
+			br, brOK := batch.(Reallocator)
+			if srOK != brOK {
+				t.Fatalf("%s: Reallocator asymmetry", name)
+			}
+			if srOK {
+				if got, want := br.ReallocStats(), sr.ReallocStats(); got != want {
+					t.Errorf("%s batchSize=%d: ReallocStats = %+v, serial %+v", name, batchSize, got, want)
+				}
+			}
+			// Spot-check placements of every active task.
+			for _, e := range seq {
+				sv, sok := serial.Placement(e.Task)
+				bv, bok := batch.Placement(e.Task)
+				if sok != bok || sv != bv {
+					t.Errorf("%s batchSize=%d: task %d placement = (%d,%v), serial (%d,%v)",
+						name, batchSize, e.Task, bv, bok, sv, sok)
+				}
+			}
+		}
+	}
+}
+
+// randomEventStream builds a valid random event stream: power-of-two sizes
+// up to n, departures of previously-arrived active tasks.
+func randomEventStream(n, events int, seed int64) []task.Event {
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		evs    []task.Event
+		active []task.Event
+		nextID task.ID = 1
+	)
+	maxExp := 0
+	for 1<<(maxExp+1) <= n {
+		maxExp++
+	}
+	for len(evs) < events {
+		if len(active) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(active))
+			a := active[i]
+			active = append(active[:i], active[i+1:]...)
+			evs = append(evs, task.Event{Kind: task.Depart, Task: a.Task, Size: a.Size, Time: float64(len(evs))})
+			continue
+		}
+		e := task.Event{Kind: task.Arrive, Task: nextID, Size: 1 << rng.Intn(maxExp+1), Time: float64(len(evs))}
+		nextID++
+		active = append(active, e)
+		evs = append(evs, e)
+	}
+	return evs
+}
+
+// BenchmarkApplySerial and BenchmarkApplyBatch measure the per-event
+// bookkeeping cost the deferred load tree removes. Run via `make bench`.
+func BenchmarkApplySerial(b *testing.B) {
+	benchApply(b, false)
+}
+
+func BenchmarkApplyBatch(b *testing.B) {
+	benchApply(b, true)
+}
+
+func benchApply(b *testing.B, batched bool) {
+	m := tree.MustNew(256)
+	seq := randomEventStream(m.N(), 5000, 42)
+	for _, mk := range []struct {
+		name string
+		new  func() Allocator
+	}{
+		{"A_B", func() Allocator { return NewBasic(m) }},
+		{"A_M(d=4)", func() Allocator { return NewPeriodic(m, 4, DecreasingSize) }},
+		{"A_M-lazy(d=4)", func() Allocator { return NewLazy(m, 4, DecreasingSize) }},
+		{"A_Rand", func() Allocator { return NewRandom(m, 7) }},
+	} {
+		b.Run(mk.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := mk.new()
+				if batched {
+					a.(BatchApplier).ApplyBatch(seq)
+				} else {
+					ApplyEvents(a, seq)
+					a.MaxLoad()
+				}
+			}
+			b.ReportMetric(float64(len(seq))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

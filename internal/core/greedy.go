@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"partalloc/internal/errs"
 	"partalloc/internal/loadtree"
 	"partalloc/internal/task"
 	"partalloc/internal/tree"
@@ -48,7 +49,7 @@ func (g *Greedy) Machine() *tree.Machine { return g.m }
 func (g *Greedy) Arrive(t task.Task) tree.Node {
 	checkArrival(g.m, t)
 	if _, dup := g.placed[t.ID]; dup {
-		panic(fmt.Sprintf("core: duplicate arrival of task %d", t.ID))
+		panicDuplicate(t.ID, g.Name())
 	}
 	v := g.choose(t.Size)
 	g.loads.Place(v)
@@ -73,7 +74,7 @@ func (g *Greedy) choose(size int) tree.Node {
 		}
 	}
 	if best == 0 {
-		panic(fmt.Sprintf("core: no size-%d submachine avoids the %d failed PE(s) (A_G)", size, len(g.faults.failed)))
+		panic(fmt.Errorf("core: no size-%d submachine avoids the %d failed PE(s) (A_G): %w", size, len(g.faults.failed), errs.ErrMachineFull))
 	}
 	return best
 }

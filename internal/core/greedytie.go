@@ -52,7 +52,7 @@ func (g *GreedyRandomTie) Machine() *tree.Machine { return g.m }
 func (g *GreedyRandomTie) Arrive(t task.Task) tree.Node {
 	checkArrival(g.m, t)
 	if _, dup := g.placed[t.ID]; dup {
-		panic(fmt.Sprintf("core: duplicate arrival of task %d", t.ID))
+		panicDuplicate(t.ID, g.Name())
 	}
 	_, min := g.loads.LeftmostMinLoad(t.Size)
 	// Reservoir-sample among ties.

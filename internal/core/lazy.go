@@ -86,18 +86,12 @@ func (l *Lazy) Arrive(t task.Task) tree.Node {
 	}
 	checkArrival(l.m, t)
 	if _, dup := l.placed[t.ID]; dup {
-		panic(fmt.Sprintf("core: duplicate arrival of task %d", t.ID))
+		panicDuplicate(t.ID, l.Name())
 	}
 	l.sinceRealo += int64(t.Size)
 	l.activeSize += int64(t.Size)
 	// Would A_B need a new copy, and is the reallocation budget earned?
-	needNew := true
-	for i := 0; i < l.list.Len(); i++ {
-		if _, ok := l.list.At(i).FindVacant(t.Size); ok {
-			needNew = false
-			break
-		}
-	}
+	needNew := !l.list.HasVacant(t.Size)
 	// Reallocating is only worthwhile if compaction actually avoids the new
 	// copy: the active set (new task included) must fit in the copies that
 	// already exist. Otherwise the budget is saved for later.
@@ -124,6 +118,13 @@ func (l *Lazy) reallocate() {
 	list, placed := ReallocateAllAvoiding(l.m, tasks, l.order, l.faults.failed)
 	l.stats.Reallocations++
 	newLoads := loadtree.New(l.m)
+	// Same deferred-build rule as Periodic.reallocate: cheaper above the
+	// size heuristic, and mandatory mid-batch so the swapped-in tree
+	// inherits deferred mode.
+	lv := l.m.Levels() + 1
+	if l.loads.Deferred() || len(placed)*lv*lv >= 4*l.m.NumNodes() {
+		newLoads.BeginDeferred()
+	}
 	for id, rec := range placed {
 		old := l.placed[id]
 		if old.node != 0 && old.node != rec.node {
@@ -134,6 +135,9 @@ func (l *Lazy) reallocate() {
 			}
 		}
 		newLoads.Place(rec.node)
+	}
+	if newLoads.Deferred() && !l.loads.Deferred() {
+		newLoads.EndDeferred()
 	}
 	l.list = list
 	l.placed = placed

@@ -110,7 +110,7 @@ func (p *Periodic) Arrive(t task.Task) tree.Node {
 	}
 	checkArrival(p.m, t)
 	if _, dup := p.placed[t.ID]; dup {
-		panic(fmt.Sprintf("core: duplicate arrival of task %d", t.ID))
+		panicDuplicate(t.ID, p.Name())
 	}
 	p.sinceRealo += int64(t.Size)
 	if p.sinceRealo >= int64(p.d)*int64(p.m.N()) {
@@ -139,6 +139,14 @@ func (p *Periodic) reallocate() {
 	list, placed := ReallocateAllAvoiding(p.m, tasks, p.order, p.faults.failed)
 	p.stats.Reallocations++
 	newLoads := loadtree.New(p.m)
+	// Build the replacement tree with deferred aggregates when that is
+	// cheaper (one O(N) rebuild vs len(placed) eager O(log²N) updates), and
+	// always when the old tree is mid-batch: the replacement must inherit
+	// deferred mode so ApplyBatch's EndDeferred lands on the current tree.
+	lv := p.m.Levels() + 1
+	if p.loads.Deferred() || len(placed)*lv*lv >= 4*p.m.NumNodes() {
+		newLoads.BeginDeferred()
+	}
 	for id, rec := range placed {
 		old := p.placed[id]
 		// old.node == 0 marks the arrival that triggered this reallocation;
@@ -151,6 +159,9 @@ func (p *Periodic) reallocate() {
 			}
 		}
 		newLoads.Place(rec.node)
+	}
+	if newLoads.Deferred() && !p.loads.Deferred() {
+		newLoads.EndDeferred()
 	}
 	p.list = list
 	p.placed = placed

@@ -48,7 +48,7 @@ func (r *Random) Machine() *tree.Machine { return r.m }
 func (r *Random) Arrive(t task.Task) tree.Node {
 	checkArrival(r.m, t)
 	if _, dup := r.placed[t.ID]; dup {
-		panic(fmt.Sprintf("core: duplicate arrival of task %d", t.ID))
+		panicDuplicate(t.ID, r.Name())
 	}
 	k := r.m.NumSubmachines(t.Size)
 	v := r.m.SubmachineAt(t.Size, r.rng.Intn(k))

@@ -52,7 +52,7 @@ func (t *TwoChoice) Machine() *tree.Machine { return t.m }
 func (t *TwoChoice) Arrive(tk task.Task) tree.Node {
 	checkArrival(t.m, tk)
 	if _, dup := t.placed[tk.ID]; dup {
-		panic(fmt.Sprintf("core: duplicate arrival of task %d", tk.ID))
+		panicDuplicate(tk.ID, t.Name())
 	}
 	k := t.m.NumSubmachines(tk.Size)
 	a := t.m.SubmachineAt(tk.Size, t.rng.Intn(k))

@@ -1,0 +1,583 @@
+// Package engine multiplexes many independent tenant allocators — one
+// paper-model tree machine each — behind a single concurrent ingestion
+// API. The paper's algorithms are strictly sequential per machine, so the
+// engine gets its throughput from two orthogonal levers:
+//
+//   - batching: per-tenant event queues are applied through
+//     core.BatchApplier when the allocator supports it, amortizing the
+//     loadtree's aggregate maintenance over whole batches instead of
+//     paying O(log² N) per event;
+//   - sharding: tenants are hash-partitioned across lock-striped shards,
+//     so ingestion for tenants on different shards never contends, and
+//     Replay fans out one worker per shard via parallel.RunCells.
+//
+// Within a shard, application is serialized by the shard mutex — the
+// allocators themselves are not safe for concurrent use, and per-shard
+// serialization is exactly the isolation they need.
+//
+// Allocator misuse surfaces as panics carrying typed sentinel errors
+// (internal/errs). The engine converts such panics into returned errors
+// and poisons the tenant: every later operation on it fails with
+// ErrTenantPoisoned wrapping the original cause, so errors.Is still
+// recognizes the sentinel (partalloc.ErrMachineFull, say) at the top of
+// the stack instead of a crash at the bottom.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"partalloc/internal/core"
+	"partalloc/internal/fault"
+	"partalloc/internal/invariant"
+	"partalloc/internal/mathx"
+	"partalloc/internal/parallel"
+	"partalloc/internal/task"
+)
+
+// Sentinel errors for engine misuse. Apply-time failures are returned as
+// ErrTenantPoisoned wrapping the underlying cause.
+var (
+	// ErrUnknownTenant reports an operation on a tenant never registered.
+	ErrUnknownTenant = errors.New("engine: unknown tenant")
+	// ErrDuplicateTenant reports AddTenant on an existing tenant ID.
+	ErrDuplicateTenant = errors.New("engine: tenant already registered")
+	// ErrTenantPoisoned reports an operation on a tenant whose allocator
+	// already failed; the wrapped chain includes the original cause.
+	ErrTenantPoisoned = errors.New("engine: tenant poisoned by earlier failure")
+)
+
+// Config parameterizes an Engine. The zero value selects the defaults.
+type Config struct {
+	// Shards is the number of lock stripes (default min(GOMAXPROCS, 8),
+	// at least 1). Tenants are assigned to shards by ID hash.
+	Shards int
+	// BatchSize is the ingestion batch: Submit queues events per tenant
+	// and applies them whenever the queue reaches this size (default 256).
+	// Larger batches amortize loadtree maintenance further but delay
+	// load/latency samples, which are taken at batch boundaries.
+	BatchSize int
+	// Audit attaches an invariant.Checker to every tenant and applies
+	// events one at a time so the checker sees each placement. This trades
+	// away all batching throughput for per-event validation; use it in
+	// tests and canary runs, not in benchmarks.
+	Audit bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	return c
+}
+
+// TenantStats is a point-in-time ledger snapshot for one tenant.
+type TenantStats struct {
+	// Tenant is the tenant ID.
+	Tenant string
+	// Algorithm is the allocator's paper name (core.Allocator.Name).
+	Algorithm string
+	// Events is the number of applied (not merely queued) events.
+	Events int64
+	// Queued is the number of events waiting in the ingestion queue.
+	Queued int
+	// Batches is the number of apply calls the events were grouped into.
+	Batches int64
+	// ApplyNs is the cumulative wall time spent applying, in nanoseconds.
+	ApplyNs int64
+	// BatchNs holds one entry per apply call (its duration in
+	// nanoseconds); quantiles over it give p50/p99 apply latency.
+	BatchNs []int64
+	// MaxLoad is the allocator's current maximum PE load.
+	MaxLoad int
+	// PeakLoad is the highest MaxLoad observed at a batch boundary (exact
+	// per-event under Config.Audit, since batches are then single events).
+	PeakLoad int
+	// LStar is the running optimal bound ⌈max_τ S(σ;τ)/N⌉ over the
+	// applied prefix.
+	LStar int
+	// Active is the allocator's current active task count.
+	Active int
+	// Realloc is the allocator's reallocation ledger (zero when the
+	// algorithm never reallocates).
+	Realloc core.ReallocStats
+	// FaultEvents is the number of injected fault-schedule events.
+	FaultEvents int
+	// Violations holds the invariant checker's findings under
+	// Config.Audit; always empty otherwise.
+	Violations []invariant.Violation
+}
+
+// tenant is one machine's worth of state, owned by its shard.
+type tenant struct {
+	id    string
+	alloc core.Allocator
+	batch core.BatchApplier // nil → per-event application
+	ft    core.FaultTolerant
+	check *invariant.Checker // non-nil only under Config.Audit
+
+	faults   []fault.Event
+	faultPos int
+	faultHit int
+
+	queue []task.Event
+	err   error // poisoned: set once, never cleared
+
+	n             int64 // machine size, for L*
+	events        int64
+	activeSize    int64
+	maxActiveSize int64
+	peakLoad      int
+	batches       int64
+	applyNs       int64
+	batchNs       []int64
+}
+
+// shard is one lock stripe.
+type shard struct {
+	mu      sync.Mutex
+	tenants map[string]*tenant
+}
+
+// Engine ingests task events for many tenants concurrently. Methods are
+// safe for concurrent use; per-tenant event order is the caller's
+// responsibility (events for one tenant submitted from multiple
+// goroutines are applied in lock-acquisition order).
+type Engine struct {
+	cfg    Config
+	shards []*shard
+}
+
+// New builds an engine from cfg (zero value = defaults).
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range e.shards {
+		e.shards[i] = &shard{tenants: make(map[string]*tenant)}
+	}
+	return e
+}
+
+// shardFor hashes a tenant ID to its stripe.
+func (e *Engine) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return e.shards[int(h.Sum32())%len(e.shards)]
+}
+
+// AddTenant registers a tenant backed by allocator a. faults, when
+// non-nil, is a validated schedule injected at the event indexes of this
+// tenant's own stream (the allocator must be core.FaultTolerant — the
+// partalloc facade guarantees this for WithFaults allocators).
+func (e *Engine) AddTenant(id string, a core.Allocator, faults *fault.Schedule) error {
+	if a == nil {
+		return fmt.Errorf("engine: AddTenant(%q): nil allocator", id)
+	}
+	t := &tenant{
+		id:    id,
+		alloc: a,
+		n:     int64(a.Machine().N()),
+	}
+	if ba, ok := a.(core.BatchApplier); ok {
+		t.batch = ba
+	}
+	if ft, ok := a.(core.FaultTolerant); ok {
+		t.ft = ft
+	}
+	if faults != nil {
+		if t.ft == nil {
+			return fmt.Errorf("engine: AddTenant(%q): allocator %s does not support fault injection", id, a.Name())
+		}
+		t.faults = append([]fault.Event(nil), faults.Events...)
+	}
+	if e.cfg.Audit {
+		t.check = invariant.New(a.Machine())
+	}
+	s := e.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tenants[id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateTenant, id)
+	}
+	s.tenants[id] = t
+	return nil
+}
+
+// Submit queues events for a tenant, applying a batch whenever the queue
+// reaches Config.BatchSize. A returned apply error poisons the tenant.
+func (e *Engine) Submit(id string, evs ...task.Event) error {
+	s := e.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.get(id)
+	if err != nil {
+		return err
+	}
+	t.queue = append(t.queue, evs...)
+	for len(t.queue) >= e.cfg.BatchSize {
+		b := t.queue[:e.cfg.BatchSize]
+		t.queue = t.queue[e.cfg.BatchSize:]
+		if err := s.apply(t, b); err != nil {
+			t.queue = nil
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush applies a tenant's queued events immediately.
+func (e *Engine) Flush(id string) error {
+	s := e.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.get(id)
+	if err != nil {
+		return err
+	}
+	return s.flush(t)
+}
+
+// FlushAll flushes every tenant (in sorted ID order) and returns the
+// first error.
+func (e *Engine) FlushAll() error {
+	for _, id := range e.Tenants() {
+		if err := e.Flush(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tenants returns all tenant IDs in sorted order.
+func (e *Engine) Tenants() []string {
+	var ids []string
+	for _, s := range e.shards {
+		s.mu.Lock()
+		shardIDs := make([]string, 0, len(s.tenants))
+		for id := range s.tenants {
+			shardIDs = append(shardIDs, id)
+		}
+		sort.Strings(shardIDs)
+		s.mu.Unlock()
+		ids = append(ids, shardIDs...)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// TenantStats snapshots one tenant's ledger. MaxLoad/Active query the
+// live allocator, so a poisoned tenant still reports its last state.
+func (e *Engine) TenantStats(id string) (TenantStats, error) {
+	s := e.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return TenantStats{}, fmt.Errorf("%w: %q", ErrUnknownTenant, id)
+	}
+	return s.stats(t), nil
+}
+
+// Stats snapshots every tenant's ledger in sorted ID order.
+func (e *Engine) Stats() []TenantStats {
+	var out []TenantStats
+	for _, s := range e.shards {
+		s.mu.Lock()
+		ids := make([]string, 0, len(s.tenants))
+		for id := range s.tenants {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			out = append(out, s.stats(s.tenants[id]))
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// Err returns the tenant's poisoning error (nil while healthy).
+func (e *Engine) Err(id string) error {
+	s := e.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, id)
+	}
+	if t.err != nil {
+		return fmt.Errorf("%w: %q: %w", ErrTenantPoisoned, id, t.err)
+	}
+	return nil
+}
+
+// Replay feeds each tenant its stream in Config.BatchSize batches, one
+// parallel worker per shard, honoring ctx between batches (cancellation
+// drains the batch in flight and returns ctx.Err(), the same contract as
+// the sweep harness). Pending Submit queues are flushed first so replayed
+// events land after anything already ingested. Tenants within a shard are
+// processed in sorted ID order; an apply error stops that shard's worker
+// but not the others.
+func (e *Engine) Replay(ctx context.Context, streams map[string][]task.Event) error {
+	ids := make([]string, 0, len(streams))
+	for id := range streams {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	// Validate up front: an unknown tenant fails the whole replay before
+	// any event is applied, not halfway through one shard.
+	byShard := make(map[*shard][]string)
+	for _, id := range ids {
+		s := e.shardFor(id)
+		s.mu.Lock()
+		_, ok := s.tenants[id]
+		s.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownTenant, id)
+		}
+		byShard[s] = append(byShard[s], id)
+	}
+	var cells []*shard
+	for _, s := range e.shards { // deterministic order, no map iteration
+		if len(byShard[s]) > 0 {
+			cells = append(cells, s)
+		}
+	}
+
+	var cancel <-chan struct{}
+	if ctx != nil {
+		cancel = ctx.Done()
+	}
+	errs := parallel.RunCells(len(cells), parallel.RunOptions{Cancel: cancel}, func(ci int) error {
+		s := cells[ci]
+		for _, id := range byShard[s] {
+			evs := streams[id]
+			for off := 0; off < len(evs); off += e.cfg.BatchSize {
+				if ctx != nil {
+					select {
+					case <-ctx.Done():
+						return ctx.Err()
+					default:
+					}
+				}
+				end := off + e.cfg.BatchSize
+				if end > len(evs) {
+					end = len(evs)
+				}
+				s.mu.Lock()
+				t, err := s.get(id)
+				if err == nil {
+					if off == 0 {
+						err = s.flush(t)
+					}
+					if err == nil {
+						err = s.apply(t, evs[off:end])
+					}
+				}
+				s.mu.Unlock()
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, parallel.ErrCanceled) && ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// get looks up a live tenant; poisoned tenants report their cause.
+// Callers hold the shard lock.
+func (s *shard) get(id string) (*tenant, error) {
+	t, ok := s.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, id)
+	}
+	if t.err != nil {
+		return nil, fmt.Errorf("%w: %q: %w", ErrTenantPoisoned, id, t.err)
+	}
+	return t, nil
+}
+
+// flush applies the tenant's queued events. Callers hold the shard lock.
+func (s *shard) flush(t *tenant) error {
+	if len(t.queue) == 0 {
+		return nil
+	}
+	b := t.queue
+	t.queue = nil
+	return s.apply(t, b)
+}
+
+// apply runs one batch through the allocator, interleaving scheduled
+// faults at their event indexes exactly as internal/sim does (faults with
+// At ≤ i fire immediately before event i of the tenant's stream). A panic
+// poisons the tenant and is returned as ErrTenantPoisoned wrapping the
+// recovered cause. Callers hold the shard lock.
+func (s *shard) apply(t *tenant, evs []task.Event) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cause, ok := r.(error)
+			if !ok {
+				cause = fmt.Errorf("panic: %v", r)
+			}
+			t.err = cause
+			err = fmt.Errorf("%w: %q: %w", ErrTenantPoisoned, t.id, cause)
+		}
+	}()
+
+	start := time.Now()
+	base := int(t.events)
+	for i := 0; i < len(evs); {
+		t.injectFaults(base + i)
+		// Run uninterrupted until the next scheduled fault (or the end).
+		j := len(evs)
+		if t.faultPos < len(t.faults) {
+			if at := t.faults[t.faultPos].At - base; at < j {
+				j = at
+			}
+		}
+		t.applyRun(evs[i:j])
+		i = j
+	}
+	ns := time.Since(start).Nanoseconds()
+
+	t.events += int64(len(evs))
+	t.batches++
+	t.applyNs += ns
+	t.batchNs = append(t.batchNs, ns)
+	if load := t.alloc.MaxLoad(); load > t.peakLoad {
+		t.peakLoad = load
+	}
+	return nil
+}
+
+// injectFaults applies every scheduled fault with At ≤ i (but not beyond
+// the stream position i itself — fault At values index the tenant's event
+// stream, so a fault at index k fires before event k is applied).
+func (t *tenant) injectFaults(i int) {
+	for t.faultPos < len(t.faults) && t.faults[t.faultPos].At <= i {
+		fe := t.faults[t.faultPos]
+		t.faultPos++
+		t.faultHit++
+		switch fe.Kind {
+		case fault.FailPE:
+			t.ft.FailPE(fe.PE)
+			t.check.OnFail(t.alloc, fe.PE)
+		case fault.RecoverPE:
+			t.ft.RecoverPE(fe.PE)
+			t.check.OnRecover(t.alloc, fe.PE)
+		default:
+			panic(fmt.Errorf("engine: tenant %q: unknown fault kind %d", t.id, fe.Kind))
+		}
+		if load := t.alloc.MaxLoad(); load > t.peakLoad {
+			t.peakLoad = load
+		}
+	}
+}
+
+// applyRun applies a fault-free run of events. Audit mode goes one event
+// at a time through the invariant checker; otherwise the allocator's
+// BatchApplier (when present) amortizes the whole run.
+func (t *tenant) applyRun(evs []task.Event) {
+	switch {
+	case t.check != nil:
+		for _, e := range evs {
+			switch e.Kind {
+			case task.Arrive:
+				tk := task.Task{ID: e.Task, Size: e.Size}
+				v := t.alloc.Arrive(tk)
+				t.check.OnArrive(t.alloc, tk, v)
+			case task.Depart:
+				t.alloc.Depart(e.Task)
+				t.check.OnDepart(t.alloc, e.Task)
+			}
+		}
+	case t.batch != nil:
+		t.batch.ApplyBatch(evs)
+	default:
+		core.ApplyEvents(t.alloc, evs)
+	}
+	for _, e := range evs {
+		if e.Kind == task.Arrive {
+			t.activeSize += int64(e.Size)
+			if t.activeSize > t.maxActiveSize {
+				t.maxActiveSize = t.activeSize
+			}
+		} else {
+			t.activeSize -= int64(e.Size)
+		}
+	}
+}
+
+// stats snapshots one tenant. Callers hold the shard lock.
+func (s *shard) stats(t *tenant) TenantStats {
+	st := TenantStats{
+		Tenant:      t.id,
+		Algorithm:   t.alloc.Name(),
+		Events:      t.events,
+		Queued:      len(t.queue),
+		Batches:     t.batches,
+		ApplyNs:     t.applyNs,
+		BatchNs:     append([]int64(nil), t.batchNs...),
+		MaxLoad:     t.alloc.MaxLoad(),
+		PeakLoad:    t.peakLoad,
+		Active:      t.alloc.Active(),
+		FaultEvents: t.faultHit,
+	}
+	if t.maxActiveSize > 0 {
+		st.LStar = int(mathx.CeilDiv64(t.maxActiveSize, t.n))
+	}
+	if r, ok := t.alloc.(core.Reallocator); ok {
+		st.Realloc = r.ReallocStats()
+	}
+	if t.check != nil {
+		st.Violations = t.check.Violations()
+	}
+	return st
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1, nearest-rank) of ns,
+// without mutating it; 0 when empty. Engined uses it for p50/p99 apply
+// latency.
+func Quantile(ns []int64, q float64) int64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

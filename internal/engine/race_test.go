@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"partalloc/internal/core"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// TestConcurrentMultiTenantIngestion hammers the engine from many
+// goroutines at once — per-tenant producers, a stats poller, and a
+// replaying goroutine on disjoint tenants — and then verifies every
+// tenant absorbed exactly its stream. Run under -race this is the
+// engine's thread-safety gate.
+func TestConcurrentMultiTenantIngestion(t *testing.T) {
+	const tenants = 10
+	const events = 2000
+	eng := New(Config{Shards: 4, BatchSize: 64})
+
+	ids := make([]string, tenants)
+	streams := make(map[string][]task.Event, tenants)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("tenant-%02d", i)
+		var a core.Allocator
+		switch i % 4 {
+		case 0:
+			a = core.NewBasic(tree.MustNew(64))
+		case 1:
+			a = core.NewPeriodic(tree.MustNew(64), 2, core.DecreasingSize)
+		case 2:
+			a = core.NewLazy(tree.MustNew(32), 1, core.DecreasingSize)
+		default:
+			a = core.NewRandom(tree.MustNew(128), int64(i))
+		}
+		if err := eng.AddTenant(ids[i], a, nil); err != nil {
+			t.Fatal(err)
+		}
+		n := a.Machine().N()
+		streams[ids[i]] = testStream(n, events/2, int64(i+1))
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, tenants+2)
+
+	// Half the tenants ingest via concurrent Submit producers...
+	for i := 0; i < tenants/2; i++ {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			evs := streams[id]
+			for off := 0; off < len(evs); off += 13 {
+				end := off + 13
+				if end > len(evs) {
+					end = len(evs)
+				}
+				if err := eng.Submit(id, evs[off:end]...); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			errCh <- eng.Flush(id)
+		}(ids[i])
+	}
+
+	// ...the other half via one Replay fanning out over the shards.
+	replayStreams := make(map[string][]task.Event)
+	for i := tenants / 2; i < tenants; i++ {
+		replayStreams[ids[i]] = streams[ids[i]]
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errCh <- eng.Replay(context.Background(), replayStreams)
+	}()
+
+	// A poller reads ledgers while ingestion is in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			for _, st := range eng.Stats() {
+				if st.Events < 0 {
+					errCh <- fmt.Errorf("%s: negative event count", st.Tenant)
+					return
+				}
+			}
+		}
+		errCh <- nil
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, id := range ids {
+		st, err := eng.TenantStats(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(len(streams[id])); st.Events != want {
+			t.Errorf("%s: applied %d events, want %d", id, st.Events, want)
+		}
+		if st.Queued != 0 {
+			t.Errorf("%s: %d events still queued after flush", id, st.Queued)
+		}
+	}
+}

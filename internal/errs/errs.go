@@ -1,0 +1,29 @@
+// Package errs defines the typed sentinel errors shared by the model
+// packages (tree, task, copies, core) and re-exported by the partalloc
+// facade. Call sites wrap them with fmt.Errorf("...: %w", ...) so callers
+// can branch with errors.Is while the message keeps its local detail.
+//
+// The sentinels deliberately live in a leaf package: tree and task cannot
+// import each other, and the facade cannot be imported from internal/, so
+// this is the one place every layer can reach.
+package errs
+
+import "errors"
+
+var (
+	// ErrNotPowerOfTwo reports a machine or task size that is not a power
+	// of two (the paper's model admits only complete binary subtrees).
+	ErrNotPowerOfTwo = errors.New("size is not a power of two")
+
+	// ErrTaskTooLarge reports a task whose size exceeds the machine size N.
+	ErrTaskTooLarge = errors.New("task size exceeds machine size")
+
+	// ErrDuplicateTask reports an arrival for a task ID that is already
+	// active.
+	ErrDuplicateTask = errors.New("duplicate task arrival")
+
+	// ErrMachineFull reports that no healthy submachine of the requested
+	// size exists — every candidate covers a failed PE, so the machine can
+	// no longer host tasks of that size.
+	ErrMachineFull = errors.New("no healthy submachine of the requested size")
+)

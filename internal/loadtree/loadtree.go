@@ -41,6 +41,11 @@ type Tree struct {
 	// level scan).
 	bestAt [][]int32
 	active int // number of placed tasks
+	// deferred aggregation (see BeginDeferred): while set, Place/Remove
+	// update only cover counts and the aggregates are rebuilt lazily, in
+	// one bottom-up pass, the next time a query needs them.
+	deferred bool
+	dirty    bool
 }
 
 // New creates an all-idle load tree over machine m.
@@ -103,6 +108,10 @@ func (t *Tree) add(v tree.Node, delta int32) {
 		panic(fmt.Sprintf("loadtree: invalid node %d", v))
 	}
 	t.cover[v] += delta
+	if t.deferred {
+		t.dirty = true
+		return
+	}
 	for u := v; u >= 1; u /= 2 {
 		mb, nb := t.cover[u], t.cover[u]
 		if !t.m.IsLeaf(u) {
@@ -121,6 +130,59 @@ func (t *Tree) add(v tree.Node, delta int32) {
 		t.minBelow[u] = nb
 		t.refreshBestAt(tree.Node(u))
 	}
+}
+
+// BeginDeferred switches the tree into deferred-aggregation mode: Place
+// and Remove update only the O(1) cover counts, and maxBelow/minBelow/
+// bestAt are rebuilt in a single O(N) bottom-up pass the next time an
+// aggregate query (MaxLoad, SubmachineLoad, LeftmostMinLoad,
+// CheckInvariants) needs them. Cover-only queries (PELoad, Loads,
+// CumulativeSize) never force a rebuild.
+//
+// This is the batching lever the copies-based allocators (A_B, A_M, lazy)
+// and A_Rand exploit: their placement decisions never read the aggregates,
+// so a batch of k events costs O(k + N) instead of O(k·log²N). Algorithms
+// that query loads on every arrival (A_G) gain nothing and should stay
+// eager. Final state is bit-identical either way.
+func (t *Tree) BeginDeferred() { t.deferred = true }
+
+// EndDeferred rebuilds any pending aggregates and returns the tree to
+// eager per-update maintenance.
+func (t *Tree) EndDeferred() {
+	t.flush()
+	t.deferred = false
+}
+
+// Deferred reports whether the tree is in deferred-aggregation mode.
+func (t *Tree) Deferred() bool { return t.deferred }
+
+// flush rebuilds every aggregate bottom-up if cover changed since the last
+// rebuild. Children have larger heap indexes than parents, so a single
+// descending scan sees each node's children already refreshed.
+func (t *Tree) flush() {
+	if !t.dirty {
+		return
+	}
+	for v := t.m.NumNodes(); v >= 1; v-- {
+		u := tree.Node(v)
+		mb, nb := t.cover[u], t.cover[u]
+		if !t.m.IsLeaf(u) {
+			l, r := t.maxBelow[2*u], t.maxBelow[2*u+1]
+			if l < r {
+				l = r
+			}
+			mb += l
+			l2, r2 := t.minBelow[2*u], t.minBelow[2*u+1]
+			if r2 < l2 {
+				l2 = r2
+			}
+			nb += l2
+		}
+		t.maxBelow[u] = mb
+		t.minBelow[u] = nb
+		t.refreshBestAt(u)
+	}
+	t.dirty = false
 }
 
 // refreshBestAt recomputes bestAt[u] from u's (already current) children.
@@ -148,6 +210,7 @@ func (t *Tree) refreshBestAt(u tree.Node) {
 // MaxLoad returns the machine-wide maximum PE load (the paper's
 // L_A(sigma; tau) at the current instant).
 func (t *Tree) MaxLoad() int {
+	t.flush()
 	return int(t.maxBelow[1])
 }
 
@@ -164,6 +227,7 @@ func (t *Tree) PELoad(p int) int {
 // SubmachineLoad returns the load of the submachine rooted at v: the
 // maximum load among its PEs.
 func (t *Tree) SubmachineLoad(v tree.Node) int {
+	t.flush()
 	sum := t.maxBelow[v]
 	t.m.Ancestors(v, func(u tree.Node) bool {
 		sum += t.cover[u]
@@ -191,6 +255,7 @@ func (t *Tree) CumulativeSize() int64 {
 // child whose contribution attains the minimum, preferring the left child
 // on ties.
 func (t *Tree) LeftmostMinLoad(size int) (tree.Node, int) {
+	t.flush()
 	d := t.m.DepthForSize(size)
 	load := t.bestAt[1][d]
 	if d >= 1 {
@@ -232,8 +297,11 @@ func (t *Tree) fill(v tree.Node, pathSum int32, out []int) {
 }
 
 // CheckInvariants recomputes the aggregate from scratch and panics on any
-// mismatch; used by tests and the simulator's paranoid mode.
+// mismatch; used by tests and the simulator's paranoid mode. Pending
+// deferred updates are flushed first — they are bookkeeping debt, not an
+// inconsistency.
 func (t *Tree) CheckInvariants() {
+	t.flush()
 	var rec func(v tree.Node) (int32, int32)
 	rec = func(v tree.Node) (int32, int32) {
 		mb, nb := t.cover[v], t.cover[v]

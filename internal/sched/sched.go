@@ -19,6 +19,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -183,6 +184,30 @@ func RunChecked(a core.Allocator, w Workload, check *invariant.Checker) Result {
 	return RunFaulted(a, w, check, nil)
 }
 
+// RunContext is Run with cooperative cancellation; see RunFaultedContext.
+func RunContext(ctx context.Context, a core.Allocator, w Workload) (Result, error) {
+	var check *invariant.Checker
+	if invariant.Debug {
+		check = invariant.New(a.Machine())
+		check.SetPanic(true)
+	}
+	return runFaultedCtx(ctx, a, w, check, nil)
+}
+
+// RunCheckedContext is RunChecked with cooperative cancellation.
+func RunCheckedContext(ctx context.Context, a core.Allocator, w Workload, check *invariant.Checker) (Result, error) {
+	return runFaultedCtx(ctx, a, w, check, nil)
+}
+
+// RunFaultedContext is RunFaulted with cooperative cancellation: the
+// context is polled periodically and, once cancelled, the run stops at the
+// next event boundary and returns the partially summarized Result (jobs
+// completed so far, makespan = simulated time reached) with ctx.Err() —
+// the same shape a SIGINT checkpoint records.
+func RunFaultedContext(ctx context.Context, a core.Allocator, w Workload, check *invariant.Checker, faults fault.Source) (Result, error) {
+	return runFaultedCtx(ctx, a, w, check, faults)
+}
+
 // RunFaulted is RunChecked with PE-failure injection. Fault events for
 // index i fire immediately before the i-th processed event (arrivals and
 // completions both count), matching internal/sim's event-indexed
@@ -192,6 +217,17 @@ func RunChecked(a core.Allocator, w Workload, check *invariant.Checker) Result {
 // RunFaulted panics otherwise) and keep executing at their new
 // placement's rate. faults may be nil.
 func RunFaulted(a core.Allocator, w Workload, check *invariant.Checker, faults fault.Source) Result {
+	res, _ := runFaultedCtx(nil, a, w, check, faults)
+	return res
+}
+
+// cancelCheckStride is how many events runFaultedCtx processes between
+// context polls.
+const cancelCheckStride = 64
+
+// runFaultedCtx is the shared implementation; ctx == nil skips
+// cancellation checks entirely.
+func runFaultedCtx(ctx context.Context, a core.Allocator, w Workload, check *invariant.Checker, faults fault.Source) (Result, error) {
 	m := a.Machine()
 	n := m.N()
 	if err := w.Validate(n); err != nil {
@@ -265,7 +301,18 @@ func RunFaulted(a core.Allocator, w Workload, check *invariant.Checker, faults f
 		res.Jobs = append(res.Jobs, r)
 	}
 
+	var runErr error
 	for next < len(w.Jobs) || len(active) > 0 {
+		if ctx != nil && events%cancelCheckStride == 0 {
+			select {
+			case <-ctx.Done():
+				runErr = ctx.Err()
+			default:
+			}
+			if runErr != nil {
+				break
+			}
+		}
 		if ft != nil {
 			applied := false
 			for _, fe := range faults.Next(events, a) {
@@ -338,7 +385,7 @@ func RunFaulted(a core.Allocator, w Workload, check *invariant.Checker, faults f
 	if ft != nil {
 		res.Forced = ft.ForcedStats()
 	}
-	return res
+	return res, runErr
 }
 
 func summarize(res *Result) {

@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"partalloc/internal/core"
@@ -80,6 +81,28 @@ type Result struct {
 // The sequence must be valid for the allocator's machine (see
 // task.Sequence.Validate); Run panics otherwise, as allocators do.
 func Run(a core.Allocator, seq task.Sequence, opt Options) Result {
+	res, _ := runCtx(nil, a, seq, opt)
+	return res
+}
+
+// cancelCheckStride is how many events runCtx processes between context
+// polls. Cancellation latency is bounded by this many events plus one
+// (possibly long) reallocation.
+const cancelCheckStride = 64
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// every cancelCheckStride events, and on cancellation the measurements
+// accumulated so far are returned (Result.Events reports how many events
+// were actually processed) together with ctx.Err(). The partial Result is
+// finalized exactly like a completed one, so callers can checkpoint it the
+// same way the sweep harness checkpoints on SIGINT.
+func RunContext(ctx context.Context, a core.Allocator, seq task.Sequence, opt Options) (Result, error) {
+	return runCtx(ctx, a, seq, opt)
+}
+
+// runCtx is the shared implementation; ctx == nil skips cancellation
+// checks entirely (the hot path of Run).
+func runCtx(ctx context.Context, a core.Allocator, seq task.Sequence, opt Options) (Result, error) {
 	m := a.Machine()
 	n := m.N()
 	res := Result{Algorithm: a.Name(), N: n, Events: len(seq.Events)}
@@ -108,7 +131,20 @@ func Run(a core.Allocator, seq task.Sequence, opt Options) Result {
 	var activeSize, maxActiveSize int64
 	peakRatio := 0.0
 	failedNow := 0
+	var runErr error
+	processed := len(seq.Events)
 	for i, e := range seq.Events {
+		if ctx != nil && i%cancelCheckStride == 0 {
+			select {
+			case <-ctx.Done():
+				runErr = ctx.Err()
+			default:
+			}
+			if runErr != nil {
+				processed = i
+				break
+			}
+		}
 		if ft != nil {
 			for _, fe := range opt.Faults.Next(i, a) {
 				switch fe.Kind {
@@ -185,6 +221,7 @@ func Run(a core.Allocator, seq task.Sequence, opt Options) Result {
 		}
 	}
 
+	res.Events = processed
 	res.FinalLoad = a.MaxLoad()
 	res.LStar = int(0)
 	if maxActiveSize > 0 {
@@ -204,5 +241,5 @@ func Run(a core.Allocator, seq task.Sequence, opt Options) Result {
 	if slow != nil {
 		res.Slowdowns = slow.All()
 	}
-	return res
+	return res, runErr
 }

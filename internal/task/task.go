@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"partalloc/internal/errs"
 	"partalloc/internal/mathx"
 )
 
@@ -81,13 +82,13 @@ func (s *Sequence) Validate(n int) error {
 				return fmt.Errorf("task: event %d arrival with invalid id %d", i, e.Task)
 			}
 			if arrived[e.Task] {
-				return fmt.Errorf("task: event %d re-arrival of task %d", i, e.Task)
+				return fmt.Errorf("task: event %d re-arrival of task %d: %w", i, e.Task, errs.ErrDuplicateTask)
 			}
 			if !mathx.IsPow2(e.Size) {
-				return fmt.Errorf("task: event %d task %d size %d is not a power of two", i, e.Task, e.Size)
+				return fmt.Errorf("task: event %d task %d size %d: %w", i, e.Task, e.Size, errs.ErrNotPowerOfTwo)
 			}
 			if n > 0 && e.Size > n {
-				return fmt.Errorf("task: event %d task %d size %d exceeds machine size %d", i, e.Task, e.Size, n)
+				return fmt.Errorf("task: event %d task %d size %d exceeds machine size %d: %w", i, e.Task, e.Size, n, errs.ErrTaskTooLarge)
 			}
 			arrived[e.Task] = true
 			active[e.Task] = e.Size

@@ -15,6 +15,7 @@ package tree
 import (
 	"fmt"
 
+	"partalloc/internal/errs"
 	"partalloc/internal/mathx"
 )
 
@@ -34,7 +35,7 @@ type Machine struct {
 // subtrees).
 func New(n int) (*Machine, error) {
 	if !mathx.IsPow2(n) {
-		return nil, fmt.Errorf("tree: machine size %d is not a power of two", n)
+		return nil, fmt.Errorf("tree: machine size %d: %w", n, errs.ErrNotPowerOfTwo)
 	}
 	return &Machine{n: n, levels: mathx.Log2(n)}, nil
 }

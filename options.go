@@ -1,0 +1,225 @@
+package partalloc
+
+import (
+	"fmt"
+
+	"partalloc/internal/core"
+	"partalloc/internal/fault"
+)
+
+// Algorithm selects an allocation algorithm for New. The zero value is
+// invalid so an unset field is caught at construction.
+type Algorithm int
+
+const (
+	// AlgoGreedy is A_G: leftmost minimum-load placement (Theorem 4.1).
+	AlgoGreedy Algorithm = iota + 1
+	// AlgoBasic is A_B: first-fit over copies of the machine (Lemma 2).
+	AlgoBasic
+	// AlgoConstant is A_C: reallocate on every arrival, load = L* (Theorem 3.1).
+	AlgoConstant
+	// AlgoPeriodic is A_M(d): A_B plus a reallocation every d·N arrived
+	// units (Theorem 4.2). Requires WithD.
+	AlgoPeriodic
+	// AlgoLazy is the on-demand variant of A_M(d): same bound, less
+	// migration traffic. Requires WithD.
+	AlgoLazy
+	// AlgoRandom is A_Rand: oblivious uniform placement (Theorem 5.1).
+	AlgoRandom
+	// AlgoTwoChoice is the balanced-allocations baseline: the less loaded
+	// of two uniformly random submachines.
+	AlgoTwoChoice
+	// AlgoGreedyRandomTie is the A_G ablation with uniform-random
+	// tie-breaking instead of leftmost.
+	AlgoGreedyRandomTie
+)
+
+// String returns the algorithm's paper name.
+func (al Algorithm) String() string {
+	switch al {
+	case AlgoGreedy:
+		return "A_G"
+	case AlgoBasic:
+		return "A_B"
+	case AlgoConstant:
+		return "A_C"
+	case AlgoPeriodic:
+		return "A_M"
+	case AlgoLazy:
+		return "A_M-lazy"
+	case AlgoRandom:
+		return "A_Rand"
+	case AlgoTwoChoice:
+		return "A_2C"
+	case AlgoGreedyRandomTie:
+		return "A_G-randtie"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(al))
+}
+
+// ParseAlgorithm maps a paper name (as produced by Algorithm.String) back
+// to its Algorithm; command-line front ends use it.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, al := range []Algorithm{
+		AlgoGreedy, AlgoBasic, AlgoConstant, AlgoPeriodic,
+		AlgoLazy, AlgoRandom, AlgoTwoChoice, AlgoGreedyRandomTie,
+	} {
+		if al.String() == s {
+			return al, nil
+		}
+	}
+	return 0, fmt.Errorf("partalloc: unknown algorithm %q", s)
+}
+
+// FaultSchedule is a validated list of PE failure/recovery events keyed to
+// simulation event indexes; attach one with WithFaults.
+type FaultSchedule = fault.Schedule
+
+// FaultEvent is one failure or recovery in a FaultSchedule.
+type FaultEvent = fault.Event
+
+// Fault event kinds for building FaultSchedules.
+const (
+	// FailPE takes a PE out of service just before the event index.
+	FailPE = fault.FailPE
+	// RecoverPE returns a failed PE to service.
+	RecoverPE = fault.RecoverPE
+)
+
+// config accumulates functional options for New.
+type config struct {
+	d        int
+	dSet     bool
+	order    ReallocOrder
+	orderSet bool
+	seed     int64
+	seedSet  bool
+	faults   *fault.Schedule
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithD sets the reallocation parameter d for AlgoPeriodic and AlgoLazy
+// (d < 0 encodes ∞). New rejects it for algorithms that never reallocate.
+func WithD(d int) Option {
+	return func(c *config) { c.d, c.dSet = d, true }
+}
+
+// WithOrder selects the reallocation procedure's packing order for
+// AlgoConstant, AlgoPeriodic and AlgoLazy. Default DecreasingSize (the
+// paper's first-fit-decreasing).
+func WithOrder(o ReallocOrder) Option {
+	return func(c *config) { c.order, c.orderSet = o, true }
+}
+
+// WithSeed seeds the randomized algorithms (AlgoRandom, AlgoTwoChoice,
+// AlgoGreedyRandomTie). Default 1. New rejects it for deterministic
+// algorithms: a silently ignored seed hides a misconfigured experiment.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed, c.seedSet = seed, true }
+}
+
+// WithFaults attaches a PE fault schedule: Simulate, SimulateContext,
+// Execute and the Engine inject the schedule's failures and recoveries
+// automatically, with no SimOptions.Faults wiring. The schedule is
+// validated against the machine at New time; the algorithm must tolerate
+// faults (AlgoRandom, AlgoTwoChoice and AlgoGreedyRandomTie do not).
+func WithFaults(sched FaultSchedule) Option {
+	return func(c *config) {
+		s := fault.Schedule{Events: append([]fault.Event(nil), sched.Events...)}
+		c.faults = &s
+	}
+}
+
+// New builds an allocator for algo on machine m. Invalid combinations are
+// rejected with descriptive errors (strict by design: every option must be
+// meaningful for the chosen algorithm). The returned Allocator is also a
+// Reallocator when algo reallocates.
+//
+// This constructor supersedes NewGreedy, NewBasic, NewConstant,
+// NewPeriodic, NewLazy and NewRandom.
+func New(algo Algorithm, m *Machine, opts ...Option) (Allocator, error) {
+	if m == nil {
+		return nil, fmt.Errorf("partalloc: New(%v): nil machine", algo)
+	}
+	c := config{order: DecreasingSize, seed: 1}
+	for _, o := range opts {
+		o(&c)
+	}
+
+	takesD := algo == AlgoPeriodic || algo == AlgoLazy
+	takesOrder := takesD || algo == AlgoConstant
+	takesSeed := algo == AlgoRandom || algo == AlgoTwoChoice || algo == AlgoGreedyRandomTie
+	switch {
+	case c.dSet && !takesD:
+		return nil, fmt.Errorf("partalloc: New(%v): WithD only applies to AlgoPeriodic and AlgoLazy", algo)
+	case !c.dSet && takesD:
+		return nil, fmt.Errorf("partalloc: New(%v): WithD is required (use WithD(-1) for d = ∞)", algo)
+	case c.orderSet && !takesOrder:
+		return nil, fmt.Errorf("partalloc: New(%v): WithOrder only applies to reallocating algorithms", algo)
+	case c.seedSet && !takesSeed:
+		return nil, fmt.Errorf("partalloc: New(%v): WithSeed only applies to randomized algorithms", algo)
+	}
+
+	var a core.Allocator
+	switch algo {
+	case AlgoGreedy:
+		a = core.NewGreedy(m)
+	case AlgoBasic:
+		a = core.NewBasic(m)
+	case AlgoConstant:
+		a = core.NewConstant(m)
+	case AlgoPeriodic:
+		a = core.NewPeriodic(m, c.d, c.order)
+	case AlgoLazy:
+		a = core.NewLazy(m, c.d, c.order)
+	case AlgoRandom:
+		a = core.NewRandom(m, c.seed)
+	case AlgoTwoChoice:
+		a = core.NewTwoChoice(m, c.seed)
+	case AlgoGreedyRandomTie:
+		a = core.NewGreedyRandomTie(m, c.seed)
+	default:
+		return nil, fmt.Errorf("partalloc: New: unknown algorithm %v", algo)
+	}
+
+	if c.faults != nil {
+		if err := c.faults.Validate(m.N()); err != nil {
+			return nil, fmt.Errorf("partalloc: New(%v): %w", algo, err)
+		}
+		if _, ok := a.(core.FaultTolerant); !ok {
+			return nil, fmt.Errorf("partalloc: New(%v): algorithm does not support fault injection", algo)
+		}
+		return &faultedAllocator{Allocator: a, sched: *c.faults}, nil
+	}
+	return a, nil
+}
+
+// MustNew is New, panicking on error; for tests and examples.
+func MustNew(algo Algorithm, m *Machine, opts ...Option) Allocator {
+	a, err := New(algo, m, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// faultedAllocator carries a WithFaults schedule alongside the allocator.
+// It only wraps when WithFaults is used, so the common path keeps direct
+// access to the concrete allocator's optional interfaces (Reallocator,
+// FaultTolerant, BatchApplier). Simulate/Execute/Engine unwrap it and turn
+// the schedule into a fault source.
+type faultedAllocator struct {
+	core.Allocator
+	sched fault.Schedule
+}
+
+// unwrapFaults splits a possibly fault-wrapped allocator into the
+// underlying allocator and its schedule (nil when none is attached).
+func unwrapFaults(a Allocator) (Allocator, *fault.Schedule) {
+	if fa, ok := a.(*faultedAllocator); ok {
+		return fa.Allocator, &fa.sched
+	}
+	return a, nil
+}

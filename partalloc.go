@@ -47,10 +47,12 @@
 package partalloc
 
 import (
+	"context"
 	"io"
 
 	"partalloc/internal/adversary"
 	"partalloc/internal/core"
+	"partalloc/internal/fault"
 	"partalloc/internal/mathx"
 	"partalloc/internal/sched"
 	"partalloc/internal/sim"
@@ -98,6 +100,18 @@ type Allocator = core.Allocator
 // Reallocator is implemented by allocators that migrate tasks.
 type Reallocator = core.Reallocator
 
+// FaultTolerant is implemented by allocators that survive PE failures and
+// recoveries (all deterministic algorithms here; the randomized ones are
+// oblivious and do not).
+type FaultTolerant = core.FaultTolerant
+
+// Migration records one task moved between submachines.
+type Migration = core.Migration
+
+// ForcedStats accounts migrations forced by PE failures, separate from the
+// voluntary d-reallocation budget.
+type ForcedStats = core.ForcedStats
+
 // ReallocStats counts reallocations, migrated tasks and moved PE-units.
 type ReallocStats = core.ReallocStats
 
@@ -114,25 +128,37 @@ const (
 )
 
 // NewGreedy returns the greedy algorithm A_G.
+//
+// Deprecated: use New(AlgoGreedy, m).
 func NewGreedy(m *Machine) Allocator { return core.NewGreedy(m) }
 
 // NewBasic returns the first-fit-over-copies algorithm A_B.
+//
+// Deprecated: use New(AlgoBasic, m).
 func NewBasic(m *Machine) Allocator { return core.NewBasic(m) }
 
 // NewConstant returns the constantly-reallocating algorithm A_C.
+//
+// Deprecated: use New(AlgoConstant, m).
 func NewConstant(m *Machine) Reallocator { return core.NewConstant(m) }
 
 // NewPeriodic returns the d-reallocation algorithm A_M. d < 0 encodes ∞.
+//
+// Deprecated: use New(AlgoPeriodic, m, WithD(d), WithOrder(order)).
 func NewPeriodic(m *Machine, d int, order ReallocOrder) Reallocator {
 	return core.NewPeriodic(m, d, order)
 }
 
 // NewLazy returns the lazy d-reallocation variant.
+//
+// Deprecated: use New(AlgoLazy, m, WithD(d), WithOrder(order)).
 func NewLazy(m *Machine, d int, order ReallocOrder) Reallocator {
 	return core.NewLazy(m, d, order)
 }
 
 // NewRandom returns the oblivious randomized algorithm A_Rand.
+//
+// Deprecated: use New(AlgoRandom, m, WithSeed(seed)).
 func NewRandom(m *Machine, seed int64) Allocator { return core.NewRandom(m, seed) }
 
 // NewTwoChoice returns the balanced-allocations baseline (Azar et al., the
@@ -153,9 +179,32 @@ type SimOptions = sim.Options
 type SimResult = sim.Result
 
 // Simulate drives an allocator through a sequence and measures loads,
-// competitive ratio and reallocation cost.
+// competitive ratio and reallocation cost. An allocator built with
+// WithFaults has its schedule injected automatically (unless opt.Faults is
+// already set, which wins).
 func Simulate(a Allocator, seq Sequence, opt SimOptions) SimResult {
+	a, opt = resolveFaults(a, opt)
 	return sim.Run(a, seq, opt)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: once ctx is
+// cancelled the run stops at the next event boundary and returns the
+// measurements accumulated so far (SimResult.Events holds the processed
+// count) together with ctx.Err() — the same partial-result shape the sweep
+// harness checkpoints on SIGINT.
+func SimulateContext(ctx context.Context, a Allocator, seq Sequence, opt SimOptions) (SimResult, error) {
+	a, opt = resolveFaults(a, opt)
+	return sim.RunContext(ctx, a, seq, opt)
+}
+
+// resolveFaults unwraps a WithFaults allocator into (inner allocator,
+// options with the schedule's source attached).
+func resolveFaults(a Allocator, opt SimOptions) (Allocator, SimOptions) {
+	inner, sched := unwrapFaults(a)
+	if sched != nil && opt.Faults == nil {
+		opt.Faults = sched.Source()
+	}
+	return inner, opt
 }
 
 // WorkloadConfig parameterizes PoissonWorkload.
@@ -233,7 +282,30 @@ func RandomSchedWorkload(cfg SchedWorkloadConfig) SchedWorkload {
 // time-sharing: each job advances at 1/(max load in its submachine), so
 // departures — and therefore response times — are determined by the
 // allocator's balance. This is the paper's §2 slowdown model, executed.
-func Execute(a Allocator, w SchedWorkload) SchedResult { return sched.Run(a, w) }
+// An allocator built with WithFaults has its schedule injected.
+func Execute(a Allocator, w SchedWorkload) SchedResult {
+	inner, schedF := unwrapFaults(a)
+	if schedF != nil {
+		return sched.RunFaulted(inner, w, nil, schedF.Source())
+	}
+	return sched.Run(inner, w)
+}
+
+// ExecuteContext is Execute with cooperative cancellation: once ctx is
+// cancelled the run stops at the next event boundary and returns the jobs
+// completed so far together with ctx.Err().
+func ExecuteContext(ctx context.Context, a Allocator, w SchedWorkload) (SchedResult, error) {
+	inner, schedF := unwrapFaults(a)
+	var src FaultSource
+	if schedF != nil {
+		src = schedF.Source()
+	}
+	return sched.RunFaultedContext(ctx, inner, w, nil, src)
+}
+
+// FaultSource feeds fault events into a run; FaultSchedule.Source returns
+// one.
+type FaultSource = fault.Source
 
 // SubcubeStrategy selects an exclusive (space-shared) subcube recognition
 // scheme on a hypercube: SubcubeBuddy, SubcubeGrayCode (Chen/Shin) or
