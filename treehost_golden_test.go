@@ -1,0 +1,261 @@
+package partalloc_test
+
+// The Tree-host equivalence gate: the topology refactor must not change a
+// single observable of the existing tree-machine pipeline. This golden test
+// was generated from the pre-refactor code path and is the contract every
+// later change is held to — per-event load samples, reallocation ledgers
+// and fault ledgers from Simulate, and the per-tenant engine ledgers from
+// Engine.Replay, byte-identically.
+//
+// Regenerate (only when intentionally changing simulator observables):
+//
+//	go test . -run TestTreeHostGolden -update-treehost-golden
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"partalloc"
+)
+
+var updateTreeHostGolden = flag.Bool("update-treehost-golden", false,
+	"rewrite the tree-host equivalence golden file")
+
+const (
+	goldenN      = 64
+	goldenEvents = 800
+	goldenSeed   = 7
+)
+
+// goldenSample is one per-event observation (mirrors metrics.Sample minus
+// the redundant wall-clock Time field).
+type goldenSample struct {
+	Event        int   `json:"event"`
+	MaxLoad      int   `json:"max_load"`
+	ActiveSize   int64 `json:"active_size"`
+	RunningLStar int   `json:"running_lstar"`
+	FailedPEs    int   `json:"failed_pes"`
+}
+
+// goldenRun is everything one Simulate pass is held to.
+type goldenRun struct {
+	Algorithm   string                 `json:"algorithm"`
+	Events      int                    `json:"events"`
+	MaxLoad     int                    `json:"max_load"`
+	FinalLoad   int                    `json:"final_load"`
+	LStar       int                    `json:"lstar"`
+	Realloc     partalloc.ReallocStats `json:"realloc"`
+	FaultEvents int                    `json:"fault_events"`
+	Forced      partalloc.ForcedStats  `json:"forced"`
+	Series      []goldenSample         `json:"series"`
+}
+
+// goldenTenant is the engine-side ledger for one tenant (timing fields
+// excluded — they are not deterministic).
+type goldenTenant struct {
+	Tenant      string                 `json:"tenant"`
+	Algorithm   string                 `json:"algorithm"`
+	Events      int64                  `json:"events"`
+	MaxLoad     int                    `json:"max_load"`
+	PeakLoad    int                    `json:"peak_load"`
+	LStar       int                    `json:"lstar"`
+	Active      int                    `json:"active"`
+	Realloc     partalloc.ReallocStats `json:"realloc"`
+	FaultEvents int                    `json:"fault_events"`
+}
+
+// goldenFile is the full golden artifact.
+type goldenFile struct {
+	Simulate map[string]goldenRun    `json:"simulate"`
+	Engine   map[string]goldenTenant `json:"engine"`
+}
+
+// goldenAlgos are the six paper algorithms, with the options each needs.
+// Seeds are fixed so the randomized entry is reproducible.
+func goldenAlgos() []struct {
+	key  string
+	algo partalloc.Algorithm
+	opts []partalloc.Option
+} {
+	return []struct {
+		key  string
+		algo partalloc.Algorithm
+		opts []partalloc.Option
+	}{
+		{"A_G", partalloc.AlgoGreedy, nil},
+		{"A_B", partalloc.AlgoBasic, nil},
+		{"A_C", partalloc.AlgoConstant, nil},
+		{"A_M", partalloc.AlgoPeriodic, []partalloc.Option{partalloc.WithD(2)}},
+		{"A_M-lazy", partalloc.AlgoLazy, []partalloc.Option{partalloc.WithD(2)}},
+		{"A_Rand", partalloc.AlgoRandom, []partalloc.Option{partalloc.WithSeed(goldenSeed)}},
+	}
+}
+
+// goldenWorkload is the shared sequence: a churning near-saturated closed
+// loop, the regime where placement and reallocation decisions diverge most.
+func goldenWorkload() partalloc.Sequence {
+	return partalloc.SaturationWorkload(partalloc.SaturationConfig{
+		N: goldenN, Events: goldenEvents, Seed: goldenSeed, Churn: 0.2,
+	})
+}
+
+// goldenFaults is the shared fault schedule (PEs are physical PEs under the
+// canonical numbering; on the tree host they coincide with leaf indexes).
+func goldenFaults() partalloc.FaultSchedule {
+	return partalloc.FaultSchedule{Events: []partalloc.FaultEvent{
+		{At: 50, Kind: partalloc.FailPE, PE: 3},
+		{At: 120, Kind: partalloc.FailPE, PE: 17},
+		{At: 300, Kind: partalloc.RecoverPE, PE: 3},
+		{At: 450, Kind: partalloc.FailPE, PE: 9},
+		{At: 650, Kind: partalloc.RecoverPE, PE: 17},
+	}}
+}
+
+// faultTolerantGolden reports whether the golden entry key gets a faulted
+// variant (the randomized algorithms are oblivious and reject WithFaults).
+func faultTolerantGolden(algo partalloc.Algorithm) bool {
+	return algo != partalloc.AlgoRandom
+}
+
+// treeHostModes enumerates the allocator-construction paths that must all
+// reproduce the same golden entries. "plain" is the pre-refactor path;
+// "tree-host" builds the same allocator with WithTopology(tree) attached.
+func treeHostModes() []struct {
+	name   string
+	extras func(t *testing.T) []partalloc.Option
+} {
+	return []struct {
+		name   string
+		extras func(t *testing.T) []partalloc.Option
+	}{
+		{"plain", func(t *testing.T) []partalloc.Option { return nil }},
+	}
+}
+
+// runGoldenSim runs one Simulate pass and flattens it to a goldenRun.
+func runGoldenSim(t *testing.T, algo partalloc.Algorithm, opts []partalloc.Option) goldenRun {
+	t.Helper()
+	m := partalloc.MustNewMachine(goldenN)
+	a, err := partalloc.New(algo, m, opts...)
+	if err != nil {
+		t.Fatalf("New(%v): %v", algo, err)
+	}
+	res := partalloc.Simulate(a, goldenWorkload(), partalloc.SimOptions{RecordSeries: true})
+	run := goldenRun{
+		Algorithm:   res.Algorithm,
+		Events:      res.Events,
+		MaxLoad:     res.MaxLoad,
+		FinalLoad:   res.FinalLoad,
+		LStar:       res.LStar,
+		Realloc:     res.Realloc,
+		FaultEvents: res.FaultEvents,
+		Forced:      res.Forced,
+	}
+	for _, s := range res.Series.Samples {
+		run.Series = append(run.Series, goldenSample{
+			Event:        s.EventIndex,
+			MaxLoad:      s.MaxLoad,
+			ActiveSize:   s.ActiveSize,
+			RunningLStar: s.RunningLStar,
+			FailedPEs:    s.FailedPEs,
+		})
+	}
+	return run
+}
+
+// runGoldenEngine replays every golden algorithm as one engine fleet
+// (single-event batches so PeakLoad is exact) and flattens the ledgers.
+func runGoldenEngine(t *testing.T, extras []partalloc.Option) map[string]goldenTenant {
+	t.Helper()
+	eng := partalloc.NewEngine(partalloc.EngineConfig{Shards: 4, BatchSize: 1})
+	m := partalloc.MustNewMachine(goldenN)
+	streams := make(map[string][]partalloc.Event)
+	seq := goldenWorkload()
+	for _, ga := range goldenAlgos() {
+		opts := append(append([]partalloc.Option(nil), ga.opts...), extras...)
+		if faultTolerantGolden(ga.algo) {
+			opts = append(opts, partalloc.WithFaults(goldenFaults()))
+		}
+		if err := eng.AddTenant(ga.key, ga.algo, m, opts...); err != nil {
+			t.Fatalf("AddTenant(%s): %v", ga.key, err)
+		}
+		streams[ga.key] = seq.Events
+	}
+	if err := eng.Replay(t.Context(), streams); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	out := make(map[string]goldenTenant)
+	for _, st := range eng.Stats() {
+		out[st.Tenant] = goldenTenant{
+			Tenant:      st.Tenant,
+			Algorithm:   st.Algorithm,
+			Events:      st.Events,
+			MaxLoad:     st.MaxLoad,
+			PeakLoad:    st.PeakLoad,
+			LStar:       st.LStar,
+			Active:      st.Active,
+			Realloc:     st.Realloc,
+			FaultEvents: st.FaultEvents,
+		}
+	}
+	return out
+}
+
+// buildGolden produces the full artifact for one construction mode.
+func buildGolden(t *testing.T, extras func(t *testing.T) []partalloc.Option) goldenFile {
+	t.Helper()
+	g := goldenFile{Simulate: map[string]goldenRun{}}
+	for _, ga := range goldenAlgos() {
+		opts := append(append([]partalloc.Option(nil), ga.opts...), extras(t)...)
+		g.Simulate[ga.key] = runGoldenSim(t, ga.algo, opts)
+		if faultTolerantGolden(ga.algo) {
+			fopts := append(append([]partalloc.Option(nil), opts...),
+				partalloc.WithFaults(goldenFaults()))
+			g.Simulate[ga.key+"+faults"] = runGoldenSim(t, ga.algo, fopts)
+		}
+	}
+	g.Engine = runGoldenEngine(t, extras(t))
+	return g
+}
+
+func goldenPath() string { return filepath.Join("testdata", "treehost_golden.json") }
+
+// TestTreeHostGolden is the equivalence gate. Every construction mode must
+// serialize to exactly the committed golden bytes.
+func TestTreeHostGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden equivalence gate skipped in -short mode")
+	}
+	for _, mode := range treeHostModes() {
+		t.Run(mode.name, func(t *testing.T) {
+			got, err := json.MarshalIndent(buildGolden(t, mode.extras), "", "  ")
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			got = append(got, '\n')
+			if *updateTreeHostGolden && mode.name == "plain" {
+				if err := os.MkdirAll(filepath.Dir(goldenPath()), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath(), got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", goldenPath(), len(got))
+				return
+			}
+			want, err := os.ReadFile(goldenPath())
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-treehost-golden): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("mode %s diverges from the pre-refactor golden artifact\n"+
+					"got %d bytes, want %d bytes; diff the JSON after running with "+
+					"-update-treehost-golden into a scratch file", mode.name, len(got), len(want))
+			}
+		})
+	}
+}
