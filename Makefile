@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short test-race test-fault lint bench experiments experiments-quick cover golden clean
+.PHONY: all build test test-short test-race test-fault test-topology lint bench experiments experiments-quick cover golden clean
 
 all: build lint test
 
@@ -24,6 +24,14 @@ test-race:
 # byte-identity, and panicking-cell isolation (see docs/FAULTS.md).
 test-fault:
 	./scripts/fault-smoke.sh
+
+# Topology suite under the race detector (docs/TOPOLOGIES.md): host
+# construction and O(1) migration pricing vs brute force, the tree-host
+# byte-identity golden, and the cross-topology trajectory equivalence of
+# all six algorithms through Simulate and the engine.
+test-topology:
+	go test -race ./internal/topology/
+	go test -race -run 'TestTreeHostGolden|TestCrossTopology' .
 
 # Run the project's own analyzer suite (docs/LINTS.md): standalone over
 # every package, then again through go vet's vettool protocol so both

@@ -24,7 +24,6 @@ import (
 	"partalloc/internal/stats"
 	"partalloc/internal/task"
 	"partalloc/internal/trace"
-	"partalloc/internal/tree"
 )
 
 func main() {
@@ -37,10 +36,11 @@ func main() {
 	traceOut := flag.String("trace-out", "", "save the (last) constructed sequence as a JSON trace")
 	flag.Parse()
 
-	m, err := tree.New(*n)
+	host, err := cli.MakeHost("tree", *n)
 	if err != nil {
 		fatal(err)
 	}
+	m := host.Tree()
 
 	if *sigmaR {
 		loads := make([]float64, 0, *seeds)

@@ -7,7 +7,13 @@
 // Usage:
 //
 //	engined [-tenants 8] [-arrivals 10000] [-n 1024] [-batch 4096]
-//	        [-shards 0] [-algo A_Rand] [-seed 1] [-quick] [-out file.json]
+//	        [-shards 0] [-algo A_Rand] [-topology tree] [-seed 1]
+//	        [-quick] [-out file.json]
+//
+// Every fleet runs on a topology host (-topology; default tree, which is
+// byte-identical to the host-agnostic engine), so the ledger also records
+// the hop-weighted migration cost each algorithm pays on the physical
+// network (see docs/TOPOLOGIES.md).
 //
 // The headline fleet measures ingestion throughput with the oblivious
 // A_Rand allocator (the paper's cheapest placement rule), where engine
@@ -45,12 +51,15 @@ type modeResult struct {
 // algoResult is one per-algorithm fleet comparison.
 type algoResult struct {
 	Algo            string     `json:"algo"`
+	Topology        string     `json:"topology"`
 	N               int        `json:"n"`
 	Tenants         int        `json:"tenants"`
 	EventsPerTenant int        `json:"events_per_tenant"`
 	Batch           int        `json:"batch"`
 	MaxLoad         int        `json:"max_load"`
 	LStar           int        `json:"lstar"`
+	MigHops         int64      `json:"mig_hops"`
+	ForcedHops      int64      `json:"forced_hops"`
 	Engine          modeResult `json:"engine"`
 	Serial          modeResult `json:"serial"`
 	Speedup         float64    `json:"speedup"`
@@ -62,6 +71,7 @@ type report struct {
 	GeneratedBy  string       `json:"generated_by"`
 	GOMAXPROCS   int          `json:"gomaxprocs"`
 	Algo         string       `json:"algo"`
+	Topology     string       `json:"topology"`
 	Tenants      int          `json:"tenants"`
 	EventsTotal  int64        `json:"events_total"`
 	N            int          `json:"n"`
@@ -76,6 +86,7 @@ type report struct {
 // fleetSpec describes one homogeneous tenant fleet.
 type fleetSpec struct {
 	algo     partalloc.Algorithm
+	topo     string // physical network name
 	n        int
 	tenants  int
 	arrivals int
@@ -117,6 +128,7 @@ func main() {
 	batch := flag.Int("batch", 4096, "engine ingestion batch size")
 	shards := flag.Int("shards", 0, "engine shard count (0 = auto)")
 	algoName := flag.String("algo", "A_Rand", "headline fleet algorithm")
+	topoName := flag.String("topology", "tree", cli.TopologyUsage())
 	seed := flag.Int64("seed", 1, "base workload seed")
 	quick := flag.Bool("quick", false, "small fleet, skip the per-algorithm section (CI smoke)")
 	out := flag.String("out", "", "write the JSON ledger here (default stdout)")
@@ -140,12 +152,13 @@ func main() {
 	})
 	defer stop()
 
-	head := fleetSpec{algo: algo, n: *n, tenants: *tenants, arrivals: *arrivals, seed: *seed}
+	head := fleetSpec{algo: algo, topo: *topoName, n: *n, tenants: *tenants, arrivals: *arrivals, seed: *seed}
 	rep := report{
 		Bench:       "engine-replay",
 		GeneratedBy: "cmd/engined",
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Algo:        algo.String(),
+		Topology:    *topoName,
 		Tenants:     *tenants,
 		N:           *n,
 		Batch:       *batch,
@@ -164,10 +177,10 @@ func main() {
 		// short (placement cost, not ingestion, dominates them) and the
 		// peak-load sample is taken at batch boundaries.
 		for _, spec := range []fleetSpec{
-			{algo: partalloc.AlgoBasic, n: 256, tenants: 8, arrivals: 6000, seed: *seed, batch: 256},
-			{algo: partalloc.AlgoPeriodic, n: 256, tenants: 8, arrivals: 1500, seed: *seed, batch: 256},
-			{algo: partalloc.AlgoLazy, n: 256, tenants: 8, arrivals: 1500, seed: *seed, batch: 256},
-			{algo: partalloc.AlgoRandom, n: 1024, tenants: 8, arrivals: 6000, seed: *seed},
+			{algo: partalloc.AlgoBasic, topo: *topoName, n: 256, tenants: 8, arrivals: 6000, seed: *seed, batch: 256},
+			{algo: partalloc.AlgoPeriodic, topo: *topoName, n: 256, tenants: 8, arrivals: 1500, seed: *seed, batch: 256},
+			{algo: partalloc.AlgoLazy, topo: *topoName, n: 256, tenants: 8, arrivals: 1500, seed: *seed, batch: 256},
+			{algo: partalloc.AlgoRandom, topo: *topoName, n: 1024, tenants: 8, arrivals: 6000, seed: *seed},
 		} {
 			res, err := runFleet(ctx, spec, *batch, *shards)
 			if err != nil {
@@ -198,10 +211,15 @@ func runFleet(ctx context.Context, spec fleetSpec, batch, shards int) (algoResul
 	}
 	streams, total := spec.streams()
 
+	top, err := partalloc.NewTopology(spec.topo, spec.n)
+	if err != nil {
+		return algoResult{}, err
+	}
 	eng := partalloc.NewEngine(partalloc.EngineConfig{Shards: shards, BatchSize: batch})
 	m := partalloc.MustNewMachine(spec.n)
 	for i := 0; i < spec.tenants; i++ {
-		if err := eng.AddTenant(tenantID(i), spec.algo, m, spec.opts(i)...); err != nil {
+		opts := append(spec.opts(i), partalloc.WithTopology(top))
+		if err := eng.AddTenant(tenantID(i), spec.algo, m, opts...); err != nil {
 			return algoResult{}, err
 		}
 	}
@@ -213,6 +231,7 @@ func runFleet(ctx context.Context, spec fleetSpec, batch, shards int) (algoResul
 
 	res := algoResult{
 		Algo:            spec.algo.String(),
+		Topology:        spec.topo,
 		N:               spec.n,
 		Tenants:         spec.tenants,
 		EventsPerTenant: int(total) / spec.tenants,
@@ -227,6 +246,8 @@ func runFleet(ctx context.Context, spec fleetSpec, batch, shards int) (algoResul
 		if st.LStar > res.LStar {
 			res.LStar = st.LStar
 		}
+		res.MigHops += st.MigHops
+		res.ForcedHops += st.ForcedHops
 	}
 	res.Engine = modeResult{
 		OpsPerSec:  float64(total) / engWall.Seconds(),
@@ -239,7 +260,7 @@ func runFleet(ctx context.Context, spec fleetSpec, batch, shards int) (algoResul
 	// a pre-engine caller would drive the same fleet.
 	start = time.Now()
 	for i := 0; i < spec.tenants; i++ {
-		a := partalloc.MustNew(spec.algo, m, spec.opts(i)...)
+		a := partalloc.MustNew(spec.algo, m, append(spec.opts(i), partalloc.WithTopology(top))...)
 		if _, err := partalloc.SimulateContext(ctx, a,
 			partalloc.Sequence{Events: streams[tenantID(i)]}, partalloc.SimOptions{}); err != nil {
 			return algoResult{}, err

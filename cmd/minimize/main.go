@@ -20,7 +20,6 @@ import (
 	"partalloc/internal/sim"
 	"partalloc/internal/task"
 	"partalloc/internal/trace"
-	"partalloc/internal/tree"
 )
 
 func main() {
@@ -52,10 +51,11 @@ func main() {
 	if *n == 0 {
 		fatal(fmt.Errorf("machine size unknown: pass -n"))
 	}
-	m, err := tree.New(*n)
+	host, err := cli.MakeHost("tree", *n)
 	if err != nil {
 		fatal(err)
 	}
+	m := host.Tree()
 
 	failing := func(s task.Sequence) bool {
 		if s.Validate(*n) != nil {

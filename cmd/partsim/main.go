@@ -3,12 +3,18 @@
 // cost. Sequences can be saved to and replayed from JSON trace files, so a
 // run is exactly reproducible across algorithms.
 //
+// The -topology flag selects the physical network (hypercube, mesh,
+// butterfly, fat-tree; default tree): the allocator runs on the network's
+// hierarchical decomposition and every migration is additionally priced in
+// network hops (see docs/TOPOLOGIES.md).
+//
 // Examples:
 //
 //	partsim -n 256 -algo greedy -workload poisson -arrivals 2000 -seed 1
 //	partsim -n 256 -algo periodic -d 2 -workload saturation -events 5000
 //	partsim -n 64 -algo lazy -d 1 -trace-out run.json
 //	partsim -n 64 -algo constant -trace-in run.json
+//	partsim -n 64 -algo constant -topology hypercube
 //	partsim -n 4 -algo greedy -figure1     # the paper's worked example
 package main
 
@@ -26,12 +32,12 @@ import (
 	"partalloc/internal/stats"
 	"partalloc/internal/task"
 	"partalloc/internal/trace"
-	"partalloc/internal/tree"
 	"partalloc/internal/workload"
 )
 
 func main() {
 	n := flag.Int("n", 256, "machine size (power of two)")
+	topo := flag.String("topology", "tree", cli.TopologyUsage())
 	algo := flag.String("algo", "greedy", cli.AlgorithmUsage())
 	d := flag.Int("d", 2, "reallocation parameter for periodic/lazy (-1 = never)")
 	wl := flag.String("workload", "poisson", "workload: poisson|saturation|sessions")
@@ -54,10 +60,11 @@ func main() {
 	}
 	// Flag validation: every bad value is reported with usage text, never
 	// as a panic from deep inside an allocator or workload generator.
-	m, err := tree.New(*n)
+	host, err := cli.MakeHost(*topo, *n)
 	if err != nil {
-		usageFatal(fmt.Errorf("-n: %w", err))
+		usageFatal(fmt.Errorf("-topology/-n: %w", err))
 	}
+	m := host.Tree()
 	if *d < -1 {
 		usageFatal(fmt.Errorf("-d must be ≥ -1 (got %d); -1 means never reallocate", *d))
 	}
@@ -146,9 +153,9 @@ func main() {
 		}
 	}
 
-	res := sim.Run(a, seq, sim.Options{TrackSlowdowns: *slowdowns, RecordSeries: *plot, Checker: checker, Faults: faultSrc})
+	res := sim.Run(a, seq, sim.Options{TrackSlowdowns: *slowdowns, RecordSeries: *plot, Checker: checker, Faults: faultSrc, Host: host})
 
-	fmt.Printf("machine:       N=%d (tree)\n", *n)
+	fmt.Printf("machine:       N=%d (%s, diameter %d)\n", *n, host.Name(), host.Diameter())
 	fmt.Printf("workload:      %s (%d events, %d arrivals, s(σ)=%d)\n",
 		label, len(seq.Events), seq.NumArrivals(), seq.Size())
 	fmt.Printf("algorithm:     %s\n", res.Algorithm)
@@ -165,6 +172,8 @@ func main() {
 			res.FaultEvents, len(faultSched.Events), res.Forced.Failures, res.Forced.Recoveries,
 			res.Forced.Migrations, res.Forced.MovedPEs)
 	}
+	fmt.Printf("migration:     %d weighted hop-units voluntary, %d forced (network %s)\n",
+		res.MigHops, res.ForcedHops, res.Topology)
 	if *check {
 		fmt.Printf("invariants:    %d events audited, %d violation(s)\n",
 			checker.Events(), len(checker.Violations()))

@@ -20,7 +20,7 @@ import (
 	"partalloc/internal/sim"
 	"partalloc/internal/subcube"
 	"partalloc/internal/task"
-	"partalloc/internal/tree"
+	"partalloc/internal/topology"
 )
 
 func main() {
@@ -54,24 +54,31 @@ func main() {
 
 	tab := &report.Table{
 		Caption: fmt.Sprintf("space vs time sharing on a %d-cube (N=%d), %d jobs", *dim, n, *jobs),
-		Headers: []string{"discipline", "mean wait", "p95 wait", "frac queued", "utilization", "max PE load"},
+		Headers: []string{"discipline", "mean wait", "p95 wait", "frac queued", "utilization", "max PE load", "mig hops"},
 	}
 	for _, st := range subcube.Strategies() {
 		res := subcube.RunQueue(*dim, st, stream)
 		tab.AddRowf("space/"+st.String(), res.MeanWait, res.P95Wait,
-			float64(res.EverQueued)/float64(*jobs), res.Utilization, 1)
+			float64(res.EverQueued)/float64(*jobs), res.Utilization, 1, 0)
 	}
+	// The time-shared baselines run on the same hypercube the space-shared
+	// strategies carve up, so their migration traffic is priced in cube hops.
+	host, err := topology.NewHostNamed("hypercube", n)
+	if err != nil {
+		fatal(err)
+	}
+	m := host.Tree()
 	for _, e := range []struct {
 		name string
 		mk   func() core.Allocator
 	}{
-		{"time/A_C", func() core.Allocator { return core.NewConstant(tree.MustNew(n)) }},
-		{"time/A_M(d=2)", func() core.Allocator { return core.NewPeriodic(tree.MustNew(n), 2, core.DecreasingSize) }},
-		{"time/A_G", func() core.Allocator { return core.NewGreedy(tree.MustNew(n)) }},
+		{"time/A_C", func() core.Allocator { return core.NewConstant(m) }},
+		{"time/A_M(d=2)", func() core.Allocator { return core.NewPeriodic(m, 2, core.DecreasingSize) }},
+		{"time/A_G", func() core.Allocator { return core.NewGreedy(m) }},
 	} {
 		seq := toSequence(stream)
-		res := sim.Run(e.mk(), seq, sim.Options{})
-		tab.AddRowf(e.name, 0.0, 0.0, 0.0, 0.0, res.MaxLoad)
+		res := sim.Run(e.mk(), seq, sim.Options{Host: host})
+		tab.AddRowf(e.name, 0.0, 0.0, 0.0, 0.0, res.MaxLoad, res.MigHops)
 	}
 	if err := tab.WriteASCII(os.Stdout); err != nil {
 		fatal(err)

@@ -17,6 +17,7 @@
 //	sweep -axis d -n 1024 -algos constant,periodic,lazy,greedy
 //	sweep -axis n -ns 64,256,1024 -algos greedy,random -workload saturation
 //	sweep -axis seed -seeds 20 -algos periodic -d 2 -format csv
+//	sweep -axis n -ns 64,256 -algos constant,lazy -topology hypercube
 //	sweep -axis seed -seeds 50 -faults sched.faults -checkpoint cp.json
 //	sweep -resume -checkpoint cp.json ...   # after an interruption
 package main
@@ -39,7 +40,6 @@ import (
 	"partalloc/internal/report"
 	"partalloc/internal/sim"
 	"partalloc/internal/stats"
-	"partalloc/internal/tree"
 )
 
 // cellSpec is one table row's worth of work, fixed before any cell runs so
@@ -55,6 +55,7 @@ type cellSpec struct {
 
 type config struct {
 	workload string
+	topology string
 	events   int
 	faults   fault.Schedule
 	hasFault bool
@@ -67,6 +68,7 @@ func main() {
 	d := flag.Int("d", 2, "reallocation parameter (fixed axes)")
 	algosFlag := flag.String("algos", "constant,periodic,lazy,greedy,basic,random", "comma-separated algorithms")
 	wl := flag.String("workload", "saturation", "workload: poisson|saturation|sessions")
+	topo := flag.String("topology", "tree", cli.TopologyUsage())
 	seeds := flag.Int("seeds", 5, "seeds per cell (or sweep length for -axis seed)")
 	events := flag.Int("events", 3000, "workload length (events or arrivals)")
 	format := flag.String("format", "ascii", "output: ascii|markdown|csv")
@@ -80,6 +82,7 @@ func main() {
 
 	if err := run(params{
 		axis: *axis, n: *n, ns: *nsFlag, d: *d, algos: *algosFlag, wl: *wl,
+		topo:  *topo,
 		seeds: *seeds, events: *events, format: *format, workers: *workers,
 		faultsFile: *faultsFlag, checkpoint: *checkpointFlag, resume: *resume,
 		haltAfter: *haltAfter, panicCell: *panicCell,
@@ -97,6 +100,7 @@ func main() {
 
 type params struct {
 	axis, ns, algos, wl, format  string
+	topo                         string
 	n, d, seeds, events, workers int
 	faultsFile, checkpoint       string
 	resume                       bool
@@ -235,9 +239,9 @@ func run(p params) error {
 // All validation errors surface here, with usage text, before any work
 // starts — never as a panic mid-sweep.
 func plan(p params) ([]cellSpec, config, string, error) {
-	cfg := config{workload: p.wl, events: p.events}
-	if _, err := tree.New(p.n); err != nil {
-		return nil, cfg, "", badFlag("-n: %v", err)
+	cfg := config{workload: p.wl, topology: p.topo, events: p.events}
+	if _, err := cli.MakeHost(p.topo, p.n); err != nil {
+		return nil, cfg, "", badFlag("-topology/-n: %v", err)
 	}
 	if p.d < -1 {
 		return nil, cfg, "", badFlag("-d must be ≥ -1 (got %d); -1 means never reallocate", p.d)
@@ -307,7 +311,7 @@ func plan(p params) ([]cellSpec, config, string, error) {
 			if err != nil {
 				return nil, cfg, "", badFlag("-ns entry %q: %v", ns, err)
 			}
-			if _, err := tree.New(nn); err != nil {
+			if _, err := cli.MakeHost(p.topo, nn); err != nil {
 				return nil, cfg, "", badFlag("-ns entry %d: %v", nn, err)
 			}
 			for _, al := range algos {
@@ -339,14 +343,18 @@ func plan(p params) ([]cellSpec, config, string, error) {
 		return nil, cfg, "", badFlag("sweep is empty: axis %q with algorithms %q produces no cells", p.axis, p.algos)
 	}
 
-	fingerprint := fmt.Sprintf("sweep axis=%s n=%d ns=%s d=%d algos=%s workload=%s seeds=%d events=%d faults=%q",
-		p.axis, p.n, p.ns, p.d, p.algos, p.wl, p.seeds, p.events, faultText)
+	fingerprint := fmt.Sprintf("sweep axis=%s n=%d ns=%s d=%d algos=%s workload=%s topology=%s seeds=%d events=%d faults=%q",
+		p.axis, p.n, p.ns, p.d, p.algos, p.wl, p.topo, p.seeds, p.events, faultText)
 	return specs, cfg, fingerprint, nil
 }
 
 // algoLabel validates an algorithm name and returns its display label.
 func algoLabel(algo string, d int) (string, error) {
-	if _, err := cli.MakeAllocator(tree.MustNew(2), algo, mathx.Max(d, 0), 0); err != nil {
+	scratch, err := cli.MakeHost("tree", 2)
+	if err != nil {
+		return "", badFlag("%v", err)
+	}
+	if _, err := cli.MakeAllocator(scratch.Tree(), algo, mathx.Max(d, 0), 0); err != nil {
 		return "", badFlag("%v", err)
 	}
 	switch algo {
@@ -371,9 +379,9 @@ func algoLabel(algo string, d int) (string, error) {
 }
 
 func headers(p params, cfg config) []string {
-	h := []string{p.axis, "algorithm", "mean ratio", "max ratio", "mean reallocs", "mean migr"}
+	h := []string{p.axis, "algorithm", "mean ratio", "max ratio", "mean reallocs", "mean migr", "mean mig hops"}
 	if cfg.hasFault {
-		h = append(h, "mean forced migr")
+		h = append(h, "mean forced migr", "mean forced hops")
 	}
 	return h
 }
@@ -382,6 +390,7 @@ func headers(p params, cfg config) []string {
 func runCell(spec cellSpec, cfg config) ([]string, error) {
 	var ratios []float64
 	var reallocs, migr, forced float64
+	var migHops, forcedHops float64
 	var src fault.Source
 	if cfg.hasFault {
 		if err := cfg.faults.Validate(spec.n); err != nil {
@@ -395,7 +404,11 @@ func runCell(spec cellSpec, cfg config) ([]string, error) {
 		if err != nil {
 			return nil, err
 		}
-		a, err := cli.MakeAllocator(tree.MustNew(spec.n), spec.algo, spec.d, seed)
+		host, err := cli.MakeHost(cfg.topology, spec.n)
+		if err != nil {
+			return nil, err
+		}
+		a, err := cli.MakeAllocator(host.Tree(), spec.algo, spec.d, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -405,19 +418,21 @@ func runCell(spec cellSpec, cfg config) ([]string, error) {
 			}
 			src = cfg.faults.Source()
 		}
-		res := sim.Run(a, seq, sim.Options{Faults: src})
+		res := sim.Run(a, seq, sim.Options{Faults: src, Host: host})
 		if res.LStar > 0 {
 			ratios = append(ratios, res.Ratio)
 		}
 		reallocs += float64(res.Realloc.Reallocations)
 		migr += float64(res.Realloc.Migrations)
 		forced += float64(res.Forced.Migrations)
+		migHops += float64(res.MigHops)
+		forcedHops += float64(res.ForcedHops)
 	}
 	k := float64(len(spec.seeds))
 	values := []any{spec.axisVal, spec.label,
-		stats.Mean(ratios), stats.Max(ratios), reallocs / k, migr / k}
+		stats.Mean(ratios), stats.Max(ratios), reallocs / k, migr / k, migHops / k}
 	if cfg.hasFault {
-		values = append(values, forced/k)
+		values = append(values, forced/k, forcedHops/k)
 	}
 	return formatRow(values), nil
 }
@@ -433,7 +448,7 @@ func formatRow(values []any) []string {
 
 func buildTable(p params, cfg config, specs []cellSpec, rows [][]string) *report.Table {
 	tab := &report.Table{
-		Caption: fmt.Sprintf("sweep over %s — workload %s", p.axis, p.wl),
+		Caption: fmt.Sprintf("sweep over %s — workload %s, topology %s", p.axis, p.wl, p.topo),
 		Headers: headers(p, cfg),
 	}
 	if cfg.hasFault {

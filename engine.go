@@ -60,14 +60,16 @@ func NewEngine(cfg EngineConfig) *Engine {
 
 // AddTenant registers a tenant backed by a fresh allocator built exactly
 // as New(algo, m, opts...) would, including WithFaults schedules, which
-// the engine injects at the event indexes of the tenant's own stream.
+// the engine injects at the event indexes of the tenant's own stream, and
+// WithTopology hosts, which price the tenant's migrations in network hops
+// (EngineTenantStats.Topology/MigHops/ForcedHops).
 func (e *Engine) AddTenant(id string, algo Algorithm, m *Machine, opts ...Option) error {
 	a, err := New(algo, m, opts...)
 	if err != nil {
 		return err
 	}
-	ua, sched := unwrapFaults(a)
-	return e.eng.AddTenant(id, ua, sched)
+	ua, sched, host := unwrapRun(a)
+	return e.eng.AddTenantHosted(id, ua, sched, host)
 }
 
 // Submit queues events for a tenant, applying a batch whenever the

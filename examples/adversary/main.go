@@ -15,7 +15,7 @@ import (
 func main() {
 	for _, n := range []int{64, 1024, 16384} {
 		m := partalloc.MustNewMachine(n)
-		greedy := partalloc.NewGreedy(m)
+		greedy := partalloc.MustNew(partalloc.AlgoGreedy, m)
 		res := partalloc.RunAdversary(greedy, -1) // -1: the algorithm never reallocates
 
 		fmt.Printf("N=%-6d phases=%-3d forced load %d (optimal %d) — bound ⌈½(logN+1)⌉ = %d, greedy cap = %d\n",
@@ -27,7 +27,7 @@ func main() {
 	fmt.Println("(its arrivals must stay under d·N so no reallocation triggers):")
 	for _, d := range []int{1, 2, 3, 4, 5} {
 		m := partalloc.MustNewMachine(4096)
-		a := partalloc.NewPeriodic(m, d, partalloc.DecreasingSize)
+		a := partalloc.MustNew(partalloc.AlgoPeriodic, m, partalloc.WithD(d))
 		res := partalloc.RunAdversary(a, d)
 		fmt.Printf("  d=%d: forced load %d, theorem bound ⌈½(d+1)⌉ = %d, upper bound d+1 = %d\n",
 			d, res.FinalLoad, res.LowerBound, partalloc.UpperBound(4096, d))
@@ -35,6 +35,6 @@ func main() {
 
 	fmt.Println("\nAnd the constantly reallocating A_C is untouchable:")
 	m := partalloc.MustNewMachine(4096)
-	res := partalloc.RunAdversary(partalloc.NewConstant(m), 0)
+	res := partalloc.RunAdversary(partalloc.MustNew(partalloc.AlgoConstant, m), 0)
 	fmt.Printf("  A_C forced to load %d — exactly L* (Theorem 3.1)\n", res.MaxLoad)
 }

@@ -30,9 +30,9 @@ func main() {
 			m := partalloc.MustNewMachine(n)
 			var a partalloc.Allocator
 			if d < 0 {
-				a = partalloc.NewGreedy(m)
+				a = partalloc.MustNew(partalloc.AlgoGreedy, m)
 			} else {
-				a = partalloc.NewLazy(m, d, partalloc.DecreasingSize)
+				a = partalloc.MustNew(partalloc.AlgoLazy, m, partalloc.WithD(d))
 			}
 			res := partalloc.Simulate(a, day, partalloc.SimOptions{TrackSlowdowns: true})
 			ratioSum += res.Ratio

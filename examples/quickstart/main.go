@@ -15,11 +15,11 @@ func main() {
 	fmt.Println("Figure 1 (σ* on a 4-PE machine):")
 	seq := partalloc.Figure1Sequence()
 
-	greedy := partalloc.NewGreedy(partalloc.MustNewMachine(4))
+	greedy := partalloc.MustNew(partalloc.AlgoGreedy, partalloc.MustNewMachine(4))
 	res := partalloc.Simulate(greedy, seq, partalloc.SimOptions{})
 	fmt.Printf("  greedy A_G:       max load %d (optimal is %d)\n", res.MaxLoad, res.LStar)
 
-	lazy := partalloc.NewLazy(partalloc.MustNewMachine(4), 1, partalloc.DecreasingSize)
+	lazy := partalloc.MustNew(partalloc.AlgoLazy, partalloc.MustNewMachine(4), partalloc.WithD(1))
 	res = partalloc.Simulate(lazy, seq, partalloc.SimOptions{})
 	fmt.Printf("  1-reallocation:   max load %d after %d reallocation(s)\n",
 		res.MaxLoad, res.Realloc.Reallocations)
@@ -36,7 +36,7 @@ func main() {
 	custom := b.Sequence()
 
 	m := partalloc.MustNewMachine(16)
-	a := partalloc.NewPeriodic(m, 1, partalloc.DecreasingSize)
+	a := partalloc.MustNew(partalloc.AlgoPeriodic, m, partalloc.WithD(1))
 	res = partalloc.Simulate(a, custom, partalloc.SimOptions{})
 	fmt.Printf("  A_M(d=1): max load %d, optimal %d, ratio %.2f\n",
 		res.MaxLoad, res.LStar, res.Ratio)
@@ -50,10 +50,10 @@ func main() {
 		name string
 		a    partalloc.Allocator
 	}{
-		{"A_C  (d=0, optimal)", partalloc.NewConstant(partalloc.MustNewMachine(256))},
-		{"A_M  (d=2)", partalloc.NewPeriodic(partalloc.MustNewMachine(256), 2, partalloc.DecreasingSize)},
-		{"A_G  (never realloc)", partalloc.NewGreedy(partalloc.MustNewMachine(256))},
-		{"A_Rand (oblivious)", partalloc.NewRandom(partalloc.MustNewMachine(256), 1)},
+		{"A_C  (d=0, optimal)", partalloc.MustNew(partalloc.AlgoConstant, partalloc.MustNewMachine(256))},
+		{"A_M  (d=2)", partalloc.MustNew(partalloc.AlgoPeriodic, partalloc.MustNewMachine(256), partalloc.WithD(2))},
+		{"A_G  (never realloc)", partalloc.MustNew(partalloc.AlgoGreedy, partalloc.MustNewMachine(256))},
+		{"A_Rand (oblivious)", partalloc.MustNew(partalloc.AlgoRandom, partalloc.MustNewMachine(256), partalloc.WithSeed(1))},
 	} {
 		r := partalloc.Simulate(entry.a, wl, partalloc.SimOptions{})
 		fmt.Printf("  %-22s max load %2d  ratio %.2f  migrations %d\n",

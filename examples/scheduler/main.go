@@ -29,12 +29,12 @@ func main() {
 		name string
 		a    partalloc.Allocator
 	}{
-		{"A_C (d=0)", partalloc.NewConstant(partalloc.MustNewMachine(n))},
-		{"A_M (d=1)", partalloc.NewPeriodic(partalloc.MustNewMachine(n), 1, partalloc.DecreasingSize)},
-		{"A_M-lazy (d=1)", partalloc.NewLazy(partalloc.MustNewMachine(n), 1, partalloc.DecreasingSize)},
-		{"A_G (greedy)", partalloc.NewGreedy(partalloc.MustNewMachine(n))},
-		{"A_2choice", partalloc.NewTwoChoice(partalloc.MustNewMachine(n), 5)},
-		{"A_Rand", partalloc.NewRandom(partalloc.MustNewMachine(n), 5)},
+		{"A_C (d=0)", partalloc.MustNew(partalloc.AlgoConstant, partalloc.MustNewMachine(n))},
+		{"A_M (d=1)", partalloc.MustNew(partalloc.AlgoPeriodic, partalloc.MustNewMachine(n), partalloc.WithD(1))},
+		{"A_M-lazy (d=1)", partalloc.MustNew(partalloc.AlgoLazy, partalloc.MustNewMachine(n), partalloc.WithD(1))},
+		{"A_G (greedy)", partalloc.MustNew(partalloc.AlgoGreedy, partalloc.MustNewMachine(n))},
+		{"A_2choice", partalloc.MustNew(partalloc.AlgoTwoChoice, partalloc.MustNewMachine(n), partalloc.WithSeed(5))},
+		{"A_Rand", partalloc.MustNew(partalloc.AlgoRandom, partalloc.MustNewMachine(n), partalloc.WithSeed(5))},
 	} {
 		res := partalloc.Execute(entry.a, w)
 		fmt.Printf("%-16s  %-9.2f  %-8.2f  %-8.2f  %-9.0f  %-9d  %d\n",

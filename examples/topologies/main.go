@@ -1,9 +1,10 @@
 // Topologies: the paper notes its results hold for any hierarchically
-// decomposable network — tree, hypercube, mesh, butterfly. This example
-// runs the same reallocating allocator over the same workload and prices
-// each migration on all four physical networks: the load trajectory is
-// identical (the theorems are topology-independent), but the hop traffic a
-// reallocation costs differs sharply.
+// decomposable network — tree, hypercube, mesh, butterfly, fat tree. This
+// example runs the same reallocating allocator over the same workload on
+// every supported Host (partalloc.WithTopology) and lets the simulator
+// price each migration: the load trajectory is identical on every network
+// (the theorems are topology-independent), but the weighted hop traffic a
+// reallocation costs differs sharply with the fabric.
 package main
 
 import (
@@ -29,25 +30,22 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		m := partalloc.MustNewMachine(n)
-		a := partalloc.NewPeriodic(m, d, partalloc.DecreasingSize)
-
-		// Price each migration as it happens.
-		var traffic int64
-		type observable interface {
-			SetMigrationObserver(func(id partalloc.TaskID, from, to partalloc.Node))
+		a, err := partalloc.New(partalloc.AlgoPeriodic, partalloc.MustNewMachine(n),
+			partalloc.WithD(d), partalloc.WithTopology(top))
+		if err != nil {
+			panic(err)
 		}
-		a.(observable).SetMigrationObserver(func(_ partalloc.TaskID, from, to partalloc.Node) {
-			traffic += partalloc.MigrationCost(top, m, from, to)
-		})
 
+		// Simulate prices every migration on the host network and reports
+		// the weighted totals on the result.
 		res := partalloc.Simulate(a, workload, partalloc.SimOptions{})
+		traffic := res.MigHops + res.ForcedHops
 		perPE := 0.0
 		if res.Realloc.MovedPEs > 0 {
 			perPE = float64(traffic) / float64(res.Realloc.MovedPEs)
 		}
 		fmt.Printf("%-10s  %-8d  %-10.2f  %-11d  %-14d  %.2f\n",
-			name, top.Diameter(), res.Ratio, res.Realloc.Migrations, traffic, perPE)
+			res.Topology, top.Diameter(), res.Ratio, res.Realloc.Migrations, traffic, perPE)
 	}
 
 	fmt.Println("\nSame placements, same loads, same theorems — only the network fabric")

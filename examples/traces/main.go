@@ -54,11 +54,11 @@ func main() {
 		name string
 		a    partalloc.Allocator
 	}{
-		{"A_C", partalloc.NewConstant(partalloc.MustNewMachine(n))},
-		{"A_M(d=1)", partalloc.NewPeriodic(partalloc.MustNewMachine(n), 1, partalloc.DecreasingSize)},
-		{"A_M-lazy(d=1)", partalloc.NewLazy(partalloc.MustNewMachine(n), 1, partalloc.DecreasingSize)},
-		{"A_G", partalloc.NewGreedy(partalloc.MustNewMachine(n))},
-		{"A_Rand", partalloc.NewRandom(partalloc.MustNewMachine(n), 9)},
+		{"A_C", partalloc.MustNew(partalloc.AlgoConstant, partalloc.MustNewMachine(n))},
+		{"A_M(d=1)", partalloc.MustNew(partalloc.AlgoPeriodic, partalloc.MustNewMachine(n), partalloc.WithD(1))},
+		{"A_M-lazy(d=1)", partalloc.MustNew(partalloc.AlgoLazy, partalloc.MustNewMachine(n), partalloc.WithD(1))},
+		{"A_G", partalloc.MustNew(partalloc.AlgoGreedy, partalloc.MustNewMachine(n))},
+		{"A_Rand", partalloc.MustNew(partalloc.AlgoRandom, partalloc.MustNewMachine(n), partalloc.WithSeed(9))},
 	} {
 		res := partalloc.Simulate(e.a, replayed, partalloc.SimOptions{})
 		fmt.Printf("%-14s  %-8d  %-6.2f  %-12d  %d\n",

@@ -1,0 +1,88 @@
+// Package hosttopo keeps machine construction behind the topology layer.
+//
+// Since the topology-generic refactor, every run pairs the abstract tree
+// machine with a physical network through topology.Host: the host owns the
+// decomposition tree, translates physical PEs, and prices migrations in
+// network hops. A bare tree.New/tree.MustNew call under internal/ or cmd/
+// silently produces a machine no host knows about — its runs cannot be
+// re-targeted to a hypercube, mesh, butterfly or fat tree, and its
+// migration costs are unpriceable. hosttopo flags such construction and
+// points at the sanctioned paths (topology.NewHost, cli.MakeHost, or the
+// partalloc facade's WithTopology). Deliberately tree-only code documents
+// itself with //lint:ignore hosttopo and a reason.
+package hosttopo
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"partalloc/internal/analysis"
+)
+
+// Analyzer is the hosttopo pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hosttopo",
+	Doc: "flags direct tree machine construction (tree.New/MustNew/NewDecomposition) outside " +
+		"internal/tree and internal/topology; build machines through a topology host so runs " +
+		"stay portable across physical networks",
+	Run: run,
+}
+
+// constructors are the partalloc/internal/tree entry points that mint a
+// *tree.Machine.
+var constructors = map[string]string{
+	"partalloc/internal/tree.New":              "New",
+	"partalloc/internal/tree.MustNew":          "MustNew",
+	"partalloc/internal/tree.NewDecomposition": "NewDecomposition",
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		short, ok := constructors[pass.FuncNameOf(call)]
+		if !ok {
+			return
+		}
+		// Tests pin behavior on the abstract tree model by design; only
+		// shipped code must stay host-portable (the vettool path sees
+		// _test.go files, the standalone driver does not).
+		if isTestFile(pass, call.Pos()) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"direct tree.%s bypasses the topology layer; build the machine through a host "+
+				"(topology.NewHost, cli.MakeHost or partalloc.WithTopology) so the run stays "+
+				"portable across physical networks", short)
+	})
+	return nil
+}
+
+// isTestFile reports whether pos sits in a _test.go file.
+func isTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// inScope restricts the check to this module's internal/ and cmd/ trees,
+// excluding the two packages that legitimately construct machines: the
+// tree package itself and the topology layer built directly on it.
+func inScope(pkgPath string) bool {
+	// Fixture packages opt in by naming convention so the analyzer is
+	// testable outside the real module tree.
+	if strings.Contains(pkgPath, "hosttopo_fixture") {
+		return true
+	}
+	switch pkgPath {
+	case "partalloc/internal/tree", "partalloc/internal/topology":
+		return false
+	}
+	for _, prefix := range []string{"partalloc/internal/", "partalloc/cmd/"} {
+		if strings.HasPrefix(pkgPath, prefix) {
+			return true
+		}
+	}
+	return false
+}

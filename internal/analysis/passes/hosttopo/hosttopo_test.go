@@ -1,0 +1,15 @@
+package hosttopo_test
+
+import (
+	"testing"
+
+	"partalloc/internal/analysis/analysistest"
+	"partalloc/internal/analysis/passes/hosttopo"
+)
+
+func TestHosttopo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture type-checking shells out to go list")
+	}
+	analysistest.Run(t, hosttopo.Analyzer, analysistest.Fixture(t, "hosttopo_fixture"))
+}

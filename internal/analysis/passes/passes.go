@@ -6,6 +6,7 @@ package passes
 import (
 	"partalloc/internal/analysis"
 	"partalloc/internal/analysis/passes/detorder"
+	"partalloc/internal/analysis/passes/hosttopo"
 	"partalloc/internal/analysis/passes/loadmutation"
 	"partalloc/internal/analysis/passes/panicmsg"
 	"partalloc/internal/analysis/passes/powtwo"
@@ -16,6 +17,7 @@ import (
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		detorder.Analyzer,
+		hosttopo.Analyzer,
 		loadmutation.Analyzer,
 		panicmsg.Analyzer,
 		powtwo.Analyzer,

@@ -1,0 +1,33 @@
+// Fixture for the hosttopo analyzer: bare tree machine construction is
+// flagged; going through a topology host, or documenting a deliberate
+// tree-only call site with //lint:ignore, is fine.
+package hosttopo_fixture
+
+import (
+	"partalloc/internal/topology"
+	"partalloc/internal/tree"
+)
+
+func bad() *tree.Machine {
+	return tree.MustNew(8) // want `bypasses the topology layer`
+}
+
+func alsoBad() (*tree.Machine, error) {
+	if m, err := tree.New(16); err == nil { // want `bypasses the topology layer`
+		return m, nil
+	}
+	return tree.NewDecomposition(8, nil) // want `bypasses the topology layer`
+}
+
+func good() (*tree.Machine, error) {
+	host, err := topology.NewHostNamed("hypercube", 16)
+	if err != nil {
+		return nil, err
+	}
+	return host.Tree(), nil
+}
+
+func documented() *tree.Machine {
+	//lint:ignore hosttopo this fixture exercises the suppression path
+	return tree.MustNew(4)
+}

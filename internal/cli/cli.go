@@ -10,6 +10,7 @@ import (
 
 	"partalloc/internal/core"
 	"partalloc/internal/task"
+	"partalloc/internal/topology"
 	"partalloc/internal/tree"
 	"partalloc/internal/workload"
 )
@@ -47,6 +48,26 @@ func MakeAllocator(m *tree.Machine, algo string, d int, seed int64) (core.Alloca
 		return core.NewGreedyRandomTie(m, seed), nil
 	}
 	return nil, fmt.Errorf("unknown algorithm %q (want %s)", algo, strings.Join(AlgorithmNames(), "|"))
+}
+
+// TopologyNames lists the accepted -topology values.
+func TopologyNames() []string { return topology.Names() }
+
+// TopologyUsage is the -topology flag help string.
+func TopologyUsage() string {
+	return "physical network: " + strings.Join(topology.Names(), "|")
+}
+
+// MakeHost builds a topology host by CLI name: the physical network plus
+// the decomposition tree allocators run on. "tree" reproduces the
+// host-agnostic tools byte-identically.
+func MakeHost(name string, n int) (*topology.Host, error) {
+	h, err := topology.NewHostNamed(name, n)
+	if err != nil {
+		return nil, fmt.Errorf("unknown or invalid topology %q for N=%d: %w (want %s)",
+			name, n, err, strings.Join(topology.Names(), "|"))
+	}
+	return h, nil
 }
 
 // WorkloadNames lists the accepted -workload values.

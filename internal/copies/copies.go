@@ -347,6 +347,13 @@ type List struct {
 // NewList returns an empty copy list for machine m.
 func NewList(m *tree.Machine) *List { return &List{m: m} }
 
+// LevelWidth returns the number of distinct physical switch blocks at
+// depth d of the machine's decomposition (see tree.NewDecomposition):
+// first-fit packing is identical across hosts, but host-aware consumers
+// use the widths to report per-physical-level capacity on non-binary
+// hierarchies such as the fat tree.
+func (l *List) LevelWidth(d int) int { return l.m.LevelWidth(d) }
+
 // Len returns the number of copies ever created and still held.
 func (l *List) Len() int { return len(l.copies) }
 

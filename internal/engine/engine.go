@@ -39,6 +39,8 @@ import (
 	"partalloc/internal/mathx"
 	"partalloc/internal/parallel"
 	"partalloc/internal/task"
+	"partalloc/internal/topology"
+	"partalloc/internal/tree"
 )
 
 // Sentinel errors for engine misuse. Apply-time failures are returned as
@@ -115,6 +117,15 @@ type TenantStats struct {
 	Realloc core.ReallocStats
 	// FaultEvents is the number of injected fault-schedule events.
 	FaultEvents int
+	// Topology names the tenant's physical network when it was registered
+	// with a topology host (AddTenantHosted); empty otherwise.
+	Topology string
+	// MigHops is the hop-distance-weighted cost of the tenant's voluntary
+	// migrations on its host network; host-aware tenants only.
+	MigHops int64
+	// ForcedHops prices the tenant's failure-forced migrations the same
+	// way; host-aware tenants only.
+	ForcedHops int64
 	// Violations holds the invariant checker's findings under
 	// Config.Audit; always empty otherwise.
 	Violations []invariant.Violation
@@ -131,6 +142,14 @@ type tenant struct {
 	faults   []fault.Event
 	faultPos int
 	faultHit int
+
+	// Host-aware migration pricing (AddTenantHosted). inFault mutes the
+	// observer while a fault is applied: failInCopies fires it for forced
+	// moves too, and those are charged once, from the FailPE return.
+	host       *topology.Host
+	migHops    int64
+	forcedHops int64
+	inFault    bool
 
 	queue []task.Event
 	err   error // poisoned: set once, never cleared
@@ -182,6 +201,16 @@ func (e *Engine) shardFor(id string) *shard {
 // tenant's own stream (the allocator must be core.FaultTolerant — the
 // partalloc facade guarantees this for WithFaults allocators).
 func (e *Engine) AddTenant(id string, a core.Allocator, faults *fault.Schedule) error {
+	return e.AddTenantHosted(id, a, faults, nil)
+}
+
+// AddTenantHosted is AddTenant on a physical topology host: the tenant's
+// migrations — voluntary and failure-forced — are additionally priced in
+// network hops (TenantStats.MigHops/ForcedHops), claiming the allocator's
+// migration observer when it has one. The allocator must run on a machine
+// the host's decomposition describes; the partalloc facade builds both
+// from one WithTopology option. host may be nil (plain AddTenant).
+func (e *Engine) AddTenantHosted(id string, a core.Allocator, faults *fault.Schedule, host *topology.Host) error {
 	if a == nil {
 		return fmt.Errorf("engine: AddTenant(%q): nil allocator", id)
 	}
@@ -204,6 +233,23 @@ func (e *Engine) AddTenant(id string, a core.Allocator, faults *fault.Schedule) 
 	}
 	if e.cfg.Audit {
 		t.check = invariant.New(a.Machine())
+	}
+	if host != nil {
+		if host.N() != a.Machine().N() {
+			return fmt.Errorf("engine: AddTenant(%q): host %s has %d PEs but allocator %s runs on %d",
+				id, host.Name(), host.N(), a.Name(), a.Machine().N())
+		}
+		t.host = host
+		t.check.SetHost(host)
+		if obs, ok := a.(core.Observable); ok {
+			obs.SetMigrationObserver(func(_ task.ID, from, to tree.Node) {
+				if t.inFault {
+					return
+				}
+				t.migHops += host.MigrationCost(from, to)
+				t.check.OnMigration(from, to, false)
+			})
+		}
 	}
 	s := e.shardFor(id)
 	s.mu.Lock()
@@ -488,7 +534,15 @@ func (t *tenant) injectFaults(i int) {
 		t.faultHit++
 		switch fe.Kind {
 		case fault.FailPE:
-			t.ft.FailPE(fe.PE)
+			t.inFault = true
+			migs := t.ft.FailPE(fe.PE)
+			t.inFault = false
+			if t.host != nil {
+				for _, mg := range migs {
+					t.forcedHops += t.host.MigrationCost(mg.From, mg.To)
+					t.check.OnMigration(mg.From, mg.To, true)
+				}
+			}
 			t.check.OnFail(t.alloc, fe.PE)
 		case fault.RecoverPE:
 			t.ft.RecoverPE(fe.PE)
@@ -550,6 +604,11 @@ func (s *shard) stats(t *tenant) TenantStats {
 		PeakLoad:    t.peakLoad,
 		Active:      t.alloc.Active(),
 		FaultEvents: t.faultHit,
+		MigHops:     t.migHops,
+		ForcedHops:  t.forcedHops,
+	}
+	if t.host != nil {
+		st.Topology = t.host.Name()
 	}
 	if t.maxActiveSize > 0 {
 		st.LStar = int(mathx.CeilDiv64(t.maxActiveSize, t.n))

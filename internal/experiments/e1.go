@@ -7,7 +7,6 @@ import (
 	"partalloc/internal/report"
 	"partalloc/internal/sim"
 	"partalloc/internal/task"
-	"partalloc/internal/tree"
 )
 
 // Figure1Result carries the raw outcome of the Figure 1 replay alongside
@@ -40,9 +39,9 @@ func Figure1Raw() Figure1Result {
 		name  string
 		alloc core.Allocator
 	}{
-		{"A_G (greedy, no realloc)", core.NewGreedy(tree.MustNew(4))},
-		{"A_M-lazy(d=1) (one realloc)", core.NewLazy(tree.MustNew(4), 1, core.DecreasingSize)},
-		{"A_C (realloc every arrival)", core.NewConstant(tree.MustNew(4))},
+		{"A_G (greedy, no realloc)", core.NewGreedy(newMachine(4))},
+		{"A_M-lazy(d=1) (one realloc)", core.NewLazy(newMachine(4), 1, core.DecreasingSize)},
+		{"A_C (realloc every arrival)", core.NewConstant(newMachine(4))},
 	}
 
 	tab := &report.Table{

@@ -8,7 +8,6 @@ import (
 	"partalloc/internal/report"
 	"partalloc/internal/sim"
 	"partalloc/internal/stats"
-	"partalloc/internal/tree"
 	"partalloc/internal/workload"
 )
 
@@ -73,7 +72,7 @@ func E10Rows(cfg Config, n int) []E10Row {
 				N: n, Events: events, Seed: int64(s), Target: 3.0, Churn: 0.3,
 				Sizes: workload.MixedSizes,
 			})
-			a := core.NewPeriodic(tree.MustNew(n), d, core.DecreasingSize)
+			a := core.NewPeriodic(newMachine(n), d, core.DecreasingSize)
 			res := sim.Run(a, seq, sim.Options{TrackSlowdowns: true})
 			for _, sd := range res.Slowdowns {
 				all = append(all, float64(sd))

@@ -6,7 +6,6 @@ import (
 	"partalloc/internal/core"
 	"partalloc/internal/report"
 	"partalloc/internal/sched"
-	"partalloc/internal/tree"
 	"partalloc/internal/workload"
 )
 
@@ -67,13 +66,13 @@ func E11Rows(cfg Config, n int) []E11Row {
 		mk   func(seed int64) core.Allocator
 	}
 	entries := []entry{
-		{"A_C (d=0)", 0, func(int64) core.Allocator { return core.NewConstant(tree.MustNew(n)) }},
-		{"A_M(d=1)", 1, func(int64) core.Allocator { return core.NewPeriodic(tree.MustNew(n), 1, core.DecreasingSize) }},
-		{"A_M(d=2)", 2, func(int64) core.Allocator { return core.NewPeriodic(tree.MustNew(n), 2, core.DecreasingSize) }},
-		{"A_M-lazy(d=2)", 2, func(int64) core.Allocator { return core.NewLazy(tree.MustNew(n), 2, core.DecreasingSize) }},
-		{"A_G (never)", -2, func(int64) core.Allocator { return core.NewGreedy(tree.MustNew(n)) }},
-		{"A_2choice", -2, func(s int64) core.Allocator { return core.NewTwoChoice(tree.MustNew(n), s+50) }},
-		{"A_Rand", -2, func(s int64) core.Allocator { return core.NewRandom(tree.MustNew(n), s+50) }},
+		{"A_C (d=0)", 0, func(int64) core.Allocator { return core.NewConstant(newMachine(n)) }},
+		{"A_M(d=1)", 1, func(int64) core.Allocator { return core.NewPeriodic(newMachine(n), 1, core.DecreasingSize) }},
+		{"A_M(d=2)", 2, func(int64) core.Allocator { return core.NewPeriodic(newMachine(n), 2, core.DecreasingSize) }},
+		{"A_M-lazy(d=2)", 2, func(int64) core.Allocator { return core.NewLazy(newMachine(n), 2, core.DecreasingSize) }},
+		{"A_G (never)", -2, func(int64) core.Allocator { return core.NewGreedy(newMachine(n)) }},
+		{"A_2choice", -2, func(s int64) core.Allocator { return core.NewTwoChoice(newMachine(n), s+50) }},
+		{"A_Rand", -2, func(s int64) core.Allocator { return core.NewRandom(newMachine(n), s+50) }},
 	}
 	var rows []E11Row
 	for _, e := range entries {

@@ -10,7 +10,6 @@ import (
 	"partalloc/internal/stats"
 	"partalloc/internal/subcube"
 	"partalloc/internal/task"
-	"partalloc/internal/tree"
 )
 
 // E12Row is one discipline's outcome on the common job stream.
@@ -95,9 +94,9 @@ func E12Rows(cfg Config, dim int) []E12Row {
 		name string
 		mk   func() core.Allocator
 	}{
-		{"time/A_C (d=0)", func() core.Allocator { return core.NewConstant(tree.MustNew(n)) }},
-		{"time/A_M(d=2)", func() core.Allocator { return core.NewPeriodic(tree.MustNew(n), 2, core.DecreasingSize) }},
-		{"time/A_G", func() core.Allocator { return core.NewGreedy(tree.MustNew(n)) }},
+		{"time/A_C (d=0)", func() core.Allocator { return core.NewConstant(newMachine(n)) }},
+		{"time/A_M(d=2)", func() core.Allocator { return core.NewPeriodic(newMachine(n), 2, core.DecreasingSize) }},
+		{"time/A_G", func() core.Allocator { return core.NewGreedy(newMachine(n)) }},
 	} {
 		var utils []float64
 		maxLoad := 0

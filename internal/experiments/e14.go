@@ -8,7 +8,6 @@ import (
 	"partalloc/internal/sim"
 	"partalloc/internal/stats"
 	"partalloc/internal/task"
-	"partalloc/internal/tree"
 	"partalloc/internal/workload"
 )
 
@@ -105,9 +104,9 @@ func E14Rows(cfg Config, n int) []E14Row {
 				seq := shape.gen(int64(s))
 				var a core.Allocator
 				if d < 0 {
-					a = core.NewGreedy(tree.MustNew(n))
+					a = core.NewGreedy(newMachine(n))
 				} else {
-					a = core.NewPeriodic(tree.MustNew(n), d, core.DecreasingSize)
+					a = core.NewPeriodic(newMachine(n), d, core.DecreasingSize)
 				}
 				res := sim.Run(a, seq, sim.Options{})
 				if res.LStar > 0 {

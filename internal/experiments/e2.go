@@ -6,7 +6,6 @@ import (
 	"partalloc/internal/sim"
 	"partalloc/internal/stats"
 	"partalloc/internal/task"
-	"partalloc/internal/tree"
 	"partalloc/internal/workload"
 )
 
@@ -53,7 +52,7 @@ func E2Rows(cfg Config) []E2Row {
 			ratios := make([]float64, 0, seeds)
 			for s := 0; s < seeds; s++ {
 				seq := genWorkload(wl, n, int64(s), cfg.Quick)
-				res := sim.Run(core.NewConstant(tree.MustNew(n)), seq, sim.Options{})
+				res := sim.Run(core.NewConstant(newMachine(n)), seq, sim.Options{})
 				if res.LStar > 0 {
 					ratios = append(ratios, res.Ratio)
 				}

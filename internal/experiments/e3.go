@@ -7,7 +7,6 @@ import (
 	"partalloc/internal/report"
 	"partalloc/internal/sim"
 	"partalloc/internal/stats"
-	"partalloc/internal/tree"
 )
 
 // E3Row is one machine size of the greedy-upper-bound table.
@@ -73,19 +72,19 @@ func E3Rows(cfg Config) []E3Row {
 	seeds := cfg.seeds(10)
 	var rows []E3Row
 	for _, n := range ns {
-		adv := adversary.RunDeterministic(core.NewGreedy(tree.MustNew(n)), -1)
+		adv := adversary.RunDeterministic(core.NewGreedy(newMachine(n)), -1)
 		ratios := make([]float64, 0, seeds)
 		tieRatios := make([]float64, 0, seeds)
 		for s := 0; s < seeds; s++ {
 			seq := genWorkload("saturation", n, int64(s), cfg.Quick)
-			res := sim.Run(core.NewGreedy(tree.MustNew(n)), seq, sim.Options{})
+			res := sim.Run(core.NewGreedy(newMachine(n)), seq, sim.Options{})
 			if res.LStar > 0 {
 				ratios = append(ratios, res.Ratio)
 			}
 			// The rand-tie ablation's tie census is O(N) per arrival; cap
 			// it at moderate N (the finding is a small-to-mid-N effect).
 			if n <= 4096 {
-				tie := sim.Run(core.NewGreedyRandomTie(tree.MustNew(n), int64(s)), seq, sim.Options{})
+				tie := sim.Run(core.NewGreedyRandomTie(newMachine(n), int64(s)), seq, sim.Options{})
 				if tie.LStar > 0 {
 					tieRatios = append(tieRatios, tie.Ratio)
 				}

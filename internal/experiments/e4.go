@@ -10,7 +10,6 @@ import (
 	"partalloc/internal/report"
 	"partalloc/internal/sim"
 	"partalloc/internal/stats"
-	"partalloc/internal/tree"
 )
 
 // E4Row is one (N, d) point of the headline tradeoff figure.
@@ -89,13 +88,13 @@ func E4Rows(cfg Config, n int) []E4Row {
 	ds = append(ds, -1)
 	rowFor := func(d int) E4Row {
 		// Adversarial: matched lower-bound instance.
-		adv := adversary.RunDeterministic(core.NewPeriodic(tree.MustNew(n), d, core.DecreasingSize), d)
+		adv := adversary.RunDeterministic(core.NewPeriodic(newMachine(n), d, core.DecreasingSize), d)
 		// Random: saturation workloads.
 		ratios := make([]float64, 0, seeds)
 		reallocs, migrPerEvent := 0.0, 0.0
 		for s := 0; s < seeds; s++ {
 			seq := genWorkload("saturation", n, int64(s), cfg.Quick)
-			res := sim.Run(core.NewPeriodic(tree.MustNew(n), d, core.DecreasingSize), seq, sim.Options{})
+			res := sim.Run(core.NewPeriodic(newMachine(n), d, core.DecreasingSize), seq, sim.Options{})
 			if res.LStar > 0 {
 				ratios = append(ratios, res.Ratio)
 			}

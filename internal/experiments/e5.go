@@ -6,7 +6,6 @@ import (
 	"partalloc/internal/adversary"
 	"partalloc/internal/core"
 	"partalloc/internal/report"
-	"partalloc/internal/tree"
 )
 
 // E5Row records the adversary's effect on one algorithm.
@@ -60,17 +59,17 @@ func E5Rows(cfg Config) []E5Row {
 			d    int
 		}
 		entries := []entry{
-			{"A_G", func() core.Allocator { return core.NewGreedy(tree.MustNew(n)) }, -1},
-			{"A_B", func() core.Allocator { return core.NewBasic(tree.MustNew(n)) }, -1},
+			{"A_G", func() core.Allocator { return core.NewGreedy(newMachine(n)) }, -1},
+			{"A_B", func() core.Allocator { return core.NewBasic(newMachine(n)) }, -1},
 		}
 		for _, d := range []int{2, 3, 4} {
 			d := d
 			entries = append(entries,
 				entry{fmt.Sprintf("A_M(d=%d)", d), func() core.Allocator {
-					return core.NewPeriodic(tree.MustNew(n), d, core.DecreasingSize)
+					return core.NewPeriodic(newMachine(n), d, core.DecreasingSize)
 				}, d},
 				entry{fmt.Sprintf("A_M-lazy(d=%d)", d), func() core.Allocator {
-					return core.NewLazy(tree.MustNew(n), d, core.DecreasingSize)
+					return core.NewLazy(newMachine(n), d, core.DecreasingSize)
 				}, d},
 			)
 		}

@@ -10,7 +10,6 @@ import (
 	"partalloc/internal/sim"
 	"partalloc/internal/stats"
 	"partalloc/internal/task"
-	"partalloc/internal/tree"
 )
 
 // E6Row is one machine size of the randomized-upper-bound table.
@@ -90,8 +89,8 @@ func E6Rows(cfg Config) []E6Row {
 		seq := b.Sequence()
 		type cell struct{ one, two float64 }
 		cells := parallel.Map(seeds, 0, func(s int) cell {
-			res := sim.Run(core.NewRandom(tree.MustNew(n), int64(s)), seq, sim.Options{})
-			res2 := sim.Run(core.NewTwoChoice(tree.MustNew(n), int64(s)), seq, sim.Options{})
+			res := sim.Run(core.NewRandom(newMachine(n), int64(s)), seq, sim.Options{})
+			res2 := sim.Run(core.NewTwoChoice(newMachine(n), int64(s)), seq, sim.Options{})
 			return cell{one: float64(res.MaxLoad), two: float64(res2.MaxLoad)}
 		})
 		loads := make([]float64, 0, seeds)
@@ -100,7 +99,7 @@ func E6Rows(cfg Config) []E6Row {
 			loads = append(loads, c.one)
 			two = append(two, c.two)
 		}
-		greedy := sim.Run(core.NewGreedy(tree.MustNew(n)), seq, sim.Options{})
+		greedy := sim.Run(core.NewGreedy(newMachine(n)), seq, sim.Options{})
 		logN := float64(mathx.Log2(n))
 		rows = append(rows, E6Row{
 			N:             n,

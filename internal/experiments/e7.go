@@ -7,7 +7,6 @@ import (
 	"partalloc/internal/report"
 	"partalloc/internal/sim"
 	"partalloc/internal/stats"
-	"partalloc/internal/tree"
 )
 
 // E7Row is one (N, algorithm) cell of the randomized-lower-bound table.
@@ -58,9 +57,9 @@ func E7Rows(cfg Config) []E7Row {
 		name string
 		mk   func(n int, seed int64) core.Allocator
 	}{
-		{"A_G", func(n int, _ int64) core.Allocator { return core.NewGreedy(tree.MustNew(n)) }},
-		{"A_B", func(n int, _ int64) core.Allocator { return core.NewBasic(tree.MustNew(n)) }},
-		{"A_Rand", func(n int, seed int64) core.Allocator { return core.NewRandom(tree.MustNew(n), seed+7777) }},
+		{"A_G", func(n int, _ int64) core.Allocator { return core.NewGreedy(newMachine(n)) }},
+		{"A_B", func(n int, _ int64) core.Allocator { return core.NewBasic(newMachine(n)) }},
+		{"A_Rand", func(n int, seed int64) core.Allocator { return core.NewRandom(newMachine(n), seed+7777) }},
 	}
 	var rows []E7Row
 	for _, n := range ns {

@@ -8,7 +8,6 @@ import (
 	"partalloc/internal/report"
 	"partalloc/internal/sim"
 	"partalloc/internal/stats"
-	"partalloc/internal/tree"
 	"partalloc/internal/workload"
 )
 
@@ -98,9 +97,9 @@ func E8Rows(cfg Config, n int) []E8Row {
 				})
 				var a core.Allocator
 				if variant == "eager" {
-					a = core.NewPeriodic(tree.MustNew(n), d, core.DecreasingSize)
+					a = core.NewPeriodic(newMachine(n), d, core.DecreasingSize)
 				} else {
-					a = core.NewLazy(tree.MustNew(n), d, core.DecreasingSize)
+					a = core.NewLazy(newMachine(n), d, core.DecreasingSize)
 				}
 				res := sim.Run(a, seq, sim.Options{})
 				if res.LStar > 0 {

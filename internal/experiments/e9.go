@@ -59,7 +59,7 @@ func E9Rows(cfg Config) ([]E9Row, int, int) {
 		if err != nil {
 			panic(err)
 		}
-		tm := tree.MustNew(n)
+		tm := newMachine(n)
 		a := core.NewPeriodic(tm, d, core.DecreasingSize)
 		var traffic int64
 		a.SetMigrationObserver(func(id task.ID, from, to tree.Node) {

@@ -15,7 +15,16 @@ import (
 	"io"
 
 	"partalloc/internal/report"
+	"partalloc/internal/tree"
 )
+
+// newMachine builds the tree machine the experiment runners allocate on.
+// The experiments regenerate the paper's tables, which are stated on the
+// abstract tree model, so they construct it directly instead of going
+// through a topology host; this helper is the one sanctioned call site.
+//
+//lint:ignore hosttopo the experiment tables are defined on the abstract tree model
+func newMachine(n int) *tree.Machine { return tree.MustNew(n) }
 
 // Config scales the experiments.
 type Config struct {

@@ -117,6 +117,25 @@ func (s *Schedule) MaxConcurrent() int {
 	return max
 }
 
+// MapPEs returns a copy of the schedule with every event's PE remapped by
+// fn. Schedules name physical PEs; running on a topology host translates
+// them through the host's decomposition (Host.CanonicalPE) into the
+// decomposition-leaf indexes allocators act on — an identity under the
+// canonical numbering, but one that range-checks every target against the
+// actual network and keeps the physical/abstract boundary explicit.
+func (s *Schedule) MapPEs(fn func(pe int) (int, error)) (Schedule, error) {
+	out := Schedule{Events: make([]Event, len(s.Events))}
+	for i, e := range s.Events {
+		pe, err := fn(e.PE)
+		if err != nil {
+			return Schedule{}, fmt.Errorf("fault: event %d: %w", i, err)
+		}
+		e.PE = pe
+		out.Events[i] = e
+	}
+	return out, nil
+}
+
 // Source produces the fault events to apply immediately before simulation
 // event i. The allocator is read-only context: interactive sources (the
 // adversary) inspect loads; schedule replay ignores it. Implementations

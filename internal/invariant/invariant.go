@@ -40,6 +40,7 @@ import (
 	"partalloc/internal/core"
 	"partalloc/internal/mathx"
 	"partalloc/internal/task"
+	"partalloc/internal/topology"
 	"partalloc/internal/tree"
 )
 
@@ -74,6 +75,17 @@ type Checker struct {
 	sizes            map[task.ID]int
 	failed           map[int]bool // PEs the checker believes are down
 
+	// Host-aware migration audit (SetHost/OnMigration). The load and
+	// budget rules above need no per-topology variants — allocation runs
+	// on the decomposition tree, identical across hosts — but the hop
+	// ledger does: it ties the observed migration traffic to the
+	// allocator's own MovedPEs counters and to the network diameter.
+	host           *topology.Host
+	volMovedPEs    int64
+	volHops        int64
+	forcedMovedPEs int64
+	forcedHops     int64
+
 	violations []Violation
 }
 
@@ -92,6 +104,53 @@ func (c *Checker) SetReallocBudget(d int) { c.d = d }
 // SetPanic makes the checker panic on the first violation instead of
 // recording it; this is what the simulator's Paranoid option uses.
 func (c *Checker) SetPanic(p bool) { c.panic = p }
+
+// SetHost arms the host-aware migration rules: every migration reported
+// through OnMigration is priced in physical hops on h's network, and the
+// per-event audit cross-checks the observed traffic against the
+// allocator's MovedPEs ledgers and the network diameter. The host's
+// decomposition must describe the checker's machine.
+func (c *Checker) SetHost(h *topology.Host) {
+	if c == nil || h == nil {
+		return
+	}
+	if h.N() != c.m.N() {
+		c.report("host-decomposition",
+			fmt.Sprintf("host %s has %d PEs but the machine has %d", h.Name(), h.N(), c.m.N()))
+		return
+	}
+	c.host = h
+}
+
+// OnMigration records one task move between the equal-size submachines
+// rooted at from and to (forced marks failure-driven moves, which charge
+// the fault ledger rather than the voluntary d·N budget). The simulator
+// feeds it from the allocator's migration observer and from the forced
+// migrations FailPE returns; it does not advance the event count — the
+// enclosing OnArrive/OnFail does.
+func (c *Checker) OnMigration(from, to tree.Node, forced bool) {
+	if c == nil || c.host == nil {
+		return
+	}
+	if !c.m.Valid(from) || !c.m.Valid(to) {
+		c.report("migration-valid", fmt.Sprintf("migration between invalid nodes %d -> %d", from, to))
+		return
+	}
+	if fs, ts := c.m.Size(from), c.m.Size(to); fs != ts {
+		c.report("migration-valid",
+			fmt.Sprintf("migration between different sizes %d (node %d) and %d (node %d)", fs, from, ts, to))
+		return
+	}
+	size := int64(c.m.Size(from))
+	hops := c.host.MigrationCost(from, to)
+	if forced {
+		c.forcedMovedPEs += size
+		c.forcedHops += hops
+	} else {
+		c.volMovedPEs += size
+		c.volHops += hops
+	}
+}
 
 // OnArrive audits the allocator just after it placed task t at node v.
 func (c *Checker) OnArrive(a core.Allocator, t task.Task, v tree.Node) {
@@ -246,6 +305,38 @@ func (c *Checker) check(a core.Allocator) {
 			c.report("realloc-budget", "reallocation statistics decreased")
 		}
 		c.lastRealloc = stats
+	}
+
+	// Host-aware migration ledger: the traffic observed through
+	// OnMigration must match the allocator's own counters, and the hop
+	// total must be achievable on the network — at least one hop per
+	// moved PE (distinct aligned ranges are at distance ≥ 1) and at most
+	// the diameter per moved PE.
+	if c.host != nil {
+		if r, ok := a.(core.Reallocator); ok {
+			if got := r.ReallocStats().MovedPEs; got != c.volMovedPEs {
+				c.report("migration-ledger",
+					fmt.Sprintf("allocator reports %d voluntarily moved PEs, observer saw %d", got, c.volMovedPEs))
+			}
+		}
+		if ft, ok := a.(core.FaultTolerant); ok {
+			if got := ft.ForcedStats().MovedPEs; got != c.forcedMovedPEs {
+				c.report("migration-ledger",
+					fmt.Sprintf("allocator reports %d forcibly moved PEs, observer saw %d", got, c.forcedMovedPEs))
+			}
+		}
+		diam := int64(c.host.Diameter())
+		for _, b := range []struct {
+			kind  string
+			moved int64
+			hops  int64
+		}{{"voluntary", c.volMovedPEs, c.volHops}, {"forced", c.forcedMovedPEs, c.forcedHops}} {
+			if b.hops < b.moved || b.hops > b.moved*diam {
+				c.report("migration-hops",
+					fmt.Sprintf("%s migration traffic of %d hops for %d moved PEs is outside [%d, %d·%d] on %s",
+						b.kind, b.hops, b.moved, b.moved, b.moved, diam, c.host.Name()))
+			}
+		}
 	}
 }
 

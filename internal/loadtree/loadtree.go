@@ -84,6 +84,15 @@ func mathxLog2Floor(v int) int {
 // Machine returns the underlying machine description.
 func (t *Tree) Machine() *tree.Machine { return t.m }
 
+// LevelWidth returns the number of distinct physical switch blocks at
+// depth d of the machine's decomposition (2^d on a plain binary machine;
+// coarser on non-binary physical hierarchies like the fat tree, whose
+// virtual depths inherit the enclosing physical level's width). Load
+// bookkeeping is identical either way — the metadata exists so host-aware
+// consumers (invariant audits, capacity reporting) can distinguish
+// physical capacity boundaries from virtual binary splits.
+func (t *Tree) LevelWidth(d int) int { return t.m.LevelWidth(d) }
+
 // Active returns the number of currently placed tasks.
 func (t *Tree) Active() int { return t.active }
 

@@ -30,6 +30,8 @@ import (
 	"partalloc/internal/invariant"
 	"partalloc/internal/mathx"
 	"partalloc/internal/task"
+	"partalloc/internal/topology"
+	"partalloc/internal/tree"
 	"partalloc/internal/workload"
 )
 
@@ -68,6 +70,15 @@ type Result struct {
 	// Forced accounts forced migrations caused by PE failures, separate
 	// from the voluntary reallocation budget in Realloc.
 	Forced core.ForcedStats
+	// Topology names the physical network when the run was host-aware
+	// (RunHosted/RunHostedContext); empty otherwise.
+	Topology string
+	// MigHops is the hop-distance-weighted cost of voluntary migrations on
+	// the host network (see sim.Result.MigHops); host-aware runs only.
+	MigHops int64
+	// ForcedHops prices the failure-forced migrations the same way;
+	// host-aware runs only.
+	ForcedHops int64
 }
 
 // Workload is a set of jobs ordered by arrival time.
@@ -191,12 +202,12 @@ func RunContext(ctx context.Context, a core.Allocator, w Workload) (Result, erro
 		check = invariant.New(a.Machine())
 		check.SetPanic(true)
 	}
-	return runFaultedCtx(ctx, a, w, check, nil)
+	return runFaultedCtx(ctx, a, w, check, nil, nil)
 }
 
 // RunCheckedContext is RunChecked with cooperative cancellation.
 func RunCheckedContext(ctx context.Context, a core.Allocator, w Workload, check *invariant.Checker) (Result, error) {
-	return runFaultedCtx(ctx, a, w, check, nil)
+	return runFaultedCtx(ctx, a, w, check, nil, nil)
 }
 
 // RunFaultedContext is RunFaulted with cooperative cancellation: the
@@ -205,7 +216,22 @@ func RunCheckedContext(ctx context.Context, a core.Allocator, w Workload, check 
 // completed so far, makespan = simulated time reached) with ctx.Err() —
 // the same shape a SIGINT checkpoint records.
 func RunFaultedContext(ctx context.Context, a core.Allocator, w Workload, check *invariant.Checker, faults fault.Source) (Result, error) {
-	return runFaultedCtx(ctx, a, w, check, faults)
+	return runFaultedCtx(ctx, a, w, check, faults, nil)
+}
+
+// RunHosted is RunFaulted on a physical topology host: migrations —
+// voluntary and failure-forced — are additionally priced in network hops
+// (Result.MigHops, Result.ForcedHops), and a non-nil checker audits the
+// migration ledgers against the host. The allocator must run on a machine
+// the host's decomposition describes. faults and check may be nil.
+func RunHosted(a core.Allocator, w Workload, check *invariant.Checker, faults fault.Source, host *topology.Host) Result {
+	res, _ := runFaultedCtx(nil, a, w, check, faults, host)
+	return res
+}
+
+// RunHostedContext is RunHosted with cooperative cancellation.
+func RunHostedContext(ctx context.Context, a core.Allocator, w Workload, check *invariant.Checker, faults fault.Source, host *topology.Host) (Result, error) {
+	return runFaultedCtx(ctx, a, w, check, faults, host)
 }
 
 // RunFaulted is RunChecked with PE-failure injection. Fault events for
@@ -217,7 +243,7 @@ func RunFaultedContext(ctx context.Context, a core.Allocator, w Workload, check 
 // RunFaulted panics otherwise) and keep executing at their new
 // placement's rate. faults may be nil.
 func RunFaulted(a core.Allocator, w Workload, check *invariant.Checker, faults fault.Source) Result {
-	res, _ := runFaultedCtx(nil, a, w, check, faults)
+	res, _ := runFaultedCtx(nil, a, w, check, faults, nil)
 	return res
 }
 
@@ -227,7 +253,7 @@ const cancelCheckStride = 64
 
 // runFaultedCtx is the shared implementation; ctx == nil skips
 // cancellation checks entirely.
-func runFaultedCtx(ctx context.Context, a core.Allocator, w Workload, check *invariant.Checker, faults fault.Source) (Result, error) {
+func runFaultedCtx(ctx context.Context, a core.Allocator, w Workload, check *invariant.Checker, faults fault.Source, host *topology.Host) (Result, error) {
 	m := a.Machine()
 	n := m.N()
 	if err := w.Validate(n); err != nil {
@@ -240,6 +266,29 @@ func runFaultedCtx(ctx context.Context, a core.Allocator, w Workload, check *inv
 		var ok bool
 		if ft, ok = a.(core.FaultTolerant); !ok {
 			panic(fmt.Sprintf("sched: allocator %s does not support fault injection", a.Name()))
+		}
+	}
+
+	// Host accounting mirrors internal/sim: voluntary hops through the
+	// migration observer (muted while a fault is applied, since
+	// failInCopies fires it for forced moves too), forced hops from the
+	// FailPE return value.
+	var migHops, forcedHops int64
+	inFault := false
+	if host != nil {
+		if host.N() != n {
+			panic(fmt.Sprintf("sched: host %s has %d PEs but allocator %s runs on %d", host.Name(), host.N(), a.Name(), n))
+		}
+		res.Topology = host.Name()
+		check.SetHost(host)
+		if obs, ok := a.(core.Observable); ok {
+			obs.SetMigrationObserver(func(_ task.ID, from, to tree.Node) {
+				if inFault {
+					return
+				}
+				migHops += host.MigrationCost(from, to)
+				check.OnMigration(from, to, false)
+			})
 		}
 	}
 
@@ -318,7 +367,15 @@ func runFaultedCtx(ctx context.Context, a core.Allocator, w Workload, check *inv
 			for _, fe := range faults.Next(events, a) {
 				switch fe.Kind {
 				case fault.FailPE:
-					ft.FailPE(fe.PE)
+					inFault = true
+					migs := ft.FailPE(fe.PE)
+					inFault = false
+					if host != nil {
+						for _, mg := range migs {
+							forcedHops += host.MigrationCost(mg.From, mg.To)
+							check.OnMigration(mg.From, mg.To, true)
+						}
+					}
 					check.OnFail(a, fe.PE)
 				case fault.RecoverPE:
 					ft.RecoverPE(fe.PE)
@@ -385,6 +442,8 @@ func runFaultedCtx(ctx context.Context, a core.Allocator, w Workload, check *inv
 	if ft != nil {
 		res.Forced = ft.ForcedStats()
 	}
+	res.MigHops = migHops
+	res.ForcedHops = forcedHops
 	return res, runErr
 }
 

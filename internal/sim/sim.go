@@ -20,6 +20,8 @@ import (
 	"partalloc/internal/mathx"
 	"partalloc/internal/metrics"
 	"partalloc/internal/task"
+	"partalloc/internal/topology"
+	"partalloc/internal/tree"
 )
 
 // Options controls what Run records.
@@ -43,6 +45,13 @@ type Options struct {
 	// allocator's core.FaultTolerant interface (Run panics if the
 	// allocator lacks it). See internal/fault.
 	Faults fault.Source
+	// Host, when non-nil, runs the simulation on a physical topology: the
+	// allocator must have been built on the host's decomposition tree (or
+	// an identically-sized one), and the run additionally prices every
+	// migration — voluntary and failure-forced — in physical network hops
+	// (Result.MigHops, Result.ForcedHops). The run claims the allocator's
+	// migration observer when it has one (core.Observable).
+	Host *topology.Host
 }
 
 // Result summarizes one run.
@@ -75,6 +84,18 @@ type Result struct {
 	// Slowdowns is populated when Options.TrackSlowdowns is set: the
 	// worst slowdown of every task (completed and still-active).
 	Slowdowns []int
+	// Topology names the physical network when Options.Host is set
+	// (empty otherwise: the run was host-agnostic).
+	Topology string
+	// MigHops is the hop-distance-weighted cost of the voluntary
+	// (d-reallocation) migrations: Σ over moved tasks of size · Dist.
+	// Only populated under Options.Host, and only for allocators that
+	// expose their migrations (core.Observable).
+	MigHops int64
+	// ForcedHops is the hop-distance-weighted cost of the migrations PE
+	// failures forced, priced the same way. Only populated under
+	// Options.Host.
+	ForcedHops int64
 }
 
 // Run drives allocator a through sequence seq and returns measurements.
@@ -128,6 +149,31 @@ func runCtx(ctx context.Context, a core.Allocator, seq task.Sequence, opt Option
 		}
 	}
 
+	// Host accounting: price voluntary migrations through the allocator's
+	// observer and forced ones from the FailPE return value. failInCopies
+	// fires the observer for forced moves too, so the observer is muted
+	// (inFault) while a fault is being applied — forced hops are charged
+	// exactly once, from the returned migration list.
+	host := opt.Host
+	var migHops, forcedHops int64
+	inFault := false
+	if host != nil {
+		if host.N() != n {
+			panic(fmt.Sprintf("sim: host %s has %d PEs but allocator %s runs on %d", host.Name(), host.N(), a.Name(), n))
+		}
+		res.Topology = host.Name()
+		check.SetHost(host)
+		if obs, ok := a.(core.Observable); ok {
+			obs.SetMigrationObserver(func(id task.ID, from, to tree.Node) {
+				if inFault {
+					return
+				}
+				migHops += host.MigrationCost(from, to)
+				check.OnMigration(from, to, false)
+			})
+		}
+	}
+
 	var activeSize, maxActiveSize int64
 	peakRatio := 0.0
 	failedNow := 0
@@ -149,7 +195,15 @@ func runCtx(ctx context.Context, a core.Allocator, seq task.Sequence, opt Option
 			for _, fe := range opt.Faults.Next(i, a) {
 				switch fe.Kind {
 				case fault.FailPE:
-					ft.FailPE(fe.PE)
+					inFault = true
+					migs := ft.FailPE(fe.PE)
+					inFault = false
+					if host != nil {
+						for _, mg := range migs {
+							forcedHops += host.MigrationCost(mg.From, mg.To)
+							check.OnMigration(mg.From, mg.To, true)
+						}
+					}
 					check.OnFail(a, fe.PE)
 					failedNow++
 				case fault.RecoverPE:
@@ -237,6 +291,8 @@ func runCtx(ctx context.Context, a core.Allocator, seq task.Sequence, opt Option
 	if ft != nil {
 		res.Forced = ft.ForcedStats()
 	}
+	res.MigHops = migHops
+	res.ForcedHops = forcedHops
 	res.Series = series
 	if slow != nil {
 		res.Slowdowns = slow.All()

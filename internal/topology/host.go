@@ -1,0 +1,195 @@
+package topology
+
+import (
+	"fmt"
+
+	"partalloc/internal/tree"
+)
+
+// Decomposer is implemented by networks whose physical switch hierarchy is
+// not binary: LevelWidths reports, for every binary decomposition depth
+// 0..levels, how many distinct physical switch blocks exist at that depth.
+// Networks without it get the uniform binary profile (2^d blocks at depth
+// d). The fat tree implements it: its 4-ary hierarchy makes every other
+// binary depth virtual.
+type Decomposer interface {
+	LevelWidths(levels int) []int
+}
+
+// Host pairs a physical network with its canonical hierarchical binary
+// decomposition: an abstract tree machine whose depth-d node i stands for
+// the physical PE set [i·2^(L-d), (i+1)·2^(L-d)) under the network's
+// canonical numbering (see the package comment for why aligned ranges are
+// exactly the physical submachines). Allocation algorithms run against the
+// decomposition tree; the Host translates their placements, migrations and
+// fault targets into physical terms — PE identities and hop-weighted
+// migration costs.
+//
+// Migration costs exploit a uniformity property of every supported
+// network: corresponding PEs of two equal-size aligned ranges sit at the
+// same hop distance (for the bit-metric networks the XOR of corresponding
+// PEs is constant; for the Morton mesh the row/column offsets are), so
+// moving a size-s task costs exactly s · Dist(first PE, first PE). The
+// property is verified against the brute-force per-PE sum in the package
+// tests for every topology.
+type Host struct {
+	net     Machine
+	dec     *tree.Machine
+	sibHops []int64
+}
+
+// NewHost builds the canonical decomposition host for a physical network.
+func NewHost(net Machine) (*Host, error) {
+	if net == nil {
+		return nil, fmt.Errorf("topology: nil network")
+	}
+	var widths []int
+	if d, ok := net.(Decomposer); ok {
+		widths = d.LevelWidths(levelsOf(net.N()))
+	}
+	dec, err := tree.NewDecomposition(net.N(), widths)
+	if err != nil {
+		return nil, fmt.Errorf("topology: %s decomposition: %w", net.Name(), err)
+	}
+	h := &Host{net: net, dec: dec}
+	// Per-depth sibling distance: the two children of a depth-d node are
+	// aligned ranges whose first PEs differ only in bit L-d-1, so the
+	// distance is the same for every depth-d node (same XOR delta, or the
+	// same single-coordinate offset on the mesh).
+	h.sibHops = make([]int64, dec.Levels())
+	for d := 0; d < dec.Levels(); d++ {
+		h.sibHops[d] = int64(net.Dist(0, 1<<(dec.Levels()-d-1)))
+	}
+	return h, nil
+}
+
+// NewHostNamed builds the host for the named topology ("tree",
+// "hypercube", "mesh", "butterfly" or "fattree") at size n.
+func NewHostNamed(name string, n int) (*Host, error) {
+	net, err := New(name, n)
+	if err != nil {
+		return nil, err
+	}
+	return NewHost(net)
+}
+
+func levelsOf(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}
+
+// Network returns the physical network.
+func (h *Host) Network() Machine { return h.net }
+
+// Tree returns the decomposition tree allocators run against. It carries
+// the network's level-width metadata (see tree.NewDecomposition).
+func (h *Host) Tree() *tree.Machine { return h.dec }
+
+// Name returns the network name.
+func (h *Host) Name() string { return h.net.Name() }
+
+// N returns the PE count.
+func (h *Host) N() int { return h.net.N() }
+
+// PEs returns the physical (canonical) PEs of the submachine rooted at
+// decomposition node v, in canonical order.
+func (h *Host) PEs(v tree.Node) []int {
+	lo, hi := h.dec.PERange(v)
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+// PELabels renders the physical identities of the submachine rooted at v
+// (mesh coordinates, hypercube vertex codes, ...).
+func (h *Host) PELabels(v tree.Node) []string {
+	lo, hi := h.dec.PERange(v)
+	out := make([]string, hi-lo)
+	for i := range out {
+		out[i] = h.net.PELabel(lo + i)
+	}
+	return out
+}
+
+// CanonicalPE validates a physical PE number and returns its canonical
+// (decomposition) index. Under the canonical numbering the two coincide;
+// the call exists so fault schedules naming physical PEs are translated —
+// and range-checked — through the decomposition rather than assumed.
+func (h *Host) CanonicalPE(phys int) (int, error) {
+	if phys < 0 || phys >= h.net.N() {
+		return 0, fmt.Errorf("topology: physical PE %d out of range on %d-PE %s", phys, h.net.N(), h.net.Name())
+	}
+	return phys, nil
+}
+
+// LeafOf returns the decomposition leaf hosting physical PE p.
+func (h *Host) LeafOf(phys int) (tree.Node, error) {
+	p, err := h.CanonicalPE(phys)
+	if err != nil {
+		return 0, err
+	}
+	return h.dec.LeafOf(p), nil
+}
+
+// SiblingHops returns the per-PE hop distance between corresponding PEs of
+// two sibling submachines whose parent sits at depth d (constant across
+// the depth; see NewHost).
+func (h *Host) SiblingHops(d int) int64 {
+	if d < 0 || d >= h.dec.Levels() {
+		panic(fmt.Sprintf("topology: no sibling pair below depth %d on %s", d, h.net.Name()))
+	}
+	return h.sibHops[d]
+}
+
+// MigrationCost prices moving a task between the equal-size submachines
+// rooted at from and to, in routed hops: every PE's thread state moves to
+// the corresponding PE of the target, each at the same distance (the
+// uniformity property), so the cost is size · Dist(first, first). Moving
+// to the same submachine costs 0.
+func (h *Host) MigrationCost(from, to tree.Node) int64 {
+	fl, fh := h.dec.PERange(from)
+	tl, _ := h.dec.PERange(to)
+	if sz := h.dec.Size(to); fh-fl != sz {
+		panic(fmt.Sprintf("topology: migrating between different sizes %d and %d", fh-fl, sz))
+	}
+	if fl == tl {
+		return 0
+	}
+	return int64(fh-fl) * int64(h.net.Dist(fl, tl))
+}
+
+// Diameter returns the network diameter: the per-PE worst case of any
+// migration.
+func (h *Host) Diameter() int { return h.net.Diameter() }
+
+// LevelWidth returns the number of distinct physical switch blocks at
+// decomposition depth d (2^d on uniformly binary networks).
+func (h *Host) LevelWidth(d int) int { return h.dec.LevelWidth(d) }
+
+// String renders the host for diagnostics.
+func (h *Host) String() string {
+	return fmt.Sprintf("topology.Host{%s, N=%d}", h.net.Name(), h.net.N())
+}
+
+// LevelWidths implements Decomposer for the fat tree: with two address
+// bits per 4-ary switch level, a binary depth d holds size-2^(L-d)
+// submachines, and the smallest physical block containing one has
+// 4^⌈(L-d)/2⌉ PEs (capped at N). Odd binary depths therefore inherit the
+// enclosing physical level's width instead of doubling it.
+func (m *FatTree) LevelWidths(levels int) []int {
+	out := make([]int, levels+1)
+	for d := 0; d <= levels; d++ {
+		rem := levels - d // submachine size exponent at depth d
+		blockExp := 2 * ((rem + 1) / 2)
+		if blockExp > levels {
+			blockExp = levels
+		}
+		out[d] = m.n >> blockExp
+	}
+	return out
+}

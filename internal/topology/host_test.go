@@ -1,0 +1,277 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"partalloc/internal/tree"
+)
+
+// TestHostMigrationCostMatchesBruteForce verifies the uniformity property
+// Host.MigrationCost relies on: for every pair of equal-size submachines,
+// size · Dist(first, first) equals the brute-force sum of per-PE routed
+// distances. This is the load-bearing check that lets every allocator price
+// migrations in O(1) per move on every supported network.
+func TestHostMigrationCostMatchesBruteForce(t *testing.T) {
+	for _, name := range Names() {
+		for _, n := range []int{2, 8, 64} {
+			h, err := NewHostNamed(name, n)
+			if err != nil {
+				t.Fatalf("NewHostNamed(%s, %d): %v", name, n, err)
+			}
+			dec := h.Tree()
+			for size := 1; size <= n; size *= 2 {
+				subs := dec.Submachines(size)
+				for _, from := range subs {
+					for _, to := range subs {
+						got := h.MigrationCost(from, to)
+						want := MigrationCost(h.Network(), dec, from, to)
+						if got != want {
+							t.Fatalf("%s N=%d size=%d %v→%v: host cost %d, brute-force %d",
+								name, n, size, from, to, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHostSiblingHops pins SiblingHops to MigrationCost: migrating between
+// the two children of a depth-d node costs child-size · SiblingHops(d).
+func TestHostSiblingHops(t *testing.T) {
+	for _, name := range Names() {
+		h, err := NewHostNamed(name, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := h.Tree()
+		for v := dec.Root(); !dec.IsLeaf(v); v = dec.Left(v) {
+			d := dec.Depth(v)
+			l, r := dec.Left(v), dec.Right(v)
+			want := int64(dec.Size(l)) * h.SiblingHops(d)
+			if got := h.MigrationCost(l, r); got != want {
+				t.Errorf("%s: depth %d sibling migration cost %d, want %d", name, d, got, want)
+			}
+		}
+	}
+}
+
+// TestMeshCornerMigrationCost pins the mesh metric at its corners: on the
+// 8×8 Morton mesh the two far corners sit at the full diameter, and the
+// leaf-to-leaf migration cost equals that Manhattan distance.
+func TestMeshCornerMigrationCost(t *testing.T) {
+	h, err := NewHostNamed("mesh", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := h.Network().(*Mesh)
+	corners := []struct {
+		r1, c1, r2, c2 int
+		want           int
+	}{
+		{0, 0, 7, 7, 14}, // opposite corners: the diameter
+		{0, 0, 0, 7, 7},  // along the top edge
+		{0, 0, 7, 0, 7},  // down the left edge
+		{7, 0, 0, 7, 14}, // the other diagonal
+		{0, 0, 0, 0, 0},
+	}
+	for _, c := range corners {
+		a, b := m.PEAt(c.r1, c.c1), m.PEAt(c.r2, c.c2)
+		if got := m.Dist(a, b); got != c.want {
+			t.Errorf("mesh Dist((%d,%d),(%d,%d)) = %d, want %d", c.r1, c.c1, c.r2, c.c2, got, c.want)
+		}
+		la, err := h.LeafOf(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := h.LeafOf(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := h.MigrationCost(la, lb); got != int64(c.want) {
+			t.Errorf("mesh leaf migration (%d,%d)→(%d,%d) cost %d, want %d", c.r1, c.c1, c.r2, c.c2, got, c.want)
+		}
+	}
+	if m.Diameter() != 14 {
+		t.Errorf("8×8 mesh diameter = %d, want 14", m.Diameter())
+	}
+}
+
+// TestButterflyCornerMigrationCost pins the butterfly metric: PEs differing
+// in the top address bit route through the full switch ladder (2·log₂N
+// hops), and neighbors through one switch level.
+func TestButterflyCornerMigrationCost(t *testing.T) {
+	h, err := NewHostNamed("butterfly", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := h.Network()
+	cases := []struct{ a, p, want int }{
+		{0, 63, 12}, // full ladder: 2·6
+		{0, 1, 2},   // one switch level up and back
+		{0, 32, 12}, // top bit alone still crosses the whole ladder
+		{31, 31, 0},
+	}
+	for _, c := range cases {
+		if got := b.Dist(c.a, c.p); got != c.want {
+			t.Errorf("butterfly Dist(%d,%d) = %d, want %d", c.a, c.p, got, c.want)
+		}
+	}
+	la, _ := h.LeafOf(0)
+	lb, _ := h.LeafOf(63)
+	if got := h.MigrationCost(la, lb); got != 12 {
+		t.Errorf("butterfly corner leaf migration cost %d, want 12", got)
+	}
+}
+
+// TestFatTreeLevelWidths pins the 4-ary physical level profile the
+// decomposition carries: odd binary depths are virtual (same physical
+// switch block as the even depth above).
+func TestFatTreeLevelWidths(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{64, []int{1, 1, 4, 4, 16, 16, 64}},
+		{8, []int{1, 2, 2, 8}},
+		{2, []int{1, 2}},
+	}
+	for _, c := range cases {
+		h, err := NewHostNamed("fattree", c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d, want := range c.want {
+			if got := h.LevelWidth(d); got != want {
+				t.Errorf("fattree N=%d LevelWidth(%d) = %d, want %d", c.n, d, got, want)
+			}
+		}
+		// With ≥ 2 switch levels the 4-ary profile departs from uniform
+		// binary; at N=2 the two coincide.
+		if c.n >= 8 && h.Tree().UniformLevels() {
+			t.Errorf("fattree N=%d decomposition should carry non-uniform level widths", c.n)
+		}
+	}
+	// Every other network decomposes uniformly: 2^d blocks at depth d.
+	for _, name := range []string{"tree", "hypercube", "mesh", "butterfly"} {
+		h, err := NewHostNamed(name, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.Tree().UniformLevels() {
+			t.Errorf("%s decomposition should be uniformly binary", name)
+		}
+		for d := 0; d <= h.Tree().Levels(); d++ {
+			if got := h.LevelWidth(d); got != 1<<d {
+				t.Errorf("%s LevelWidth(%d) = %d, want %d", name, d, got, 1<<d)
+			}
+		}
+	}
+}
+
+// TestHostCanonicalPE checks the physical→canonical translation and its
+// range checking (this is what fault schedules pass through).
+func TestHostCanonicalPE(t *testing.T) {
+	h, err := NewHostNamed("hypercube", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 16; p++ {
+		got, err := h.CanonicalPE(p)
+		if err != nil || got != p {
+			t.Fatalf("CanonicalPE(%d) = %d, %v; want identity", p, got, err)
+		}
+		leaf, err := h.LeafOf(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Tree().PEOf(leaf) != p {
+			t.Fatalf("LeafOf(%d) round-trip gave PE %d", p, h.Tree().PEOf(leaf))
+		}
+	}
+	for _, bad := range []int{-1, 16, 1000} {
+		if _, err := h.CanonicalPE(bad); err == nil {
+			t.Errorf("CanonicalPE(%d): want range error", bad)
+		}
+	}
+}
+
+// TestHostPEs checks the node→physical-PE-set translation.
+func TestHostPEs(t *testing.T) {
+	h, err := NewHostNamed("mesh", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := h.Tree().Root()
+	pes := h.PEs(root)
+	if len(pes) != 16 || pes[0] != 0 || pes[15] != 15 {
+		t.Fatalf("PEs(root) = %v, want 0..15", pes)
+	}
+	labels := h.PELabels(h.Tree().LeafOf(5))
+	if len(labels) != 1 || !strings.Contains(labels[0], "(") {
+		t.Fatalf("PELabels(leaf 5) = %v, want one mesh coordinate label", labels)
+	}
+}
+
+// TestHostMigrationCostSizeMismatchPanics mirrors the generic helper's
+// contract on the O(1) fast path.
+func TestHostMigrationCostSizeMismatchPanics(t *testing.T) {
+	h, err := NewHostNamed("tree", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	h.MigrationCost(h.Tree().Root(), h.Tree().Left(h.Tree().Root()))
+}
+
+// TestNewHostErrors covers the construction error paths.
+func TestNewHostErrors(t *testing.T) {
+	if _, err := NewHostNamed("torus", 16); err == nil {
+		t.Error("unknown topology: want error")
+	}
+	if _, err := NewHostNamed("hypercube", 12); err == nil {
+		t.Error("non-power-of-two size: want error")
+	}
+	if _, err := NewHost(nil); err == nil {
+		t.Error("nil network: want error")
+	}
+}
+
+// TestDecompositionValidation exercises tree.NewDecomposition's width
+// checks through the one package allowed to call it directly.
+func TestDecompositionValidation(t *testing.T) {
+	bad := [][]int{
+		{1, 2, 4},          // wrong length for n=16
+		{1, 2, 4, 8},       // wrong length
+		{2, 2, 4, 8, 16},   // root width must be 1
+		{1, 2, 4, 8, 8},    // leaf width must be n
+		{1, 4, 2, 8, 16},   // decreasing
+		{1, 3, 4, 8, 16},   // not a power of two
+		{1, 2, 8, 16, 16},  // width 16 at depth 3 exceeds 2^3
+		{1, 2, 4, 16, 16},  // same, via a different profile
+		{0, 2, 4, 8, 16},   // zero width
+		{1, 2, 4, 8, 32},   // leaf width exceeds n
+		{1, 1, 1, 1, 1, 1}, // nonsense length
+	}
+	for _, w := range bad {
+		if _, err := tree.NewDecomposition(16, w); err == nil {
+			t.Errorf("NewDecomposition(16, %v): want error", w)
+		}
+	}
+	m, err := tree.NewDecomposition(16, []int{1, 1, 4, 4, 16})
+	if err != nil {
+		t.Fatalf("valid fat-tree profile rejected: %v", err)
+	}
+	if m.UniformLevels() {
+		t.Error("non-uniform profile reported uniform")
+	}
+	plain, err := tree.NewDecomposition(16, nil)
+	if err != nil || !plain.UniformLevels() {
+		t.Fatalf("nil widths should give the plain machine (err %v)", err)
+	}
+}

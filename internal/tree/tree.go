@@ -25,9 +25,19 @@ type Node int
 
 // Machine is an immutable description of an N-PE tree machine. It carries
 // no allocation state; state lives in loadtree.Tree and copies.Copy.
+//
+// A Machine may additionally carry decomposition level widths (see
+// NewDecomposition): when the tree is the binary decomposition of a
+// physical network whose switch hierarchy is not binary (a 4-ary fat
+// tree), some binary depths are "virtual" — they split a physical switch
+// block in two without crossing a physical level. LevelWidth exposes how
+// many distinct physical blocks exist at each depth so downstream
+// consumers (loadtree, copies, the invariant checker, reporting) can tell
+// physical capacity boundaries from virtual ones.
 type Machine struct {
-	n      int // number of PEs (leaves); a power of two
-	levels int // log2(n); depth of the leaves
+	n      int   // number of PEs (leaves); a power of two
+	levels int   // log2(n); depth of the leaves
+	widths []int // nil → uniform binary (widths[d] = 2^d)
 }
 
 // New constructs an N-PE tree machine. N must be a power of two (the model
@@ -38,6 +48,67 @@ func New(n int) (*Machine, error) {
 		return nil, fmt.Errorf("tree: machine size %d: %w", n, errs.ErrNotPowerOfTwo)
 	}
 	return &Machine{n: n, levels: mathx.Log2(n)}, nil
+}
+
+// NewDecomposition constructs an N-PE tree machine annotated with physical
+// level widths: widths[d] is the number of distinct physical switch blocks
+// at binary depth d. It must hold one entry per depth 0..log2(N), start at
+// 1 (the whole machine), end at N (the PEs), be non-decreasing, and every
+// width must be a power of two not exceeding 2^d — a depth can never have
+// more physical blocks than binary submachines. A uniform binary machine
+// (widths[d] = 2^d) is what New produces implicitly.
+func NewDecomposition(n int, widths []int) (*Machine, error) {
+	m, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	if widths == nil {
+		return m, nil
+	}
+	if len(widths) != m.levels+1 {
+		return nil, fmt.Errorf("tree: decomposition needs %d level widths, got %d", m.levels+1, len(widths))
+	}
+	for d, w := range widths {
+		switch {
+		case !mathx.IsPow2(w):
+			return nil, fmt.Errorf("tree: level width %d at depth %d not a power of two", w, d)
+		case w > 1<<d:
+			return nil, fmt.Errorf("tree: level width %d at depth %d exceeds 2^%d submachines", w, d, d)
+		case d > 0 && w < widths[d-1]:
+			return nil, fmt.Errorf("tree: level widths must be non-decreasing (depth %d: %d < %d)", d, w, widths[d-1])
+		}
+	}
+	if widths[0] != 1 || widths[m.levels] != n {
+		return nil, fmt.Errorf("tree: level widths must run from 1 to N, got %d..%d", widths[0], widths[m.levels])
+	}
+	m.widths = append([]int(nil), widths...)
+	return m, nil
+}
+
+// LevelWidth returns the number of distinct physical blocks at depth d
+// (2^d when the machine is a plain uniform binary decomposition).
+func (m *Machine) LevelWidth(d int) int {
+	if d < 0 || d > m.levels {
+		panic(fmt.Sprintf("tree: depth %d out of range", d))
+	}
+	if m.widths == nil {
+		return 1 << d
+	}
+	return m.widths[d]
+}
+
+// UniformLevels reports whether every binary depth is a physical level
+// (no widths annotation, or one that matches the uniform 2^d profile).
+func (m *Machine) UniformLevels() bool {
+	if m.widths == nil {
+		return true
+	}
+	for d, w := range m.widths {
+		if w != 1<<d {
+			return false
+		}
+	}
+	return true
 }
 
 // MustNew is New but panics on error; for tests and internal construction

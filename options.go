@@ -5,6 +5,7 @@ import (
 
 	"partalloc/internal/core"
 	"partalloc/internal/fault"
+	"partalloc/internal/topology"
 )
 
 // Algorithm selects an allocation algorithm for New. The zero value is
@@ -95,6 +96,7 @@ type config struct {
 	seed     int64
 	seedSet  bool
 	faults   *fault.Schedule
+	top      Topology
 }
 
 // Option configures New.
@@ -132,6 +134,19 @@ func WithFaults(sched FaultSchedule) Option {
 	}
 }
 
+// WithTopology runs the allocator on a physical network: the allocator is
+// built against the topology's hierarchical binary decomposition (so, e.g.,
+// a fat tree's level-width metadata reaches the load bookkeeping), and
+// Simulate, Execute and the Engine additionally price every migration —
+// voluntary and failure-forced — in physical network hops (SimResult's
+// Topology/MigHops/ForcedHops fields). The topology's PE count must match
+// the machine's; the "tree" topology reproduces host-agnostic runs
+// byte-identically. A WithFaults schedule names physical PEs and is
+// translated through the decomposition.
+func WithTopology(t Topology) Option {
+	return func(c *config) { c.top = t }
+}
+
 // New builds an allocator for algo on machine m. Invalid combinations are
 // rejected with descriptive errors (strict by design: every option must be
 // meaningful for the chosen algorithm). The returned Allocator is also a
@@ -146,6 +161,21 @@ func New(algo Algorithm, m *Machine, opts ...Option) (Allocator, error) {
 	c := config{order: DecreasingSize, seed: 1}
 	for _, o := range opts {
 		o(&c)
+	}
+
+	// A topology replaces the plain machine with its decomposition tree:
+	// same N, same submachine structure, plus the network's level widths.
+	var host *topology.Host
+	if c.top != nil {
+		if c.top.N() != m.N() {
+			return nil, fmt.Errorf("partalloc: New(%v): topology %s has %d PEs but the machine has %d",
+				algo, c.top.Name(), c.top.N(), m.N())
+		}
+		var err error
+		if host, err = topology.NewHost(c.top); err != nil {
+			return nil, fmt.Errorf("partalloc: New(%v): %w", algo, err)
+		}
+		m = host.Tree()
 	}
 
 	takesD := algo == AlgoPeriodic || algo == AlgoLazy
@@ -185,13 +215,24 @@ func New(algo Algorithm, m *Machine, opts ...Option) (Allocator, error) {
 	}
 
 	if c.faults != nil {
+		// Schedules name physical PEs; on a host they are translated (and
+		// range-checked) through the decomposition before validation.
+		if host != nil {
+			mapped, err := c.faults.MapPEs(host.CanonicalPE)
+			if err != nil {
+				return nil, fmt.Errorf("partalloc: New(%v): %w", algo, err)
+			}
+			c.faults = &mapped
+		}
 		if err := c.faults.Validate(m.N()); err != nil {
 			return nil, fmt.Errorf("partalloc: New(%v): %w", algo, err)
 		}
 		if _, ok := a.(core.FaultTolerant); !ok {
 			return nil, fmt.Errorf("partalloc: New(%v): algorithm does not support fault injection", algo)
 		}
-		return &faultedAllocator{Allocator: a, sched: *c.faults}, nil
+	}
+	if c.faults != nil || host != nil {
+		return &wrappedAllocator{Allocator: a, sched: c.faults, host: host}, nil
 	}
 	return a, nil
 }
@@ -205,21 +246,31 @@ func MustNew(algo Algorithm, m *Machine, opts ...Option) Allocator {
 	return a
 }
 
-// faultedAllocator carries a WithFaults schedule alongside the allocator.
-// It only wraps when WithFaults is used, so the common path keeps direct
-// access to the concrete allocator's optional interfaces (Reallocator,
-// FaultTolerant, BatchApplier). Simulate/Execute/Engine unwrap it and turn
-// the schedule into a fault source.
-type faultedAllocator struct {
+// wrappedAllocator carries a WithFaults schedule and/or a WithTopology
+// host alongside the allocator. It only wraps when one of those options is
+// used, so the common path keeps direct access to the concrete allocator's
+// optional interfaces (Reallocator, FaultTolerant, BatchApplier).
+// Simulate/Execute/Engine unwrap it, turn the schedule into a fault source
+// and attach the host to the run.
+type wrappedAllocator struct {
 	core.Allocator
-	sched fault.Schedule
+	sched *fault.Schedule
+	host  *topology.Host
 }
 
-// unwrapFaults splits a possibly fault-wrapped allocator into the
-// underlying allocator and its schedule (nil when none is attached).
-func unwrapFaults(a Allocator) (Allocator, *fault.Schedule) {
-	if fa, ok := a.(*faultedAllocator); ok {
-		return fa.Allocator, &fa.sched
+// unwrapRun splits a possibly wrapped allocator into the underlying
+// allocator, its fault schedule, and its topology host (nil when not
+// attached).
+func unwrapRun(a Allocator) (Allocator, *fault.Schedule, *topology.Host) {
+	if wa, ok := a.(*wrappedAllocator); ok {
+		return wa.Allocator, wa.sched, wa.host
 	}
-	return a, nil
+	return a, nil, nil
+}
+
+// unwrapFaults splits a possibly wrapped allocator into the underlying
+// allocator and its schedule (nil when none is attached).
+func unwrapFaults(a Allocator) (Allocator, *fault.Schedule) {
+	inner, sched, _ := unwrapRun(a)
+	return inner, sched
 }

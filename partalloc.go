@@ -181,9 +181,11 @@ type SimResult = sim.Result
 // Simulate drives an allocator through a sequence and measures loads,
 // competitive ratio and reallocation cost. An allocator built with
 // WithFaults has its schedule injected automatically (unless opt.Faults is
-// already set, which wins).
+// already set, which wins), and one built with WithTopology runs
+// host-aware: SimResult.Topology names the network and
+// MigHops/ForcedHops price the migration traffic in physical hops.
 func Simulate(a Allocator, seq Sequence, opt SimOptions) SimResult {
-	a, opt = resolveFaults(a, opt)
+	a, opt = resolveRun(a, opt)
 	return sim.Run(a, seq, opt)
 }
 
@@ -193,16 +195,19 @@ func Simulate(a Allocator, seq Sequence, opt SimOptions) SimResult {
 // count) together with ctx.Err() — the same partial-result shape the sweep
 // harness checkpoints on SIGINT.
 func SimulateContext(ctx context.Context, a Allocator, seq Sequence, opt SimOptions) (SimResult, error) {
-	a, opt = resolveFaults(a, opt)
+	a, opt = resolveRun(a, opt)
 	return sim.RunContext(ctx, a, seq, opt)
 }
 
-// resolveFaults unwraps a WithFaults allocator into (inner allocator,
-// options with the schedule's source attached).
-func resolveFaults(a Allocator, opt SimOptions) (Allocator, SimOptions) {
-	inner, sched := unwrapFaults(a)
+// resolveRun unwraps a WithFaults/WithTopology allocator into (inner
+// allocator, options with the schedule's source and the host attached).
+func resolveRun(a Allocator, opt SimOptions) (Allocator, SimOptions) {
+	inner, sched, host := unwrapRun(a)
 	if sched != nil && opt.Faults == nil {
 		opt.Faults = sched.Source()
+	}
+	if host != nil && opt.Host == nil {
+		opt.Host = host
 	}
 	return inner, opt
 }
@@ -247,12 +252,23 @@ func SigmaR(cfg SigmaRConfig) (Sequence, SigmaRStats) { return adversary.SigmaR(
 // Topology is a physical network with hierarchical decomposition.
 type Topology = topology.Machine
 
-// NewTopology builds a named topology: "tree", "hypercube", "mesh" or
-// "butterfly".
+// NewTopology builds a named topology: "tree", "hypercube", "mesh",
+// "butterfly" or "fattree".
 func NewTopology(name string, n int) (Topology, error) { return topology.New(name, n) }
 
 // TopologyNames lists supported topologies.
 func TopologyNames() []string { return topology.Names() }
+
+// Host pairs a physical network with its canonical hierarchical binary
+// decomposition: allocators run on the decomposition tree (Host.Tree),
+// and the host prices migrations in physical hops and translates fault
+// targets. WithTopology builds one implicitly; construct one directly to
+// inspect a decomposition (PE sets, per-level sibling distances, level
+// widths) or to share a tree across allocators. See docs/TOPOLOGIES.md.
+type Host = topology.Host
+
+// NewHost builds the decomposition host for a named topology.
+func NewHost(name string, n int) (*Host, error) { return topology.NewHostNamed(name, n) }
 
 // MigrationCost prices moving a task between two equal-size submachines on
 // a physical topology, in per-PE routed hops.
@@ -282,25 +298,31 @@ func RandomSchedWorkload(cfg SchedWorkloadConfig) SchedWorkload {
 // time-sharing: each job advances at 1/(max load in its submachine), so
 // departures — and therefore response times — are determined by the
 // allocator's balance. This is the paper's §2 slowdown model, executed.
-// An allocator built with WithFaults has its schedule injected.
+// An allocator built with WithFaults has its schedule injected, and one
+// built with WithTopology reports hop-weighted migration costs
+// (SchedResult's Topology/MigHops/ForcedHops fields).
 func Execute(a Allocator, w SchedWorkload) SchedResult {
-	inner, schedF := unwrapFaults(a)
+	inner, schedF, host := unwrapRun(a)
+	var src FaultSource
 	if schedF != nil {
-		return sched.RunFaulted(inner, w, nil, schedF.Source())
+		src = schedF.Source()
 	}
-	return sched.Run(inner, w)
+	if schedF == nil && host == nil {
+		return sched.Run(inner, w)
+	}
+	return sched.RunHosted(inner, w, nil, src, host)
 }
 
 // ExecuteContext is Execute with cooperative cancellation: once ctx is
 // cancelled the run stops at the next event boundary and returns the jobs
 // completed so far together with ctx.Err().
 func ExecuteContext(ctx context.Context, a Allocator, w SchedWorkload) (SchedResult, error) {
-	inner, schedF := unwrapFaults(a)
+	inner, schedF, host := unwrapRun(a)
 	var src FaultSource
 	if schedF != nil {
 		src = schedF.Source()
 	}
-	return sched.RunFaultedContext(ctx, inner, w, nil, src)
+	return sched.RunHostedContext(ctx, inner, w, nil, src, host)
 }
 
 // FaultSource feeds fault events into a run; FaultSchedule.Source returns

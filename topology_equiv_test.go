@@ -1,0 +1,173 @@
+package partalloc_test
+
+// Cross-topology equivalence: allocation decisions are made on the
+// decomposition tree, whose submachine structure is identical on every
+// supported network (aligned PE ranges), so the same σ must yield the same
+// per-event max-load trajectory, reallocation ledger, and fault ledger on
+// every host — only the hop pricing of those migrations may differ. The
+// tree host is the reference; treehost_golden_test.go separately pins that
+// reference to the pre-refactor bytes.
+
+import (
+	"reflect"
+	"testing"
+
+	"partalloc"
+)
+
+// equivTopologies are the non-tree hosts held to the tree trajectory.
+func equivTopologies() []string {
+	return []string{"hypercube", "mesh", "butterfly", "fattree"}
+}
+
+// equivRun is the topology-independent slice of a goldenRun.
+type equivRun struct {
+	run     goldenRun
+	migHops int64
+}
+
+func runEquivSim(t *testing.T, topo string, algo partalloc.Algorithm, opts []partalloc.Option, faulted bool) equivRun {
+	t.Helper()
+	top, err := partalloc.NewTopology(topo, goldenN)
+	if err != nil {
+		t.Fatalf("NewTopology(%s): %v", topo, err)
+	}
+	opts = append(append([]partalloc.Option(nil), opts...), partalloc.WithTopology(top))
+	if faulted {
+		opts = append(opts, partalloc.WithFaults(goldenFaults()))
+	}
+	m := partalloc.MustNewMachine(goldenN)
+	a, err := partalloc.New(algo, m, opts...)
+	if err != nil {
+		t.Fatalf("New(%v) on %s: %v", algo, topo, err)
+	}
+	res := partalloc.Simulate(a, goldenWorkload(), partalloc.SimOptions{RecordSeries: true})
+	if res.Topology != topo {
+		t.Fatalf("result topology %q, want %q", res.Topology, topo)
+	}
+	run := goldenRun{
+		Algorithm:   res.Algorithm,
+		Events:      res.Events,
+		MaxLoad:     res.MaxLoad,
+		FinalLoad:   res.FinalLoad,
+		LStar:       res.LStar,
+		Realloc:     res.Realloc,
+		FaultEvents: res.FaultEvents,
+		Forced:      res.Forced,
+	}
+	for _, s := range res.Series.Samples {
+		run.Series = append(run.Series, goldenSample{
+			Event:        s.EventIndex,
+			MaxLoad:      s.MaxLoad,
+			ActiveSize:   s.ActiveSize,
+			RunningLStar: s.RunningLStar,
+			FailedPEs:    s.FailedPEs,
+		})
+	}
+	return equivRun{run: run, migHops: res.MigHops + res.ForcedHops}
+}
+
+// TestCrossTopologyEquivalence runs all six algorithms, with and without
+// the shared fault schedule, on every non-tree host and demands the
+// event-for-event trajectory of the tree host.
+func TestCrossTopologyEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-topology sweep skipped in -short mode")
+	}
+	for _, ga := range goldenAlgos() {
+		variants := []bool{false}
+		if faultTolerantGolden(ga.algo) {
+			variants = append(variants, true)
+		}
+		for _, faulted := range variants {
+			name := ga.key
+			if faulted {
+				name += "+faults"
+			}
+			t.Run(name, func(t *testing.T) {
+				ref := runEquivSim(t, "tree", ga.algo, ga.opts, faulted)
+				for _, topo := range equivTopologies() {
+					got := runEquivSim(t, topo, ga.algo, ga.opts, faulted)
+					if !reflect.DeepEqual(got.run, ref.run) {
+						t.Errorf("%s: trajectory diverges from tree host (max load %d vs %d over %d/%d samples)",
+							topo, got.run.MaxLoad, ref.run.MaxLoad, len(got.run.Series), len(ref.run.Series))
+					}
+					// Migration pricing must be live wherever PE-units moved:
+					// distinct equal-size aligned ranges are ≥ 1 hop apart on
+					// every network.
+					if moved := ref.run.Realloc.MovedPEs + ref.run.Forced.MovedPEs; moved > 0 && got.migHops <= 0 {
+						t.Errorf("%s: %d PE-units moved but zero weighted hops", topo, moved)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCrossTopologyEngineEquivalence repeats the check through the engine:
+// one identical fleet per topology, identical per-tenant ledgers except for
+// hop pricing, which must be live and topology-dependent.
+func TestCrossTopologyEngineEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-topology sweep skipped in -short mode")
+	}
+	type ledger struct {
+		tenants map[string]goldenTenant
+		hops    map[string]int64
+	}
+	replay := func(t *testing.T, topo string) ledger {
+		t.Helper()
+		top, err := partalloc.NewTopology(topo, goldenN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := partalloc.NewEngine(partalloc.EngineConfig{Shards: 4, BatchSize: 1})
+		m := partalloc.MustNewMachine(goldenN)
+		streams := make(map[string][]partalloc.Event)
+		seq := goldenWorkload()
+		for _, ga := range goldenAlgos() {
+			opts := append(append([]partalloc.Option(nil), ga.opts...), partalloc.WithTopology(top))
+			if faultTolerantGolden(ga.algo) {
+				opts = append(opts, partalloc.WithFaults(goldenFaults()))
+			}
+			if err := eng.AddTenant(ga.key, ga.algo, m, opts...); err != nil {
+				t.Fatalf("AddTenant(%s) on %s: %v", ga.key, topo, err)
+			}
+			streams[ga.key] = seq.Events
+		}
+		if err := eng.Replay(t.Context(), streams); err != nil {
+			t.Fatalf("Replay on %s: %v", topo, err)
+		}
+		out := ledger{tenants: map[string]goldenTenant{}, hops: map[string]int64{}}
+		for _, st := range eng.Stats() {
+			if st.Topology != topo {
+				t.Fatalf("tenant %s reports topology %q, want %q", st.Tenant, st.Topology, topo)
+			}
+			out.tenants[st.Tenant] = goldenTenant{
+				Tenant:      st.Tenant,
+				Algorithm:   st.Algorithm,
+				Events:      st.Events,
+				MaxLoad:     st.MaxLoad,
+				PeakLoad:    st.PeakLoad,
+				LStar:       st.LStar,
+				Active:      st.Active,
+				Realloc:     st.Realloc,
+				FaultEvents: st.FaultEvents,
+			}
+			out.hops[st.Tenant] = st.MigHops + st.ForcedHops
+		}
+		return out
+	}
+	ref := replay(t, "tree")
+	for _, topo := range equivTopologies() {
+		got := replay(t, topo)
+		if !reflect.DeepEqual(got.tenants, ref.tenants) {
+			t.Errorf("%s: engine ledgers diverge from tree host", topo)
+		}
+		for id, tn := range ref.tenants {
+			if moved := tn.Realloc.MovedPEs; moved > 0 && got.hops[id] <= 0 {
+				t.Errorf("%s/%s: %d PE-units moved but zero weighted hops", topo, id, moved)
+			}
+		}
+	}
+}

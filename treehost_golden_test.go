@@ -133,6 +133,13 @@ func treeHostModes() []struct {
 		extras func(t *testing.T) []partalloc.Option
 	}{
 		{"plain", func(t *testing.T) []partalloc.Option { return nil }},
+		{"tree-host", func(t *testing.T) []partalloc.Option {
+			top, err := partalloc.NewTopology("tree", goldenN)
+			if err != nil {
+				t.Fatalf("NewTopology(tree): %v", err)
+			}
+			return []partalloc.Option{partalloc.WithTopology(top)}
+		}},
 	}
 }
 
