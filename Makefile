@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short test-race test-fault test-topology lint bench experiments experiments-quick cover golden clean
+.PHONY: all build test test-short test-race test-fault test-topology lint lint-json bench experiments experiments-quick cover golden clean
 
 all: build lint test
 
@@ -40,6 +40,11 @@ lint:
 	go run ./cmd/partlint ./...
 	go build -o /tmp/partlint ./cmd/partlint
 	go vet -vettool=/tmp/partlint ./...
+
+# Machine-readable findings for CI annotations and editors; exits 2 on
+# findings like the plain run, with the JSON already written.
+lint-json:
+	go run ./cmd/partlint -json ./... > partlint.json
 
 # Micro-benchmarks (batched vs serial apply, engine replay) plus the
 # engined load driver, which refreshes the committed benchmark ledger.

@@ -5,15 +5,27 @@
 //	seedrand     no global math/rand under internal/ and cmd/
 //	detorder     no map-range feeding order-sensitive output
 //	panicmsg     panic messages follow the "pkg: message" convention
+//	hosttopo     topology hosts built and consumed consistently
+//	lockorder    no lock copies, missed unlocks, or blocking under a mutex
+//	ctxflow      contexts propagate; no re-rooting outside main packages
+//	errwrapped   sentinel errors matched with errors.Is and wrapped via %w
+//	purealloc    allocator implementations stay deterministic and pure
+//
+// The last four are fact-powered: each package's analysis exports facts
+// (may-block, creates-root, wraps-sentinels, impure) that later analysis
+// of importing packages consumes, so cross-package call chains are
+// convicted without whole-program analysis.
 //
 // Standalone mode analyzes package patterns (default ./...):
 //
 //	partlint ./...
 //	partlint -only powtwo,seedrand ./internal/...
+//	partlint -json ./...
 //	partlint -list
 //
 // It also speaks cmd/go's vet-tool protocol, so the same binary plugs
-// into the build system's vet harness:
+// into the build system's vet harness, with facts carried between
+// compilation units in the .vetx files cmd/go caches:
 //
 //	go build -o /tmp/partlint ./cmd/partlint
 //	go vet -vettool=/tmp/partlint ./...
@@ -24,6 +36,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -60,8 +73,9 @@ func main() {
 
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON on stdout (one array of {file,line,col,analyzer,message})")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: partlint [-only a,b] [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: partlint [-only a,b] [-json] [-list] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -99,10 +113,43 @@ func main() {
 		fatal(err)
 	}
 	if len(pkgs) > 0 {
-		printDiags(pkgs[0].Fset, diags)
+		if *jsonOut {
+			printDiagsJSON(pkgs[0].Fset, diags)
+		} else {
+			printDiags(pkgs[0].Fset, diags)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(2)
+	}
+}
+
+// jsonDiag is the machine-readable diagnostic shape -json emits; CI turns
+// these into GitHub annotations.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printDiagsJSON(fset *token.FileSet, diags []analysis.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		out = append(out, jsonDiag{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer.Name,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
 	}
 }
 

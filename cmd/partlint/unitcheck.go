@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
+	"partalloc/internal/analysis"
 	"partalloc/internal/analysis/checker"
 	"partalloc/internal/analysis/load"
 	"partalloc/internal/analysis/passes"
@@ -21,16 +24,28 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
+// unitScope reports whether a unit's import path belongs to this module:
+// only module packages are source-analyzed for facts and diagnostics.
+// Everything else (stdlib dependencies go vet schedules for their vetx
+// files) gets an empty fact file without loading any source — partlint's
+// analyzers never export facts for foreign packages anyway.
+func unitScope(importPath string) bool {
+	return importPath == "partalloc" || strings.HasPrefix(importPath, "partalloc/")
+}
+
 // unitcheck analyzes a single compilation unit described by a cfg file,
 // per the go vet -vettool protocol: dependencies arrive as compiled
-// export data in PackageFile, diagnostics go to stderr, and the exit
-// status is 2 when findings exist. Facts are not used by this suite, so
-// the vetx output (the inter-unit fact channel) is written empty.
+// export data in PackageFile plus their analysis facts in PackageVetx,
+// diagnostics go to stderr, and the exit status is 2 when findings
+// exist. The unit's own exported facts are gob-encoded to VetxOutput so
+// cmd/go can hand them to dependents (and cache them alongside the
+// export data).
 func unitcheck(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -42,14 +57,32 @@ func unitcheck(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "partlint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "partlint:", err)
+	if !unitScope(cfg.ImportPath) {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "partlint:", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
+	facts := analysis.NewFactSet()
+	analysis.RegisterFactTypes(passes.All())
+	depPaths := make([]string, 0, len(cfg.PackageVetx))
+	for depPath := range cfg.PackageVetx {
+		depPaths = append(depPaths, depPath)
+	}
+	sort.Strings(depPaths)
+	for _, depPath := range depPaths {
+		blob, err := os.ReadFile(cfg.PackageVetx[depPath])
+		if err != nil || len(blob) == 0 {
+			continue // dependency outside the module, or facts not produced
+		}
+		if err := facts.Decode(depPath, blob); err != nil {
+			fmt.Fprintf(os.Stderr, "partlint: facts of %s: %v\n", depPath, err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
-		return 0 // facts-only pass for a dependency; nothing to report
 	}
 
 	ctx := load.NewExportContext(cfg.PackageFile, cfg.ImportMap)
@@ -72,10 +105,24 @@ func unitcheck(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "partlint: %s: %v\n", cfg.ImportPath, pkg.TypeErrors[0])
 		return 1
 	}
-	diags, err := checker.Run([]*load.Package{pkg}, passes.All())
+	diags, facts, err := checker.RunWithFacts([]*load.Package{pkg}, passes.All(), facts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "partlint:", err)
 		return 1
+	}
+	if cfg.VetxOutput != "" {
+		blob, err := facts.Encode(cfg.ImportPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "partlint: encoding facts of %s: %v\n", cfg.ImportPath, err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, blob, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "partlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // facts-only pass for a dependency; diagnostics come later
 	}
 	printDiags(ctx.Fset, diags)
 	if len(diags) > 0 {

@@ -155,19 +155,22 @@ func run(p params) error {
 	})
 	defer stop()
 
+	// Checkpoint writes happen outside the results mutex: snapshot the
+	// rows under mu, then hand the snapshot to the writer, which
+	// serializes and coalesces disk I/O on its own. Holding mu across
+	// cli.SaveCheckpoint would park every other worker's row update
+	// behind the disk (caught by the lockorder analyzer).
 	var mu sync.Mutex
 	completed := 0
-	saveLocked := func() error {
-		if p.checkpoint == "" {
-			return nil
-		}
+	writer := cli.NewCheckpointWriter[[]string](p.checkpoint, fingerprint)
+	snapshotLocked := func() map[string][]string {
 		entries := make(map[string][]string)
 		for i, row := range rows {
 			if row != nil {
 				entries[strconv.Itoa(i)] = row
 			}
 		}
-		return cli.SaveCheckpoint(p.checkpoint, fingerprint, entries)
+		return entries
 	}
 
 	errs := parallel.RunCells(len(pending), parallel.RunOptions{Workers: p.workers, Cancel: ctx.Done()}, func(k int) error {
@@ -180,13 +183,16 @@ func run(p params) error {
 			return err
 		}
 		mu.Lock()
-		defer mu.Unlock()
 		rows[i] = row
 		completed++
-		if p.haltAfter > 0 && completed >= p.haltAfter {
+		seq := completed
+		entries := snapshotLocked()
+		halt := p.haltAfter > 0 && completed >= p.haltAfter
+		mu.Unlock()
+		if halt {
 			stop()
 		}
-		return saveLocked()
+		return writer.Save(seq, entries)
 	})
 
 	interrupted := false
@@ -201,7 +207,15 @@ func run(p params) error {
 				pending[k], specs[pending[k]].axisVal, specs[pending[k]].label, err))
 		}
 	}
-	if err := func() error { mu.Lock(); defer mu.Unlock(); return saveLocked() }(); err != nil {
+	// Workers have drained; force one final write (seq beyond any
+	// incremental one) so the checkpoint always reflects every completed
+	// cell, retrying anything a mid-run write error left behind.
+	if err := func() error {
+		mu.Lock()
+		seq, entries := completed+1, snapshotLocked()
+		mu.Unlock()
+		return writer.Save(seq, entries)
+	}(); err != nil {
 		return err
 	}
 

@@ -18,6 +18,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Analyzer describes one static check.
@@ -32,6 +33,11 @@ type Analyzer struct {
 	// findings through pass.Report. A non-nil error aborts the whole lint
 	// run (reserved for internal failures, not findings).
 	Run func(*Pass) error
+	// FactTypes declares the fact types this analyzer exports and imports
+	// (pointers to gob-encodable structs). An analyzer with no FactTypes
+	// is purely local; the driver skips it when a package is analyzed only
+	// for its facts (vet-tool VetxOnly units).
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -53,6 +59,50 @@ type Pass struct {
 	// Report delivers one diagnostic. The checker wires this to the
 	// suppression filter and the output sink.
 	Report func(Diagnostic)
+	// Facts is the cross-package fact store for this run, shared by every
+	// analyzer and package (see Fact). Nil when the driver runs without
+	// facts; the Pass fact methods then degrade to no-ops.
+	Facts *FactSet
+}
+
+// ExportObjectFact associates fact with obj, which must be declared in
+// the package under analysis, for later ImportObjectFact calls from
+// packages that import it. Unsupported object shapes (see ObjectPath)
+// return an error.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) error {
+	if p.Facts == nil {
+		return nil
+	}
+	return p.Facts.exportObject(obj, fact)
+}
+
+// ImportObjectFact copies the fact of fact's type previously exported for
+// obj into fact, reporting whether one existed. It works uniformly for
+// objects of the package under analysis (exported earlier in the same
+// run) and for imported objects (exported when their package was
+// analyzed, or decoded from a .vetx fact file).
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	return p.Facts.importObject(obj, fact)
+}
+
+// ExportPackageFact associates fact with the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.Facts == nil {
+		return
+	}
+	p.Facts.exportPackage(p.Pkg.Path(), fact)
+}
+
+// ImportPackageFact copies the package-level fact previously exported for
+// pkg into fact.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if p.Facts == nil || pkg == nil {
+		return false
+	}
+	return p.Facts.importPackage(pkg.Path(), fact)
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -80,6 +130,15 @@ func (p *Pass) Preorder(match []ast.Node, fn func(ast.Node)) {
 			return true
 		})
 	}
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Standalone
+// loading never sees test sources, but `go vet -vettool` units include
+// them; analyzers whose rules target production code use this to relax
+// them in tests.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
 }
 
 // FuncNameOf resolves the fully qualified name of the function or method

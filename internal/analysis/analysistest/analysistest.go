@@ -15,9 +15,27 @@
 // resolves partalloc/... and stdlib imports from compiled export data, so
 // fixtures exercise analyzers against the genuine API signatures instead
 // of hand-maintained stubs.
+//
+// # Multi-package fixtures and facts
+//
+// A fixture directory may instead contain subdirectories, each one a
+// package with import path "fixtures/<fixture>/<subdir>". Subdirectory
+// packages can import each other, and are analyzed in dependency order —
+// the harness for cross-package facts. A want comment can also assert an
+// exported object fact, naming the object before the clause:
+//
+//	func Park() { // want Park:`blocks: channel receive`
+//
+// The named object must be declared on the comment's line (methods are
+// named "Recv.Method"), and the regexp is matched against the fact's
+// String(). Fact assertions are exact: every exported fact must be
+// claimed by an annotation and vice versa, so an analyzer cannot leak
+// facts a fixture does not document.
 package analysistest
 
 import (
+	"fmt"
+	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
@@ -31,13 +49,15 @@ import (
 	"partalloc/internal/analysis/load"
 )
 
-// wantRe matches one `...` clause of a want comment.
-var wantRe = regexp.MustCompile("`([^`]*)`")
+// wantRe matches one clause of a want comment: an optional "Object:"
+// prefix (fact assertion) followed by a backquoted regexp.
+var wantRe = regexp.MustCompile("(?:([A-Za-z_][A-Za-z0-9_.]*):)?`([^`]*)`")
 
-// expectation is one expected diagnostic.
+// expectation is one expected diagnostic or fact.
 type expectation struct {
 	file string
 	line int
+	obj  string // non-empty: fact assertion on this object
 	re   *regexp.Regexp
 	hit  bool
 }
@@ -56,56 +76,160 @@ func Run(t *testing.T, a *analysis.Analyzer, fixtureDir string) {
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
-	entries, err := os.ReadDir(abs)
-	if err != nil {
-		t.Fatalf("analysistest: %v", err)
-	}
-	var files []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			files = append(files, filepath.Join(abs, e.Name()))
+	pkgDirs := fixturePackages(t, abs)
+	var pkgs []*load.Package
+	var allFiles []string
+	for _, dir := range pkgDirs {
+		importPath := "fixtures/" + filepath.Base(abs)
+		if dir != abs {
+			importPath += "/" + filepath.Base(dir)
 		}
-	}
-	if len(files) == 0 {
-		t.Fatalf("analysistest: no Go files in %s", abs)
-	}
-	importPath := "fixtures/" + filepath.Base(abs)
-	pkg, err := ctx.LoadFiles(importPath, files)
-	if err != nil {
-		t.Fatalf("analysistest: loading fixture: %v", err)
-	}
-	for _, terr := range pkg.TypeErrors {
-		t.Errorf("analysistest: fixture type error: %v", terr)
+		files := goFiles(t, dir)
+		pkg, err := ctx.LoadFiles(importPath, files)
+		if err != nil {
+			t.Fatalf("analysistest: loading fixture %s: %v", importPath, err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("analysistest: fixture type error: %v", terr)
+		}
+		pkgs = append(pkgs, pkg)
+		allFiles = append(allFiles, files...)
 	}
 	if t.Failed() {
 		return
 	}
 
-	wants := collectWants(t, ctx.Fset, files)
-	diags, err := checker.Run([]*load.Package{pkg}, []*analysis.Analyzer{a})
+	wants := collectWants(t, allFiles)
+	diags, facts, err := checker.RunWithFacts(pkgs, []*analysis.Analyzer{a}, analysis.NewFactSet())
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
 
 	for _, d := range diags {
 		pos := ctx.Fset.Position(d.Pos)
-		if !claim(wants, pos, d.Message) {
+		if !claim(wants, "", pos.Filename, pos.Line, d.Message) {
 			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s",
 				filepath.Base(pos.Filename), pos.Line, d.Analyzer.Name, d.Message)
 		}
 	}
+	for _, pkg := range pkgs {
+		for _, of := range facts.PackageFacts(pkg.ImportPath) {
+			obj := analysis.ResolveObjectPath(pkg.Types, of.Object)
+			if obj == nil {
+				t.Errorf("%s: exported fact on unresolvable object %q", pkg.ImportPath, of.Object)
+				continue
+			}
+			pos := ctx.Fset.Position(obj.Pos())
+			if !claim(wants, of.Object, pos.Filename, pos.Line, fmt.Sprint(of.Fact)) {
+				t.Errorf("%s:%d: unexpected fact: %s:%v",
+					filepath.Base(pos.Filename), pos.Line, of.Object, of.Fact)
+			}
+		}
+	}
 	for _, w := range wants {
 		if !w.hit {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
-				filepath.Base(w.file), w.line, w.re.String())
+			kind := "diagnostic"
+			if w.obj != "" {
+				kind = "fact on " + w.obj
+			}
+			t.Errorf("%s:%d: expected %s matching %q, got none",
+				filepath.Base(w.file), w.line, kind, w.re.String())
 		}
 	}
 }
 
-// claim marks the first unhit expectation matching the diagnostic.
-func claim(wants []*expectation, pos token.Position, msg string) bool {
+// fixturePackages returns the package directories of a fixture in
+// dependency order: the root itself when it holds Go files, otherwise its
+// subdirectories ordered so imported fixture packages come first.
+func fixturePackages(t *testing.T, abs string) []string {
+	t.Helper()
+	if len(goFilesOrNil(abs)) > 0 {
+		return []string{abs}
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() && len(goFilesOrNil(filepath.Join(abs, e.Name()))) > 0 {
+			dirs = append(dirs, filepath.Join(abs, e.Name()))
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", abs)
+	}
+	sort.Strings(dirs)
+	// Topologically order by fixture-internal imports (parsed headers
+	// only); N is tiny, so repeated passes are fine.
+	importPathOf := func(dir string) string {
+		return "fixtures/" + filepath.Base(abs) + "/" + filepath.Base(dir)
+	}
+	deps := make(map[string][]string) // dir -> fixture dirs it imports
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		for _, f := range goFilesOrNil(dir) {
+			parsed, err := parser.ParseFile(fset, f, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("analysistest: %v", err)
+			}
+			for _, imp := range parsed.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				for _, other := range dirs {
+					if other != dir && importPathOf(other) == path {
+						deps[dir] = append(deps[dir], other)
+					}
+				}
+			}
+		}
+	}
+	visited := make(map[string]bool)
+	var out []string
+	var visit func(string)
+	visit = func(dir string) {
+		if visited[dir] {
+			return
+		}
+		visited[dir] = true
+		for _, d := range deps[dir] {
+			visit(d)
+		}
+		out = append(out, dir)
+	}
+	for _, dir := range dirs {
+		visit(dir)
+	}
+	return out
+}
+
+func goFilesOrNil(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	return files
+}
+
+func goFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files := goFilesOrNil(dir)
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", dir)
+	}
+	return files
+}
+
+// claim marks the first unhit expectation matching a diagnostic (obj ==
+// "") or fact (obj names the fact's object).
+func claim(wants []*expectation, obj, file string, line int, msg string) bool {
 	for _, w := range wants {
-		if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+		if !w.hit && w.obj == obj && w.file == file && w.line == line && w.re.MatchString(msg) {
 			w.hit = true
 			return true
 		}
@@ -114,7 +238,7 @@ func claim(wants []*expectation, pos token.Position, msg string) bool {
 }
 
 // collectWants scans fixture sources for // want comments.
-func collectWants(t *testing.T, fset *token.FileSet, files []string) []*expectation {
+func collectWants(t *testing.T, files []string) []*expectation {
 	t.Helper()
 	var out []*expectation
 	for _, name := range files {
@@ -132,11 +256,11 @@ func collectWants(t *testing.T, fset *token.FileSet, files []string) []*expectat
 				t.Fatalf("analysistest: %s:%d: malformed want comment (need `re` clauses)", name, i+1)
 			}
 			for _, m := range ms {
-				re, err := regexp.Compile(m[1])
+				re, err := regexp.Compile(m[2])
 				if err != nil {
 					t.Fatalf("analysistest: %s:%d: bad want regexp: %v", name, i+1, err)
 				}
-				out = append(out, &expectation{file: name, line: i + 1, re: re})
+				out = append(out, &expectation{file: name, line: i + 1, obj: m[1], re: re})
 			}
 		}
 	}

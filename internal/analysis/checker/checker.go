@@ -20,23 +20,72 @@ var directiveAnalyzer = &analysis.Analyzer{
 }
 
 // Run applies every analyzer to every package and returns the surviving
-// diagnostics in file/position order. Suppressed findings are dropped; a
-// directive that is malformed (no reason) or matches nothing yields its
-// own diagnostic, so stale exceptions cannot accumulate silently.
+// diagnostics in file/position order. Packages are processed in
+// dependency order so cross-package facts flow along the import graph
+// within the run; a fresh fact store is used. Suppressed findings are
+// dropped; a directive that is malformed (no reason) or matches nothing
+// yields its own diagnostic, so stale exceptions cannot accumulate
+// silently.
 func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	diags, _, err := RunWithFacts(pkgs, analyzers, analysis.NewFactSet())
+	return diags, err
+}
+
+// RunWithFacts is Run with an explicit fact store: facts already in the
+// store (decoded from .vetx files of dependencies, say) are visible to
+// every pass, and facts the analyzers export accumulate into it. The
+// store is returned for drivers that serialize or inspect it.
+func RunWithFacts(pkgs []*load.Package, analyzers []*analysis.Analyzer, facts *analysis.FactSet) ([]analysis.Diagnostic, *analysis.FactSet, error) {
+	if facts == nil {
+		facts = analysis.NewFactSet()
+	}
+	analysis.RegisterFactTypes(analyzers)
 	var out []analysis.Diagnostic
-	for _, pkg := range pkgs {
-		diags, err := runPackage(pkg, analyzers)
+	for _, pkg := range dependencyOrder(pkgs) {
+		diags, err := runPackage(pkg, analyzers, facts)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out = append(out, diags...)
 	}
 	sortDiagnostics(pkgs, out)
-	return out, nil
+	return out, facts, nil
 }
 
-func runPackage(pkg *load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+// dependencyOrder sorts pkgs so every package follows the packages it
+// imports (among those present in the slice). `go list -deps` already
+// yields this order, but manually assembled sets — fixture suites, single
+// packages plus dependencies — get the same guarantee here. Ties keep the
+// input order, so diagnostics stay stable.
+func dependencyOrder(pkgs []*load.Package) []*load.Package {
+	index := make(map[string]int, len(pkgs)) // import path -> input position
+	for i, p := range pkgs {
+		index[p.ImportPath] = i
+	}
+	visited := make(map[string]bool, len(pkgs))
+	out := make([]*load.Package, 0, len(pkgs))
+	var visit func(p *load.Package)
+	visit = func(p *load.Package) {
+		if visited[p.ImportPath] {
+			return
+		}
+		visited[p.ImportPath] = true
+		if p.Types != nil {
+			for _, imp := range p.Types.Imports() {
+				if j, ok := index[imp.Path()]; ok {
+					visit(pkgs[j])
+				}
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}
+
+func runPackage(pkg *load.Package, analyzers []*analysis.Analyzer, facts *analysis.FactSet) ([]analysis.Diagnostic, error) {
 	if len(pkg.TypeErrors) > 0 {
 		return nil, fmt.Errorf("checker: %s: type error: %v", pkg.ImportPath, pkg.TypeErrors[0])
 	}
@@ -50,6 +99,7 @@ func runPackage(pkg *load.Package, analyzers []*analysis.Analyzer) ([]analysis.D
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 			Report:    func(d analysis.Diagnostic) { raw = append(raw, d) },
+			Facts:     facts,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("checker: %s on %s: %v", a.Name, pkg.ImportPath, err)

@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Fact is a piece of information an analyzer learns about an object or a
+// package and wants to make visible to later analysis of *other*
+// packages: "this function may block", "errors returned here wrap
+// ErrMachineFull", "this method mutates package state". The mechanism
+// mirrors golang.org/x/tools/go/analysis facts:
+//
+//   - while analyzing package P, an analyzer calls
+//     Pass.ExportObjectFact(obj, fact) for objects declared in P;
+//   - while analyzing a package that imports P, the same analyzer calls
+//     Pass.ImportObjectFact(obj, fact) to retrieve what it exported,
+//     where obj is P's object as seen through the importer.
+//
+// Fact types must be pointers to gob-encodable structs and must be
+// declared in Analyzer.FactTypes. Facts flow strictly along the import
+// graph: the checker analyzes packages in dependency order, and in `go
+// vet -vettool` mode facts are serialized into the .vetx file cmd/go
+// passes between compilation units (see FactSet.Encode/Decode).
+type Fact interface {
+	// AFact is a marker method; it does nothing.
+	AFact()
+}
+
+// factKey addresses one fact: the declaring package's import path, the
+// object's path within it ("" for package-level facts), and the dynamic
+// fact type.
+type factKey struct {
+	pkg string
+	obj string
+	typ reflect.Type
+}
+
+// FactSet is the cross-package fact store one checker run threads through
+// every pass. It is safe for concurrent use (the vet-tool driver is
+// single-threaded, but the standalone driver may parallelize per-package
+// runs in the future).
+type FactSet struct {
+	mu    sync.Mutex
+	facts map[factKey]Fact
+}
+
+// NewFactSet returns an empty fact store.
+func NewFactSet() *FactSet {
+	return &FactSet{facts: make(map[factKey]Fact)}
+}
+
+// ObjectPath encodes a types.Object as a stable, export-data-independent
+// path within its package, resolvable on the importing side by
+// ResolveObjectPath. Supported shapes — the ones facts attach to in this
+// suite — are package-level objects ("Name") and methods of package-level
+// named types ("Recv.Method", receiver pointer stripped). ok is false for
+// anything else (locals, struct fields, interface methods of unnamed
+// types).
+func ObjectPath(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if fn, isFunc := obj.(*types.Func); isFunc {
+		sig := fn.Type().(*types.Signature)
+		if recv := sig.Recv(); recv != nil {
+			t := recv.Type()
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			named, isNamed := t.(*types.Named)
+			if !isNamed {
+				return "", false
+			}
+			return named.Obj().Name() + "." + fn.Name(), true
+		}
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// ResolveObjectPath finds the object named by an ObjectPath string in pkg,
+// or nil if it no longer resolves.
+func ResolveObjectPath(pkg *types.Package, path string) types.Object {
+	recv, method, isMethod := strings.Cut(path, ".")
+	if !isMethod {
+		return pkg.Scope().Lookup(path)
+	}
+	tn, ok := pkg.Scope().Lookup(recv).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == method {
+			return m
+		}
+	}
+	return nil
+}
+
+// exportObject stores fact for obj, which must belong to some package.
+func (s *FactSet) exportObject(obj types.Object, fact Fact) error {
+	path, ok := ObjectPath(obj)
+	if !ok {
+		return fmt.Errorf("analysis: cannot export fact %T on %v: unsupported object shape", fact, obj)
+	}
+	s.put(factKey{pkg: obj.Pkg().Path(), obj: path, typ: reflect.TypeOf(fact)}, fact)
+	return nil
+}
+
+// importObject copies the stored fact for obj into fact (a pointer),
+// reporting whether one existed.
+func (s *FactSet) importObject(obj types.Object, fact Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path, ok := ObjectPath(obj)
+	if !ok {
+		return false
+	}
+	return s.get(factKey{pkg: obj.Pkg().Path(), obj: path, typ: reflect.TypeOf(fact)}, fact)
+}
+
+// exportPackage stores a package-level fact for pkgPath.
+func (s *FactSet) exportPackage(pkgPath string, fact Fact) {
+	s.put(factKey{pkg: pkgPath, typ: reflect.TypeOf(fact)}, fact)
+}
+
+// importPackage copies the package-level fact for pkgPath into fact.
+func (s *FactSet) importPackage(pkgPath string, fact Fact) bool {
+	return s.get(factKey{pkg: pkgPath, typ: reflect.TypeOf(fact)}, fact)
+}
+
+func (s *FactSet) put(k factKey, fact Fact) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.facts[k] = fact
+}
+
+// get copies the stored fact (if any) into dst via reflection, so callers
+// own an independent value and cannot mutate the store through it.
+func (s *FactSet) get(k factKey, dst Fact) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stored, ok := s.facts[k]
+	if !ok {
+		return false
+	}
+	dv := reflect.ValueOf(dst)
+	sv := reflect.ValueOf(stored)
+	if dv.Kind() != reflect.Ptr || sv.Kind() != reflect.Ptr || dv.Type() != sv.Type() {
+		return false
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}
+
+// ObjectFact is one exported object fact, as surfaced to tests and the
+// serializer.
+type ObjectFact struct {
+	// Object is the ObjectPath of the fact's object.
+	Object string
+	// Fact is the fact value.
+	Fact Fact
+}
+
+// PackageFacts returns every object fact exported for pkgPath, sorted by
+// object path then fact type name (deterministic for tests and encoding).
+func (s *FactSet) PackageFacts(pkgPath string) []ObjectFact {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ObjectFact
+	for k, f := range s.facts {
+		if k.pkg == pkgPath && k.obj != "" {
+			out = append(out, ObjectFact{Object: k.obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Object != out[j].Object {
+			return out[i].Object < out[j].Object
+		}
+		return fmt.Sprintf("%T", out[i].Fact) < fmt.Sprintf("%T", out[j].Fact)
+	})
+	return out
+}
+
+// gobFactFile is the serialized shape of one package's facts.
+type gobFactFile struct {
+	Objects  []ObjectFact
+	Packages []Fact
+}
+
+// RegisterFactTypes makes the concrete fact types of the analyzers known
+// to gob, so Encode/Decode can round-trip them. Safe to call repeatedly
+// with the same types.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// Encode serializes every fact belonging to pkgPath — the channel through
+// which `go vet -vettool` mode persists facts into the unit's .vetx file.
+func (s *FactSet) Encode(pkgPath string) ([]byte, error) {
+	file := gobFactFile{Objects: s.PackageFacts(pkgPath)}
+	s.mu.Lock()
+	for k, f := range s.facts {
+		if k.pkg == pkgPath && k.obj == "" {
+			file.Packages = append(file.Packages, f)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(file.Packages, func(i, j int) bool {
+		return fmt.Sprintf("%T", file.Packages[i]) < fmt.Sprintf("%T", file.Packages[j])
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&file); err != nil {
+		return nil, fmt.Errorf("analysis: encoding facts for %s: %w", pkgPath, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode merges a fact file produced by Encode back into the store under
+// pkgPath. Empty input (a facts-free dependency) is a no-op.
+func (s *FactSet) Decode(pkgPath string, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var file gobFactFile
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&file); err != nil {
+		return fmt.Errorf("analysis: decoding facts for %s: %w", pkgPath, err)
+	}
+	for _, of := range file.Objects {
+		s.put(factKey{pkg: pkgPath, obj: of.Object, typ: reflect.TypeOf(of.Fact)}, of.Fact)
+	}
+	for _, pf := range file.Packages {
+		s.put(factKey{pkg: pkgPath, typ: reflect.TypeOf(pf)}, pf)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// The fixture-driven analyzer tests exercise facts in-process, where the
+// exporting and importing sides share one types universe. These tests
+// cover the part only `go vet -vettool` mode hits: gob serialization of
+// a package's facts and their re-resolution against a *different* types
+// universe, the situation every compilation unit is in when it decodes
+// its dependencies' .vetx files.
+
+type blocksTestFact struct{ Reason string }
+
+func (*blocksTestFact) AFact() {}
+
+type pkgTestFact struct{ Analyzed bool }
+
+func (*pkgTestFact) AFact() {}
+
+func init() {
+	RegisterFactTypes([]*Analyzer{{
+		Name:      "factstest",
+		FactTypes: []Fact{(*blocksTestFact)(nil), (*pkgTestFact)(nil)},
+	}})
+}
+
+// buildPkg constructs a synthetic package with a top-level function Do, a
+// named type T with pointer method M, and returns (pkg, Do, T.M). Each
+// call yields an independent types universe.
+func buildPkg(t *testing.T) (*types.Package, *types.Func, *types.Func) {
+	t.Helper()
+	pkg := types.NewPackage("example.com/p", "p")
+	do := types.NewFunc(token.NoPos, pkg, "Do",
+		types.NewSignatureType(nil, nil, nil, nil, nil, false))
+	pkg.Scope().Insert(do)
+	tn := types.NewTypeName(token.NoPos, pkg, "T", nil)
+	named := types.NewNamed(tn, types.NewStruct(nil, nil), nil)
+	pkg.Scope().Insert(tn)
+	recv := types.NewVar(token.NoPos, pkg, "t", types.NewPointer(named))
+	m := types.NewFunc(token.NoPos, pkg, "M",
+		types.NewSignatureType(recv, nil, nil, nil, nil, false))
+	named.AddMethod(m)
+	return pkg, do, m
+}
+
+func TestObjectPathShapes(t *testing.T) {
+	pkg, do, m := buildPkg(t)
+	if p, ok := ObjectPath(do); !ok || p != "Do" {
+		t.Errorf("ObjectPath(Do) = %q, %v; want \"Do\", true", p, ok)
+	}
+	if p, ok := ObjectPath(m); !ok || p != "T.M" {
+		t.Errorf("ObjectPath(T.M) = %q, %v; want \"T.M\", true", p, ok)
+	}
+	// A var never entered into the package scope models a local: no path.
+	local := types.NewVar(token.NoPos, pkg, "x", types.Typ[types.Int])
+	if p, ok := ObjectPath(local); ok {
+		t.Errorf("ObjectPath(local) = %q, ok; want not ok", p)
+	}
+}
+
+func TestResolveObjectPath(t *testing.T) {
+	pkg, do, m := buildPkg(t)
+	if got := ResolveObjectPath(pkg, "Do"); got != do {
+		t.Errorf("ResolveObjectPath(Do) = %v; want the Do func", got)
+	}
+	if got := ResolveObjectPath(pkg, "T.M"); got != m {
+		t.Errorf("ResolveObjectPath(T.M) = %v; want the M method", got)
+	}
+	if got := ResolveObjectPath(pkg, "T.Missing"); got != nil {
+		t.Errorf("ResolveObjectPath(T.Missing) = %v; want nil", got)
+	}
+	if got := ResolveObjectPath(pkg, "Missing"); got != nil {
+		t.Errorf("ResolveObjectPath(Missing) = %v; want nil", got)
+	}
+}
+
+func TestFactGobRoundTrip(t *testing.T) {
+	pkg, do, m := buildPkg(t)
+	src := NewFactSet()
+	if err := src.exportObject(do, &blocksTestFact{Reason: "file I/O"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.exportObject(m, &blocksTestFact{Reason: "channel receive"}); err != nil {
+		t.Fatal(err)
+	}
+	src.exportPackage(pkg.Path(), &pkgTestFact{Analyzed: true})
+
+	blob, err := src.Encode(pkg.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) == 0 {
+		t.Fatal("Encode produced no bytes for a non-empty fact set")
+	}
+
+	// The importing side: a fresh FactSet and a fresh types universe, as
+	// in a separate go vet compilation unit.
+	dst := NewFactSet()
+	if err := dst.Decode(pkg.Path(), blob); err != nil {
+		t.Fatal(err)
+	}
+	pkg2, do2, m2 := buildPkg(t)
+
+	var bf blocksTestFact
+	if !dst.importObject(do2, &bf) || bf.Reason != "file I/O" {
+		t.Errorf("Do fact after round trip = %+v; want Reason \"file I/O\"", bf)
+	}
+	if !dst.importObject(m2, &bf) || bf.Reason != "channel receive" {
+		t.Errorf("T.M fact after round trip = %+v; want Reason \"channel receive\"", bf)
+	}
+	var pf pkgTestFact
+	if !dst.importPackage(pkg2.Path(), &pf) || !pf.Analyzed {
+		t.Errorf("package fact after round trip = %+v; want Analyzed", pf)
+	}
+
+	// Imports hand out copies: mutating one must not corrupt the store.
+	bf.Reason = "mutated by caller"
+	var again blocksTestFact
+	if !dst.importObject(do2, &again) || again.Reason != "file I/O" {
+		t.Errorf("second import = %+v; store was mutated through a copy", again)
+	}
+}
+
+func TestFactSetEdgeCases(t *testing.T) {
+	pkg, do, _ := buildPkg(t)
+	s := NewFactSet()
+
+	// Decoding an empty blob (a facts-free dependency) is a silent no-op.
+	if err := s.Decode("example.com/empty", nil); err != nil {
+		t.Errorf("Decode(empty) = %v; want nil", err)
+	}
+
+	// Unsupported object shapes are an export error, not silent loss.
+	local := types.NewVar(token.NoPos, pkg, "x", types.Typ[types.Int])
+	if err := s.exportObject(local, &blocksTestFact{Reason: "r"}); err == nil {
+		t.Error("exportObject(local) succeeded; want unsupported-shape error")
+	}
+
+	// Missing facts report false and leave the destination untouched.
+	probe := blocksTestFact{Reason: "sentinel"}
+	if s.importObject(do, &probe) {
+		t.Error("importObject on empty set = true; want false")
+	}
+	if probe.Reason != "sentinel" {
+		t.Errorf("failed import overwrote destination: %+v", probe)
+	}
+
+	// PackageFacts is sorted by object path for deterministic encoding.
+	_, do2, m2 := buildPkg(t)
+	if err := s.exportObject(m2, &blocksTestFact{Reason: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.exportObject(do2, &blocksTestFact{Reason: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	facts := s.PackageFacts("example.com/p")
+	if len(facts) != 2 || facts[0].Object != "Do" || facts[1].Object != "T.M" {
+		t.Errorf("PackageFacts order = %+v; want Do before T.M", facts)
+	}
+}

@@ -60,6 +60,26 @@ type Context struct {
 	exports   map[string]string // import path -> export data file
 	importMap map[string]string // source import path -> resolved path
 	imp       types.ImporterFrom
+	// source holds packages already type-checked from source through this
+	// context. Imports resolve here before falling back to export data,
+	// which is what lets multi-package fixture suites (a fact-exporting
+	// package and a fact-importing one) reference each other without
+	// compiled export files.
+	source map[string]*types.Package
+}
+
+// Import implements types.Importer.
+func (c *Context) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: source-loaded packages first,
+// then the gc export-data importer.
+func (c *Context) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := c.source[path]; ok {
+		return pkg, nil
+	}
+	return c.imp.ImportFrom(path, dir, mode)
 }
 
 // NewContext builds a loading context rooted at the module directory,
@@ -71,6 +91,7 @@ func NewContext(moduleDir string, patterns ...string) (*Context, []*listedPackag
 		Fset:      token.NewFileSet(),
 		exports:   make(map[string]string),
 		importMap: make(map[string]string),
+		source:    make(map[string]*types.Package),
 	}
 	c.imp = importer.ForCompiler(c.Fset, "gc", c.lookup).(types.ImporterFrom)
 	pkgs, err := c.goList(append([]string{"-deps", "-export"}, patterns...)...)
@@ -89,6 +110,7 @@ func NewExportContext(exports, importMap map[string]string) *Context {
 		Fset:      token.NewFileSet(),
 		exports:   exports,
 		importMap: importMap,
+		source:    make(map[string]*types.Package),
 	}
 	if c.exports == nil {
 		c.exports = make(map[string]string)
@@ -210,7 +232,7 @@ func (c *Context) LoadFiles(importPath string, filenames []string) (*Package, er
 		Implicits:  make(map[ast.Node]types.Object),
 	}
 	conf := types.Config{
-		Importer: c.imp,
+		Importer: c,
 		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
 	}
 	tpkg, err := conf.Check(importPath, c.Fset, pkg.Files, pkg.Info)
@@ -218,5 +240,8 @@ func (c *Context) LoadFiles(importPath string, filenames []string) (*Package, er
 		pkg.TypeErrors = append(pkg.TypeErrors, err)
 	}
 	pkg.Types = tpkg
+	if tpkg != nil && len(pkg.TypeErrors) == 0 {
+		c.source[importPath] = tpkg
+	}
 	return pkg, nil
 }

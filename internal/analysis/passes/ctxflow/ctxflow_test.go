@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"partalloc/internal/analysis/analysistest"
+	"partalloc/internal/analysis/passes/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads export data via go list")
+	}
+	analysistest.Run(t, ctxflow.Analyzer, analysistest.Fixture(t, "ctxflow_fixture"))
+}

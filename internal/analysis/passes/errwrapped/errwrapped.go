@@ -1,0 +1,492 @@
+// Package errwrapped enforces the wrapped-sentinel discipline of
+// internal/errs and internal/engine: sentinel errors (exported
+// package-level Err* variables) travel wrapped in %w chains, so callers
+// must match them with errors.Is, and wrapping layers must not flatten
+// the chain with %v.
+//
+// Two families of findings:
+//
+//   - == / != / switch-case comparisons against a sentinel — correct only
+//     until any layer wraps the error, which the allocator facade and the
+//     engine both do;
+//   - fmt.Errorf formatting a sentinel-carrying error with a non-%w verb,
+//     which severs the chain errors.Is depends on.
+//
+// "Sentinel-carrying" is compositional: WrapsSentinels facts record, per
+// function, which sentinels its error results may transitively wrap, so
+// when cmd/sweep is analyzed the analyzer already knows
+// partalloc.Simulate's errors can carry errs.ErrTaskTooLarge.
+package errwrapped
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"partalloc/internal/analysis"
+)
+
+// WrapsSentinels is the fact exported for a function whose error results
+// may (transitively) wrap the named sentinels. Names are short
+// "pkg.ErrFoo" forms, sorted.
+type WrapsSentinels struct {
+	Names []string
+}
+
+// AFact marks WrapsSentinels as a fact type.
+func (*WrapsSentinels) AFact() {}
+
+func (f *WrapsSentinels) String() string { return "wraps: " + strings.Join(f.Names, ", ") }
+
+// Analyzer is the errwrapped pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrapped",
+	Doc: "forbids ==/switch comparisons against sentinel errors (use errors.Is) and " +
+		"fmt.Errorf verbs other than %w on sentinel-carrying errors — transitively, " +
+		"via WrapsSentinels facts",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*WrapsSentinels)(nil)},
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	a := &analyzer{
+		pass:      pass,
+		funcWraps: make(map[*types.Func]map[string]bool),
+		varWraps:  make(map[types.Object]map[string]bool),
+	}
+	a.computeFacts()
+	a.checkComparisons()
+	a.checkErrorf()
+	return nil
+}
+
+// inScope restricts the check to this module plus the errwrapped fixtures.
+func inScope(pkgPath string) bool {
+	return pkgPath == "partalloc" || strings.HasPrefix(pkgPath, "partalloc/") ||
+		strings.Contains(pkgPath, "errwrapped_fixture")
+}
+
+type analyzer struct {
+	pass *analysis.Pass
+	// funcWraps and varWraps accumulate, per function object and per local
+	// error variable, the sentinels their values may wrap. Both grow
+	// monotonically across the fixpoint.
+	funcWraps map[*types.Func]map[string]bool
+	varWraps  map[types.Object]map[string]bool
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// isSentinel reports whether obj is a sentinel: an exported package-level
+// error variable named Err* in a module package.
+func isSentinel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || !v.Exported() || !strings.HasPrefix(v.Name(), "Err") {
+		return false
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	return inScope(v.Pkg().Path()) && isErrorType(v.Type())
+}
+
+func sentinelName(obj types.Object) string {
+	return obj.Pkg().Name() + "." + obj.Name()
+}
+
+// ---- fact computation ----
+
+// computeFacts runs the package-wide fixpoint: assignments feed varWraps,
+// returns feed funcWraps, and both consult each other plus imported
+// facts, so same-package chains resolve regardless of declaration order.
+func (a *analyzer) computeFacts() {
+	var decls []*ast.FuncDecl
+	for _, file := range a.pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			if a.scanFunc(fd) {
+				changed = true
+			}
+		}
+	}
+	for _, fd := range decls {
+		fn, ok := a.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		set := a.funcWraps[fn]
+		if len(set) == 0 {
+			continue
+		}
+		_ = a.pass.ExportObjectFact(fn, &WrapsSentinels{Names: sortedNames(set)})
+	}
+}
+
+// scanFunc folds one function's assignments and returns into the
+// fixpoint state; reports whether anything grew.
+func (a *analyzer) scanFunc(fd *ast.FuncDecl) bool {
+	fn, ok := a.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	grew := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if a.foldAssign(st.Lhs, st.Rhs) {
+				grew = true
+			}
+		case *ast.ValueSpec:
+			lhs := make([]ast.Expr, len(st.Names))
+			for i, id := range st.Names {
+				lhs[i] = id
+			}
+			if a.foldAssign(lhs, st.Values) {
+				grew = true
+			}
+		case *ast.ReturnStmt:
+			before := len(a.funcWraps[fn])
+			set := a.funcWraps[fn]
+			if len(st.Results) == 0 {
+				// Bare return: named error results carry whatever was
+				// assigned to them.
+				for i := 0; i < sig.Results().Len(); i++ {
+					r := sig.Results().At(i)
+					if isErrorType(r.Type()) {
+						set = unionInto(set, a.varWraps[r])
+					}
+				}
+			} else {
+				for _, res := range st.Results {
+					if tv, ok := a.pass.TypesInfo.Types[res]; ok && isErrorType(tv.Type) {
+						set = unionInto(set, a.sentinelsOf(res))
+					}
+				}
+				// A single call returning (T, error) has one result expr
+				// whose type is a tuple, skipped above.
+				if len(st.Results) == 1 && sig.Results().Len() > 1 && hasErrorResult(sig) {
+					set = unionInto(set, a.sentinelsOf(st.Results[0]))
+				}
+			}
+			if set != nil {
+				a.funcWraps[fn] = set
+			}
+			if len(set) > before {
+				grew = true
+			}
+		}
+		return true
+	})
+	return grew
+}
+
+func hasErrorResult(sig *types.Signature) bool {
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// foldAssign merges the sentinels each RHS may carry into the error-typed
+// LHS variables.
+func (a *analyzer) foldAssign(lhs, rhs []ast.Expr) bool {
+	grew := false
+	merge := func(target ast.Expr, set map[string]bool) {
+		if len(set) == 0 {
+			return
+		}
+		id, ok := ast.Unparen(target).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := a.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = a.pass.TypesInfo.Uses[id]
+		}
+		if obj == nil || !isErrorType(obj.Type()) {
+			return
+		}
+		before := len(a.varWraps[obj])
+		a.varWraps[obj] = unionInto(a.varWraps[obj], set)
+		if len(a.varWraps[obj]) > before {
+			grew = true
+		}
+	}
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// v, err := call(): every error-typed LHS conservatively gets the
+		// callee's whole set.
+		set := a.sentinelsOf(rhs[0])
+		for _, l := range lhs {
+			merge(l, set)
+		}
+		return grew
+	}
+	for i, r := range rhs {
+		if i < len(lhs) {
+			merge(lhs[i], a.sentinelsOf(r))
+		}
+	}
+	return grew
+}
+
+// sentinelsOf returns the sentinels expr's value may wrap: a sentinel
+// itself, a tracked local variable, a call into the fact graph, or a
+// fmt.Errorf/errors.Join chain over those.
+func (a *analyzer) sentinelsOf(expr ast.Expr) map[string]bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return a.objSentinels(a.pass.TypesInfo.Uses[e])
+	case *ast.SelectorExpr:
+		return a.objSentinels(a.pass.TypesInfo.Uses[e.Sel])
+	case *ast.CallExpr:
+		name := a.pass.FuncNameOf(e)
+		switch name {
+		case "fmt.Errorf":
+			out := map[string]bool{}
+			for _, arg := range wrapArgs(e) {
+				out = unionInto(out, a.sentinelsOf(arg))
+			}
+			return out
+		case "errors.Join":
+			out := map[string]bool{}
+			for _, arg := range e.Args {
+				out = unionInto(out, a.sentinelsOf(arg))
+			}
+			return out
+		}
+		fn, ok := calleeObject(a.pass, e)
+		if !ok {
+			return nil
+		}
+		return a.calleeWraps(fn)
+	}
+	return nil
+}
+
+func (a *analyzer) objSentinels(obj types.Object) map[string]bool {
+	if obj == nil {
+		return nil
+	}
+	if isSentinel(obj) {
+		return map[string]bool{sentinelName(obj): true}
+	}
+	return a.varWraps[obj]
+}
+
+// calleeWraps resolves a callee's sentinel set from the local fixpoint
+// (same package) or its imported fact.
+func (a *analyzer) calleeWraps(fn *types.Func) map[string]bool {
+	if fn.Pkg() == a.pass.Pkg {
+		return a.funcWraps[fn]
+	}
+	var fact WrapsSentinels
+	if a.pass.ImportObjectFact(fn, &fact) {
+		out := make(map[string]bool, len(fact.Names))
+		for _, n := range fact.Names {
+			out[n] = true
+		}
+		return out
+	}
+	return nil
+}
+
+// ---- comparison checks ----
+
+func (a *analyzer) checkComparisons() {
+	a.pass.Preorder([]ast.Node{(*ast.BinaryExpr)(nil), (*ast.SwitchStmt)(nil)}, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.BinaryExpr:
+			if st.Op != token.EQL && st.Op != token.NEQ {
+				return
+			}
+			xObj, yObj := a.exprSentinel(st.X), a.exprSentinel(st.Y)
+			if xObj != nil && yObj != nil {
+				return // comparing two sentinels to each other is exact
+			}
+			obj, other := xObj, st.Y
+			if obj == nil {
+				obj, other = yObj, st.X
+			}
+			if obj == nil {
+				return
+			}
+			a.pass.Reportf(st.Pos(), "%s comparison with sentinel %s misses wrapped errors; use errors.Is(%s, %s)",
+				st.Op, sentinelName(obj), types.ExprString(other), sentinelName(obj))
+		case *ast.SwitchStmt:
+			if st.Tag == nil {
+				return
+			}
+			tv, ok := a.pass.TypesInfo.Types[st.Tag]
+			if !ok || !isErrorType(tv.Type) {
+				return
+			}
+			for _, cl := range st.Body.List {
+				cc, ok := cl.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if obj := a.exprSentinel(e); obj != nil {
+						a.pass.Reportf(e.Pos(), "switch case on sentinel %s misses wrapped errors; use errors.Is",
+							sentinelName(obj))
+					}
+				}
+			}
+		}
+	})
+}
+
+func (a *analyzer) exprSentinel(e ast.Expr) types.Object {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = a.pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		obj = a.pass.TypesInfo.Uses[x.Sel]
+	}
+	if obj != nil && isSentinel(obj) {
+		return obj
+	}
+	return nil
+}
+
+// ---- fmt.Errorf verb checks ----
+
+func (a *analyzer) checkErrorf() {
+	a.pass.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if a.pass.FuncNameOf(call) != "fmt.Errorf" {
+			return
+		}
+		verbs, ok := verbArgs(call)
+		if !ok {
+			return
+		}
+		for i, verb := range verbs {
+			argIdx := i + 1
+			if verb == 'w' || argIdx >= len(call.Args) {
+				continue
+			}
+			arg := call.Args[argIdx]
+			tv, ok := a.pass.TypesInfo.Types[arg]
+			if !ok || !isErrorType(tv.Type) {
+				continue
+			}
+			if set := a.sentinelsOf(arg); len(set) > 0 {
+				a.pass.Reportf(arg.Pos(), "error wrapping %s formatted with %%%c severs the chain; use %%w so errors.Is keeps working",
+					strings.Join(sortedNames(set), ", "), verb)
+			}
+		}
+	})
+}
+
+// verbArgs parses a fmt.Errorf call's literal format string and returns
+// one verb per consumed argument, in argument order. ok is false when the
+// format is not a string literal.
+func verbArgs(call *ast.CallExpr) ([]rune, bool) {
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil, false
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return nil, false
+	}
+	var verbs []rune
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision; '*' consumes an argument of its own.
+		for i < len(runes) && strings.ContainsRune("+-# 0123456789.*", runes[i]) {
+			if runes[i] == '*' {
+				verbs = append(verbs, '*')
+			}
+			i++
+		}
+		if i >= len(runes) || runes[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, runes[i])
+	}
+	return verbs, true
+}
+
+// wrapArgs returns the arguments a fmt.Errorf call formats with %w.
+func wrapArgs(call *ast.CallExpr) []ast.Expr {
+	verbs, ok := verbArgs(call)
+	if !ok {
+		return nil
+	}
+	var out []ast.Expr
+	for i, v := range verbs {
+		if v == 'w' && i+1 < len(call.Args) {
+			out = append(out, call.Args[i+1])
+		}
+	}
+	return out
+}
+
+// ---- small helpers ----
+
+func unionInto(dst, src map[string]bool) map[string]bool {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]bool, len(src))
+	}
+	for k := range src {
+		dst[k] = true
+	}
+	return dst
+}
+
+func sortedNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// calleeObject resolves the called *types.Func.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn, ok
+}

@@ -1,0 +1,15 @@
+package errwrapped_test
+
+import (
+	"testing"
+
+	"partalloc/internal/analysis/analysistest"
+	"partalloc/internal/analysis/passes/errwrapped"
+)
+
+func TestErrWrapped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads export data via go list")
+	}
+	analysistest.Run(t, errwrapped.Analyzer, analysistest.Fixture(t, "errwrapped_fixture"))
+}

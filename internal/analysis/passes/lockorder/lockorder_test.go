@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"partalloc/internal/analysis/analysistest"
+	"partalloc/internal/analysis/passes/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads export data via go list")
+	}
+	analysistest.Run(t, lockorder.Analyzer, analysistest.Fixture(t, "lockorder_fixture"))
+}

@@ -5,22 +5,30 @@ package passes
 
 import (
 	"partalloc/internal/analysis"
+	"partalloc/internal/analysis/passes/ctxflow"
 	"partalloc/internal/analysis/passes/detorder"
+	"partalloc/internal/analysis/passes/errwrapped"
 	"partalloc/internal/analysis/passes/hosttopo"
 	"partalloc/internal/analysis/passes/loadmutation"
+	"partalloc/internal/analysis/passes/lockorder"
 	"partalloc/internal/analysis/passes/panicmsg"
 	"partalloc/internal/analysis/passes/powtwo"
+	"partalloc/internal/analysis/passes/purealloc"
 	"partalloc/internal/analysis/passes/seedrand"
 )
 
 // All returns every registered analyzer, in stable name order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
 		detorder.Analyzer,
+		errwrapped.Analyzer,
 		hosttopo.Analyzer,
 		loadmutation.Analyzer,
+		lockorder.Analyzer,
 		panicmsg.Analyzer,
 		powtwo.Analyzer,
+		purealloc.Analyzer,
 		seedrand.Analyzer,
 	}
 }

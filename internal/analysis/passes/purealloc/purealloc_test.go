@@ -1,0 +1,15 @@
+package purealloc_test
+
+import (
+	"testing"
+
+	"partalloc/internal/analysis/analysistest"
+	"partalloc/internal/analysis/passes/purealloc"
+)
+
+func TestPureAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads export data via go list")
+	}
+	analysistest.Run(t, purealloc.Analyzer, analysistest.Fixture(t, "purealloc_fixture"))
+}

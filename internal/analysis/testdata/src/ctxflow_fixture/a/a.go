@@ -1,0 +1,38 @@
+package a
+
+import "context"
+
+// MakeRoot re-roots the context; importers holding a ctx that call it get
+// flagged through the exported CreatesRoot fact.
+func MakeRoot() context.Context { // want MakeRoot:`creates-root: context.Background`
+	return context.Background() // want `context\.Background\(\) outside a main package: accept a Context from the caller`
+}
+
+func Todo() context.Context { // want Todo:`creates-root: context.TODO`
+	return context.TODO() // want `context\.TODO\(\) outside a main package`
+}
+
+// Wrap creates a root only transitively.
+func Wrap() context.Context { // want Wrap:`creates-root: a\.MakeRoot \(context\.Background\)`
+	return MakeRoot()
+}
+
+// Work / WorkContext is a sibling pair like Run / RunContext.
+func Work() {}
+
+func WorkContext(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	default:
+	}
+}
+
+type Runner struct{}
+
+func (Runner) Go() {}
+
+func (Runner) GoContext(ctx context.Context) { _ = ctx.Err() }
+
+// Plain neither creates a root nor has a sibling; calling it with a ctx
+// in hand is fine.
+func Plain() int { return 1 }

@@ -1,0 +1,70 @@
+package b
+
+import (
+	"context"
+
+	"fixtures/ctxflow_fixture/a"
+)
+
+// Good propagates its ctx everywhere a callee accepts one.
+func Good(ctx context.Context) {
+	a.WorkContext(ctx)
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	a.WorkContext(sub)
+	_ = a.Plain()
+}
+
+func DropsToSibling(ctx context.Context) {
+	a.Work() // want `a\.Work drops ctx: call a\.WorkContext instead`
+}
+
+func MethodSibling(ctx context.Context, r a.Runner) {
+	r.Go() // want `a\.Runner\.Go drops ctx: call a\.Runner\.GoContext instead`
+}
+
+func FreshRoot(ctx context.Context) context.Context { // want FreshRoot:`creates-root: context\.Background`
+	return context.Background() // want `function receives ctx; use it instead of context\.Background\(\)`
+}
+
+// CallsFactFn trips over the CreatesRoot fact imported from package a.
+func CallsFactFn(ctx context.Context) { // want CallsFactFn:`creates-root: a\.MakeRoot \(context\.Background\)`
+	_ = a.MakeRoot() // want `a\.MakeRoot creates its own root context \(context\.Background\) while ctx is in scope`
+}
+
+// Transitive sees through one more hop via package a's fixpoint.
+func Transitive(ctx context.Context) { // want Transitive:`creates-root: a\.Wrap \(a\.MakeRoot \(context\.Background\)\)`
+	_ = a.Wrap() // want `a\.Wrap creates its own root context \(a\.MakeRoot \(context\.Background\)\)`
+}
+
+// Nested still sees the enclosing ctx inside a closure.
+func Nested(ctx context.Context) { // want Nested:`creates-root: f \(a\.Wrap \(a\.MakeRoot \(context\.Background\)\)\)`
+	f := func() {
+		_ = a.Wrap() // want `a\.Wrap creates its own root context`
+	}
+	f()
+}
+
+// root is a same-package re-rooting helper.
+func root() context.Context { // want root:`creates-root: context\.Background`
+	return context.Background() // want `context\.Background\(\) outside a main package`
+}
+
+// SamePkg resolves root through the local fixpoint, not facts.
+func SamePkg(ctx context.Context) { // want SamePkg:`creates-root: b\.root \(context\.Background\)`
+	_ = root() // want `b\.root creates its own root context \(context\.Background\)`
+}
+
+// NoCtx has no ctx in scope, so calling fact-marked helpers is allowed —
+// it merely inherits the fact itself.
+func NoCtx() context.Context { // want NoCtx:`creates-root: a\.MakeRoot \(context\.Background\)`
+	return a.MakeRoot()
+}
+
+// Base / BaseContext: the Context variant may delegate to its own base
+// without being told to call itself.
+func Base() {}
+
+func BaseContext(ctx context.Context) {
+	Base()
+}

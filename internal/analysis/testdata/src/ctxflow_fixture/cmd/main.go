@@ -1,0 +1,15 @@
+package main
+
+import "context"
+
+// main packages own the process lifetime: creating the root context here
+// is the whole point of the rule.
+func main() { // want main:`creates-root: context\.Background`
+	helper(context.Background())
+}
+
+// helper already received a ctx, so re-rooting inside it is flagged even
+// in a main package.
+func helper(ctx context.Context) { // want helper:`creates-root: context\.TODO`
+	_ = context.TODO() // want `function receives ctx; use it instead of context\.TODO\(\)`
+}

@@ -1,0 +1,65 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBoom and ErrMinor are sentinels: exported package-level Err* error
+// variables.
+var (
+	ErrBoom  = errors.New("boom")
+	ErrMinor = errors.New("minor")
+)
+
+// errLocal is unexported, so it is not a sentinel.
+var errLocal = errors.New("local")
+
+func Fail() error { // want Fail:`wraps: a\.ErrBoom`
+	return ErrBoom
+}
+
+func Wrap() error { // want Wrap:`wraps: a\.ErrBoom`
+	return fmt.Errorf("wrap: %w", ErrBoom)
+}
+
+// Chain wraps through a local variable and a same-package call.
+func Chain() error { // want Chain:`wraps: a\.ErrBoom`
+	err := Wrap()
+	if err != nil {
+		return fmt.Errorf("chain: %w", err)
+	}
+	return nil
+}
+
+func Both(flag bool) (int, error) { // want Both:`wraps: a\.ErrBoom, a\.ErrMinor`
+	if flag {
+		return 0, ErrMinor
+	}
+	return 0, fmt.Errorf("both: %w", Fail())
+}
+
+// Joined carries every joined sentinel.
+func Joined() error { // want Joined:`wraps: a\.ErrBoom, a\.ErrMinor`
+	return errors.Join(ErrBoom, ErrMinor)
+}
+
+// Opaque flattens the sentinel with %v: flagged, and no fact — the chain
+// really is severed.
+func Opaque() error {
+	return fmt.Errorf("opaque: %v", ErrBoom) // want `error wrapping a\.ErrBoom formatted with %v severs the chain; use %w`
+}
+
+// Named returns through a named result.
+func Named() (err error) { // want Named:`wraps: a\.ErrMinor`
+	err = ErrMinor
+	return
+}
+
+// Clean carries no sentinel: fresh and unexported errors do not count.
+func Clean(flag bool) error {
+	if flag {
+		return errLocal
+	}
+	return errors.New("fresh")
+}

@@ -1,0 +1,60 @@
+package b
+
+import (
+	"errors"
+	"fmt"
+
+	"fixtures/errwrapped_fixture/a"
+)
+
+func Handle() error { // want Handle:`wraps: a\.ErrBoom`
+	err := a.Chain()
+	if err == a.ErrBoom { // want `== comparison with sentinel a\.ErrBoom misses wrapped errors; use errors\.Is\(err, a\.ErrBoom\)`
+		return nil
+	}
+	if a.ErrMinor != err { // want `!= comparison with sentinel a\.ErrMinor misses wrapped errors`
+		return nil
+	}
+	switch err {
+	case a.ErrBoom: // want `switch case on sentinel a\.ErrBoom misses wrapped errors; use errors\.Is`
+		return nil
+	case nil:
+		return nil
+	}
+	if errors.Is(err, a.ErrBoom) { // correct idiom, no finding
+		return nil
+	}
+	return err
+}
+
+// Flatten formats a fact-carrying error with %v: the imported
+// WrapsSentinels fact for a.Chain convicts it.
+func Flatten() error {
+	err := a.Chain()
+	return fmt.Errorf("flatten: %v", err) // want `error wrapping a\.ErrBoom formatted with %v severs the chain; use %w`
+}
+
+// FlattenCall needs no local variable: the call's fact applies directly.
+func FlattenCall() error {
+	return fmt.Errorf("run: %s", a.Both) // no finding: a function value, not an error
+}
+
+func FlattenBoth() error {
+	_, err := a.Both(true)
+	return fmt.Errorf("both: %v", err) // want `error wrapping a\.ErrBoom, a\.ErrMinor formatted with %v severs the chain`
+}
+
+// Rewrap keeps the chain intact and inherits the sentinel set.
+func Rewrap() error { // want Rewrap:`wraps: a\.ErrBoom`
+	return fmt.Errorf("rewrap: %w", a.Fail())
+}
+
+// SentinelPair comparisons are exact and allowed.
+func SentinelPair() bool {
+	return a.ErrBoom == a.ErrMinor
+}
+
+// Fresh errors carry no sentinel; %v is fine.
+func Fresh() error {
+	return fmt.Errorf("fresh: %v", errors.New("untracked"))
+}

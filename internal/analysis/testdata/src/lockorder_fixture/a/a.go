@@ -1,0 +1,43 @@
+// Package a is the fact-exporting half of the lockorder fixture: its
+// blocking helpers must be visible to package b through Blocks facts.
+package a
+
+import "sync"
+
+var ch = make(chan int)
+
+func Park() { // want Park:`blocks: channel receive`
+	<-ch
+}
+
+func Send(v int) { // want Send:`blocks: channel send`
+	ch <- v
+}
+
+// Fine is CPU-only; it must not receive a fact.
+func Fine() int { return 1 }
+
+func WaitAll(wg *sync.WaitGroup) { // want WaitAll:`blocks: WaitGroup.Wait`
+	wg.Wait()
+}
+
+// Indirect blocks only through a same-package callee: the fixpoint must
+// propagate Park's reason before the fact is exported.
+func Indirect() { // want Indirect:`blocks: calls a.Park \(channel receive\)`
+	Park()
+}
+
+// Spawn launches a goroutine that parks; the launcher itself never does.
+func Spawn() {
+	go func() { <-ch }()
+}
+
+// Poll uses a select with default, which cannot park.
+func Poll() bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}

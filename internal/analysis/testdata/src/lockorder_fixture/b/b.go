@@ -1,0 +1,76 @@
+// Package b is the fact-importing half of the lockorder fixture: it
+// holds mutexes across calls into package a, and the analyzer must see
+// a's Blocks facts to convict the cross-package cases.
+package b
+
+import (
+	"sync"
+
+	"fixtures/lockorder_fixture/a"
+)
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Good is the disciplined pattern: short CPU-only critical section.
+func (s *S) Good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n += a.Fine()
+	return s.n
+}
+
+func (s *S) BlockUnderLock() { // want S.BlockUnderLock:`blocks: calls a.Park \(channel receive\)`
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a.Park() // want `blocking operation \(calls a.Park \(channel receive\)\) while s.mu is held`
+}
+
+func (s *S) ChanUnderLock(ch chan int) { // want S.ChanUnderLock:`blocks: channel receive`
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-ch // want `blocking operation \(channel receive\) while s.mu is held`
+}
+
+func (s *S) EarlyReturn(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		return 0 // want `return while s.mu is held \(no deferred Unlock on this path\)`
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+func (s *S) Relock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want `s.mu locked again while already held \(deadlock\)`
+}
+
+func (s *S) NeverUnlocked() {
+	s.mu.Lock() // want `s.mu.Lock without a matching Unlock in this function`
+	s.n++
+}
+
+// AfterUnlock must produce no held-region diagnostic: the blocking call
+// happens outside the critical section (it still earns a Blocks fact).
+func (s *S) AfterUnlock() { // want S.AfterUnlock:`blocks: calls a.Park \(channel receive\)`
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	a.Park()
+}
+
+func Copy(s S) { // want `parameter passes sync.Mutex by value; use a pointer`
+	_ = s
+}
+
+func CopyAssign(s *S) {
+	t := *s // want `assignment copies sync.Mutex by value; use a pointer`
+	_ = t.n
+}
+
+// PointerUse is fine: no lock value is copied.
+func PointerUse(s *S) *S { return s }

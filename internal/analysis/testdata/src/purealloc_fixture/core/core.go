@@ -1,0 +1,15 @@
+package core
+
+// Task mirrors the module's task shape closely enough for the fixture.
+type Task struct {
+	ID   int
+	Size int
+}
+
+// Allocator is the fixture's stand-in for partalloc/internal/core's
+// interface; purealloc picks it up by name from any in-scope package.
+type Allocator interface {
+	Name() string
+	Arrive(t Task) int
+	Depart(id int)
+}

@@ -1,0 +1,29 @@
+package h
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock; callers inherit the Impure fact.
+func Stamp() int64 { // want Stamp:`impure: wall clock \(time\.Now\)`
+	return time.Now().UnixNano()
+}
+
+// Indirect is impure only transitively.
+func Indirect() int64 { // want Indirect:`impure: h\.Stamp \(wall clock \(time\.Now\)\)`
+	return Stamp()
+}
+
+// Roll draws from the global math/rand source.
+func Roll(n int) int { // want Roll:`impure: global math/rand \(rand\.Intn\)`
+	return rand.Intn(n)
+}
+
+// Seeded randomness through an injected generator is pure.
+func Pick(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+// Double is pure: arithmetic on its arguments only.
+func Double(x int) int { return 2 * x }

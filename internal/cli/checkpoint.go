@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // checkpointFile is the on-disk shape shared by cmd/sweep and
@@ -56,6 +57,73 @@ func SaveCheckpoint[T any](path, fingerprint string, entries map[string]T) error
 		return err
 	}
 	return os.Rename(tmp.Name(), path)
+}
+
+// CheckpointWriter persists monotone snapshots from concurrent workers
+// without making any of them hold a lock across file I/O — the discipline
+// the lockorder analyzer enforces (a checkpoint write used to happen
+// inside cmd/sweep's results mutex, stalling every other worker's row
+// update behind the disk).
+//
+// Callers snapshot their state under their own lock, release it, then
+// call Save(seq, entries) with a sequence number that orders snapshots
+// (e.g. the completed-cell count). The writer coalesces: at most one
+// goroutine writes at a time, always the newest pending snapshot, and a
+// snapshot older than what is already on disk is dropped, so out-of-order
+// arrivals can never regress the file.
+type CheckpointWriter[T any] struct {
+	path        string
+	fingerprint string
+
+	mu         sync.Mutex
+	writing    bool
+	pendingSeq int
+	pending    map[string]T
+	writtenSeq int
+	err        error // last write error, sticky until a later write succeeds
+}
+
+// NewCheckpointWriter builds a writer for path under fingerprint. An
+// empty path yields a writer whose Save is a no-op, mirroring the
+// "-checkpoint not requested" mode of the harnesses.
+func NewCheckpointWriter[T any](path, fingerprint string) *CheckpointWriter[T] {
+	return &CheckpointWriter[T]{path: path, fingerprint: fingerprint}
+}
+
+// Save submits snapshot seq for persistence and returns the most recent
+// write error (nil while healthy). The caller must not mutate entries
+// after the call. Stale submissions (seq at or below a snapshot already
+// written or pending) are dropped; if another goroutine is mid-write it
+// picks up the newest pending snapshot before returning, so a nil result
+// does not guarantee this exact snapshot reached disk — the final Save
+// after all workers drain does.
+func (w *CheckpointWriter[T]) Save(seq int, entries map[string]T) error {
+	if w == nil || w.path == "" {
+		return nil
+	}
+	w.mu.Lock()
+	if seq > w.pendingSeq {
+		w.pendingSeq, w.pending = seq, entries
+	}
+	if w.writing {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.writing = true
+	for w.pendingSeq > w.writtenSeq {
+		seq, entries := w.pendingSeq, w.pending
+		w.pending = nil
+		w.mu.Unlock()
+		err := SaveCheckpoint(w.path, w.fingerprint, entries)
+		w.mu.Lock()
+		w.writtenSeq = seq
+		w.err = err
+	}
+	w.writing = false
+	err := w.err
+	w.mu.Unlock()
+	return err
 }
 
 // LoadCheckpoint reads a checkpoint written by SaveCheckpoint and returns

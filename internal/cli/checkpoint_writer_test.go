@@ -1,0 +1,96 @@
+package cli
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestCheckpointWriterStaleSnapshotDropped is the regression test for the
+// lockorder fix in cmd/sweep: snapshots are now taken under the results
+// mutex but written outside it, so writes can arrive out of order — an
+// older snapshot must never overwrite a newer one on disk.
+func TestCheckpointWriterStaleSnapshotDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	w := NewCheckpointWriter[int](path, "fp")
+	if err := w.Save(2, map[string]int{"0": 1, "1": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Save(1, map[string]int{"0": 1}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadCheckpoint[int](path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out["1"] != 2 {
+		t.Fatalf("stale snapshot regressed the checkpoint: %v", out)
+	}
+}
+
+func TestCheckpointWriterFinalStateWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	w := NewCheckpointWriter[string](path, "fp")
+
+	// Concurrent monotone snapshots, like sweep workers completing cells:
+	// snapshot seq k contains entries 0..k-1.
+	const n = 32
+	var mu sync.Mutex
+	state := make(map[string]string)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			state[fmt.Sprint(i)] = "row"
+			seq := len(state)
+			snap := make(map[string]string, len(state))
+			for k, v := range state {
+				snap[k] = v
+			}
+			mu.Unlock()
+			if err := w.Save(seq, snap); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// The final drain-time save, as cmd/sweep issues after RunCells.
+	if err := w.Save(n+1, map[string]string{"all": "done"}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadCheckpoint[string](path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out["all"] != "done" {
+		t.Fatalf("final save did not win: %v", out)
+	}
+}
+
+func TestCheckpointWriterEmptyPathIsNoop(t *testing.T) {
+	w := NewCheckpointWriter[int]("", "fp")
+	if err := w.Save(1, map[string]int{"0": 1}); err != nil {
+		t.Fatal(err)
+	}
+	var nilW *CheckpointWriter[int]
+	if err := nilW.Save(1, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointWriterStickyErrorRetries(t *testing.T) {
+	dir := t.TempDir()
+	// A path whose parent does not exist fails CreateTemp.
+	bad := filepath.Join(dir, "missing", "cp.json")
+	w := NewCheckpointWriter[int](bad, "fp")
+	if err := w.Save(1, map[string]int{"0": 1}); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+	// The sticky error surfaces even on a stale submission.
+	if err := w.Save(1, map[string]int{"0": 1}); err == nil {
+		t.Fatal("sticky error not reported")
+	}
+}

@@ -19,6 +19,7 @@ import (
 func WithInterrupt(parent context.Context, onSignal func()) (context.Context, context.CancelFunc) {
 	ctx, cancel := context.WithCancel(parent)
 	sigCh := make(chan os.Signal, 1)
+	//lint:ignore ctxflow NotifyContext cannot run the onSignal hook before cancelling, and signal.Stop after the first SIGINT must leave the second one fatal
 	signal.Notify(sigCh, os.Interrupt)
 	go func() {
 		defer signal.Stop(sigCh)
