@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short test-race test-fault test-topology lint lint-json bench experiments experiments-quick cover golden clean
+.PHONY: all build test test-short test-race test-fault test-topology test-chaos lint lint-json bench experiments experiments-quick cover golden clean
 
 all: build lint test
 
@@ -33,6 +33,12 @@ test-topology:
 	go test -race ./internal/topology/
 	go test -race -run 'TestTreeHostGolden|TestCrossTopology' .
 
+# Crash-recovery and chaos smoke: SIGKILL mid-ingest recovery
+# byte-identity, the seeded chaos soak under -race, and the journaled
+# benchmark pass (see docs/ENGINE.md).
+test-chaos:
+	./scripts/chaos-smoke.sh
+
 # Run the project's own analyzer suite (docs/LINTS.md): standalone over
 # every package, then again through go vet's vettool protocol so both
 # entry points stay healthy.
@@ -47,10 +53,11 @@ lint-json:
 	go run ./cmd/partlint -json ./... > partlint.json
 
 # Micro-benchmarks (batched vs serial apply, engine replay) plus the
-# engined load driver, which refreshes the committed benchmark ledger.
+# engined load driver, which refreshes the committed benchmark ledger —
+# including the journal-on vs journal-off headline comparison.
 bench:
 	go test -bench=. -benchmem ./internal/core/ ./internal/engine/
-	go run ./cmd/engined -out BENCH_3.json
+	go run ./cmd/engined -journal -out BENCH_3.json
 
 # Engine benchmark smoke for CI: a -race engined run on a small fleet,
 # plus the engine-level batched-vs-serial equivalence gate.

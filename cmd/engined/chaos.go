@@ -1,0 +1,416 @@
+// The -chaos soak: a seeded adversarial workout for the engine's
+// robustness layers (docs/ENGINE.md). It drives internal/engine directly
+// — the chaos injections (poison pills, allocator stalls, crash/recover
+// cycles) need the breaker config, Recover, and CanonicalStats, none of
+// which the benchmark facade exposes — and asserts the four guarantees
+// the robustness stack makes:
+//
+//  1. audited invariants hold throughout: every tenant runs under
+//     Config.Audit and must finish every round with zero violations;
+//  2. crashes are transparent: at every kill/recover cycle, the engine
+//     rebuilt from the journal matches the live one byte-for-byte under
+//     CanonicalStats, poisoned tenants included;
+//  3. stalls are bounded: an allocator that goes to sleep mid-apply
+//     fails its Replay shard with the watchdog's TimeoutError instead
+//     of hanging the driver;
+//  4. poisoning is transient: every tenant poisoned by an injected pill
+//     is healed by the circuit breaker before the soak ends — no tenant
+//     is left permanently poisoned.
+//
+// The soak deliberately runs the Block overload policy, not Degrade: the
+// degradation controller steers by wall-clock latency, so its placements
+// are not a pure function of the journaled history, and guarantee (2)
+// would not hold. Degrade has its own deterministic fake-clock coverage
+// in internal/engine.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"partalloc/internal/core"
+	"partalloc/internal/engine"
+	"partalloc/internal/fault"
+	"partalloc/internal/parallel"
+	"partalloc/internal/task"
+	"partalloc/internal/topology"
+	"partalloc/internal/tree"
+	"partalloc/internal/wal"
+)
+
+// stallAllocator wraps an allocator with an armable one-shot sleep in
+// Arrive. It embeds the interface (not a concrete type), so it never
+// satisfies core.BatchApplier and the engine takes the per-event path —
+// exactly the shape of a tenant whose placement work has gone pathological.
+type stallAllocator struct {
+	core.Allocator
+	mu    sync.Mutex
+	delay time.Duration
+}
+
+// arm schedules one sleep: the next Arrive blocks for d, then disarms.
+func (s *stallAllocator) arm(d time.Duration) {
+	s.mu.Lock()
+	s.delay = d
+	s.mu.Unlock()
+}
+
+//lint:ignore purealloc the sleep IS the chaos injection: this wrapper exists to make an allocator stall so the watchdog can be proven to catch it; placement itself is delegated unchanged
+func (s *stallAllocator) Arrive(tk task.Task) tree.Node {
+	s.mu.Lock()
+	d := s.delay
+	s.delay = 0
+	s.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return s.Allocator.Arrive(tk)
+}
+
+// chaosHarness owns the soak's mutable state: the current engine
+// generation, the current generation's stall wrapper, and the counters
+// for the final summary.
+type chaosHarness struct {
+	seed int64
+
+	mu    sync.Mutex
+	stall *stallAllocator
+
+	poisons, heals, stalls, crashes int
+}
+
+// setStall records the stall tenant's wrapper for the current engine
+// generation (rebuilds and recoveries install a fresh one).
+func (h *chaosHarness) setStall(s *stallAllocator) {
+	h.mu.Lock()
+	h.stall = s
+	h.mu.Unlock()
+}
+
+func (h *chaosHarness) currentStall() *stallAllocator {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stall
+}
+
+// rebuild is the harness's engine.RebuildFunc. It understands the same
+// spec vocabulary as the engine's own tests, and re-wraps the stall
+// tenant so every generation — initial, breaker-rebuilt, or recovered —
+// stays stallable. The wrapper delegates placement unchanged, so a
+// rebuilt plain history and a live wrapped one produce identical ledgers.
+func (h *chaosHarness) rebuild(spec engine.TenantSpec) (core.Allocator, *fault.Schedule, *topology.Host, error) {
+	//lint:ignore hosttopo the soak deliberately runs host-agnostic tree machines: it stresses the robustness layers, not topology pricing, and must mirror the engine tests' rebuild vocabulary
+	m := tree.MustNew(spec.N)
+	var a core.Allocator
+	switch spec.Algorithm {
+	case "basic":
+		a = core.NewBasic(m)
+	case "greedy":
+		a = core.NewGreedy(m)
+	case "periodic":
+		a = core.NewPeriodic(m, spec.D, core.DecreasingSize)
+	case "lazy":
+		a = core.NewLazy(m, spec.D, core.DecreasingSize)
+	default:
+		return nil, nil, nil, fmt.Errorf("chaos rebuild: unknown algorithm %q", spec.Algorithm)
+	}
+	var sched *fault.Schedule
+	if spec.Faults != "" {
+		s, err := fault.ParseText(strings.NewReader(spec.Faults), spec.N)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("chaos rebuild: faults: %w", err)
+		}
+		sched = &s
+	}
+	if spec.ID == chaosStallTenant {
+		sa := &stallAllocator{Allocator: a}
+		h.setStall(sa)
+		a = sa
+	}
+	return a, sched, nil, nil
+}
+
+const (
+	chaosFaultTenant = "faulty-periodic"
+	chaosStallTenant = "stall-basic"
+)
+
+// chaosSpecs is the soak fleet: batched and per-event allocators, a
+// reallocating tenant, a fault-schedule tenant, and the stall target.
+// The first pillTenants entries are eligible for poison pills; the fault
+// and stall tenants are kept pill-free so their streams apply in full.
+func chaosSpecs(seed int64) ([]engine.TenantSpec, int) {
+	var sched strings.Builder
+	if err := fault.WriteText(&sched, fault.Random(fault.RandomConfig{
+		N: 128, Events: 400, Failures: 3, Down: 80, MaxConcurrent: 2, Seed: seed,
+	})); err != nil {
+		panic(err) // a generated schedule always serializes
+	}
+	specs := []engine.TenantSpec{
+		{ID: "steady-basic", Algorithm: "basic", N: 128},
+		{ID: "greedy-perevent", Algorithm: "greedy", N: 128},
+		{ID: "periodic-d2", Algorithm: "periodic", N: 128, D: 2, DSet: true},
+		{ID: "lazy-d1", Algorithm: "lazy", N: 64, D: 1, DSet: true},
+		{ID: chaosFaultTenant, Algorithm: "periodic", N: 128, D: 1, DSet: true, Faults: sched.String()},
+		{ID: chaosStallTenant, Algorithm: "basic", N: 64},
+	}
+	return specs, 4
+}
+
+// chaosConfig is the per-generation engine config. Audit applies events
+// one at a time (every placement checked); the tiny breaker backoff keeps
+// heal latency in milliseconds so the soak stays fast.
+func (h *chaosHarness) chaosConfig() engine.Config {
+	return engine.Config{
+		Shards:         4,
+		BatchSize:      16,
+		Audit:          true,
+		MaxQueue:       64,
+		Overload:       engine.Block,
+		ReplayWatchdog: 25 * time.Millisecond,
+		Rebuild:        h.rebuild,
+		Breaker:        engine.BreakerConfig{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond, Seed: h.seed},
+	}
+}
+
+// chaosChunk builds one round of traffic for one tenant: arrivals
+// followed by their departures, with round-scoped task IDs. Poisoning
+// drops a *suffix* of the submitted history, and a suffix cut of this
+// shape can only orphan arrivals (a bounded load leak), never leave a
+// departure pointing at a task that was dropped.
+func chaosChunk(round, tenant, pairs int) []task.Event {
+	base := task.ID(1 + round*1_000_000 + tenant*10_000)
+	evs := make([]task.Event, 0, 2*pairs)
+	for i := 0; i < pairs; i++ {
+		evs = append(evs, task.Event{Kind: task.Arrive, Task: base + task.ID(i), Size: 1 << (i % 2)})
+	}
+	for i := 0; i < pairs; i++ {
+		evs = append(evs, task.Event{Kind: task.Depart, Task: base + task.ID(i)})
+	}
+	return evs
+}
+
+// chaosPill is a poison event: a size-3 arrival panics inside the
+// allocator with ErrNotPowerOfTwo, which the engine converts into
+// poisoning. The ID space is disjoint from chaosChunk's.
+func chaosPill(round, tenant int) task.Event {
+	return task.Event{Kind: task.Arrive, Task: task.ID(1_000_000_000 + round*1_000 + tenant), Size: 3}
+}
+
+// runChaos executes the soak and returns the first violated guarantee.
+func runChaos(ctx context.Context, seed int64, rounds int) error {
+	dir, err := os.MkdirTemp("", "engined-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	h := &chaosHarness{seed: seed}
+	log, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		return err
+	}
+	cfg := h.chaosConfig()
+	cfg.Journal = log
+	eng := engine.New(cfg)
+
+	specs, pillTenants := chaosSpecs(seed)
+	for _, spec := range specs {
+		a, sched, host, err := h.rebuild(spec)
+		if err != nil {
+			return err
+		}
+		if err := eng.AddTenantSpec(spec, a, sched, host); err != nil {
+			return err
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	poisoned := make(map[string]bool, len(specs))
+
+	for r := 0; r < rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Decide this round's injections up front so the rng stream stays
+		// deterministic regardless of goroutine interleaving below.
+		pill := -1
+		if rng.Intn(3) == 0 {
+			pill = rng.Intn(pillTenants)
+		}
+
+		// Concurrent ingestion wave: one goroutine per tenant, so the
+		// shard locking runs under real contention (and the race
+		// detector, via make test-chaos).
+		errsCh := make(chan error, len(specs))
+		var wg sync.WaitGroup
+		for i, spec := range specs {
+			evs := chaosChunk(r, i, 12)
+			if i == pill {
+				evs = append(evs, chaosPill(r, i))
+			}
+			wg.Add(1)
+			go func(id string, evs []task.Event) {
+				defer wg.Done()
+				mid := len(evs) / 2
+				for _, slice := range [][]task.Event{evs[:mid], evs[mid:]} {
+					if err := eng.Submit(id, slice...); err != nil {
+						if errors.Is(err, engine.ErrTenantPoisoned) {
+							return // expected: a pill, or a not-yet-healed breaker
+						}
+						errsCh <- fmt.Errorf("round %d, tenant %s: %w", r, id, err)
+						return
+					}
+				}
+				if err := eng.Flush(id); err != nil && !errors.Is(err, engine.ErrTenantPoisoned) {
+					errsCh <- fmt.Errorf("round %d, flush %s: %w", r, id, err)
+				}
+			}(spec.ID, evs)
+		}
+		wg.Wait()
+		close(errsCh)
+		for err := range errsCh {
+			return err
+		}
+
+		// Track poisoning transitions. A tenant can also self-heal during
+		// the wave (its first submit past the breaker deadline probes),
+		// so both edges are observed here rather than at injection time.
+		for _, spec := range specs {
+			now := eng.Err(spec.ID) != nil
+			if now && !poisoned[spec.ID] {
+				h.poisons++
+			}
+			if !now && poisoned[spec.ID] {
+				h.heals++
+			}
+			poisoned[spec.ID] = now
+		}
+
+		// Stall injection: arm the current generation's wrapper and push
+		// one arrival through Replay. The shard worker must be killed by
+		// the watchdog, not waited for.
+		if r%4 == 2 && !poisoned[chaosStallTenant] {
+			const stallFor = 120 * time.Millisecond
+			h.currentStall().arm(stallFor)
+			ev := task.Event{Kind: task.Arrive, Task: task.ID(2_000_000_000 + r), Size: 1}
+			err := eng.Replay(ctx, map[string][]task.Event{chaosStallTenant: {ev}})
+			var te *parallel.TimeoutError
+			if !errors.As(err, &te) {
+				return fmt.Errorf("round %d: stalled replay did not hit the watchdog: %w", r, err)
+			}
+			// The abandoned worker finishes its single event after the
+			// sleep; quiesce before anything reads or snapshots state.
+			time.Sleep(stallFor + 80*time.Millisecond)
+			if err := eng.Submit(chaosStallTenant, task.Event{Kind: task.Depart, Task: ev.Task}); err != nil {
+				return fmt.Errorf("round %d: stall tenant unusable after watchdog: %w", r, err)
+			}
+			h.stalls++
+		}
+
+		// Kill/recover cycle: the recovered engine must match the live
+		// one byte-for-byte under CanonicalStats, poisoned tenants and
+		// queued backlogs included.
+		if r%4 == 3 {
+			rec, relog, err := chaosCrashCycle(h, eng, log, dir)
+			if err != nil {
+				return fmt.Errorf("round %d: %w", r, err)
+			}
+			eng, log = rec, relog
+			h.crashes++
+		}
+
+		if err := chaosAuditClean(eng); err != nil {
+			return fmt.Errorf("round %d: %w", r, err)
+		}
+	}
+
+	// Final heal pass: wait out the deepest possible backoff, then probe
+	// every still-poisoned tenant. The breaker must close all of them.
+	for _, spec := range specs {
+		if eng.Err(spec.ID) == nil {
+			continue
+		}
+		time.Sleep(40 * time.Millisecond) // > Breaker.Max plus jitter
+		probe := task.Event{Kind: task.Arrive, Task: task.ID(3_000_000_000 + int64(len(spec.ID))), Size: 1}
+		if err := eng.Submit(spec.ID, probe); err != nil {
+			return fmt.Errorf("final heal of %s failed: %w", spec.ID, err)
+		}
+		h.heals++
+		poisoned[spec.ID] = false
+	}
+	if err := eng.FlushAll(); err != nil {
+		return fmt.Errorf("final FlushAll: %w", err)
+	}
+	for _, spec := range specs {
+		if err := eng.Err(spec.ID); err != nil {
+			return fmt.Errorf("tenant %s left permanently poisoned: %w", spec.ID, err)
+		}
+	}
+	if err := chaosAuditClean(eng); err != nil {
+		return err
+	}
+
+	// One last crash for the road: the final state must recover too.
+	eng, log, err = chaosCrashCycle(h, eng, log, dir)
+	if err != nil {
+		return fmt.Errorf("final recovery: %w", err)
+	}
+	h.crashes++
+	defer log.Close()
+
+	var applied int64
+	for _, st := range eng.Stats() {
+		if st.Events == 0 {
+			return fmt.Errorf("tenant %s applied no events", st.Tenant)
+		}
+		applied += st.Events
+	}
+	fmt.Fprintf(os.Stderr,
+		"engined: chaos OK — %d rounds, %d tenants, %d events applied; %d poisonings / %d heals, %d stalls, %d crash recoveries, 0 invariant violations\n",
+		rounds, len(specs), applied, h.poisons, h.heals, h.stalls, h.crashes)
+	return nil
+}
+
+// chaosCrashCycle closes the journal under the engine (a SIGKILL with
+// page-cache durability), recovers a fresh engine from the directory,
+// and demands ledger byte-identity before handing the new generation back.
+func chaosCrashCycle(h *chaosHarness, eng *engine.Engine, log *wal.Log, dir string) (*engine.Engine, *wal.Log, error) {
+	want := eng.Stats()
+	if err := log.Close(); err != nil {
+		return nil, nil, err
+	}
+	rec, err := engine.Recover(h.chaosConfig(), dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		return nil, nil, fmt.Errorf("recover: %w", err)
+	}
+	got := rec.Stats()
+	if len(got) != len(want) {
+		return nil, nil, fmt.Errorf("recovered %d tenants, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := engine.CanonicalStats(want[i]), engine.CanonicalStats(got[i])
+		if !bytes.Equal(w, g) {
+			return nil, nil, fmt.Errorf("tenant %s: recovered ledger diverges\n  live: %s\n  rec:  %s", want[i].Tenant, w, g)
+		}
+	}
+	return rec, rec.Journal(), nil
+}
+
+// chaosAuditClean fails on any invariant checker finding.
+func chaosAuditClean(eng *engine.Engine) error {
+	for _, st := range eng.Stats() {
+		if len(st.Violations) > 0 {
+			return fmt.Errorf("tenant %s: %d invariant violations, first: %s",
+				st.Tenant, len(st.Violations), st.Violations[0])
+		}
+	}
+	return nil
+}

@@ -8,7 +8,16 @@
 //
 //	engined [-tenants 8] [-arrivals 10000] [-n 1024] [-batch 4096]
 //	        [-shards 0] [-algo A_Rand] [-topology tree] [-seed 1]
-//	        [-quick] [-out file.json]
+//	        [-quick] [-journal] [-out file.json]
+//	engined -chaos [-chaos-rounds 12] [-seed 1]
+//
+// With -journal the headline fleet is measured a second time through a
+// write-ahead journal (batched fsync) and the ledger records the
+// slowdown. With -chaos the benchmark is replaced by the seeded chaos
+// soak (see chaos.go and docs/ENGINE.md): poison pills, allocator
+// stalls, mid-batch PE faults, and kill/recover cycles, with audited
+// invariants, byte-identical recovery, and breaker-healed tenants as the
+// pass criteria.
 //
 // Every fleet runs on a topology host (-topology; default tree, which is
 // byte-identical to the host-agnostic engine), so the ledger also records
@@ -80,7 +89,12 @@ type report struct {
 	Engine       modeResult   `json:"engine"`
 	Serial       modeResult   `json:"serial"`
 	Speedup      float64      `json:"speedup"`
-	PerAlgorithm []algoResult `json:"per_algorithm,omitempty"`
+	// EngineJournaled repeats the headline engine pass with a write-ahead
+	// journal (batched fsync, -journal flag); JournalSlowdown is its wall
+	// time over the journal-free pass (≥1, lower is better).
+	EngineJournaled *modeResult  `json:"engine_journaled,omitempty"`
+	JournalSlowdown float64      `json:"journal_slowdown,omitempty"`
+	PerAlgorithm    []algoResult `json:"per_algorithm,omitempty"`
 }
 
 // fleetSpec describes one homogeneous tenant fleet.
@@ -132,7 +146,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "base workload seed")
 	quick := flag.Bool("quick", false, "small fleet, skip the per-algorithm section (CI smoke)")
 	out := flag.String("out", "", "write the JSON ledger here (default stdout)")
+	journal := flag.Bool("journal", false, "re-measure the headline fleet with a write-ahead journal and record the slowdown")
+	chaos := flag.Bool("chaos", false, "run the seeded chaos soak (docs/ENGINE.md) instead of the benchmark")
+	chaosRounds := flag.Int("chaos-rounds", 12, "rounds in the -chaos soak")
 	flag.Parse()
+
+	if *chaos {
+		ctx, stop := cli.WithInterrupt(context.Background(), func() {
+			fmt.Fprintln(os.Stderr, "engined: interrupt — abandoning the chaos soak")
+		})
+		defer stop()
+		if err := runChaos(ctx, *seed, *chaosRounds); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	algo, err := partalloc.ParseAlgorithm(*algoName)
 	if err != nil {
@@ -171,6 +199,15 @@ func main() {
 	}
 	rep.EventsTotal = int64(res.EventsPerTenant) * int64(*tenants)
 	rep.Engine, rep.Serial, rep.Speedup = res.Engine, res.Serial, res.Speedup
+
+	if *journal {
+		jr, err := runJournaled(ctx, head, *batch, *shards)
+		if err != nil {
+			fail(err)
+		}
+		rep.EngineJournaled = &jr
+		rep.JournalSlowdown = float64(jr.WallNs) / float64(rep.Engine.WallNs)
+	}
 
 	if !*quick {
 		// The realloc-heavy fleets use smaller batches: their streams are
@@ -215,7 +252,10 @@ func runFleet(ctx context.Context, spec fleetSpec, batch, shards int) (algoResul
 	if err != nil {
 		return algoResult{}, err
 	}
-	eng := partalloc.NewEngine(partalloc.EngineConfig{Shards: shards, BatchSize: batch})
+	eng, err := partalloc.NewEngine(partalloc.EngineConfig{Shards: shards, BatchSize: batch})
+	if err != nil {
+		return algoResult{}, err
+	}
 	m := partalloc.MustNewMachine(spec.n)
 	for i := 0; i < spec.tenants; i++ {
 		opts := append(spec.opts(i), partalloc.WithTopology(top))
@@ -273,6 +313,57 @@ func runFleet(ctx context.Context, spec fleetSpec, batch, shards int) (algoResul
 	}
 	res.Speedup = res.Engine.OpsPerSec / res.Serial.OpsPerSec
 	return res, nil
+}
+
+// runJournaled repeats a fleet's engine pass with a write-ahead journal
+// in a throwaway directory (batched fsync — the durability point most
+// services would pick; see docs/ENGINE.md for the policy trade-offs), so
+// the ledger records what crash recoverability costs at the headline
+// batch size.
+func runJournaled(ctx context.Context, spec fleetSpec, batch, shards int) (modeResult, error) {
+	if spec.batch > 0 {
+		batch = spec.batch
+	}
+	streams, total := spec.streams()
+	dir, err := os.MkdirTemp("", "engined-journal-*")
+	if err != nil {
+		return modeResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	top, err := partalloc.NewTopology(spec.topo, spec.n)
+	if err != nil {
+		return modeResult{}, err
+	}
+	eng, err := partalloc.NewEngine(partalloc.EngineConfig{Shards: shards, BatchSize: batch},
+		partalloc.WithJournal(dir), partalloc.WithJournalSync(partalloc.JournalSyncBatched))
+	if err != nil {
+		return modeResult{}, err
+	}
+	defer eng.Close()
+	m := partalloc.MustNewMachine(spec.n)
+	for i := 0; i < spec.tenants; i++ {
+		opts := append(spec.opts(i), partalloc.WithTopology(top))
+		if err := eng.AddTenant(tenantID(i), spec.algo, m, opts...); err != nil {
+			return modeResult{}, err
+		}
+	}
+	start := time.Now()
+	if err := eng.Replay(ctx, streams); err != nil {
+		return modeResult{}, err
+	}
+	wall := time.Since(start)
+
+	var batchNs []int64
+	for _, st := range eng.Stats() {
+		batchNs = append(batchNs, st.BatchNs...)
+	}
+	return modeResult{
+		OpsPerSec:  float64(total) / wall.Seconds(),
+		WallNs:     wall.Nanoseconds(),
+		P50ApplyNs: engine.Quantile(batchNs, 0.50),
+		P99ApplyNs: engine.Quantile(batchNs, 0.99),
+	}, nil
 }
 
 // fail distinguishes cancellation (exit 130, the runner convention) from

@@ -2,9 +2,16 @@ package partalloc
 
 import (
 	"context"
+	"fmt"
+	"strings"
+	"time"
 
+	"partalloc/internal/core"
 	"partalloc/internal/engine"
+	"partalloc/internal/fault"
 	"partalloc/internal/task"
+	"partalloc/internal/topology"
+	"partalloc/internal/wal"
 )
 
 // Event is one task arrival or departure in a tenant's stream; Sequence
@@ -21,13 +28,53 @@ const (
 )
 
 // EngineConfig parameterizes NewEngine; the zero value selects the
-// defaults (min(GOMAXPROCS, 8) shards, 256-event batches, no audit).
+// defaults (min(GOMAXPROCS, 8) shards, 256-event batches, no audit, no
+// queue bound, no journal). Overload and journal behavior are set with
+// EngineOptions, which override the corresponding fields.
 type EngineConfig = engine.Config
 
 // EngineTenantStats is a point-in-time ledger snapshot for one tenant:
 // applied events, batch apply latencies, current and peak max-load, the
-// running optimal bound L*, and reallocation counters.
+// running optimal bound L*, reallocation counters, and the robustness
+// ledgers (shed/dropped events, degradation transitions, breaker state).
 type EngineTenantStats = engine.TenantStats
+
+// DegradeTransition records one move on a tenant's degradation ladder
+// (EngineTenantStats.Degrades).
+type DegradeTransition = engine.DegradeTransition
+
+// OverloadPolicy selects what Submit does when a submission would push a
+// tenant's queue past the WithMaxQueue bound.
+type OverloadPolicy = engine.OverloadPolicy
+
+// Overload policies for WithOverloadPolicy.
+const (
+	// OverloadBlock applies backpressure: oversized submissions are
+	// admitted in bound-sized chunks, applying batches in between.
+	OverloadBlock = engine.Block
+	// OverloadShed rejects over-bound submissions whole with ErrOverloaded.
+	OverloadShed = engine.Shed
+	// OverloadDegrade admits like OverloadBlock but additionally trades
+	// placement quality for ingestion speed, turning the paper's d knob
+	// on the tenant's allocator when its apply-latency EWMA exceeds the
+	// degrade budget; see docs/ENGINE.md.
+	OverloadDegrade = engine.Degrade
+)
+
+// JournalSyncPolicy selects when a journaling engine fsyncs its log.
+type JournalSyncPolicy = wal.SyncPolicy
+
+// Journal sync policies for WithJournalSync; docs/ENGINE.md discusses
+// the durability trade-offs.
+const (
+	// JournalSyncNever leaves flushing to the OS: survives process
+	// crashes (SIGKILL included), not power loss. The default.
+	JournalSyncNever = wal.SyncNever
+	// JournalSyncBatched fsyncs every few appends — bounded loss.
+	JournalSyncBatched = wal.SyncBatched
+	// JournalSyncAlways fsyncs every append — full durability.
+	JournalSyncAlways = wal.SyncAlways
+)
 
 // Engine sentinel errors, recognizable with errors.Is. Allocator-side
 // sentinels (ErrMachineFull, ErrDuplicateTask, ...) appear on the same
@@ -38,9 +85,79 @@ var (
 	// ErrDuplicateTenant reports AddTenant on an existing tenant ID.
 	ErrDuplicateTenant = engine.ErrDuplicateTenant
 	// ErrTenantPoisoned reports an operation on a tenant whose allocator
-	// already failed; the chain includes the original cause.
+	// already failed; the chain includes the original cause. On a
+	// journaling engine the circuit breaker makes this transient: after a
+	// backoff the tenant is rebuilt from its journaled safe prefix.
 	ErrTenantPoisoned = engine.ErrTenantPoisoned
+	// ErrOverloaded reports a submission rejected whole by the
+	// OverloadShed policy; none of its events were queued.
+	ErrOverloaded = engine.ErrOverloaded
 )
+
+// engineOptions accumulates EngineOptions.
+type engineOptions struct {
+	maxQueue    int
+	maxQueueSet bool
+	policy      OverloadPolicy
+	policySet   bool
+	budget      time.Duration
+	journalDir  string
+	sync        JournalSyncPolicy
+}
+
+// EngineOption configures NewEngine and RecoverEngine beyond the plain
+// EngineConfig: queue bounds, overload policy, and the write-ahead
+// journal.
+type EngineOption func(*engineOptions)
+
+// WithMaxQueue bounds each tenant's ingestion queue to n events
+// (0 = unbounded). What happens past the bound is WithOverloadPolicy's
+// call.
+func WithMaxQueue(n int) EngineOption {
+	return func(o *engineOptions) { o.maxQueue, o.maxQueueSet = n, true }
+}
+
+// WithOverloadPolicy selects the over-bound behavior: OverloadBlock
+// (default), OverloadShed, or OverloadDegrade.
+func WithOverloadPolicy(p OverloadPolicy) EngineOption {
+	return func(o *engineOptions) { o.policy, o.policySet = p, true }
+}
+
+// WithDegradeBudget sets the per-tenant batch apply-latency budget the
+// OverloadDegrade controller steers by (default 5ms).
+func WithDegradeBudget(d time.Duration) EngineOption {
+	return func(o *engineOptions) { o.budget = d }
+}
+
+// WithJournal turns on write-ahead journaling in dir: every ingestion
+// call is appended to a segmented log before tenant state changes, the
+// engine becomes recoverable with RecoverEngine, and poisoned tenants
+// heal through the circuit breaker instead of staying down. Close the
+// engine when done.
+func WithJournal(dir string) EngineOption {
+	return func(o *engineOptions) { o.journalDir = dir }
+}
+
+// WithJournalSync selects the journal's fsync policy (default
+// JournalSyncNever).
+func WithJournalSync(p JournalSyncPolicy) EngineOption {
+	return func(o *engineOptions) { o.sync = p }
+}
+
+// apply folds the options into cfg and returns the journal parameters.
+func (o engineOptions) apply(cfg EngineConfig) EngineConfig {
+	if o.maxQueueSet {
+		cfg.MaxQueue = o.maxQueue
+	}
+	if o.policySet {
+		cfg.Overload = o.policy
+	}
+	if o.budget > 0 {
+		cfg.DegradeBudget = o.budget
+	}
+	cfg.Rebuild = rebuildSpec
+	return cfg
+}
 
 // Engine multiplexes many independent tenant machines behind one
 // concurrent ingestion API: tenants are hash-partitioned across
@@ -48,32 +165,87 @@ var (
 // allocators' batch fast path, and Replay fans out one worker per shard.
 // Allocator panics (capacity exhaustion under faults, stream misuse) are
 // converted into returned errors that poison the offending tenant and
-// leave the rest of the fleet running; see docs/ENGINE.md.
+// leave the rest of the fleet running. With WithMaxQueue the ingestion
+// queues are bounded, and with WithJournal the engine survives crashes
+// and heals poisoned tenants; see docs/ENGINE.md.
 type Engine struct {
 	eng *engine.Engine
 }
 
-// NewEngine builds an engine from cfg (zero value = defaults).
-func NewEngine(cfg EngineConfig) *Engine {
-	return &Engine{eng: engine.New(cfg)}
+// NewEngine builds an engine from cfg (zero value = defaults) and
+// options. The error is always nil unless WithJournal is given and the
+// journal directory cannot be opened.
+func NewEngine(cfg EngineConfig, opts ...EngineOption) (*Engine, error) {
+	var o engineOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg = o.apply(cfg)
+	if o.journalDir != "" {
+		log, err := wal.Open(o.journalDir, wal.Options{Sync: o.sync})
+		if err != nil {
+			return nil, fmt.Errorf("partalloc: NewEngine: %w", err)
+		}
+		cfg.Journal = log
+	}
+	return &Engine{eng: engine.New(cfg)}, nil
+}
+
+// RecoverEngine reconstructs a journaling engine from the log a crashed
+// (or closed) engine left in dir: tenants are rebuilt from their
+// registration records and every journaled ingestion call is re-applied,
+// reproducing ledgers and queue contents exactly — including tenants the
+// crash left poisoned. The recovered engine journals onward in the same
+// directory. Pass the same EngineConfig and options the original engine
+// ran with; WithJournal is implied by dir.
+func RecoverEngine(cfg EngineConfig, dir string, opts ...EngineOption) (*Engine, error) {
+	var o engineOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.journalDir != "" && o.journalDir != dir {
+		return nil, fmt.Errorf("partalloc: RecoverEngine: WithJournal(%q) conflicts with recovery directory %q", o.journalDir, dir)
+	}
+	eng, err := engine.Recover(o.apply(cfg), dir, wal.Options{Sync: o.sync})
+	if err != nil {
+		return nil, fmt.Errorf("partalloc: RecoverEngine: %w", err)
+	}
+	return &Engine{eng: eng}, nil
+}
+
+// Close releases the engine's journal, if any. Queued events are NOT
+// flushed: they are journaled, and RecoverEngine restores them.
+func (e *Engine) Close() error {
+	if j := e.eng.Journal(); j != nil {
+		return j.Close()
+	}
+	return nil
 }
 
 // AddTenant registers a tenant backed by a fresh allocator built exactly
 // as New(algo, m, opts...) would, including WithFaults schedules, which
 // the engine injects at the event indexes of the tenant's own stream, and
 // WithTopology hosts, which price the tenant's migrations in network hops
-// (EngineTenantStats.Topology/MigHops/ForcedHops).
+// (EngineTenantStats.Topology/MigHops/ForcedHops). The same options are
+// captured as the tenant's rebuild recipe, so on a journaling engine the
+// tenant is recoverable and breaker-protected with no extra wiring.
 func (e *Engine) AddTenant(id string, algo Algorithm, m *Machine, opts ...Option) error {
 	a, err := New(algo, m, opts...)
 	if err != nil {
 		return err
 	}
 	ua, sched, host := unwrapRun(a)
-	return e.eng.AddTenantHosted(id, ua, sched, host)
+	spec, err := tenantSpec(id, algo, m, opts)
+	if err != nil {
+		return err
+	}
+	return e.eng.AddTenantSpec(spec, ua, sched, host)
 }
 
 // Submit queues events for a tenant, applying a batch whenever the
-// queue reaches the configured batch size.
+// queue reaches the configured batch size. Past a WithMaxQueue bound the
+// overload policy takes over: OverloadBlock and OverloadDegrade admit in
+// bound-sized chunks, OverloadShed fails with ErrOverloaded.
 func (e *Engine) Submit(id string, evs ...Event) error {
 	return e.eng.Submit(id, evs...)
 }
@@ -104,3 +276,107 @@ func (e *Engine) Stats() []EngineTenantStats { return e.eng.Stats() }
 
 // Err returns the tenant's poisoning error (nil while healthy).
 func (e *Engine) Err(id string) error { return e.eng.Err(id) }
+
+// CanonicalEngineStats renders a tenant snapshot as deterministic JSON
+// with every wall-clock-derived field cleared, for byte-for-byte
+// comparison across runs — the form in which a recovered engine's
+// ledgers equal an uninterrupted run's.
+func CanonicalEngineStats(st EngineTenantStats) []byte {
+	return engine.CanonicalStats(st)
+}
+
+// tenantSpec captures an AddTenant call as a serializable rebuild
+// recipe: the exact algorithm, machine size, and options, with the fault
+// schedule in its text format and the topology by name. rebuildSpec
+// inverts it through the same New constructor, so the pair cannot drift
+// from what AddTenant actually built.
+func tenantSpec(id string, algo Algorithm, m *Machine, opts []Option) (engine.TenantSpec, error) {
+	c := config{order: DecreasingSize, seed: 1}
+	for _, o := range opts {
+		o(&c)
+	}
+	spec := engine.TenantSpec{
+		ID:        id,
+		Algorithm: algo.String(),
+		N:         m.N(),
+		D:         c.d,
+		DSet:      c.dSet,
+		Seed:      c.seed,
+		SeedSet:   c.seedSet,
+	}
+	if c.orderSet {
+		spec.Order = c.order.String()
+	}
+	if c.top != nil {
+		spec.Topology = c.top.Name()
+	}
+	if c.faults != nil {
+		// The raw schedule names physical PEs; serialize it untranslated
+		// so rebuilding re-runs the same topology mapping New did.
+		var b strings.Builder
+		if err := fault.WriteText(&b, *c.faults); err != nil {
+			return engine.TenantSpec{}, fmt.Errorf("partalloc: AddTenant(%q): %w", id, err)
+		}
+		spec.Faults = b.String()
+	}
+	return spec, nil
+}
+
+// rebuildSpec is the engine.RebuildFunc the facade installs: it turns a
+// tenantSpec recipe back into options and rebuilds the allocator through
+// New, exactly as the original AddTenant did.
+func rebuildSpec(spec engine.TenantSpec) (core.Allocator, *fault.Schedule, *topology.Host, error) {
+	algo, err := ParseAlgorithm(spec.Algorithm)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m, err := NewMachine(spec.N)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var opts []Option
+	if spec.DSet {
+		opts = append(opts, WithD(spec.D))
+	}
+	if spec.Order != "" {
+		order, err := parseReallocOrder(spec.Order)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		opts = append(opts, WithOrder(order))
+	}
+	if spec.SeedSet {
+		opts = append(opts, WithSeed(spec.Seed))
+	}
+	if spec.Topology != "" {
+		top, err := NewTopology(spec.Topology, spec.N)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		opts = append(opts, WithTopology(top))
+	}
+	if spec.Faults != "" {
+		sched, err := fault.ParseText(strings.NewReader(spec.Faults), spec.N)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		opts = append(opts, WithFaults(sched))
+	}
+	a, err := New(algo, m, opts...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ua, sched, host := unwrapRun(a)
+	return ua, sched, host, nil
+}
+
+// parseReallocOrder inverts ReallocOrder.String.
+func parseReallocOrder(s string) (ReallocOrder, error) {
+	switch s {
+	case DecreasingSize.String():
+		return DecreasingSize, nil
+	case ArrivalOrder.String():
+		return ArrivalOrder, nil
+	}
+	return 0, fmt.Errorf("partalloc: unknown reallocation order %q", s)
+}

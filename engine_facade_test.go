@@ -12,7 +12,10 @@ import (
 // TestEngineFacadeMatchesSimulate drives the public Engine with
 // option-built tenants and checks the ledgers agree with serial Simulate.
 func TestEngineFacadeMatchesSimulate(t *testing.T) {
-	eng := partalloc.NewEngine(partalloc.EngineConfig{BatchSize: 128})
+	eng, err := partalloc.NewEngine(partalloc.EngineConfig{BatchSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
 	type tenantCfg struct {
 		id   string
 		algo partalloc.Algorithm
@@ -58,9 +61,12 @@ func TestEngineFacadeMatchesSimulate(t *testing.T) {
 // error chain that errors.Is recognizes as both ErrTenantPoisoned and
 // ErrMachineFull.
 func TestEngineFaultOptionAndSentinel(t *testing.T) {
-	eng := partalloc.NewEngine(partalloc.EngineConfig{})
+	eng, err := partalloc.NewEngine(partalloc.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := partalloc.MustNewMachine(2)
-	err := eng.AddTenant("doomed", partalloc.AlgoBasic, m, partalloc.WithFaults(partalloc.FaultSchedule{
+	err = eng.AddTenant("doomed", partalloc.AlgoBasic, m, partalloc.WithFaults(partalloc.FaultSchedule{
 		Events: []partalloc.FaultEvent{
 			{At: 0, Kind: partalloc.FailPE, PE: 0},
 			{At: 0, Kind: partalloc.FailPE, PE: 1},

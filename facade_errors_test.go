@@ -43,6 +43,37 @@ func TestSentinelErrorsViaErrorsIs(t *testing.T) {
 	if !errors.Is(err, partalloc.ErrDuplicateTask) {
 		t.Errorf("duplicate arrival: %v is not ErrDuplicateTask", err)
 	}
+
+	// ErrOverloaded from the engine's Shed overload policy.
+	eng, err := partalloc.NewEngine(partalloc.EngineConfig{},
+		partalloc.WithMaxQueue(1), partalloc.WithOverloadPolicy(partalloc.OverloadShed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddTenant("t", partalloc.AlgoBasic, partalloc.MustNewMachine(4)); err != nil {
+		t.Fatal(err)
+	}
+	err = eng.Submit("t",
+		partalloc.Event{Kind: partalloc.EventArrive, Task: 1, Size: 1},
+		partalloc.Event{Kind: partalloc.EventArrive, Task: 2, Size: 1})
+	if !errors.Is(err, partalloc.ErrOverloaded) {
+		t.Errorf("shed submission: %v is not ErrOverloaded", err)
+	}
+
+	// ErrTenantPoisoned from an engine apply failure, with the
+	// allocator-side cause on the same chain. With MaxQueue 1 the batch
+	// trigger is 1, so each submit applies immediately and the second
+	// (duplicate) arrival poisons the tenant right there.
+	if err := eng.Submit("t", partalloc.Event{Kind: partalloc.EventArrive, Task: 1, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err = eng.Submit("t", partalloc.Event{Kind: partalloc.EventArrive, Task: 1, Size: 1})
+	if !errors.Is(err, partalloc.ErrTenantPoisoned) || !errors.Is(err, partalloc.ErrDuplicateTask) {
+		t.Errorf("poisoning submit: %v is not ErrTenantPoisoned wrapping ErrDuplicateTask", err)
+	}
+	if err := eng.Err("t"); !errors.Is(err, partalloc.ErrTenantPoisoned) {
+		t.Errorf("Err after poisoning: %v", err)
+	}
 }
 
 // TestSentinelErrorsFromAllocatorPanics checks the allocator-side wrapping:

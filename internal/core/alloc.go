@@ -83,6 +83,30 @@ type Observable interface {
 	SetMigrationObserver(MigrationObserver)
 }
 
+// Degradable is implemented by allocators whose reallocation parameter d
+// can be retuned while running — the paper's balance-vs-migration trade
+// exposed as a live knob. The engine's Degrade overload policy uses it to
+// raise the effective d (fewer, cheaper reallocations) or switch A_M to
+// its lazy trigger under load, and to restore the configured setting once
+// healthy.
+//
+// The Set methods report whether the knob took effect: an instance that
+// delegates to A_G (d at or above the greedy bound at construction) has
+// no reallocation machinery to retune and returns false, as does an
+// attempt to set a state the instance cannot leave (A_M-lazy is always
+// lazy). Knob changes apply from the next arrival; they never trigger or
+// cancel a reallocation retroactively.
+type Degradable interface {
+	// EffectiveD returns the live reallocation parameter (-1 for ∞).
+	EffectiveD() int
+	// LazyRealloc reports whether the on-demand (lazy) trigger is active.
+	LazyRealloc() bool
+	// SetEffectiveD sets the live reallocation parameter (d ≥ 0).
+	SetEffectiveD(d int) bool
+	// SetLazyRealloc enables or disables the on-demand trigger.
+	SetLazyRealloc(lazy bool) bool
+}
+
 // Migration records one forced task move: the task left the submachine
 // rooted at From because a PE under it failed, and now runs at To.
 type Migration struct {

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// TestPeriodicLazyModeMatchesLazy pins the degradation knob's core
+// guarantee: A_M(d) with the on-demand trigger enabled is step-for-step
+// identical to A_M-lazy(d) — same placements, loads, and reallocation
+// ledger on the same stream. The engine's Degrade policy relies on this
+// when it flips a tenant's eager A_M to lazy under load.
+func TestPeriodicLazyModeMatchesLazy(t *testing.T) {
+	m := tree.MustNew(64)
+	seq := randomEventStream(m.N(), 2000, 7)
+	for _, d := range []int{0, 1, 2} {
+		p := NewPeriodic(m, d, DecreasingSize)
+		if !p.SetLazyRealloc(true) {
+			t.Fatalf("d=%d: SetLazyRealloc refused", d)
+		}
+		l := NewLazy(m, d, DecreasingSize)
+		for i, e := range seq {
+			switch e.Kind {
+			case task.Arrive:
+				tk := task.Task{ID: e.Task, Size: e.Size}
+				pv, lv := p.Arrive(tk), l.Arrive(tk)
+				if pv != lv {
+					t.Fatalf("d=%d event %d: lazy-mode A_M placed at %d, A_M-lazy at %d", d, i, pv, lv)
+				}
+			case task.Depart:
+				p.Depart(e.Task)
+				l.Depart(e.Task)
+			}
+			if p.MaxLoad() != l.MaxLoad() {
+				t.Fatalf("d=%d event %d: MaxLoad %d vs %d", d, i, p.MaxLoad(), l.MaxLoad())
+			}
+		}
+		if p.ReallocStats() != l.ReallocStats() {
+			t.Fatalf("d=%d: ReallocStats %+v vs %+v", d, p.ReallocStats(), l.ReallocStats())
+		}
+	}
+}
+
+// TestDegradableKnobs covers the knob contract: live retuning applies
+// from the next arrival, greedy-delegation instances refuse, and an
+// A_M-lazy cannot leave its on-demand trigger.
+func TestDegradableKnobs(t *testing.T) {
+	m := tree.MustNew(64)
+
+	p := NewPeriodic(m, 1, DecreasingSize)
+	var _ Degradable = p
+	if p.EffectiveD() != 1 || p.LazyRealloc() {
+		t.Fatalf("fresh A_M(1): d=%d lazy=%v", p.EffectiveD(), p.LazyRealloc())
+	}
+	if !p.SetEffectiveD(4) || p.EffectiveD() != 4 {
+		t.Fatal("SetEffectiveD(4) refused on copy-mode A_M")
+	}
+	if p.SetEffectiveD(-1) {
+		t.Fatal("SetEffectiveD(-1) must refuse: ∞ is a construction-time mode")
+	}
+	// Raising d cuts reallocations: with d beyond the stream's total
+	// arrived size, no further reallocation can fire.
+	seq := randomEventStream(m.N(), 500, 11)
+	if !p.SetEffectiveD(1 << 20) {
+		t.Fatal("SetEffectiveD(big) refused")
+	}
+	before := p.ReallocStats().Reallocations
+	ApplyEvents(p, seq)
+	if got := p.ReallocStats().Reallocations; got != before {
+		t.Fatalf("d=2^20 still reallocated: %d → %d", before, got)
+	}
+
+	// Greedy-delegation instances have nothing to retune.
+	g := NewPeriodic(m, -1, DecreasingSize)
+	if g.SetEffectiveD(2) || g.SetLazyRealloc(true) {
+		t.Fatal("greedy-delegation A_M accepted a knob change")
+	}
+	lg := NewLazy(m, -1, DecreasingSize)
+	if lg.SetEffectiveD(2) || lg.SetLazyRealloc(true) {
+		t.Fatal("greedy-delegation A_M-lazy accepted a knob change")
+	}
+
+	l := NewLazy(m, 2, DecreasingSize)
+	var _ Degradable = l
+	if !l.LazyRealloc() || !l.SetLazyRealloc(true) {
+		t.Fatal("A_M-lazy should report and accept lazy=true")
+	}
+	if l.SetLazyRealloc(false) {
+		t.Fatal("A_M-lazy cannot leave its on-demand trigger")
+	}
+	if !l.SetEffectiveD(5) || l.EffectiveD() != 5 {
+		t.Fatal("SetEffectiveD refused on copy-mode A_M-lazy")
+	}
+}

@@ -196,6 +196,27 @@ func (l *Lazy) Active() int {
 // ReallocStats implements Reallocator.
 func (l *Lazy) ReallocStats() ReallocStats { return l.stats }
 
+// EffectiveD implements Degradable.
+func (l *Lazy) EffectiveD() int { return l.d }
+
+// LazyRealloc implements Degradable; Lazy's trigger is always on-demand.
+func (l *Lazy) LazyRealloc() bool { return true }
+
+// SetEffectiveD implements Degradable.
+func (l *Lazy) SetEffectiveD(d int) bool {
+	if l.greedy != nil || d < 0 {
+		return false
+	}
+	l.d = d
+	return true
+}
+
+// SetLazyRealloc implements Degradable. Lazy cannot leave its on-demand
+// trigger, so only lazy=true "takes effect".
+func (l *Lazy) SetLazyRealloc(lazy bool) bool {
+	return l.greedy == nil && lazy
+}
+
 // FailPE implements FaultTolerant.
 func (l *Lazy) FailPE(pe int) []Migration {
 	if l.greedy != nil {

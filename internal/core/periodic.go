@@ -37,6 +37,8 @@ type Periodic struct {
 	loads      *loadtree.Tree
 	placed     map[task.ID]placementRec
 	sinceRealo int64 // cumulative arrival size since last reallocation
+	activeSize int64 // total size of active tasks, for the lazy trigger
+	lazy       bool  // on-demand trigger (Degradable), as in Lazy
 	stats      ReallocStats
 	observer   MigrationObserver
 	faults     faultSet
@@ -113,7 +115,8 @@ func (p *Periodic) Arrive(t task.Task) tree.Node {
 		panicDuplicate(t.ID, p.Name())
 	}
 	p.sinceRealo += int64(t.Size)
-	if p.sinceRealo >= int64(p.d)*int64(p.m.N()) {
+	p.activeSize += int64(t.Size)
+	if p.shouldReallocate(t) {
 		// Threshold reached (with d = 0 that is every arrival): reallocate
 		// every active task, the new arrival included.
 		p.placed[t.ID] = placementRec{copyIdx: -1, node: 0, size: t.Size}
@@ -125,6 +128,51 @@ func (p *Periodic) Arrive(t task.Task) tree.Node {
 	p.loads.Place(v)
 	p.placed[t.ID] = placementRec{copyIdx: ci, node: v, size: t.Size}
 	return v
+}
+
+// shouldReallocate decides whether t's arrival fires procedure A_R. The
+// eager trigger is the paper's A_M rule (accumulated size reaches d·N);
+// the lazy trigger additionally holds the earned reallocation until A_B
+// would grow the copy count and compaction would actually avoid that —
+// Lazy's exact condition, so a lazy-mode Periodic tracks Lazy move for
+// move. Callers have already added t to sinceRealo and activeSize.
+func (p *Periodic) shouldReallocate(t task.Task) bool {
+	if p.sinceRealo < int64(p.d)*int64(p.m.N()) {
+		return false
+	}
+	if !p.lazy {
+		return true
+	}
+	n64 := int64(p.m.N())
+	needNew := !p.list.HasVacant(t.Size)
+	helps := (p.activeSize+n64-1)/n64 <= int64(p.list.Len())
+	return needNew && helps
+}
+
+// EffectiveD implements Degradable.
+func (p *Periodic) EffectiveD() int { return p.d }
+
+// LazyRealloc implements Degradable.
+func (p *Periodic) LazyRealloc() bool { return p.lazy }
+
+// SetEffectiveD implements Degradable. Greedy-delegation instances have
+// no reallocation machinery and refuse; raising d past the greedy bound
+// on a copy-mode instance is allowed (it just reallocates ever rarer).
+func (p *Periodic) SetEffectiveD(d int) bool {
+	if p.greedy != nil || d < 0 {
+		return false
+	}
+	p.d = d
+	return true
+}
+
+// SetLazyRealloc implements Degradable.
+func (p *Periodic) SetLazyRealloc(lazy bool) bool {
+	if p.greedy != nil {
+		return false
+	}
+	p.lazy = lazy
+	return true
 }
 
 // reallocate runs procedure A_R over the active set, updating migration
@@ -180,6 +228,7 @@ func (p *Periodic) Depart(id task.ID) {
 	}
 	p.list.Vacate(rec.copyIdx, rec.node)
 	p.loads.Remove(rec.node)
+	p.activeSize -= int64(rec.size)
 	delete(p.placed, id)
 }
 

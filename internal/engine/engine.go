@@ -21,6 +21,24 @@
 // ErrTenantPoisoned wrapping the original cause, so errors.Is still
 // recognizes the sentinel (partalloc.ErrMachineFull, say) at the top of
 // the stack instead of a crash at the bottom.
+//
+// Three robustness layers sit on top (docs/ENGINE.md):
+//
+//   - bounded ingestion: Config.MaxQueue caps each tenant's queue, with
+//     an overload policy — Block (backpressure: oversized submissions are
+//     applied in bound-sized chunks), Shed (reject with ErrOverloaded),
+//     or Degrade (turn the paper's own d knob: when a tenant's batch
+//     apply-latency EWMA crosses Config.DegradeBudget, the engine raises
+//     the allocator's effective d / switches A_M to its lazy trigger via
+//     core.Degradable, restoring the configured rung once healthy; every
+//     transition is recorded in TenantStats.Degrades);
+//   - write-ahead journal: with Config.Journal set, every ingestion call
+//     is appended to an internal/wal log *before* tenant state changes,
+//     and Recover rebuilds the whole engine from the log after a crash;
+//   - circuit breaker: with a journal and Config.Rebuild, poisoning is no
+//     longer forever — the tenant goes open, and after a seeded-jitter
+//     exponential backoff the next ingestion attempt (half-open) rebuilds
+//     it from the journaled safe prefix, dropping the poisonous suffix.
 package engine
 
 import (
@@ -34,6 +52,7 @@ import (
 	"time"
 
 	"partalloc/internal/core"
+	"partalloc/internal/errs"
 	"partalloc/internal/fault"
 	"partalloc/internal/invariant"
 	"partalloc/internal/mathx"
@@ -41,18 +60,25 @@ import (
 	"partalloc/internal/task"
 	"partalloc/internal/topology"
 	"partalloc/internal/tree"
+	"partalloc/internal/wal"
 )
 
 // Sentinel errors for engine misuse. Apply-time failures are returned as
-// ErrTenantPoisoned wrapping the underlying cause.
+// ErrTenantPoisoned wrapping the underlying cause. ErrTenantPoisoned and
+// ErrOverloaded wrap the cross-layer sentinels in internal/errs, so
+// errors.Is recognizes either spelling anywhere in the stack.
 var (
 	// ErrUnknownTenant reports an operation on a tenant never registered.
 	ErrUnknownTenant = errors.New("engine: unknown tenant")
 	// ErrDuplicateTenant reports AddTenant on an existing tenant ID.
 	ErrDuplicateTenant = errors.New("engine: tenant already registered")
 	// ErrTenantPoisoned reports an operation on a tenant whose allocator
-	// already failed; the wrapped chain includes the original cause.
-	ErrTenantPoisoned = errors.New("engine: tenant poisoned by earlier failure")
+	// already failed; the wrapped chain includes the original cause. With
+	// a journal and Config.Rebuild the breaker makes this transient.
+	ErrTenantPoisoned = fmt.Errorf("engine: %w", errs.ErrTenantPoisoned)
+	// ErrOverloaded reports a submission rejected by the Shed overload
+	// policy; the events were not queued.
+	ErrOverloaded = fmt.Errorf("engine: %w", errs.ErrOverloaded)
 )
 
 // Config parameterizes an Engine. The zero value selects the defaults.
@@ -70,6 +96,62 @@ type Config struct {
 	// away all batching throughput for per-event validation; use it in
 	// tests and canary runs, not in benchmarks.
 	Audit bool
+	// MaxQueue bounds each tenant's ingestion queue (0 = unbounded, the
+	// historical behavior). With a bound below BatchSize, batches shrink
+	// to the bound — the queue must still be able to fill a batch.
+	MaxQueue int
+	// Overload selects what happens when a submission would exceed
+	// MaxQueue: Block (default), Shed, or Degrade.
+	Overload OverloadPolicy
+	// DegradeBudget is the per-tenant batch apply-latency budget for the
+	// Degrade policy (default 5ms): when a tenant's latency EWMA exceeds
+	// it, the engine climbs that tenant's degradation ladder; when the
+	// EWMA stays under half of it, the engine steps back down.
+	DegradeBudget time.Duration
+	// ReplayWatchdog, when positive, bounds each Replay shard worker's
+	// wall time via the parallel.RunCells watchdog. A stalled allocator
+	// fails its shard with a TimeoutError instead of hanging Replay.
+	ReplayWatchdog time.Duration
+	// Journal, when non-nil, is the write-ahead log: every ingestion call
+	// is appended before tenant state changes, making the engine
+	// recoverable (Recover) and the circuit breaker possible. Journaled
+	// engines require tenants registered with a serializable TenantSpec
+	// (AddTenantSpec; the partalloc facade does this automatically).
+	Journal *wal.Log
+	// Rebuild turns a TenantSpec back into a live allocator (plus its
+	// fault schedule and topology host). Required by Recover and by the
+	// circuit breaker's half-open probe; without it, poisoning is final.
+	Rebuild RebuildFunc
+	// Breaker tunes the circuit breaker's backoff (zero value = defaults).
+	Breaker BreakerConfig
+}
+
+// RebuildFunc constructs a fresh allocator for a tenant spec. The
+// partalloc facade installs one backed by partalloc.New.
+type RebuildFunc func(spec TenantSpec) (core.Allocator, *fault.Schedule, *topology.Host, error)
+
+// BreakerConfig tunes the poisoned-tenant circuit breaker: after the
+// k-th poisoning a tenant stays open for Base·2^(k-1) (capped at Max)
+// plus a deterministic jitter of up to a quarter of that, derived from
+// the tenant ID, trip count, and Seed — so a fleet of tenants poisoned
+// together does not probe in lockstep, yet runs reproduce exactly.
+type BreakerConfig struct {
+	Base time.Duration // default 100ms
+	Max  time.Duration // default 30s
+	Seed int64         // jitter seed (default 1)
+}
+
+func (b BreakerConfig) withDefaults() BreakerConfig {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 30 * time.Second
+	}
+	if b.Seed == 0 {
+		b.Seed = 1
+	}
+	return b
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +164,10 @@ func (c Config) withDefaults() Config {
 	if c.BatchSize <= 0 {
 		c.BatchSize = 256
 	}
+	if c.DegradeBudget <= 0 {
+		c.DegradeBudget = 5 * time.Millisecond
+	}
+	c.Breaker = c.Breaker.withDefaults()
 	return c
 }
 
@@ -129,6 +215,38 @@ type TenantStats struct {
 	// Violations holds the invariant checker's findings under
 	// Config.Audit; always empty otherwise.
 	Violations []invariant.Violation
+	// ShedEvents counts events rejected by the Shed overload policy.
+	ShedEvents int64
+	// DroppedEvents counts journaled events dropped by circuit-breaker
+	// rebuilds (the poisonous suffix of the tenant's timeline).
+	DroppedEvents int64
+	// EffectiveD is the allocator's live reallocation parameter when it
+	// is core.Degradable and the Degrade policy is active; -1 otherwise.
+	EffectiveD int
+	// DegradeLevel is the tenant's current rung on its degradation
+	// ladder (0 = the configured allocator).
+	DegradeLevel int
+	// Degrades is the full transition history of the Degrade policy for
+	// this tenant, in order.
+	Degrades []DegradeTransition
+	// BreakerState is "closed" for a healthy tenant and "open" for a
+	// poisoned one (the half-open probe happens inside a single lock
+	// hold, so it is never observable here).
+	BreakerState string
+	// BreakerTrips counts how many times this tenant has been poisoned.
+	BreakerTrips int
+}
+
+// DegradeTransition records one move on a tenant's degradation ladder.
+type DegradeTransition struct {
+	// Batch is the tenant's batch ordinal at the transition.
+	Batch int64
+	// FromD/ToD are the effective reallocation parameters.
+	FromD, ToD int
+	// FromLazy/ToLazy report the on-demand-trigger state.
+	FromLazy, ToLazy bool
+	// Cause is the human-readable reason (EWMA numbers included).
+	Cause string
 }
 
 // tenant is one machine's worth of state, owned by its shard.
@@ -152,7 +270,26 @@ type tenant struct {
 	inFault    bool
 
 	queue []task.Event
-	err   error // poisoned: set once, never cleared
+	err   error // poisoned; cleared only by a successful breaker rebuild
+
+	// algoName is the allocator's Name at registration: degradation can
+	// change the live Name (A_M's includes d), but the ledger keeps the
+	// configured identity.
+	algoName string
+	// spec is the serializable rebuild recipe (AddTenantSpec); hasSpec
+	// gates the journal and circuit breaker.
+	spec    TenantSpec
+	hasSpec bool
+
+	// Overload ledger.
+	deg     *degradeState // non-nil only under the Degrade policy
+	shed    int64
+	dropped int64
+
+	// Circuit breaker: trips counts poisonings; deadline is the e.now()
+	// timestamp after which a half-open probe may run.
+	trips    int
+	deadline int64
 
 	n             int64 // machine size, for L*
 	events        int64
@@ -177,6 +314,14 @@ type shard struct {
 type Engine struct {
 	cfg    Config
 	shards []*shard
+
+	// jmu serializes journal appends across shards (the wal.Log is not
+	// concurrency-safe; appends from different shards would interleave
+	// frames otherwise).
+	jmu sync.Mutex
+
+	// now is the clock, in nanoseconds; a test hook.
+	now func() int64
 }
 
 // New builds an engine from cfg (zero value = defaults).
@@ -186,8 +331,13 @@ func New(cfg Config) *Engine {
 	for i := range e.shards {
 		e.shards[i] = &shard{tenants: make(map[string]*tenant)}
 	}
+	e.now = func() int64 { return time.Now().UnixNano() }
 	return e
 }
+
+// Journal returns the engine's write-ahead log, nil when the engine is
+// not journaling. Callers own closing it when the engine is done.
+func (e *Engine) Journal() *wal.Log { return e.cfg.Journal }
 
 // shardFor hashes a tenant ID to its stripe.
 func (e *Engine) shardFor(id string) *shard {
@@ -201,7 +351,7 @@ func (e *Engine) shardFor(id string) *shard {
 // tenant's own stream (the allocator must be core.FaultTolerant — the
 // partalloc facade guarantees this for WithFaults allocators).
 func (e *Engine) AddTenant(id string, a core.Allocator, faults *fault.Schedule) error {
-	return e.AddTenantHosted(id, a, faults, nil)
+	return e.addTenant(TenantSpec{ID: id}, false, a, faults, nil, true)
 }
 
 // AddTenantHosted is AddTenant on a physical topology host: the tenant's
@@ -211,13 +361,66 @@ func (e *Engine) AddTenant(id string, a core.Allocator, faults *fault.Schedule) 
 // the host's decomposition describes; the partalloc facade builds both
 // from one WithTopology option. host may be nil (plain AddTenant).
 func (e *Engine) AddTenantHosted(id string, a core.Allocator, faults *fault.Schedule, host *topology.Host) error {
+	return e.addTenant(TenantSpec{ID: id}, false, a, faults, host, true)
+}
+
+// AddTenantSpec registers a tenant along with its serializable rebuild
+// recipe. Journaled engines require it: the spec is what Recover and the
+// circuit breaker hand to Config.Rebuild to reconstruct the allocator.
+// The caller is responsible for a, faults, and host actually matching
+// what Config.Rebuild would produce from spec — the partalloc facade
+// builds both sides from the same options, so they cannot diverge.
+func (e *Engine) AddTenantSpec(spec TenantSpec, a core.Allocator, faults *fault.Schedule, host *topology.Host) error {
+	if spec.ID == "" {
+		return fmt.Errorf("engine: AddTenantSpec: empty tenant ID")
+	}
+	return e.addTenant(spec, true, a, faults, host, true)
+}
+
+// addTenant is the shared registration path. journal=false is the
+// recovery path, which reconstructs tenants from AddTenant records
+// without re-journaling them.
+func (e *Engine) addTenant(spec TenantSpec, hasSpec bool, a core.Allocator, faults *fault.Schedule, host *topology.Host, journal bool) error {
+	id := spec.ID
 	if a == nil {
 		return fmt.Errorf("engine: AddTenant(%q): nil allocator", id)
 	}
+	if e.cfg.Journal != nil && !hasSpec {
+		return fmt.Errorf("engine: AddTenant(%q): a journaled engine needs a rebuild recipe; use AddTenantSpec", id)
+	}
+	t, err := e.buildTenant(spec, hasSpec, a, faults, host)
+	if err != nil {
+		return err
+	}
+	wireObserver(t)
+	s := e.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tenants[id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateTenant, id)
+	}
+	if journal {
+		//lint:ignore lockorder append-before-apply: the registration record must land in the journal inside the same critical section that installs the tenant, or a crash between the two would orphan its Submit records
+		if err := e.journalAddTenant(t); err != nil {
+			return err
+		}
+	}
+	s.tenants[id] = t
+	return nil
+}
+
+// buildTenant constructs a tenant's state (everything except the
+// migration-observer wiring, which must capture the final pointer — see
+// wireObserver). Shared by registration and circuit-breaker rebuilds.
+func (e *Engine) buildTenant(spec TenantSpec, hasSpec bool, a core.Allocator, faults *fault.Schedule, host *topology.Host) (*tenant, error) {
+	id := spec.ID
 	t := &tenant{
-		id:    id,
-		alloc: a,
-		n:     int64(a.Machine().N()),
+		id:       id,
+		alloc:    a,
+		algoName: a.Name(),
+		spec:     spec,
+		hasSpec:  hasSpec,
+		n:        int64(a.Machine().N()),
 	}
 	if ba, ok := a.(core.BatchApplier); ok {
 		t.batch = ba
@@ -227,7 +430,7 @@ func (e *Engine) AddTenantHosted(id string, a core.Allocator, faults *fault.Sche
 	}
 	if faults != nil {
 		if t.ft == nil {
-			return fmt.Errorf("engine: AddTenant(%q): allocator %s does not support fault injection", id, a.Name())
+			return nil, fmt.Errorf("engine: AddTenant(%q): allocator %s does not support fault injection", id, a.Name())
 		}
 		t.faults = append([]fault.Event(nil), faults.Events...)
 	}
@@ -236,51 +439,100 @@ func (e *Engine) AddTenantHosted(id string, a core.Allocator, faults *fault.Sche
 	}
 	if host != nil {
 		if host.N() != a.Machine().N() {
-			return fmt.Errorf("engine: AddTenant(%q): host %s has %d PEs but allocator %s runs on %d",
+			return nil, fmt.Errorf("engine: AddTenant(%q): host %s has %d PEs but allocator %s runs on %d",
 				id, host.Name(), host.N(), a.Name(), a.Machine().N())
 		}
 		t.host = host
 		t.check.SetHost(host)
-		if obs, ok := a.(core.Observable); ok {
-			obs.SetMigrationObserver(func(_ task.ID, from, to tree.Node) {
-				if t.inFault {
-					return
-				}
-				t.migHops += host.MigrationCost(from, to)
-				t.check.OnMigration(from, to, false)
-			})
-		}
 	}
-	s := e.shardFor(id)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tenants[id]; ok {
-		return fmt.Errorf("%w: %q", ErrDuplicateTenant, id)
+	if e.cfg.Overload == Degrade {
+		t.deg = newDegradeState(a)
 	}
-	s.tenants[id] = t
-	return nil
+	return t, nil
+}
+
+// wireObserver claims the allocator's migration observer for host-aware
+// hop pricing. Separate from buildTenant so the closure captures the
+// tenant pointer that actually lives in the shard map — a breaker
+// rebuild copies the built state into the existing tenant struct, and
+// the observer must follow it.
+func wireObserver(t *tenant) {
+	if t.host == nil {
+		return
+	}
+	if obs, ok := t.alloc.(core.Observable); ok {
+		host := t.host
+		obs.SetMigrationObserver(func(_ task.ID, from, to tree.Node) {
+			if t.inFault {
+				return
+			}
+			t.migHops += host.MigrationCost(from, to)
+			t.check.OnMigration(from, to, false)
+		})
+	}
 }
 
 // Submit queues events for a tenant, applying a batch whenever the queue
-// reaches Config.BatchSize. A returned apply error poisons the tenant.
+// reaches Config.BatchSize (or MaxQueue, whichever is smaller). A
+// returned apply error poisons the tenant. Under MaxQueue the overload
+// policy decides what an over-bound submission does: Block and Degrade
+// admit it in bound-sized chunks (applying batches in between, so the
+// bound never overshoots), Shed rejects it whole with ErrOverloaded.
 func (e *Engine) Submit(id string, evs ...task.Event) error {
 	s := e.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t, err := s.get(id)
+	//lint:ignore lockorder the half-open probe inside get scans the journal under the shard lock by design: rebuild must see a frozen view of this tenant's records, and the lock is what freezes them
+	t, err := e.get(s, id)
 	if err != nil {
 		return err
 	}
-	t.queue = append(t.queue, evs...)
-	for len(t.queue) >= e.cfg.BatchSize {
-		b := t.queue[:e.cfg.BatchSize]
-		t.queue = t.queue[e.cfg.BatchSize:]
-		if err := s.apply(t, b); err != nil {
-			t.queue = nil
-			return err
+	if e.cfg.Overload == Shed && e.cfg.MaxQueue > 0 && len(t.queue)+len(evs) > e.cfg.MaxQueue {
+		t.shed += int64(len(evs))
+		return fmt.Errorf("%w: tenant %q: %d queued + %d submitted exceeds MaxQueue %d",
+			ErrOverloaded, id, len(t.queue), len(evs), e.cfg.MaxQueue)
+	}
+	// Append-before-apply: shed events are gone, accepted events are
+	// journaled before any state they touch changes.
+	//lint:ignore lockorder append-before-apply requires the journal write inside the critical section — record and state change must be atomic under the shard lock, and that single write(2) is the durability cost the design accepts
+	if err := e.journalSubmit(t, evs); err != nil {
+		return err
+	}
+	return e.ingest(t, evs)
+}
+
+// ingest admits evs into the tenant's queue and applies full batches.
+// The batch trigger is min(BatchSize, MaxQueue): a bound below the batch
+// size must still let the queue fill a (smaller) batch, or Block would
+// deadlock waiting for room that draining alone can create.
+func (e *Engine) ingest(t *tenant, evs []task.Event) error {
+	maxQ := e.cfg.MaxQueue
+	trigger := e.cfg.BatchSize
+	if maxQ > 0 && trigger > maxQ {
+		trigger = maxQ
+	}
+	for {
+		take := len(evs)
+		if maxQ > 0 {
+			if room := maxQ - len(t.queue); take > room {
+				take = room
+			}
+		}
+		t.queue = append(t.queue, evs[:take]...)
+		evs = evs[take:]
+		t.check.OnQueue(len(t.queue), maxQ)
+		for len(t.queue) >= trigger {
+			b := t.queue[:trigger]
+			t.queue = t.queue[trigger:]
+			if err := e.apply(t, b); err != nil {
+				return err
+			}
+			t.check.OnQueue(len(t.queue), maxQ)
+		}
+		if len(evs) == 0 {
+			return nil
 		}
 	}
-	return nil
 }
 
 // Flush applies a tenant's queued events immediately.
@@ -288,11 +540,19 @@ func (e *Engine) Flush(id string) error {
 	s := e.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t, err := s.get(id)
+	//lint:ignore lockorder the half-open probe inside get scans the journal under the shard lock by design (see Submit)
+	t, err := e.get(s, id)
 	if err != nil {
 		return err
 	}
-	return s.flush(t)
+	if len(t.queue) == 0 {
+		return nil
+	}
+	//lint:ignore lockorder append-before-apply: the flush record and the flush itself must be atomic under the shard lock (see Submit)
+	if err := e.journalFlush(t); err != nil {
+		return err
+	}
+	return e.flushTenant(t)
 }
 
 // FlushAll flushes every tenant (in sorted ID order) and returns the
@@ -408,7 +668,12 @@ func (e *Engine) Replay(ctx context.Context, streams map[string][]task.Event) er
 	if ctx != nil {
 		cancel = ctx.Done()
 	}
-	errs := parallel.RunCells(len(cells), parallel.RunOptions{Cancel: cancel}, func(ci int) error {
+	// ReplayWatchdog arms the RunCells per-cell timeout so a stalled
+	// allocator fails its shard instead of hanging the whole replay.
+	// Retries must stay 0: a retried worker would restart its loop and
+	// apply events twice.
+	opts := parallel.RunOptions{Cancel: cancel, Timeout: e.cfg.ReplayWatchdog}
+	cellErrs := parallel.RunCells(len(cells), opts, func(ci int) error {
 		s := cells[ci]
 		for _, id := range byShard[s] {
 			evs := streams[id]
@@ -425,13 +690,18 @@ func (e *Engine) Replay(ctx context.Context, streams map[string][]task.Event) er
 					end = len(evs)
 				}
 				s.mu.Lock()
-				t, err := s.get(id)
+				//lint:ignore lockorder the half-open probe inside get scans the journal under the shard lock by design (see Submit)
+				t, err := e.get(s, id)
+				if err == nil {
+					//lint:ignore lockorder append-before-apply: the batch record and its application must be atomic under the shard lock (see Submit)
+					err = e.journalApply(t, off == 0, evs[off:end])
+				}
 				if err == nil {
 					if off == 0 {
-						err = s.flush(t)
+						err = e.flushTenant(t)
 					}
 					if err == nil {
-						err = s.apply(t, evs[off:end])
+						err = e.apply(t, evs[off:end])
 					}
 				}
 				s.mu.Unlock()
@@ -443,7 +713,7 @@ func (e *Engine) Replay(ctx context.Context, streams map[string][]task.Event) er
 		return nil
 	})
 
-	for _, err := range errs {
+	for _, err := range cellErrs {
 		if err == nil {
 			continue
 		}
@@ -458,27 +728,50 @@ func (e *Engine) Replay(ctx context.Context, streams map[string][]task.Event) er
 	return nil
 }
 
-// get looks up a live tenant; poisoned tenants report their cause.
-// Callers hold the shard lock.
-func (s *shard) get(id string) (*tenant, error) {
+// get looks up a live tenant; poisoned tenants report their cause. When
+// the circuit breaker is armed (journal + rebuild recipe) and the
+// tenant's backoff deadline has passed, get runs the half-open probe: it
+// rebuilds the tenant from the journal and, on success, returns it
+// healthy. Callers hold the shard lock.
+func (e *Engine) get(s *shard, id string) (*tenant, error) {
 	t, ok := s.tenants[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, id)
 	}
-	if t.err != nil {
+	if t.err == nil {
+		return t, nil
+	}
+	if !e.breakerArmed(t) {
 		return nil, fmt.Errorf("%w: %q: %w", ErrTenantPoisoned, id, t.err)
+	}
+	if wait := t.deadline - e.now(); wait > 0 {
+		return nil, fmt.Errorf("%w: %q (circuit open, probe in %v): %w",
+			ErrTenantPoisoned, id, time.Duration(wait), t.err)
+	}
+	if err := e.probe(s, t); err != nil {
+		return nil, fmt.Errorf("%w: %q (half-open probe failed): %w", ErrTenantPoisoned, id, err)
 	}
 	return t, nil
 }
 
-// flush applies the tenant's queued events. Callers hold the shard lock.
-func (s *shard) flush(t *tenant) error {
+// flushTenant applies the tenant's queued events. Callers hold the shard
+// lock and have already journaled the flush when it changes state.
+func (e *Engine) flushTenant(t *tenant) error {
 	if len(t.queue) == 0 {
 		return nil
 	}
 	b := t.queue
 	t.queue = nil
-	return s.apply(t, b)
+	return e.apply(t, b)
+}
+
+// poison marks the tenant failed, drops its queue, and arms the circuit
+// breaker's backoff. Callers hold the shard lock.
+func (e *Engine) poison(t *tenant, cause error) {
+	t.err = cause
+	t.queue = nil
+	t.trips++
+	t.deadline = e.now() + e.backoff(t)
 }
 
 // apply runs one batch through the allocator, interleaving scheduled
@@ -486,19 +779,19 @@ func (s *shard) flush(t *tenant) error {
 // At ≤ i fire immediately before event i of the tenant's stream). A panic
 // poisons the tenant and is returned as ErrTenantPoisoned wrapping the
 // recovered cause. Callers hold the shard lock.
-func (s *shard) apply(t *tenant, evs []task.Event) (err error) {
+func (e *Engine) apply(t *tenant, evs []task.Event) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			cause, ok := r.(error)
 			if !ok {
 				cause = fmt.Errorf("panic: %v", r)
 			}
-			t.err = cause
+			e.poison(t, cause)
 			err = fmt.Errorf("%w: %q: %w", ErrTenantPoisoned, t.id, cause)
 		}
 	}()
 
-	start := time.Now()
+	start := e.now()
 	base := int(t.events)
 	for i := 0; i < len(evs); {
 		t.injectFaults(base + i)
@@ -512,7 +805,7 @@ func (s *shard) apply(t *tenant, evs []task.Event) (err error) {
 		t.applyRun(evs[i:j])
 		i = j
 	}
-	ns := time.Since(start).Nanoseconds()
+	ns := e.now() - start
 
 	t.events += int64(len(evs))
 	t.batches++
@@ -521,6 +814,7 @@ func (s *shard) apply(t *tenant, evs []task.Event) (err error) {
 	if load := t.alloc.MaxLoad(); load > t.peakLoad {
 		t.peakLoad = load
 	}
+	e.degradeStep(t, ns)
 	return nil
 }
 
@@ -593,19 +887,32 @@ func (t *tenant) applyRun(evs []task.Event) {
 // stats snapshots one tenant. Callers hold the shard lock.
 func (s *shard) stats(t *tenant) TenantStats {
 	st := TenantStats{
-		Tenant:      t.id,
-		Algorithm:   t.alloc.Name(),
-		Events:      t.events,
-		Queued:      len(t.queue),
-		Batches:     t.batches,
-		ApplyNs:     t.applyNs,
-		BatchNs:     append([]int64(nil), t.batchNs...),
-		MaxLoad:     t.alloc.MaxLoad(),
-		PeakLoad:    t.peakLoad,
-		Active:      t.alloc.Active(),
-		FaultEvents: t.faultHit,
-		MigHops:     t.migHops,
-		ForcedHops:  t.forcedHops,
+		Tenant:        t.id,
+		Algorithm:     t.algoName,
+		Events:        t.events,
+		Queued:        len(t.queue),
+		Batches:       t.batches,
+		ApplyNs:       t.applyNs,
+		BatchNs:       append([]int64(nil), t.batchNs...),
+		MaxLoad:       t.alloc.MaxLoad(),
+		PeakLoad:      t.peakLoad,
+		Active:        t.alloc.Active(),
+		FaultEvents:   t.faultHit,
+		MigHops:       t.migHops,
+		ForcedHops:    t.forcedHops,
+		ShedEvents:    t.shed,
+		DroppedEvents: t.dropped,
+		EffectiveD:    -1,
+		BreakerState:  "closed",
+		BreakerTrips:  t.trips,
+	}
+	if t.err != nil {
+		st.BreakerState = "open"
+	}
+	if t.deg != nil {
+		st.EffectiveD = t.deg.da.EffectiveD()
+		st.DegradeLevel = t.deg.level
+		st.Degrades = append([]DegradeTransition(nil), t.deg.trans...)
 	}
 	if t.host != nil {
 		st.Topology = t.host.Name()

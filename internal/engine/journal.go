@@ -1,0 +1,379 @@
+// Write-ahead journaling and crash recovery. The journal mirrors
+// ingestion *calls*, not abstract event streams: a TypeSubmit record is
+// one accepted Submit, a TypeApply record is one Replay batch (bypassing
+// the queue), a TypeFlush is an explicit flush, and a TypeRebuild is a
+// circuit-breaker rebuild. Replaying the records therefore reproduces
+// the engine's queue and batch structure exactly — Recover yields the
+// same Events/Queued/Batches/PeakLoad ledger an uninterrupted run has,
+// not merely the same final placements.
+//
+// Every record is appended before the state change it describes
+// (append-before-apply), so the journal can only ever be ahead of the
+// in-memory state, never behind; a record whose apply was cut short by
+// the crash is simply re-applied.
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"partalloc/internal/core"
+	"partalloc/internal/errs"
+	"partalloc/internal/fault"
+	"partalloc/internal/task"
+	"partalloc/internal/topology"
+	"partalloc/internal/wal"
+)
+
+// TenantSpec is a tenant's serializable rebuild recipe: everything
+// Config.Rebuild needs to reconstruct the allocator, fault schedule, and
+// topology host from scratch. The engine treats all fields except ID as
+// opaque; the partalloc facade fills them from the same options it
+// builds the live allocator with.
+type TenantSpec struct {
+	// ID is the tenant ID.
+	ID string
+	// Algorithm is the parseable algorithm name (partalloc.ParseAlgorithm).
+	Algorithm string `json:",omitempty"`
+	// N is the machine size in PEs.
+	N int `json:",omitempty"`
+	// D is the reallocation parameter; DSet distinguishes an explicit 0.
+	D    int  `json:",omitempty"`
+	DSet bool `json:",omitempty"`
+	// Order is the reallocation order ("", "decreasing", "arrival").
+	Order string `json:",omitempty"`
+	// Seed is the A_Rand seed; SeedSet distinguishes an explicit 0.
+	Seed    int64 `json:",omitempty"`
+	SeedSet bool  `json:",omitempty"`
+	// Topology names the physical network ("" = plain tree machine).
+	Topology string `json:",omitempty"`
+	// Faults is the fault schedule in internal/fault text format.
+	Faults string `json:",omitempty"`
+}
+
+// journalAppend serializes appends across shards. The wal.Log is not
+// concurrency-safe, and interleaved partial frames would corrupt the
+// log for every tenant at once.
+func (e *Engine) journalAppend(rec wal.Record) error {
+	e.jmu.Lock()
+	defer e.jmu.Unlock()
+	//lint:ignore lockorder jmu exists precisely to serialize this write: wal.Log is single-writer, and an interleaved frame would corrupt the log for every tenant
+	if err := e.cfg.Journal.Append(rec); err != nil {
+		return fmt.Errorf("engine: journal: %w", err)
+	}
+	return nil
+}
+
+func (e *Engine) journalAddTenant(t *tenant) error {
+	if e.cfg.Journal == nil {
+		return nil
+	}
+	data, err := json.Marshal(t.spec)
+	if err != nil {
+		return fmt.Errorf("engine: journal: marshal spec %q: %w", t.id, err)
+	}
+	return e.journalAppend(wal.Record{Type: wal.TypeAddTenant, Tenant: t.id, Data: data})
+}
+
+func (e *Engine) journalSubmit(t *tenant, evs []task.Event) error {
+	if e.cfg.Journal == nil || len(evs) == 0 {
+		return nil
+	}
+	return e.journalAppend(wal.Record{Type: wal.TypeSubmit, Tenant: t.id, Data: wal.AppendEvents(nil, evs)})
+}
+
+func (e *Engine) journalApply(t *tenant, flushFirst bool, evs []task.Event) error {
+	if e.cfg.Journal == nil {
+		return nil
+	}
+	return e.journalAppend(wal.Record{Type: wal.TypeApply, Tenant: t.id, Data: wal.AppendApply(nil, flushFirst, evs)})
+}
+
+func (e *Engine) journalFlush(t *tenant) error {
+	if e.cfg.Journal == nil {
+		return nil
+	}
+	return e.journalAppend(wal.Record{Type: wal.TypeFlush, Tenant: t.id})
+}
+
+// timeline reconstructs a tenant's *valid* event timeline from the
+// journal: the concatenation of its Submit/Apply record events, with
+// every TypeRebuild record applied as a truncation (a rebuild keeps the
+// first keep events and drops the rest, so previously dropped poisonous
+// suffixes never resurface). stopBefore ≥ 0 bounds the scan to records
+// strictly before that ordinal — the recovery path uses it to rebuild
+// "as of" a journaled rebuild record; -1 scans everything.
+//
+// Reading the journal directory while other shards append is safe: a
+// frame is written with one write(2), so a concurrent reader sees only
+// whole frames plus possibly a torn tail, which Replay tolerates — and
+// every record of *this* tenant is already fully written, because its
+// shard lock (held by the caller) serializes them.
+func (e *Engine) timeline(id string, stopBefore int) ([]task.Event, error) {
+	var tl []task.Event
+	err := wal.Replay(e.cfg.Journal.Dir(), func(ord int, rec wal.Record) error {
+		if stopBefore >= 0 && ord >= stopBefore {
+			return wal.ErrStop
+		}
+		if rec.Tenant != id {
+			return nil
+		}
+		switch rec.Type {
+		case wal.TypeSubmit:
+			evs, err := wal.DecodeEvents(rec.Data)
+			if err != nil {
+				return fmt.Errorf("engine: journal record %d: %w", ord, err)
+			}
+			tl = append(tl, evs...)
+		case wal.TypeApply:
+			_, evs, err := wal.DecodeApply(rec.Data)
+			if err != nil {
+				return fmt.Errorf("engine: journal record %d: %w", ord, err)
+			}
+			tl = append(tl, evs...)
+		case wal.TypeRebuild:
+			keep, _, err := wal.DecodeRebuild(rec.Data)
+			if err != nil {
+				return fmt.Errorf("engine: journal record %d: %w", ord, err)
+			}
+			if keep > int64(len(tl)) {
+				return fmt.Errorf("engine: journal record %d: rebuild keeps %d of %d events", ord, keep, len(tl))
+			}
+			tl = tl[:keep]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tl, nil
+}
+
+// probe is the circuit breaker's half-open transition: rebuild the
+// poisoned tenant from its journaled safe prefix — the t.events events
+// that were applied successfully — and drop the poisonous suffix. On
+// success the tenant is healthy again (t.err == nil); on failure the
+// breaker re-opens with a doubled backoff. Callers hold the shard lock.
+func (e *Engine) probe(s *shard, t *tenant) error {
+	tl, err := e.timeline(t.id, -1)
+	if err != nil {
+		e.rearm(t)
+		return err
+	}
+	keep := t.events
+	if keep > int64(len(tl)) {
+		e.rearm(t)
+		return fmt.Errorf("engine: rebuild %q: journal holds %d events but %d were applied", t.id, len(tl), keep)
+	}
+	drop := int64(len(tl)) - keep
+	// Build the fresh allocator before journaling the rebuild: if the
+	// recipe fails, no record is written and recovery stays consistent.
+	a, faults, host, err := e.cfg.Rebuild(t.spec)
+	if err != nil {
+		e.rearm(t)
+		return err
+	}
+	if err := e.journalAppend(wal.Record{Type: wal.TypeRebuild, Tenant: t.id, Data: wal.AppendRebuild(nil, keep, drop)}); err != nil {
+		e.rearm(t)
+		return err
+	}
+	return e.rebuild(t, a, faults, host, tl[:keep], drop)
+}
+
+// rearm re-opens the breaker after a failed probe: the trip count rises,
+// doubling the next backoff.
+func (e *Engine) rearm(t *tenant) {
+	t.trips++
+	t.deadline = e.now() + e.backoff(t)
+}
+
+// rebuild replaces the tenant's state with a fresh allocator and replays
+// prefix through it in batch-sized chunks (the same chunking an
+// uninterrupted ingestion of exactly these events would have used, so
+// rebuilt ledgers match recovery's). ShedEvents, DroppedEvents, and the
+// trip count survive; the degradation ladder and its ledger restart —
+// the fresh allocator is back at its configured rung. Callers hold the
+// shard lock.
+func (e *Engine) rebuild(t *tenant, a core.Allocator, faults *fault.Schedule, host *topology.Host, prefix []task.Event, drop int64) error {
+	nt, err := e.buildTenant(t.spec, true, a, faults, host)
+	if err != nil {
+		e.rearm(t)
+		return err
+	}
+	nt.shed = t.shed
+	nt.dropped = t.dropped + drop
+	nt.trips = t.trips
+	nt.deadline = t.deadline
+	*t = *nt
+	wireObserver(t)
+	trigger := e.cfg.BatchSize
+	if e.cfg.MaxQueue > 0 && trigger > e.cfg.MaxQueue {
+		trigger = e.cfg.MaxQueue
+	}
+	for off := 0; off < len(prefix); off += trigger {
+		end := off + trigger
+		if end > len(prefix) {
+			end = len(prefix)
+		}
+		if err := e.apply(t, prefix[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recover reconstructs an engine from the journal in dir: the log is
+// opened (repairing any torn tail), then every record is re-applied in
+// order through the same code paths live ingestion uses. cfg.Rebuild is
+// required; cfg.Journal is replaced by the reopened log, so the
+// recovered engine keeps journaling where the crashed one stopped.
+//
+// Recovery is deterministic for everything the ingestion history
+// determines: TenantStats of a recovered engine match an uninterrupted
+// run byte-for-byte under CanonicalStats. (Under the Degrade policy the
+// knob itself is driven by wall-clock latency, so placements may differ
+// across runs — that is true of two uninterrupted runs too.)
+func Recover(cfg Config, dir string, wopt wal.Options) (*Engine, error) {
+	if cfg.Rebuild == nil {
+		return nil, errors.New("engine: Recover requires Config.Rebuild")
+	}
+	log, err := wal.Open(dir, wopt)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Journal = log
+	e := New(cfg)
+	if err := wal.Replay(dir, e.dispatch); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// dispatch re-applies one journal record during Recover.
+func (e *Engine) dispatch(ord int, rec wal.Record) error {
+	switch rec.Type {
+	case wal.TypeAddTenant:
+		var spec TenantSpec
+		if err := json.Unmarshal(rec.Data, &spec); err != nil {
+			return fmt.Errorf("engine: recover record %d: %w", ord, err)
+		}
+		a, faults, host, err := e.cfg.Rebuild(spec)
+		if err != nil {
+			return fmt.Errorf("engine: recover %q: %w", spec.ID, err)
+		}
+		return e.addTenant(spec, true, a, faults, host, false)
+	case wal.TypeSubmit:
+		evs, err := wal.DecodeEvents(rec.Data)
+		if err != nil {
+			return fmt.Errorf("engine: recover record %d: %w", ord, err)
+		}
+		return e.redo(rec.Tenant, ord, func(t *tenant) error { return e.ingest(t, evs) })
+	case wal.TypeApply:
+		flushFirst, evs, err := wal.DecodeApply(rec.Data)
+		if err != nil {
+			return fmt.Errorf("engine: recover record %d: %w", ord, err)
+		}
+		return e.redo(rec.Tenant, ord, func(t *tenant) error {
+			if flushFirst {
+				if err := e.flushTenant(t); err != nil {
+					return err
+				}
+			}
+			return e.apply(t, evs)
+		})
+	case wal.TypeFlush:
+		return e.redo(rec.Tenant, ord, func(t *tenant) error { return e.flushTenant(t) })
+	case wal.TypeRebuild:
+		keep, drop, err := wal.DecodeRebuild(rec.Data)
+		if err != nil {
+			return fmt.Errorf("engine: recover record %d: %w", ord, err)
+		}
+		return e.redoRebuild(rec.Tenant, ord, keep, drop)
+	default:
+		return fmt.Errorf("engine: recover record %d: unknown record type %d", ord, rec.Type)
+	}
+}
+
+// redo runs fn against the named tenant, swallowing poisoning errors: a
+// record whose application poisons the tenant is the journal faithfully
+// reproducing the original failure — the tenant ends up poisoned exactly
+// as the crashed engine had it — not a recovery failure. No breaker
+// probing happens here; rebuilds exist in the journal as records of
+// their own.
+func (e *Engine) redo(id string, ord int, fn func(*tenant) error) error {
+	s := e.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return fmt.Errorf("engine: recover record %d: %w: %q", ord, ErrUnknownTenant, id)
+	}
+	if t.err != nil {
+		// The live engine never journals for a poisoned tenant, so a
+		// record here means journal and state diverged.
+		return fmt.Errorf("engine: recover record %d: tenant %q is poisoned but has later records", ord, id)
+	}
+	if err := fn(t); err != nil {
+		if errors.Is(err, errs.ErrTenantPoisoned) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// redoRebuild re-applies a journaled circuit-breaker rebuild: the
+// tenant's timeline as of this record (strictly earlier records only),
+// truncated to the kept prefix, replayed into a fresh allocator.
+func (e *Engine) redoRebuild(id string, ord int, keep, drop int64) error {
+	s := e.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return fmt.Errorf("engine: recover record %d: %w: %q", ord, ErrUnknownTenant, id)
+	}
+	//lint:ignore lockorder recovery is single-threaded and the rebuild must read the journal under the shard lock it mutates under, same as the live probe
+	tl, err := e.timeline(id, ord)
+	if err != nil {
+		return err
+	}
+	if keep > int64(len(tl)) || drop != int64(len(tl))-keep {
+		return fmt.Errorf("engine: recover record %d: rebuild keep=%d drop=%d against a %d-event timeline",
+			ord, keep, drop, len(tl))
+	}
+	a, faults, host, err := e.cfg.Rebuild(t.spec)
+	if err != nil {
+		return fmt.Errorf("engine: recover %q: %w", id, err)
+	}
+	if err := e.rebuild(t, a, faults, host, tl[:keep], drop); err != nil && !errors.Is(err, errs.ErrTenantPoisoned) {
+		return err
+	}
+	return nil
+}
+
+// CanonicalStats renders st as deterministic JSON for byte-for-byte
+// comparison across runs: wall-clock-derived fields are cleared —
+// ApplyNs and BatchNs (latency samples), the Degrade controller's
+// outputs (EffectiveD, DegradeLevel, Degrades), which those latencies
+// drive, and BreakerTrips (a failed half-open probe re-trips the
+// breaker without leaving a journal record, so the count depends on
+// probe timing). Everything else is a pure function of the ingestion
+// history, so an uninterrupted run and a crash-recovered one must
+// agree exactly.
+func CanonicalStats(st TenantStats) []byte {
+	st.ApplyNs = 0
+	st.BatchNs = nil
+	st.EffectiveD = 0
+	st.DegradeLevel = 0
+	st.Degrades = nil
+	st.BreakerTrips = 0
+	b, err := json.Marshal(st)
+	if err != nil {
+		// TenantStats holds only marshalable fields; this cannot fail.
+		panic(fmt.Errorf("engine: canonical stats: %w", err))
+	}
+	return b
+}

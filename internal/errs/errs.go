@@ -26,4 +26,16 @@ var (
 	// size exists — every candidate covers a failed PE, so the machine can
 	// no longer host tasks of that size.
 	ErrMachineFull = errors.New("no healthy submachine of the requested size")
+
+	// ErrOverloaded reports a submission rejected by the engine's Shed
+	// overload policy: accepting it would push the tenant's ingestion
+	// queue past its configured bound. The events were not queued; the
+	// caller may retry after draining.
+	ErrOverloaded = errors.New("tenant ingestion queue over capacity")
+
+	// ErrTenantPoisoned reports an operation on an engine tenant whose
+	// allocator already failed; the wrapped chain includes the original
+	// cause. With a journal and circuit breaker configured the condition
+	// is transient — a half-open probe rebuilds the tenant after backoff.
+	ErrTenantPoisoned = errors.New("tenant poisoned by earlier failure")
 )

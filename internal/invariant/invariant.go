@@ -86,6 +86,12 @@ type Checker struct {
 	forcedMovedPEs int64
 	forcedHops     int64
 
+	// Degradation-ledger chain (OnDegrade): each transition must leave
+	// from the state the previous one arrived at.
+	degSeen    bool
+	lastToD    int
+	lastToLazy bool
+
 	violations []Violation
 }
 
@@ -338,6 +344,48 @@ func (c *Checker) check(a core.Allocator) {
 			}
 		}
 	}
+}
+
+// OnQueue audits the engine's per-tenant ingestion bound after a queue
+// mutation: under Config.MaxQueue no queue may ever exceed it — neither
+// Block's chunked admission nor Shed's rejection is allowed to overshoot.
+// maxQueue ≤ 0 (unbounded) disables the rule. Queue audits do not advance
+// the event count; they sit between allocator events.
+func (c *Checker) OnQueue(queued, maxQueue int) {
+	if c == nil || maxQueue <= 0 {
+		return
+	}
+	if queued > maxQueue {
+		c.report("queue-bound",
+			fmt.Sprintf("ingestion queue holds %d events, bound is %d", queued, maxQueue))
+	}
+	if queued < 0 {
+		c.report("queue-bound", fmt.Sprintf("ingestion queue length %d is negative", queued))
+	}
+}
+
+// OnDegrade audits one effective-d transition of the engine's Degrade
+// overload policy: every transition must carry a recorded cause, actually
+// change the knob, and chain from the state the previous transition
+// arrived at — so TenantStats.Degrades is a complete, gap-free history.
+func (c *Checker) OnDegrade(fromD, toD int, fromLazy, toLazy bool, cause string) {
+	if c == nil {
+		return
+	}
+	if strings.TrimSpace(cause) == "" {
+		c.report("degrade-ledger",
+			fmt.Sprintf("transition d=%d→%d lazy=%v→%v has no recorded cause", fromD, toD, fromLazy, toLazy))
+	}
+	if fromD == toD && fromLazy == toLazy {
+		c.report("degrade-ledger",
+			fmt.Sprintf("no-op transition recorded at d=%d lazy=%v", fromD, fromLazy))
+	}
+	if c.degSeen && (fromD != c.lastToD || fromLazy != c.lastToLazy) {
+		c.report("degrade-ledger",
+			fmt.Sprintf("transition leaves d=%d lazy=%v but the previous one arrived at d=%d lazy=%v",
+				fromD, fromLazy, c.lastToD, c.lastToLazy))
+	}
+	c.degSeen, c.lastToD, c.lastToLazy = true, toD, toLazy
 }
 
 func (c *Checker) report(rule, detail string) {

@@ -231,3 +231,64 @@ func TestPanicMode(t *testing.T) {
 	}()
 	arriveOne(l, c, 1, 2)
 }
+
+func TestQueueBound(t *testing.T) {
+	m := tree.MustNew(4)
+	c := New(m)
+	c.OnQueue(8, 16)  // within bound
+	c.OnQueue(16, 16) // exactly at the bound is allowed
+	c.OnQueue(500, 0) // unbounded: rule disabled
+	if hasRule(c, "queue-bound") {
+		t.Fatalf("spurious queue-bound violation: %v", c.Violations())
+	}
+	c.OnQueue(17, 16)
+	if !hasRule(c, "queue-bound") {
+		t.Fatal("queue overshoot not reported")
+	}
+	c.violations = nil
+	c.OnQueue(-1, 16)
+	if !hasRule(c, "queue-bound") {
+		t.Fatal("negative queue length not reported")
+	}
+	var nilC *Checker
+	nilC.OnQueue(100, 1) // must not panic
+}
+
+func TestDegradeLedger(t *testing.T) {
+	m := tree.MustNew(4)
+	c := New(m)
+	// A well-formed escalation chain: eager d=1 → lazy d=1 → lazy d=2,
+	// then a restoration back down.
+	c.OnDegrade(1, 1, false, true, "ewma over budget")
+	c.OnDegrade(1, 2, true, true, "ewma over budget")
+	c.OnDegrade(2, 1, true, true, "healthy again")
+	if len(c.Violations()) != 0 {
+		t.Fatalf("clean chain reported %v", c.Violations())
+	}
+
+	// A transition without a cause.
+	c2 := New(m)
+	c2.OnDegrade(1, 2, false, true, "  ")
+	if !hasRule(c2, "degrade-ledger") {
+		t.Fatal("missing cause not reported")
+	}
+
+	// A no-op transition.
+	c3 := New(m)
+	c3.OnDegrade(2, 2, true, true, "nothing changed")
+	if !hasRule(c3, "degrade-ledger") {
+		t.Fatal("no-op transition not reported")
+	}
+
+	// A broken chain: second transition leaves from a state the first
+	// never arrived at.
+	c4 := New(m)
+	c4.OnDegrade(1, 2, false, true, "ewma over budget")
+	c4.OnDegrade(4, 8, true, true, "ewma over budget")
+	if !hasRule(c4, "degrade-ledger") {
+		t.Fatal("broken chain not reported")
+	}
+
+	var nilC *Checker
+	nilC.OnDegrade(1, 2, false, true, "x") // must not panic
+}

@@ -1,0 +1,294 @@
+// Package wal is a segmented write-ahead log for the allocation engine.
+//
+// The engine appends a record describing each ingestion call *before*
+// mutating tenant state (append-before-apply), so a process killed at
+// any instant can reconstruct every tenant by replaying the log: the
+// journal is the source of truth, the in-memory allocators a cache.
+//
+// Layout: dir/00000001.wal, 00000002.wal, ... Each segment is a
+// concatenation of CRC-framed records (record.go); a segment is sealed
+// when it reaches SegmentBytes and a new one is created with an
+// fsync-of-directory barrier, so rotation is atomic. Appends go through
+// a single unbuffered write(2) per record: data reaches the kernel page
+// cache immediately, which is what survives SIGKILL (a crashed *machine*
+// additionally needs SyncAlways or SyncBatched).
+//
+// A crash can tear the tail of the last segment mid-frame. Open repairs
+// this by scanning the last segment and truncating at the first invalid
+// frame; Replay independently tolerates a torn tail — but only in the
+// last segment, since an earlier segment ending mid-frame means real
+// corruption, not a crash.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SyncPolicy selects when Append calls fsync(2).
+type SyncPolicy int
+
+const (
+	// SyncNever leaves flushing to the kernel (and Close). Survives
+	// process crashes (SIGKILL) but not machine crashes. The default.
+	SyncNever SyncPolicy = iota
+	// SyncBatched fsyncs every Options.SyncEvery appends.
+	SyncBatched
+	// SyncAlways fsyncs after every append — full durability, slowest.
+	SyncAlways
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNever:
+		return "never"
+	case SyncBatched:
+		return "batched"
+	case SyncAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// Options parameterize a Log. The zero value selects the defaults.
+type Options struct {
+	// SegmentBytes is the rotation threshold (default 4 MiB). A record
+	// never spans segments; a segment holds at least one record even when
+	// the record alone exceeds the threshold.
+	SegmentBytes int64
+	// Sync is the fsync policy (default SyncNever).
+	Sync SyncPolicy
+	// SyncEvery is the SyncBatched interval in appends (default 64).
+	SyncEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 64
+	}
+	return o
+}
+
+// Log is an append-only segmented journal. Methods are safe for use by
+// one goroutine at a time; the engine serializes appends per shard and
+// adds its own lock around the log.
+type Log struct {
+	dir       string
+	opt       Options
+	f         *os.File
+	seg       int   // index of the open segment
+	size      int64 // bytes written to the open segment
+	sinceSync int
+	buf       []byte // frame scratch, reused across appends
+	closed    bool
+}
+
+// ErrStop is returned by a Replay callback to end the scan early with a
+// nil error from Replay.
+var ErrStop = errors.New("wal: stop replay")
+
+func segmentName(i int) string { return fmt.Sprintf("%08d.wal", i) }
+
+// segments lists dir's segment files in index order.
+func segments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var idx []int
+	for _, ent := range ents {
+		var i int
+		if _, err := fmt.Sscanf(ent.Name(), "%08d.wal", &i); err == nil && segmentName(i) == ent.Name() {
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	return idx, nil
+}
+
+// Open opens (creating if needed) the journal in dir and repairs a torn
+// tail left by a crash: the last segment is scanned frame by frame and
+// truncated at the first invalid one.
+func Open(dir string, opt Options) (*Log, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	idx, err := segments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	l := &Log{dir: dir, opt: opt}
+	if len(idx) == 0 {
+		if err := l.create(1); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	last := idx[len(idx)-1]
+	valid, err := repair(filepath.Join(dir, segmentName(last)))
+	if err != nil {
+		return nil, err
+	}
+	if valid >= opt.SegmentBytes {
+		if err := l.create(last + 1); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segmentName(last)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	l.f, l.seg, l.size = f, last, valid
+	return l, nil
+}
+
+// repair truncates path at the first invalid frame and returns the valid
+// length. A fully valid segment is left untouched.
+func repair(path string) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: repair: %w", err)
+	}
+	valid := int64(0)
+	for off := 0; off < len(data); {
+		_, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			break
+		}
+		off += n
+		valid = int64(off)
+	}
+	if valid < int64(len(data)) {
+		if err := os.Truncate(path, valid); err != nil {
+			return 0, fmt.Errorf("wal: repair: %w", err)
+		}
+	}
+	return valid, nil
+}
+
+// create starts segment i and fsyncs the directory so the new file name
+// itself is durable (atomic rotation).
+func (l *Log) create(i int) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(i)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if d, err := os.Open(l.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	l.f, l.seg, l.size = f, i, 0
+	return nil
+}
+
+// Append frames rec and writes it with a single write(2) call, rotating
+// segments at the SegmentBytes threshold first. The record is in the
+// kernel page cache when Append returns; fsync follows Options.Sync.
+func (l *Log) Append(rec Record) error {
+	if l.closed {
+		return errors.New("wal: append on closed log")
+	}
+	l.buf = AppendRecord(l.buf[:0], rec)
+	if l.size > 0 && l.size+int64(len(l.buf)) > l.opt.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(l.buf))
+	switch l.opt.Sync {
+	case SyncAlways:
+		return l.Sync()
+	case SyncBatched:
+		l.sinceSync++
+		if l.sinceSync >= l.opt.SyncEvery {
+			return l.Sync()
+		}
+	}
+	return nil
+}
+
+// rotate seals the open segment (fsync + close) and creates the next.
+func (l *Log) rotate() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	return l.create(l.seg + 1)
+}
+
+// Sync fsyncs the open segment.
+func (l *Log) Sync() error {
+	l.sinceSync = 0
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Dir returns the journal directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close syncs and closes the open segment. The log cannot be reused.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return l.f.Close()
+}
+
+// Replay scans every record in dir in append order, calling fn with the
+// record's ordinal (0-based across all segments) and the record. A torn
+// tail is tolerated — the scan ends cleanly — but only in the last
+// segment; anywhere else it is corruption and an error. fn may return
+// ErrStop to end the scan early without error.
+func Replay(dir string, fn func(ord int, rec Record) error) error {
+	idx, err := segments(dir)
+	if err != nil {
+		return fmt.Errorf("wal: replay: %w", err)
+	}
+	ord := 0
+	for i, seg := range idx {
+		last := i == len(idx)-1
+		data, err := os.ReadFile(filepath.Join(dir, segmentName(seg)))
+		if err != nil {
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+		for off := 0; off < len(data); {
+			rec, n, err := DecodeRecord(data[off:])
+			if err != nil {
+				if last {
+					return nil // torn tail from a crash; Open would repair it
+				}
+				return fmt.Errorf("wal: replay: segment %s offset %d: %w", segmentName(seg), off, err)
+			}
+			if err := fn(ord, rec); err != nil {
+				if errors.Is(err, ErrStop) {
+					return nil
+				}
+				return err
+			}
+			ord++
+			off += n
+		}
+	}
+	return nil
+}

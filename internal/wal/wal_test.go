@@ -1,0 +1,287 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"partalloc/internal/task"
+)
+
+func testRecords(n int) []Record {
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		evs := []task.Event{
+			{Kind: task.Arrive, Task: task.ID(i), Size: 1 << (i % 4), Time: float64(i)},
+			{Kind: task.Depart, Task: task.ID(i), Size: 1 << (i % 4), Time: float64(i) + 0.5},
+		}
+		recs = append(recs, Record{Type: TypeSubmit, Tenant: "t0", Data: AppendEvents(nil, evs)})
+	}
+	return recs
+}
+
+func replayAll(t *testing.T, dir string) []Record {
+	t.Helper()
+	var got []Record
+	if err := Replay(dir, func(ord int, rec Record) error {
+		if ord != len(got) {
+			t.Fatalf("ordinal %d at position %d", ord, len(got))
+		}
+		got = append(got, rec)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords(10)
+	want = append(want,
+		Record{Type: TypeAddTenant, Tenant: "t1", Data: []byte(`{"ID":"t1"}`)},
+		Record{Type: TypeFlush, Tenant: "t1"},
+		Record{Type: TypeApply, Tenant: "t1", Data: AppendApply(nil, true, nil)},
+		Record{Type: TypeRebuild, Tenant: "t1", Data: AppendRebuild(nil, 7, 3)},
+	)
+	for _, rec := range want {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, dir)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed %d records != appended %d", len(got), len(want))
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords(20)
+	for _, rec := range want {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) < 2 {
+		t.Fatalf("got %d segments, want rotation (≥ 2)", len(idx))
+	}
+	if got := replayAll(t, dir); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay across %d segments diverged", len(idx))
+	}
+
+	// Reopen appends to the tail segment and the history stays intact.
+	l, err = Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := Record{Type: TypeFlush, Tenant: "t0"}
+	if err := l.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, dir); !reflect.DeepEqual(got, append(want, extra)) {
+		t.Fatal("reopen + append lost history")
+	}
+}
+
+func TestTornTailRepairedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords(5)
+	for _, rec := range want {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail mid-frame, as a crash during write(2) would.
+	path := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay without repair tolerates the torn tail (last segment only).
+	if got := replayAll(t, dir); !reflect.DeepEqual(got, want[:4]) {
+		t.Fatalf("torn-tail replay returned %d records, want 4", len(got))
+	}
+
+	// Open repairs: the file is truncated to its valid prefix, and a
+	// fresh append lands after record 4.
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repaired) >= len(data) {
+		t.Fatal("Open did not truncate the torn tail")
+	}
+	if err := l.Append(want[4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, dir); !reflect.DeepEqual(got, want) {
+		t.Fatal("append after repair diverged")
+	}
+}
+
+func TestCorruptMiddleSegmentFailsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range testRecords(10) {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := segments(dir)
+	if err != nil || len(idx) < 3 {
+		t.Fatalf("want ≥ 3 segments, got %d (err %v)", len(idx), err)
+	}
+	// Flip a payload byte in a middle segment: replay must refuse.
+	path := filepath.Join(dir, segmentName(idx[1]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = Replay(dir, func(int, Record) error { return nil })
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("corrupt middle segment: got %v, want ErrCorruptRecord", err)
+	}
+}
+
+func TestReplayErrStop(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range testRecords(5) {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	err = Replay(dir, func(ord int, _ Record) error {
+		seen++
+		if ord == 2 {
+			return ErrStop
+		}
+		return nil
+	})
+	if err != nil || seen != 3 {
+		t.Fatalf("ErrStop: err=%v seen=%d, want nil/3", err, seen)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncNever, SyncBatched, SyncAlways} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{Sync: pol, SyncEvery: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := testRecords(5)
+			for _, rec := range want {
+				if err := l.Append(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := replayAll(t, dir); !reflect.DeepEqual(got, want) {
+				t.Fatal("round trip diverged")
+			}
+		})
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	frame := AppendRecord(nil, Record{Type: TypeSubmit, Tenant: "t", Data: []byte("xyz")})
+
+	for cut := 0; cut < len(frame); cut++ {
+		_, _, err := DecodeRecord(frame[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	// Header truncation and body truncation are "short", not "corrupt".
+	if _, _, err := DecodeRecord(frame[:3]); !errors.Is(err, ErrShortRecord) {
+		t.Fatalf("short header: %v", err)
+	}
+	if _, _, err := DecodeRecord(frame[:len(frame)-1]); !errors.Is(err, ErrShortRecord) {
+		t.Fatalf("short body: %v", err)
+	}
+	// A flipped payload bit is corruption.
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1] ^= 1
+	if _, _, err := DecodeRecord(bad); !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("bad crc: %v", err)
+	}
+	// An absurd length header is corruption, not an allocation.
+	huge := append([]byte(nil), frame...)
+	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := DecodeRecord(huge); !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("huge length: %v", err)
+	}
+}
+
+func TestEventsCodecRejectsCorruptCounts(t *testing.T) {
+	// A count far beyond what the payload can hold must fail cleanly
+	// instead of allocating.
+	payload := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, err := DecodeEvents(payload); !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("absurd count: %v", err)
+	}
+}

@@ -121,7 +121,10 @@ func TestCrossTopologyEngineEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng := partalloc.NewEngine(partalloc.EngineConfig{Shards: 4, BatchSize: 1})
+		eng, err := partalloc.NewEngine(partalloc.EngineConfig{Shards: 4, BatchSize: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
 		m := partalloc.MustNewMachine(goldenN)
 		streams := make(map[string][]partalloc.Event)
 		seq := goldenWorkload()

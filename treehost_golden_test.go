@@ -178,7 +178,10 @@ func runGoldenSim(t *testing.T, algo partalloc.Algorithm, opts []partalloc.Optio
 // (single-event batches so PeakLoad is exact) and flattens the ledgers.
 func runGoldenEngine(t *testing.T, extras []partalloc.Option) map[string]goldenTenant {
 	t.Helper()
-	eng := partalloc.NewEngine(partalloc.EngineConfig{Shards: 4, BatchSize: 1})
+	eng, err := partalloc.NewEngine(partalloc.EngineConfig{Shards: 4, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := partalloc.MustNewMachine(goldenN)
 	streams := make(map[string][]partalloc.Event)
 	seq := goldenWorkload()
