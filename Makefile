@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short test-race test-fault test-topology test-chaos lint lint-json bench experiments experiments-quick cover golden clean
+.PHONY: all build test test-short test-race test-fault test-topology test-chaos obs-smoke lint lint-json bench experiments experiments-quick cover golden clean
 
 all: build lint test
 
@@ -39,6 +39,12 @@ test-topology:
 test-chaos:
 	./scripts/chaos-smoke.sh
 
+# Observability smoke (docs/OBSERVABILITY.md): boots `engined -listen`
+# on a random port, scrapes /metrics, asserts the required series exist
+# and the exposition parses, and checks the flight-recorder dump.
+obs-smoke:
+	./scripts/obs-smoke.sh
+
 # Run the project's own analyzer suite (docs/LINTS.md): standalone over
 # every package, then again through go vet's vettool protocol so both
 # entry points stay healthy.
@@ -54,10 +60,11 @@ lint-json:
 
 # Micro-benchmarks (batched vs serial apply, engine replay) plus the
 # engined load driver, which refreshes the committed benchmark ledger —
-# including the journal-on vs journal-off headline comparison.
+# including the journal-on vs journal-off headline comparison and the
+# observability-on slowdown (obs_slowdown).
 bench:
 	go test -bench=. -benchmem ./internal/core/ ./internal/engine/
-	go run ./cmd/engined -journal -out BENCH_3.json
+	go run ./cmd/engined -journal -obs -out BENCH_3.json
 
 # Engine benchmark smoke for CI: a -race engined run on a small fleet,
 # plus the engine-level batched-vs-serial equivalence gate.

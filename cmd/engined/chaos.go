@@ -227,7 +227,14 @@ func runChaos(ctx context.Context, seed int64, rounds int) error {
 		if err != nil {
 			return err
 		}
-		if err := eng.AddTenantSpec(spec, a, sched, host); err != nil {
+		topts := []engine.TenantOption{engine.WithTenantSpec(spec)}
+		if sched != nil {
+			topts = append(topts, engine.WithTenantFaults(sched))
+		}
+		if host != nil {
+			topts = append(topts, engine.WithTenantHost(host))
+		}
+		if err := eng.AddTenant(spec.ID, a, topts...); err != nil {
 			return err
 		}
 	}

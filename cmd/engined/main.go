@@ -76,25 +76,32 @@ type algoResult struct {
 
 // report is the BENCH_3.json schema.
 type report struct {
-	Bench        string       `json:"bench"`
-	GeneratedBy  string       `json:"generated_by"`
-	GOMAXPROCS   int          `json:"gomaxprocs"`
-	Algo         string       `json:"algo"`
-	Topology     string       `json:"topology"`
-	Tenants      int          `json:"tenants"`
-	EventsTotal  int64        `json:"events_total"`
-	N            int          `json:"n"`
-	Batch        int          `json:"batch"`
-	Shards       int          `json:"shards"`
-	Engine       modeResult   `json:"engine"`
-	Serial       modeResult   `json:"serial"`
-	Speedup      float64      `json:"speedup"`
+	Bench       string     `json:"bench"`
+	GeneratedBy string     `json:"generated_by"`
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	Algo        string     `json:"algo"`
+	Topology    string     `json:"topology"`
+	Tenants     int        `json:"tenants"`
+	EventsTotal int64      `json:"events_total"`
+	N           int        `json:"n"`
+	Batch       int        `json:"batch"`
+	Shards      int        `json:"shards"`
+	Engine      modeResult `json:"engine"`
+	Serial      modeResult `json:"serial"`
+	Speedup     float64    `json:"speedup"`
 	// EngineJournaled repeats the headline engine pass with a write-ahead
 	// journal (batched fsync, -journal flag); JournalSlowdown is its wall
 	// time over the journal-free pass (≥1, lower is better).
-	EngineJournaled *modeResult  `json:"engine_journaled,omitempty"`
-	JournalSlowdown float64      `json:"journal_slowdown,omitempty"`
-	PerAlgorithm    []algoResult `json:"per_algorithm,omitempty"`
+	EngineJournaled *modeResult `json:"engine_journaled,omitempty"`
+	JournalSlowdown float64     `json:"journal_slowdown,omitempty"`
+	// EngineObserved repeats the headline pass with the observability
+	// layer attached (-obs or -listen): metrics registry, flight
+	// recorder, and — when -journal is also set — a journal whose
+	// appends/fsyncs feed the same registry. ObsSlowdown is its wall time
+	// over the matching uninstrumented pass (≥1, lower is better).
+	EngineObserved *modeResult  `json:"engine_observed,omitempty"`
+	ObsSlowdown    float64      `json:"obs_slowdown,omitempty"`
+	PerAlgorithm   []algoResult `json:"per_algorithm,omitempty"`
 }
 
 // fleetSpec describes one homogeneous tenant fleet.
@@ -147,6 +154,8 @@ func main() {
 	quick := flag.Bool("quick", false, "small fleet, skip the per-algorithm section (CI smoke)")
 	out := flag.String("out", "", "write the JSON ledger here (default stdout)")
 	journal := flag.Bool("journal", false, "re-measure the headline fleet with a write-ahead journal and record the slowdown")
+	obsFlag := flag.Bool("obs", false, "re-measure the headline fleet with metrics + flight recorder attached and record the slowdown")
+	listen := flag.String("listen", "", "serve /metrics, /debug/pprof and /debug/flightrec on this address (implies -obs) and keep serving after the benchmark until interrupted")
 	chaos := flag.Bool("chaos", false, "run the seeded chaos soak (docs/ENGINE.md) instead of the benchmark")
 	chaosRounds := flag.Int("chaos-rounds", 12, "rounds in the -chaos soak")
 	flag.Parse()
@@ -180,6 +189,28 @@ func main() {
 	})
 	defer stop()
 
+	// The observability pass and the HTTP surface share one registry and
+	// one flight-recorder holder; the listener starts before the
+	// benchmark so a scraper can watch series fill in live.
+	obsEnabled := *obsFlag || *listen != ""
+	var st *obsState
+	if obsEnabled {
+		st = &obsState{metrics: partalloc.NewMetrics()}
+	}
+	if *listen != "" {
+		addr, err := serveObs(ctx, *listen, st)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "engined: listening on http://%s\n", addr)
+		defer func() {
+			// Keep serving after the benchmark until SIGINT; the marker
+			// line is what scripts/obs-smoke.sh waits for before scraping.
+			fmt.Fprintf(os.Stderr, "engined: serving observability endpoints on http://%s — interrupt to exit\n", addr)
+			<-ctx.Done()
+		}()
+	}
+
 	head := fleetSpec{algo: algo, topo: *topoName, n: *n, tenants: *tenants, arrivals: *arrivals, seed: *seed}
 	rep := report{
 		Bench:       "engine-replay",
@@ -207,6 +238,21 @@ func main() {
 		}
 		rep.EngineJournaled = &jr
 		rep.JournalSlowdown = float64(jr.WallNs) / float64(rep.Engine.WallNs)
+	}
+
+	if obsEnabled {
+		or, err := runObserved(ctx, head, *batch, *shards, *journal, st)
+		if err != nil {
+			fail(err)
+		}
+		rep.EngineObserved = &or
+		// Compare against the matching uninstrumented pass: the observed
+		// pass journals when -journal is set, so that is its baseline.
+		base := rep.Engine.WallNs
+		if rep.EngineJournaled != nil {
+			base = rep.EngineJournaled.WallNs
+		}
+		rep.ObsSlowdown = float64(or.WallNs) / float64(base)
 	}
 
 	if !*quick {
@@ -241,6 +287,16 @@ func main() {
 		rep.Algo, rep.Tenants, rep.EventsTotal, rep.Engine.OpsPerSec/1e6, rep.Serial.OpsPerSec/1e6, rep.Speedup)
 }
 
+// engineOpts translates the -shards/-batch flags into engine options
+// (shards 0 = auto keeps the engine default).
+func engineOpts(shards, batch int) []partalloc.EngineOption {
+	opts := []partalloc.EngineOption{partalloc.WithBatchSize(batch)}
+	if shards > 0 {
+		opts = append(opts, partalloc.WithShards(shards))
+	}
+	return opts
+}
+
 // runFleet measures one fleet through both ingestion paths.
 func runFleet(ctx context.Context, spec fleetSpec, batch, shards int) (algoResult, error) {
 	if spec.batch > 0 {
@@ -252,7 +308,7 @@ func runFleet(ctx context.Context, spec fleetSpec, batch, shards int) (algoResul
 	if err != nil {
 		return algoResult{}, err
 	}
-	eng, err := partalloc.NewEngine(partalloc.EngineConfig{Shards: shards, BatchSize: batch})
+	eng, err := partalloc.NewEngine(engineOpts(shards, batch)...)
 	if err != nil {
 		return algoResult{}, err
 	}
@@ -335,8 +391,8 @@ func runJournaled(ctx context.Context, spec fleetSpec, batch, shards int) (modeR
 	if err != nil {
 		return modeResult{}, err
 	}
-	eng, err := partalloc.NewEngine(partalloc.EngineConfig{Shards: shards, BatchSize: batch},
-		partalloc.WithJournal(dir), partalloc.WithJournalSync(partalloc.JournalSyncBatched))
+	eng, err := partalloc.NewEngine(append(engineOpts(shards, batch),
+		partalloc.WithJournal(dir), partalloc.WithJournalSync(partalloc.JournalSyncBatched))...)
 	if err != nil {
 		return modeResult{}, err
 	}
@@ -357,6 +413,62 @@ func runJournaled(ctx context.Context, spec fleetSpec, batch, shards int) (modeR
 	var batchNs []int64
 	for _, st := range eng.Stats() {
 		batchNs = append(batchNs, st.BatchNs...)
+	}
+	return modeResult{
+		OpsPerSec:  float64(total) / wall.Seconds(),
+		WallNs:     wall.Nanoseconds(),
+		P50ApplyNs: engine.Quantile(batchNs, 0.50),
+		P99ApplyNs: engine.Quantile(batchNs, 0.99),
+	}, nil
+}
+
+// runObserved repeats the headline engine pass with the observability
+// layer attached — metrics registry, flight recorder, and (with
+// journaled=true) a write-ahead journal feeding the same registry — so
+// the ledger records what instrumentation costs and the HTTP surface has
+// real series to serve.
+func runObserved(ctx context.Context, spec fleetSpec, batch, shards int, journaled bool, st *obsState) (modeResult, error) {
+	if spec.batch > 0 {
+		batch = spec.batch
+	}
+	streams, total := spec.streams()
+
+	opts := append(engineOpts(shards, batch),
+		partalloc.WithMetrics(st.metrics), partalloc.WithFlightRecorder(4096))
+	if journaled {
+		dir, err := os.MkdirTemp("", "engined-obs-journal-*")
+		if err != nil {
+			return modeResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		opts = append(opts, partalloc.WithJournal(dir), partalloc.WithJournalSync(partalloc.JournalSyncBatched))
+	}
+	top, err := partalloc.NewTopology(spec.topo, spec.n)
+	if err != nil {
+		return modeResult{}, err
+	}
+	eng, err := partalloc.NewEngine(opts...)
+	if err != nil {
+		return modeResult{}, err
+	}
+	defer eng.Close()
+	st.setFlightRecorder(eng.FlightRecorder())
+	m := partalloc.MustNewMachine(spec.n)
+	for i := 0; i < spec.tenants; i++ {
+		topts := append(spec.opts(i), partalloc.WithTopology(top))
+		if err := eng.AddTenant(tenantID(i), spec.algo, m, topts...); err != nil {
+			return modeResult{}, err
+		}
+	}
+	start := time.Now()
+	if err := eng.Replay(ctx, streams); err != nil {
+		return modeResult{}, err
+	}
+	wall := time.Since(start)
+
+	var batchNs []int64
+	for _, stt := range eng.Stats() {
+		batchNs = append(batchNs, stt.BatchNs...)
 	}
 	return modeResult{
 		OpsPerSec:  float64(total) / wall.Seconds(),

@@ -3,12 +3,14 @@ package partalloc
 import (
 	"context"
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
 	"partalloc/internal/core"
 	"partalloc/internal/engine"
 	"partalloc/internal/fault"
+	"partalloc/internal/obs"
 	"partalloc/internal/task"
 	"partalloc/internal/topology"
 	"partalloc/internal/wal"
@@ -27,11 +29,19 @@ const (
 	EventDepart = task.Depart
 )
 
-// EngineConfig parameterizes NewEngine; the zero value selects the
-// defaults (min(GOMAXPROCS, 8) shards, 256-event batches, no audit, no
-// queue bound, no journal). Overload and journal behavior are set with
-// EngineOptions, which override the corresponding fields.
+// EngineConfig parameterizes the deprecated NewEngineFromConfig; the
+// zero value selects the defaults (min(GOMAXPROCS, 8) shards, 256-event
+// batches, no audit, no queue bound, no journal).
+//
+// Deprecated: configure NewEngine with EngineOptions (WithShards,
+// WithBatchSize, WithAudit, ...) instead of a config struct. The struct
+// form survives as NewEngineFromConfig.
 type EngineConfig = engine.Config
+
+// BreakerConfig tunes the poisoned-tenant circuit breaker's backoff for
+// WithBreaker; the zero value selects the defaults (100ms base, 30s cap,
+// jitter seed 1). See docs/ENGINE.md.
+type BreakerConfig = engine.BreakerConfig
 
 // EngineTenantStats is a point-in-time ledger snapshot for one tenant:
 // applied events, batch apply latencies, current and peak max-load, the
@@ -94,39 +104,140 @@ var (
 	ErrOverloaded = engine.ErrOverloaded
 )
 
-// engineOptions accumulates EngineOptions.
+// engineOptions accumulates EngineOptions. Options validate eagerly; the
+// first invalid one wins and fails construction with ErrBadOption on the
+// error chain, naming the offending option.
 type engineOptions struct {
+	shards      int
+	shardsSet   bool
+	batch       int
+	batchSet    bool
+	audit       bool
 	maxQueue    int
 	maxQueueSet bool
 	policy      OverloadPolicy
 	policySet   bool
 	budget      time.Duration
+	watchdog    time.Duration
+	breaker     BreakerConfig
+	breakerSet  bool
 	journalDir  string
 	sync        JournalSyncPolicy
+	syncSet     bool
+	metrics     *Metrics
+	flightN     int
+	poisonDump  io.Writer
+	err         error
 }
 
-// EngineOption configures NewEngine and RecoverEngine beyond the plain
-// EngineConfig: queue bounds, overload policy, and the write-ahead
-// journal.
+// fail records the first invalid option; later errors are dropped so the
+// constructor reports the earliest mistake in the option list.
+func (o *engineOptions) fail(err error) {
+	if o.err == nil {
+		o.err = err
+	}
+}
+
+// EngineOption configures NewEngine and RecoverEngine: sharding, batch
+// size, auditing, queue bounds, overload policy, the write-ahead journal,
+// and the observability layer (metrics, flight recorder).
 type EngineOption func(*engineOptions)
+
+// WithShards sets the number of lock stripes tenants are hash-partitioned
+// across (default min(GOMAXPROCS, 8); at least 1).
+func WithShards(n int) EngineOption {
+	return func(o *engineOptions) {
+		if n < 1 {
+			o.fail(fmt.Errorf("%w: WithShards(%d): want at least 1 shard", ErrBadOption, n))
+			return
+		}
+		o.shards, o.shardsSet = n, true
+	}
+}
+
+// WithBatchSize sets the ingestion batch: Submit queues events per tenant
+// and applies them whenever the queue reaches this size (default 256).
+// Larger batches amortize loadtree maintenance further but delay
+// load/latency samples, which are taken at batch boundaries.
+func WithBatchSize(n int) EngineOption {
+	return func(o *engineOptions) {
+		if n < 1 {
+			o.fail(fmt.Errorf("%w: WithBatchSize(%d): want at least 1 event per batch", ErrBadOption, n))
+			return
+		}
+		o.batch, o.batchSet = n, true
+	}
+}
+
+// WithAudit attaches an invariant checker to every tenant and applies
+// events one at a time so the checker sees each placement. This trades
+// away all batching throughput for per-event validation; use it in tests
+// and canary runs, not in benchmarks.
+func WithAudit() EngineOption {
+	return func(o *engineOptions) { o.audit = true }
+}
 
 // WithMaxQueue bounds each tenant's ingestion queue to n events
 // (0 = unbounded). What happens past the bound is WithOverloadPolicy's
 // call.
 func WithMaxQueue(n int) EngineOption {
-	return func(o *engineOptions) { o.maxQueue, o.maxQueueSet = n, true }
+	return func(o *engineOptions) {
+		if n < 0 {
+			o.fail(fmt.Errorf("%w: WithMaxQueue(%d): negative bound (0 means unbounded)", ErrBadOption, n))
+			return
+		}
+		o.maxQueue, o.maxQueueSet = n, true
+	}
 }
 
 // WithOverloadPolicy selects the over-bound behavior: OverloadBlock
 // (default), OverloadShed, or OverloadDegrade.
 func WithOverloadPolicy(p OverloadPolicy) EngineOption {
-	return func(o *engineOptions) { o.policy, o.policySet = p, true }
+	return func(o *engineOptions) {
+		switch p {
+		case OverloadBlock, OverloadShed, OverloadDegrade:
+			o.policy, o.policySet = p, true
+		default:
+			o.fail(fmt.Errorf("%w: WithOverloadPolicy(%v): unknown policy", ErrBadOption, p))
+		}
+	}
 }
 
 // WithDegradeBudget sets the per-tenant batch apply-latency budget the
 // OverloadDegrade controller steers by (default 5ms).
 func WithDegradeBudget(d time.Duration) EngineOption {
-	return func(o *engineOptions) { o.budget = d }
+	return func(o *engineOptions) {
+		if d <= 0 {
+			o.fail(fmt.Errorf("%w: WithDegradeBudget(%v): want a positive budget", ErrBadOption, d))
+			return
+		}
+		o.budget = d
+	}
+}
+
+// WithReplayWatchdog bounds each Replay shard worker's wall time: a
+// stalled allocator fails its shard with a timeout error instead of
+// hanging the whole replay.
+func WithReplayWatchdog(d time.Duration) EngineOption {
+	return func(o *engineOptions) {
+		if d <= 0 {
+			o.fail(fmt.Errorf("%w: WithReplayWatchdog(%v): want a positive timeout", ErrBadOption, d))
+			return
+		}
+		o.watchdog = d
+	}
+}
+
+// WithBreaker tunes the poisoned-tenant circuit breaker's backoff
+// (zero-valued fields keep their defaults).
+func WithBreaker(b BreakerConfig) EngineOption {
+	return func(o *engineOptions) {
+		if b.Base < 0 || b.Max < 0 {
+			o.fail(fmt.Errorf("%w: WithBreaker: negative backoff (base %v, max %v)", ErrBadOption, b.Base, b.Max))
+			return
+		}
+		o.breaker, o.breakerSet = b, true
+	}
 }
 
 // WithJournal turns on write-ahead journaling in dir: every ingestion
@@ -135,28 +246,109 @@ func WithDegradeBudget(d time.Duration) EngineOption {
 // heal through the circuit breaker instead of staying down. Close the
 // engine when done.
 func WithJournal(dir string) EngineOption {
-	return func(o *engineOptions) { o.journalDir = dir }
+	return func(o *engineOptions) {
+		if dir == "" {
+			o.fail(fmt.Errorf("%w: WithJournal(\"\"): want a journal directory", ErrBadOption))
+			return
+		}
+		o.journalDir = dir
+	}
 }
 
 // WithJournalSync selects the journal's fsync policy (default
 // JournalSyncNever).
 func WithJournalSync(p JournalSyncPolicy) EngineOption {
-	return func(o *engineOptions) { o.sync = p }
+	return func(o *engineOptions) {
+		switch p {
+		case JournalSyncNever, JournalSyncBatched, JournalSyncAlways:
+			o.sync, o.syncSet = p, true
+		default:
+			o.fail(fmt.Errorf("%w: WithJournalSync(%v): unknown policy", ErrBadOption, p))
+		}
+	}
 }
 
-// apply folds the options into cfg and returns the journal parameters.
-func (o engineOptions) apply(cfg EngineConfig) EngineConfig {
+// WithMetrics attaches a metrics registry: the engine (and its journal)
+// record per-tenant ledger gauges, apply/fsync latency histograms, and
+// overload/breaker counters into m, renderable with
+// Metrics.WritePrometheus. Share one registry across engines to scrape
+// them from one endpoint. Without this option the engine records nothing
+// and pays nothing.
+func WithMetrics(m *Metrics) EngineOption {
+	return func(o *engineOptions) {
+		if m == nil {
+			o.fail(fmt.Errorf("%w: WithMetrics(nil): want a registry from NewMetrics", ErrBadOption))
+			return
+		}
+		o.metrics = m
+	}
+}
+
+// WithFlightRecorder keeps the last n structured engine events (batch
+// applies, sheds, degrade transitions, breaker trips/probes/heals, forced
+// fault migrations, journal lifecycle) in a fixed-size ring, dumpable as
+// JSONL via Engine.FlightRecorder — the post-incident "what just
+// happened" record.
+func WithFlightRecorder(n int) EngineOption {
+	return func(o *engineOptions) {
+		if n < 1 {
+			o.fail(fmt.Errorf("%w: WithFlightRecorder(%d): want capacity for at least 1 event", ErrBadOption, n))
+			return
+		}
+		o.flightN = n
+	}
+}
+
+// WithPoisonDump writes the flight recorder's contents to w as JSONL the
+// moment any tenant is poisoned, so the events leading up to a failure
+// are captured even if the process dies before anyone scrapes them.
+// Requires WithFlightRecorder.
+func WithPoisonDump(w io.Writer) EngineOption {
+	return func(o *engineOptions) {
+		if w == nil {
+			o.fail(fmt.Errorf("%w: WithPoisonDump(nil): want a writer", ErrBadOption))
+			return
+		}
+		o.poisonDump = w
+	}
+}
+
+// config folds the options into an engine.Config and builds the
+// observability sink.
+func (o *engineOptions) config() (EngineConfig, *obs.Sink, error) {
+	if o.err != nil {
+		return EngineConfig{}, nil, o.err
+	}
+	if o.poisonDump != nil && o.flightN == 0 {
+		return EngineConfig{}, nil, fmt.Errorf("%w: WithPoisonDump requires WithFlightRecorder", ErrBadOption)
+	}
+	var fr *obs.FlightRecorder
+	if o.flightN > 0 {
+		fr = obs.NewFlightRecorder(o.flightN)
+	}
+	sink := obs.NewSink(o.metrics, fr)
+	if sink != nil && o.poisonDump != nil {
+		sink.SetPoisonDump(o.poisonDump)
+	}
+	cfg := EngineConfig{
+		Shards:         o.shards,
+		BatchSize:      o.batch,
+		Audit:          o.audit,
+		DegradeBudget:  o.budget,
+		ReplayWatchdog: o.watchdog,
+		Rebuild:        rebuildSpec,
+		Sink:           sink,
+	}
 	if o.maxQueueSet {
 		cfg.MaxQueue = o.maxQueue
 	}
 	if o.policySet {
 		cfg.Overload = o.policy
 	}
-	if o.budget > 0 {
-		cfg.DegradeBudget = o.budget
+	if o.breakerSet {
+		cfg.Breaker = o.breaker
 	}
-	cfg.Rebuild = rebuildSpec
-	return cfg
+	return cfg, sink, nil
 }
 
 // Engine multiplexes many independent tenant machines behind one
@@ -169,26 +361,88 @@ func (o engineOptions) apply(cfg EngineConfig) EngineConfig {
 // queues are bounded, and with WithJournal the engine survives crashes
 // and heals poisoned tenants; see docs/ENGINE.md.
 type Engine struct {
-	eng *engine.Engine
+	eng  *engine.Engine
+	sink *obs.Sink
 }
 
-// NewEngine builds an engine from cfg (zero value = defaults) and
-// options. The error is always nil unless WithJournal is given and the
-// journal directory cannot be opened.
-func NewEngine(cfg EngineConfig, opts ...EngineOption) (*Engine, error) {
-	var o engineOptions
+// collect runs opts over a fresh engineOptions, catching nil options.
+func collect(caller string, opts []EngineOption) (*engineOptions, error) {
+	o := &engineOptions{}
 	for _, opt := range opts {
-		opt(&o)
+		if opt == nil {
+			return nil, fmt.Errorf("partalloc: %s: %w: nil EngineOption", caller, ErrBadOption)
+		}
+		opt(o)
 	}
-	cfg = o.apply(cfg)
+	return o, nil
+}
+
+// NewEngine builds an engine from options alone; the zero-option call
+// selects the defaults (min(GOMAXPROCS, 8) shards, 256-event batches, no
+// audit, no queue bound, no journal, no observability). Construction
+// fails with ErrBadOption on the chain when an option is invalid, and
+// with the journal's error when WithJournal cannot open its directory.
+func NewEngine(opts ...EngineOption) (*Engine, error) {
+	o, err := collect("NewEngine", opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg, sink, err := o.config()
+	if err != nil {
+		return nil, fmt.Errorf("partalloc: NewEngine: %w", err)
+	}
 	if o.journalDir != "" {
-		log, err := wal.Open(o.journalDir, wal.Options{Sync: o.sync})
+		log, err := wal.Open(o.journalDir, wal.Options{Sync: o.sync, Sink: sink})
 		if err != nil {
 			return nil, fmt.Errorf("partalloc: NewEngine: %w", err)
 		}
 		cfg.Journal = log
 	}
-	return &Engine{eng: engine.New(cfg)}, nil
+	return &Engine{eng: engine.New(cfg), sink: sink}, nil
+}
+
+// NewEngineFromConfig builds an engine from the legacy EngineConfig
+// struct plus options; non-zero struct fields are mapped onto the
+// corresponding options, and explicit options win over struct fields.
+//
+// Deprecated: use NewEngine with WithShards, WithBatchSize, WithAudit,
+// WithMaxQueue, WithOverloadPolicy, WithDegradeBudget,
+// WithReplayWatchdog and WithBreaker instead.
+func NewEngineFromConfig(cfg EngineConfig, opts ...EngineOption) (*Engine, error) {
+	return NewEngine(append(optionsFromConfig(cfg), opts...)...)
+}
+
+// optionsFromConfig maps the legacy struct's non-zero fields onto the
+// equivalent options, so the deprecated wrappers share the options-only
+// construction path. Internal plumbing fields (Journal, Rebuild, Sink)
+// are engine-owned and ignored.
+func optionsFromConfig(cfg EngineConfig) []EngineOption {
+	var opts []EngineOption
+	if cfg.Shards > 0 {
+		opts = append(opts, WithShards(cfg.Shards))
+	}
+	if cfg.BatchSize > 0 {
+		opts = append(opts, WithBatchSize(cfg.BatchSize))
+	}
+	if cfg.Audit {
+		opts = append(opts, WithAudit())
+	}
+	if cfg.MaxQueue > 0 {
+		opts = append(opts, WithMaxQueue(cfg.MaxQueue))
+	}
+	if cfg.Overload != OverloadBlock {
+		opts = append(opts, WithOverloadPolicy(cfg.Overload))
+	}
+	if cfg.DegradeBudget > 0 {
+		opts = append(opts, WithDegradeBudget(cfg.DegradeBudget))
+	}
+	if cfg.ReplayWatchdog > 0 {
+		opts = append(opts, WithReplayWatchdog(cfg.ReplayWatchdog))
+	}
+	if cfg.Breaker != (BreakerConfig{}) {
+		opts = append(opts, WithBreaker(cfg.Breaker))
+	}
+	return opts
 }
 
 // RecoverEngine reconstructs a journaling engine from the log a crashed
@@ -196,21 +450,52 @@ func NewEngine(cfg EngineConfig, opts ...EngineOption) (*Engine, error) {
 // registration records and every journaled ingestion call is re-applied,
 // reproducing ledgers and queue contents exactly — including tenants the
 // crash left poisoned. The recovered engine journals onward in the same
-// directory. Pass the same EngineConfig and options the original engine
-// ran with; WithJournal is implied by dir.
-func RecoverEngine(cfg EngineConfig, dir string, opts ...EngineOption) (*Engine, error) {
-	var o engineOptions
-	for _, opt := range opts {
-		opt(&o)
+// directory. Pass the same options the original engine ran with;
+// WithJournal is implied by dir.
+func RecoverEngine(dir string, opts ...EngineOption) (*Engine, error) {
+	o, err := collect("RecoverEngine", opts)
+	if err != nil {
+		return nil, err
 	}
 	if o.journalDir != "" && o.journalDir != dir {
 		return nil, fmt.Errorf("partalloc: RecoverEngine: WithJournal(%q) conflicts with recovery directory %q", o.journalDir, dir)
 	}
-	eng, err := engine.Recover(o.apply(cfg), dir, wal.Options{Sync: o.sync})
+	cfg, sink, err := o.config()
 	if err != nil {
 		return nil, fmt.Errorf("partalloc: RecoverEngine: %w", err)
 	}
-	return &Engine{eng: eng}, nil
+	eng, err := engine.Recover(cfg, dir, wal.Options{Sync: o.sync, Sink: sink})
+	if err != nil {
+		return nil, fmt.Errorf("partalloc: RecoverEngine: %w", err)
+	}
+	return &Engine{eng: eng, sink: sink}, nil
+}
+
+// RecoverEngineFromConfig is RecoverEngine taking the legacy
+// EngineConfig struct; non-zero fields map onto options as in
+// NewEngineFromConfig.
+//
+// Deprecated: use RecoverEngine(dir, opts...) instead.
+func RecoverEngineFromConfig(cfg EngineConfig, dir string, opts ...EngineOption) (*Engine, error) {
+	return RecoverEngine(dir, append(optionsFromConfig(cfg), opts...)...)
+}
+
+// Metrics returns the registry attached with WithMetrics (nil without
+// it).
+func (e *Engine) Metrics() *Metrics {
+	if e.sink == nil {
+		return nil
+	}
+	return e.sink.Metrics()
+}
+
+// FlightRecorder returns the event ring attached with WithFlightRecorder
+// (nil without it).
+func (e *Engine) FlightRecorder() *FlightRecorder {
+	if e.sink == nil {
+		return nil
+	}
+	return e.sink.FlightRecorder()
 }
 
 // Close releases the engine's journal, if any. Queued events are NOT
@@ -239,7 +524,14 @@ func (e *Engine) AddTenant(id string, algo Algorithm, m *Machine, opts ...Option
 	if err != nil {
 		return err
 	}
-	return e.eng.AddTenantSpec(spec, ua, sched, host)
+	topts := []engine.TenantOption{engine.WithTenantSpec(spec)}
+	if sched != nil {
+		topts = append(topts, engine.WithTenantFaults(sched))
+	}
+	if host != nil {
+		topts = append(topts, engine.WithTenantHost(host))
+	}
+	return e.eng.AddTenant(id, ua, topts...)
 }
 
 // Submit queues events for a tenant, applying a batch whenever the

@@ -12,7 +12,7 @@ import (
 // TestEngineFacadeMatchesSimulate drives the public Engine with
 // option-built tenants and checks the ledgers agree with serial Simulate.
 func TestEngineFacadeMatchesSimulate(t *testing.T) {
-	eng, err := partalloc.NewEngine(partalloc.EngineConfig{BatchSize: 128})
+	eng, err := partalloc.NewEngine(partalloc.WithBatchSize(128))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestEngineFacadeMatchesSimulate(t *testing.T) {
 // error chain that errors.Is recognizes as both ErrTenantPoisoned and
 // ErrMachineFull.
 func TestEngineFaultOptionAndSentinel(t *testing.T) {
-	eng, err := partalloc.NewEngine(partalloc.EngineConfig{})
+	eng, err := partalloc.NewEngine()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,7 +16,7 @@ import (
 // every tenant ledger byte-for-byte under CanonicalEngineStats.
 func TestEngineJournalRecoverRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	eng, err := partalloc.NewEngine(partalloc.EngineConfig{BatchSize: 32},
+	eng, err := partalloc.NewEngine(partalloc.WithBatchSize(32),
 		partalloc.WithJournal(dir), partalloc.WithMaxQueue(64))
 	if err != nil {
 		t.Fatal(err)
@@ -75,7 +75,7 @@ func TestEngineJournalRecoverRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rec, err := partalloc.RecoverEngine(partalloc.EngineConfig{BatchSize: 32}, dir, partalloc.WithMaxQueue(64))
+	rec, err := partalloc.RecoverEngine(dir, partalloc.WithBatchSize(32), partalloc.WithMaxQueue(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestEngineJournalRecoverRoundTrip(t *testing.T) {
 // TestEngineOverloadOptions exercises the overload surface through the
 // facade: Shed rejects whole with ErrOverloaded, Block admits chunked.
 func TestEngineOverloadOptions(t *testing.T) {
-	shed, err := partalloc.NewEngine(partalloc.EngineConfig{BatchSize: 4},
+	shed, err := partalloc.NewEngine(partalloc.WithBatchSize(4),
 		partalloc.WithMaxQueue(8), partalloc.WithOverloadPolicy(partalloc.OverloadShed))
 	if err != nil {
 		t.Fatal(err)
@@ -131,7 +131,7 @@ func TestEngineOverloadOptions(t *testing.T) {
 		t.Errorf("after shed: ShedEvents=%d Events=%d, want 10/0", st.ShedEvents, st.Events)
 	}
 
-	block, err := partalloc.NewEngine(partalloc.EngineConfig{BatchSize: 4},
+	block, err := partalloc.NewEngine(partalloc.WithBatchSize(4),
 		partalloc.WithMaxQueue(8), partalloc.WithOverloadPolicy(partalloc.OverloadBlock))
 	if err != nil {
 		t.Fatal(err)
@@ -155,7 +155,7 @@ func TestEngineOverloadOptions(t *testing.T) {
 // on a degradable tenant: a sub-nanosecond budget forces the controller
 // up the ladder, and the transition ledger surfaces in the stats.
 func TestEngineDegradeOptionThroughFacade(t *testing.T) {
-	eng, err := partalloc.NewEngine(partalloc.EngineConfig{BatchSize: 64},
+	eng, err := partalloc.NewEngine(partalloc.WithBatchSize(64),
 		partalloc.WithOverloadPolicy(partalloc.OverloadDegrade), partalloc.WithDegradeBudget(1))
 	if err != nil {
 		t.Fatal(err)
@@ -183,7 +183,7 @@ func TestEngineDegradeOptionThroughFacade(t *testing.T) {
 // TestRecoverEngineRejectsConflictingJournal pins the strictness rule:
 // WithJournal inside RecoverEngine may only repeat the directory.
 func TestRecoverEngineRejectsConflictingJournal(t *testing.T) {
-	if _, err := partalloc.RecoverEngine(partalloc.EngineConfig{}, t.TempDir(), partalloc.WithJournal("elsewhere")); err == nil {
+	if _, err := partalloc.RecoverEngine(t.TempDir(), partalloc.WithJournal("elsewhere")); err == nil {
 		t.Fatal("conflicting WithJournal accepted")
 	}
 }

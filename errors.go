@@ -18,4 +18,9 @@ var (
 	// ErrMachineFull reports that no healthy submachine of the requested
 	// size exists (every candidate covers a failed PE).
 	ErrMachineFull = errs.ErrMachineFull
+	// ErrBadOption reports an invalid or inapplicable functional option,
+	// anywhere options are taken: New (WithD on a non-reallocating
+	// algorithm, say), NewEngine (WithShards(0)), or AddTenant. The
+	// message names the offending option.
+	ErrBadOption = errs.ErrBadOption
 )

@@ -45,7 +45,7 @@ func TestSentinelErrorsViaErrorsIs(t *testing.T) {
 	}
 
 	// ErrOverloaded from the engine's Shed overload policy.
-	eng, err := partalloc.NewEngine(partalloc.EngineConfig{},
+	eng, err := partalloc.NewEngine(
 		partalloc.WithMaxQueue(1), partalloc.WithOverloadPolicy(partalloc.OverloadShed))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,88 @@
+// Package obsbless keeps observability wiring behind the engine facade.
+//
+// The metrics registry, flight recorder, and Sink in internal/obs are
+// deliberately constructed in exactly one place: the partalloc facade's
+// EngineOptions (WithMetrics, WithFlightRecorder), which hand a fully
+// wired *obs.Sink to the engine. A stray obs.NewMetrics or obs.NewSink
+// call elsewhere mints a second registry the /metrics endpoint never
+// sees — series silently land in a shadow registry and dashboards read
+// zeros. obsbless flags direct construction outside the blessed
+// packages and points at the facade options. Test files are exempt:
+// they wire private registries on purpose to assert counter values.
+package obsbless
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"partalloc/internal/analysis"
+)
+
+// Analyzer is the obsbless pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsbless",
+	Doc: "flags direct internal/obs registry construction (obs.NewMetrics/NewFlightRecorder/NewSink) " +
+		"outside the partalloc facade and the engine; wire observability through " +
+		"partalloc.NewMetrics + WithMetrics/WithFlightRecorder so every series lands in the " +
+		"registry that /metrics serves",
+	Run: run,
+}
+
+// constructors are the partalloc/internal/obs entry points that mint a
+// registry, recorder, or sink.
+var constructors = map[string]string{
+	"partalloc/internal/obs.NewMetrics":        "NewMetrics",
+	"partalloc/internal/obs.NewFlightRecorder": "NewFlightRecorder",
+	"partalloc/internal/obs.NewSink":           "NewSink",
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		short, ok := constructors[pass.FuncNameOf(call)]
+		if !ok {
+			return
+		}
+		// Tests construct private registries on purpose, to assert exact
+		// counter values without cross-test interference.
+		if isTestFile(pass, call.Pos()) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"direct obs.%s builds a shadow registry the /metrics endpoint never serves; "+
+				"construct observability through the partalloc facade "+
+				"(partalloc.NewMetrics, WithMetrics, WithFlightRecorder)", short)
+	})
+	return nil
+}
+
+// isTestFile reports whether pos sits in a _test.go file.
+func isTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// inScope restricts the check to this module's internal/ and cmd/ trees,
+// excluding the packages blessed to construct observability state: the
+// obs package itself, the engine that consumes the wired Sink, and the
+// facade whose options are the public constructors.
+func inScope(pkgPath string) bool {
+	// Fixture packages opt in by naming convention so the analyzer is
+	// testable outside the real module tree.
+	if strings.Contains(pkgPath, "obsbless_fixture") {
+		return true
+	}
+	switch pkgPath {
+	case "partalloc", "partalloc/internal/obs", "partalloc/internal/engine":
+		return false
+	}
+	for _, prefix := range []string{"partalloc/internal/", "partalloc/cmd/"} {
+		if strings.HasPrefix(pkgPath, prefix) {
+			return true
+		}
+	}
+	return false
+}

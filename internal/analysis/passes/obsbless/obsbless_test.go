@@ -1,0 +1,15 @@
+package obsbless_test
+
+import (
+	"testing"
+
+	"partalloc/internal/analysis/analysistest"
+	"partalloc/internal/analysis/passes/obsbless"
+)
+
+func TestObsbless(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture type-checking shells out to go list")
+	}
+	analysistest.Run(t, obsbless.Analyzer, analysistest.Fixture(t, "obsbless_fixture"))
+}

@@ -11,6 +11,7 @@ import (
 	"partalloc/internal/analysis/passes/hosttopo"
 	"partalloc/internal/analysis/passes/loadmutation"
 	"partalloc/internal/analysis/passes/lockorder"
+	"partalloc/internal/analysis/passes/obsbless"
 	"partalloc/internal/analysis/passes/panicmsg"
 	"partalloc/internal/analysis/passes/powtwo"
 	"partalloc/internal/analysis/passes/purealloc"
@@ -26,6 +27,7 @@ func All() []*analysis.Analyzer {
 		hosttopo.Analyzer,
 		loadmutation.Analyzer,
 		lockorder.Analyzer,
+		obsbless.Analyzer,
 		panicmsg.Analyzer,
 		powtwo.Analyzer,
 		purealloc.Analyzer,

@@ -1,0 +1,30 @@
+// Fixture for the obsbless analyzer: direct construction of the obs
+// registry, recorder, or sink is flagged; holding and calling through an
+// injected *obs.Sink, or documenting a deliberate private registry with
+// //lint:ignore, is fine.
+package obsbless_fixture
+
+import (
+	"partalloc/internal/obs"
+)
+
+func bad() *obs.Metrics {
+	return obs.NewMetrics() // want `shadow registry`
+}
+
+func alsoBad() *obs.Sink {
+	fr := obs.NewFlightRecorder(256)         // want `shadow registry`
+	return obs.NewSink(obs.NewMetrics(), fr) // want `shadow registry` `shadow registry`
+}
+
+// good holds an injected sink and calls through it — consuming
+// observability is always allowed; only minting it is gated.
+func good(sink *obs.Sink) {
+	sink.QueueDepth("t", 3)
+	_ = sink.Metrics()
+}
+
+func documented() *obs.Metrics {
+	//lint:ignore obsbless this fixture exercises the suppression path
+	return obs.NewMetrics()
+}

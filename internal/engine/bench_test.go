@@ -54,7 +54,7 @@ func BenchmarkEngineReplay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		eng := New(Config{BatchSize: 256})
 		for _, id := range benchIDs(8) {
-			if err := eng.AddTenant(id, factories[id](), nil); err != nil {
+			if err := eng.AddTenant(id, factories[id]()); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -51,11 +51,15 @@ import (
 	"sync"
 	"time"
 
+	"runtime/pprof"
+	"strconv"
+
 	"partalloc/internal/core"
 	"partalloc/internal/errs"
 	"partalloc/internal/fault"
 	"partalloc/internal/invariant"
 	"partalloc/internal/mathx"
+	"partalloc/internal/obs"
 	"partalloc/internal/parallel"
 	"partalloc/internal/task"
 	"partalloc/internal/topology"
@@ -124,6 +128,13 @@ type Config struct {
 	Rebuild RebuildFunc
 	// Breaker tunes the circuit breaker's backoff (zero value = defaults).
 	Breaker BreakerConfig
+	// Sink, when non-nil, receives metrics and flight-recorder events
+	// from the hot paths (batch applies, sheds, degrade transitions,
+	// breaker trips/probes/heals, forced fault migrations) and turns on
+	// pprof tenant/shard/algo labels for Replay workers. A nil Sink costs
+	// nothing: every obs.Sink method no-ops on a nil receiver, and the
+	// engine takes no clock readings beyond its own ledger's.
+	Sink *obs.Sink
 }
 
 // RebuildFunc constructs a fresh allocator for a tenant spec. The
@@ -299,6 +310,12 @@ type tenant struct {
 	batches       int64
 	applyNs       int64
 	batchNs       []int64
+
+	// sink mirrors Config.Sink and shardIdx the tenant's stripe, kept on
+	// the tenant so the hot paths (apply, injectFaults) reach them with
+	// no engine pointer.
+	sink     *obs.Sink
+	shardIdx int
 }
 
 // shard is one lock stripe.
@@ -339,42 +356,153 @@ func New(cfg Config) *Engine {
 // not journaling. Callers own closing it when the engine is done.
 func (e *Engine) Journal() *wal.Log { return e.cfg.Journal }
 
-// shardFor hashes a tenant ID to its stripe.
-func (e *Engine) shardFor(id string) *shard {
+// shardIdx hashes a tenant ID to its stripe index.
+func (e *Engine) shardIdx(id string) int {
 	h := fnv.New32a()
 	h.Write([]byte(id))
-	return e.shards[int(h.Sum32())%len(e.shards)]
+	return int(h.Sum32()) % len(e.shards)
 }
 
-// AddTenant registers a tenant backed by allocator a. faults, when
-// non-nil, is a validated schedule injected at the event indexes of this
-// tenant's own stream (the allocator must be core.FaultTolerant — the
-// partalloc facade guarantees this for WithFaults allocators).
-func (e *Engine) AddTenant(id string, a core.Allocator, faults *fault.Schedule) error {
-	return e.addTenant(TenantSpec{ID: id}, false, a, faults, nil, true)
+// shardFor hashes a tenant ID to its stripe.
+func (e *Engine) shardFor(id string) *shard {
+	return e.shards[e.shardIdx(id)]
 }
 
-// AddTenantHosted is AddTenant on a physical topology host: the tenant's
+// tenantAlgo names the tenant's allocator type for pprof labels.
+func (e *Engine) tenantAlgo(s *shard, id string) string {
+	s.mu.Lock()
+	t, ok := s.tenants[id]
+	s.mu.Unlock()
+	if !ok || t.alloc == nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%T", t.alloc)
+}
+
+// tenantOptions accumulates TenantOptions; the first invalid option
+// wins and fails AddTenant with errs.ErrBadOption on the chain.
+type tenantOptions struct {
+	faults  *fault.Schedule
+	host    *topology.Host
+	spec    TenantSpec
+	hasSpec bool
+	err     error
+}
+
+func (o *tenantOptions) fail(err error) {
+	if o.err == nil {
+		o.err = err
+	}
+}
+
+// TenantOption configures AddTenant.
+type TenantOption func(*tenantOptions)
+
+// WithTenantFaults attaches a validated fault schedule, injected at the
+// event indexes of the tenant's own stream. The allocator must be
+// core.FaultTolerant — the partalloc facade guarantees this for
+// WithFaults allocators. The schedule must be non-nil: to register a
+// tenant without faults, pass no option at all.
+func WithTenantFaults(s *fault.Schedule) TenantOption {
+	return func(o *tenantOptions) {
+		if s == nil {
+			o.fail(fmt.Errorf("%w: WithTenantFaults(nil): omit the option instead", errs.ErrBadOption))
+			return
+		}
+		o.faults = s
+	}
+}
+
+// WithTenantHost runs the tenant on a physical topology host: its
 // migrations — voluntary and failure-forced — are additionally priced in
-// network hops (TenantStats.MigHops/ForcedHops), claiming the allocator's
-// migration observer when it has one. The allocator must run on a machine
-// the host's decomposition describes; the partalloc facade builds both
-// from one WithTopology option. host may be nil (plain AddTenant).
+// network hops (TenantStats.MigHops/ForcedHops), claiming the
+// allocator's migration observer when it has one. The allocator must run
+// on a machine the host's decomposition describes; the partalloc facade
+// builds both from one WithTopology option. The host must be non-nil: to
+// register an unhosted tenant, pass no option at all.
+func WithTenantHost(h *topology.Host) TenantOption {
+	return func(o *tenantOptions) {
+		if h == nil {
+			o.fail(fmt.Errorf("%w: WithTenantHost(nil): omit the option instead", errs.ErrBadOption))
+			return
+		}
+		o.host = h
+	}
+}
+
+// WithTenantSpec attaches the tenant's serializable rebuild recipe.
+// Journaled engines require it: the spec is what Recover and the circuit
+// breaker hand to Config.Rebuild to reconstruct the allocator. The
+// caller is responsible for the allocator and other options actually
+// matching what Config.Rebuild would produce from spec — the partalloc
+// facade builds both sides from the same options, so they cannot
+// diverge. The spec's ID must match the AddTenant id.
+func WithTenantSpec(spec TenantSpec) TenantOption {
+	return func(o *tenantOptions) {
+		if spec.ID == "" {
+			o.fail(fmt.Errorf("%w: WithTenantSpec: empty tenant ID", errs.ErrBadOption))
+			return
+		}
+		o.spec = spec
+		o.hasSpec = true
+	}
+}
+
+// AddTenant registers a tenant backed by allocator a, configured by
+// options: WithTenantFaults for a fault schedule, WithTenantHost for
+// hop-priced migrations on a physical network, WithTenantSpec for a
+// rebuild recipe (required on journaled engines).
+//
+// This constructor supersedes AddTenantHosted and AddTenantSpec.
+func (e *Engine) AddTenant(id string, a core.Allocator, topts ...TenantOption) error {
+	o := tenantOptions{spec: TenantSpec{ID: id}}
+	for _, opt := range topts {
+		if opt == nil {
+			return fmt.Errorf("engine: AddTenant(%q): %w: nil TenantOption", id, errs.ErrBadOption)
+		}
+		opt(&o)
+	}
+	if o.err != nil {
+		return fmt.Errorf("engine: AddTenant(%q): %w", id, o.err)
+	}
+	if o.hasSpec && o.spec.ID != id {
+		return fmt.Errorf("engine: AddTenant(%q): %w: WithTenantSpec ID %q does not match", id, errs.ErrBadOption, o.spec.ID)
+	}
+	return e.addTenant(o.spec, o.hasSpec, a, o.faults, o.host, true)
+}
+
+// AddTenantHosted is AddTenant on a physical topology host; faults and
+// host may each be nil (plain AddTenant).
+//
+// Deprecated: use AddTenant(id, a, WithTenantFaults(faults),
+// WithTenantHost(host)), omitting the options that would be nil here.
 func (e *Engine) AddTenantHosted(id string, a core.Allocator, faults *fault.Schedule, host *topology.Host) error {
-	return e.addTenant(TenantSpec{ID: id}, false, a, faults, host, true)
+	var topts []TenantOption
+	if faults != nil {
+		topts = append(topts, WithTenantFaults(faults))
+	}
+	if host != nil {
+		topts = append(topts, WithTenantHost(host))
+	}
+	return e.AddTenant(id, a, topts...)
 }
 
 // AddTenantSpec registers a tenant along with its serializable rebuild
-// recipe. Journaled engines require it: the spec is what Recover and the
-// circuit breaker hand to Config.Rebuild to reconstruct the allocator.
-// The caller is responsible for a, faults, and host actually matching
-// what Config.Rebuild would produce from spec — the partalloc facade
-// builds both sides from the same options, so they cannot diverge.
+// recipe; faults and host may each be nil.
+//
+// Deprecated: use AddTenant(spec.ID, a, WithTenantSpec(spec), ...).
 func (e *Engine) AddTenantSpec(spec TenantSpec, a core.Allocator, faults *fault.Schedule, host *topology.Host) error {
 	if spec.ID == "" {
 		return fmt.Errorf("engine: AddTenantSpec: empty tenant ID")
 	}
-	return e.addTenant(spec, true, a, faults, host, true)
+	topts := []TenantOption{WithTenantSpec(spec)}
+	if faults != nil {
+		topts = append(topts, WithTenantFaults(faults))
+	}
+	if host != nil {
+		topts = append(topts, WithTenantHost(host))
+	}
+	return e.AddTenant(spec.ID, a, topts...)
 }
 
 // addTenant is the shared registration path. journal=false is the
@@ -406,6 +534,9 @@ func (e *Engine) addTenant(spec TenantSpec, hasSpec bool, a core.Allocator, faul
 		}
 	}
 	s.tenants[id] = t
+	// Pre-creates every per-tenant series so gauges (breaker state, queue
+	// depth) are scrapeable as 0 before the first batch.
+	e.cfg.Sink.TenantRegistered(id)
 	return nil
 }
 
@@ -421,6 +552,8 @@ func (e *Engine) buildTenant(spec TenantSpec, hasSpec bool, a core.Allocator, fa
 		spec:     spec,
 		hasSpec:  hasSpec,
 		n:        int64(a.Machine().N()),
+		sink:     e.cfg.Sink,
+		shardIdx: e.shardIdx(id),
 	}
 	if ba, ok := a.(core.BatchApplier); ok {
 		t.batch = ba
@@ -460,9 +593,9 @@ func wireObserver(t *tenant) {
 	if t.host == nil {
 		return
 	}
-	if obs, ok := t.alloc.(core.Observable); ok {
+	if ob, ok := t.alloc.(core.Observable); ok {
 		host := t.host
-		obs.SetMigrationObserver(func(_ task.ID, from, to tree.Node) {
+		ob.SetMigrationObserver(func(_ task.ID, from, to tree.Node) {
 			if t.inFault {
 				return
 			}
@@ -489,6 +622,7 @@ func (e *Engine) Submit(id string, evs ...task.Event) error {
 	}
 	if e.cfg.Overload == Shed && e.cfg.MaxQueue > 0 && len(t.queue)+len(evs) > e.cfg.MaxQueue {
 		t.shed += int64(len(evs))
+		t.sink.Shed(id, len(evs), len(t.queue))
 		return fmt.Errorf("%w: tenant %q: %d queued + %d submitted exceeds MaxQueue %d",
 			ErrOverloaded, id, len(t.queue), len(evs), e.cfg.MaxQueue)
 	}
@@ -530,6 +664,7 @@ func (e *Engine) ingest(t *tenant, evs []task.Event) error {
 			t.check.OnQueue(len(t.queue), maxQ)
 		}
 		if len(evs) == 0 {
+			t.sink.QueueDepth(t.id, len(t.queue))
 			return nil
 		}
 	}
@@ -672,42 +807,66 @@ func (e *Engine) Replay(ctx context.Context, streams map[string][]task.Event) er
 	// allocator fails its shard instead of hanging the whole replay.
 	// Retries must stay 0: a retried worker would restart its loop and
 	// apply events twice.
-	opts := parallel.RunOptions{Cancel: cancel, Timeout: e.cfg.ReplayWatchdog}
+	opts := parallel.RunOptions{Cancel: cancel, Timeout: e.cfg.ReplayWatchdog, Sink: e.cfg.Sink}
 	cellErrs := parallel.RunCells(len(cells), opts, func(ci int) error {
 		s := cells[ci]
 		for _, id := range byShard[s] {
 			evs := streams[id]
-			for off := 0; off < len(evs); off += e.cfg.BatchSize {
-				if ctx != nil {
-					select {
-					case <-ctx.Done():
-						return ctx.Err()
-					default:
+			runTenant := func() error {
+				for off := 0; off < len(evs); off += e.cfg.BatchSize {
+					if ctx != nil {
+						select {
+						case <-ctx.Done():
+							return ctx.Err()
+						default:
+						}
 					}
-				}
-				end := off + e.cfg.BatchSize
-				if end > len(evs) {
-					end = len(evs)
-				}
-				s.mu.Lock()
-				//lint:ignore lockorder the half-open probe inside get scans the journal under the shard lock by design (see Submit)
-				t, err := e.get(s, id)
-				if err == nil {
-					//lint:ignore lockorder append-before-apply: the batch record and its application must be atomic under the shard lock (see Submit)
-					err = e.journalApply(t, off == 0, evs[off:end])
-				}
-				if err == nil {
-					if off == 0 {
-						err = e.flushTenant(t)
+					end := off + e.cfg.BatchSize
+					if end > len(evs) {
+						end = len(evs)
+					}
+					s.mu.Lock()
+					//lint:ignore lockorder the half-open probe inside get scans the journal under the shard lock by design (see Submit)
+					t, err := e.get(s, id)
+					if err == nil {
+						//lint:ignore lockorder append-before-apply: the batch record and its application must be atomic under the shard lock (see Submit)
+						err = e.journalApply(t, off == 0, evs[off:end])
 					}
 					if err == nil {
-						err = e.apply(t, evs[off:end])
+						if off == 0 {
+							err = e.flushTenant(t)
+						}
+						if err == nil {
+							err = e.apply(t, evs[off:end])
+						}
+					}
+					s.mu.Unlock()
+					if err != nil {
+						return err
 					}
 				}
-				s.mu.Unlock()
-				if err != nil {
-					return err
+				return nil
+			}
+			var err error
+			if e.cfg.Sink != nil {
+				// Label the worker's samples so CPU profiles attribute
+				// time to the tenant/shard/algorithm being replayed.
+				lctx := ctx
+				if lctx == nil {
+					//lint:ignore ctxflow Replay documents ctx == nil as valid; pprof.Do requires a non-nil context
+					lctx = context.Background()
 				}
+				labels := pprof.Labels(
+					"tenant", id,
+					"shard", strconv.Itoa(e.shardIdx(id)),
+					"algo", e.tenantAlgo(s, id),
+				)
+				pprof.Do(lctx, labels, func(context.Context) { err = runTenant() })
+			} else {
+				err = runTenant()
+			}
+			if err != nil {
+				return err
 			}
 		}
 		return nil
@@ -748,6 +907,7 @@ func (e *Engine) get(s *shard, id string) (*tenant, error) {
 		return nil, fmt.Errorf("%w: %q (circuit open, probe in %v): %w",
 			ErrTenantPoisoned, id, time.Duration(wait), t.err)
 	}
+	t.sink.BreakerProbe(id, int64(t.trips))
 	if err := e.probe(s, t); err != nil {
 		return nil, fmt.Errorf("%w: %q (half-open probe failed): %w", ErrTenantPoisoned, id, err)
 	}
@@ -772,6 +932,9 @@ func (e *Engine) poison(t *tenant, cause error) {
 	t.queue = nil
 	t.trips++
 	t.deadline = e.now() + e.backoff(t)
+	// Opens the breaker gauge and, when a poison-dump writer is wired,
+	// flushes the flight recorder so the events leading here survive.
+	t.sink.BreakerTrip(t.id, int64(t.trips), cause.Error())
 }
 
 // apply runs one batch through the allocator, interleaving scheduled
@@ -811,8 +974,17 @@ func (e *Engine) apply(t *tenant, evs []task.Event) (err error) {
 	t.batches++
 	t.applyNs += ns
 	t.batchNs = append(t.batchNs, ns)
-	if load := t.alloc.MaxLoad(); load > t.peakLoad {
+	load := t.alloc.MaxLoad()
+	if load > t.peakLoad {
 		t.peakLoad = load
+	}
+	if t.sink != nil {
+		var lstar int64
+		if t.maxActiveSize > 0 {
+			lstar = mathx.CeilDiv64(t.maxActiveSize, t.n)
+		}
+		t.sink.BatchApplied(t.id, t.shardIdx, len(evs), ns,
+			int64(load), int64(t.peakLoad), lstar, len(t.queue), t.migHops, t.forcedHops)
 	}
 	e.degradeStep(t, ns)
 	return nil
@@ -831,12 +1003,16 @@ func (t *tenant) injectFaults(i int) {
 			t.inFault = true
 			migs := t.ft.FailPE(fe.PE)
 			t.inFault = false
+			var hops int64
 			if t.host != nil {
 				for _, mg := range migs {
-					t.forcedHops += t.host.MigrationCost(mg.From, mg.To)
+					cost := t.host.MigrationCost(mg.From, mg.To)
+					t.forcedHops += cost
+					hops += cost
 					t.check.OnMigration(mg.From, mg.To, true)
 				}
 			}
+			t.sink.ForcedFault(t.id, fe.PE, len(migs), hops)
 			t.check.OnFail(t.alloc, fe.PE)
 		case fault.RecoverPE:
 			t.ft.RecoverPE(fe.PE)

@@ -15,6 +15,15 @@ import (
 	"partalloc/internal/workload"
 )
 
+// tenantOpts converts a possibly-nil schedule into the options-form
+// AddTenant arguments used throughout the tables below.
+func tenantOpts(s *fault.Schedule) []TenantOption {
+	if s == nil {
+		return nil
+	}
+	return []TenantOption{WithTenantFaults(s)}
+}
+
 // testTenant pairs a tenant ID with a factory so the engine and the
 // serial reference each get a fresh allocator of the same configuration.
 type testTenant struct {
@@ -55,7 +64,7 @@ func TestReplayMatchesSerialSimulate(t *testing.T) {
 			m := tree.MustNew(tt.n)
 			a := tt.make(m)
 			engAllocs[tt.id] = a
-			if err := eng.AddTenant(tt.id, a, tt.faults); err != nil {
+			if err := eng.AddTenant(tt.id, a, tenantOpts(tt.faults)...); err != nil {
 				t.Fatal(err)
 			}
 			streams[tt.id] = testStream(tt.n, 700+50*i, int64(i+1))
@@ -120,10 +129,10 @@ func TestSubmitMatchesReplay(t *testing.T) {
 	for i, tt := range fleet {
 		aAllocs[tt.id] = tt.make(tree.MustNew(tt.n))
 		bAllocs[tt.id] = tt.make(tree.MustNew(tt.n))
-		if err := a.AddTenant(tt.id, aAllocs[tt.id], tt.faults); err != nil {
+		if err := a.AddTenant(tt.id, aAllocs[tt.id], tenantOpts(tt.faults)...); err != nil {
 			t.Fatal(err)
 		}
-		if err := b.AddTenant(tt.id, bAllocs[tt.id], tt.faults); err != nil {
+		if err := b.AddTenant(tt.id, bAllocs[tt.id], tenantOpts(tt.faults)...); err != nil {
 			t.Fatal(err)
 		}
 		streams[tt.id] = testStream(tt.n, 600, int64(i+10))
@@ -167,7 +176,7 @@ func TestAuditModeCleanRun(t *testing.T) {
 	eng := New(Config{Shards: 2, BatchSize: 128, Audit: true})
 	streams := make(map[string][]task.Event)
 	for i, tt := range fleet {
-		if err := eng.AddTenant(tt.id, tt.make(tree.MustNew(tt.n)), tt.faults); err != nil {
+		if err := eng.AddTenant(tt.id, tt.make(tree.MustNew(tt.n)), tenantOpts(tt.faults)...); err != nil {
 			t.Fatal(err)
 		}
 		streams[tt.id] = testStream(tt.n, 400, int64(i+20))
@@ -196,7 +205,7 @@ func TestPoisoningSurfacesSentinels(t *testing.T) {
 		{At: 0, Kind: fault.FailPE, PE: 0},
 		{At: 0, Kind: fault.FailPE, PE: 1},
 	}}
-	if err := eng.AddTenant("doomed", core.NewBasic(m), sched); err != nil {
+	if err := eng.AddTenant("doomed", core.NewBasic(m), WithTenantFaults(sched)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -218,7 +227,7 @@ func TestPoisoningSurfacesSentinels(t *testing.T) {
 		t.Errorf("Err after poisoning: %v", err)
 	}
 	// The rest of the engine keeps working.
-	if err := eng.AddTenant("healthy", core.NewBasic(tree.MustNew(8)), nil); err != nil {
+	if err := eng.AddTenant("healthy", core.NewBasic(tree.MustNew(8))); err != nil {
 		t.Fatal(err)
 	}
 	if err := eng.Submit("healthy", task.Event{Kind: task.Arrive, Task: 1, Size: 2}); err != nil {
@@ -233,7 +242,7 @@ func TestPoisoningSurfacesSentinels(t *testing.T) {
 // panic becomes ErrDuplicateTask on the error chain.
 func TestDuplicateArrivalPoisons(t *testing.T) {
 	eng := New(Config{BatchSize: 8})
-	if err := eng.AddTenant("t", core.NewGreedy(tree.MustNew(8)), nil); err != nil {
+	if err := eng.AddTenant("t", core.NewGreedy(tree.MustNew(8))); err != nil {
 		t.Fatal(err)
 	}
 	err := eng.Replay(context.Background(), map[string][]task.Event{"t": {
@@ -248,10 +257,10 @@ func TestDuplicateArrivalPoisons(t *testing.T) {
 func TestTenantRegistry(t *testing.T) {
 	eng := New(Config{})
 	m := tree.MustNew(4)
-	if err := eng.AddTenant("a", core.NewBasic(m), nil); err != nil {
+	if err := eng.AddTenant("a", core.NewBasic(m)); err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.AddTenant("a", core.NewBasic(m), nil); !errors.Is(err, ErrDuplicateTenant) {
+	if err := eng.AddTenant("a", core.NewBasic(m)); !errors.Is(err, ErrDuplicateTenant) {
 		t.Errorf("duplicate AddTenant: %v", err)
 	}
 	if err := eng.Submit("ghost"); !errors.Is(err, ErrUnknownTenant) {
@@ -263,11 +272,11 @@ func TestTenantRegistry(t *testing.T) {
 	if err := eng.Replay(context.Background(), map[string][]task.Event{"ghost": nil}); !errors.Is(err, ErrUnknownTenant) {
 		t.Errorf("Replay of unknown tenant: %v", err)
 	}
-	if err := eng.AddTenant("nil", nil, nil); err == nil {
+	if err := eng.AddTenant("nil", nil); err == nil {
 		t.Error("nil allocator accepted")
 	}
 	sched := &fault.Schedule{Events: []fault.Event{{At: 0, Kind: fault.FailPE, PE: 0}}}
-	if err := eng.AddTenant("rand", core.NewRandom(m, 1), sched); err == nil {
+	if err := eng.AddTenant("rand", core.NewRandom(m, 1), WithTenantFaults(sched)); err == nil {
 		t.Error("fault schedule accepted on a non-fault-tolerant allocator")
 	}
 	want := []string{"a"}
@@ -280,7 +289,7 @@ func TestTenantRegistry(t *testing.T) {
 // the replay before any event is applied and reports ctx.Err().
 func TestReplayContextCancellation(t *testing.T) {
 	eng := New(Config{BatchSize: 32})
-	if err := eng.AddTenant("t", core.NewBasic(tree.MustNew(16)), nil); err != nil {
+	if err := eng.AddTenant("t", core.NewBasic(tree.MustNew(16))); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())

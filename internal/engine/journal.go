@@ -178,7 +178,11 @@ func (e *Engine) probe(s *shard, t *tenant) error {
 		e.rearm(t)
 		return err
 	}
-	return e.rebuild(t, a, faults, host, tl[:keep], drop)
+	if err := e.rebuild(t, a, faults, host, tl[:keep], drop); err != nil {
+		return err
+	}
+	t.sink.BreakerHeal(t.id, drop)
+	return nil
 }
 
 // rearm re-opens the breaker after a failed probe: the trip count rises,

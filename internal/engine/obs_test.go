@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+
+	"partalloc/internal/core"
+	"partalloc/internal/errs"
+	"partalloc/internal/obs"
+	"partalloc/internal/task"
+	"partalloc/internal/topology"
+	"partalloc/internal/tree"
+)
+
+// TestTenantOptionValidation is the AddTenant half of the ErrBadOption
+// table: nil and inapplicable tenant options fail with the sentinel.
+func TestTenantOptionValidation(t *testing.T) {
+	a := func() core.Allocator { return core.NewBasic(tree.MustNew(8)) }
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"nil option", New(Config{}).AddTenant("t", a(), nil)},
+		{"WithTenantFaults(nil)", New(Config{}).AddTenant("t", a(), WithTenantFaults(nil))},
+		{"WithTenantHost(nil)", New(Config{}).AddTenant("t", a(), WithTenantHost(nil))},
+		{"WithTenantSpec empty ID", New(Config{}).AddTenant("t", a(), WithTenantSpec(TenantSpec{}))},
+		{"WithTenantSpec ID mismatch", New(Config{}).AddTenant("t", a(), WithTenantSpec(TenantSpec{ID: "other", Algorithm: "basic", N: 8}))},
+	}
+	for _, tc := range cases {
+		if !errors.Is(tc.err, errs.ErrBadOption) {
+			t.Errorf("%s: error %v is not errs.ErrBadOption", tc.name, tc.err)
+		}
+	}
+	// A valid spec with a matching ID is accepted.
+	if err := New(Config{}).AddTenant("t", a(), WithTenantSpec(TenantSpec{ID: "t", Algorithm: "basic", N: 8})); err != nil {
+		t.Errorf("matching spec rejected: %v", err)
+	}
+}
+
+// TestDeprecatedAddTenantHosted pins the wrapper: the old 4-arg hosted
+// form and the options form must register identical tenants, ledgers
+// included.
+func TestDeprecatedAddTenantHosted(t *testing.T) {
+	stream := testStream(16, 500, 21)
+	build := func(add func(e *Engine, a core.Allocator, h *topology.Host) error) *Engine {
+		t.Helper()
+		host, err := topology.NewHostNamed("hypercube", 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := New(Config{Shards: 1, BatchSize: 32})
+		if err := add(e, core.NewConstant(host.Tree()), host); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Replay(context.Background(), map[string][]task.Event{"t": stream}); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	old := build(func(e *Engine, a core.Allocator, h *topology.Host) error {
+		return e.AddTenantHosted("t", a, nil, h)
+	})
+	opt := build(func(e *Engine, a core.Allocator, h *topology.Host) error {
+		return e.AddTenant("t", a, WithTenantHost(h))
+	})
+	ost, _ := old.TenantStats("t")
+	nst, _ := opt.TenantStats("t")
+	if !bytes.Equal(CanonicalStats(ost), CanonicalStats(nst)) {
+		t.Errorf("hosted wrapper diverged:\n--- old ---\n%s--- options ---\n%s", CanonicalStats(ost), CanonicalStats(nst))
+	}
+	if ost.MigHops == 0 {
+		t.Error("hosted A_C tenant recorded no migration hops; host not attached?")
+	}
+}
+
+// burnOnArrive spends CPU inside the apply path so a profile taken
+// around Replay has samples to label.
+type burnOnArrive struct {
+	core.Allocator
+	burnt int
+}
+
+func (b *burnOnArrive) Arrive(tk task.Task) tree.Node {
+	x := 0
+	for i := 0; i < 50_000; i++ {
+		x += i * i
+	}
+	b.burnt = x
+	return b.Allocator.Arrive(tk)
+}
+
+// TestReplayProfileCarriesTenantLabels takes a CPU profile around an
+// instrumented Replay and checks the pprof label keys and values reach
+// the profile's string table — the contract cmd/engined's
+// /debug/pprof/profile endpoint relies on.
+func TestReplayProfileCarriesTenantLabels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CPU profiling run; skipped in -short")
+	}
+	sink := obs.NewSink(obs.NewMetrics(), nil)
+	e := New(Config{Shards: 1, BatchSize: 64, Sink: sink})
+	burner := &burnOnArrive{Allocator: core.NewBasic(tree.MustNew(16))}
+	if err := e.AddTenant("labeled-tenant", burner); err != nil {
+		t.Fatal(err)
+	}
+	stream := testStream(16, 2000, 5)
+
+	var prof bytes.Buffer
+	if err := pprof.StartCPUProfile(&prof); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Replay(context.Background(), map[string][]task.Event{"labeled-tenant": stream})
+	pprof.StopCPUProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.KeepAlive(burner.burnt)
+
+	// The profile is a gzipped protobuf whose string table holds label
+	// keys and values verbatim.
+	zr, err := gzip.NewReader(&prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tenant", "labeled-tenant", "shard", "algo"} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Errorf("profile missing label string %q", want)
+		}
+	}
+}
+
+// TestSinkLedgerAgreement cross-checks the metrics registry against the
+// engine's own ledger after a replay: the counters must be derived from,
+// never drift from, TenantStats.
+func TestSinkLedgerAgreement(t *testing.T) {
+	m := obs.NewMetrics()
+	sink := obs.NewSink(m, obs.NewFlightRecorder(64))
+	e := New(Config{Shards: 2, BatchSize: 32, Sink: sink})
+	if err := e.AddTenant("t", core.NewGreedy(tree.MustNew(16))); err != nil {
+		t.Fatal(err)
+	}
+	stream := testStream(16, 600, 3)
+	if err := e.Replay(context.Background(), map[string][]task.Event{"t": stream}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.TenantStats("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter(obs.MetricTenantEvents, "", obs.L("tenant", "t")).Value(); got != st.Events {
+		t.Errorf("events counter = %d, ledger says %d", got, st.Events)
+	}
+	if got := m.Counter(obs.MetricTenantBatches, "", obs.L("tenant", "t")).Value(); got != st.Batches {
+		t.Errorf("batches counter = %d, ledger says %d", got, st.Batches)
+	}
+	if got := m.Gauge(obs.MetricTenantPeakLoad, "", obs.L("tenant", "t")).Value(); got != int64(st.PeakLoad) {
+		t.Errorf("peak-load gauge = %d, ledger says %d", got, st.PeakLoad)
+	}
+	if got := m.Gauge(obs.MetricTenantLStar, "", obs.L("tenant", "t")).Value(); got != int64(st.LStar) {
+		t.Errorf("lstar gauge = %d, ledger says %d", got, st.LStar)
+	}
+	h := m.Histogram(obs.MetricTenantApplyLatency, "", obs.L("tenant", "t"))
+	if got := h.Count(); got != st.Batches {
+		t.Errorf("apply-latency histogram count = %d, ledger says %d batches", got, st.Batches)
+	}
+	if fr := sink.FlightRecorder(); fr.Len() == 0 {
+		t.Error("flight recorder recorded nothing")
+	}
+}

@@ -158,6 +158,7 @@ func (e *Engine) shiftDegrade(t *tenant, level int, cause string) {
 		Cause: cause,
 	}
 	d.trans = append(d.trans, tr)
+	t.sink.Degrade(t.id, level, int64(to.d), to.lazy)
 	t.check.OnDegrade(tr.FromD, tr.ToD, tr.FromLazy, tr.ToLazy, tr.Cause)
 }
 

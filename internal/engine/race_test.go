@@ -36,7 +36,7 @@ func TestConcurrentMultiTenantIngestion(t *testing.T) {
 		default:
 			a = core.NewRandom(tree.MustNew(128), int64(i))
 		}
-		if err := eng.AddTenant(ids[i], a, nil); err != nil {
+		if err := eng.AddTenant(ids[i], a); err != nil {
 			t.Fatal(err)
 		}
 		n := a.Machine().N()

@@ -108,10 +108,10 @@ func TestBlockPolicyBoundsQueue(t *testing.T) {
 	free := New(Config{Shards: 1, BatchSize: 256, Audit: true})
 	ba := core.NewBasic(tree.MustNew(16))
 	fa := core.NewBasic(tree.MustNew(16))
-	if err := bounded.AddTenant("t", ba, nil); err != nil {
+	if err := bounded.AddTenant("t", ba); err != nil {
 		t.Fatal(err)
 	}
-	if err := free.AddTenant("t", fa, nil); err != nil {
+	if err := free.AddTenant("t", fa); err != nil {
 		t.Fatal(err)
 	}
 
@@ -160,7 +160,7 @@ func TestBlockPolicyBoundsQueue(t *testing.T) {
 // submissions keep flowing afterwards.
 func TestShedPolicyRejectsWhole(t *testing.T) {
 	eng := New(Config{Shards: 1, BatchSize: 4, MaxQueue: 8, Overload: Shed, Audit: true})
-	if err := eng.AddTenant("t", core.NewBasic(tree.MustNew(16)), nil); err != nil {
+	if err := eng.AddTenant("t", core.NewBasic(tree.MustNew(16))); err != nil {
 		t.Fatal(err)
 	}
 
@@ -204,7 +204,7 @@ func TestDegradeClimbsAndRestores(t *testing.T) {
 	clk := &fakeClock{step: int64(2 * time.Millisecond)}
 	eng.now = clk.tick
 	p := core.NewPeriodic(tree.MustNew(64), 1, core.DecreasingSize)
-	if err := eng.AddTenant("t", p, nil); err != nil {
+	if err := eng.AddTenant("t", p); err != nil {
 		t.Fatal(err)
 	}
 
@@ -259,7 +259,7 @@ func TestDegradeClimbsAndRestores(t *testing.T) {
 // ladder, no transitions, EffectiveD stays the -1 sentinel.
 func TestDegradePolicyInertOnNonDegradable(t *testing.T) {
 	eng := New(Config{Shards: 1, BatchSize: 4, MaxQueue: 8, Overload: Degrade, DegradeBudget: time.Nanosecond})
-	if err := eng.AddTenant("t", core.NewGreedy(tree.MustNew(16)), nil); err != nil {
+	if err := eng.AddTenant("t", core.NewGreedy(tree.MustNew(16))); err != nil {
 		t.Fatal(err)
 	}
 	if err := eng.Submit("t", arrivals(1, 20, 1)...); err != nil {
@@ -299,7 +299,7 @@ func TestBreakerRebuildsFromJournal(t *testing.T) {
 	eng.now = clk.tick
 
 	// A journaled engine must refuse tenants without a rebuild recipe.
-	if err := eng.AddTenant("nospec", core.NewBasic(tree.MustNew(4)), nil); err == nil {
+	if err := eng.AddTenant("nospec", core.NewBasic(tree.MustNew(4))); err == nil {
 		t.Fatal("journaled engine accepted a spec-less tenant")
 	}
 	addSpecTenant(t, eng, TenantSpec{ID: "t", Algorithm: "greedy", N: 8})
@@ -511,7 +511,7 @@ func TestReplayCancelMidRunThenResume(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	eng := New(Config{Shards: 1, BatchSize: batch})
 	wrapped := &cancelOnArrive{Allocator: core.NewBasic(tree.MustNew(16)), n: 100, cancel: cancel}
-	if err := eng.AddTenant("t", wrapped, nil); err != nil {
+	if err := eng.AddTenant("t", wrapped); err != nil {
 		t.Fatal(err)
 	}
 
@@ -538,7 +538,7 @@ func TestReplayCancelMidRunThenResume(t *testing.T) {
 	}
 	ref := core.NewBasic(tree.MustNew(16))
 	refEng := New(Config{Shards: 1, BatchSize: batch})
-	if err := refEng.AddTenant("t", ref, nil); err != nil {
+	if err := refEng.AddTenant("t", ref); err != nil {
 		t.Fatal(err)
 	}
 	if err := refEng.Replay(context.Background(), map[string][]task.Event{"t": stream}); err != nil {

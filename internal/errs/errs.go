@@ -38,4 +38,11 @@ var (
 	// cause. With a journal and circuit breaker configured the condition
 	// is transient — a half-open probe rebuilds the tenant after backoff.
 	ErrTenantPoisoned = errors.New("tenant poisoned by earlier failure")
+
+	// ErrBadOption reports a functional option that is invalid or
+	// inapplicable where it was used: a nil option, an out-of-range
+	// argument, or an option the chosen algorithm/constructor rejects.
+	// The wrapping message names the offending option (WithD, WithShards,
+	// ...) so errors.Is callers and humans both get their answer.
+	ErrBadOption = errors.New("invalid or inapplicable option")
 )

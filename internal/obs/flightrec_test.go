@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func testClock() func() int64 {
+	var t int64
+	return func() int64 { t++; return t }
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	fr.setClock(testClock())
+	if fr.Cap() != 4 || fr.Len() != 0 {
+		t.Fatalf("fresh recorder cap/len = %d/%d, want 4/0", fr.Cap(), fr.Len())
+	}
+	for i := 0; i < 10; i++ {
+		fr.Record(EventBatchApply, "t0", "", map[string]int64{"i": int64(i)})
+	}
+	evs := fr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len(events) = %d, want 4", len(evs))
+	}
+	// The ring keeps the newest 4 of 10: seqs 6..9, oldest first.
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Seq != want {
+			t.Errorf("events[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+		if want := int64(6 + i); ev.Attrs["i"] != want {
+			t.Errorf("events[%d].Attrs[i] = %d, want %d", i, ev.Attrs["i"], want)
+		}
+	}
+	if evs[0].TimeNs >= evs[3].TimeNs {
+		t.Fatal("timestamps not monotone across the ring")
+	}
+	if fr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", fr.Len())
+	}
+}
+
+func TestFlightRecorderPartialFill(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.setClock(testClock())
+	fr.Record(EventShed, "a", "", nil)
+	fr.Record(EventDegrade, "b", "", nil)
+	evs := fr.Events()
+	if len(evs) != 2 || evs[0].Kind != EventShed || evs[1].Kind != EventDegrade {
+		t.Fatalf("partial fill events = %+v", evs)
+	}
+}
+
+func TestFlightRecorderJSONL(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	fr.setClock(testClock())
+	fr.Record(EventBreakerTrip, "alpha", "boom", map[string]int64{"trips": 2, "a": 1})
+	fr.Record(EventBreakerHeal, "alpha", "", map[string]int64{"dropped": 3})
+	var buf bytes.Buffer
+	if err := fr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("JSONL lines = %d, want 2: %q", len(lines), buf.String())
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if ev.Kind != EventBreakerTrip || ev.Tenant != "alpha" || ev.Cause != "boom" || ev.Attrs["trips"] != 2 {
+		t.Fatalf("round-tripped event = %+v", ev)
+	}
+	// encoding/json sorts map keys, so the dump is deterministic.
+	if !strings.Contains(lines[0], `"attrs":{"a":1,"trips":2}`) {
+		t.Fatalf("attrs not sorted: %s", lines[0])
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Record(EventShed, "x", "", nil) // must not panic
+	if fr.Len() != 0 || fr.Cap() != 0 || fr.Events() != nil {
+		t.Fatal("nil recorder leaked state")
+	}
+}

@@ -1,0 +1,388 @@
+// Package obs is the engine's observability layer: a lock-cheap metrics
+// registry rendered in Prometheus text exposition format, a fixed-size
+// ring-buffer flight recorder of structured engine events, and a nil-safe
+// Sink that the hot paths (engine apply, WAL append/fsync, parallel
+// watchdog) call through.
+//
+// The package is stdlib-only by design. Construction is deliberately
+// narrow: everything outside the facade and the engine goes through the
+// blessed partalloc.NewMetrics constructor (enforced by the obsbless
+// partlint check), so there is exactly one registry per process wiring.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Label is one name/value pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind discriminates the three series types the registry supports.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// family is the per-name metadata shared by all series of one metric.
+type family struct {
+	name string
+	help string
+	kind metricKind
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	fam    *family
+	labels string // rendered {k="v",...} or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Metrics is the registry. The fast path — bumping an already-registered
+// series — is a single RLock'd map lookup followed by atomic adds; the
+// slow path (first registration of a series) takes the write lock once.
+//
+// Do not construct Metrics directly; use NewMetrics (outside the engine
+// and facade this is enforced by the obsbless lint).
+type Metrics struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+	ser  map[string]*series
+}
+
+// NewMetrics returns an empty registry. This is the one blessed
+// constructor for the observability registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		fams: make(map[string]*family),
+		ser:  make(map[string]*series),
+	}
+}
+
+// renderLabels renders a deterministic {k="v",...} suffix. Labels are
+// sorted by key so the same set always maps to the same series.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup returns the series for (name, labels) creating it if absent.
+func (m *Metrics) lookup(name, help string, kind metricKind, labels []Label) *series {
+	key := name + renderLabels(labels)
+	m.mu.RLock()
+	s := m.ser[key]
+	m.mu.RUnlock()
+	if s != nil {
+		if s.fam.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, s.fam.kind, kind))
+		}
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s = m.ser[key]; s != nil {
+		if s.fam.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, s.fam.kind, kind))
+		}
+		return s
+	}
+	fam := m.fams[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, kind: kind}
+		m.fams[name] = fam
+	} else if fam.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, fam.kind, kind))
+	}
+	s = &series{fam: fam, labels: renderLabels(labels)}
+	switch kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = &Histogram{}
+	}
+	m.ser[key] = s
+	return s
+}
+
+// Counter returns the monotonically increasing series for (name, labels),
+// registering it on first use.
+func (m *Metrics) Counter(name, help string, labels ...Label) *Counter {
+	return m.lookup(name, help, kindCounter, labels).c
+}
+
+// Gauge returns the settable series for (name, labels), registering it on
+// first use.
+func (m *Metrics) Gauge(name, help string, labels ...Label) *Gauge {
+	return m.lookup(name, help, kindGauge, labels).g
+}
+
+// Histogram returns the log-bucketed latency series for (name, labels),
+// registering it on first use.
+func (m *Metrics) Histogram(name, help string, labels ...Label) *Histogram {
+	return m.lookup(name, help, kindHistogram, labels).h
+}
+
+// A Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the series to stay monotone; the
+// counter does not enforce this so hot paths stay branch-free).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// A Gauge is a settable int64.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram buckets: powers of two in nanoseconds from 2^histMinExp
+// (1.024µs) up to 2^(histMinExp+histBuckets-1) (~8.6s), plus an overflow
+// (+Inf) bucket. Log bucketing keeps Observe a single bits.Len64 away
+// from the right slot and bounds the registry's memory per series.
+const (
+	histMinExp  = 10 // first bucket upper bound: 2^10 ns
+	histBuckets = 24 // finite buckets; index histBuckets is +Inf
+)
+
+// A Histogram is a log-bucketed latency distribution over nanosecond
+// observations. All mutation is atomic; snapshots are taken lock-free and
+// are only approximately consistent under concurrent writes, which is
+// fine for monitoring.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets + 1]atomic.Int64
+}
+
+// bucketIndex maps an observation to its bucket. Bounds are inclusive:
+// Observe(1024) lands in the le=1024ns bucket.
+func bucketIndex(ns int64) int {
+	if ns <= 1<<histMinExp {
+		return 0
+	}
+	idx := bits.Len64(uint64(ns-1)) - histMinExp
+	if idx > histBuckets {
+		return histBuckets
+	}
+	return idx
+}
+
+// BucketUpperNs returns the inclusive upper bound of finite bucket i in
+// nanoseconds.
+func BucketUpperNs(i int) int64 { return 1 << (histMinExp + i) }
+
+// Observe records one latency sample in nanoseconds.
+func (h *Histogram) Observe(ns int64) {
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// SumNs returns the sum of all observations in nanoseconds.
+func (h *Histogram) SumNs() int64 { return h.sum.Load() }
+
+// A HistogramBucket is one rung of a snapshot. UpperNs is the inclusive
+// upper bound in nanoseconds; the overflow bucket has UpperNs < 0
+// (rendered as +Inf). Count is the per-bucket (non-cumulative) count.
+type HistogramBucket struct {
+	UpperNs int64
+	Count   int64
+}
+
+// A HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	SumNs   int64
+	Buckets []HistogramBucket
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Count:   h.count.Load(),
+		SumNs:   h.sum.Load(),
+		Buckets: make([]HistogramBucket, histBuckets+1),
+	}
+	for i := 0; i < histBuckets; i++ {
+		snap.Buckets[i] = HistogramBucket{UpperNs: BucketUpperNs(i), Count: h.buckets[i].Load()}
+	}
+	snap.Buckets[histBuckets] = HistogramBucket{UpperNs: -1, Count: h.buckets[histBuckets].Load()}
+	return snap
+}
+
+// Quantile returns a nanosecond upper bound on the q-quantile (0 < q <= 1)
+// using nearest-rank over the snapshot's buckets: the bound of the bucket
+// containing the ceil(q*count)-th observation. Returns 0 for an empty
+// histogram; observations in the overflow bucket report the largest
+// finite bound.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(s.Count) + 0.999999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			if b.UpperNs < 0 {
+				return BucketUpperNs(histBuckets - 1)
+			}
+			return b.UpperNs
+		}
+	}
+	return BucketUpperNs(histBuckets - 1)
+}
+
+// Quantile is shorthand for Snapshot().Quantile(q).
+func (h *Histogram) Quantile(q float64) int64 { return h.Snapshot().Quantile(q) }
+
+// secondsStr formats a nanosecond value as seconds in the shortest
+// round-trippable float form, matching Prometheus conventions.
+func secondsStr(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format (version 0.0.4). Families are sorted by name and
+// series by label string, so output is deterministic for a given state.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	m.mu.RLock()
+	fams := make([]*family, 0, len(m.fams))
+	for _, f := range m.fams {
+		fams = append(fams, f)
+	}
+	byFam := make(map[string][]*series, len(m.fams))
+	//lint:ignore detorder every per-family bucket is sorted by label string before rendering, so collection order cannot matter
+	for _, s := range m.ser {
+		byFam[s.fam.name] = append(byFam[s.fam.name], s)
+	}
+	m.mu.RUnlock()
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var b strings.Builder
+	for _, f := range fams {
+		ss := byFam[f.name]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range ss {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.g.Value())
+			case kindHistogram:
+				writeHistogram(&b, f.name, s.labels, s.h.Snapshot())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket lines
+// with le in seconds, then _sum (seconds) and _count.
+func writeHistogram(b *strings.Builder, name, labels string, snap HistogramSnapshot) {
+	var cum int64
+	for _, bk := range snap.Buckets {
+		cum += bk.Count
+		le := "+Inf"
+		if bk.UpperNs >= 0 {
+			le = secondsStr(bk.UpperNs)
+		}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		b.WriteString(withLabel(labels, "le", le))
+		fmt.Fprintf(b, " %d\n", cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, secondsStr(snap.SumNs))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, snap.Count)
+}
+
+// withLabel splices one extra label pair into an already-rendered label
+// string.
+func withLabel(labels, key, value string) string {
+	pair := key + `="` + escapeLabel(value) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}

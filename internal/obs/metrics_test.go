@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden observability artifacts")
+
+func TestCounterGaugeBasics(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("partalloc_test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same (name, labels) returns the same series.
+	if c2 := m.Counter("partalloc_test_total", "help"); c2 != c {
+		t.Fatal("counter lookup did not return the registered series")
+	}
+	g := m.Gauge("partalloc_test_gauge", "help", L("tenant", "a"))
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	// Label order must not matter.
+	a := m.Gauge("partalloc_test_multi", "help", L("x", "1"), L("a", "2"))
+	b := m.Gauge("partalloc_test_multi", "help", L("a", "2"), L("x", "1"))
+	if a != b {
+		t.Fatal("label order produced distinct series")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("partalloc_test_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	m.Gauge("partalloc_test_total", "help")
+}
+
+// TestConcurrentIncrements hammers one counter, one gauge, and one
+// histogram from many goroutines; run with -race this doubles as the
+// registry's race test.
+func TestConcurrentIncrements(t *testing.T) {
+	m := NewMetrics()
+	const workers, per = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker re-looks-up the series to exercise the
+			// registry's read path concurrently with registration.
+			c := m.Counter("partalloc_conc_total", "help", L("tenant", "t"))
+			g := m.Gauge("partalloc_conc_gauge", "help", L("tenant", "t"))
+			h := m.Histogram("partalloc_conc_latency_seconds", "help", L("tenant", "t"))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := m.Counter("partalloc_conc_total", "help", L("tenant", "t")).Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := m.Gauge("partalloc_conc_gauge", "help", L("tenant", "t")).Value(); got != workers*per {
+		t.Fatalf("gauge = %d, want %d", got, workers*per)
+	}
+	h := m.Histogram("partalloc_conc_latency_seconds", "help", L("tenant", "t"))
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int // bucket index
+	}{
+		{0, 0},
+		{1, 0},
+		{1023, 0},
+		{1024, 0}, // inclusive upper bound of bucket 0 (2^10)
+		{1025, 1}, // first value past it
+		{2048, 1}, // 2^11
+		{2049, 2}, //
+		{1 << 20, 10},
+		{1<<20 + 1, 11},
+		{1 << 33, 23},            // largest finite bucket (2^33 ns)
+		{1<<33 + 1, histBuckets}, // overflow
+		{1 << 40, histBuckets},   // way past the top
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(tc.ns); got != tc.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", tc.ns, got, tc.want)
+		}
+	}
+	var h Histogram
+	h.Observe(1024)
+	h.Observe(1025)
+	snap := h.Snapshot()
+	if snap.Buckets[0].Count != 1 || snap.Buckets[1].Count != 1 {
+		t.Fatalf("boundary observations landed in buckets %+v", snap.Buckets[:2])
+	}
+	if snap.Count != 2 || snap.SumNs != 2049 {
+		t.Fatalf("count/sum = %d/%d, want 2/2049", snap.Count, snap.SumNs)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	// 90 fast observations (bucket 0: le 1024ns) and 10 slow ones
+	// (bucket 10: le 2^20 ns).
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1 << 20)
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.5, 1024},
+		{0.9, 1024},     // rank 90 is still in the fast bucket
+		{0.91, 1 << 20}, // rank 91 crosses into the slow bucket
+		{0.99, 1 << 20},
+		{1.0, 1 << 20},
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	// Overflow observations report the largest finite bound.
+	var o Histogram
+	o.Observe(1 << 40)
+	if got, want := o.Quantile(0.5), BucketUpperNs(histBuckets-1); got != want {
+		t.Fatalf("overflow quantile = %d, want %d", got, want)
+	}
+}
+
+// TestPrometheusGolden pins the text exposition format byte-for-byte.
+// Regenerate with: go test ./internal/obs -run Golden -update-golden
+func TestPrometheusGolden(t *testing.T) {
+	m := NewMetrics()
+	m.Counter(MetricTenantEvents, "Events applied per tenant.", L("tenant", "alpha")).Add(4096)
+	m.Counter(MetricTenantEvents, "Events applied per tenant.", L("tenant", "bravo")).Add(512)
+	m.Gauge(MetricTenantMaxLoad, "Current max per-PE load (threads on the busiest PE).", L("tenant", "alpha")).Set(3)
+	m.Gauge(MetricTenantLStar, "Running optimal-load lower bound L* = ceil(active size / N).", L("tenant", "alpha")).Set(2)
+	m.Gauge(MetricTenantBreakerState, "Breaker state: 0 closed, 1 open.", L("tenant", "alpha")).Set(0)
+	h := m.Histogram(MetricTenantApplyLatency, "Batch apply latency per tenant.", L("tenant", "alpha"))
+	h.Observe(500)            // bucket le=1.024e-06
+	h.Observe(1024)           // same bucket (inclusive)
+	h.Observe(1_000_000)      // le=0.001048576
+	h.Observe(30_000_000_000) // overflow (+Inf)
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Prometheus rendering drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPrometheusParses asserts every rendered line is either a comment
+// or "name{labels} value" — the same check scripts/obs-smoke.sh applies
+// to a live scrape.
+func TestPrometheusParses(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("partalloc_parse_total", "with \"quotes\" and \\slashes", L("tenant", `we"ird\`)).Inc()
+	m.Histogram("partalloc_parse_seconds", "h").Observe(3)
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		var name string
+		var val float64
+		s := string(line)
+		if i := bytes.IndexByte(line, ' '); i < 0 {
+			t.Fatalf("unparseable line %q", s)
+		} else if _, err := fmt.Sscanf(s[i+1:], "%g", &val); err != nil {
+			t.Fatalf("bad value in %q: %v", s, err)
+		} else {
+			name = s[:i]
+		}
+		if name == "" {
+			t.Fatalf("empty series name in %q", s)
+		}
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"partalloc/internal/obs"
 )
 
 // ErrCanceled marks cells that were never started because RunOptions.Cancel
@@ -66,6 +68,9 @@ type RunOptions struct {
 	// never started report ErrCanceled. In-flight cells drain normally,
 	// which is what lets a SIGINT handler keep a consistent checkpoint.
 	Cancel <-chan struct{}
+	// Sink counts watchdog kills, retries, and captured panics. nil (the
+	// default) records nothing.
+	Sink *obs.Sink
 }
 
 // RunCells runs fn(i) for i in [0, n) on a bounded worker pool and returns
@@ -117,6 +122,7 @@ func runCell(i int, opt RunOptions, fn func(i int) error) error {
 		if err == nil || attempt >= opt.Retries || canceled(opt.Cancel) {
 			return err
 		}
+		opt.Sink.CellRetry(i, attempt+1)
 		if opt.Backoff > 0 {
 			if !sleepOrCancel(opt.Backoff<<uint(attempt), opt.Cancel) {
 				return err
@@ -128,10 +134,10 @@ func runCell(i int, opt RunOptions, fn func(i int) error) error {
 // runAttempt runs one attempt under the watchdog (if armed).
 func runAttempt(i, attempt int, opt RunOptions, fn func(i int) error) error {
 	if opt.Timeout <= 0 {
-		return capture(i, fn)
+		return capture(i, opt.Sink, fn)
 	}
 	done := make(chan error, 1)
-	go func() { done <- capture(i, fn) }()
+	go func() { done <- capture(i, opt.Sink, fn) }()
 	timer := time.NewTimer(opt.Timeout)
 	defer timer.Stop()
 	select {
@@ -140,14 +146,16 @@ func runAttempt(i, attempt int, opt RunOptions, fn func(i int) error) error {
 	case <-timer.C:
 		// The attempt goroutine is abandoned; its buffered send cannot
 		// block and its result is discarded.
+		opt.Sink.WatchdogTimeout(i, attempt, int64(opt.Timeout))
 		return &TimeoutError{Index: i, Attempt: attempt, Timeout: opt.Timeout}
 	}
 }
 
 // capture converts a panic in fn into a *PanicError.
-func capture(i int, fn func(i int) error) (err error) {
+func capture(i int, sink *obs.Sink, fn func(i int) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			sink.CellPanic(i)
 			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
 		}
 	}()

@@ -26,6 +26,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"partalloc/internal/obs"
 )
 
 // SyncPolicy selects when Append calls fsync(2).
@@ -64,6 +66,9 @@ type Options struct {
 	Sync SyncPolicy
 	// SyncEvery is the SyncBatched interval in appends (default 64).
 	SyncEvery int
+	// Sink receives append/fsync latency, rotation, and torn-tail repair
+	// metrics. nil (the default) records nothing and costs nothing.
+	Sink *obs.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -130,17 +135,22 @@ func Open(dir string, opt Options) (*Log, error) {
 		if err := l.create(1); err != nil {
 			return nil, err
 		}
+		opt.Sink.WALOpen()
 		return l, nil
 	}
 	last := idx[len(idx)-1]
-	valid, err := repair(filepath.Join(dir, segmentName(last)))
+	valid, truncated, err := repair(filepath.Join(dir, segmentName(last)))
 	if err != nil {
 		return nil, err
+	}
+	if truncated > 0 {
+		opt.Sink.WALRepair(truncated)
 	}
 	if valid >= opt.SegmentBytes {
 		if err := l.create(last + 1); err != nil {
 			return nil, err
 		}
+		opt.Sink.WALOpen()
 		return l, nil
 	}
 	f, err := os.OpenFile(filepath.Join(dir, segmentName(last)), os.O_WRONLY|os.O_APPEND, 0o644)
@@ -148,17 +158,18 @@ func Open(dir string, opt Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
 	l.f, l.seg, l.size = f, last, valid
+	opt.Sink.WALOpen()
 	return l, nil
 }
 
 // repair truncates path at the first invalid frame and returns the valid
-// length. A fully valid segment is left untouched.
-func repair(path string) (int64, error) {
+// length plus the number of bytes cut. A fully valid segment is left
+// untouched.
+func repair(path string) (valid, truncated int64, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, fmt.Errorf("wal: repair: %w", err)
+		return 0, 0, fmt.Errorf("wal: repair: %w", err)
 	}
-	valid := int64(0)
 	for off := 0; off < len(data); {
 		_, n, err := DecodeRecord(data[off:])
 		if err != nil {
@@ -169,10 +180,11 @@ func repair(path string) (int64, error) {
 	}
 	if valid < int64(len(data)) {
 		if err := os.Truncate(path, valid); err != nil {
-			return 0, fmt.Errorf("wal: repair: %w", err)
+			return 0, 0, fmt.Errorf("wal: repair: %w", err)
 		}
+		truncated = int64(len(data)) - valid
 	}
-	return valid, nil
+	return valid, truncated, nil
 }
 
 // create starts segment i and fsyncs the directory so the new file name
@@ -203,9 +215,11 @@ func (l *Log) Append(rec Record) error {
 			return err
 		}
 	}
+	start := l.opt.Sink.Now()
 	if _, err := l.f.Write(l.buf); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	l.opt.Sink.WALAppend(len(l.buf), l.opt.Sink.Now()-start)
 	l.size += int64(len(l.buf))
 	switch l.opt.Sync {
 	case SyncAlways:
@@ -227,15 +241,21 @@ func (l *Log) rotate() error {
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
-	return l.create(l.seg + 1)
+	if err := l.create(l.seg + 1); err != nil {
+		return err
+	}
+	l.opt.Sink.WALRotate(int64(l.seg))
+	return nil
 }
 
 // Sync fsyncs the open segment.
 func (l *Log) Sync() error {
 	l.sinceSync = 0
+	start := l.opt.Sink.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.opt.Sink.WALFsync(l.opt.Sink.Now() - start)
 	return nil
 }
 

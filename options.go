@@ -168,8 +168,8 @@ func New(algo Algorithm, m *Machine, opts ...Option) (Allocator, error) {
 	var host *topology.Host
 	if c.top != nil {
 		if c.top.N() != m.N() {
-			return nil, fmt.Errorf("partalloc: New(%v): topology %s has %d PEs but the machine has %d",
-				algo, c.top.Name(), c.top.N(), m.N())
+			return nil, fmt.Errorf("partalloc: New(%v): %w: WithTopology: topology %s has %d PEs but the machine has %d",
+				algo, ErrBadOption, c.top.Name(), c.top.N(), m.N())
 		}
 		var err error
 		if host, err = topology.NewHost(c.top); err != nil {
@@ -183,13 +183,13 @@ func New(algo Algorithm, m *Machine, opts ...Option) (Allocator, error) {
 	takesSeed := algo == AlgoRandom || algo == AlgoTwoChoice || algo == AlgoGreedyRandomTie
 	switch {
 	case c.dSet && !takesD:
-		return nil, fmt.Errorf("partalloc: New(%v): WithD only applies to AlgoPeriodic and AlgoLazy", algo)
+		return nil, fmt.Errorf("partalloc: New(%v): %w: WithD only applies to AlgoPeriodic and AlgoLazy", algo, ErrBadOption)
 	case !c.dSet && takesD:
-		return nil, fmt.Errorf("partalloc: New(%v): WithD is required (use WithD(-1) for d = ∞)", algo)
+		return nil, fmt.Errorf("partalloc: New(%v): %w: WithD is required (use WithD(-1) for d = ∞)", algo, ErrBadOption)
 	case c.orderSet && !takesOrder:
-		return nil, fmt.Errorf("partalloc: New(%v): WithOrder only applies to reallocating algorithms", algo)
+		return nil, fmt.Errorf("partalloc: New(%v): %w: WithOrder only applies to reallocating algorithms", algo, ErrBadOption)
 	case c.seedSet && !takesSeed:
-		return nil, fmt.Errorf("partalloc: New(%v): WithSeed only applies to randomized algorithms", algo)
+		return nil, fmt.Errorf("partalloc: New(%v): %w: WithSeed only applies to randomized algorithms", algo, ErrBadOption)
 	}
 
 	var a core.Allocator
@@ -228,7 +228,7 @@ func New(algo Algorithm, m *Machine, opts ...Option) (Allocator, error) {
 			return nil, fmt.Errorf("partalloc: New(%v): %w", algo, err)
 		}
 		if _, ok := a.(core.FaultTolerant); !ok {
-			return nil, fmt.Errorf("partalloc: New(%v): algorithm does not support fault injection", algo)
+			return nil, fmt.Errorf("partalloc: New(%v): %w: WithFaults: algorithm does not support fault injection", algo, ErrBadOption)
 		}
 	}
 	if c.faults != nil || host != nil {

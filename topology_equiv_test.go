@@ -121,7 +121,7 @@ func TestCrossTopologyEngineEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng, err := partalloc.NewEngine(partalloc.EngineConfig{Shards: 4, BatchSize: 1})
+		eng, err := partalloc.NewEngine(partalloc.WithShards(4), partalloc.WithBatchSize(1))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -178,7 +178,7 @@ func runGoldenSim(t *testing.T, algo partalloc.Algorithm, opts []partalloc.Optio
 // (single-event batches so PeakLoad is exact) and flattens the ledgers.
 func runGoldenEngine(t *testing.T, extras []partalloc.Option) map[string]goldenTenant {
 	t.Helper()
-	eng, err := partalloc.NewEngine(partalloc.EngineConfig{Shards: 4, BatchSize: 1})
+	eng, err := partalloc.NewEngine(partalloc.WithShards(4), partalloc.WithBatchSize(1))
 	if err != nil {
 		t.Fatal(err)
 	}
