@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short test-race test-fault test-topology test-chaos obs-smoke lint lint-json bench experiments experiments-quick cover golden clean
+.PHONY: all build test test-short test-race test-fault test-topology test-chaos test-snapshot obs-smoke lint lint-json bench experiments experiments-quick cover golden clean
 
 all: build lint test
 
@@ -39,6 +39,16 @@ test-topology:
 test-chaos:
 	./scripts/chaos-smoke.sh
 
+# Snapshot & compaction suite under the race detector (docs/ENGINE.md,
+# "Snapshots & compaction"): snapshot recovery byte-identity, O(tail)
+# scan accounting, retention bounding the journal, idle tenants pinning
+# it, breaker probes rebuilt from snapshots, MoveTenant, the snapshot
+# SIGKILL crash test, and the facade-level three-way recovery
+# equivalence gate.
+test-snapshot:
+	go test -race -run 'TestSnapshot|TestRecoveryReadsOnlyTail|TestBreakerProbeRestoresFromSnapshot|TestMoveTenant|TestSIGKILLSnapshotRecovery' -count=1 ./internal/engine/
+	go test -race -run 'TestSnapshotRecoveryEquivalence' -count=1 .
+
 # Observability smoke (docs/OBSERVABILITY.md): boots `engined -listen`
 # on a random port, scrapes /metrics, asserts the required series exist
 # and the exposition parses, and checks the flight-recorder dump.
@@ -60,11 +70,12 @@ lint-json:
 
 # Micro-benchmarks (batched vs serial apply, engine replay) plus the
 # engined load driver, which refreshes the committed benchmark ledger —
-# including the journal-on vs journal-off headline comparison and the
-# observability-on slowdown (obs_slowdown).
+# including the journal-on vs journal-off headline comparison, the
+# observability-on slowdown (obs_slowdown), and the full-replay vs
+# snapshot+tail recovery comparison (recovery.speedup).
 bench:
 	go test -bench=. -benchmem ./internal/core/ ./internal/engine/
-	go run ./cmd/engined -journal -obs -out BENCH_3.json
+	go run ./cmd/engined -journal -obs -recovery -out BENCH_3.json
 
 # Engine benchmark smoke for CI: a -race engined run on a small fleet,
 # plus the engine-level batched-vs-serial equivalence gate.

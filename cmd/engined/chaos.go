@@ -55,6 +55,18 @@ type stallAllocator struct {
 	delay time.Duration
 }
 
+// Snapshot delegates to the wrapped allocator so a stalled tenant is
+// still snapshottable (the embedded core.Allocator interface does not
+// carry the checkpoint methods).
+func (s *stallAllocator) Snapshot() []byte {
+	return s.Allocator.(core.Checkpointable).Snapshot()
+}
+
+// Restore is Snapshot's inverse.
+func (s *stallAllocator) Restore(data []byte) error {
+	return s.Allocator.(core.Checkpointable).Restore(data)
+}
+
 // arm schedules one sleep: the next Arrive blocks for d, then disarms.
 func (s *stallAllocator) arm(d time.Duration) {
 	s.mu.Lock()

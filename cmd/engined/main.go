@@ -8,16 +8,22 @@
 //
 //	engined [-tenants 8] [-arrivals 10000] [-n 1024] [-batch 4096]
 //	        [-shards 0] [-algo A_Rand] [-topology tree] [-seed 1]
-//	        [-quick] [-journal] [-out file.json]
+//	        [-quick] [-journal] [-snapshot-every k] [-recovery]
+//	        [-out file.json]
 //	engined -chaos [-chaos-rounds 12] [-seed 1]
 //
 // With -journal the headline fleet is measured a second time through a
 // write-ahead journal (batched fsync) and the ledger records the
-// slowdown. With -chaos the benchmark is replaced by the seeded chaos
-// soak (see chaos.go and docs/ENGINE.md): poison pills, allocator
-// stalls, mid-batch PE faults, and kill/recover cycles, with audited
-// invariants, byte-identical recovery, and breaker-healed tenants as the
-// pass criteria.
+// slowdown; -snapshot-every k checkpoints each tenant every k batches on
+// that pass, bounding the journal via snapshot retention. With -recovery
+// the ledger gains a crash-recovery comparison: the headline fleet is
+// journaled twice — once plain, once with periodic snapshots — and both
+// logs are recovered, equivalence-checked byte-for-byte, and timed
+// (recovery.speedup is full replay over snapshot+tail). With -chaos the
+// benchmark is replaced by the seeded chaos soak (see chaos.go and
+// docs/ENGINE.md): poison pills, allocator stalls, mid-batch PE faults,
+// and kill/recover cycles, with audited invariants, byte-identical
+// recovery, and breaker-healed tenants as the pass criteria.
 //
 // Every fleet runs on a topology host (-topology; default tree, which is
 // byte-identical to the host-agnostic engine), so the ledger also records
@@ -35,6 +41,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -102,6 +109,30 @@ type report struct {
 	EngineObserved *modeResult  `json:"engine_observed,omitempty"`
 	ObsSlowdown    float64      `json:"obs_slowdown,omitempty"`
 	PerAlgorithm   []algoResult `json:"per_algorithm,omitempty"`
+	// Recovery compares crash recovery of the headline fleet from a plain
+	// journal (full replay) against one with periodic snapshots (restore
+	// latest snapshot + replay the tail); -recovery flag.
+	Recovery *recoveryResult `json:"recovery,omitempty"`
+}
+
+// recoveryResult is the -recovery section: the same headline journal
+// recovered by full replay and by snapshot+tail, equivalence-checked
+// byte-for-byte before the timings are reported.
+type recoveryResult struct {
+	SnapshotEvery   int   `json:"snapshot_every"`
+	EventsPerTenant int   `json:"events_per_tenant"`
+	EventsTotal     int64 `json:"events_total"`
+	// Full replay: every record re-applied.
+	FullReplayWallNs  int64 `json:"full_replay_wall_ns"`
+	FullReplayRecords int64 `json:"full_replay_records_replayed"`
+	// Snapshot + tail: restore the latest per-tenant snapshot, replay
+	// only what came after it.
+	SnapshotWallNs    int64 `json:"snapshot_wall_ns"`
+	SnapshotRecords   int64 `json:"snapshot_records_replayed"`
+	SnapshotsRestored int64 `json:"snapshots_restored"`
+	RecordsSkipped    int64 `json:"records_skipped"`
+	// Speedup is full-replay wall time over snapshot+tail wall time.
+	Speedup float64 `json:"speedup"`
 }
 
 // fleetSpec describes one homogeneous tenant fleet.
@@ -154,6 +185,8 @@ func main() {
 	quick := flag.Bool("quick", false, "small fleet, skip the per-algorithm section (CI smoke)")
 	out := flag.String("out", "", "write the JSON ledger here (default stdout)")
 	journal := flag.Bool("journal", false, "re-measure the headline fleet with a write-ahead journal and record the slowdown")
+	snapEvery := flag.Int("snapshot-every", 0, "journal a tenant snapshot every K applied batches (0 = off); applies to the -journal and -recovery passes")
+	recovery := flag.Bool("recovery", false, "measure crash recovery of the headline fleet: full journal replay vs snapshot+tail (uses -snapshot-every, default 4)")
 	obsFlag := flag.Bool("obs", false, "re-measure the headline fleet with metrics + flight recorder attached and record the slowdown")
 	listen := flag.String("listen", "", "serve /metrics, /debug/pprof and /debug/flightrec on this address (implies -obs) and keep serving after the benchmark until interrupted")
 	chaos := flag.Bool("chaos", false, "run the seeded chaos soak (docs/ENGINE.md) instead of the benchmark")
@@ -232,7 +265,7 @@ func main() {
 	rep.Engine, rep.Serial, rep.Speedup = res.Engine, res.Serial, res.Speedup
 
 	if *journal {
-		jr, err := runJournaled(ctx, head, *batch, *shards)
+		jr, err := runJournaled(ctx, head, *batch, *shards, *snapEvery)
 		if err != nil {
 			fail(err)
 		}
@@ -240,8 +273,20 @@ func main() {
 		rep.JournalSlowdown = float64(jr.WallNs) / float64(rep.Engine.WallNs)
 	}
 
+	if *recovery {
+		k := *snapEvery
+		if k == 0 {
+			k = 4
+		}
+		rr, err := runRecovery(ctx, head, *batch, *shards, k)
+		if err != nil {
+			fail(err)
+		}
+		rep.Recovery = &rr
+	}
+
 	if obsEnabled {
-		or, err := runObserved(ctx, head, *batch, *shards, *journal, st)
+		or, err := runObserved(ctx, head, *batch, *shards, *journal, *snapEvery, st)
 		if err != nil {
 			fail(err)
 		}
@@ -376,7 +421,7 @@ func runFleet(ctx context.Context, spec fleetSpec, batch, shards int) (algoResul
 // services would pick; see docs/ENGINE.md for the policy trade-offs), so
 // the ledger records what crash recoverability costs at the headline
 // batch size.
-func runJournaled(ctx context.Context, spec fleetSpec, batch, shards int) (modeResult, error) {
+func runJournaled(ctx context.Context, spec fleetSpec, batch, shards, snapEvery int) (modeResult, error) {
 	if spec.batch > 0 {
 		batch = spec.batch
 	}
@@ -391,8 +436,12 @@ func runJournaled(ctx context.Context, spec fleetSpec, batch, shards int) (modeR
 	if err != nil {
 		return modeResult{}, err
 	}
-	eng, err := partalloc.NewEngine(append(engineOpts(shards, batch),
-		partalloc.WithJournal(dir), partalloc.WithJournalSync(partalloc.JournalSyncBatched))...)
+	opts := append(engineOpts(shards, batch),
+		partalloc.WithJournal(dir), partalloc.WithJournalSync(partalloc.JournalSyncBatched))
+	if snapEvery > 0 {
+		opts = append(opts, partalloc.WithSnapshotEvery(snapEvery))
+	}
+	eng, err := partalloc.NewEngine(opts...)
 	if err != nil {
 		return modeResult{}, err
 	}
@@ -427,7 +476,7 @@ func runJournaled(ctx context.Context, spec fleetSpec, batch, shards int) (modeR
 // journaled=true) a write-ahead journal feeding the same registry — so
 // the ledger records what instrumentation costs and the HTTP surface has
 // real series to serve.
-func runObserved(ctx context.Context, spec fleetSpec, batch, shards int, journaled bool, st *obsState) (modeResult, error) {
+func runObserved(ctx context.Context, spec fleetSpec, batch, shards int, journaled bool, snapEvery int, st *obsState) (modeResult, error) {
 	if spec.batch > 0 {
 		batch = spec.batch
 	}
@@ -442,6 +491,9 @@ func runObserved(ctx context.Context, spec fleetSpec, batch, shards int, journal
 		}
 		defer os.RemoveAll(dir)
 		opts = append(opts, partalloc.WithJournal(dir), partalloc.WithJournalSync(partalloc.JournalSyncBatched))
+		if snapEvery > 0 {
+			opts = append(opts, partalloc.WithSnapshotEvery(snapEvery))
+		}
 	}
 	top, err := partalloc.NewTopology(spec.topo, spec.n)
 	if err != nil {
@@ -475,6 +527,158 @@ func runObserved(ctx context.Context, spec fleetSpec, batch, shards int, journal
 		WallNs:     wall.Nanoseconds(),
 		P50ApplyNs: engine.Quantile(batchNs, 0.50),
 		P99ApplyNs: engine.Quantile(batchNs, 0.99),
+	}, nil
+}
+
+// runRecovery measures what crash recovery of the headline fleet costs
+// from a plain journal (full replay) and from one with periodic
+// snapshots (restore the latest snapshot, replay only the tail). The two
+// recovered engines are equivalence-checked byte-for-byte against each
+// other before the timings are trusted; O(tail) recovery that loses or
+// invents state would be worse than slow recovery.
+func runRecovery(ctx context.Context, spec fleetSpec, batch, shards, snapEvery int) (recoveryResult, error) {
+	if spec.batch > 0 {
+		batch = spec.batch
+	}
+	// One Submit batch is one journal record, and snapshots land every
+	// snapEvery batches — with the headline 4096-event batches a 20k-event
+	// stream is five records and the post-snapshot tail is a fifth of the
+	// log no matter what. Cap the batch so the journal is fine-grained
+	// enough for cadence to matter; both journals use the same cap, so
+	// the comparison stays fair.
+	if batch > 512 {
+		batch = 512
+	}
+	streams, total := spec.streams()
+	top, err := partalloc.NewTopology(spec.topo, spec.n)
+	if err != nil {
+		return recoveryResult{}, err
+	}
+	m := partalloc.MustNewMachine(spec.n)
+
+	// recoverySegBytes keeps journal segments small enough that snapshot
+	// retention can actually delete covered history; both journals get the
+	// same rotation threshold so the comparison is apples to apples.
+	const recoverySegBytes = 256 << 10
+
+	// ingest builds one journal directory holding the headline workload,
+	// with the given snapshot cadence (0 = plain journal).
+	ingest := func(every int) (string, error) {
+		dir, err := os.MkdirTemp("", "engined-recovery-*")
+		if err != nil {
+			return "", err
+		}
+		opts := append(engineOpts(shards, batch),
+			partalloc.WithJournal(dir), partalloc.WithJournalSync(partalloc.JournalSyncBatched),
+			partalloc.WithJournalSegmentBytes(recoverySegBytes))
+		if every > 0 {
+			opts = append(opts, partalloc.WithSnapshotEvery(every))
+		}
+		eng, err := partalloc.NewEngine(opts...)
+		if err != nil {
+			return dir, err
+		}
+		ids := make([]string, 0, spec.tenants)
+		for i := 0; i < spec.tenants; i++ {
+			topts := append(spec.opts(i), partalloc.WithTopology(top))
+			if err := eng.AddTenant(tenantID(i), spec.algo, m, topts...); err != nil {
+				return dir, err
+			}
+			ids = append(ids, tenantID(i))
+		}
+		// Interleave the tenants like live traffic rather than replaying
+		// each stream to completion: retention truncates up to the oldest
+		// of the tenants' *latest* snapshots, so a tenant that finished
+		// its whole stream early would pin the log at its final snapshot
+		// and compaction could never prune past it.
+		for off := 0; ; off += batch {
+			if err := ctx.Err(); err != nil {
+				return dir, err
+			}
+			live := false
+			for _, id := range ids {
+				evs := streams[id]
+				if off >= len(evs) {
+					continue
+				}
+				live = true
+				end := off + batch
+				if end > len(evs) {
+					end = len(evs)
+				}
+				if err := eng.Submit(id, evs[off:end]...); err != nil {
+					return dir, err
+				}
+			}
+			if !live {
+				break
+			}
+		}
+		if err := eng.FlushAll(); err != nil {
+			return dir, err
+		}
+		return dir, eng.Close()
+	}
+
+	fullDir, err := ingest(0)
+	if fullDir != "" {
+		defer os.RemoveAll(fullDir)
+	}
+	if err != nil {
+		return recoveryResult{}, err
+	}
+	snapDir, err := ingest(snapEvery)
+	if snapDir != "" {
+		defer os.RemoveAll(snapDir)
+	}
+	if err != nil {
+		return recoveryResult{}, err
+	}
+
+	start := time.Now()
+	fullRec, err := partalloc.RecoverEngine(fullDir, engineOpts(shards, batch)...)
+	if err != nil {
+		return recoveryResult{}, fmt.Errorf("full-replay recovery: %w", err)
+	}
+	fullWall := time.Since(start)
+	defer fullRec.Close()
+
+	start = time.Now()
+	snapRec, err := partalloc.RecoverEngine(snapDir, append(engineOpts(shards, batch),
+		partalloc.WithSnapshotEvery(snapEvery))...)
+	if err != nil {
+		return recoveryResult{}, fmt.Errorf("snapshot recovery: %w", err)
+	}
+	snapWall := time.Since(start)
+	defer snapRec.Close()
+
+	// Equivalence gate: both recoveries must reproduce the same ledgers.
+	fullStats, snapStats := fullRec.Stats(), snapRec.Stats()
+	if len(fullStats) != len(snapStats) {
+		return recoveryResult{}, fmt.Errorf("recovery divergence: full replay has %d tenants, snapshot %d",
+			len(fullStats), len(snapStats))
+	}
+	for i := range fullStats {
+		f := partalloc.CanonicalEngineStats(fullStats[i])
+		s := partalloc.CanonicalEngineStats(snapStats[i])
+		if !bytes.Equal(f, s) {
+			return recoveryResult{}, fmt.Errorf("recovery divergence at tenant %s:\n  full: %s\n  snap: %s",
+				fullStats[i].Tenant, f, s)
+		}
+	}
+
+	fullRS, snapRS := fullRec.RecoveryStats(), snapRec.RecoveryStats()
+	return recoveryResult{
+		SnapshotEvery:     snapEvery,
+		EventsPerTenant:   int(total) / spec.tenants,
+		EventsTotal:       total,
+		FullReplayWallNs:  fullWall.Nanoseconds(),
+		FullReplayRecords: fullRS.RecordsReplayed,
+		SnapshotWallNs:    snapWall.Nanoseconds(),
+		SnapshotRecords:   snapRS.RecordsReplayed,
+		SnapshotsRestored: snapRS.SnapshotsRestored,
+		RecordsSkipped:    snapRS.RecordsSkipped,
+		Speedup:           float64(fullWall.Nanoseconds()) / float64(snapWall.Nanoseconds()),
 	}, nil
 }
 

@@ -57,6 +57,13 @@ type DegradeTransition = engine.DegradeTransition
 // tenant's queue past the WithMaxQueue bound.
 type OverloadPolicy = engine.OverloadPolicy
 
+// RecoveryStats reports how RecoverEngine reconstructed the engine:
+// records scanned, records skipped because a later snapshot already
+// covered them, records re-applied, and snapshots restored. With
+// WithSnapshotEvery on the crashed engine, skipped should dwarf
+// replayed — that is the O(tail) recovery at work.
+type RecoveryStats = engine.RecoveryStats
+
 // Overload policies for WithOverloadPolicy.
 const (
 	// OverloadBlock applies backpressure: oversized submissions are
@@ -124,6 +131,8 @@ type engineOptions struct {
 	journalDir  string
 	sync        JournalSyncPolicy
 	syncSet     bool
+	segBytes    int64
+	snapEvery   int
 	metrics     *Metrics
 	flightN     int
 	poisonDump  io.Writer
@@ -255,6 +264,39 @@ func WithJournal(dir string) EngineOption {
 	}
 }
 
+// WithSnapshotEvery checkpoints each tenant's full state into the
+// journal every k applied batches. Snapshots buy two things: recovery
+// becomes O(tail) — RecoverEngine restores each tenant from its latest
+// snapshot and replays only the records after it — and the journal
+// stays bounded, because segments older than every tenant's latest
+// snapshot are deleted. The circuit breaker's half-open probe also
+// restores from the last pre-poison snapshot instead of replaying the
+// tenant's whole safe prefix. Requires WithJournal.
+func WithSnapshotEvery(k int) EngineOption {
+	return func(o *engineOptions) {
+		if k < 1 {
+			o.fail(fmt.Errorf("%w: WithSnapshotEvery(%d): want at least 1 batch between snapshots", ErrBadOption, k))
+			return
+		}
+		o.snapEvery = k
+	}
+}
+
+// WithJournalSegmentBytes sets the journal's segment rotation threshold
+// (default 4 MiB). Snapshot retention deletes whole sealed segments, so
+// smaller segments mean tighter journal bounds and less to scan on
+// recovery — at the cost of more files. A record larger than the
+// threshold still lands whole in its own segment. Requires WithJournal.
+func WithJournalSegmentBytes(n int64) EngineOption {
+	return func(o *engineOptions) {
+		if n < 1 {
+			o.fail(fmt.Errorf("%w: WithJournalSegmentBytes(%d): want a positive threshold", ErrBadOption, n))
+			return
+		}
+		o.segBytes = n
+	}
+}
+
 // WithJournalSync selects the journal's fsync policy (default
 // JournalSyncNever).
 func WithJournalSync(p JournalSyncPolicy) EngineOption {
@@ -322,6 +364,12 @@ func (o *engineOptions) config() (EngineConfig, *obs.Sink, error) {
 	if o.poisonDump != nil && o.flightN == 0 {
 		return EngineConfig{}, nil, fmt.Errorf("%w: WithPoisonDump requires WithFlightRecorder", ErrBadOption)
 	}
+	if o.snapEvery > 0 && o.journalDir == "" {
+		return EngineConfig{}, nil, fmt.Errorf("%w: WithSnapshotEvery requires WithJournal", ErrBadOption)
+	}
+	if o.segBytes > 0 && o.journalDir == "" {
+		return EngineConfig{}, nil, fmt.Errorf("%w: WithJournalSegmentBytes requires WithJournal", ErrBadOption)
+	}
 	var fr *obs.FlightRecorder
 	if o.flightN > 0 {
 		fr = obs.NewFlightRecorder(o.flightN)
@@ -337,6 +385,7 @@ func (o *engineOptions) config() (EngineConfig, *obs.Sink, error) {
 		DegradeBudget:  o.budget,
 		ReplayWatchdog: o.watchdog,
 		Rebuild:        rebuildSpec,
+		SnapshotEvery:  o.snapEvery,
 		Sink:           sink,
 	}
 	if o.maxQueueSet {
@@ -392,7 +441,7 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 		return nil, fmt.Errorf("partalloc: NewEngine: %w", err)
 	}
 	if o.journalDir != "" {
-		log, err := wal.Open(o.journalDir, wal.Options{Sync: o.sync, Sink: sink})
+		log, err := wal.Open(o.journalDir, wal.Options{Sync: o.sync, SegmentBytes: o.segBytes, Sink: sink})
 		if err != nil {
 			return nil, fmt.Errorf("partalloc: NewEngine: %w", err)
 		}
@@ -460,11 +509,12 @@ func RecoverEngine(dir string, opts ...EngineOption) (*Engine, error) {
 	if o.journalDir != "" && o.journalDir != dir {
 		return nil, fmt.Errorf("partalloc: RecoverEngine: WithJournal(%q) conflicts with recovery directory %q", o.journalDir, dir)
 	}
+	o.journalDir = dir // WithJournal is implied; WithSnapshotEvery may rely on it
 	cfg, sink, err := o.config()
 	if err != nil {
 		return nil, fmt.Errorf("partalloc: RecoverEngine: %w", err)
 	}
-	eng, err := engine.Recover(cfg, dir, wal.Options{Sync: o.sync, Sink: sink})
+	eng, err := engine.Recover(cfg, dir, wal.Options{Sync: o.sync, SegmentBytes: o.segBytes, Sink: sink})
 	if err != nil {
 		return nil, fmt.Errorf("partalloc: RecoverEngine: %w", err)
 	}
@@ -568,6 +618,25 @@ func (e *Engine) Stats() []EngineTenantStats { return e.eng.Stats() }
 
 // Err returns the tenant's poisoning error (nil while healthy).
 func (e *Engine) Err(id string) error { return e.eng.Err(id) }
+
+// RecoveryStats reports how this engine was reconstructed from its
+// journal; all-zero for an engine built with NewEngine.
+func (e *Engine) RecoveryStats() RecoveryStats { return e.eng.RecoveryStats() }
+
+// MoveTenant rebalances tenant id onto dst with no event replay: the
+// tenant travels as one snapshot (allocator state, queued events,
+// ledger, audit state). An explicit admin call — the engine never moves
+// tenants on its own. The tenant must be healthy; dst journals the
+// snapshot (when journaling) and the source journals the removal, so
+// each engine's log recovers its own post-move view. A crash between
+// the two journal writes can leave the tenant on both engines
+// (at-least-once); it is never lost.
+func (e *Engine) MoveTenant(id string, dst *Engine) error {
+	if dst == nil {
+		return fmt.Errorf("partalloc: MoveTenant(%q): nil destination engine", id)
+	}
+	return e.eng.MoveTenant(id, dst.eng)
+}
 
 // CanonicalEngineStats renders a tenant snapshot as deterministic JSON
 // with every wall-clock-derived field cleared, for byte-for-byte

@@ -1,0 +1,150 @@
+package partalloc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"partalloc"
+)
+
+// snapshotEquivFleet adds the equivalence fleet to eng: all six paper
+// algorithms, fault schedules on the deterministic reallocators, and
+// mesh/hypercube hosts alongside the plain tree. Every engine in the
+// equivalence test gets the identical fleet.
+func snapshotEquivFleet(t *testing.T, eng *partalloc.Engine) {
+	t.Helper()
+	m := partalloc.MustNewMachine(64)
+	mesh, err := partalloc.NewTopology("mesh", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyper, err := partalloc.NewTopology("hypercube", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := partalloc.FaultSchedule{Events: []partalloc.FaultEvent{
+		{At: 25, Kind: partalloc.FailPE, PE: 5},
+		{At: 300, Kind: partalloc.RecoverPE, PE: 5},
+		{At: 450, Kind: partalloc.FailPE, PE: 17},
+	}}
+	add := func(id string, algo partalloc.Algorithm, opts ...partalloc.Option) {
+		t.Helper()
+		if err := eng.AddTenant(id, algo, m, opts...); err != nil {
+			t.Fatalf("AddTenant %s: %v", id, err)
+		}
+	}
+	add("greedy", partalloc.AlgoGreedy)
+	add("greedy-faulty", partalloc.AlgoGreedy, partalloc.WithFaults(sched))
+	add("basic-mesh", partalloc.AlgoBasic, partalloc.WithTopology(mesh), partalloc.WithFaults(sched))
+	add("constant", partalloc.AlgoConstant)
+	add("periodic", partalloc.AlgoPeriodic, partalloc.WithD(2))
+	add("lazy-hyper", partalloc.AlgoLazy, partalloc.WithD(1), partalloc.WithTopology(hyper))
+	add("random", partalloc.AlgoRandom, partalloc.WithSeed(7))
+}
+
+// snapshotEquivTraffic drives the identical event streams into eng:
+// per-tenant Poisson workloads, one tenant flushed clean, the rest left
+// with queued remainders so recovery has to restore queues too.
+func snapshotEquivTraffic(t *testing.T, eng *partalloc.Engine) {
+	t.Helper()
+	for i, id := range eng.Tenants() {
+		seq := partalloc.PoissonWorkload(partalloc.WorkloadConfig{N: 64, Arrivals: 600, Seed: int64(i + 1)})
+		if err := eng.Submit(id, seq.Events...); err != nil {
+			t.Fatalf("Submit %s: %v", id, err)
+		}
+	}
+	if err := eng.Flush("random"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotRecoveryEquivalence is the facade-level snapshot gate: the
+// same fleet (all six algorithms, fault schedules, mesh and hypercube
+// hosts) and the same traffic run three ways — uninterrupted, journaled
+// without snapshots then recovered by full replay, and journaled with
+// WithSnapshotEvery then recovered from snapshots plus tail — must yield
+// byte-identical CanonicalEngineStats for every tenant.
+func TestSnapshotRecoveryEquivalence(t *testing.T) {
+	// Uninterrupted reference: no journal at all.
+	plain, err := partalloc.NewEngine(partalloc.WithBatchSize(32), partalloc.WithMaxQueue(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotEquivFleet(t, plain)
+	snapshotEquivTraffic(t, plain)
+	want := plain.Stats()
+
+	// Full-replay recovery: journal on, snapshots off.
+	replayDir := t.TempDir()
+	full, err := partalloc.NewEngine(partalloc.WithBatchSize(32), partalloc.WithMaxQueue(64),
+		partalloc.WithJournal(replayDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotEquivFleet(t, full)
+	snapshotEquivTraffic(t, full)
+	if err := full.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fullRec, err := partalloc.RecoverEngine(replayDir, partalloc.WithBatchSize(32), partalloc.WithMaxQueue(64))
+	if err != nil {
+		t.Fatalf("full-replay recovery: %v", err)
+	}
+	defer fullRec.Close()
+	if rs := fullRec.RecoveryStats(); rs.SnapshotsRestored != 0 {
+		t.Fatalf("snapshot-less journal restored %d snapshots", rs.SnapshotsRestored)
+	}
+
+	// Snapshot recovery: journal on, snapshots every 2 batches.
+	snapDir := t.TempDir()
+	snap, err := partalloc.NewEngine(partalloc.WithBatchSize(32), partalloc.WithMaxQueue(64),
+		partalloc.WithJournal(snapDir), partalloc.WithSnapshotEvery(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotEquivFleet(t, snap)
+	snapshotEquivTraffic(t, snap)
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapRec, err := partalloc.RecoverEngine(snapDir, partalloc.WithBatchSize(32), partalloc.WithMaxQueue(64),
+		partalloc.WithSnapshotEvery(2))
+	if err != nil {
+		t.Fatalf("snapshot recovery: %v", err)
+	}
+	defer snapRec.Close()
+	rs := snapRec.RecoveryStats()
+	if rs.SnapshotsRestored == 0 {
+		t.Fatalf("snapshot recovery restored no snapshots (stats %+v)", rs)
+	}
+	if rs.RecordsSkipped == 0 {
+		t.Errorf("snapshot recovery skipped no records — it replayed covered history (stats %+v)", rs)
+	}
+
+	fullStats, snapStats := fullRec.Stats(), snapRec.Stats()
+	if len(fullStats) != len(want) || len(snapStats) != len(want) {
+		t.Fatalf("tenant counts: uninterrupted %d, full-replay %d, snapshot %d",
+			len(want), len(fullStats), len(snapStats))
+	}
+	for i := range want {
+		u := partalloc.CanonicalEngineStats(want[i])
+		f := partalloc.CanonicalEngineStats(fullStats[i])
+		s := partalloc.CanonicalEngineStats(snapStats[i])
+		if !bytes.Equal(u, f) {
+			t.Errorf("%s: full-replay recovery diverges from uninterrupted:\n  live: %s\n  rec:  %s",
+				want[i].Tenant, u, f)
+		}
+		if !bytes.Equal(u, s) {
+			t.Errorf("%s: snapshot recovery diverges from uninterrupted:\n  live: %s\n  rec:  %s",
+				want[i].Tenant, u, s)
+		}
+	}
+
+	// The snapshot-recovered engine keeps serving and snapshotting.
+	if err := snapRec.Submit("greedy", partalloc.Event{Kind: partalloc.EventArrive, Task: 1 << 30, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapRec.Flush("greedy"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,442 @@
+// Package chkpt guards the snapshot contract behind O(tail) recovery.
+// Two rules, both cross-package:
+//
+//  1. Every Allocator implementation must also implement Checkpointable
+//     (Snapshot/Restore). The engine's periodic checkpoints, the WAL
+//     retention that compacts covered segments, and MoveTenant all
+//     assert the interface at runtime; an allocator without it turns
+//     into a crash the first time a snapshot cadence fires.
+//
+//  2. Restore must not retain its input slice. The caller owns the
+//     snapshot buffer (the WAL reuses read buffers between records), so
+//     an aliased byte slice becomes silent state corruption on the next
+//     record. Retention is compositional: any function that stores a
+//     []byte parameter into its receiver or a package variable exports a
+//     Retains fact, and a Restore passing its input to such a function —
+//     any number of packages away — is convicted with the chain.
+package chkpt
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"partalloc/internal/analysis"
+)
+
+// Retains is the fact exported for a function that stores one of its
+// []byte parameters somewhere that outlives the call (its receiver or a
+// package variable), directly or through a callee.
+type Retains struct {
+	// Params holds the retained parameter indexes (flattened, ascending).
+	Params []int
+	// Reason is a short human-readable chain, one clause per index.
+	Reason string
+}
+
+// AFact marks Retains as a fact type.
+func (*Retains) AFact() {}
+
+func (f *Retains) String() string { return "retains: " + f.Reason }
+
+// Analyzer is the chkpt pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "chkpt",
+	Doc: "enforces the snapshot contract: every Allocator implements Checkpointable, " +
+		"and Restore never retains its input slice — transitively, via Retains facts",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*Retains)(nil)},
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	a := &analyzer{
+		pass:  pass,
+		local: make(map[*ast.FuncDecl]map[int]string),
+		decls: make(map[*types.Func]*ast.FuncDecl),
+	}
+	a.computeFacts()
+	a.checkCheckpointable()
+	a.checkRestore()
+	return nil
+}
+
+// inScope restricts the check to this module plus the chkpt fixtures.
+func inScope(pkgPath string) bool {
+	return pkgPath == "partalloc" || strings.HasPrefix(pkgPath, "partalloc/") ||
+		strings.Contains(pkgPath, "chkpt_fixture")
+}
+
+type analyzer struct {
+	pass *analysis.Pass
+	// local caches, per function declaration, the retention reason for
+	// each retained []byte parameter index ("" entries never stored).
+	local map[*ast.FuncDecl]map[int]string
+	// decls indexes declarations by their function object.
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// byteSliceParams maps each []byte parameter object of fd to its
+// flattened parameter index.
+func (a *analyzer) byteSliceParams(fd *ast.FuncDecl) map[types.Object]int {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	out := make(map[types.Object]int)
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			idx++ // unnamed parameter still occupies an index
+			continue
+		}
+		for _, name := range field.Names {
+			obj := a.pass.TypesInfo.Defs[name]
+			if obj != nil && isByteSlice(obj.Type()) {
+				out[obj] = idx
+			}
+			idx++
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// computeFacts finds each function's retained parameters, iterating to a
+// fixpoint so same-package call chains resolve regardless of declaration
+// order, then exports Retains facts.
+func (a *analyzer) computeFacts() {
+	var fns []*ast.FuncDecl
+	a.pass.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		fns = append(fns, fd)
+		if obj, ok := a.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			a.decls[obj] = fd
+		}
+	})
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fns {
+			for obj, idx := range a.byteSliceParams(fd) {
+				if a.local[fd][idx] != "" {
+					continue
+				}
+				if reason := a.retainReason(fd, obj); reason != "" {
+					if a.local[fd] == nil {
+						a.local[fd] = make(map[int]string)
+					}
+					a.local[fd][idx] = reason
+					changed = true
+				}
+			}
+		}
+	}
+	for fd, m := range a.local {
+		obj, ok := a.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok || len(m) == 0 {
+			continue
+		}
+		idxs := make([]int, 0, len(m))
+		for i := range m {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		clauses := make([]string, len(idxs))
+		for i, p := range idxs {
+			clauses[i] = fmt.Sprintf("param %d %s", p, m[p])
+		}
+		_ = a.pass.ExportObjectFact(obj, &Retains{Params: idxs, Reason: strings.Join(clauses, "; ")})
+	}
+}
+
+// retainReason scans fd's body for the first place param escapes the
+// call (stored into the receiver or a package variable, or handed to a
+// callee that retains that position) and describes it, or returns "".
+func (a *analyzer) retainReason(fd *ast.FuncDecl, param types.Object) string {
+	recv := a.receiverObject(fd)
+	reason := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if reason != "" || n == nil {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				if !a.aliasesParam(rhs, param) {
+					continue
+				}
+				if target := a.escapingTarget(st.Lhs[i], recv); target != "" {
+					reason = "stored in " + target
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if r := a.callRetains(st, param); r != "" {
+				reason = r
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// receiverObject returns fd's receiver variable, or nil for plain funcs.
+func (a *analyzer) receiverObject(fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return a.pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// aliasesParam reports whether e evaluates to a view of param's backing
+// array: the parameter itself or any re-slice of it.
+func (a *analyzer) aliasesParam(e ast.Expr, param types.Object) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return a.pass.TypesInfo.Uses[x] == param
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// escapingTarget reports where an assignment target outlives the call:
+// "receiver field x" or "package variable p.V", or "" for locals.
+func (a *analyzer) escapingTarget(lhs ast.Expr, recv types.Object) string {
+	e := lhs
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			// Qualified package variable (pkg.Var) resolves on Sel.
+			if obj := a.pass.TypesInfo.Uses[x.Sel]; obj != nil && isPackageVar(obj) {
+				return "package variable " + obj.Pkg().Name() + "." + obj.Name()
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := a.pass.TypesInfo.Uses[x]
+			if obj == nil {
+				obj = a.pass.TypesInfo.Defs[x]
+			}
+			switch {
+			case obj == nil:
+				return ""
+			case recv != nil && obj == recv:
+				return "receiver field"
+			case isPackageVar(obj):
+				return "package variable " + obj.Pkg().Name() + "." + obj.Name()
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+func isPackageVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// callRetains reports why handing param to this call retains it, or "".
+func (a *analyzer) callRetains(call *ast.CallExpr, param types.Object) string {
+	fn, ok := calleeObject(a.pass, call)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	for argPos, arg := range call.Args {
+		if !a.aliasesParam(arg, param) {
+			continue
+		}
+		if reason := a.calleeRetains(fn, argPos); reason != "" {
+			return shortName(fn) + " (" + truncate(reason) + ")"
+		}
+	}
+	return ""
+}
+
+// calleeRetains resolves whether fn retains its argPos-th parameter —
+// through the same-package fixpoint cache or an imported Retains fact.
+func (a *analyzer) calleeRetains(fn *types.Func, argPos int) string {
+	if fn.Pkg() == a.pass.Pkg {
+		if fd, ok := a.decls[fn]; ok {
+			return a.local[fd][argPos]
+		}
+		return ""
+	}
+	var fact Retains
+	if !a.pass.ImportObjectFact(fn, &fact) {
+		return ""
+	}
+	for _, p := range fact.Params {
+		if p == argPos {
+			return fact.Reason
+		}
+	}
+	return ""
+}
+
+// ---- interface checks ----
+
+// checkCheckpointable reports every concrete Allocator implementation
+// that does not also implement Checkpointable.
+func (a *analyzer) checkCheckpointable() {
+	allocs := a.ifacesNamed("Allocator")
+	ckpts := a.ifacesNamed("Checkpointable")
+	if len(allocs) == 0 || len(ckpts) == 0 {
+		return
+	}
+	scope := a.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		// Test doubles (panicking, stalling, lying allocators) are exempt:
+		// they exist to violate contracts, and none is ever journaled.
+		if f := a.pass.Fset.File(tn.Pos()); f != nil && strings.HasSuffix(f.Name(), "_test.go") {
+			continue
+		}
+		if implementsAny(named, allocs) && !implementsAny(named, ckpts) {
+			a.pass.Reportf(tn.Pos(),
+				"allocator %s.%s does not implement Checkpointable — engine snapshots, WAL compaction and MoveTenant all require Snapshot/Restore on every allocator",
+				a.pass.Pkg.Name(), tn.Name())
+		}
+	}
+}
+
+// checkRestore reports Restore methods of Checkpointable implementations
+// that retain their input slice.
+func (a *analyzer) checkRestore() {
+	ckpts := a.ifacesNamed("Checkpointable")
+	if len(ckpts) == 0 {
+		return
+	}
+	scope := a.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || !implementsAny(named, ckpts) {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			if m.Name() != "Restore" || m.Pkg() != a.pass.Pkg {
+				continue
+			}
+			fd, ok := a.decls[m]
+			if !ok {
+				continue
+			}
+			if reason := a.local[fd][0]; reason != "" {
+				a.pass.Reportf(m.Pos(),
+					"%s retains its input: %s — the snapshot buffer belongs to the caller and may be reused; copy the bytes you keep",
+					shortName(m), truncate(reason))
+			}
+		}
+	}
+}
+
+// ifacesNamed collects every non-empty interface with the given name
+// defined in this package or an in-scope import.
+func (a *analyzer) ifacesNamed(name string) []*types.Interface {
+	var out []*types.Interface
+	add := func(pkg *types.Package) {
+		if pkg == nil || !inScope(pkg.Path()) {
+			return
+		}
+		tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			return
+		}
+		if iface, ok := tn.Type().Underlying().(*types.Interface); ok && !iface.Empty() {
+			out = append(out, iface)
+		}
+	}
+	add(a.pass.Pkg)
+	for _, imp := range a.pass.Pkg.Imports() {
+		add(imp)
+	}
+	return out
+}
+
+func implementsAny(named *types.Named, ifaces []*types.Interface) bool {
+	ptr := types.NewPointer(named)
+	for _, iface := range ifaces {
+		if types.Implements(named, iface) || types.Implements(ptr, iface) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- small helpers ----
+
+// calleeObject resolves the called *types.Func.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn, ok
+}
+
+// shortName renders a function as "pkg.Func" or "pkg.Type.Method".
+func shortName(fn *types.Func) string {
+	s := strings.NewReplacer("(", "", ")", "", "*", "").Replace(fn.FullName())
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+// truncate keeps nested reason chains readable.
+func truncate(s string) string {
+	if len(s) > 80 {
+		return s[:77] + "..."
+	}
+	return s
+}

@@ -1,0 +1,15 @@
+package chkpt_test
+
+import (
+	"testing"
+
+	"partalloc/internal/analysis/analysistest"
+	"partalloc/internal/analysis/passes/chkpt"
+)
+
+func TestChkpt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads export data via go list")
+	}
+	analysistest.Run(t, chkpt.Analyzer, analysistest.Fixture(t, "chkpt_fixture"))
+}

@@ -5,6 +5,7 @@ package passes
 
 import (
 	"partalloc/internal/analysis"
+	"partalloc/internal/analysis/passes/chkpt"
 	"partalloc/internal/analysis/passes/ctxflow"
 	"partalloc/internal/analysis/passes/detorder"
 	"partalloc/internal/analysis/passes/errwrapped"
@@ -21,6 +22,7 @@ import (
 // All returns every registered analyzer, in stable name order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		chkpt.Analyzer,
 		ctxflow.Analyzer,
 		detorder.Analyzer,
 		errwrapped.Analyzer,

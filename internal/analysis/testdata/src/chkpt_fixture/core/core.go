@@ -1,0 +1,21 @@
+package core
+
+// Task mirrors the module's task shape closely enough for the fixture.
+type Task struct {
+	ID   int
+	Size int
+}
+
+// Allocator is the fixture's stand-in for partalloc/internal/core's
+// interface; chkpt picks it up by name from any in-scope package.
+type Allocator interface {
+	Name() string
+	Arrive(t Task) int
+	Depart(id int)
+}
+
+// Checkpointable is the snapshot contract under test.
+type Checkpointable interface {
+	Snapshot() []byte
+	Restore(data []byte) error
+}

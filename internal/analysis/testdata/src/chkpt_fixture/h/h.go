@@ -1,0 +1,25 @@
+package h
+
+// stash is package-level state; retaining a caller's buffer here is the
+// cross-package channel the Retains fact tracks.
+var stash []byte
+
+// Keep retains its argument; callers handing it a buffer inherit the
+// fact.
+func Keep(p []byte) { // want Keep:`retains: param 0 stored in package variable h\.stash`
+	stash = p
+}
+
+// Fill copies into dst without retaining either slice.
+func Fill(dst, src []byte) int {
+	return copy(dst, src)
+}
+
+// Sum only reads; no fact.
+func Sum(p []byte) int {
+	s := 0
+	for _, b := range p {
+		s += int(b)
+	}
+	return s
+}

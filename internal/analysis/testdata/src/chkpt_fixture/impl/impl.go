@@ -1,0 +1,83 @@
+package impl
+
+import (
+	"fixtures/chkpt_fixture/core"
+	"fixtures/chkpt_fixture/h"
+)
+
+// Good implements the full snapshot contract: Restore copies its input.
+type Good struct {
+	n   int
+	buf []byte
+}
+
+func (g *Good) Name() string           { return "good" }
+func (g *Good) Arrive(t core.Task) int { g.n++; return t.Size }
+func (g *Good) Depart(id int)          { g.n-- }
+func (g *Good) Snapshot() []byte       { return append([]byte(nil), g.buf...) }
+
+func (g *Good) Restore(data []byte) error {
+	g.buf = append(g.buf[:0], data...)
+	_ = h.Sum(data)         // reads only; no chain
+	_ = h.Fill(g.buf, data) // copies without retaining; no chain
+	return nil
+}
+
+// Naked is an allocator with no snapshot support at all.
+type Naked struct{ n int } // want `allocator impl\.Naked does not implement Checkpointable — engine snapshots, WAL compaction and MoveTenant all require Snapshot/Restore on every allocator`
+
+func (n *Naked) Name() string           { return "naked" }
+func (n *Naked) Arrive(t core.Task) int { n.n++; return t.Size }
+func (n *Naked) Depart(id int)          { n.n-- }
+
+// Keeper aliases the snapshot buffer straight into its receiver.
+type Keeper struct {
+	n   int
+	buf []byte
+}
+
+func (k *Keeper) Name() string           { return "keeper" }
+func (k *Keeper) Arrive(t core.Task) int { k.n++; return t.Size }
+func (k *Keeper) Depart(id int)          { k.n-- }
+func (k *Keeper) Snapshot() []byte       { return append([]byte(nil), k.buf...) }
+
+func (k *Keeper) Restore(data []byte) error { // want Keeper.Restore:`retains: param 0 stored in receiver field` `impl\.Keeper\.Restore retains its input: stored in receiver field — the snapshot buffer belongs to the caller and may be reused; copy the bytes you keep`
+	k.buf = data
+	return nil
+}
+
+// Sneaky retains a re-slice through a helper one package away.
+type Sneaky struct {
+	n int
+}
+
+func (s *Sneaky) Name() string           { return "sneaky" }
+func (s *Sneaky) Arrive(t core.Task) int { s.n++; return t.Size }
+func (s *Sneaky) Depart(id int)          { s.n-- }
+func (s *Sneaky) Snapshot() []byte       { return nil }
+
+func (s *Sneaky) Restore(data []byte) error { // want Sneaky.Restore:`retains: param 0 h\.Keep \(param 0 stored in package variable h\.stash\)` `impl\.Sneaky\.Restore retains its input: h\.Keep \(param 0 stored in package variable h\.stash\) — the snapshot buffer belongs to the caller and may be reused; copy the bytes you keep`
+	h.Keep(data[8:])
+	return nil
+}
+
+// NotAnAllocator retains a buffer but implements neither interface, so
+// only the fact is exported — no diagnostic.
+type NotAnAllocator struct {
+	raw []byte
+}
+
+func (n *NotAnAllocator) Load(data []byte) { // want NotAnAllocator.Load:`retains: param 0 stored in receiver field`
+	n.raw = data
+}
+
+// Interface compliance pins for the fixture itself.
+var (
+	_ core.Allocator      = (*Good)(nil)
+	_ core.Checkpointable = (*Good)(nil)
+	_ core.Allocator      = (*Naked)(nil)
+	_ core.Allocator      = (*Keeper)(nil)
+	_ core.Checkpointable = (*Keeper)(nil)
+	_ core.Allocator      = (*Sneaky)(nil)
+	_ core.Checkpointable = (*Sneaky)(nil)
+)

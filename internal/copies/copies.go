@@ -360,6 +360,26 @@ func (l *List) Len() int { return len(l.copies) }
 // At returns the i-th copy (creation order).
 func (l *List) At(i int) *Copy { return l.copies[i] }
 
+// Grow appends n fresh copies (with every currently failed leaf
+// pre-blocked), without placing anything in them. Checkpoint restore uses
+// it to recreate a list whose copy indices — including trailing empty
+// copies — match the snapshotted layout exactly.
+func (l *List) Grow(n int) {
+	for i := 0; i < n; i++ {
+		l.copies = append(l.copies, l.newCopy())
+	}
+}
+
+// OccupyAt occupies submachine v in the copyIdx-th copy directly, bypassing
+// the first-fit scan. Checkpoint restore uses it to replay a snapshotted
+// placement verbatim; Copy.Occupy still validates vacancy, blocking, and
+// nesting, so corrupt snapshots fail loudly instead of silently packing
+// wrong. First-fit hints are left untouched — they are lower bounds, so a
+// conservative (zeroed) hint table stays behavior-identical.
+func (l *List) OccupyAt(copyIdx int, v tree.Node) {
+	l.copies[copyIdx].Occupy(v)
+}
+
 // NonEmpty returns the number of copies currently holding at least one
 // task. Because copies are only appended, the machine's maximum real load
 // is at most this number... and at most Len().

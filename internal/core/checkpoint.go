@@ -1,0 +1,849 @@
+// Checkpointable state: versioned, CRC-guarded snapshot codecs for every
+// allocator.
+//
+// The paper's central asymmetry (Lemma 2: A_R repacks the whole active
+// set from scratch) means an allocator's *state* is tiny compared to its
+// event *history*: the active placements, the fault set, and the d·N
+// budget counters describe everything, while the journal that produced
+// them grows without bound. Snapshot serializes exactly that state —
+// canonical, deterministic bytes — and Restore rebuilds a live allocator
+// from them, letting the engine checkpoint tenants, truncate WAL
+// segments, and recover in O(tail) instead of O(history).
+//
+// Codec rules, in order of importance:
+//
+//   - Deterministic: the same logical state always yields the same bytes
+//     (maps are emitted in sorted key order), so snapshot → restore →
+//     snapshot is byte-identical and snapshots diff cleanly.
+//   - Minimal: derived structures — the load tree, Greedy's failedUnder
+//     counters, the copy list's first-fit hints, blocked leaves — are
+//     rebuilt from first principles on Restore, never serialized.
+//     (First-fit hints are lower bounds; restoring them as zero is
+//     behavior-identical, just a cold cache.)
+//   - Guarded: a trailing CRC-32C plus magic/version/algorithm header
+//     rejects foreign or corrupt bytes up front, and every decoded value
+//     is range-checked against the machine before it touches live state.
+//     Restore never panics on hostile input and never retains the input
+//     slice; on error the receiver is left unchanged.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"sort"
+
+	"partalloc/internal/copies"
+	"partalloc/internal/loadtree"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+)
+
+// Checkpointable is implemented by allocators whose full state can be
+// serialized and later restored. Snapshot returns a self-contained,
+// versioned, CRC-guarded description of the allocator's live state;
+// Restore replaces the receiver's state with the snapshotted one. The
+// two ends must be the same algorithm on a machine of the same size.
+//
+// Contract: Restore(Snapshot()) leaves the allocator on a trajectory
+// byte-identical to never having been snapshotted at all, and a second
+// Snapshot after Restore returns the same bytes. Restore returns an
+// error (wrapping ErrBadSnapshot) on corrupt, truncated, or mismatched
+// input — it never panics — and on error the receiver is unchanged.
+// Restore copies everything it needs out of data; the caller may reuse
+// the slice immediately.
+type Checkpointable interface {
+	Snapshot() []byte
+	Restore(data []byte) error
+}
+
+// ErrBadSnapshot is wrapped by every Restore failure: bad magic, version
+// or algorithm mismatch, CRC failure, truncation, or any decoded value
+// that fails validation against the machine.
+var ErrBadSnapshot = errors.New("core: bad snapshot")
+
+const (
+	snapMagic0  = 'p'
+	snapMagic1  = 'S'
+	snapVersion = 1
+
+	tagGreedy byte = iota + 1
+	tagBasic
+	tagPeriodic
+	tagLazy
+	tagRandom
+	tagTwoChoice
+	tagGreedyTie
+)
+
+// Decode-time plausibility caps. CRC catches random corruption, but a
+// coverage-guided fuzzer can learn to fix checksums, so bounds that
+// protect allocation and time must not depend on the checksum alone.
+const (
+	// maxSnapshotCopies bounds the copy-list length: each copy costs
+	// O(N) memory, so an absurd count must fail before Grow runs.
+	// Legitimate lists hold at most ~peak-concurrent-tasks copies.
+	maxSnapshotCopies = 1 << 20
+	// maxSnapshotCells bounds numCopies·N, the total memory a restored
+	// copy list may take (in tree cells).
+	maxSnapshotCells = 1 << 26
+	// maxSnapshotDraws bounds PRNG fast-forward work on Restore. Real
+	// trajectories draw a handful of values per arrival; 2^24 raw draws
+	// is orders of magnitude past any workload the engine runs, and keeps
+	// the worst-case fast-forward under ~50ms.
+	maxSnapshotDraws = 1 << 24
+)
+
+var snapCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// guardRestore converts a panic escaping a restore body (e.g. a copies
+// invariant violation on bytes that pass the CRC but describe an
+// impossible layout) into an ErrBadSnapshot error.
+func guardRestore(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: restore panicked: %v", ErrBadSnapshot, r)
+		}
+	}()
+	return fn()
+}
+
+// snapEnc builds a snapshot: header, varint payload, trailing CRC-32C.
+type snapEnc struct{ b []byte }
+
+func newSnapEnc(tag byte) *snapEnc {
+	return &snapEnc{b: []byte{snapMagic0, snapMagic1, snapVersion, tag}}
+}
+
+func (e *snapEnc) u(v uint64)  { e.b = binary.AppendUvarint(e.b, v) }
+func (e *snapEnc) i(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *snapEnc) byte(v byte) { e.b = append(e.b, v) }
+
+func (e *snapEnc) bool(v bool) {
+	if v {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+}
+
+// finish appends the CRC over everything emitted so far and returns the
+// completed snapshot.
+func (e *snapEnc) finish() []byte {
+	return binary.LittleEndian.AppendUint32(e.b, crc32.Checksum(e.b, snapCRCTable))
+}
+
+// snapDec consumes a verified snapshot payload with a sticky error, so
+// decode sequences read linearly and check once at the end.
+type snapDec struct {
+	b   []byte
+	err error
+}
+
+// openSnap verifies length, CRC, magic, version, and algorithm tag, and
+// returns a decoder positioned at the payload.
+func openSnap(data []byte, tag byte) (*snapDec, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the smallest frame", ErrBadSnapshot, len(data))
+	}
+	body := data[:len(data)-4]
+	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, snapCRCTable); got != sum {
+		return nil, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrBadSnapshot, sum, got)
+	}
+	if body[0] != snapMagic0 || body[1] != snapMagic1 {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, body[:2])
+	}
+	if body[2] != snapVersion {
+		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrBadSnapshot, body[2], snapVersion)
+	}
+	if body[3] != tag {
+		return nil, fmt.Errorf("%w: snapshot of algorithm tag %d, restoring tag %d", ErrBadSnapshot, body[3], tag)
+	}
+	return &snapDec{b: body[4:]}, nil
+}
+
+func (d *snapDec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrBadSnapshot, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *snapDec) u() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *snapDec) i() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *snapDec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *snapDec) bool() bool { return d.byte() != 0 }
+
+// count reads a collection length and bounds it by the bytes remaining
+// (every element costs at least minBytes), so hostile lengths fail
+// before any allocation.
+func (d *snapDec) count(what string, minBytes int) int {
+	v := d.u()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.b)/minBytes)+1 {
+		d.fail("%s count %d exceeds remaining payload", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+// close verifies the whole payload was consumed exactly.
+func (d *snapDec) close() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(d.b))
+	}
+	return nil
+}
+
+// machineN reads and validates the machine-size field against m.
+func (d *snapDec) machineN(m *tree.Machine) {
+	n := d.u()
+	if d.err == nil && n != uint64(m.N()) {
+		d.fail("snapshot of an N=%d machine, restoring onto N=%d", n, m.N())
+	}
+}
+
+// --- shared sub-codecs -------------------------------------------------
+
+// encPlacedNodes emits a task→node placement map in ascending task order.
+func (e *snapEnc) encPlacedNodes(placed map[task.ID]tree.Node) {
+	ids := make([]task.ID, 0, len(placed))
+	for id := range placed {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.u(uint64(len(ids)))
+	for _, id := range ids {
+		e.i(int64(id))
+		e.u(uint64(placed[id]))
+	}
+}
+
+// decPlacedNodes reads a task→node map, enforcing strictly ascending IDs
+// (the canonical encoding, which also rules out duplicates) and valid
+// nodes.
+func decPlacedNodes(d *snapDec, m *tree.Machine) map[task.ID]tree.Node {
+	n := d.count("placement", 2)
+	placed := make(map[task.ID]tree.Node, n)
+	prev := int64(0)
+	for k := 0; k < n; k++ {
+		id := d.i()
+		v := tree.Node(d.u())
+		if d.err != nil {
+			return nil
+		}
+		if k > 0 && id <= prev {
+			d.fail("placement IDs not strictly ascending (%d after %d)", id, prev)
+			return nil
+		}
+		prev = id
+		if !m.Valid(v) {
+			d.fail("task %d placed at invalid node %d", id, v)
+			return nil
+		}
+		placed[task.ID(id)] = v
+	}
+	return placed
+}
+
+// encPlacedRecs emits a task→placementRec map in ascending task order.
+// Sizes are derived (size == m.Size(node)), so only copy index and node
+// are stored.
+func (e *snapEnc) encPlacedRecs(placed map[task.ID]placementRec) {
+	ids := make([]task.ID, 0, len(placed))
+	for id := range placed {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.u(uint64(len(ids)))
+	for _, id := range ids {
+		rec := placed[id]
+		e.i(int64(id))
+		e.u(uint64(rec.copyIdx))
+		e.u(uint64(rec.node))
+	}
+}
+
+// decPlacedRecs reads a task→placementRec map for a copy list of
+// numCopies copies.
+func decPlacedRecs(d *snapDec, m *tree.Machine, numCopies int) map[task.ID]placementRec {
+	n := d.count("placement", 3)
+	placed := make(map[task.ID]placementRec, n)
+	prev := int64(0)
+	for k := 0; k < n; k++ {
+		id := d.i()
+		ci := d.u()
+		v := tree.Node(d.u())
+		if d.err != nil {
+			return nil
+		}
+		if k > 0 && id <= prev {
+			d.fail("placement IDs not strictly ascending (%d after %d)", id, prev)
+			return nil
+		}
+		prev = id
+		if ci >= uint64(numCopies) {
+			d.fail("task %d in copy %d of a %d-copy list", id, ci, numCopies)
+			return nil
+		}
+		if !m.Valid(v) {
+			d.fail("task %d placed at invalid node %d", id, v)
+			return nil
+		}
+		placed[task.ID(id)] = placementRec{copyIdx: int(ci), node: v, size: m.Size(v)}
+	}
+	return placed
+}
+
+// encFaults emits the fault ledger: sorted failed PEs plus the forced-
+// migration counters, which are *history* (not derivable from the failed
+// set) and must survive restore without being re-counted.
+func (e *snapEnc) encFaults(f *faultSet) {
+	e.u(uint64(len(f.failed)))
+	for _, pe := range f.failed {
+		e.u(uint64(pe))
+	}
+	e.u(uint64(f.forced.Failures))
+	e.u(uint64(f.forced.Recoveries))
+	e.u(uint64(f.forced.Migrations))
+	e.u(uint64(f.forced.MovedPEs))
+}
+
+// decFaults reads a fault ledger. The fields are assigned directly —
+// going through markFailed would double-count ForcedStats.
+func decFaults(d *snapDec, m *tree.Machine) faultSet {
+	n := d.count("failed PE", 1)
+	var f faultSet
+	if n > 0 {
+		f.failed = make([]int, 0, n)
+	}
+	prev := -1
+	for k := 0; k < n; k++ {
+		pe := d.u()
+		if d.err != nil {
+			return faultSet{}
+		}
+		if pe >= uint64(m.N()) || int(pe) <= prev {
+			d.fail("failed PE list invalid at %d (N=%d, prev %d)", pe, m.N(), prev)
+			return faultSet{}
+		}
+		prev = int(pe)
+		f.failed = append(f.failed, int(pe))
+	}
+	f.forced.Failures = int(d.u())
+	f.forced.Recoveries = int(d.u())
+	f.forced.Migrations = int64(d.u())
+	f.forced.MovedPEs = int64(d.u())
+	return f
+}
+
+// encRealloc emits the d·N-budget ledger of a reallocating allocator.
+func (e *snapEnc) encRealloc(sinceRealo, activeSize int64, stats ReallocStats) {
+	e.i(sinceRealo)
+	e.i(activeSize)
+	e.u(uint64(stats.Reallocations))
+	e.u(uint64(stats.Migrations))
+	e.u(uint64(stats.MovedPEs))
+}
+
+func decRealloc(d *snapDec) (sinceRealo, activeSize int64, stats ReallocStats) {
+	sinceRealo = d.i()
+	activeSize = d.i()
+	stats.Reallocations = int(d.u())
+	stats.Migrations = int64(d.u())
+	stats.MovedPEs = int64(d.u())
+	if d.err == nil && (sinceRealo < 0 || activeSize < 0) {
+		d.fail("negative budget counters (%d, %d)", sinceRealo, activeSize)
+	}
+	return sinceRealo, activeSize, stats
+}
+
+// decCopies reads a copy-list length under the plausibility caps.
+func decCopies(d *snapDec, m *tree.Machine) int {
+	n := d.u()
+	if d.err != nil {
+		return 0
+	}
+	if n > maxSnapshotCopies || n*uint64(m.N()) > maxSnapshotCells {
+		d.fail("implausible copy count %d for N=%d", n, m.N())
+		return 0
+	}
+	return int(n)
+}
+
+// rebuildLoads derives a load tree from node placements.
+func rebuildLoads(m *tree.Machine, nodes map[task.ID]tree.Node) *loadtree.Tree {
+	loads := loadtree.New(m)
+	loads.BeginDeferred()
+	for _, v := range nodes {
+		loads.Place(v)
+	}
+	loads.EndDeferred()
+	return loads
+}
+
+// rebuildCopyState derives a copy list and load tree from decoded copy-
+// mode state: failed leaves pre-blocked, numCopies fresh copies, then
+// every placement occupied verbatim. Copy.Occupy still validates
+// vacancy, blocking, and nesting, so a CRC-valid snapshot describing an
+// impossible layout fails here (caught by guardRestore) instead of
+// corrupting live state.
+func rebuildCopyState(m *tree.Machine, numCopies int, failed []int, placed map[task.ID]placementRec) (*copies.List, *loadtree.Tree) {
+	list := copies.NewList(m)
+	for _, pe := range failed {
+		list.Block(m.LeafOf(pe))
+	}
+	list.Grow(numCopies)
+	loads := loadtree.New(m)
+	loads.BeginDeferred()
+	ids := make([]task.ID, 0, len(placed))
+	for id := range placed {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rec := placed[id]
+		list.OccupyAt(rec.copyIdx, rec.node)
+		loads.Place(rec.node)
+	}
+	loads.EndDeferred()
+	return list, loads
+}
+
+// rebuildFailedUnder derives Greedy's per-node failure counters from the
+// failed-PE list (nil when fault-free, matching the lazy allocation of
+// the live path).
+func rebuildFailedUnder(m *tree.Machine, failed []int) []int32 {
+	if len(failed) == 0 {
+		return nil
+	}
+	fu := make([]int32, m.NumNodes()+1)
+	for _, pe := range failed {
+		for v := m.LeafOf(pe); ; v = m.Parent(v) {
+			fu[v]++
+			if v == 1 {
+				break
+			}
+		}
+	}
+	return fu
+}
+
+// --- counting PRNG source ---------------------------------------------
+
+// countingSource wraps math/rand's default source and counts raw draws.
+// rand.Rand's rejection sampling (Intn) consumes a data-dependent number
+// of raw values, so the only faithful serialization of PRNG position is
+// (seed, raw draws); Restore re-seeds and fast-forwards. Both Int63 and
+// Uint64 advance the underlying generator by exactly one step, so the
+// replay can use either regardless of the original call mix, and pure
+// delegation keeps the stream byte-identical to rand.NewSource — the
+// golden A_Rand trajectories do not move.
+type countingSource struct {
+	seed  int64
+	draws uint64
+	src   rand.Source64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.seed, s.draws = seed, 0
+	s.src.Seed(seed)
+}
+
+// restoreTo re-seeds and replays draws raw steps, leaving the source at
+// the exact snapshotted position.
+func (s *countingSource) restoreTo(seed int64, draws uint64) {
+	s.Seed(seed)
+	for i := uint64(0); i < draws; i++ {
+		s.src.Int63()
+	}
+	s.draws = draws
+}
+
+// encRNG / decRNG serialize a counting source's position.
+func (e *snapEnc) encRNG(s *countingSource) {
+	e.i(s.seed)
+	e.u(s.draws)
+}
+
+func decRNG(d *snapDec) (seed int64, draws uint64) {
+	seed = d.i()
+	draws = d.u()
+	if d.err == nil && draws > maxSnapshotDraws {
+		d.fail("implausible PRNG position %d", draws)
+	}
+	return seed, draws
+}
+
+// --- A_G ---------------------------------------------------------------
+
+// Snapshot implements Checkpointable.
+func (g *Greedy) Snapshot() []byte {
+	e := newSnapEnc(tagGreedy)
+	e.u(uint64(g.m.N()))
+	e.encPlacedNodes(g.placed)
+	e.encFaults(&g.faults)
+	return e.finish()
+}
+
+// Restore implements Checkpointable.
+func (g *Greedy) Restore(data []byte) error {
+	return guardRestore(func() error {
+		d, err := openSnap(data, tagGreedy)
+		if err != nil {
+			return err
+		}
+		d.machineN(g.m)
+		placed := decPlacedNodes(d, g.m)
+		faults := decFaults(d, g.m)
+		if err := d.close(); err != nil {
+			return err
+		}
+		g.loads = rebuildLoads(g.m, placed)
+		g.placed = placed
+		g.faults = faults
+		g.failedUnder = rebuildFailedUnder(g.m, faults.failed)
+		return nil
+	})
+}
+
+// --- A_B ---------------------------------------------------------------
+
+// Snapshot implements Checkpointable.
+func (b *Basic) Snapshot() []byte {
+	e := newSnapEnc(tagBasic)
+	e.u(uint64(b.m.N()))
+	e.u(uint64(b.list.Len()))
+	e.encPlacedRecs(b.placed)
+	e.encFaults(&b.faults)
+	return e.finish()
+}
+
+// Restore implements Checkpointable.
+func (b *Basic) Restore(data []byte) error {
+	return guardRestore(func() error {
+		d, err := openSnap(data, tagBasic)
+		if err != nil {
+			return err
+		}
+		d.machineN(b.m)
+		numCopies := decCopies(d, b.m)
+		placed := decPlacedRecs(d, b.m, numCopies)
+		faults := decFaults(d, b.m)
+		if err := d.close(); err != nil {
+			return err
+		}
+		list, loads := rebuildCopyState(b.m, numCopies, faults.failed, placed)
+		b.list, b.loads, b.placed, b.faults = list, loads, placed, faults
+		return nil
+	})
+}
+
+// --- A_C / A_M ----------------------------------------------------------
+
+// Snapshot implements Checkpointable. The mode byte is load-bearing: a
+// copy-mode instance whose d was raised past the greedy bound at run
+// time (Degradable) stays in copy mode, so the mode cannot be derived
+// from d alone.
+func (p *Periodic) Snapshot() []byte {
+	e := newSnapEnc(tagPeriodic)
+	e.u(uint64(p.m.N()))
+	e.i(int64(p.d))
+	e.byte(byte(p.order))
+	e.bool(p.lazy)
+	e.bool(p.greedy != nil)
+	if p.greedy != nil {
+		e.encPlacedNodes(p.greedy.placed)
+		e.encFaults(&p.greedy.faults)
+	} else {
+		e.u(uint64(p.list.Len()))
+		e.encPlacedRecs(p.placed)
+		e.encRealloc(p.sinceRealo, p.activeSize, p.stats)
+		e.encFaults(&p.faults)
+	}
+	return e.finish()
+}
+
+// Restore implements Checkpointable.
+func (p *Periodic) Restore(data []byte) error {
+	return guardRestore(func() error {
+		d, err := openSnap(data, tagPeriodic)
+		if err != nil {
+			return err
+		}
+		d.machineN(p.m)
+		pd := d.i()
+		order := ReallocOrder(d.byte())
+		lazy := d.bool()
+		greedyMode := d.bool()
+		if d.err == nil && (pd < -1 || pd > int64(p.m.N())<<20) {
+			d.fail("implausible d=%d", pd)
+		}
+		if d.err == nil && order > ArrivalOrder {
+			d.fail("unknown reallocation order %d", order)
+		}
+		if greedyMode {
+			placed := decPlacedNodes(d, p.m)
+			faults := decFaults(d, p.m)
+			if err := d.close(); err != nil {
+				return err
+			}
+			g := NewGreedy(p.m)
+			g.loads = rebuildLoads(p.m, placed)
+			g.placed = placed
+			g.faults = faults
+			g.failedUnder = rebuildFailedUnder(p.m, faults.failed)
+			p.d, p.order, p.lazy = int(pd), order, lazy
+			p.greedy = g
+			p.list, p.loads, p.placed = nil, nil, nil
+			p.sinceRealo, p.activeSize, p.stats, p.faults = 0, 0, ReallocStats{}, faultSet{}
+			return nil
+		}
+		numCopies := decCopies(d, p.m)
+		placed := decPlacedRecs(d, p.m, numCopies)
+		sinceRealo, activeSize, stats := decRealloc(d)
+		faults := decFaults(d, p.m)
+		if err := d.close(); err != nil {
+			return err
+		}
+		list, loads := rebuildCopyState(p.m, numCopies, faults.failed, placed)
+		p.d, p.order, p.lazy = int(pd), order, lazy
+		p.greedy = nil
+		p.list, p.loads, p.placed = list, loads, placed
+		p.sinceRealo, p.activeSize, p.stats, p.faults = sinceRealo, activeSize, stats, faults
+		return nil
+	})
+}
+
+// --- A_M-lazy -----------------------------------------------------------
+
+// Snapshot implements Checkpointable. The trigger state — sinceRealo and
+// activeSize, which gate the on-demand reallocation condition — rides in
+// the realloc ledger.
+func (l *Lazy) Snapshot() []byte {
+	e := newSnapEnc(tagLazy)
+	e.u(uint64(l.m.N()))
+	e.i(int64(l.d))
+	e.byte(byte(l.order))
+	e.bool(l.greedy != nil)
+	if l.greedy != nil {
+		e.encPlacedNodes(l.greedy.placed)
+		e.encFaults(&l.greedy.faults)
+	} else {
+		e.u(uint64(l.list.Len()))
+		e.encPlacedRecs(l.placed)
+		e.encRealloc(l.sinceRealo, l.activeSize, l.stats)
+		e.encFaults(&l.faults)
+	}
+	return e.finish()
+}
+
+// Restore implements Checkpointable.
+func (l *Lazy) Restore(data []byte) error {
+	return guardRestore(func() error {
+		d, err := openSnap(data, tagLazy)
+		if err != nil {
+			return err
+		}
+		d.machineN(l.m)
+		ld := d.i()
+		order := ReallocOrder(d.byte())
+		greedyMode := d.bool()
+		if d.err == nil && (ld < -1 || ld > int64(l.m.N())<<20) {
+			d.fail("implausible d=%d", ld)
+		}
+		if d.err == nil && order > ArrivalOrder {
+			d.fail("unknown reallocation order %d", order)
+		}
+		if greedyMode {
+			placed := decPlacedNodes(d, l.m)
+			faults := decFaults(d, l.m)
+			if err := d.close(); err != nil {
+				return err
+			}
+			g := NewGreedy(l.m)
+			g.loads = rebuildLoads(l.m, placed)
+			g.placed = placed
+			g.faults = faults
+			g.failedUnder = rebuildFailedUnder(l.m, faults.failed)
+			l.d, l.order = int(ld), order
+			l.greedy = g
+			l.list, l.loads, l.placed = nil, nil, nil
+			l.sinceRealo, l.activeSize, l.stats, l.faults = 0, 0, ReallocStats{}, faultSet{}
+			return nil
+		}
+		numCopies := decCopies(d, l.m)
+		placed := decPlacedRecs(d, l.m, numCopies)
+		sinceRealo, activeSize, stats := decRealloc(d)
+		faults := decFaults(d, l.m)
+		if err := d.close(); err != nil {
+			return err
+		}
+		list, loads := rebuildCopyState(l.m, numCopies, faults.failed, placed)
+		l.d, l.order = int(ld), order
+		l.greedy = nil
+		l.list, l.loads, l.placed = list, loads, placed
+		l.sinceRealo, l.activeSize, l.stats, l.faults = sinceRealo, activeSize, stats, faults
+		return nil
+	})
+}
+
+// --- A_Rand -------------------------------------------------------------
+
+// Snapshot implements Checkpointable. PRNG position is (seed, raw
+// draws); see countingSource.
+func (r *Random) Snapshot() []byte {
+	e := newSnapEnc(tagRandom)
+	e.u(uint64(r.m.N()))
+	e.encRNG(r.src)
+	e.encPlacedNodes(r.placed)
+	return e.finish()
+}
+
+// Restore implements Checkpointable.
+func (r *Random) Restore(data []byte) error {
+	return guardRestore(func() error {
+		d, err := openSnap(data, tagRandom)
+		if err != nil {
+			return err
+		}
+		d.machineN(r.m)
+		seed, draws := decRNG(d)
+		placed := decPlacedNodes(d, r.m)
+		if err := d.close(); err != nil {
+			return err
+		}
+		src := newCountingSource(seed)
+		src.restoreTo(seed, draws)
+		r.src = src
+		r.rng = rand.New(src)
+		r.loads = rebuildLoads(r.m, placed)
+		r.placed = placed
+		return nil
+	})
+}
+
+// --- two-choice ---------------------------------------------------------
+
+// Snapshot implements Checkpointable.
+func (tc *TwoChoice) Snapshot() []byte {
+	e := newSnapEnc(tagTwoChoice)
+	e.u(uint64(tc.m.N()))
+	e.encRNG(tc.src)
+	e.encPlacedNodes(tc.placed)
+	return e.finish()
+}
+
+// Restore implements Checkpointable.
+func (tc *TwoChoice) Restore(data []byte) error {
+	return guardRestore(func() error {
+		d, err := openSnap(data, tagTwoChoice)
+		if err != nil {
+			return err
+		}
+		d.machineN(tc.m)
+		seed, draws := decRNG(d)
+		placed := decPlacedNodes(d, tc.m)
+		if err := d.close(); err != nil {
+			return err
+		}
+		src := newCountingSource(seed)
+		src.restoreTo(seed, draws)
+		tc.src = src
+		tc.rng = rand.New(src)
+		tc.loads = rebuildLoads(tc.m, placed)
+		tc.placed = placed
+		return nil
+	})
+}
+
+// --- greedy, random ties ------------------------------------------------
+
+// Snapshot implements Checkpointable.
+func (g *GreedyRandomTie) Snapshot() []byte {
+	e := newSnapEnc(tagGreedyTie)
+	e.u(uint64(g.m.N()))
+	e.encRNG(g.src)
+	e.encPlacedNodes(g.placed)
+	return e.finish()
+}
+
+// Restore implements Checkpointable.
+func (g *GreedyRandomTie) Restore(data []byte) error {
+	return guardRestore(func() error {
+		d, err := openSnap(data, tagGreedyTie)
+		if err != nil {
+			return err
+		}
+		d.machineN(g.m)
+		seed, draws := decRNG(d)
+		placed := decPlacedNodes(d, g.m)
+		if err := d.close(); err != nil {
+			return err
+		}
+		src := newCountingSource(seed)
+		src.restoreTo(seed, draws)
+		g.src = src
+		g.rng = rand.New(src)
+		g.loads = rebuildLoads(g.m, placed)
+		g.placed = placed
+		return nil
+	})
+}

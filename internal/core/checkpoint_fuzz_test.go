@@ -1,0 +1,53 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"partalloc/internal/tree"
+)
+
+// FuzzSnapshotRoundTrip throws arbitrary bytes at every allocator's
+// Restore. The contract under fuzzing:
+//
+//   - Restore never panics and never hangs: hostile input fails the CRC,
+//     the range checks, or the plausibility caps, all wrapped in
+//     ErrBadSnapshot.
+//   - Anything Restore accepts is a reachable state: re-snapshotting it
+//     and restoring *that* must succeed and re-encode byte-identically
+//     (the codec is canonical from the first re-encode; the fuzzer may
+//     hand us non-minimal varints, so the raw input itself need not
+//     round-trip).
+//
+// The seed corpus is real mid-run snapshots of each algorithm — with
+// faults in flight where supported — so coverage starts from the
+// accepting paths, not just the header rejections.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	const n = 16
+	for _, tc := range chkConfigs() {
+		a := tc.build(tree.MustNew(n))
+		for _, op := range chkScript(13, n, 150, tc.faulty) {
+			applyChkOp(a, op)
+		}
+		f.Add(a.(Checkpointable).Snapshot())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{snapMagic0, snapMagic1, snapVersion, tagGreedy})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, tc := range chkConfigs() {
+			c := tc.fresh(tree.MustNew(n)).(Checkpointable)
+			if err := c.Restore(data); err != nil {
+				continue
+			}
+			s1 := c.Snapshot()
+			again := tc.fresh(tree.MustNew(n)).(Checkpointable)
+			if err := again.Restore(s1); err != nil {
+				t.Fatalf("%s: re-snapshot of an accepted state was rejected: %v", tc.name, err)
+			}
+			if s2 := again.Snapshot(); !bytes.Equal(s1, s2) {
+				t.Fatalf("%s: accepted state does not re-encode canonically", tc.name)
+			}
+		}
+	})
+}

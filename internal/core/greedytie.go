@@ -19,15 +19,18 @@ import (
 type GreedyRandomTie struct {
 	m      *tree.Machine
 	rng    *rand.Rand
+	src    *countingSource // rng's source, counted so Snapshot can record PRNG position
 	loads  *loadtree.Tree
 	placed map[task.ID]tree.Node
 }
 
 // NewGreedyRandomTie returns the random-tie greedy variant.
 func NewGreedyRandomTie(m *tree.Machine, seed int64) *GreedyRandomTie {
+	src := newCountingSource(seed)
 	return &GreedyRandomTie{
 		m:      m,
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    rand.New(src),
+		src:    src,
 		loads:  loadtree.New(m),
 		placed: make(map[task.ID]tree.Node),
 	}

@@ -19,15 +19,18 @@ import (
 type Random struct {
 	m      *tree.Machine
 	rng    *rand.Rand
+	src    *countingSource // rng's source, counted so Snapshot can record PRNG position
 	loads  *loadtree.Tree
 	placed map[task.ID]tree.Node
 }
 
 // NewRandom returns A_Rand on machine m, drawing from the given seed.
 func NewRandom(m *tree.Machine, seed int64) *Random {
+	src := newCountingSource(seed)
 	return &Random{
 		m:      m,
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    rand.New(src),
+		src:    src,
 		loads:  loadtree.New(m),
 		placed: make(map[task.ID]tree.Node),
 	}

@@ -23,15 +23,18 @@ import (
 type TwoChoice struct {
 	m      *tree.Machine
 	rng    *rand.Rand
+	src    *countingSource // rng's source, counted so Snapshot can record PRNG position
 	loads  *loadtree.Tree
 	placed map[task.ID]tree.Node
 }
 
 // NewTwoChoice returns the two-choice allocator with the given seed.
 func NewTwoChoice(m *tree.Machine, seed int64) *TwoChoice {
+	src := newCountingSource(seed)
 	return &TwoChoice{
 		m:      m,
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    rand.New(src),
+		src:    src,
 		loads:  loadtree.New(m),
 		placed: make(map[task.ID]tree.Node),
 	}

@@ -128,6 +128,17 @@ type Config struct {
 	Rebuild RebuildFunc
 	// Breaker tunes the circuit breaker's backoff (zero value = defaults).
 	Breaker BreakerConfig
+	// SnapshotEvery, when positive, checkpoints a tenant's full state into
+	// the journal (wal.TypeSnapshot) every SnapshotEvery applied batches.
+	// A snapshot makes every earlier record of that tenant redundant: once
+	// all tenants' latest snapshots live in segment ≥ s, segments before s
+	// are deleted (wal.Log.TruncateBefore), bounding the journal, and
+	// Recover restores each tenant from its last snapshot and replays only
+	// the tail after it — O(tail), not O(history). Requires Journal and
+	// allocators implementing core.Checkpointable (all partalloc
+	// allocators do). 0 disables snapshotting (full-replay recovery, the
+	// historical behavior).
+	SnapshotEvery int
 	// Sink, when non-nil, receives metrics and flight-recorder events
 	// from the hot paths (batch applies, sheds, degrade transitions,
 	// breaker trips/probes/heals, forced fault migrations) and turns on
@@ -302,6 +313,10 @@ type tenant struct {
 	trips    int
 	deadline int64
 
+	// lastSnapBatch is t.batches at the tenant's last journaled snapshot;
+	// the Config.SnapshotEvery cadence counts batches from here.
+	lastSnapBatch int64
+
 	n             int64 // machine size, for L*
 	events        int64
 	activeSize    int64
@@ -337,6 +352,21 @@ type Engine struct {
 	// frames otherwise).
 	jmu sync.Mutex
 
+	// smu guards snapSeg, the per-tenant snapshot watermark: the journal
+	// segment holding each tenant's latest snapshot (-1 = none yet). The
+	// compaction rule reads the minimum over all tracked tenants; a
+	// tenant that has never snapshotted pins the whole log.
+	smu     sync.Mutex
+	snapSeg map[string]int
+
+	// recStats is filled by Recover; resetOrd/recSnapOrd/recSnapData are
+	// its pass-1 scratch (the last snapshot/remove ordinal per tenant),
+	// cleared when recovery finishes.
+	recStats    RecoveryStats
+	resetOrd    map[string]int
+	recSnapOrd  map[string]int
+	recSnapData map[string][]byte
+
 	// now is the clock, in nanoseconds; a test hook.
 	now func() int64
 }
@@ -344,7 +374,7 @@ type Engine struct {
 // New builds an engine from cfg (zero value = defaults).
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards), snapSeg: make(map[string]int)}
 	for i := range e.shards {
 		e.shards[i] = &shard{tenants: make(map[string]*tenant)}
 	}
@@ -534,6 +564,7 @@ func (e *Engine) addTenant(spec TenantSpec, hasSpec bool, a core.Allocator, faul
 		}
 	}
 	s.tenants[id] = t
+	e.trackTenant(id)
 	// Pre-creates every per-tenant series so gauges (breaker state, queue
 	// depth) are scrapeable as 0 before the first batch.
 	e.cfg.Sink.TenantRegistered(id)
@@ -632,7 +663,11 @@ func (e *Engine) Submit(id string, evs ...task.Event) error {
 	if err := e.journalSubmit(t, evs); err != nil {
 		return err
 	}
-	return e.ingest(t, evs)
+	if err := e.ingest(t, evs); err != nil {
+		return err
+	}
+	//lint:ignore lockorder the snapshot must capture the tenant frozen by this shard lock, and append-before-release keeps the record ordered with the tenant's other records
+	return e.maybeSnapshot(t)
 }
 
 // ingest admits evs into the tenant's queue and applies full batches.
@@ -687,7 +722,11 @@ func (e *Engine) Flush(id string) error {
 	if err := e.journalFlush(t); err != nil {
 		return err
 	}
-	return e.flushTenant(t)
+	if err := e.flushTenant(t); err != nil {
+		return err
+	}
+	//lint:ignore lockorder the snapshot must capture the tenant frozen by this shard lock (see Submit)
+	return e.maybeSnapshot(t)
 }
 
 // FlushAll flushes every tenant (in sorted ID order) and returns the
@@ -838,6 +877,10 @@ func (e *Engine) Replay(ctx context.Context, streams map[string][]task.Event) er
 						}
 						if err == nil {
 							err = e.apply(t, evs[off:end])
+						}
+						if err == nil {
+							//lint:ignore lockorder the snapshot must capture the tenant frozen by this shard lock (see Submit)
+							err = e.maybeSnapshot(t)
 						}
 					}
 					s.mu.Unlock()

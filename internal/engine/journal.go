@@ -141,6 +141,10 @@ func (e *Engine) timeline(id string, stopBefore int) ([]task.Event, error) {
 				return fmt.Errorf("engine: journal record %d: rebuild keeps %d of %d events", ord, keep, len(tl))
 			}
 			tl = tl[:keep]
+		case wal.TypeRemove:
+			// The tenant left this engine (MoveTenant); a tenant with the
+			// same ID registered later starts a fresh stream.
+			tl = nil
 		}
 		return nil
 	})
@@ -152,10 +156,21 @@ func (e *Engine) timeline(id string, stopBefore int) ([]task.Event, error) {
 
 // probe is the circuit breaker's half-open transition: rebuild the
 // poisoned tenant from its journaled safe prefix — the t.events events
-// that were applied successfully — and drop the poisonous suffix. On
-// success the tenant is healthy again (t.err == nil); on failure the
-// breaker re-opens with a doubled backoff. Callers hold the shard lock.
+// that were applied successfully — and drop the poisonous suffix. When
+// the tenant has a journaled snapshot, the rebuild restores it and
+// replays only the post-snapshot tail (probeFromSnapshot); otherwise
+// the whole safe prefix is replayed from the timeline. On success the
+// tenant is healthy again (t.err == nil); on failure the breaker
+// re-opens with a doubled backoff. Callers hold the shard lock.
 func (e *Engine) probe(s *shard, t *tenant) error {
+	snapOrd, env, ok, err := e.lastSnapshot(t.id)
+	if err != nil {
+		e.rearm(t)
+		return err
+	}
+	if ok {
+		return e.probeFromSnapshot(t, snapOrd, env)
+	}
 	tl, err := e.timeline(t.id, -1)
 	if err != nil {
 		e.rearm(t)
@@ -211,20 +226,7 @@ func (e *Engine) rebuild(t *tenant, a core.Allocator, faults *fault.Schedule, ho
 	nt.deadline = t.deadline
 	*t = *nt
 	wireObserver(t)
-	trigger := e.cfg.BatchSize
-	if e.cfg.MaxQueue > 0 && trigger > e.cfg.MaxQueue {
-		trigger = e.cfg.MaxQueue
-	}
-	for off := 0; off < len(prefix); off += trigger {
-		end := off + trigger
-		if end > len(prefix) {
-			end = len(prefix)
-		}
-		if err := e.apply(t, prefix[off:end]); err != nil {
-			return err
-		}
-	}
-	return nil
+	return e.replayChunks(t, prefix)
 }
 
 // Recover reconstructs an engine from the journal in dir: the log is
@@ -232,6 +234,12 @@ func (e *Engine) rebuild(t *tenant, a core.Allocator, faults *fault.Schedule, ho
 // order through the same code paths live ingestion uses. cfg.Rebuild is
 // required; cfg.Journal is replaced by the reopened log, so the
 // recovered engine keeps journaling where the crashed one stopped.
+//
+// With snapshots in the log (Config.SnapshotEvery on the crashed
+// engine), recovery is O(tail): a first pass finds each tenant's last
+// snapshot, the second pass skips every record older than it, restores
+// the snapshot, and replays only what follows. RecoveryStats reports
+// the split.
 //
 // Recovery is deterministic for everything the ingestion history
 // determines: TenantStats of a recovered engine match an uninterrupted
@@ -248,15 +256,58 @@ func Recover(cfg Config, dir string, wopt wal.Options) (*Engine, error) {
 	}
 	cfg.Journal = log
 	e := New(cfg)
+	e.resetOrd = make(map[string]int)
+	e.recSnapOrd = make(map[string]int)
+	e.recSnapData = make(map[string][]byte)
+	// Pass 1: find each tenant's reset point — its last snapshot (restore
+	// from there) or removal (forget everything before).
+	if err := wal.Replay(dir, func(ord int, rec wal.Record) error {
+		e.recStats.RecordsScanned++
+		switch rec.Type {
+		case wal.TypeSnapshot:
+			e.resetOrd[rec.Tenant] = ord
+			e.recSnapOrd[rec.Tenant] = ord
+			e.recSnapData[rec.Tenant] = rec.Data
+		case wal.TypeRemove:
+			e.resetOrd[rec.Tenant] = ord
+			delete(e.recSnapOrd, rec.Tenant)
+			delete(e.recSnapData, rec.Tenant)
+		}
+		return nil
+	}); err != nil {
+		log.Close()
+		return nil, err
+	}
 	if err := wal.Replay(dir, e.dispatch); err != nil {
 		log.Close()
 		return nil, err
 	}
+	e.resetOrd, e.recSnapOrd, e.recSnapData = nil, nil, nil
+	cfg.Sink.Recovery(e.recStats.SnapshotsRestored, e.recStats.RecordsReplayed, e.recStats.RecordsSkipped)
 	return e, nil
 }
 
-// dispatch re-applies one journal record during Recover.
+// dispatch re-applies one journal record during Recover. Records older
+// than the tenant's reset point (its last snapshot or removal) are
+// skipped — the snapshot already summarizes them.
 func (e *Engine) dispatch(ord int, rec wal.Record) error {
+	if ro, ok := e.resetOrd[rec.Tenant]; ok {
+		if ord < ro {
+			e.recStats.RecordsSkipped++
+			return nil
+		}
+		if ord == ro {
+			if rec.Type == wal.TypeSnapshot {
+				e.recStats.SnapshotsRestored++
+				return e.restoreSnapshot(ord, rec)
+			}
+			// TypeRemove: every earlier record was skipped, so there is
+			// nothing to forget.
+			e.recStats.RecordsSkipped++
+			return nil
+		}
+	}
+	e.recStats.RecordsReplayed++
 	switch rec.Type {
 	case wal.TypeAddTenant:
 		var spec TenantSpec
@@ -295,6 +346,14 @@ func (e *Engine) dispatch(ord int, rec wal.Record) error {
 			return fmt.Errorf("engine: recover record %d: %w", ord, err)
 		}
 		return e.redoRebuild(rec.Tenant, ord, keep, drop)
+	case wal.TypeSnapshot:
+		// Unreachable in practice — pass 1 makes the last snapshot the
+		// reset point — but a restore is always a faithful re-application.
+		e.recStats.RecordsReplayed--
+		e.recStats.SnapshotsRestored++
+		return e.restoreSnapshot(ord, rec)
+	case wal.TypeRemove:
+		return e.removeTenantLocal(rec.Tenant)
 	default:
 		return fmt.Errorf("engine: recover record %d: unknown record type %d", ord, rec.Type)
 	}
@@ -330,7 +389,9 @@ func (e *Engine) redo(id string, ord int, fn func(*tenant) error) error {
 
 // redoRebuild re-applies a journaled circuit-breaker rebuild: the
 // tenant's timeline as of this record (strictly earlier records only),
-// truncated to the kept prefix, replayed into a fresh allocator.
+// truncated to the kept prefix, replayed into a fresh allocator. When
+// the tenant has an earlier snapshot, the rebuild is re-derived from it
+// instead — the full timeline may start in segments compaction deleted.
 func (e *Engine) redoRebuild(id string, ord int, keep, drop int64) error {
 	s := e.shardFor(id)
 	s.mu.Lock()
@@ -338,6 +399,10 @@ func (e *Engine) redoRebuild(id string, ord int, keep, drop int64) error {
 	t, ok := s.tenants[id]
 	if !ok {
 		return fmt.Errorf("engine: recover record %d: %w: %q", ord, ErrUnknownTenant, id)
+	}
+	if data, ok := e.recSnapData[id]; ok && e.recSnapOrd[id] < ord {
+		//lint:ignore lockorder recovery is single-threaded and the rebuild must read the journal under the shard lock it mutates under, same as the live probe
+		return e.redoRebuildFromSnapshot(t, ord, keep, drop, e.recSnapOrd[id], data)
 	}
 	//lint:ignore lockorder recovery is single-threaded and the rebuild must read the journal under the shard lock it mutates under, same as the live probe
 	tl, err := e.timeline(id, ord)

@@ -1,0 +1,618 @@
+// Tenant snapshotting, journal compaction, and O(tail) recovery.
+//
+// A snapshot (wal.TypeSnapshot) is one self-contained checkpoint of a
+// tenant: its rebuild spec, its engine ledger, its queued events, the
+// allocator's core.Checkpointable bytes, and — under Config.Audit — the
+// invariant checker's own ledger. Self-containment is the point: a
+// restored tenant needs nothing from the journal before the snapshot
+// record, which yields the two payoffs layered here.
+//
+//   - Compaction: the engine tracks, per tenant, the segment holding its
+//     latest snapshot. Once every tenant's latest snapshot lives in
+//     segment ≥ s, segments before s contain only history the snapshots
+//     already summarize and are deleted (wal.Log.TruncateBefore). A
+//     tenant that has never snapshotted pins the whole log — safety
+//     before space.
+//
+//   - O(tail) recovery: Recover scans the log once to find each tenant's
+//     last snapshot (pass 1), then replays (pass 2) skipping every record
+//     older than it; the tenant is restored from the snapshot and only
+//     the post-snapshot tail is re-applied. RecoveryStats counts the
+//     skipped/replayed split so tests can assert the O(tail) claim.
+//
+// The circuit breaker's half-open probe reuses the same machinery:
+// instead of replaying the tenant's full journaled safe prefix, it
+// restores the last (necessarily pre-poison — snapshots are only taken
+// at healthy moments) snapshot and replays the tail up to the safe
+// prefix. A successful probe appends a fresh "healing" snapshot right
+// after its TypeRebuild record, so a later recovery restores the healed
+// state directly instead of re-deriving it.
+//
+// MoveTenant rounds the feature out: a snapshot is, operationally, a
+// tenant in a box, so rebalancing a tenant onto another engine is
+// encode → install → journal a TypeRemove at the source.
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"partalloc/internal/core"
+	"partalloc/internal/errs"
+	"partalloc/internal/fault"
+	"partalloc/internal/task"
+	"partalloc/internal/topology"
+	"partalloc/internal/wal"
+)
+
+// tenantSnapshot is the JSON envelope inside a wal.TypeSnapshot record.
+// It carries everything Recover needs to rebuild the tenant without
+// reading any earlier record: the spec re-creates allocator/faults/host,
+// Alloc restores the allocator's exact state, Checker the audit ledger,
+// Queue the pending events, and the scalar fields the engine ledger.
+// Wall-clock-derived state (ApplyNs, BatchNs, the Degrade ladder) is
+// deliberately absent — CanonicalStats clears it, and the breaker's
+// rebuild precedent restarts the ladder too.
+type tenantSnapshot struct {
+	Spec          TenantSpec
+	Events        int64
+	Batches       int64
+	ActiveSize    int64
+	MaxActiveSize int64
+	PeakLoad      int
+	FaultPos      int
+	FaultHit      int
+	MigHops       int64  `json:",omitempty"`
+	ForcedHops    int64  `json:",omitempty"`
+	Shed          int64  `json:",omitempty"`
+	Dropped       int64  `json:",omitempty"`
+	Trips         int    `json:",omitempty"`
+	Queue         []byte // wal.AppendEvents encoding; never empty (count prefix)
+	Alloc         []byte // core.Checkpointable bytes
+	Checker       []byte `json:",omitempty"` // invariant.Checker ledger, Audit only
+}
+
+// RecoveryStats reports how Recover reconstructed the engine: how many
+// journal records it scanned, how many it skipped because a later
+// snapshot already covered them, how many it re-applied, and how many
+// snapshots it restored. RecordsSkipped + RecordsReplayed ≤
+// RecordsScanned (snapshot records restored at their own ordinal are
+// counted in SnapshotsRestored, not RecordsReplayed).
+type RecoveryStats struct {
+	RecordsScanned    int64
+	RecordsSkipped    int64
+	RecordsReplayed   int64
+	SnapshotsRestored int64
+}
+
+// RecoveryStats returns the ledger of the Recover call that built this
+// engine; all-zero for an engine built with New.
+func (e *Engine) RecoveryStats() RecoveryStats { return e.recStats }
+
+// trackTenant registers a tenant in the compaction watermark with "no
+// snapshot yet", pinning truncation until its first snapshot lands.
+func (e *Engine) trackTenant(id string) {
+	if e.cfg.Journal == nil {
+		return
+	}
+	e.smu.Lock()
+	if _, ok := e.snapSeg[id]; !ok {
+		e.snapSeg[id] = -1
+	}
+	e.smu.Unlock()
+}
+
+// untrackTenant drops a tenant from the compaction watermark (MoveTenant).
+func (e *Engine) untrackTenant(id string) {
+	e.smu.Lock()
+	delete(e.snapSeg, id)
+	e.smu.Unlock()
+}
+
+// encodeTenantSnapshot serializes t's full state. Callers hold the shard
+// lock, so the allocator and ledger are frozen.
+func (e *Engine) encodeTenantSnapshot(t *tenant) ([]byte, error) {
+	if !t.hasSpec {
+		return nil, fmt.Errorf("engine: snapshot %q: tenant has no rebuild recipe", t.id)
+	}
+	ck, ok := t.alloc.(core.Checkpointable)
+	if !ok {
+		return nil, fmt.Errorf("engine: snapshot %q: allocator %s is not checkpointable", t.id, t.alloc.Name())
+	}
+	env := tenantSnapshot{
+		Spec:          t.spec,
+		Events:        t.events,
+		Batches:       t.batches,
+		ActiveSize:    t.activeSize,
+		MaxActiveSize: t.maxActiveSize,
+		PeakLoad:      t.peakLoad,
+		FaultPos:      t.faultPos,
+		FaultHit:      t.faultHit,
+		MigHops:       t.migHops,
+		ForcedHops:    t.forcedHops,
+		Shed:          t.shed,
+		Dropped:       t.dropped,
+		Trips:         t.trips,
+		Queue:         wal.AppendEvents(nil, t.queue),
+		Alloc:         ck.Snapshot(),
+		Checker:       t.check.Checkpoint(),
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("engine: snapshot %q: %w", t.id, err)
+	}
+	return data, nil
+}
+
+// restoreTenant builds a tenant from a snapshot envelope: fresh
+// allocator from the spec, allocator state restored from the snapshot
+// bytes, checker ledger restored when auditing, engine ledger installed.
+// The caller wires the migration observer (wireObserver) once the
+// returned struct has reached its final address.
+func (e *Engine) restoreTenant(env *tenantSnapshot, a core.Allocator, faults *fault.Schedule, host *topology.Host) (*tenant, error) {
+	id := env.Spec.ID
+	t, err := e.buildTenant(env.Spec, true, a, faults, host)
+	if err != nil {
+		return nil, err
+	}
+	ck, ok := a.(core.Checkpointable)
+	if !ok {
+		return nil, fmt.Errorf("engine: restore %q: allocator %s is not checkpointable", id, a.Name())
+	}
+	if err := ck.Restore(env.Alloc); err != nil {
+		return nil, fmt.Errorf("engine: restore %q: allocator: %w", id, err)
+	}
+	if t.check != nil {
+		if len(env.Checker) == 0 {
+			return nil, fmt.Errorf("engine: restore %q: snapshot has no audit ledger but Config.Audit is on", id)
+		}
+		if err := t.check.RestoreCheckpoint(env.Checker); err != nil {
+			return nil, fmt.Errorf("engine: restore %q: %w", id, err)
+		}
+	}
+	queue, err := wal.DecodeEvents(env.Queue)
+	if err != nil {
+		return nil, fmt.Errorf("engine: restore %q: queue: %w", id, err)
+	}
+	if len(queue) > 0 {
+		t.queue = queue
+	}
+	if env.Events < 0 || env.Batches < 0 || env.FaultPos < 0 || env.FaultPos > len(t.faults) {
+		return nil, fmt.Errorf("engine: restore %q: inconsistent snapshot ledger", id)
+	}
+	t.events = env.Events
+	t.batches = env.Batches
+	t.activeSize = env.ActiveSize
+	t.maxActiveSize = env.MaxActiveSize
+	t.peakLoad = env.PeakLoad
+	t.faultPos = env.FaultPos
+	t.faultHit = env.FaultHit
+	t.migHops = env.MigHops
+	t.forcedHops = env.ForcedHops
+	t.shed = env.Shed
+	t.dropped = env.Dropped
+	t.trips = env.Trips
+	t.lastSnapBatch = env.Batches
+	return t, nil
+}
+
+// maybeSnapshot checkpoints t when the Config.SnapshotEvery cadence is
+// due. Called on the live ingestion paths (Submit, Flush, Replay) after
+// a successful apply, under the shard lock; never during recovery or a
+// breaker rebuild, whose replays go through other entry points.
+func (e *Engine) maybeSnapshot(t *tenant) error {
+	k := int64(e.cfg.SnapshotEvery)
+	if k <= 0 || e.cfg.Journal == nil || !t.hasSpec || t.err != nil {
+		return nil
+	}
+	if t.batches-t.lastSnapBatch < k {
+		return nil
+	}
+	return e.snapshotTenant(t)
+}
+
+// snapshotTenant appends a snapshot record for t unconditionally,
+// records the segment it landed in, and runs the compaction rule.
+// Callers hold the shard lock.
+func (e *Engine) snapshotTenant(t *tenant) error {
+	data, err := e.encodeTenantSnapshot(t)
+	if err != nil {
+		return err
+	}
+	e.jmu.Lock()
+	//lint:ignore lockorder jmu serializes all journal writes (see journalAppend); Seg must be read under the same hold, or a rotation from another shard could misattribute the snapshot's segment
+	err = e.cfg.Journal.Append(wal.Record{Type: wal.TypeSnapshot, Tenant: t.id, Data: data})
+	seg := e.cfg.Journal.Seg()
+	e.jmu.Unlock()
+	if err != nil {
+		return fmt.Errorf("engine: snapshot %q: %w", t.id, err)
+	}
+	t.lastSnapBatch = t.batches
+	t.sink.Snapshot(t.id, len(data), seg)
+	e.smu.Lock()
+	e.snapSeg[t.id] = seg
+	e.smu.Unlock()
+	return e.compact()
+}
+
+// compact applies the retention rule: delete every segment older than
+// all tenants' latest snapshots. A tenant with no snapshot yet (-1)
+// blocks truncation entirely — deleting history it still needs would
+// make it unrecoverable.
+func (e *Engine) compact() error {
+	e.smu.Lock()
+	min := -1
+	for _, seg := range e.snapSeg {
+		if seg < 0 {
+			e.smu.Unlock()
+			return nil
+		}
+		if min < 0 || seg < min {
+			min = seg
+		}
+	}
+	e.smu.Unlock()
+	if min <= 1 {
+		return nil // nothing older than the first segment
+	}
+	e.jmu.Lock()
+	defer e.jmu.Unlock()
+	//lint:ignore lockorder jmu serializes every journal mutation; truncation races with rotation otherwise
+	if err := e.cfg.Journal.TruncateBefore(min); err != nil {
+		return fmt.Errorf("engine: compact: %w", err)
+	}
+	return nil
+}
+
+// lastSnapshot scans the journal for id's latest snapshot record,
+// returning its ordinal and decoded envelope, or ok=false when the
+// tenant has none (or a TypeRemove supersedes them all). The caller
+// holds the tenant's shard lock, freezing its records (see timeline).
+func (e *Engine) lastSnapshot(id string) (ord int, env *tenantSnapshot, ok bool, err error) {
+	ord = -1
+	var data []byte
+	rerr := wal.Replay(e.cfg.Journal.Dir(), func(o int, rec wal.Record) error {
+		if rec.Tenant != id {
+			return nil
+		}
+		switch rec.Type {
+		case wal.TypeSnapshot:
+			ord, data = o, rec.Data
+		case wal.TypeRemove:
+			// The tenant was moved away and re-added; snapshots from its
+			// previous life describe state this stream never had.
+			ord, data = -1, nil
+		}
+		return nil
+	})
+	if rerr != nil {
+		return -1, nil, false, rerr
+	}
+	if ord < 0 {
+		return -1, nil, false, nil
+	}
+	env = new(tenantSnapshot)
+	if uerr := json.Unmarshal(data, env); uerr != nil {
+		return -1, nil, false, fmt.Errorf("engine: snapshot record for %q: %w", id, uerr)
+	}
+	return ord, env, true, nil
+}
+
+// snapTail reconstructs the tenant's valid event timeline *after* a
+// snapshot: the snapshot's queued events followed by every later
+// Submit/Apply record's events, with later TypeRebuild records applied
+// as truncations (their keep counts index the full stream, so they
+// translate by env.Events). stopBefore ≥ 0 bounds the scan as in
+// timeline; -1 scans everything. Position p of the returned slice is
+// stream event env.Events+p.
+func (e *Engine) snapTail(id string, snapOrd, stopBefore int, env *tenantSnapshot) ([]task.Event, error) {
+	tail, err := wal.DecodeEvents(env.Queue)
+	if err != nil {
+		return nil, fmt.Errorf("engine: snapshot queue for %q: %w", id, err)
+	}
+	err = wal.Replay(e.cfg.Journal.Dir(), func(ord int, rec wal.Record) error {
+		if stopBefore >= 0 && ord >= stopBefore {
+			return wal.ErrStop
+		}
+		if ord <= snapOrd || rec.Tenant != id {
+			return nil
+		}
+		switch rec.Type {
+		case wal.TypeSubmit:
+			evs, err := wal.DecodeEvents(rec.Data)
+			if err != nil {
+				return fmt.Errorf("engine: journal record %d: %w", ord, err)
+			}
+			tail = append(tail, evs...)
+		case wal.TypeApply:
+			_, evs, err := wal.DecodeApply(rec.Data)
+			if err != nil {
+				return fmt.Errorf("engine: journal record %d: %w", ord, err)
+			}
+			tail = append(tail, evs...)
+		case wal.TypeRebuild:
+			keep, _, err := wal.DecodeRebuild(rec.Data)
+			if err != nil {
+				return fmt.Errorf("engine: journal record %d: %w", ord, err)
+			}
+			rel := keep - env.Events
+			if rel < 0 || rel > int64(len(tail)) {
+				return fmt.Errorf("engine: journal record %d: rebuild keeps %d events but snapshot covers %d+%d",
+					ord, keep, env.Events, len(tail))
+			}
+			tail = tail[:rel]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tail, nil
+}
+
+// replayChunks applies evs through t in min(BatchSize, MaxQueue)-sized
+// chunks — the same chunking rebuild and redoRebuild use, so every path
+// that re-derives a tenant from events produces the same batch ledger.
+func (e *Engine) replayChunks(t *tenant, evs []task.Event) error {
+	trigger := e.cfg.BatchSize
+	if e.cfg.MaxQueue > 0 && trigger > e.cfg.MaxQueue {
+		trigger = e.cfg.MaxQueue
+	}
+	for off := 0; off < len(evs); off += trigger {
+		end := off + trigger
+		if end > len(evs) {
+			end = len(evs)
+		}
+		if err := e.apply(t, evs[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// probeFromSnapshot is the snapshot-powered half of the breaker's
+// half-open probe: restore the tenant's last pre-poison snapshot and
+// replay only the tail up to the safe prefix (t.events), instead of
+// replaying the whole journaled prefix from scratch. On success a
+// healing snapshot of the recovered state is appended right after the
+// TypeRebuild record, so a crash after the probe recovers the healed
+// ledger directly. Callers hold the shard lock.
+func (e *Engine) probeFromSnapshot(t *tenant, snapOrd int, env *tenantSnapshot) error {
+	keep := t.events
+	if env.Events > keep {
+		e.rearm(t)
+		return fmt.Errorf("engine: rebuild %q: snapshot covers %d events but only %d were applied", t.id, env.Events, keep)
+	}
+	tail, err := e.snapTail(t.id, snapOrd, -1, env)
+	if err != nil {
+		e.rearm(t)
+		return err
+	}
+	need := keep - env.Events
+	if need > int64(len(tail)) {
+		e.rearm(t)
+		return fmt.Errorf("engine: rebuild %q: journal holds %d tail events but %d are needed", t.id, len(tail), need)
+	}
+	drop := int64(len(tail)) - need
+	a, faults, host, err := e.cfg.Rebuild(t.spec)
+	if err != nil {
+		e.rearm(t)
+		return err
+	}
+	nt, err := e.restoreTenant(env, a, faults, host)
+	if err != nil {
+		e.rearm(t)
+		return err
+	}
+	// The snapshot's queued events are tail[0:...]; applying them from the
+	// tail AND leaving them queued would double them.
+	nt.queue = nil
+	nt.shed = t.shed
+	nt.dropped = t.dropped + drop
+	nt.trips = t.trips
+	nt.deadline = t.deadline
+	if err := e.journalAppend(wal.Record{Type: wal.TypeRebuild, Tenant: t.id, Data: wal.AppendRebuild(nil, keep, drop)}); err != nil {
+		e.rearm(t)
+		return err
+	}
+	*t = *nt
+	wireObserver(t)
+	if err := e.replayChunks(t, tail[:need]); err != nil {
+		return err
+	}
+	// Healing snapshot: recovery restores this state directly, matching
+	// the probe's ledger (snapshot batches + tail chunks) byte for byte.
+	if err := e.snapshotTenant(t); err != nil {
+		return err
+	}
+	t.sink.BreakerHeal(t.id, drop)
+	return nil
+}
+
+// redoRebuildFromSnapshot re-applies a journaled TypeRebuild during
+// recovery when the tenant has an earlier snapshot: the legacy path
+// (timeline from the log's beginning) would read records compaction may
+// have deleted, so the rebuild is re-derived exactly as the live probe
+// derived it — restore the snapshot, replay the tail up to keep.
+func (e *Engine) redoRebuildFromSnapshot(t *tenant, ord int, keep, drop int64, snapOrd int, data []byte) error {
+	var env tenantSnapshot
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("engine: recover record %d: snapshot: %w", ord, err)
+	}
+	tail, err := e.snapTail(t.id, snapOrd, ord, &env)
+	if err != nil {
+		return err
+	}
+	need := keep - env.Events
+	if need < 0 || need > int64(len(tail)) || drop != int64(len(tail))-need {
+		return fmt.Errorf("engine: recover record %d: rebuild keep=%d drop=%d against snapshot %d + %d tail events",
+			ord, keep, drop, env.Events, len(tail))
+	}
+	a, faults, host, err := e.cfg.Rebuild(t.spec)
+	if err != nil {
+		return fmt.Errorf("engine: recover %q: %w", t.id, err)
+	}
+	nt, err := e.restoreTenant(&env, a, faults, host)
+	if err != nil {
+		return fmt.Errorf("engine: recover record %d: %w", ord, err)
+	}
+	nt.queue = nil
+	nt.shed = t.shed
+	nt.dropped = t.dropped + drop
+	nt.trips = t.trips
+	nt.deadline = t.deadline
+	*t = *nt
+	wireObserver(t)
+	if err := e.replayChunks(t, tail[:need]); err != nil && !errors.Is(err, errs.ErrTenantPoisoned) {
+		return err
+	}
+	return nil
+}
+
+// restoreSnapshot installs a tenant from a TypeSnapshot record during
+// recovery. Earlier records of this tenant were skipped (including its
+// TypeAddTenant), so the envelope's spec is the registration.
+func (e *Engine) restoreSnapshot(ord int, rec wal.Record) error {
+	var env tenantSnapshot
+	if err := json.Unmarshal(rec.Data, &env); err != nil {
+		return fmt.Errorf("engine: recover record %d: snapshot: %w", ord, err)
+	}
+	if env.Spec.ID != rec.Tenant {
+		return fmt.Errorf("engine: recover record %d: snapshot spec ID %q does not match tenant %q", ord, env.Spec.ID, rec.Tenant)
+	}
+	a, faults, host, err := e.cfg.Rebuild(env.Spec)
+	if err != nil {
+		return fmt.Errorf("engine: recover %q: %w", rec.Tenant, err)
+	}
+	t, err := e.restoreTenant(&env, a, faults, host)
+	if err != nil {
+		return fmt.Errorf("engine: recover record %d: %w", ord, err)
+	}
+	s := e.shardFor(t.id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, existed := s.tenants[t.id]
+	s.tenants[t.id] = t
+	wireObserver(t)
+	e.trackTenant(t.id)
+	if !existed {
+		e.cfg.Sink.TenantRegistered(t.id)
+	}
+	return nil
+}
+
+// removeTenantLocal forgets a tenant (TypeRemove during recovery; a
+// no-op when earlier records were already skipped).
+func (e *Engine) removeTenantLocal(id string) error {
+	s := e.shardFor(id)
+	s.mu.Lock()
+	delete(s.tenants, id)
+	s.mu.Unlock()
+	e.untrackTenant(id)
+	return nil
+}
+
+// moveMu serializes MoveTenant calls process-wide. A move holds shard
+// locks on two engines at once (source while encoding, destination
+// while installing); serializing moves is what keeps two concurrent
+// opposite-direction moves from deadlocking on each other's shards.
+var moveMu sync.Mutex
+
+// MoveTenant extracts tenant id from e and installs it in dst — a
+// rebalance with no event replay: the tenant travels as one snapshot.
+// The destination journals the snapshot (when it has a journal), then
+// the source journals a TypeRemove and forgets the tenant, so each
+// engine's log recovers its own post-move view. The tenant must be
+// healthy, have a rebuild recipe, and dst must have Config.Rebuild.
+//
+// The two journals cannot be updated atomically: a crash after the
+// destination's append but before the source's leaves the tenant on
+// both engines after recovery (at-least-once, never lost). The same
+// window is reported as an error when the source append fails.
+func (e *Engine) MoveTenant(id string, dst *Engine) error {
+	if dst == nil {
+		return fmt.Errorf("engine: MoveTenant(%q): nil destination", id)
+	}
+	if dst == e {
+		return fmt.Errorf("engine: MoveTenant(%q): destination is the source engine", id)
+	}
+	if dst.cfg.Rebuild == nil {
+		return fmt.Errorf("engine: MoveTenant(%q): destination has no Config.Rebuild", id)
+	}
+	moveMu.Lock()
+	defer moveMu.Unlock()
+	s := e.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, id)
+	}
+	if t.err != nil {
+		return fmt.Errorf("engine: MoveTenant(%q): %w: move healthy tenants only: %w", id, ErrTenantPoisoned, t.err)
+	}
+	data, err := e.encodeTenantSnapshot(t)
+	if err != nil {
+		return err
+	}
+	//lint:ignore lockorder the move is a two-journal transaction: the destination's install and the source's removal must happen with the tenant frozen under this shard lock, and moveMu serializes moves so the cross-engine lock pair cannot deadlock
+	if err := dst.installSnapshot(data); err != nil {
+		return fmt.Errorf("engine: MoveTenant(%q): %w", id, err)
+	}
+	if e.cfg.Journal != nil {
+		//lint:ignore lockorder append-before-apply: the removal record must land before the tenant disappears from this engine (see Submit)
+		if err := e.journalAppend(wal.Record{Type: wal.TypeRemove, Tenant: id}); err != nil {
+			return fmt.Errorf("engine: MoveTenant(%q): installed at destination but source removal failed (tenant now on both): %w", id, err)
+		}
+	}
+	delete(s.tenants, id)
+	e.untrackTenant(id)
+	e.cfg.Sink.TenantMoved(id, "out")
+	return nil
+}
+
+// installSnapshot decodes a tenant snapshot and registers the tenant on
+// this engine, journaling the snapshot first when journaled (so a crash
+// right after the move still recovers the tenant here).
+func (e *Engine) installSnapshot(data []byte) error {
+	var env tenantSnapshot
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("engine: install snapshot: %w", err)
+	}
+	id := env.Spec.ID
+	a, faults, host, err := e.cfg.Rebuild(env.Spec)
+	if err != nil {
+		return fmt.Errorf("engine: install %q: %w", id, err)
+	}
+	t, err := e.restoreTenant(&env, a, faults, host)
+	if err != nil {
+		return fmt.Errorf("engine: install %q: %w", id, err)
+	}
+	s := e.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tenants[id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateTenant, id)
+	}
+	if e.cfg.Journal != nil {
+		e.jmu.Lock()
+		//lint:ignore lockorder jmu serializes all journal writes; Seg is read under the same hold (see snapshotTenant)
+		err = e.cfg.Journal.Append(wal.Record{Type: wal.TypeSnapshot, Tenant: id, Data: data})
+		seg := e.cfg.Journal.Seg()
+		e.jmu.Unlock()
+		if err != nil {
+			return fmt.Errorf("engine: install %q: %w", id, err)
+		}
+		e.smu.Lock()
+		e.snapSeg[id] = seg
+		e.smu.Unlock()
+		t.sink.Snapshot(id, len(data), seg)
+	}
+	s.tenants[id] = t
+	wireObserver(t)
+	e.cfg.Sink.TenantRegistered(id)
+	e.cfg.Sink.TenantMoved(id, "in")
+	return nil
+}

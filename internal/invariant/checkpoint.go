@@ -1,0 +1,116 @@
+// Checker checkpointing. The checker's audit power comes from an
+// *independent* event ledger — its own task-size map, fault set, and
+// budget counters, deliberately not derivable from the allocator under
+// audit. That independence means a snapshot-restored tenant cannot
+// simply start a fresh checker (it would flag every pre-snapshot task as
+// unknown); the ledger must be checkpointed alongside the allocator and
+// restored with it. JSON keeps the format debuggable; the engine wraps
+// it in the WAL's CRC-framed snapshot record, so integrity is covered a
+// layer down.
+package invariant
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"partalloc/internal/core"
+	"partalloc/internal/task"
+)
+
+// checkerState is the serialized ledger. Machine, host, budget d, and
+// panic mode are construction-time configuration, re-derived from the
+// tenant spec on restore, and deliberately absent here.
+type checkerState struct {
+	Events           int               `json:"events"`
+	ActiveSize       int64             `json:"active_size"`
+	ArrivedSize      int64             `json:"arrived_size"`
+	ArrivedAtRealloc int64             `json:"arrived_at_realloc"`
+	LastRealloc      core.ReallocStats `json:"last_realloc"`
+	Tasks            [][2]int64        `json:"tasks,omitempty"` // (id, size) pairs, ascending id
+	Failed           []int             `json:"failed,omitempty"`
+	VolMovedPEs      int64             `json:"vol_moved_pes,omitempty"`
+	VolHops          int64             `json:"vol_hops,omitempty"`
+	ForcedMovedPEs   int64             `json:"forced_moved_pes,omitempty"`
+	ForcedHops       int64             `json:"forced_hops,omitempty"`
+	DegSeen          bool              `json:"deg_seen,omitempty"`
+	LastToD          int               `json:"last_to_d,omitempty"`
+	LastToLazy       bool              `json:"last_to_lazy,omitempty"`
+	Violations       []Violation       `json:"violations,omitempty"`
+}
+
+// Checkpoint serializes the checker's ledger deterministically (tasks
+// and failed PEs in ascending order), so equal ledgers produce equal
+// bytes and tenant snapshots stay canonical.
+func (c *Checker) Checkpoint() []byte {
+	if c == nil {
+		return nil
+	}
+	st := checkerState{
+		Events:           c.events,
+		ActiveSize:       c.activeSize,
+		ArrivedSize:      c.arrivedSize,
+		ArrivedAtRealloc: c.arrivedAtRealloc,
+		LastRealloc:      c.lastRealloc,
+		VolMovedPEs:      c.volMovedPEs,
+		VolHops:          c.volHops,
+		ForcedMovedPEs:   c.forcedMovedPEs,
+		ForcedHops:       c.forcedHops,
+		DegSeen:          c.degSeen,
+		LastToD:          c.lastToD,
+		LastToLazy:       c.lastToLazy,
+		Violations:       c.violations,
+	}
+	for id, size := range c.sizes {
+		st.Tasks = append(st.Tasks, [2]int64{int64(id), int64(size)})
+	}
+	sort.Slice(st.Tasks, func(i, j int) bool { return st.Tasks[i][0] < st.Tasks[j][0] })
+	for pe := range c.failed {
+		st.Failed = append(st.Failed, pe)
+	}
+	sort.Ints(st.Failed)
+	data, err := json.Marshal(st)
+	if err != nil {
+		// Every field is a plain value; marshal cannot fail.
+		panic(fmt.Sprintf("invariant: checkpoint marshal: %v", err))
+	}
+	return data
+}
+
+// RestoreCheckpoint replaces the checker's ledger with a checkpointed
+// one. Configuration (machine, host, budget, panic mode) is untouched —
+// the caller constructs the checker from the tenant spec first, exactly
+// as at AddTenant time, then restores the ledger into it.
+func (c *Checker) RestoreCheckpoint(data []byte) error {
+	if c == nil {
+		return nil
+	}
+	var st checkerState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("invariant: restore checkpoint: %w", err)
+	}
+	sizes := make(map[task.ID]int, len(st.Tasks))
+	for _, pair := range st.Tasks {
+		sizes[task.ID(pair[0])] = int(pair[1])
+	}
+	failed := make(map[int]bool, len(st.Failed))
+	for _, pe := range st.Failed {
+		failed[pe] = true
+	}
+	c.events = st.Events
+	c.activeSize = st.ActiveSize
+	c.arrivedSize = st.ArrivedSize
+	c.arrivedAtRealloc = st.ArrivedAtRealloc
+	c.lastRealloc = st.LastRealloc
+	c.sizes = sizes
+	c.failed = failed
+	c.volMovedPEs = st.VolMovedPEs
+	c.volHops = st.VolHops
+	c.forcedMovedPEs = st.ForcedMovedPEs
+	c.forcedHops = st.ForcedHops
+	c.degSeen = st.DegSeen
+	c.lastToD = st.LastToD
+	c.lastToLazy = st.LastToLazy
+	c.violations = st.Violations
+	return nil
+}

@@ -36,6 +36,10 @@ const (
 	EventWatchdogKill = "watchdog-kill"
 	EventCellRetry    = "cell-retry"
 	EventCellPanic    = "cell-panic"
+	EventSnapshot     = "snapshot"
+	EventWALTruncate  = "wal-truncate"
+	EventRecovery     = "recovery"
+	EventTenantMoved  = "tenant-moved"
 )
 
 // A FlightRecorder is a fixed-size ring buffer of Events. Writers pay one

@@ -41,6 +41,14 @@ const (
 	MetricWatchdogTimeouts = "partalloc_parallel_watchdog_timeouts_total"
 	MetricCellRetries      = "partalloc_parallel_retries_total"
 	MetricCellPanics       = "partalloc_parallel_panics_total"
+
+	MetricSnapshots         = "partalloc_snapshot_taken_total"
+	MetricSnapshotBytes     = "partalloc_snapshot_bytes"
+	MetricSnapshotTruncated = "partalloc_snapshot_segments_truncated_total"
+	MetricRecoveryRestored  = "partalloc_recovery_snapshots_restored_total"
+	MetricRecoveryReplayed  = "partalloc_recovery_records_replayed_total"
+	MetricRecoverySkipped   = "partalloc_recovery_records_skipped_total"
+	MetricTenantMoves       = "partalloc_tenant_moves_total"
 )
 
 // tenantSeries caches every per-tenant series handle so the batch-apply
@@ -48,10 +56,11 @@ const (
 type tenantSeries struct {
 	events, batches, shed, dropped *Counter
 	trips, heals, probes, forced   *Counter
+	snapshots                      *Counter
 	maxLoad, peakLoad, lstar       *Gauge
 	queueDepth, migHops, forced2   *Gauge
 	degradeLevel, effectiveD       *Gauge
-	breakerState                   *Gauge
+	breakerState, snapshotBytes    *Gauge
 	applyLatency                   *Histogram
 }
 
@@ -158,6 +167,8 @@ func (s *Sink) tenant(id string) *tenantSeries {
 		ts.degradeLevel = m.Gauge(MetricTenantDegradeLevel, "Degrade-ladder rung (0 = healthy).", l)
 		ts.effectiveD = m.Gauge(MetricTenantEffectiveD, "Effective reallocation budget d after degradation.", l)
 		ts.breakerState = m.Gauge(MetricTenantBreakerState, "Breaker state: 0 closed, 1 open.", l)
+		ts.snapshots = m.Counter(MetricSnapshots, "Durable tenant snapshots appended to the WAL.", l)
+		ts.snapshotBytes = m.Gauge(MetricSnapshotBytes, "Size of the tenant's latest snapshot record.", l)
 		ts.applyLatency = m.Histogram(MetricTenantApplyLatency, "Batch apply latency per tenant.", l)
 	}
 	s.tens[id] = ts
@@ -428,4 +439,64 @@ func (s *Sink) CellPanic(cell int) {
 		s.m.Counter(MetricCellPanics, "Panics captured in replay cells.").Inc()
 	}
 	s.fr.Record(EventCellPanic, "", "", map[string]int64{"cell": int64(cell)})
+}
+
+// Snapshot records one durable tenant checkpoint: its size and the WAL
+// segment it landed in (the segment that retention must keep).
+func (s *Sink) Snapshot(tenant string, bytes int, seg int) {
+	if s == nil {
+		return
+	}
+	if s.m != nil {
+		ts := s.tenant(tenant)
+		ts.snapshots.Inc()
+		ts.snapshotBytes.Set(int64(bytes))
+	}
+	s.fr.Record(EventSnapshot, tenant, "", map[string]int64{
+		"bytes":   int64(bytes),
+		"segment": int64(seg),
+	})
+}
+
+// WALTruncate records sealed segments deleted by snapshot retention.
+func (s *Sink) WALTruncate(removed int64) {
+	if s == nil {
+		return
+	}
+	if s.m != nil {
+		s.m.Counter(MetricSnapshotTruncated, "WAL segments deleted by snapshot retention.").Add(removed)
+	}
+	s.fr.Record(EventWALTruncate, "", "", map[string]int64{"segments": removed})
+}
+
+// Recovery records the cost of one Engine.Recover pass: snapshots
+// restored, records replayed after them, and records skipped because a
+// later snapshot already covered them. Skipped≫replayed is the O(tail)
+// recovery working as designed.
+func (s *Sink) Recovery(restored, replayed, skipped int64) {
+	if s == nil {
+		return
+	}
+	if s.m != nil {
+		s.m.Counter(MetricRecoveryRestored, "Tenant snapshots restored during recovery.").Add(restored)
+		s.m.Counter(MetricRecoveryReplayed, "Journal records replayed during recovery.").Add(replayed)
+		s.m.Counter(MetricRecoverySkipped, "Journal records skipped during recovery (covered by a snapshot).").Add(skipped)
+	}
+	s.fr.Record(EventRecovery, "", "", map[string]int64{
+		"snapshots_restored": restored,
+		"records_replayed":   replayed,
+		"records_skipped":    skipped,
+	})
+}
+
+// TenantMoved records an admin MoveTenant: the tenant left this engine
+// (direction "out") or was installed from a snapshot (direction "in").
+func (s *Sink) TenantMoved(tenant, direction string) {
+	if s == nil {
+		return
+	}
+	if s.m != nil {
+		s.m.Counter(MetricTenantMoves, "Tenants moved between engines via MoveTenant.").Inc()
+	}
+	s.fr.Record(EventTenantMoved, tenant, direction, nil)
 }

@@ -44,6 +44,16 @@ const (
 	// TypeRebuild marks a circuit-breaker rebuild: the tenant was rebuilt
 	// from the first keep events of its valid timeline, dropping the rest.
 	TypeRebuild Type = 5
+	// TypeSnapshot carries a full tenant checkpoint (JSON envelope around
+	// the allocator's core.Checkpointable bytes): spec, ledger, queued
+	// events, and allocator state. Recovery restores the tenant's *last*
+	// snapshot and replays only the records after it, and segments wholly
+	// older than every tenant's last snapshot become garbage (see
+	// Log.TruncateBefore).
+	TypeSnapshot Type = 6
+	// TypeRemove marks a tenant's removal from this engine (MoveTenant):
+	// recovery forgets the tenant and skips its earlier records.
+	TypeRemove Type = 7
 )
 
 // Record is one journal entry.

@@ -262,6 +262,53 @@ func (l *Log) Sync() error {
 // Dir returns the journal directory.
 func (l *Log) Dir() string { return l.dir }
 
+// Seg returns the index of the open segment — i.e. the segment the next
+// (and the just-appended) record lands in, since Append rotates *before*
+// writing. The engine captures this alongside each snapshot append to
+// learn which segments the snapshot makes redundant.
+func (l *Log) Seg() int { return l.seg }
+
+// TruncateBefore deletes every sealed segment with index < seg. This is
+// the snapshot-retention rule: once every tenant's latest durable
+// snapshot lives in segment ≥ seg, all older segments contain only
+// history the snapshots already summarize.
+//
+// Deletion runs in ascending index order, so a crash mid-truncation
+// leaves a contiguous suffix of segments — still a valid log, just less
+// compacted — and the directory is fsynced afterwards so the removals
+// are durable before the caller reports success. The open segment is
+// never deleted.
+func (l *Log) TruncateBefore(seg int) error {
+	if l.closed {
+		return errors.New("wal: truncate on closed log")
+	}
+	if seg > l.seg {
+		seg = l.seg
+	}
+	idx, err := segments(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	removed := 0
+	for _, i := range idx {
+		if i >= seg {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segmentName(i))); err != nil {
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		if d, err := os.Open(l.dir); err == nil {
+			_ = d.Sync()
+			_ = d.Close()
+		}
+		l.opt.Sink.WALTruncate(int64(removed))
+	}
+	return nil
+}
+
 // Close syncs and closes the open segment. The log cannot be reused.
 func (l *Log) Close() error {
 	if l.closed {

@@ -258,6 +258,21 @@ type wrappedAllocator struct {
 	host  *topology.Host
 }
 
+// Snapshot delegates to the wrapped allocator so wrapping preserves
+// core.Checkpointable: the embedded interface is core.Allocator, which
+// does not carry the snapshot methods. Every partalloc allocator is
+// checkpointable, so the assertion cannot fail for allocators built by
+// New.
+func (w *wrappedAllocator) Snapshot() []byte {
+	return w.Allocator.(core.Checkpointable).Snapshot()
+}
+
+// Restore is Snapshot's inverse; see Snapshot for why the delegation is
+// explicit.
+func (w *wrappedAllocator) Restore(data []byte) error {
+	return w.Allocator.(core.Checkpointable).Restore(data)
+}
+
 // unwrapRun splits a possibly wrapped allocator into the underlying
 // allocator, its fault schedule, and its topology host (nil when not
 // attached).

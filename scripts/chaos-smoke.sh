@@ -11,10 +11,13 @@
 #      invariants clean, byte-identical recoveries, and every poisoned
 #      tenant healed by the circuit breaker;
 #   3. journaled throughput: the benchmark's journal-on pass runs end to
-#      end (the write-ahead path under the race detector).
+#      end (the write-ahead path under the race detector);
+#   4. snapshot retention: periodic snapshots keep the journal bounded,
+#      SIGKILL with truncation in flight still recovers byte-identically,
+#      and O(tail) recovery is equivalence-gated against full replay.
 set -eu
 
-echo "chaos-smoke: 1/3 SIGKILL mid-ingest recovery is byte-identical"
+echo "chaos-smoke: 1/4 SIGKILL mid-ingest recovery is byte-identical"
 go test -race -run 'TestSIGKILLRecovery|TestRecoverMatchesUninterrupted' -count=1 ./internal/engine/
 
 # The soak is race-instrumented: concurrent per-tenant ingestion, breaker
@@ -22,11 +25,20 @@ go test -race -run 'TestSIGKILLRecovery|TestRecoverMatchesUninterrupted' -count=
 # concurrent paths worth watching. Two seeds so the injection schedule
 # (which tenants are poisoned, when stalls land relative to crashes)
 # is not a single lucky draw.
-echo "chaos-smoke: 2/3 seeded chaos soak under the race detector"
+echo "chaos-smoke: 2/4 seeded chaos soak under the race detector"
 go run -race ./cmd/engined -chaos -chaos-rounds 8 -seed 1
 go run -race ./cmd/engined -chaos -chaos-rounds 6 -seed 7
 
-echo "chaos-smoke: 3/3 journal-on benchmark pass"
+echo "chaos-smoke: 3/4 journal-on benchmark pass"
 go run -race ./cmd/engined -quick -journal -out /dev/null
+
+# The compaction test asserts the segment count stays bounded while the
+# log keeps growing; the crash test SIGKILLs a child only after at least
+# two truncations have landed; the -recovery pass recovers the same
+# fleet from a plain and a snapshotting journal and refuses to report a
+# speedup unless the two ledgers are byte-identical.
+echo "chaos-smoke: 4/4 snapshot retention bounds the WAL; O(tail) recovery equivalence"
+go test -race -run 'TestSnapshotCompactionBoundsLog|TestSIGKILLSnapshotRecovery' -count=1 ./internal/engine/
+go run -race ./cmd/engined -quick -journal -snapshot-every 2 -recovery -out /dev/null
 
 echo "chaos-smoke: OK"
