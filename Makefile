@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short test-race test-fault test-topology test-chaos test-snapshot obs-smoke lint lint-json bench experiments experiments-quick cover golden clean
+.PHONY: all build test test-short test-race test-fault test-topology test-chaos test-snapshot test-placement obs-smoke lint lint-json bench experiments experiments-quick cover golden clean
 
 all: build lint test
 
@@ -48,6 +48,14 @@ test-chaos:
 test-snapshot:
 	go test -race -run 'TestSnapshot|TestRecoveryReadsOnlyTail|TestBreakerProbeRestoresFromSnapshot|TestMoveTenant|TestSIGKILLSnapshotRecovery' -count=1 ./internal/engine/
 	go test -race -run 'TestSnapshotRecoveryEquivalence' -count=1 .
+
+# Placement suite under the race detector (docs/ENGINE.md, "Placement
+# and rebalancing"): HashPlacer byte-identity goldens, BalancedPlacer
+# plan determinism, the MoveTenant-through-placer regression, concurrent
+# Submit during rebalance passes, and the SIGKILL mid-rebalance crash
+# test that gates recovery on routing-table consistency.
+test-placement:
+	go test -race -run 'TestHashPlacementGolden|TestBalancedPlacer|TestMoveTenantRoutesThroughPlacer|TestConcurrentSubmitDuringRebalance|TestSIGKILLRebalanceRecovery' -count=1 ./internal/engine/
 
 # Observability smoke (docs/OBSERVABILITY.md): boots `engined -listen`
 # on a random port, scrapes /metrics, asserts the required series exist

@@ -91,11 +91,18 @@ func (s *stallAllocator) Arrive(tk task.Task) tree.Node {
 // for the final summary.
 type chaosHarness struct {
 	seed int64
+	// balanced runs every engine generation under the A_M(d) placer, so
+	// rebalance moves land between poison pills, stalls, and crashes.
+	balanced bool
 
 	mu    sync.Mutex
 	stall *stallAllocator
 
 	poisons, heals, stalls, crashes int
+	// rebalPasses/rebalMoves accumulate across engine generations: the
+	// rebalance ledger is in-memory, so each crash cycle folds the dying
+	// generation's counts in here before recovery zeroes them.
+	rebalPasses, rebalMoves int64
 }
 
 // setStall records the stall tenant's wrapper for the current engine
@@ -180,7 +187,7 @@ func chaosSpecs(seed int64) ([]engine.TenantSpec, int) {
 // one at a time (every placement checked); the tiny breaker backoff keeps
 // heal latency in milliseconds so the soak stays fast.
 func (h *chaosHarness) chaosConfig() engine.Config {
-	return engine.Config{
+	cfg := engine.Config{
 		Shards:         4,
 		BatchSize:      16,
 		Audit:          true,
@@ -190,6 +197,14 @@ func (h *chaosHarness) chaosConfig() engine.Config {
 		Rebuild:        h.rebuild,
 		Breaker:        engine.BreakerConfig{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond, Seed: h.seed},
 	}
+	if h.balanced {
+		// A tight cadence so the soak's short rounds still trigger
+		// passes between injections, on top of the forced per-round one.
+		cfg.Placement = engine.PlacementBalanced
+		cfg.RebalanceD = 1
+		cfg.RebalanceEvery = 4
+	}
+	return cfg
 }
 
 // chaosChunk builds one round of traffic for one tenant: arrivals
@@ -217,14 +232,18 @@ func chaosPill(round, tenant int) task.Event {
 }
 
 // runChaos executes the soak and returns the first violated guarantee.
-func runChaos(ctx context.Context, seed int64, rounds int) error {
+// With balanced placement the soak additionally forces a rebalance pass
+// every round — moves land between poison pills, stalls, and crashes —
+// and every kill/recover cycle gates on the recovered routing table
+// matching the pre-crash one exactly.
+func runChaos(ctx context.Context, seed int64, rounds int, balanced bool) error {
 	dir, err := os.MkdirTemp("", "engined-chaos-*")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(dir)
 
-	h := &chaosHarness{seed: seed}
+	h := &chaosHarness{seed: seed, balanced: balanced}
 	log, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
 	if err != nil {
 		return err
@@ -334,6 +353,15 @@ func runChaos(ctx context.Context, seed int64, rounds int) error {
 			h.stalls++
 		}
 
+		// Force a rebalance between injections: moves must survive
+		// poison pills (a poisoned tenant's route freezes, the rest keep
+		// moving) and land in the journal before the next crash cycle.
+		if balanced {
+			if _, err := eng.Rebalance(); err != nil {
+				return fmt.Errorf("round %d: rebalance: %w", r, err)
+			}
+		}
+
 		// Kill/recover cycle: the recovered engine must match the live
 		// one byte-for-byte under CanonicalStats, poisoned tenants and
 		// queued backlogs included.
@@ -392,9 +420,15 @@ func runChaos(ctx context.Context, seed int64, rounds int) error {
 		}
 		applied += st.Events
 	}
+	placed := ""
+	if balanced {
+		rs := eng.RebalanceStats()
+		placed = fmt.Sprintf(", %d rebalance passes / %d tenant moves",
+			h.rebalPasses+rs.Passes, h.rebalMoves+rs.Moves)
+	}
 	fmt.Fprintf(os.Stderr,
-		"engined: chaos OK — %d rounds, %d tenants, %d events applied; %d poisonings / %d heals, %d stalls, %d crash recoveries, 0 invariant violations\n",
-		rounds, len(specs), applied, h.poisons, h.heals, h.stalls, h.crashes)
+		"engined: chaos OK — %d rounds, %d tenants, %d events applied; %d poisonings / %d heals, %d stalls, %d crash recoveries%s, 0 invariant violations\n",
+		rounds, len(specs), applied, h.poisons, h.heals, h.stalls, h.crashes, placed)
 	return nil
 }
 
@@ -403,12 +437,29 @@ func runChaos(ctx context.Context, seed int64, rounds int) error {
 // and demands ledger byte-identity before handing the new generation back.
 func chaosCrashCycle(h *chaosHarness, eng *engine.Engine, log *wal.Log, dir string) (*engine.Engine, *wal.Log, error) {
 	want := eng.Stats()
+	wantRoutes := eng.Routes()
+	rs := eng.RebalanceStats()
+	h.rebalPasses += rs.Passes
+	h.rebalMoves += rs.Moves
 	if err := log.Close(); err != nil {
 		return nil, nil, err
 	}
 	rec, err := engine.Recover(h.chaosConfig(), dir, wal.Options{Sync: wal.SyncNever})
 	if err != nil {
 		return nil, nil, fmt.Errorf("recover: %w", err)
+	}
+	// Routing-table consistency gate: recovery replays TypeMove records,
+	// so the recovered table must equal the pre-crash one exactly — a
+	// tenant routed elsewhere after recovery would be locked (and
+	// journaled) on the wrong stripe from then on.
+	gotRoutes := rec.Routes()
+	if len(gotRoutes) != len(wantRoutes) {
+		return nil, nil, fmt.Errorf("recovered %d routes, want %d", len(gotRoutes), len(wantRoutes))
+	}
+	for id, shard := range wantRoutes {
+		if gotRoutes[id] != shard {
+			return nil, nil, fmt.Errorf("tenant %s recovered onto shard %d, was on %d", id, gotRoutes[id], shard)
+		}
 	}
 	got := rec.Stats()
 	if len(got) != len(want) {
@@ -423,13 +474,18 @@ func chaosCrashCycle(h *chaosHarness, eng *engine.Engine, log *wal.Log, dir stri
 	return rec, rec.Journal(), nil
 }
 
-// chaosAuditClean fails on any invariant checker finding.
+// chaosAuditClean fails on any invariant checker finding, including the
+// rebalance audit's routing-bijection and move-budget checks.
 func chaosAuditClean(eng *engine.Engine) error {
 	for _, st := range eng.Stats() {
 		if len(st.Violations) > 0 {
 			return fmt.Errorf("tenant %s: %d invariant violations, first: %s",
 				st.Tenant, len(st.Violations), st.Violations[0])
 		}
+	}
+	if rs := eng.RebalanceStats(); len(rs.Violations) > 0 {
+		return fmt.Errorf("rebalance audit: %d violations, first: %s",
+			len(rs.Violations), rs.Violations[0])
 	}
 	return nil
 }

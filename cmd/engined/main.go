@@ -9,8 +9,9 @@
 //	engined [-tenants 8] [-arrivals 10000] [-n 1024] [-batch 4096]
 //	        [-shards 0] [-algo A_Rand] [-topology tree] [-seed 1]
 //	        [-quick] [-journal] [-snapshot-every k] [-recovery]
-//	        [-out file.json]
-//	engined -chaos [-chaos-rounds 12] [-seed 1]
+//	        [-placement hash|balanced] [-rebalance-d d] [-rebalance-every k]
+//	        [-skew] [-out file.json]
+//	engined -chaos [-chaos-rounds 12] [-seed 1] [-placement balanced]
 //
 // With -journal the headline fleet is measured a second time through a
 // write-ahead journal (batched fsync) and the ledger records the
@@ -23,7 +24,9 @@
 // benchmark is replaced by the seeded chaos soak (see chaos.go and
 // docs/ENGINE.md): poison pills, allocator stalls, mid-batch PE faults,
 // and kill/recover cycles, with audited invariants, byte-identical
-// recovery, and breaker-healed tenants as the pass criteria.
+// recovery, and breaker-healed tenants as the pass criteria; adding
+// -placement balanced forces a rebalance pass every round and gates
+// each recovery on routing-table identity.
 //
 // Every fleet runs on a topology host (-topology; default tree, which is
 // byte-identical to the host-agnostic engine), so the ledger also records
@@ -113,6 +116,9 @@ type report struct {
 	// journal (full replay) against one with periodic snapshots (restore
 	// latest snapshot + replay the tail); -recovery flag.
 	Recovery *recoveryResult `json:"recovery,omitempty"`
+	// Placement is the skewed-workload routing comparison (hash vs
+	// balanced placement over a zipf-sized fleet); see placement.go.
+	Placement *placementReport `json:"placement,omitempty"`
 }
 
 // recoveryResult is the -recovery section: the same headline journal
@@ -191,14 +197,21 @@ func main() {
 	listen := flag.String("listen", "", "serve /metrics, /debug/pprof and /debug/flightrec on this address (implies -obs) and keep serving after the benchmark until interrupted")
 	chaos := flag.Bool("chaos", false, "run the seeded chaos soak (docs/ENGINE.md) instead of the benchmark")
 	chaosRounds := flag.Int("chaos-rounds", 12, "rounds in the -chaos soak")
+	placementName := flag.String("placement", "hash", "tenant→shard placement for the headline fleet: hash or balanced")
+	rebalD := flag.Int("rebalance-d", 0, "paper d knob for -placement balanced (0 = engine default 1)")
+	rebalEvery := flag.Int("rebalance-every", 0, "batches between rebalance passes for -placement balanced (0 = engine default 32)")
+	skew := flag.Bool("skew", false, "run the skewed-placement section even with -quick (it always runs without -quick)")
 	flag.Parse()
 
 	if *chaos {
+		if *placementName != "hash" && *placementName != "balanced" {
+			fatal(fmt.Errorf("unknown -placement %q (want hash or balanced)", *placementName))
+		}
 		ctx, stop := cli.WithInterrupt(context.Background(), func() {
 			fmt.Fprintln(os.Stderr, "engined: interrupt — abandoning the chaos soak")
 		})
 		defer stop()
-		if err := runChaos(ctx, *seed, *chaosRounds); err != nil {
+		if err := runChaos(ctx, *seed, *chaosRounds, *placementName == "balanced"); err != nil {
 			fail(err)
 		}
 		return
@@ -206,6 +219,9 @@ func main() {
 
 	algo, err := partalloc.ParseAlgorithm(*algoName)
 	if err != nil {
+		fatal(err)
+	}
+	if placementOpts, err = parsePlacement(*placementName, *rebalD, *rebalEvery); err != nil {
 		fatal(err)
 	}
 	if *tenants < 1 || *arrivals < 1 {
@@ -300,6 +316,20 @@ func main() {
 		rep.ObsSlowdown = float64(or.WallNs) / float64(base)
 	}
 
+	if !*quick || *skew {
+		// An explicit -skew asks for the real skew section even in a
+		// -quick run: placement effects need the full fleet (at quick
+		// scale the hot-shard peak is one tenant's own batch-formation
+		// transient in either mode, and the comparison degenerates).
+		pr, err := runPlacement(ctx, *seed, *quick && !*skew)
+		if err != nil {
+			fail(err)
+		}
+		rep.Placement = &pr
+		fmt.Fprintf(os.Stderr, "engined: skew: hot-shard peak queue %d (hash) vs %d (balanced), critical-path speedup %.2f×, %d rebalance moves\n",
+			pr.Hash.HotShardPeakQueue, pr.Balanced.HotShardPeakQueue, pr.CriticalPathSpeedup, pr.RebalanceMoves)
+	}
+
 	if !*quick {
 		// The realloc-heavy fleets use smaller batches: their streams are
 		// short (placement cost, not ingestion, dominates them) and the
@@ -332,14 +362,41 @@ func main() {
 		rep.Algo, rep.Tenants, rep.EventsTotal, rep.Engine.OpsPerSec/1e6, rep.Serial.OpsPerSec/1e6, rep.Speedup)
 }
 
+// placementOpts carries the -placement/-rebalance-* flags into every
+// engine the benchmark builds; empty when the flags are at their
+// defaults, so the historical hash-placed engine is untouched.
+var placementOpts []partalloc.EngineOption
+
+// parsePlacement maps the placement flags onto engine options. Invalid
+// combinations (rebalance knobs without balanced placement) surface
+// through the facade's ErrBadOption at construction.
+func parsePlacement(name string, d, every int) ([]partalloc.EngineOption, error) {
+	var opts []partalloc.EngineOption
+	switch name {
+	case "hash", "":
+	case "balanced":
+		opts = append(opts, partalloc.WithPlacement(partalloc.PlacementBalanced))
+	default:
+		return nil, fmt.Errorf("unknown -placement %q (want hash or balanced)", name)
+	}
+	if d > 0 {
+		opts = append(opts, partalloc.WithRebalanceD(d))
+	}
+	if every > 0 {
+		opts = append(opts, partalloc.WithRebalanceEvery(every))
+	}
+	return opts, nil
+}
+
 // engineOpts translates the -shards/-batch flags into engine options
-// (shards 0 = auto keeps the engine default).
+// (shards 0 = auto keeps the engine default), plus whatever the
+// placement flags selected.
 func engineOpts(shards, batch int) []partalloc.EngineOption {
 	opts := []partalloc.EngineOption{partalloc.WithBatchSize(batch)}
 	if shards > 0 {
 		opts = append(opts, partalloc.WithShards(shards))
 	}
-	return opts
+	return append(opts, placementOpts...)
 }
 
 // runFleet measures one fleet through both ingestion paths.

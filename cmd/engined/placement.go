@@ -1,0 +1,383 @@
+package main
+
+// The skewed-placement benchmark: the same zipf-sized tenant fleet is
+// ingested twice — once hash-placed (the historical routing), once
+// through the BalancedPlacer's A_M(d) rebalancer — and the ledger
+// records what rebalancing buys on a workload where tenant sizes are
+// wildly unequal. Three comparisons matter:
+//
+//   - hot_shard_peak_queue: the highest queue backlog any one shard
+//     accumulated. Hash placement piles the heavy tenants wherever
+//     fnv32a happens to put them; balancing spreads them.
+//   - shard_apply_ns_max: the busiest shard's total apply time — the
+//     ingestion critical path. On a machine with at least as many cores
+//     as shards, wall clock converges to this number, so
+//     critical_path_speedup (hash max over balanced max) is the ops/sec
+//     factor balancing is worth there. The measured ops_per_sec fields
+//     are reported too, but on fewer cores they flatten toward 1×
+//     because a single core serializes every shard regardless of
+//     routing.
+//   - recovery_routes_match: the balanced run is repeated through a
+//     journal, crashed, and recovered; the recovered routing table must
+//     equal the pre-crash one exactly (TypeMove replay).
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"partalloc"
+)
+
+// placementMode is one measured ingestion pass of the skew benchmark.
+type placementMode struct {
+	OpsPerSec float64 `json:"ops_per_sec"`
+	WallNs    int64   `json:"wall_ns"`
+	// HotShardPeakQueue is the highest queued-event backlog any shard
+	// reached (max over shards of ShardStats.PeakQueued).
+	HotShardPeakQueue int `json:"hot_shard_peak_queue"`
+	// ShardEventsMax/Min bound the per-shard applied-event spread.
+	ShardEventsMax int64 `json:"shard_events_max"`
+	ShardEventsMin int64 `json:"shard_events_min"`
+	// ShardApplyNsMax is the busiest shard's cumulative apply time — the
+	// fleet's ingestion critical path.
+	ShardApplyNsMax int64 `json:"shard_apply_ns_max"`
+}
+
+// placementReport is the -skew section of BENCH_3.json.
+type placementReport struct {
+	Tenants        int     `json:"tenants"`
+	Shards         int     `json:"shards"`
+	ZipfExponent   float64 `json:"zipf_exponent"`
+	EventsTotal    int64   `json:"events_total"`
+	RebalanceD     int     `json:"rebalance_d"`
+	RebalanceEvery int     `json:"rebalance_every"`
+
+	Hash     placementMode `json:"hash"`
+	Balanced placementMode `json:"balanced"`
+
+	// MeasuredSpeedup is balanced over hash measured ops/sec (≈1 on a
+	// single core; see the file comment).
+	MeasuredSpeedup float64 `json:"measured_speedup"`
+	// CriticalPathSpeedup is hash over balanced busiest-shard apply time
+	// — the ops/sec factor on ≥ shards cores.
+	CriticalPathSpeedup float64 `json:"critical_path_speedup"`
+	// PeakQueueRatio is hash over balanced hot-shard peak queue (>1
+	// means balancing lowered the worst backlog).
+	PeakQueueRatio float64 `json:"peak_queue_ratio"`
+
+	RebalancePasses int64 `json:"rebalance_passes"`
+	RebalanceMoves  int64 `json:"rebalance_moves"`
+	// RebalanceViolations counts invariant-audit findings across all
+	// passes; anything but 0 is a bug.
+	RebalanceViolations int `json:"rebalance_violations"`
+
+	// Recovery: the balanced fleet journaled, closed, and recovered —
+	// the recovered routing table must match the pre-close one.
+	RecoveryRoutesMatch   bool  `json:"recovery_routes_match"`
+	RecoveryMovesReplayed int64 `json:"recovery_moves_replayed"`
+}
+
+// skewSpec sizes the skew benchmark fleet.
+type skewSpec struct {
+	tenants    int
+	shards     int
+	zipfS      float64
+	base       int // heaviest tenant's arrival count
+	floor      int // lightest tenant's arrival count
+	n          int // machine size per tenant
+	batch      int
+	bursts     int // Submit calls per stream: heavy tenants send big bursts
+	minBurst   int // burst floor for the light tail
+	flushEvery int // client deadline: flush after this many bursts
+	rebalD     int
+	rebalEvery int
+	seed       int64
+}
+
+func defaultSkewSpec(seed int64, quick bool) skewSpec {
+	s := skewSpec{
+		tenants: 48, shards: 8, zipfS: 0.8, base: 6000, floor: 200,
+		n: 64, batch: 1024, bursts: 12, minBurst: 16, flushEvery: 4,
+		rebalD: 1, rebalEvery: 32, seed: seed,
+	}
+	if quick {
+		s.tenants, s.base, s.floor = 24, 1500, 100
+	}
+	return s
+}
+
+// arrivals returns tenant i's Poisson arrival count: zipf-decaying in
+// rank with a floor, so the fleet has a few heavy tenants and a long
+// light tail.
+func (s skewSpec) arrivals(i int) int {
+	a := int(float64(s.base) / math.Pow(float64(i+1), s.zipfS))
+	if a < s.floor {
+		a = s.floor
+	}
+	return a
+}
+
+// streams builds the per-tenant zipf-sized event streams.
+func (s skewSpec) streams() (map[string][]partalloc.Event, int64) {
+	out := make(map[string][]partalloc.Event, s.tenants)
+	var total int64
+	for i := 0; i < s.tenants; i++ {
+		seq := partalloc.PoissonWorkload(partalloc.WorkloadConfig{
+			N: s.n, Arrivals: s.arrivals(i), Seed: s.seed + int64(i),
+		})
+		out[tenantID(i)] = seq.Events
+		total += int64(len(seq.Events))
+	}
+	return out, total
+}
+
+// engineFor builds one engine for the skew benchmark, balanced or hash.
+func (s skewSpec) engineFor(balanced bool, extra ...partalloc.EngineOption) (*partalloc.Engine, error) {
+	opts := []partalloc.EngineOption{
+		partalloc.WithShards(s.shards), partalloc.WithBatchSize(s.batch),
+	}
+	if balanced {
+		opts = append(opts,
+			partalloc.WithPlacement(partalloc.PlacementBalanced),
+			partalloc.WithRebalanceD(s.rebalD),
+			partalloc.WithRebalanceEvery(s.rebalEvery))
+	}
+	return partalloc.NewEngine(append(opts, extra...)...)
+}
+
+// populate registers the fleet on eng.
+func (s skewSpec) populate(eng *partalloc.Engine) error {
+	m := partalloc.MustNewMachine(s.n)
+	for i := 0; i < s.tenants; i++ {
+		err := eng.AddTenant(tenantID(i), partalloc.AlgoRandom, m,
+			partalloc.WithSeed(s.seed+int64(i)))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drive ingests every stream as an interleaved fleet of clients: each
+// round, every tenant submits one volume-proportional burst (a zipf
+// fleet is zipf in burst size too), and every flushEvery rounds the
+// fleet flushes on a deadline, the way latency-bound clients force
+// results out rather than waiting for a full batch. The round-robin
+// schedule is what concurrent clients look like from a shard's queue —
+// every tenant's residue is present when its neighbors submit — but
+// deterministic, so the measured backlog compares placements instead
+// of scheduler luck. Returns the wall time.
+func (s skewSpec) drive(ctx context.Context, eng *partalloc.Engine, streams map[string][]partalloc.Event) (time.Duration, error) {
+	start := time.Now()
+	burst := make([]int, s.tenants)
+	for i := 0; i < s.tenants; i++ {
+		b := (len(streams[tenantID(i)]) + s.bursts - 1) / s.bursts
+		if b < s.minBurst {
+			b = s.minBurst
+		}
+		burst[i] = b
+	}
+	for round := 0; round < s.bursts; round++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		for i := 0; i < s.tenants; i++ {
+			id := tenantID(i)
+			evs := streams[id]
+			off := round * burst[i]
+			if off >= len(evs) {
+				continue
+			}
+			end := off + burst[i]
+			if end > len(evs) {
+				end = len(evs)
+			}
+			if err := eng.Submit(id, evs[off:end]...); err != nil {
+				return 0, fmt.Errorf("%s: %w", id, err)
+			}
+		}
+		if (round+1)%s.flushEvery == 0 {
+			for i := 0; i < s.tenants; i++ {
+				if err := eng.Flush(tenantID(i)); err != nil {
+					return 0, fmt.Errorf("%s: flush: %w", tenantID(i), err)
+				}
+			}
+		}
+	}
+	if err := eng.FlushAll(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// splitStreams cuts every stream at 1/parts of its length: the prefix
+// map is the warmup, the suffix map the measured remainder.
+func splitStreams(streams map[string][]partalloc.Event, parts int) (warm, rest map[string][]partalloc.Event, restTotal int64) {
+	warm = make(map[string][]partalloc.Event, len(streams))
+	rest = make(map[string][]partalloc.Event, len(streams))
+	for id, evs := range streams {
+		cut := len(evs) / parts
+		warm[id], rest[id] = evs[:cut], evs[cut:]
+		restTotal += int64(len(evs) - cut)
+	}
+	return warm, rest, restTotal
+}
+
+// measure runs one mode of the skew benchmark: a warmup third of every
+// stream (feeding the balanced placer's load estimates), forced
+// rebalance passes so routing converges before the clock starts, then
+// the measured remainder. Events and apply time are deltas over the
+// warmup ledger, and the peak-backlog window is reset at the boundary,
+// so every reported figure describes the measured phase only.
+func (s skewSpec) measure(ctx context.Context, balanced bool, streams map[string][]partalloc.Event, total int64) (placementMode, *partalloc.Engine, error) {
+	eng, err := s.engineFor(balanced)
+	if err != nil {
+		return placementMode{}, nil, err
+	}
+	if err := s.populate(eng); err != nil {
+		return placementMode{}, nil, err
+	}
+	warm, rest, restTotal := splitStreams(streams, 3)
+	if _, err := s.drive(ctx, eng, warm); err != nil {
+		return placementMode{}, nil, err
+	}
+	// A no-op on the hash engine; on the balanced one this converges the
+	// routing table without waiting out the RebalanceEvery cadence. The
+	// per-pass move budget is d·shards, so full convergence of a large
+	// fleet takes several passes; converged passes plan nothing and cost
+	// almost nothing.
+	for i := 0; i < 8; i++ {
+		if _, err := eng.Rebalance(); err != nil {
+			return placementMode{}, nil, err
+		}
+	}
+	base := make(map[int]partalloc.EngineShardStats, s.shards)
+	for _, st := range eng.ShardStats() {
+		base[st.Shard] = st
+	}
+	// Scope the peak-backlog window to the measured phase: the warmup
+	// stampede (every client's first bursts, before routing converges)
+	// would otherwise set both modes' high-water identically.
+	eng.ResetShardPeaks()
+	wall, err := s.drive(ctx, eng, rest)
+	if err != nil {
+		return placementMode{}, nil, err
+	}
+	mode := placementMode{
+		OpsPerSec: float64(restTotal) / wall.Seconds(),
+		WallNs:    wall.Nanoseconds(),
+	}
+	for _, st := range eng.ShardStats() {
+		events := st.Events - base[st.Shard].Events
+		applyNs := st.ApplyNs - base[st.Shard].ApplyNs
+		if st.PeakQueued > mode.HotShardPeakQueue {
+			mode.HotShardPeakQueue = st.PeakQueued
+		}
+		if events > mode.ShardEventsMax {
+			mode.ShardEventsMax = events
+		}
+		if mode.ShardEventsMin == 0 || events < mode.ShardEventsMin {
+			mode.ShardEventsMin = events
+		}
+		if applyNs > mode.ShardApplyNsMax {
+			mode.ShardApplyNsMax = applyNs
+		}
+	}
+	return mode, eng, nil
+}
+
+// runPlacement runs the full skew section: hash pass, balanced pass,
+// and the journaled balanced pass whose recovery must reproduce the
+// routing table.
+func runPlacement(ctx context.Context, seed int64, quick bool) (placementReport, error) {
+	spec := defaultSkewSpec(seed, quick)
+	streams, total := spec.streams()
+	rep := placementReport{
+		Tenants: spec.tenants, Shards: spec.shards, ZipfExponent: spec.zipfS,
+		EventsTotal: total, RebalanceD: spec.rebalD, RebalanceEvery: spec.rebalEvery,
+	}
+
+	var err error
+	var beng *partalloc.Engine
+	if rep.Hash, _, err = spec.measure(ctx, false, streams, total); err != nil {
+		return rep, fmt.Errorf("hash pass: %w", err)
+	}
+	if rep.Balanced, beng, err = spec.measure(ctx, true, streams, total); err != nil {
+		return rep, fmt.Errorf("balanced pass: %w", err)
+	}
+	rs := beng.RebalanceStats()
+	rep.RebalancePasses = rs.Passes
+	rep.RebalanceMoves = rs.Moves
+	rep.RebalanceViolations = len(rs.Violations)
+
+	rep.MeasuredSpeedup = rep.Balanced.OpsPerSec / rep.Hash.OpsPerSec
+	if rep.Balanced.ShardApplyNsMax > 0 {
+		rep.CriticalPathSpeedup = float64(rep.Hash.ShardApplyNsMax) / float64(rep.Balanced.ShardApplyNsMax)
+	}
+	if rep.Balanced.HotShardPeakQueue > 0 {
+		rep.PeakQueueRatio = float64(rep.Hash.HotShardPeakQueue) / float64(rep.Balanced.HotShardPeakQueue)
+	}
+
+	match, replayed, err := spec.recoveryCheck(ctx, streams)
+	if err != nil {
+		return rep, fmt.Errorf("recovery check: %w", err)
+	}
+	rep.RecoveryRoutesMatch = match
+	rep.RecoveryMovesReplayed = replayed
+	return rep, nil
+}
+
+// recoveryCheck journals a balanced ingestion of the same fleet, closes
+// the engine, recovers from the log, and compares routing tables. The
+// recovered table must be identical — that is what journaling TypeMove
+// records buys.
+func (s skewSpec) recoveryCheck(ctx context.Context, streams map[string][]partalloc.Event) (bool, int64, error) {
+	dir, err := os.MkdirTemp("", "engined-placement-*")
+	if err != nil {
+		return false, 0, err
+	}
+	defer os.RemoveAll(dir)
+
+	eng, err := s.engineFor(true, partalloc.WithJournal(dir))
+	if err != nil {
+		return false, 0, err
+	}
+	if err := s.populate(eng); err != nil {
+		return false, 0, err
+	}
+	if _, err := s.drive(ctx, eng, streams); err != nil {
+		return false, 0, err
+	}
+	before := eng.Routes()
+	if err := eng.Close(); err != nil {
+		return false, 0, err
+	}
+
+	rec, err := partalloc.RecoverEngine(dir,
+		partalloc.WithShards(s.shards), partalloc.WithBatchSize(s.batch),
+		partalloc.WithPlacement(partalloc.PlacementBalanced),
+		partalloc.WithRebalanceD(s.rebalD), partalloc.WithRebalanceEvery(s.rebalEvery))
+	if err != nil {
+		return false, 0, err
+	}
+	defer rec.Close()
+	after := rec.Routes()
+
+	match := len(before) == len(after)
+	if match {
+		for id, idx := range before {
+			if after[id] != idx {
+				match = false
+				break
+			}
+		}
+	}
+	if !match {
+		return false, rec.RecoveryStats().MovesReplayed,
+			fmt.Errorf("recovered routing table differs: %d routes before, %d after", len(before), len(after))
+	}
+	return true, rec.RecoveryStats().MovesReplayed, nil
+}

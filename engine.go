@@ -10,6 +10,7 @@ import (
 	"partalloc/internal/core"
 	"partalloc/internal/engine"
 	"partalloc/internal/fault"
+	"partalloc/internal/mathx"
 	"partalloc/internal/obs"
 	"partalloc/internal/task"
 	"partalloc/internal/topology"
@@ -78,6 +79,33 @@ const (
 	OverloadDegrade = engine.Degrade
 )
 
+// PlacementPolicy selects how the engine routes tenants to shards; see
+// WithPlacement.
+type PlacementPolicy = engine.PlacementPolicy
+
+// Placement policies for WithPlacement.
+const (
+	// PlacementHash routes each tenant to fnv32a(id) mod shards, fixed for
+	// the tenant's lifetime. The default.
+	PlacementHash = engine.PlacementHash
+	// PlacementBalanced routes through a mutable table steered by the
+	// paper's own A_M(d) allocator running over a virtual machine whose
+	// PEs are the shards; periodic rebalance passes move hot tenants off
+	// crowded shards, at most d·shards moves per pass. Requires a
+	// power-of-two shard count. See docs/ENGINE.md.
+	PlacementBalanced = engine.PlacementBalanced
+)
+
+// EngineShardStats is a point-in-time load snapshot for one shard:
+// resident tenants, queued events, the high-water queue depth, and
+// cumulative applied events and apply time (Engine.ShardStats).
+type EngineShardStats = engine.ShardStats
+
+// RebalanceStats aggregates the engine's placement rebalancing:
+// passes run, moves planned and performed, the per-pass budget, and any
+// invariant violations the post-pass audit found (Engine.RebalanceStats).
+type RebalanceStats = engine.RebalanceStats
+
 // JournalSyncPolicy selects when a journaling engine fsyncs its log.
 type JournalSyncPolicy = wal.SyncPolicy
 
@@ -136,6 +164,10 @@ type engineOptions struct {
 	metrics     *Metrics
 	flightN     int
 	poisonDump  io.Writer
+	placement   PlacementPolicy
+	placeSet    bool
+	rebalD      int
+	rebalEvery  int
 	err         error
 }
 
@@ -310,6 +342,49 @@ func WithJournalSync(p JournalSyncPolicy) EngineOption {
 	}
 }
 
+// WithPlacement selects the tenant→shard routing policy (default
+// PlacementHash). PlacementBalanced requires a power-of-two shard
+// count: combine with WithShards(2^k), or omit WithShards and the
+// engine rounds its default down to a power of two.
+func WithPlacement(p PlacementPolicy) EngineOption {
+	return func(o *engineOptions) {
+		switch p {
+		case PlacementHash, PlacementBalanced:
+			o.placement, o.placeSet = p, true
+		default:
+			o.fail(fmt.Errorf("%w: WithPlacement(%v): unknown policy", ErrBadOption, p))
+		}
+	}
+}
+
+// WithRebalanceD sets the paper's d knob for PlacementBalanced routing:
+// the virtual A_M(d) allocator repacks after d·shards units of tenant
+// load arrive, and each rebalance pass moves at most d·shards tenants.
+// Smaller d keeps shards tightly balanced at the cost of more moves
+// (default 1; at least 1). Requires WithPlacement(PlacementBalanced).
+func WithRebalanceD(d int) EngineOption {
+	return func(o *engineOptions) {
+		if d < 1 {
+			o.fail(fmt.Errorf("%w: WithRebalanceD(%d): want d of at least 1", ErrBadOption, d))
+			return
+		}
+		o.rebalD = d
+	}
+}
+
+// WithRebalanceEvery sets how many applied batches elapse between
+// rebalance passes (default 32; at least 1). Requires
+// WithPlacement(PlacementBalanced).
+func WithRebalanceEvery(k int) EngineOption {
+	return func(o *engineOptions) {
+		if k < 1 {
+			o.fail(fmt.Errorf("%w: WithRebalanceEvery(%d): want a cadence of at least 1 batch", ErrBadOption, k))
+			return
+		}
+		o.rebalEvery = k
+	}
+}
+
 // WithMetrics attaches a metrics registry: the engine (and its journal)
 // record per-tenant ledger gauges, apply/fsync latency histograms, and
 // overload/breaker counters into m, renderable with
@@ -370,6 +445,16 @@ func (o *engineOptions) config() (EngineConfig, *obs.Sink, error) {
 	if o.segBytes > 0 && o.journalDir == "" {
 		return EngineConfig{}, nil, fmt.Errorf("%w: WithJournalSegmentBytes requires WithJournal", ErrBadOption)
 	}
+	balanced := o.placeSet && o.placement == PlacementBalanced
+	if o.rebalD > 0 && !balanced {
+		return EngineConfig{}, nil, fmt.Errorf("%w: WithRebalanceD requires WithPlacement(PlacementBalanced)", ErrBadOption)
+	}
+	if o.rebalEvery > 0 && !balanced {
+		return EngineConfig{}, nil, fmt.Errorf("%w: WithRebalanceEvery requires WithPlacement(PlacementBalanced)", ErrBadOption)
+	}
+	if balanced && o.shardsSet && o.shards != mathx.FloorPow2(o.shards) {
+		return EngineConfig{}, nil, fmt.Errorf("%w: WithPlacement(PlacementBalanced) requires a power-of-two shard count, got WithShards(%d)", ErrBadOption, o.shards)
+	}
 	var fr *obs.FlightRecorder
 	if o.flightN > 0 {
 		fr = obs.NewFlightRecorder(o.flightN)
@@ -387,6 +472,9 @@ func (o *engineOptions) config() (EngineConfig, *obs.Sink, error) {
 		Rebuild:        rebuildSpec,
 		SnapshotEvery:  o.snapEvery,
 		Sink:           sink,
+		Placement:      o.placement,
+		RebalanceD:     o.rebalD,
+		RebalanceEvery: o.rebalEvery,
 	}
 	if o.maxQueueSet {
 		cfg.MaxQueue = o.maxQueue
@@ -490,6 +578,15 @@ func optionsFromConfig(cfg EngineConfig) []EngineOption {
 	}
 	if cfg.Breaker != (BreakerConfig{}) {
 		opts = append(opts, WithBreaker(cfg.Breaker))
+	}
+	if cfg.Placement != PlacementHash {
+		opts = append(opts, WithPlacement(cfg.Placement))
+	}
+	if cfg.RebalanceD > 0 {
+		opts = append(opts, WithRebalanceD(cfg.RebalanceD))
+	}
+	if cfg.RebalanceEvery > 0 {
+		opts = append(opts, WithRebalanceEvery(cfg.RebalanceEvery))
 	}
 	return opts
 }
@@ -622,6 +719,29 @@ func (e *Engine) Err(id string) error { return e.eng.Err(id) }
 // RecoveryStats reports how this engine was reconstructed from its
 // journal; all-zero for an engine built with NewEngine.
 func (e *Engine) RecoveryStats() RecoveryStats { return e.eng.RecoveryStats() }
+
+// ShardStats snapshots every shard's load ledger in index order.
+func (e *Engine) ShardStats() []EngineShardStats { return e.eng.ShardStats() }
+
+// ResetShardPeaks restarts every shard's peak-backlog high-water
+// (EngineShardStats.PeakQueued) from its current backlog, scoping the
+// peak to a measurement window instead of the engine's lifetime.
+func (e *Engine) ResetShardPeaks() { e.eng.ResetShardPeaks() }
+
+// Routes snapshots the tenant→shard routing table. Under PlacementHash
+// every tenant maps to fnv32a(id) mod shards; under PlacementBalanced
+// the table reflects rebalance moves.
+func (e *Engine) Routes() map[string]int { return e.eng.Routes() }
+
+// RebalanceStats reports the engine's placement rebalancing ledger;
+// all-zero under PlacementHash.
+func (e *Engine) RebalanceStats() RebalanceStats { return e.eng.RebalanceStats() }
+
+// Rebalance forces one placement rebalance pass now, regardless of the
+// WithRebalanceEvery cadence, and reports how many tenants moved. A
+// no-op under PlacementHash. A move that fails leaves its tenant where
+// it was; the first such error is returned after the pass completes.
+func (e *Engine) Rebalance() (int, error) { return e.eng.Rebalance() }
 
 // MoveTenant rebalances tenant id onto dst with no event replay: the
 // tenant travels as one snapshot (allocator state, queued events,

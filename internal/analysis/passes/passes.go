@@ -14,6 +14,7 @@ import (
 	"partalloc/internal/analysis/passes/lockorder"
 	"partalloc/internal/analysis/passes/obsbless"
 	"partalloc/internal/analysis/passes/panicmsg"
+	"partalloc/internal/analysis/passes/placer"
 	"partalloc/internal/analysis/passes/powtwo"
 	"partalloc/internal/analysis/passes/purealloc"
 	"partalloc/internal/analysis/passes/seedrand"
@@ -31,6 +32,7 @@ func All() []*analysis.Analyzer {
 		lockorder.Analyzer,
 		obsbless.Analyzer,
 		panicmsg.Analyzer,
+		placer.Analyzer,
 		powtwo.Analyzer,
 		purealloc.Analyzer,
 		seedrand.Analyzer,

@@ -1,0 +1,15 @@
+package placer_test
+
+import (
+	"testing"
+
+	"partalloc/internal/analysis/analysistest"
+	"partalloc/internal/analysis/passes/placer"
+)
+
+func TestPlacer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture type-checking shells out to go list")
+	}
+	analysistest.Run(t, placer.Analyzer, analysistest.Fixture(t, "placer_fixture"))
+}

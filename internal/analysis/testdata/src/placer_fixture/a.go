@@ -1,0 +1,49 @@
+// Fixture for the placer analyzer: direct shard-stripe indexing and
+// fnv-32a tenant hashing outside placement.go are flagged; the same
+// code inside placement.go (the placement layer) is fine, as are other
+// fnv widths and //lint:ignore-documented exceptions.
+package placer_fixture
+
+import (
+	"hash/fnv"
+)
+
+type shard struct{ queued int }
+
+type engine struct {
+	shards []*shard
+}
+
+func bad(e *engine, idx int) *shard {
+	return e.shards[idx] // want `bypasses the placement layer`
+}
+
+func alsoBad(e *engine, id string) int {
+	h := fnv.New32a() // want `single tenant-hashing site`
+	h.Write([]byte(id))
+	return int(h.Sum32()) % len(e.shards)
+}
+
+// good ranges over the stripes without picking one by index — sweeps
+// that visit every shard are not routing decisions.
+func good(e *engine) int {
+	total := 0
+	for _, s := range e.shards {
+		total += s.queued
+	}
+	return total
+}
+
+// otherWidths is allowed: only fnv-32a is the tenant-routing hash;
+// 64-bit fnv fingerprints (the overload path's queue checksums) have
+// nothing to do with routes.
+func otherWidths(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+func documented(e *engine, idx int) *shard {
+	//lint:ignore placer this fixture exercises the suppression path
+	return e.shards[idx]
+}

@@ -1,0 +1,16 @@
+// placement.go is the placement layer by the analyzer's file-name
+// convention: the one file allowed to index stripes and hash tenant
+// IDs, because this is where the routing table is maintained.
+package placer_fixture
+
+import "hash/fnv"
+
+func hashShard(id string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32()) % shards
+}
+
+func shardAt(e *engine, idx int) *shard {
+	return e.shards[idx]
+}

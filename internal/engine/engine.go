@@ -45,10 +45,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"runtime/pprof"
@@ -146,6 +146,20 @@ type Config struct {
 	// nothing: every obs.Sink method no-ops on a nil receiver, and the
 	// engine takes no clock readings beyond its own ledger's.
 	Sink *obs.Sink
+	// Placement selects the tenant→shard placer (placement.go):
+	// PlacementHash (default, the historical fnv routing) or
+	// PlacementBalanced, which runs the paper's own A_M(d) over the
+	// shards and periodically moves tenants to even out measured load.
+	Placement PlacementPolicy
+	// RebalanceD is the balanced placer's reallocation parameter d: the
+	// virtual A_M instance repacks when arrived task size since its last
+	// reallocation reaches d·shards, and each rebalance pass moves at
+	// most d·shards tenants (default 1). Ignored under PlacementHash.
+	RebalanceD int
+	// RebalanceEvery is the number of engine-wide applied batches
+	// between rebalance passes (default 32). Ignored under
+	// PlacementHash.
+	RebalanceEvery int
 }
 
 // RebuildFunc constructs a fresh allocator for a tenant spec. The
@@ -188,6 +202,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DegradeBudget <= 0 {
 		c.DegradeBudget = 5 * time.Millisecond
+	}
+	if c.Placement == PlacementBalanced {
+		// The virtual machine's PEs are the shards, and tree machines are
+		// power-of-two; round down rather than reject — the facade
+		// validates explicit shard counts strictly (ErrBadOption).
+		c.Shards = mathx.FloorPow2(c.Shards)
+		if c.RebalanceD <= 0 {
+			c.RebalanceD = 1
+		}
+		if c.RebalanceEvery <= 0 {
+			c.RebalanceEvery = 32
+		}
 	}
 	c.Breaker = c.Breaker.withDefaults()
 	return c
@@ -326,6 +352,12 @@ type tenant struct {
 	applyNs       int64
 	batchNs       []int64
 
+	// Rebalance load estimate: rebalMark is t.events at the last pass,
+	// rebalEst the decayed accumulator of applied-event windows (see
+	// rebalDecay). Owned by the shard lock.
+	rebalMark int64
+	rebalEst  float64
+
 	// sink mirrors Config.Sink and shardIdx the tenant's stripe, kept on
 	// the tenant so the hot paths (apply, injectFaults) reach them with
 	// no engine pointer.
@@ -337,6 +369,33 @@ type tenant struct {
 type shard struct {
 	mu      sync.Mutex
 	tenants map[string]*tenant
+
+	// Shard-level ledger (ShardStats), owned by mu except inbound.
+	// peakQueued is the highest backlog seen at an ingestion boundary:
+	// resident queue depths plus submissions in flight against the
+	// stripe (counted in inbound while their events wait for the
+	// stripe lock — a hot stripe shows up as submitters piling behind
+	// it, not just as resident queues). events/applyNs accumulate
+	// per-batch apply work, credited to the stripe the tenant occupied
+	// when the batch ran.
+	queued     int
+	peakQueued int
+	events     int64
+	applyNs    int64
+	inbound    atomic.Int64
+}
+
+// noteQueued recomputes the shard's resident queue depth and advances
+// its backlog peak (resident plus in-flight inbound). Callers hold s.mu.
+func (s *shard) noteQueued() {
+	q := 0
+	for _, t := range s.tenants {
+		q += len(t.queue)
+	}
+	s.queued = q
+	if hw := q + int(s.inbound.Load()); hw > s.peakQueued {
+		s.peakQueued = hw
+	}
 }
 
 // Engine ingests task events for many tenants concurrently. Methods are
@@ -346,6 +405,19 @@ type shard struct {
 type Engine struct {
 	cfg    Config
 	shards []*shard
+
+	// placer owns the tenant→shard routing table; every shard lookup
+	// goes through it (placement.go). rebalMu serializes rebalance
+	// passes, intra-engine moves, and membership changes (addTenant,
+	// MoveTenant), so the per-pass bijection audit sees an exact
+	// snapshot. rsMu guards the rebalance ledger, and
+	// batchesTotal/nextRebal implement the RebalanceEvery cadence.
+	placer       Placer
+	rebalMu      sync.Mutex
+	rsMu         sync.Mutex
+	rebalStats   RebalanceStats
+	batchesTotal atomic.Int64
+	nextRebal    atomic.Int64
 
 	// jmu serializes journal appends across shards (the wal.Log is not
 	// concurrency-safe; appends from different shards would interleave
@@ -374,10 +446,9 @@ type Engine struct {
 // New builds an engine from cfg (zero value = defaults).
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards), snapSeg: make(map[string]int)}
-	for i := range e.shards {
-		e.shards[i] = &shard{tenants: make(map[string]*tenant)}
-	}
+	e := &Engine{cfg: cfg, shards: newShards(cfg.Shards), snapSeg: make(map[string]int)}
+	e.placer = newPlacer(cfg)
+	e.nextRebal.Store(int64(cfg.RebalanceEvery))
 	e.now = func() int64 { return time.Now().UnixNano() }
 	return e
 }
@@ -386,21 +457,9 @@ func New(cfg Config) *Engine {
 // not journaling. Callers own closing it when the engine is done.
 func (e *Engine) Journal() *wal.Log { return e.cfg.Journal }
 
-// shardIdx hashes a tenant ID to its stripe index.
-func (e *Engine) shardIdx(id string) int {
-	h := fnv.New32a()
-	h.Write([]byte(id))
-	return int(h.Sum32()) % len(e.shards)
-}
-
-// shardFor hashes a tenant ID to its stripe.
-func (e *Engine) shardFor(id string) *shard {
-	return e.shards[e.shardIdx(id)]
-}
-
 // tenantAlgo names the tenant's allocator type for pprof labels.
-func (e *Engine) tenantAlgo(s *shard, id string) string {
-	s.mu.Lock()
+func (e *Engine) tenantAlgo(id string) string {
+	s := e.lockTenantShard(id)
 	t, ok := s.tenants[id]
 	s.mu.Unlock()
 	if !ok || t.alloc == nil {
@@ -546,21 +605,55 @@ func (e *Engine) addTenant(spec TenantSpec, hasSpec bool, a core.Allocator, faul
 	if e.cfg.Journal != nil && !hasSpec {
 		return fmt.Errorf("engine: AddTenant(%q): a journaled engine needs a rebuild recipe; use AddTenantSpec", id)
 	}
+	// Registration changes routing and membership together; holding the
+	// rebalance mutex keeps the pair atomic with respect to passes and
+	// their bijection audit.
+	e.rebalMu.Lock()
+	defer e.rebalMu.Unlock()
+	// Live registrations route through the placer. Recovery routes to
+	// the hash default and lets the replayed TypeMove records reproduce
+	// the live routing — the balanced advisor is a heuristic, never a
+	// recovery input, so recovered routing is deterministic.
+	_, routed := e.placer.Lookup(id)
+	var idx int
+	if journal {
+		idx = e.placer.Place(id)
+	} else {
+		idx = hashShard(id, len(e.shards))
+		e.placer.Reroute(id, idx)
+	}
+	dropRoute := func() {
+		if !routed {
+			e.placer.Remove(id)
+		}
+	}
 	t, err := e.buildTenant(spec, hasSpec, a, faults, host)
 	if err != nil {
+		dropRoute()
 		return err
 	}
 	wireObserver(t)
-	s := e.shardFor(id)
+	s := e.shardAt(idx)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.tenants[id]; ok {
+		// The route predates this call and belongs to the live tenant.
 		return fmt.Errorf("%w: %q", ErrDuplicateTenant, id)
 	}
 	if journal {
 		//lint:ignore lockorder append-before-apply: the registration record must land in the journal inside the same critical section that installs the tenant, or a crash between the two would orphan its Submit records
 		if err := e.journalAddTenant(t); err != nil {
+			dropRoute()
 			return err
+		}
+		if hash := hashShard(id, len(e.shards)); idx != hash {
+			// The placer diverged from the hash default at registration;
+			// the move record is what reproduces that route on recovery.
+			//lint:ignore lockorder append-before-apply: the move record pairs with the registration record under the same critical section (see above)
+			if err := e.journalMove(id, hash, idx); err != nil {
+				dropRoute()
+				return err
+			}
 		}
 	}
 	s.tenants[id] = t
@@ -643,10 +736,28 @@ func wireObserver(t *tenant) {
 // admit it in bound-sized chunks (applying batches in between, so the
 // bound never overshoots), Shed rejects it whole with ErrOverloaded.
 func (e *Engine) Submit(id string, evs ...task.Event) error {
-	s := e.shardFor(id)
-	s.mu.Lock()
+	err := e.submitLocked(id, evs)
+	// Outside the shard lock: a due rebalance pass takes many locks and
+	// must not nest under this tenant's.
+	e.maybeRebalance()
+	return err
+}
+
+func (e *Engine) submitLocked(id string, evs []task.Event) error {
+	// Count the submission against its stripe's inbound backlog while it
+	// waits for the lock. The route may move concurrently; crediting the
+	// stripe read here keeps the accounting symmetric either way, and the
+	// gauge is a pressure sample, not a ledger.
+	in := e.shardAt(e.route(id))
+	in.inbound.Add(int64(len(evs)))
+	s := e.lockTenantShard(id)
+	// Admitted: from here the events are the queue's to count, not the
+	// backlog's.
+	in.inbound.Add(-int64(len(evs)))
 	defer s.mu.Unlock()
-	//lint:ignore lockorder the half-open probe inside get scans the journal under the shard lock by design: rebuild must see a frozen view of this tenant's records, and the lock is what freezes them
+	// The half-open probe inside get scans the journal under the shard
+	// lock by design: rebuild must see a frozen view of this tenant's
+	// records, and the lock is what freezes them.
 	t, err := e.get(s, id)
 	if err != nil {
 		return err
@@ -659,14 +770,18 @@ func (e *Engine) Submit(id string, evs ...task.Event) error {
 	}
 	// Append-before-apply: shed events are gone, accepted events are
 	// journaled before any state they touch changes.
-	//lint:ignore lockorder append-before-apply requires the journal write inside the critical section — record and state change must be atomic under the shard lock, and that single write(2) is the durability cost the design accepts
+	// Append-before-apply requires the journal write inside the critical
+	// section — record and state change must be atomic under the shard
+	// lock, and that single write(2) is the durability cost accepted.
 	if err := e.journalSubmit(t, evs); err != nil {
 		return err
 	}
 	if err := e.ingest(t, evs); err != nil {
 		return err
 	}
-	//lint:ignore lockorder the snapshot must capture the tenant frozen by this shard lock, and append-before-release keeps the record ordered with the tenant's other records
+	// The snapshot must capture the tenant frozen by this shard lock, and
+	// append-before-release keeps the record ordered with the tenant's
+	// other records.
 	return e.maybeSnapshot(t)
 }
 
@@ -690,6 +805,8 @@ func (e *Engine) ingest(t *tenant, evs []task.Event) error {
 		t.queue = append(t.queue, evs[:take]...)
 		evs = evs[take:]
 		t.check.OnQueue(len(t.queue), maxQ)
+		// Sample the shard backlog at its pre-drain high-water mark.
+		e.shardAt(t.shardIdx).noteQueued()
 		for len(t.queue) >= trigger {
 			b := t.queue[:trigger]
 			t.queue = t.queue[trigger:]
@@ -707,10 +824,16 @@ func (e *Engine) ingest(t *tenant, evs []task.Event) error {
 
 // Flush applies a tenant's queued events immediately.
 func (e *Engine) Flush(id string) error {
-	s := e.shardFor(id)
-	s.mu.Lock()
+	err := e.flushLocked(id)
+	e.maybeRebalance()
+	return err
+}
+
+func (e *Engine) flushLocked(id string) error {
+	s := e.lockTenantShard(id)
 	defer s.mu.Unlock()
-	//lint:ignore lockorder the half-open probe inside get scans the journal under the shard lock by design (see Submit)
+	// The half-open probe inside get scans the journal under the shard
+	// lock by design (see Submit).
 	t, err := e.get(s, id)
 	if err != nil {
 		return err
@@ -718,14 +841,16 @@ func (e *Engine) Flush(id string) error {
 	if len(t.queue) == 0 {
 		return nil
 	}
-	//lint:ignore lockorder append-before-apply: the flush record and the flush itself must be atomic under the shard lock (see Submit)
+	// Append-before-apply: the flush record and the flush itself must be
+	// atomic under the shard lock (see Submit).
 	if err := e.journalFlush(t); err != nil {
 		return err
 	}
 	if err := e.flushTenant(t); err != nil {
 		return err
 	}
-	//lint:ignore lockorder the snapshot must capture the tenant frozen by this shard lock (see Submit)
+	// The snapshot must capture the tenant frozen by this shard lock
+	// (see Submit).
 	return e.maybeSnapshot(t)
 }
 
@@ -760,8 +885,7 @@ func (e *Engine) Tenants() []string {
 // TenantStats snapshots one tenant's ledger. MaxLoad/Active query the
 // live allocator, so a poisoned tenant still reports its last state.
 func (e *Engine) TenantStats(id string) (TenantStats, error) {
-	s := e.shardFor(id)
-	s.mu.Lock()
+	s := e.lockTenantShard(id)
 	defer s.mu.Unlock()
 	t, ok := s.tenants[id]
 	if !ok {
@@ -791,8 +915,7 @@ func (e *Engine) Stats() []TenantStats {
 
 // Err returns the tenant's poisoning error (nil while healthy).
 func (e *Engine) Err(id string) error {
-	s := e.shardFor(id)
-	s.mu.Lock()
+	s := e.lockTenantShard(id)
 	defer s.mu.Unlock()
 	t, ok := s.tenants[id]
 	if !ok {
@@ -819,22 +942,24 @@ func (e *Engine) Replay(ctx context.Context, streams map[string][]task.Event) er
 	sort.Strings(ids)
 
 	// Validate up front: an unknown tenant fails the whole replay before
-	// any event is applied, not halfway through one shard.
-	byShard := make(map[*shard][]string)
+	// any event is applied, not halfway through one shard. The grouping
+	// by current route is a parallelism heuristic only — a rebalance can
+	// move a tenant mid-replay, so each batch re-resolves its shard.
+	byShard := make(map[int][]string)
 	for _, id := range ids {
-		s := e.shardFor(id)
-		s.mu.Lock()
+		s := e.lockTenantShard(id)
 		_, ok := s.tenants[id]
 		s.mu.Unlock()
 		if !ok {
 			return fmt.Errorf("%w: %q", ErrUnknownTenant, id)
 		}
-		byShard[s] = append(byShard[s], id)
+		idx := e.route(id)
+		byShard[idx] = append(byShard[idx], id)
 	}
-	var cells []*shard
-	for _, s := range e.shards { // deterministic order, no map iteration
-		if len(byShard[s]) > 0 {
-			cells = append(cells, s)
+	var cells [][]string
+	for i := range e.shards { // deterministic order, no map iteration
+		if len(byShard[i]) > 0 {
+			cells = append(cells, byShard[i])
 		}
 	}
 
@@ -848,8 +973,7 @@ func (e *Engine) Replay(ctx context.Context, streams map[string][]task.Event) er
 	// apply events twice.
 	opts := parallel.RunOptions{Cancel: cancel, Timeout: e.cfg.ReplayWatchdog, Sink: e.cfg.Sink}
 	cellErrs := parallel.RunCells(len(cells), opts, func(ci int) error {
-		s := cells[ci]
-		for _, id := range byShard[s] {
+		for _, id := range cells[ci] {
 			evs := streams[id]
 			runTenant := func() error {
 				for off := 0; off < len(evs); off += e.cfg.BatchSize {
@@ -864,11 +988,12 @@ func (e *Engine) Replay(ctx context.Context, streams map[string][]task.Event) er
 					if end > len(evs) {
 						end = len(evs)
 					}
-					s.mu.Lock()
-					//lint:ignore lockorder the half-open probe inside get scans the journal under the shard lock by design (see Submit)
+					s := e.lockTenantShard(id)
+					// The half-open probe inside get scans the journal under the shard
+					// lock by design (see Submit).
 					t, err := e.get(s, id)
 					if err == nil {
-						//lint:ignore lockorder append-before-apply: the batch record and its application must be atomic under the shard lock (see Submit)
+						// Append-before-apply under the shard lock (see Submit).
 						err = e.journalApply(t, off == 0, evs[off:end])
 					}
 					if err == nil {
@@ -879,7 +1004,8 @@ func (e *Engine) Replay(ctx context.Context, streams map[string][]task.Event) er
 							err = e.apply(t, evs[off:end])
 						}
 						if err == nil {
-							//lint:ignore lockorder the snapshot must capture the tenant frozen by this shard lock (see Submit)
+							// The snapshot must capture the tenant frozen by this shard lock
+							// (see Submit).
 							err = e.maybeSnapshot(t)
 						}
 					}
@@ -902,7 +1028,7 @@ func (e *Engine) Replay(ctx context.Context, streams map[string][]task.Event) er
 				labels := pprof.Labels(
 					"tenant", id,
 					"shard", strconv.Itoa(e.shardIdx(id)),
-					"algo", e.tenantAlgo(s, id),
+					"algo", e.tenantAlgo(id),
 				)
 				pprof.Do(lctx, labels, func(context.Context) { err = runTenant() })
 			} else {
@@ -1017,6 +1143,10 @@ func (e *Engine) apply(t *tenant, evs []task.Event) (err error) {
 	t.batches++
 	t.applyNs += ns
 	t.batchNs = append(t.batchNs, ns)
+	e.batchesTotal.Add(1)
+	sh := e.shardAt(t.shardIdx)
+	sh.events += int64(len(evs))
+	sh.applyNs += ns
 	load := t.alloc.MaxLoad()
 	if load > t.peakLoad {
 		t.peakLoad = load

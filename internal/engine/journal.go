@@ -354,6 +354,16 @@ func (e *Engine) dispatch(ord int, rec wal.Record) error {
 		return e.restoreSnapshot(ord, rec)
 	case wal.TypeRemove:
 		return e.removeTenantLocal(rec.Tenant)
+	case wal.TypeMove:
+		from, to, err := wal.DecodeMove(rec.Data)
+		if err != nil {
+			return fmt.Errorf("engine: recover record %d: %w", ord, err)
+		}
+		if err := e.redoMove(rec.Tenant, ord, from, to); err != nil {
+			return err
+		}
+		e.recStats.MovesReplayed++
+		return nil
 	default:
 		return fmt.Errorf("engine: recover record %d: unknown record type %d", ord, rec.Type)
 	}

@@ -5,6 +5,7 @@ import (
 	"compress/gzip"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"runtime"
 	"runtime/pprof"
@@ -175,5 +176,70 @@ func TestSinkLedgerAgreement(t *testing.T) {
 	}
 	if fr := sink.FlightRecorder(); fr.Len() == 0 {
 		t.Error("flight recorder recorded nothing")
+	}
+}
+
+// TestSinkRecordsRebalancePasses is the placement arm of the sink/ledger
+// agreement gate: the rebalance counters must be derived from, never
+// drift from, RebalanceStats, and every pass must land in the flight
+// recorder with attrs that sum back to the ledger.
+func TestSinkRecordsRebalancePasses(t *testing.T) {
+	m := obs.NewMetrics()
+	sink := obs.NewSink(m, obs.NewFlightRecorder(256))
+	e := New(Config{Shards: 4, BatchSize: 8, Placement: PlacementBalanced,
+		RebalanceD: 1, RebalanceEvery: 1 << 30, Rebuild: testRebuild, Sink: sink})
+	weights := []int{8, 4, 2, 1, 1, 1}
+	for i, w := range weights {
+		id := fmt.Sprintf("t%d", i)
+		addSpecTenant(t, e, TenantSpec{ID: id, Algorithm: "basic", N: 16})
+		if err := e.Submit(id, arrivals(1+i*1000, 8*w, 1)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pass := 0; pass < 6; pass++ {
+		if _, err := e.Rebalance(); err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+	}
+
+	st := e.RebalanceStats()
+	if st.Passes != 6 {
+		t.Fatalf("ledger counted %d passes, forced 6", st.Passes)
+	}
+	if len(st.Violations) != 0 {
+		t.Fatalf("rebalance audit found violations: %v", st.Violations)
+	}
+	if got := m.Counter(obs.MetricRebalancePasses, "").Value(); got != st.Passes {
+		t.Errorf("passes counter = %d, ledger says %d", got, st.Passes)
+	}
+	if got := m.Counter(obs.MetricRebalancePlanned, "").Value(); got != st.Planned {
+		t.Errorf("planned counter = %d, ledger says %d", got, st.Planned)
+	}
+	if got := m.Counter(obs.MetricRebalanceMoves, "").Value(); got != st.Moves {
+		t.Errorf("moves counter = %d, ledger says %d", got, st.Moves)
+	}
+	if got := m.Gauge(obs.MetricRebalanceBudget, "").Value(); got != int64(e.cfg.RebalanceD*e.cfg.Shards) {
+		t.Errorf("budget gauge = %d, want d*shards = %d", got, e.cfg.RebalanceD*e.cfg.Shards)
+	}
+
+	var passEvents int64
+	var movedSum, moveEvents int64
+	for _, ev := range sink.FlightRecorder().Events() {
+		switch ev.Kind {
+		case obs.EventRebalancePass:
+			passEvents++
+			movedSum += ev.Attrs["moved"]
+		case obs.EventRebalanceMove:
+			moveEvents++
+		}
+	}
+	if passEvents != st.Passes {
+		t.Errorf("flight recorder holds %d pass events, ledger says %d", passEvents, st.Passes)
+	}
+	if movedSum != st.Moves {
+		t.Errorf("pass events sum to %d moves, ledger says %d", movedSum, st.Moves)
+	}
+	if moveEvents != st.Moves {
+		t.Errorf("flight recorder holds %d move events, ledger says %d moves", moveEvents, st.Moves)
 	}
 }

@@ -1,0 +1,851 @@
+// The placement layer: tenant→shard routing as a first-class, mutable
+// concern. Every shard addressing decision in the engine flows through
+// a Placer's routing table — this file owns the only code allowed to
+// index e.shards or hash tenant IDs (enforced by the placer lint).
+//
+// Two placers ship:
+//
+//   - HashPlacer: the historical behavior — fnv-32a(id) mod shards —
+//     behind the routing table. Routes never change, so the engine is
+//     byte-identical to the pre-placement-layer code (gated by
+//     TestHashPlacementGolden).
+//   - BalancedPlacer: the engine eating the paper's own cooking. An
+//     internal core A_M(d) instance runs over a virtual tree machine
+//     whose PEs are the shards and whose tasks are the tenants, each
+//     sized by a power-of-two quantization of its measured apply-cost
+//     EWMA. Every Config.RebalanceEvery applied batches, the engine
+//     diffs the virtual placement against the routing table and moves
+//     at most d·shards tenants (moveTenantLocal), journaling each move
+//     as a wal.TypeMove record so Recover replays routing exactly.
+//
+// Routing changes and shard membership are kept consistent by lock
+// discipline: moves hold the rebalance mutex plus both shard locks, and
+// lookups re-verify the route after acquiring the shard lock
+// (lockTenantShard), so a tenant can never be operated on through a
+// stale stripe.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"partalloc/internal/core"
+	"partalloc/internal/invariant"
+	"partalloc/internal/mathx"
+	"partalloc/internal/task"
+	"partalloc/internal/tree"
+	"partalloc/internal/wal"
+)
+
+// PlacementPolicy selects the engine's tenant→shard placer.
+type PlacementPolicy int
+
+const (
+	// PlacementHash routes tenants by fnv-32a hash (the default and the
+	// historical behavior).
+	PlacementHash PlacementPolicy = iota
+	// PlacementBalanced routes tenants through an internal A_M(d)
+	// rebalancer over the shards (see BalancedPlacer).
+	PlacementBalanced
+)
+
+// String names the policy for flags and reports.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case PlacementHash:
+		return "hash"
+	case PlacementBalanced:
+		return "balanced"
+	}
+	return fmt.Sprintf("PlacementPolicy(%d)", int(p))
+}
+
+// Placer is the engine's tenant→shard routing table. Implementations
+// must be safe for concurrent use: ingestion looks routes up while a
+// rebalance pass rewrites them.
+type Placer interface {
+	// Place assigns a shard to a tenant and records the route. Placing
+	// an already-routed tenant returns its existing route unchanged.
+	Place(id string) int
+	// Lookup returns the tenant's current route. For an unrouted tenant
+	// it reports ok=false along with the deterministic hash default, so
+	// callers always have a shard to address.
+	Lookup(id string) (shard int, ok bool)
+	// Remove forgets the tenant's route (tenant moved away or removed).
+	Remove(id string)
+	// Reroute overwrites the tenant's route: intra-engine moves and
+	// recovery's TypeMove replay.
+	Reroute(id string, shard int)
+	// Routes snapshots the routing table (tenant → shard index).
+	Routes() map[string]int
+}
+
+// hashShard is the deterministic default route: fnv-32a(id) mod shards.
+// It is the single tenant-hashing site in the engine (placer lint).
+func hashShard(id string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32()) % shards
+}
+
+// routeTable is the mutable routing table both placers share.
+type routeTable struct {
+	mu     sync.RWMutex
+	routes map[string]int
+	shards int
+}
+
+func (rt *routeTable) Lookup(id string) (int, bool) {
+	rt.mu.RLock()
+	idx, ok := rt.routes[id]
+	rt.mu.RUnlock()
+	if !ok {
+		return hashShard(id, rt.shards), false
+	}
+	return idx, true
+}
+
+func (rt *routeTable) Remove(id string) {
+	rt.mu.Lock()
+	delete(rt.routes, id)
+	rt.mu.Unlock()
+}
+
+func (rt *routeTable) Reroute(id string, shard int) {
+	rt.mu.Lock()
+	rt.routes[id] = shard
+	rt.mu.Unlock()
+}
+
+func (rt *routeTable) Routes() map[string]int {
+	rt.mu.RLock()
+	out := make(map[string]int, len(rt.routes))
+	for id, idx := range rt.routes {
+		out[id] = idx
+	}
+	rt.mu.RUnlock()
+	return out
+}
+
+// HashPlacer routes every tenant to its hash default. The routing table
+// exists only so membership audits and recovery have one source of
+// truth; a route, once placed, never changes on its own.
+type HashPlacer struct {
+	routeTable
+}
+
+// NewHashPlacer returns the default placer for an engine with the given
+// shard count.
+func NewHashPlacer(shards int) *HashPlacer {
+	p := &HashPlacer{}
+	p.routes = make(map[string]int)
+	p.shards = shards
+	return p
+}
+
+// Place implements Placer: the hash default, recorded.
+func (p *HashPlacer) Place(id string) int {
+	if idx, ok := p.Lookup(id); ok {
+		return idx
+	}
+	idx := hashShard(id, p.shards)
+	p.Reroute(id, idx)
+	return idx
+}
+
+// vtask is one tenant's task in the BalancedPlacer's virtual machine.
+// want/wantN debounce resizes: the direction (+1 grow, -1 shrink) of a
+// pending size change and how many consecutive Plan passes have asked
+// for it. Direction, not the exact size — estimates drifting across a
+// quantization boundary may ask for 2 one pass and 4 the next, and a
+// growth demand that persistent should still land.
+type vtask struct {
+	tid   task.ID
+	size  int
+	want  int
+	wantN int
+}
+
+// resizePersist is how many consecutive passes a size change must
+// survive before the virtual task is re-packed. One pass of whiplash in
+// the load estimates (a client bursting, another idling through a
+// window) must not trigger an A_M reallocation, because reallocation
+// shifts submachine ranges fleet-wide and every shifted tenant becomes
+// a candidate move.
+const resizePersist = 3
+
+// BalancedPlacer routes tenants through the paper's own A_M(d): the
+// shards are the PEs of a virtual tree machine, each tenant is a task
+// sized by the power-of-two quantization of its load estimate, and a
+// multi-shard tenant may run on any PE of its assigned submachine — the
+// wide submachine reserves headroom around the heavy tenants, which is
+// where the paper's isolation guarantee lives. Singleton tasks carry no
+// such guarantee (their quantized width is one PE), so Plan levels them
+// across the whole machine. Within those ranges a constrained greedy
+// assigns each tenant, heaviest first, to the least-loaded admissible
+// shard, with enough stickiness that a converged fleet plans no moves.
+// The virtual allocator is a heuristic advisor only: the routing table
+// remains the source of truth and is recovered from the journal (hash
+// defaults plus TypeMove records plus snapshot Shard fields), never
+// from the advisor.
+type BalancedPlacer struct {
+	routeTable
+	d int
+
+	vmu    sync.Mutex
+	vm     *core.Periodic
+	tasks  map[string]vtask
+	nextID task.ID
+}
+
+// NewBalancedPlacer returns an A_M(d)-backed placer over a power-of-two
+// shard count (Config.withDefaults guarantees it).
+func NewBalancedPlacer(shards, d int) *BalancedPlacer {
+	p := &BalancedPlacer{
+		d: d,
+		//lint:ignore hosttopo the virtual machine's PEs are this engine's shards, not physical processors — no host topology exists for them
+		vm:    core.NewPeriodic(tree.MustNew(shards), d, core.DecreasingSize),
+		tasks: make(map[string]vtask),
+	}
+	p.routes = make(map[string]int)
+	p.shards = shards
+	return p
+}
+
+// shardOf maps a virtual submachine to the shard index a tenant placed
+// there is routed to: the first PE the submachine covers.
+func (p *BalancedPlacer) shardOf(v tree.Node) int {
+	lo, _ := p.vm.Machine().PERange(v)
+	return lo
+}
+
+// Place implements Placer: a new tenant arrives in the virtual machine
+// as a size-1 task and is routed to its assigned shard. The caller
+// (addTenant) journals the divergence from the hash default as a
+// TypeMove record so recovery reproduces the route.
+func (p *BalancedPlacer) Place(id string) int {
+	if idx, ok := p.Lookup(id); ok {
+		return idx
+	}
+	p.vmu.Lock()
+	idx := p.shardOf(p.arriveLocked(id, 1))
+	p.vmu.Unlock()
+	p.Reroute(id, idx)
+	return idx
+}
+
+// arriveLocked adds a virtual task for id. Callers hold vmu.
+func (p *BalancedPlacer) arriveLocked(id string, size int) tree.Node {
+	p.nextID++
+	tid := p.nextID
+	v := p.vm.Arrive(task.Task{ID: tid, Size: size})
+	p.tasks[id] = vtask{tid: tid, size: size}
+	return v
+}
+
+// Remove implements Placer, retiring the virtual task too.
+func (p *BalancedPlacer) Remove(id string) {
+	p.vmu.Lock()
+	if vt, ok := p.tasks[id]; ok {
+		p.vm.Depart(vt.tid)
+		delete(p.tasks, id)
+	}
+	p.vmu.Unlock()
+	p.routeTable.Remove(id)
+}
+
+// Move is one planned intra-engine tenant move.
+type Move struct {
+	Tenant   string
+	From, To int
+}
+
+// Plan re-sizes the virtual tasks from the per-tenant load estimates,
+// lets A_M(d) repack as its own trigger dictates, and returns at most
+// budget moves that would bring the routing table toward the virtual
+// placement. A tenant routed anywhere inside its assigned submachine
+// stays put (so plans do not oscillate between equivalent PEs); one
+// routed outside it moves to the least-loaded in-range shard, heaviest
+// tenants first, since moving them repairs the most imbalance per
+// move. Tenants in the table but absent from loads (mid-move, poisoned
+// at scan time) keep their routes.
+func (p *BalancedPlacer) Plan(loads map[string]float64, budget int) []Move {
+	if budget <= 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(loads))
+	for id := range loads {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	p.vmu.Lock()
+	// Retire virtual tasks for tenants that left the engine entirely.
+	current := p.Routes()
+	for id, vt := range p.tasks {
+		if _, ok := current[id]; !ok {
+			p.vm.Depart(vt.tid)
+			delete(p.tasks, id)
+		}
+	}
+	// Quantize load estimates to power-of-two task sizes relative to the
+	// heaviest tenant, who always gets the maximum width (half the
+	// machine, so no tenant can reserve every shard); each halving of
+	// load drops one notch, floor 1. The heaviest tenant's estimate is
+	// the stablest statistic the ledger has — sizing against it, rather
+	// than against the lightest (which decays toward zero the moment a
+	// tenant goes quiet), keeps the tail from inflating every width when
+	// the fleet idles. Keeping width roughly proportional to load is
+	// what makes the virtual packing track real load: every copy of the
+	// virtual machine holds ~shards units of width, so each PE column
+	// accumulates a near-equal load share.
+	maxLoad := 0.0
+	for _, id := range ids {
+		if l := loads[id]; l > maxLoad {
+			maxLoad = l
+		}
+	}
+	maxSize := p.shards / 2
+	if maxSize < 1 {
+		maxSize = 1
+	}
+	sizeFor := func(load float64) int {
+		if maxLoad <= 0 || load <= 0 {
+			return 1
+		}
+		r := int(maxLoad / load)
+		if r < 1 {
+			r = 1
+		}
+		size := maxSize >> mathx.Log2Floor(r)
+		if size < 1 {
+			size = 1
+		}
+		return size
+	}
+	for _, id := range ids {
+		size := sizeFor(loads[id])
+		vt, ok := p.tasks[id]
+		if !ok {
+			p.arriveLocked(id, size)
+			continue
+		}
+		// Hysteresis: a resize must survive a full-octave (2×) load
+		// discount (going up) or markup (going down). Size classes are
+		// powers of two, so anything less lets a tenant sitting near a
+		// quantization boundary flap the virtual packing — and, through
+		// A_M's reallocation, the whole fleet's placements — every pass.
+		dir := 0
+		switch {
+		case size > vt.size && sizeFor(loads[id]/2) > vt.size:
+			dir = 1
+		case size < vt.size && sizeFor(loads[id]*2) < vt.size:
+			dir = -1
+		}
+		if dir == 0 {
+			if vt.wantN != 0 {
+				vt.want, vt.wantN = 0, 0
+				p.tasks[id] = vt
+			}
+			continue
+		}
+		if vt.want == dir {
+			vt.wantN++
+		} else {
+			vt.want, vt.wantN = dir, 1
+		}
+		if vt.wantN >= resizePersist {
+			p.vm.Depart(vt.tid)
+			p.arriveLocked(id, size)
+		} else {
+			p.tasks[id] = vt
+		}
+	}
+	// Collect every tenant's admissible shard range — the PE span of the
+	// submachine A_M assigned its virtual task.
+	type slot struct {
+		id     string
+		lo, hi int // admissible shard range [lo, hi)
+		have   int
+		routed bool
+		load   float64
+	}
+	slots := make([]slot, 0, len(ids))
+	for _, id := range ids {
+		vt, ok := p.tasks[id]
+		if !ok {
+			continue
+		}
+		node, ok := p.vm.Placement(vt.tid)
+		if !ok {
+			continue
+		}
+		lo, hi := p.vm.Machine().PERange(node)
+		if hi-lo == 1 {
+			// A singleton has no submachine to preserve — its quantized
+			// width is a single PE, so A_M's placement of it carries no
+			// isolation guarantee, only packing-order bias (DecreasingSize
+			// fills each copy's PEs heaviest-first, so high columns
+			// systematically collect the lightest tasks). Let the greedy
+			// level the light tail across the whole machine; the reserved
+			// ranges protect the wide tenants, which is where the paper's
+			// guarantee lives.
+			lo, hi = 0, p.shards
+		}
+		have, routed := p.Lookup(id)
+		slots = append(slots, slot{id: id, lo: lo, hi: hi, have: have, routed: routed, load: loads[id]})
+	}
+	p.vmu.Unlock()
+
+	// Constrained greedy target assignment: every tenant, heaviest
+	// first, goes to the least-loaded shard its submachine covers — A_M
+	// reserves the neighborhood, the measured load picks the seat
+	// inside it. A tenant already routed in-range stays unless moving
+	// improves its shard's running load by more than the tenant's own
+	// contribution: a move that cheap is within estimate noise, and
+	// holding still keeps converged plans empty instead of shuffling
+	// near-equal tenants between near-equal shards every pass.
+	sort.Slice(slots, func(i, j int) bool {
+		if slots[i].load != slots[j].load {
+			return slots[i].load > slots[j].load
+		}
+		return slots[i].id < slots[j].id
+	})
+	running := make([]float64, p.shards)
+	var moves []Move
+	for _, sl := range slots {
+		best := sl.lo
+		for s := sl.lo + 1; s < sl.hi; s++ {
+			if running[s] < running[best] {
+				best = s
+			}
+		}
+		if sl.routed && sl.have >= sl.lo && sl.have < sl.hi &&
+			running[sl.have] <= running[best]+sl.load {
+			best = sl.have
+		}
+		running[best] += sl.load
+		if sl.routed && best != sl.have {
+			moves = append(moves, Move{Tenant: sl.id, From: sl.have, To: best})
+		}
+	}
+	// Heaviest-first truncation: the emission order above already is.
+	if len(moves) > budget {
+		moves = moves[:budget]
+	}
+	return moves
+}
+
+// newPlacer builds the configured placer; called by New.
+func newPlacer(cfg Config) Placer {
+	if cfg.Placement == PlacementBalanced {
+		return NewBalancedPlacer(cfg.Shards, cfg.RebalanceD)
+	}
+	return NewHashPlacer(cfg.Shards)
+}
+
+// newShards allocates the lock stripes; the only shard-slice
+// construction site.
+func newShards(n int) []*shard {
+	shards := make([]*shard, n)
+	for i := range shards {
+		shards[i] = &shard{tenants: make(map[string]*tenant)}
+	}
+	return shards
+}
+
+// route resolves a tenant to its shard index through the placer.
+func (e *Engine) route(id string) int {
+	idx, _ := e.placer.Lookup(id)
+	return idx
+}
+
+// shardAt returns the stripe at index idx; the only e.shards indexing
+// site outside construction.
+func (e *Engine) shardAt(idx int) *shard {
+	return e.shards[idx]
+}
+
+// shardIdx resolves a tenant ID to its stripe index via the routing
+// table (hash default for unrouted tenants).
+func (e *Engine) shardIdx(id string) int { return e.route(id) }
+
+// shardFor resolves a tenant ID to its stripe. The returned shard is a
+// point-in-time answer: a concurrent rebalance can reroute the tenant
+// before the caller locks it. Paths that operate on the tenant must use
+// lockTenantShard instead; shardFor remains for single-threaded paths
+// (recovery) and callers that only need a default stripe.
+func (e *Engine) shardFor(id string) *shard {
+	return e.shardAt(e.route(id))
+}
+
+// lockTenantShard locks the shard currently routing id, re-verifying
+// the route after acquisition: moveTenantLocal rewrites the route while
+// holding both shard locks, so a route that still matches under the
+// lock cannot be mid-move.
+func (e *Engine) lockTenantShard(id string) *shard {
+	for {
+		idx := e.route(id)
+		s := e.shardAt(idx)
+		s.mu.Lock()
+		if e.route(id) == idx {
+			//lint:ignore lockorder lockTenantShard transfers s.mu to the caller by contract; every caller unlocks it
+			return s
+		}
+		s.mu.Unlock()
+	}
+}
+
+// ShardStats is a point-in-time ledger for one lock stripe.
+type ShardStats struct {
+	// Shard is the stripe index.
+	Shard int
+	// Tenants is the number of tenants currently routed here.
+	Tenants int
+	// Queued is the current sum of resident tenants' queue depths.
+	Queued int
+	// PeakQueued is the highest backlog observed at an ingestion
+	// boundary: Queued plus events in submissions still waiting for the
+	// stripe lock. It is the hot-shard pressure measure the skew
+	// benchmark reports — a stripe loaded beyond its drain rate shows
+	// up here as submitters stacking behind it.
+	PeakQueued int
+	// Events counts events applied on this stripe (cumulative; a moved
+	// tenant's future events count toward its new stripe).
+	Events int64
+	// ApplyNs is cumulative wall time spent applying on this stripe.
+	ApplyNs int64
+}
+
+// ShardStats snapshots every stripe's ledger in index order.
+func (e *Engine) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(e.shards))
+	for i, s := range e.shards {
+		s.mu.Lock()
+		q := 0
+		for _, t := range s.tenants {
+			q += len(t.queue)
+		}
+		out[i] = ShardStats{
+			Shard:      i,
+			Tenants:    len(s.tenants),
+			Queued:     q,
+			PeakQueued: s.peakQueued,
+			Events:     s.events,
+			ApplyNs:    s.applyNs,
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ResetShardPeaks starts a fresh peak-backlog measurement window:
+// every stripe's PeakQueued high-water restarts from its current
+// backlog. Benchmarks and monitors use this to scope the peak to a
+// phase (say, after a fleet's routing has converged) instead of the
+// engine's whole lifetime.
+func (e *Engine) ResetShardPeaks() {
+	for _, s := range e.shards {
+		s.mu.Lock()
+		q := 0
+		for _, t := range s.tenants {
+			q += len(t.queue)
+		}
+		s.queued = q
+		s.peakQueued = q + int(s.inbound.Load())
+		s.mu.Unlock()
+	}
+}
+
+// Routes snapshots the routing table (tenant → shard index).
+func (e *Engine) Routes() map[string]int { return e.placer.Routes() }
+
+// RebalanceStats is the cumulative ledger of the balanced placer's
+// rebalance passes.
+type RebalanceStats struct {
+	// Passes counts completed rebalance passes.
+	Passes int64
+	// Planned counts moves the placer proposed (within budget).
+	Planned int64
+	// Moves counts moves actually performed.
+	Moves int64
+	// LastPassMoves is the move count of the most recent pass.
+	LastPassMoves int
+	// Violations holds routing-consistency and move-budget findings
+	// from the per-pass invariant audit; empty on a healthy engine.
+	Violations []invariant.Violation
+}
+
+// RebalanceStats snapshots the rebalance ledger.
+func (e *Engine) RebalanceStats() RebalanceStats {
+	e.rsMu.Lock()
+	defer e.rsMu.Unlock()
+	st := e.rebalStats
+	st.Violations = append([]invariant.Violation(nil), e.rebalStats.Violations...)
+	return st
+}
+
+// maybeRebalance runs a rebalance pass when the engine-wide batch
+// counter has crossed the RebalanceEvery cadence. Called from ingestion
+// paths after the shard lock is released; TryLock keeps ingestion
+// non-blocking when a pass is already running.
+func (e *Engine) maybeRebalance() {
+	bp, ok := e.placer.(*BalancedPlacer)
+	if !ok {
+		return
+	}
+	if e.batchesTotal.Load() < e.nextRebal.Load() {
+		return
+	}
+	if !e.rebalMu.TryLock() {
+		return
+	}
+	defer e.rebalMu.Unlock()
+	if e.batchesTotal.Load() < e.nextRebal.Load() {
+		return // another pass got here first
+	}
+	e.rebalancePass(bp)
+	e.nextRebal.Store(e.batchesTotal.Load() + int64(e.cfg.RebalanceEvery))
+}
+
+// Rebalance forces a rebalance pass now, returning the number of
+// tenants moved. A no-op (0, nil) on hash-placed engines.
+func (e *Engine) Rebalance() (int, error) {
+	bp, ok := e.placer.(*BalancedPlacer)
+	if !ok {
+		return 0, nil
+	}
+	e.rebalMu.Lock()
+	defer e.rebalMu.Unlock()
+	//lint:ignore lockorder a pass journals its moves while rebalMu serializes it — append-before-apply needs the move frozen, and rebalMu is what freezes routing
+	moved, err := e.rebalancePass(bp)
+	e.nextRebal.Store(e.batchesTotal.Load() + int64(e.cfg.RebalanceEvery))
+	return moved, err
+}
+
+// rebalancePass measures, plans, moves, and audits. Callers hold
+// rebalMu.
+func (e *Engine) rebalancePass(bp *BalancedPlacer) (int, error) {
+	// Measure: fold each tenant's events applied since the last pass
+	// into its load accumulator. Events, not wall time — the cost unit
+	// is deterministic (wall-time windows whiplash with scheduler noise
+	// and GC pauses, and two engines fed the same streams then place
+	// differently), and queue pressure follows event volume. Healthy
+	// tenants only — a poisoned tenant's route is frozen until it heals.
+	loads := make(map[string]float64)
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for id, t := range s.tenants {
+			if t.err != nil {
+				continue
+			}
+			window := float64(t.events - t.rebalMark)
+			t.rebalMark = t.events
+			t.rebalEst = rebalDecay*t.rebalEst + window
+			loads[id] = t.rebalEst
+		}
+		s.mu.Unlock()
+	}
+
+	budget := e.cfg.RebalanceD * len(e.shards)
+	moves := bp.Plan(loads, budget)
+
+	moved := 0
+	var firstErr error
+	for _, mv := range moves {
+		ok, err := e.moveTenantLocal(mv.Tenant, mv.From, mv.To)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		if ok {
+			moved++
+		}
+	}
+
+	// Audit only passes that changed routing: the sweep takes every shard
+	// lock at once, and paying that pause on no-op steady-state passes
+	// would stall ingestion to re-verify a table nothing touched.
+	var viol []invariant.Violation
+	if moved > 0 {
+		viol = e.auditPlacement(moved, budget)
+	}
+	e.rsMu.Lock()
+	e.rebalStats.Passes++
+	e.rebalStats.Planned += int64(len(moves))
+	e.rebalStats.Moves += int64(moved)
+	e.rebalStats.LastPassMoves = moved
+	if len(viol) > 0 && len(e.rebalStats.Violations) < 64 {
+		e.rebalStats.Violations = append(e.rebalStats.Violations, viol...)
+	}
+	e.rsMu.Unlock()
+	e.cfg.Sink.RebalancePass(len(moves), moved, budget, len(viol))
+	return moved, firstErr
+}
+
+// rebalDecay ages the per-tenant load accumulator each pass. A decayed
+// accumulator — not an EWMA toward the current window — because when
+// the fleet goes quiet every estimate shrinks by the same factor and
+// the load RATIOS the packing is built from hold still; an EWMA would
+// collapse idle tenants toward zero absolutely, move the fleet maximum,
+// and re-quantize every width each pass. Slow enough to be stable, low
+// enough that a workload shift overtakes history within a few dozen
+// passes.
+const rebalDecay = 0.95
+
+// auditPlacement checks the two placement invariants under all shard
+// locks (acquired in index order): the routing table is a bijection to
+// shard membership, and the pass's move count respected the d·shards
+// budget. Membership writers (addTenant, MoveTenant, installSnapshot)
+// hold rebalMu, which the caller holds, so the snapshot is exact.
+func (e *Engine) auditPlacement(moved, budget int) []invariant.Violation {
+	for _, s := range e.shards {
+		s.mu.Lock()
+	}
+	members := make(map[string]int)
+	for i, s := range e.shards {
+		for id := range s.tenants {
+			members[id] = i
+		}
+	}
+	routes := e.placer.Routes()
+	for i := len(e.shards) - 1; i >= 0; i-- {
+		e.shards[i].mu.Unlock()
+	}
+	viol := invariant.CheckRouting(routes, members)
+	viol = append(viol, invariant.CheckMoveBudget(moved, e.cfg.RebalanceD, len(e.shards))...)
+	//lint:ignore lockorder every shard lock taken by the loop above is released by the reverse loop; the analyzer cannot pair loop-acquired locks
+	return viol
+}
+
+// journalMove appends the TypeMove record that commits an intra-engine
+// move; replayed by Recover to reproduce the routing table.
+func (e *Engine) journalMove(id string, from, to int) error {
+	if e.cfg.Journal == nil {
+		return nil
+	}
+	return e.journalAppend(wal.Record{Type: wal.TypeMove, Tenant: id, Data: wal.AppendMove(nil, from, to)})
+}
+
+// moveTenantLocal moves one tenant between stripes of this engine:
+// journal the TypeMove (the commit point — a crash before it recovers
+// the old route, after it the new one), ship the tenant through the
+// snapshot codec exactly as a cross-engine MoveTenant would, install it
+// on the destination stripe, and swap the route. Wall-clock ledger
+// fields the envelope deliberately omits (latency samples, the breaker
+// deadline, the snapshot cadence position) are carried over — a local
+// move is a relocation, not a rebuild.
+//
+// Skipped moves (tenant vanished, poisoned, or not snapshotable) return
+// (false, nil). Callers hold rebalMu.
+func (e *Engine) moveTenantLocal(id string, from, to int) (bool, error) {
+	if from == to || from < 0 || to < 0 || from >= len(e.shards) || to >= len(e.shards) {
+		return false, nil
+	}
+	lo, hi := from, to
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	e.shards[lo].mu.Lock()
+	defer e.shards[lo].mu.Unlock()
+	e.shards[hi].mu.Lock()
+	defer e.shards[hi].mu.Unlock()
+
+	src, dst := e.shards[from], e.shards[to]
+	t, ok := src.tenants[id]
+	if !ok || t.err != nil {
+		return false, nil
+	}
+	if _, dup := dst.tenants[id]; dup {
+		return false, fmt.Errorf("engine: move %q: already on shard %d", id, to)
+	}
+	//lint:ignore lockorder append-before-apply: the move record is the commit point and must land while both shard locks freeze the tenant (see Submit)
+	if err := e.journalMove(id, from, to); err != nil {
+		return false, err
+	}
+	if t.hasSpec && e.cfg.Rebuild != nil {
+		if _, ck := t.alloc.(core.Checkpointable); ck {
+			if err := e.reboxTenant(t); err != nil {
+				// The move record is already durable; recovery will redo
+				// the reroute, and the live engine must match it, so fall
+				// through to the re-home below rather than abandoning.
+				return false, err
+			}
+		}
+	}
+	delete(src.tenants, id)
+	t.shardIdx = to
+	dst.tenants[id] = t
+	e.placer.Reroute(id, to)
+	src.noteQueued()
+	dst.noteQueued()
+	e.cfg.Sink.RebalanceMove(id, from, to)
+	return true, nil
+}
+
+// reboxTenant runs t through the snapshot codec in place: encode,
+// rebuild a fresh allocator from the spec, restore, and carry over the
+// wall-clock state the envelope drops. Callers hold the shard locks.
+func (e *Engine) reboxTenant(t *tenant) error {
+	data, err := e.encodeTenantSnapshot(t)
+	if err != nil {
+		return err
+	}
+	var env tenantSnapshot
+	if err := json.Unmarshal(data, &env); err != nil {
+		return err
+	}
+	a, faults, host, err := e.cfg.Rebuild(t.spec)
+	if err != nil {
+		return err
+	}
+	nt, err := e.restoreTenant(&env, a, faults, host)
+	if err != nil {
+		return err
+	}
+	nt.applyNs = t.applyNs
+	nt.batchNs = t.batchNs
+	nt.deadline = t.deadline
+	nt.lastSnapBatch = t.lastSnapBatch
+	nt.rebalMark = t.rebalMark
+	nt.rebalEst = t.rebalEst
+	*t = *nt
+	wireObserver(t)
+	return nil
+}
+
+// redoMove re-applies a journaled TypeMove during Recover: re-home the
+// tenant and rewrite the route. Recovery is single-threaded, so the
+// shard locks are uncontended formality.
+func (e *Engine) redoMove(id string, ord, from, to int) error {
+	if to < 0 || to >= len(e.shards) {
+		return fmt.Errorf("engine: recover record %d: move %q to shard %d of %d", ord, id, to, len(e.shards))
+	}
+	cur := e.route(id)
+	if cur != from {
+		// The journal's from-shard disagrees with the replayed route —
+		// tolerated (the record's To is authoritative) but worth the
+		// stricter read: it means records before this one were skipped
+		// by a snapshot that already carried a newer route.
+		from = cur
+	}
+	src := e.shardAt(from)
+	src.mu.Lock()
+	t, ok := src.tenants[id]
+	if !ok {
+		src.mu.Unlock()
+		return fmt.Errorf("engine: recover record %d: %w: %q", ord, ErrUnknownTenant, id)
+	}
+	delete(src.tenants, id)
+	src.mu.Unlock()
+	dst := e.shardAt(to)
+	dst.mu.Lock()
+	t.shardIdx = to
+	dst.tenants[id] = t
+	dst.mu.Unlock()
+	e.placer.Reroute(id, to)
+	return nil
+}

@@ -1,0 +1,401 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"partalloc/internal/invariant"
+	"partalloc/internal/task"
+	"partalloc/internal/wal"
+)
+
+// placementMembers snapshots tenant→shard membership under every shard
+// lock (index order, reverse release), the same way auditPlacement does.
+func placementMembers(e *Engine) map[string]int {
+	for _, s := range e.shards {
+		s.mu.Lock()
+	}
+	members := make(map[string]int)
+	for i, s := range e.shards {
+		for id := range s.tenants {
+			members[id] = i
+		}
+	}
+	for i := len(e.shards) - 1; i >= 0; i-- {
+		e.shards[i].mu.Unlock()
+	}
+	//lint:ignore lockorder every shard lock taken by the loop above is released by the reverse loop; the analyzer cannot pair loop-acquired locks
+	return members
+}
+
+// TestBalancedPlacerDeterminism is the placement twin of the engine's
+// replay gate: two placers built the same way and fed the same Place
+// calls and load histories must plan the exact same move sequences and
+// end with identical routing tables. Recovery depends on this — replay
+// reproduces routes from journaled moves, so a nondeterministic planner
+// would make the journal's moves meaningless on the next process.
+func TestBalancedPlacerDeterminism(t *testing.T) {
+	const shards, d, tenants = 8, 1, 12
+	mk := func() *BalancedPlacer {
+		p := NewBalancedPlacer(shards, d)
+		for i := 0; i < tenants; i++ {
+			p.Place(fmt.Sprintf("t%02d", i))
+		}
+		return p
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a.Routes(), b.Routes()) {
+		t.Fatalf("initial routes diverge:\n  a: %v\n  b: %v", a.Routes(), b.Routes())
+	}
+
+	budget := d * shards
+	for pass := 0; pass < 12; pass++ {
+		// A deterministic, skewed, drifting load history: quadratic skew
+		// across tenants, the skew direction flipping halfway so the
+		// planner has to both grow and shrink widths through the
+		// hysteresis window.
+		loads := make(map[string]float64)
+		for i := 0; i < tenants; i++ {
+			rank := i
+			if pass >= 6 {
+				rank = tenants - 1 - i
+			}
+			loads[fmt.Sprintf("t%02d", i)] = float64((rank+1)*(rank+1)) * float64(pass+1)
+		}
+		ma, mb := a.Plan(loads, budget), b.Plan(loads, budget)
+		if !reflect.DeepEqual(ma, mb) {
+			t.Fatalf("pass %d: plans diverge:\n  a: %v\n  b: %v", pass, ma, mb)
+		}
+		if len(ma) > budget {
+			t.Fatalf("pass %d: %d moves planned, budget is %d", pass, len(ma), budget)
+		}
+		for _, mv := range ma {
+			if mv.To < 0 || mv.To >= shards || mv.To == mv.From {
+				t.Fatalf("pass %d: malformed move %+v", pass, mv)
+			}
+			// Apply the plan the way rebalancePass does, so the next
+			// pass sees the moved routing table.
+			a.Reroute(mv.Tenant, mv.To)
+			b.Reroute(mv.Tenant, mv.To)
+		}
+	}
+	if !reflect.DeepEqual(a.Routes(), b.Routes()) {
+		t.Fatalf("final routes diverge:\n  a: %v\n  b: %v", a.Routes(), b.Routes())
+	}
+}
+
+// TestMoveTenantRoutesThroughPlacer is the regression gate for the
+// cross-engine move path: MoveTenant must retire the source route via
+// Placer.Remove and assign the destination route via Placer.Place, so
+// neither engine's routing table can disagree with its shard membership
+// after the move.
+func TestMoveTenantRoutesThroughPlacer(t *testing.T) {
+	cfg := Config{Shards: 4, BatchSize: 4, Placement: PlacementBalanced,
+		RebalanceD: 1, RebalanceEvery: 1 << 30, Rebuild: testRebuild}
+	src, dst := New(cfg), New(cfg)
+	for i := 0; i < 3; i++ {
+		addSpecTenant(t, src, TenantSpec{ID: fmt.Sprintf("src%d", i), Algorithm: "basic", N: 16})
+		addSpecTenant(t, dst, TenantSpec{ID: fmt.Sprintf("dst%d", i), Algorithm: "basic", N: 16})
+	}
+	addSpecTenant(t, src, TenantSpec{ID: "mover", Algorithm: "basic", N: 16})
+	if _, ok := src.placer.Lookup("mover"); !ok {
+		t.Fatal("tenant not routed at the source before the move")
+	}
+	if err := src.Submit("mover", arrivals(1, 6, 1)...); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := src.MoveTenant("mover", dst); err != nil {
+		t.Fatalf("MoveTenant: %v", err)
+	}
+
+	if _, ok := src.placer.Lookup("mover"); ok {
+		t.Error("source routing table still routes the tenant after the move")
+	}
+	idx, ok := dst.Routes()["mover"]
+	if !ok {
+		t.Fatal("destination routing table has no route for the moved tenant")
+	}
+	members := placementMembers(dst)
+	if got, ok := members["mover"]; !ok || got != idx {
+		t.Errorf("destination routes the tenant to shard %d but membership says shard %d (present=%v)", idx, got, ok)
+	}
+	// Both tables must stay bijections to their shard membership.
+	if v := invariant.CheckRouting(src.Routes(), placementMembers(src)); len(v) > 0 {
+		t.Errorf("source routing inconsistent after move: %v", v)
+	}
+	if v := invariant.CheckRouting(dst.Routes(), members); len(v) > 0 {
+		t.Errorf("destination routing inconsistent after move: %v", v)
+	}
+	// The moved tenant still ingests at its new home.
+	if err := dst.Submit("mover", arrivals(100, 3, 1)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Flush("mover"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rebalCrashEnv points the rebalance crash child at its journal
+// directory; doubles as the guard that keeps TestRebalanceCrashChild
+// inert in normal runs. The child drops a "<dir>.moved" marker file
+// once its engine has performed at least one rebalance move, so the
+// parent's SIGKILL is guaranteed to land after a TypeMove record hit
+// the journal.
+const rebalCrashEnv = "PARTALLOC_REBAL_CRASH_DIR"
+
+func rebalCrashFleet() []TenantSpec {
+	specs := make([]TenantSpec, 6)
+	for i := range specs {
+		specs[i] = TenantSpec{ID: fmt.Sprintf("rt%d", i), Algorithm: "basic", N: 16}
+	}
+	return specs
+}
+
+func rebalCrashConfig(log *wal.Log) Config {
+	return Config{Shards: 4, BatchSize: 8, MaxQueue: 64, Overload: Block,
+		Placement: PlacementBalanced, RebalanceD: 1, RebalanceEvery: 4,
+		Journal: log, Rebuild: testRebuild}
+}
+
+// TestRebalanceCrashChild is the helper body for
+// TestSIGKILLRebalanceRecovery, not a test: a balanced-placement
+// journaled engine ingesting a skewed fleet until the parent kills it.
+func TestRebalanceCrashChild(t *testing.T) {
+	dir := os.Getenv(rebalCrashEnv)
+	if dir == "" {
+		t.Skip("rebalance crash-child helper; driven by TestSIGKILLRebalanceRecovery")
+	}
+	log, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(rebalCrashConfig(log))
+	fleet := rebalCrashFleet()
+	// Skewed per-round chunk sizes: tenant 0 is 8× the tail, so the load
+	// estimates diverge immediately and the placer resizes and moves.
+	weights := []int{8, 4, 2, 1, 1, 1}
+	streams := make([][]task.Event, len(fleet))
+	for i, spec := range fleet {
+		addSpecTenant(t, eng, spec)
+		streams[i] = testStream(spec.N, 500_000, int64(i+1))
+	}
+	offs := make([]int, len(fleet))
+	marked := false
+	for {
+		for i, spec := range fleet {
+			evs, off := streams[i], offs[i]
+			if off >= len(evs) {
+				t.Fatal("crash child exhausted its stream before being killed")
+			}
+			end := off + weights[i]
+			if end > len(evs) {
+				end = len(evs)
+			}
+			if err := eng.Submit(spec.ID, evs[off:end]...); err != nil {
+				t.Fatalf("child submit %s: %v", spec.ID, err)
+			}
+			offs[i] = end
+		}
+		if !marked && eng.RebalanceStats().Moves > 0 {
+			if err := os.WriteFile(dir+".moved", []byte("moved\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			marked = true
+		}
+	}
+}
+
+// TestSIGKILLRebalanceRecovery crash-tests the placement layer: the
+// child journals skewed ingestion and intra-engine rebalance moves,
+// gets SIGKILLed mid-stream after at least one move committed, and the
+// recovered engine must replay those TypeMove records into a routing
+// table that is an exact bijection to shard membership — no tenant
+// lost, duplicated, or routed to a shard it does not live on — and
+// keep ingesting and rebalancing afterwards.
+func TestSIGKILLRebalanceRecovery(t *testing.T) {
+	if os.Getenv(rebalCrashEnv) != "" {
+		t.Skip("already inside the rebalance crash child")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(exe, "-test.run=^TestRebalanceCrashChild$")
+	cmd.Env = append(os.Environ(), rebalCrashEnv+"="+dir)
+	out, err := os.CreateTemp(t.TempDir(), "childout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout, cmd.Stderr = out, out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	childOutput := func() string {
+		b, _ := os.ReadFile(out.Name())
+		return string(b)
+	}
+
+	// Kill only after the child reported a committed rebalance move (the
+	// marker file) AND the journal grew another chunk past it, so the
+	// SIGKILL lands mid-ingest with TypeMove records already durable.
+	journalSize := func() int64 {
+		var total int64
+		ents, _ := os.ReadDir(dir)
+		for _, ent := range ents {
+			if info, err := ent.Info(); err == nil {
+				total += info.Size()
+			}
+		}
+		return total
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	var sizeAtMove int64 = -1
+	for {
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("child never committed a rebalance move; output:\n%s", childOutput())
+		}
+		if sizeAtMove < 0 {
+			if _, err := os.Stat(dir + ".moved"); err == nil {
+				sizeAtMove = journalSize()
+			}
+		} else if journalSize() >= sizeAtMove+(16<<10) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err == nil {
+		t.Fatalf("child exited cleanly instead of dying to SIGKILL; output:\n%s", childOutput())
+	}
+
+	rec, err := Recover(rebalCrashConfig(nil), dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer rec.cfg.Journal.Close()
+
+	if got := rec.RecoveryStats().MovesReplayed; got < 1 {
+		t.Errorf("MovesReplayed = %d, want >= 1: the child committed a move before dying", got)
+	}
+	fleet := rebalCrashFleet()
+	routes := rec.Routes()
+	if len(routes) != len(fleet) {
+		t.Errorf("recovered %d routes, fleet has %d tenants: %v", len(routes), len(fleet), routes)
+	}
+	for _, spec := range fleet {
+		if _, ok := routes[spec.ID]; !ok {
+			t.Errorf("tenant %s lost its route across the crash", spec.ID)
+		}
+	}
+	if v := invariant.CheckRouting(routes, placementMembers(rec)); len(v) > 0 {
+		t.Errorf("recovered routing table inconsistent with shard membership: %v", v)
+	}
+
+	// Life goes on: the recovered engine ingests, flushes, and runs
+	// rebalance passes against the replayed routing table.
+	for i, spec := range fleet {
+		// Task IDs far above anything the child's streams used, so the
+		// arrivals cannot collide with tasks still resident in the
+		// recovered allocators.
+		if err := rec.Submit(spec.ID, arrivals(9_000_000+i*100, 3, 1)...); err != nil {
+			t.Fatalf("post-recovery submit %s: %v", spec.ID, err)
+		}
+	}
+	if err := rec.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Rebalance(); err != nil {
+		t.Fatalf("post-recovery rebalance: %v", err)
+	}
+	if st := rec.RebalanceStats(); len(st.Violations) > 0 {
+		t.Errorf("post-recovery rebalance violations: %v", st.Violations)
+	}
+}
+
+// TestConcurrentSubmitDuringRebalance hammers forced rebalance passes
+// while every tenant's stream is being submitted from its own
+// goroutine. Run under -race this is the placement layer's memory-model
+// gate; the assertions close the loop on conservation (no event lost or
+// duplicated by a mid-ingest move) and routing consistency.
+func TestConcurrentSubmitDuringRebalance(t *testing.T) {
+	eng := New(Config{Shards: 4, BatchSize: 16, MaxQueue: 256, Overload: Block,
+		Placement: PlacementBalanced, RebalanceD: 2, RebalanceEvery: 2, Rebuild: testRebuild})
+	const tenants = 8
+	streams := make([][]task.Event, tenants)
+	for i := 0; i < tenants; i++ {
+		spec := TenantSpec{ID: fmt.Sprintf("c%d", i), Algorithm: "basic", N: 16}
+		addSpecTenant(t, eng, spec)
+		// Skewed volumes so passes actually plan moves mid-flight.
+		streams[i] = testStream(spec.N, 400*(i+1), int64(i+1))
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, evs := fmt.Sprintf("c%d", i), streams[i]
+			chunk := i + 1
+			for off := 0; off < len(evs); off += chunk {
+				end := off + chunk
+				if end > len(evs) {
+					end = len(evs)
+				}
+				if err := eng.Submit(id, evs[off:end]...); err != nil {
+					t.Errorf("submit %s: %v", id, err)
+					return
+				}
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 64; i++ {
+			if _, err := eng.Rebalance(); err != nil {
+				t.Errorf("rebalance: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if err := eng.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Conservation: every submitted event was applied exactly once,
+	// moves notwithstanding.
+	byID := make(map[string]TenantStats)
+	for _, st := range eng.Stats() {
+		byID[st.Tenant] = st
+	}
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("c%d", i)
+		st, ok := byID[id]
+		if !ok {
+			t.Errorf("tenant %s vanished during concurrent rebalancing", id)
+			continue
+		}
+		if st.Events != int64(len(streams[i])) {
+			t.Errorf("%s: %d events applied, submitted %d", id, st.Events, len(streams[i]))
+		}
+	}
+	if v := invariant.CheckRouting(eng.Routes(), placementMembers(eng)); len(v) > 0 {
+		t.Errorf("routing inconsistent after concurrent rebalancing: %v", v)
+	}
+	if st := eng.RebalanceStats(); len(st.Violations) > 0 {
+		t.Errorf("rebalance audit violations: %v", st.Violations)
+	}
+}

@@ -33,6 +33,8 @@ func testRebuild(spec TenantSpec) (core.Allocator, *fault.Schedule, *topology.Ho
 		a = core.NewGreedy(m)
 	case "periodic":
 		a = core.NewPeriodic(m, spec.D, core.DecreasingSize)
+	case "constant":
+		a = core.NewConstant(m)
 	case "lazy":
 		a = core.NewLazy(m, spec.D, core.DecreasingSize)
 	case "random":

@@ -64,14 +64,19 @@ type tenantSnapshot struct {
 	PeakLoad      int
 	FaultPos      int
 	FaultHit      int
-	MigHops       int64  `json:",omitempty"`
-	ForcedHops    int64  `json:",omitempty"`
-	Shed          int64  `json:",omitempty"`
-	Dropped       int64  `json:",omitempty"`
-	Trips         int    `json:",omitempty"`
-	Queue         []byte // wal.AppendEvents encoding; never empty (count prefix)
-	Alloc         []byte // core.Checkpointable bytes
-	Checker       []byte `json:",omitempty"` // invariant.Checker ledger, Audit only
+	MigHops       int64 `json:",omitempty"`
+	ForcedHops    int64 `json:",omitempty"`
+	Shed          int64 `json:",omitempty"`
+	Dropped       int64 `json:",omitempty"`
+	Trips         int   `json:",omitempty"`
+	// Shard is the tenant's shard route when the snapshot was taken.
+	// Always written (no omitempty — shard 0 is a real route): once
+	// compaction deletes the TypeMove records a snapshot supersedes, the
+	// envelope is the only surviving carrier of the tenant's route.
+	Shard   int
+	Queue   []byte // wal.AppendEvents encoding; never empty (count prefix)
+	Alloc   []byte // core.Checkpointable bytes
+	Checker []byte `json:",omitempty"` // invariant.Checker ledger, Audit only
 }
 
 // RecoveryStats reports how Recover reconstructed the engine: how many
@@ -85,6 +90,10 @@ type RecoveryStats struct {
 	RecordsSkipped    int64
 	RecordsReplayed   int64
 	SnapshotsRestored int64
+	// MovesReplayed counts TypeMove records re-applied: each one rewrote
+	// the recovered routing table (and re-homed the tenant) exactly as
+	// the live engine's rebalance did.
+	MovesReplayed int64
 }
 
 // RecoveryStats returns the ledger of the Recover call that built this
@@ -135,6 +144,7 @@ func (e *Engine) encodeTenantSnapshot(t *tenant) ([]byte, error) {
 		Shed:          t.shed,
 		Dropped:       t.dropped,
 		Trips:         t.trips,
+		Shard:         t.shardIdx,
 		Queue:         wal.AppendEvents(nil, t.queue),
 		Alloc:         ck.Snapshot(),
 		Checker:       t.check.Checkpoint(),
@@ -490,10 +500,34 @@ func (e *Engine) restoreSnapshot(ord int, rec wal.Record) error {
 	if err != nil {
 		return fmt.Errorf("engine: recover record %d: %w", ord, err)
 	}
-	s := e.shardFor(t.id)
+	// The envelope carries the tenant's route: compaction may have
+	// deleted the TypeMove records that produced it. Out-of-range routes
+	// (a journal recovered into a smaller engine) fall back to the hash
+	// default.
+	idx := env.Shard
+	if idx < 0 || idx >= len(e.shards) {
+		idx = hashShard(t.id, len(e.shards))
+	}
+	// A re-restored tenant (two snapshots survive compaction) may have
+	// moved between them; drop it from its old stripe first.
+	existed := false
+	if old := e.route(t.id); old != idx {
+		os := e.shardAt(old)
+		os.mu.Lock()
+		if _, ok := os.tenants[t.id]; ok {
+			existed = true
+			delete(os.tenants, t.id)
+		}
+		os.mu.Unlock()
+	}
+	e.placer.Reroute(t.id, idx)
+	t.shardIdx = idx
+	s := e.shardAt(idx)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, existed := s.tenants[t.id]
+	if _, ok := s.tenants[t.id]; ok {
+		existed = true
+	}
 	s.tenants[t.id] = t
 	wireObserver(t)
 	e.trackTenant(t.id)
@@ -510,6 +544,7 @@ func (e *Engine) removeTenantLocal(id string) error {
 	s.mu.Lock()
 	delete(s.tenants, id)
 	s.mu.Unlock()
+	e.placer.Remove(id)
 	e.untrackTenant(id)
 	return nil
 }
@@ -543,6 +578,11 @@ func (e *Engine) MoveTenant(id string, dst *Engine) error {
 	}
 	moveMu.Lock()
 	defer moveMu.Unlock()
+	// The source's routing and membership change together; the rebalance
+	// mutex keeps the pair atomic with respect to the source's own
+	// passes (and freezes the route, so shardFor cannot go stale here).
+	e.rebalMu.Lock()
+	defer e.rebalMu.Unlock()
 	s := e.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -568,6 +608,7 @@ func (e *Engine) MoveTenant(id string, dst *Engine) error {
 		}
 	}
 	delete(s.tenants, id)
+	e.placer.Remove(id)
 	e.untrackTenant(id)
 	e.cfg.Sink.TenantMoved(id, "out")
 	return nil
@@ -575,7 +616,11 @@ func (e *Engine) MoveTenant(id string, dst *Engine) error {
 
 // installSnapshot decodes a tenant snapshot and registers the tenant on
 // this engine, journaling the snapshot first when journaled (so a crash
-// right after the move still recovers the tenant here).
+// right after the move still recovers the tenant here). The tenant is
+// placed through this engine's placer — the envelope's Shard field
+// describes the source engine's layout — and the envelope is re-sealed
+// with the new route before journaling, so this journal recovers the
+// tenant onto the shard it actually landed on.
 func (e *Engine) installSnapshot(data []byte) error {
 	var env tenantSnapshot
 	if err := json.Unmarshal(data, &env); err != nil {
@@ -586,14 +631,28 @@ func (e *Engine) installSnapshot(data []byte) error {
 	if err != nil {
 		return fmt.Errorf("engine: install %q: %w", id, err)
 	}
-	t, err := e.restoreTenant(&env, a, faults, host)
+	e.rebalMu.Lock()
+	defer e.rebalMu.Unlock()
+	_, routed := e.placer.Lookup(id)
+	idx := e.placer.Place(id)
+	env.Shard = idx
+	data, err = json.Marshal(env)
 	if err != nil {
 		return fmt.Errorf("engine: install %q: %w", id, err)
 	}
-	s := e.shardFor(id)
+	t, err := e.restoreTenant(&env, a, faults, host)
+	if err != nil {
+		if !routed {
+			e.placer.Remove(id)
+		}
+		return fmt.Errorf("engine: install %q: %w", id, err)
+	}
+	t.shardIdx = idx
+	s := e.shardAt(idx)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.tenants[id]; ok {
+		// The pre-existing route belongs to the live tenant; keep it.
 		return fmt.Errorf("%w: %q", ErrDuplicateTenant, id)
 	}
 	if e.cfg.Journal != nil {
@@ -603,6 +662,9 @@ func (e *Engine) installSnapshot(data []byte) error {
 		seg := e.cfg.Journal.Seg()
 		e.jmu.Unlock()
 		if err != nil {
+			if !routed {
+				e.placer.Remove(id)
+			}
 			return fmt.Errorf("engine: install %q: %w", id, err)
 		}
 		e.smu.Lock()

@@ -1,0 +1,68 @@
+// Placement-layer invariants: standalone checks the engine's rebalance
+// pass runs after moving tenants. Unlike the per-event Checker, these
+// audit a point-in-time snapshot — the routing table against the shard
+// membership, and the pass's move count against the paper's budget —
+// so they are plain functions, not stateful checkers.
+package invariant
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckRouting verifies the routing table is a bijection onto shard
+// membership: every routed tenant is resident on exactly the shard its
+// route names, and every resident tenant has a route. routes and
+// members both map tenant ID → shard index; the caller snapshots them
+// under whatever locks make the pair consistent.
+func CheckRouting(routes, members map[string]int) []Violation {
+	var out []Violation
+	ids := make([]string, 0, len(routes))
+	for id := range routes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		shard, resident := members[id]
+		switch {
+		case !resident:
+			out = append(out, Violation{
+				Rule:   "routing-bijection",
+				Detail: fmt.Sprintf("tenant %q routed to shard %d but resident on none", id, routes[id]),
+			})
+		case shard != routes[id]:
+			out = append(out, Violation{
+				Rule:   "routing-bijection",
+				Detail: fmt.Sprintf("tenant %q routed to shard %d but resident on shard %d", id, routes[id], shard),
+			})
+		}
+	}
+	ids = ids[:0]
+	for id := range members {
+		if _, routed := routes[id]; !routed {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		out = append(out, Violation{
+			Rule:   "routing-bijection",
+			Detail: fmt.Sprintf("tenant %q resident on shard %d but has no route", id, members[id]),
+		})
+	}
+	return out
+}
+
+// CheckMoveBudget verifies one rebalance pass's move count against the
+// paper's reallocation budget transposed to shards: a pass over an
+// engine with `shards` stripes and rebalance parameter d may move at
+// most d·shards tenants.
+func CheckMoveBudget(moved, d, shards int) []Violation {
+	if budget := d * shards; moved > budget {
+		return []Violation{{
+			Rule:   "rebalance-move-budget",
+			Detail: fmt.Sprintf("pass moved %d tenants, budget is d*shards = %d*%d = %d", moved, d, shards, budget),
+		}}
+	}
+	return nil
+}

@@ -40,6 +40,12 @@ const (
 	EventWALTruncate  = "wal-truncate"
 	EventRecovery     = "recovery"
 	EventTenantMoved  = "tenant-moved"
+	// EventRebalanceMove is one intra-engine tenant move performed by a
+	// placement rebalance pass; attrs carry the from/to shard indexes.
+	EventRebalanceMove = "rebalance-move"
+	// EventRebalancePass summarizes one rebalance pass: moves planned,
+	// moves performed, the d·shards budget, and audit violations.
+	EventRebalancePass = "rebalance-pass"
 )
 
 // A FlightRecorder is a fixed-size ring buffer of Events. Writers pay one

@@ -49,6 +49,12 @@ const (
 	MetricRecoveryReplayed  = "partalloc_recovery_records_replayed_total"
 	MetricRecoverySkipped   = "partalloc_recovery_records_skipped_total"
 	MetricTenantMoves       = "partalloc_tenant_moves_total"
+
+	MetricRebalancePasses     = "partalloc_rebalance_passes_total"
+	MetricRebalancePlanned    = "partalloc_rebalance_moves_planned_total"
+	MetricRebalanceMoves      = "partalloc_rebalance_moves_total"
+	MetricRebalanceBudget     = "partalloc_rebalance_move_budget"
+	MetricRebalanceViolations = "partalloc_rebalance_violations_total"
 )
 
 // tenantSeries caches every per-tenant series handle so the batch-apply
@@ -486,6 +492,45 @@ func (s *Sink) Recovery(restored, replayed, skipped int64) {
 		"snapshots_restored": restored,
 		"records_replayed":   replayed,
 		"records_skipped":    skipped,
+	})
+}
+
+// RebalancePass records one placement rebalance pass: moves planned by
+// the balanced placer, moves actually performed, the d·shards budget
+// the pass ran under, and invariant violations the post-pass audit
+// found (always 0 on a healthy engine).
+func (s *Sink) RebalancePass(planned, moved, budget, violations int) {
+	if s == nil {
+		return
+	}
+	if s.m != nil {
+		s.m.Counter(MetricRebalancePasses, "Placement rebalance passes completed.").Inc()
+		s.m.Counter(MetricRebalancePlanned, "Tenant moves planned by the balanced placer.").Add(int64(planned))
+		s.m.Counter(MetricRebalanceMoves, "Tenant moves performed by rebalance passes.").Add(int64(moved))
+		s.m.Gauge(MetricRebalanceBudget, "Per-pass move budget (d x shards).").Set(int64(budget))
+		if violations > 0 {
+			s.m.Counter(MetricRebalanceViolations, "Placement invariant violations found by the post-pass audit.").Add(int64(violations))
+		}
+	}
+	s.fr.Record(EventRebalancePass, "", "", map[string]int64{
+		"planned":    int64(planned),
+		"moved":      int64(moved),
+		"budget":     int64(budget),
+		"violations": int64(violations),
+	})
+}
+
+// RebalanceMove records one intra-engine tenant move performed by a
+// rebalance pass. The move counter is advanced by RebalancePass (which
+// knows the per-pass total); this hook feeds the flight recorder so a
+// poison dump shows which tenants moved where, and when.
+func (s *Sink) RebalanceMove(tenant string, from, to int) {
+	if s == nil {
+		return
+	}
+	s.fr.Record(EventRebalanceMove, tenant, "", map[string]int64{
+		"from": int64(from),
+		"to":   int64(to),
 	})
 }
 

@@ -27,6 +27,7 @@ func FuzzRecordRoundTrip(f *testing.F) {
 	f.Add(byte(TypeSubmit), "tenant-0", AppendEvents(nil, evs))
 	f.Add(byte(TypeAddTenant), "", []byte(`{"ID":"x"}`))
 	f.Add(byte(TypeRebuild), "t", AppendRebuild(nil, 12, 3))
+	f.Add(byte(TypeMove), "t", AppendMove(nil, 2, 5))
 	// Truncated tail: the classic crash artifact.
 	f.Add(byte(0), "", whole[:len(whole)-5])
 	// Corrupt CRC: same frame, payload bit flipped.
@@ -75,6 +76,11 @@ func FuzzRecordRoundTrip(f *testing.F) {
 		if keep, drop, err := DecodeRebuild(data); err == nil {
 			if !bytes.Equal(AppendRebuild(nil, keep, drop), data) {
 				t.Fatal("accepted rebuild payload is not canonical")
+			}
+		}
+		if from, to, err := DecodeMove(data); err == nil {
+			if !bytes.Equal(AppendMove(nil, from, to), data) {
+				t.Fatal("accepted move payload is not canonical")
 			}
 		}
 	})

@@ -54,6 +54,14 @@ const (
 	// TypeRemove marks a tenant's removal from this engine (MoveTenant):
 	// recovery forgets the tenant and skips its earlier records.
 	TypeRemove Type = 7
+	// TypeMove marks an intra-engine shard move: the placement layer
+	// rerouted the tenant from one shard to another. Recovery replays the
+	// reroute so the routing table ends exactly where the live engine's
+	// was. The record is journaled before the in-memory move
+	// (append-before-apply), making the append the move's commit point: a
+	// crash before it recovers the old route, after it the new one, and a
+	// torn frame is repaired away at Open like any other torn tail.
+	TypeMove Type = 8
 )
 
 // Record is one journal entry.
@@ -215,6 +223,31 @@ func DecodeApply(data []byte) (flushFirst bool, evs []task.Event, err error) {
 	}
 	evs, err = DecodeEvents(data[1:])
 	return data[0] == 1, evs, err
+}
+
+// AppendMove appends a TypeMove payload: uvarint from-shard, uvarint
+// to-shard. From is recorded so recovery can detect a journal whose
+// routing history diverged from what it is replaying.
+func AppendMove(dst []byte, from, to int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(from))
+	return binary.AppendUvarint(dst, uint64(to))
+}
+
+// DecodeMove decodes a TypeMove payload.
+func DecodeMove(data []byte) (from, to int, err error) {
+	f, n := binary.Uvarint(data)
+	if n <= 0 || f > math.MaxInt32 {
+		return 0, 0, fmt.Errorf("%w: move from-shard", ErrCorruptRecord)
+	}
+	data = data[n:]
+	t, n := binary.Uvarint(data)
+	if n <= 0 || t > math.MaxInt32 {
+		return 0, 0, fmt.Errorf("%w: move to-shard", ErrCorruptRecord)
+	}
+	if len(data[n:]) != 0 {
+		return 0, 0, fmt.Errorf("%w: move trailing bytes", ErrCorruptRecord)
+	}
+	return int(f), int(t), nil
 }
 
 // AppendRebuild appends a TypeRebuild payload: uvarint keep, uvarint drop

@@ -14,10 +14,15 @@
 #      end (the write-ahead path under the race detector);
 #   4. snapshot retention: periodic snapshots keep the journal bounded,
 #      SIGKILL with truncation in flight still recovers byte-identically,
-#      and O(tail) recovery is equivalence-gated against full replay.
+#      and O(tail) recovery is equivalence-gated against full replay;
+#   5. placement under chaos: the balanced placer keeps rebalancing
+#      through poison pills, stalls, and kill/recover cycles, every
+#      recovery replays TypeMove records to the exact pre-crash routing
+#      table, and the mid-rebalance SIGKILL test gates on
+#      routing-table/membership consistency.
 set -eu
 
-echo "chaos-smoke: 1/4 SIGKILL mid-ingest recovery is byte-identical"
+echo "chaos-smoke: 1/5 SIGKILL mid-ingest recovery is byte-identical"
 go test -race -run 'TestSIGKILLRecovery|TestRecoverMatchesUninterrupted' -count=1 ./internal/engine/
 
 # The soak is race-instrumented: concurrent per-tenant ingestion, breaker
@@ -25,11 +30,11 @@ go test -race -run 'TestSIGKILLRecovery|TestRecoverMatchesUninterrupted' -count=
 # concurrent paths worth watching. Two seeds so the injection schedule
 # (which tenants are poisoned, when stalls land relative to crashes)
 # is not a single lucky draw.
-echo "chaos-smoke: 2/4 seeded chaos soak under the race detector"
+echo "chaos-smoke: 2/5 seeded chaos soak under the race detector"
 go run -race ./cmd/engined -chaos -chaos-rounds 8 -seed 1
 go run -race ./cmd/engined -chaos -chaos-rounds 6 -seed 7
 
-echo "chaos-smoke: 3/4 journal-on benchmark pass"
+echo "chaos-smoke: 3/5 journal-on benchmark pass"
 go run -race ./cmd/engined -quick -journal -out /dev/null
 
 # The compaction test asserts the segment count stays bounded while the
@@ -37,8 +42,16 @@ go run -race ./cmd/engined -quick -journal -out /dev/null
 # two truncations have landed; the -recovery pass recovers the same
 # fleet from a plain and a snapshotting journal and refuses to report a
 # speedup unless the two ledgers are byte-identical.
-echo "chaos-smoke: 4/4 snapshot retention bounds the WAL; O(tail) recovery equivalence"
+echo "chaos-smoke: 4/5 snapshot retention bounds the WAL; O(tail) recovery equivalence"
 go test -race -run 'TestSnapshotCompactionBoundsLog|TestSIGKILLSnapshotRecovery' -count=1 ./internal/engine/
 go run -race ./cmd/engined -quick -journal -snapshot-every 2 -recovery -out /dev/null
+
+# The balanced soak forces a rebalance pass every round and gates each
+# kill/recover cycle on routing-table identity; the subprocess test
+# SIGKILLs an engine only after a TypeMove record is durable and demands
+# the recovered routing table be a bijection to shard membership.
+echo "chaos-smoke: 5/5 rebalance under poison pills and kill/recover"
+go run -race ./cmd/engined -chaos -chaos-rounds 8 -placement balanced -seed 3
+go test -race -run 'TestSIGKILLRebalanceRecovery' -count=1 ./internal/engine/
 
 echo "chaos-smoke: OK"
